@@ -1,0 +1,81 @@
+// Ablation: output corruptibility under wrong keys — the paper's claim
+// that GK behaviour "provides a stronger corruptibility to POs than other
+// SAT-resistant methods" (Sec. VI), measured with the timing-accurate
+// simulator.
+//
+// For each scheme, run the locked design against the original for 21
+// compared cycles under N random wrong keys and report how often and how
+// hard the machine diverges.  SARLock/Anti-SAT corrupt almost never
+// (their point-function outputs flip one input pattern per key); GKs
+// corrupt the captured state every cycle.
+#include <cstdio>
+
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "flow/gk_flow.h"
+#include "lock/antisat.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const Netlist host = generateByName("s1238");
+  const int kTrials = 10;
+
+  Table t("wrong-key corruption, timing-accurate, 21 compared cycles");
+  t.header({"scheme", "corrupted trials", "avg state mismatches",
+            "avg PO mismatches"});
+
+  // Generic sequential schemes share one measurement harness.
+  auto measure = [&](const char* name, const LockedDesign& ld, Ps tclk) {
+    Rng rng(404);
+    int corrupted = 0;
+    long long stateSum = 0, poSum = 0;
+    const std::vector<Ps> arrivals(ld.netlist.flops().size(), 0);
+    for (int tr = 0; tr < kTrials; ++tr) {
+      std::vector<int> key(ld.correctKey.size());
+      for (int& b : key) b = rng.flip() ? 1 : 0;
+      if (key == ld.correctKey) key[0] ^= 1;
+      VerifyOptions vo;
+      vo.clockPeriod = tclk;
+      vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+      vo.seed = 505 + static_cast<std::uint64_t>(tr);
+      const VerifyReport v =
+          verifySequential(host, ld.netlist, host.flops().size(), arrivals,
+                           ld.keyInputs, key, vo);
+      stateSum += v.stateMismatches;
+      poSum += v.poMismatches;
+      if (v.stateMismatches || v.poMismatches || v.simViolations) ++corrupted;
+    }
+    t.row({name, fmtI(corrupted) + "/" + fmtI(kTrials),
+           fmtF(static_cast<double>(stateSum) / kTrials, 1),
+           fmtF(static_cast<double>(poSum) / kTrials, 1)});
+  };
+
+  measure("XOR [9], 8 keys", xorLock(host, XorLockOptions{8, 21}), ns(8));
+  measure("SARLock [14], 8 keys", sarLock(host, SarLockOptions{8, 22}), ns(8));
+  measure("Anti-SAT [13], 16 keys",
+          antiSatLock(host, AntiSatOptions{8, 23}), ns(8));
+
+  // GK goes through its own flow (skews, KEYGEN clocking).
+  {
+    GkEncryptor enc(host);
+    EncryptOptions opt;
+    opt.numGks = 4;
+    const GkFlowResult r = enc.encrypt(opt);
+    const CorruptionReport c = enc.measureCorruption(r, kTrials);
+    t.row({"GK (this paper), 4 GKs",
+           fmtI(c.corruptedTrials) + "/" + fmtI(c.trials),
+           fmtF(c.avgStateMismatches, 1), fmtF(c.avgPoMismatches, 1)});
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape: point-function schemes (SARLock/Anti-SAT) barely corrupt —\n"
+      "that low corruptibility is exactly what removal attacks exploit;\n"
+      "XOR and GK corrupt in every trial, and the GK's per-cycle state\n"
+      "poisoning gives the strongest divergence.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension experiment: AppSAT [10] — the approximate attack the paper
+// cites as the one that "exploited the dependence on other encryption
+// techniques to crack these SAT attack-resistant methods" (Sec. I).
+//
+// Expected shape: AppSAT accepts an approximately-correct key against
+// SARLock/Anti-SAT after a handful of DIPs (their corruption is a point
+// function — below any reasonable error threshold), cracks XOR locking
+// exactly, and gets nothing from a GK-locked design: the static model is
+// wrong on every pattern that exercises a GK'd flop, so no candidate
+// ever passes reconciliation and the accumulated observations go UNSAT.
+#include <cstdio>
+
+#include "attack/appsat.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/antisat.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const Netlist host = generateByName("s1238");
+  const CombExtraction oracle = extractCombinational(host);
+
+  AppSatOptions opt;
+  opt.errorThreshold = 0.05;
+
+  Table t("AppSAT (error threshold 5%) vs locking schemes on s1238");
+  t.header({"scheme", "DIPs", "reconciliations", "approx. key found",
+            "residual error", "exactly correct"});
+
+  auto run = [&](const char* label, const Netlist& lockedSeq,
+                 const std::vector<NetId>& keyNets) {
+    const CombExtraction comb = extractCombinational(lockedSeq);
+    std::vector<NetId> keys;
+    for (NetId k : keyNets) keys.push_back(comb.netMap[k]);
+    const AppSatResult r =
+        appSatAttack(comb.netlist, keys, oracle.netlist, opt);
+    t.row({label, fmtI(r.dips), fmtI(r.reconciliations),
+           r.succeeded ? "YES — LOCK BROKEN"
+                       : (r.keyConstraintsUnsat ? "no (observations UNSAT)"
+                                                : "no"),
+           r.succeeded ? fmtF(100.0 * r.errorRate, 1) + "%" : "-",
+           r.succeeded ? (r.exactlyCorrect ? "yes" : "no (approximate)")
+                       : "-"});
+  };
+
+  {
+    const LockedDesign ld = xorLock(host, XorLockOptions{8, 71});
+    run("XOR [9], 8 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    const LockedDesign ld = sarLock(host, SarLockOptions{10, 72});
+    run("SARLock [14], 10 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    const LockedDesign ld = antiSatLock(host, AntiSatOptions{6, 73});
+    run("Anti-SAT [13], 12 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    GkEncryptor enc(host);
+    EncryptOptions eo;
+    eo.numGks = 4;
+    const GkFlowResult locked = enc.encrypt(eo);
+    const auto surf = enc.attackSurface(locked);
+    const AppSatResult r =
+        appSatAttack(surf.comb, surf.gkKeys, surf.oracleComb, opt);
+    t.row({"GK (this paper), 4 GKs", fmtI(r.dips), fmtI(r.reconciliations),
+           r.succeeded ? "YES — LOCK BROKEN"
+                       : (r.keyConstraintsUnsat ? "no (observations UNSAT)"
+                                                : "no"),
+           "-", "-"});
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape: the point-function schemes fall to a *handful* of DIPs —\n"
+      "AppSAT sidesteps their exponential-DIP defence exactly as the\n"
+      "paper's Sec. I recounts — while the GK's glitch leaves nothing a\n"
+      "static candidate key could even approximate.\n");
+  return 0;
+}

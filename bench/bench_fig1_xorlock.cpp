@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 1: classic XOR/XNOR logic locking.
+//
+// The original circuit is locked with two key gates; under the correct
+// key every key gate degenerates to a buffer (the circuit is equivalent
+// to the original), under each wrong key at least some input pattern
+// produces a wrong output.  We print the truth-table corruption per key
+// and verify equivalence with the SAT-based checker.
+#include <cstdio>
+
+#include "benchgen/synthetic_bench.h"
+#include "lock/xor_lock.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+
+  const Netlist original = makeC17();
+  XorLockOptions opt;
+  opt.numKeyBits = 2;
+  opt.seed = 5;
+  const LockedDesign ld = xorLock(original, opt);
+
+  std::printf("Fig. 1 — XOR/XNOR locking of c17 with 2 key gates "
+              "(correct key: %d%d)\n\n",
+              ld.correctKey[0], ld.correctKey[1]);
+
+  Table t("output corruption per key assignment (32 input patterns)");
+  t.header({"key k1k0", "wrong outputs", "equivalent to original?"});
+  for (int key = 0; key < 4; ++key) {
+    const std::vector<int> bits{(key >> 1) & 1, key & 1};
+    const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, bits);
+
+    int wrong = 0;
+    for (int m = 0; m < 32; ++m) {
+      std::vector<Logic> in;
+      for (int b = 0; b < 5; ++b) in.push_back(logicFromBool((m >> b) & 1));
+      const auto a = outputValues(original, evalCombinational(original, in));
+      const auto c = outputValues(unlocked, evalCombinational(unlocked, in));
+      for (std::size_t o = 0; o < a.size(); ++o)
+        if (a[o] != c[o]) ++wrong;
+    }
+    const bool equiv = sat::checkEquivalence(unlocked, original).equivalent;
+    t.row({std::to_string((key >> 1) & 1) + std::to_string(key & 1),
+           fmtI(wrong), equiv ? "YES" : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Shape: exactly one key row is equivalent (the correct one);\n"
+              "every other key corrupts some outputs — the locking premise\n"
+              "of Fig. 1, and the corruption SAT attack exploits.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reproduces paper Fig. 2: the Tunable Delay Key-gate (TDK) baseline and
+// its weakness.
+//
+//   (1) With the correct delay key the TDB selects the short path and the
+//       locked design meets timing (Fig. 2(c) "k2 = 0 is correct").
+//   (2) With the wrong delay key the long path is switched in and the
+//       capture flop violates setup — the event simulator reports it.
+//   (3) The weakness (paper Sec. I): strip the TDB MUX, re-synthesise,
+//       and the circuit is a plain XOR-locked design the SAT attack
+//       cracks — which the GK is specifically built to avoid.
+#include <cstdio>
+
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "flow/gk_flow.h"
+#include "lock/tdk.h"
+#include "netlist/netlist_ops.h"
+#include "sim/event_sim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const Netlist original = generateByName("s1238");
+
+  // Clock period from the unlocked design.
+  StaConfig sc;
+  sc.inputArrival = CellLibrary::tsmc013c().clkToQ();
+  Sta probe(original, sc);
+  const Ps tclk = probe.minClockPeriod(100);
+
+  TdkOptions opt;
+  opt.numTdks = 4;
+  const TdkLockResult tdk = tdkLock(original, opt, tclk);
+  std::printf("Fig. 2 — TDK locking of s1238: %zu TDKs at Tclk=%s\n\n",
+              tdk.instances.size(), fmtNs(tclk).c_str());
+
+  // --- (1)/(2): timing behaviour under correct vs wrong delay keys ---------
+  // A deterministic high-activity path (the D toggles every cycle) makes
+  // the effect visible: the correct k2 selects the short TDB path and the
+  // captures are clean; the wrong k2 switches in a long path whose settle
+  // time lands inside the capture window — a setup violation every cycle,
+  // Fig. 2(c).
+  Table t("manual TDK on a toggling path, Tclk = 2 ns (12 captures)");
+  t.header({"delay key k2", "sim violations", "clean captures of x"});
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  const Ps toyClk = ns(2);
+  for (int k2val = 0; k2val <= 1; ++k2val) {
+    Netlist nl("fig2toy");
+    const NetId x = nl.addPI("x");
+    const NetId k1 = nl.addPI("k1");
+    const NetId k2 = nl.addPI("k2");
+    const NetId xored = nl.addNet("xored");
+    nl.addGate(CellKind::kXor2, {x, k1}, xored);
+    const NetId fast = nl.addNet("fast");
+    nl.addDelay(xored, fast, 200);
+    const NetId slow = nl.addNet("slow");
+    // Settle under the wrong key: 120 (PI) + ~85 (XOR) + 1675 + ~80 (MUX)
+    // ~= 1960, inside the open window (1910, 2025) of the 2 ns capture.
+    nl.addDelay(xored, slow, 1675);
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellKind::kMux2, {k2, fast, slow}, y);
+    const NetId q = nl.addNet("q");
+    const GateId ff = nl.addGate(CellKind::kDff, {y}, q);
+    nl.markPO(q);
+    (void)ff;
+
+    EventSimConfig cfg;
+    cfg.clockPeriod = toyClk;
+    cfg.simTime = 13 * toyClk;
+    EventSim sim(nl, cfg);
+    sim.setInitialInput(k1, Logic::F);  // functional key correct: buffer
+    sim.setInitialInput(k2, logicFromBool(k2val != 0));
+    Logic v = Logic::F;
+    sim.setInitialInput(x, v);
+    for (int k = 1; k < 13; ++k) {  // toggle every cycle
+      v = logicNot(v);
+      sim.drive(x, k * toyClk + lib.clkToQ(), v);
+    }
+    sim.run();
+
+    int clean = 0;
+    for (int m = 1; m <= 12; ++m) {
+      const Logic got = sim.valueAt(q, m * toyClk + lib.clkToQ() + 20);
+      // Capture m should hold the x value of cycle m-1.
+      const Logic expect = logicFromBool(((m - 1) & 1) != 0);
+      if (got == expect) ++clean;
+    }
+    t.row({k2val == 0 ? "0 (correct, short path)" : "1 (wrong, long path)",
+           fmtI(static_cast<long long>(sim.violations().size())),
+           fmtI(clean) + std::string("/12")});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // --- (3): removal + SAT — the TDK weakness -------------------------------
+  // Strip each TDB MUX (reconnect the short path) and expose the
+  // functional keys; the result is classic XOR locking.
+  std::vector<NetId> netMap;
+  Netlist stripped = cloneNetlist(tdk.design.netlist, netMap);
+  for (const TdkInstance& inst : tdk.instances) {
+    const Gate mux = stripped.gate(inst.tdbMux);  // copy: {k2, fast, slow}
+    const NetId out = mux.out;
+    const NetId fast = mux.fanin[1];
+    // The fast path is DELAY(xored); rewire straight to its source.
+    const NetId xored = stripped.gate(stripped.net(fast).driver).fanin[0];
+    stripped.removeGate(inst.tdbMux);
+    stripped.addGate(CellKind::kBuf, {xored}, out);
+  }
+
+  std::vector<NetId> keyNets;
+  for (const TdkInstance& inst : tdk.instances)
+    keyNets.push_back(netMap[tdk.design.keyInputs[inst.k1Index]]);
+  // The delay keys now drive nothing; keep them out of the SAT instance by
+  // counting them as keys too (they are unconstrained).
+  for (const TdkInstance& inst : tdk.instances)
+    keyNets.push_back(netMap[tdk.design.keyInputs[inst.k2Index]]);
+
+  const CombExtraction lockedComb = extractCombinational(stripped);
+  std::vector<NetId> keysInComb;
+  for (NetId k : keyNets) keysInComb.push_back(lockedComb.netMap[k]);
+  const CombExtraction oracleComb = extractCombinational(original);
+
+  const SatAttackResult sat =
+      satAttack(lockedComb.netlist, keysInComb, oracleComb.netlist);
+  std::printf("after TDB removal + re-synthesis, SAT attack: %s "
+              "(%d DIPs, functional keys recovered: %s)\n",
+              sat.decrypted ? "DECRYPTED the design" : "failed",
+              sat.dips, sat.decrypted ? "yes" : "no");
+  std::printf("\nShape: correct key clean; wrong delay keys cause setup\n"
+              "violations/corruption; and unlike a GK, the TDK's security\n"
+              "structure is removable — SAT finishes the job.\n");
+  return 0;
+}

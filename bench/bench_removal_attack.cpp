@@ -1,0 +1,97 @@
+// Reproduces the paper's Sec. V-C / V-D removal-attack narrative:
+//
+//   1. SARLock and Anti-SAT leave a probability-skewed flip signal the
+//      removal attack locates and bypasses, fully restoring the function.
+//   2. XOR key gates and GKs show no skew — the plain removal attack
+//      finds nothing.
+//   3. The *enhanced* removal attack (structural localisation + XOR
+//      modelling + SAT) decrypts naked GKs...
+//   4. ...and is defeated once the GK gates are withheld in LUTs.
+#include <cstdio>
+
+#include "attack/enhanced_removal.h"
+#include "attack/removal_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/antisat.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const Netlist host = generateByName("s1238");
+  const CombExtraction oracle = extractCombinational(host);
+
+  // The toy-scale skew threshold: our demo comparators are 8 bits wide, so
+  // the flip probability is ~2^-8; production keys would use the 1%
+  // default.
+  RemovalAttackOptions ropt;
+  ropt.skewThreshold = 0.02;
+
+  Table t1("plain removal attack (signal-probability skew)");
+  t1.header({"scheme", "skewed key nets", "located", "function restored"});
+
+  auto attackSeq = [&](const char* name, const LockedDesign& ld) {
+    const CombExtraction comb = extractCombinational(ld.netlist);
+    std::vector<NetId> keys;
+    for (NetId k : ld.keyInputs) keys.push_back(comb.netMap[k]);
+    const RemovalAttackResult r =
+        removalAttack(comb.netlist, keys, oracle.netlist, ropt);
+    t1.row({name, fmtI(static_cast<long long>(r.skewedKeyNets.size())),
+            r.located ? "YES" : "no",
+            r.restoredFunction ? "YES — LOCK BROKEN" : "no"});
+  };
+
+  attackSeq("SARLock [14], 8 keys", sarLock(host, SarLockOptions{8, 3}));
+  attackSeq("Anti-SAT [13], 16 keys", antiSatLock(host, AntiSatOptions{8, 4}));
+  attackSeq("XOR [9], 8 keys", xorLock(host, XorLockOptions{8, 5}));
+
+  GkEncryptor enc(host);
+  EncryptOptions gkOpt;
+  gkOpt.numGks = 4;
+  const GkFlowResult gk = enc.encrypt(gkOpt);
+  {
+    const auto surf = enc.attackSurface(gk);
+    const RemovalAttackResult r =
+        removalAttack(surf.comb, surf.gkKeys, surf.oracleComb, ropt);
+    t1.row({"GK (this paper), 4 GKs",
+            fmtI(static_cast<long long>(r.skewedKeyNets.size())),
+            r.located ? "YES" : "no",
+            r.restoredFunction ? "YES — LOCK BROKEN" : "no"});
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  // --- Sec. V-D: enhanced removal vs GK and GK+withholding -----------------
+  Table t2("enhanced removal attack (locate -> model as XOR -> SAT)");
+  t2.header({"scheme", "located", "modelled", "unmodelable", "decrypted"});
+  {
+    const auto surf = enc.attackSurface(gk);
+    const EnhancedRemovalResult r = enhancedRemovalAttack(
+        surf.comb, surf.gkKeys, surf.otherKeys, surf.oracleComb);
+    t2.row({"GK, visible structure",
+            fmtI(static_cast<long long>(r.candidates.size())),
+            fmtI(r.replaced), fmtI(r.unmodelable),
+            r.decrypted ? "YES — withholding required" : "no"});
+  }
+  {
+    EncryptOptions wOpt;
+    wOpt.numGks = 4;
+    wOpt.withholding = true;
+    const GkFlowResult wh = enc.encrypt(wOpt);
+    const auto surf = enc.attackSurface(wh);
+    const EnhancedRemovalResult r = enhancedRemovalAttack(
+        surf.comb, surf.gkKeys, surf.otherKeys, surf.oracleComb);
+    t2.row({"GK + withholding [5][6]",
+            fmtI(static_cast<long long>(r.candidates.size())),
+            fmtI(r.replaced), fmtI(r.unmodelable),
+            r.decrypted ? "YES — LOCK BROKEN" : "no"});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  std::printf(
+      "Shape: the skew-based attack breaks SARLock/Anti-SAT only; the\n"
+      "enhanced attack breaks visible GKs (the paper's argument for the\n"
+      "withholding combination), and withholding closes that hole.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark) for the two performance-critical
+// substrates: the CDCL SAT solver and the event-driven simulator.  These
+// guard the wall-clock budget of the attack evaluation — bench_sat_attack
+// runs dozens of miter solves over 10k-gate circuits.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+void BM_SolverPigeonHole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> p(
+        static_cast<std::size_t>(holes + 1),
+        std::vector<sat::Var>(static_cast<std::size_t>(holes)));
+    for (auto& row : p)
+      for (auto& v : row) v = s.newVar();
+    for (auto& row : p) {
+      std::vector<sat::Lit> cl;
+      for (auto v : row) cl.push_back(sat::mkLit(v));
+      s.addClause(cl);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int i = 0; i <= holes; ++i)
+        for (int j = i + 1; j <= holes; ++j)
+          s.addClause(sat::mkLit(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(h)], true),
+                      sat::mkLit(p[static_cast<std::size_t>(j)][static_cast<std::size_t>(h)], true));
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SolverPigeonHole)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_MiterEncodeAndSolve(benchmark::State& state) {
+  const Netlist nl = generateByName(state.range(0) == 0 ? "s1238" : "s5378");
+  const CombExtraction comb = extractCombinational(nl);
+  for (auto _ : state) {
+    sat::Solver s;
+    const auto v1 = sat::encodeNetlist(s, comb.netlist);
+    std::vector<sat::Var> pi;
+    for (NetId n : comb.netlist.inputs()) pi.push_back(v1[n]);
+    const auto v2 =
+        sat::encodeNetlist(s, comb.netlist, comb.netlist.inputs(), pi);
+    std::vector<sat::Var> diffs;
+    for (NetId po : comb.netlist.outputs())
+      diffs.push_back(sat::makeXor(s, v1[po], v2[po]));
+    s.addClause(sat::mkLit(sat::makeOrReduce(s, diffs)));
+    benchmark::DoNotOptimize(s.solve());  // UNSAT: identical copies
+  }
+}
+BENCHMARK(BM_MiterEncodeAndSolve)->Arg(0)->Arg(1);
+
+void BM_ZeroDelaySimStep(benchmark::State& state) {
+  const Netlist nl = generateByName("s5378");
+  SequentialSim sim(nl);
+  sim.reset();
+  Rng rng(1);
+  std::vector<Logic> in(nl.inputs().size());
+  for (auto _ : state) {
+    for (Logic& v : in) v = logicFromBool(rng.flip());
+    benchmark::DoNotOptimize(sim.step(in));
+  }
+}
+BENCHMARK(BM_ZeroDelaySimStep);
+
+void BM_EventSimCycle(benchmark::State& state) {
+  const Netlist nl = generateByName("s5378");
+  Rng rng(2);
+  for (auto _ : state) {
+    EventSimConfig cfg;
+    cfg.clockPeriod = ns(6);
+    cfg.simTime = 4 * ns(6);
+    EventSim sim(nl, cfg);
+    for (NetId pi : nl.inputs()) {
+      sim.setInitialInput(pi, logicFromBool(rng.flip()));
+      sim.drive(pi, ns(6) + 120, logicFromBool(rng.flip()));
+      sim.drive(pi, 2 * ns(6) + 120, logicFromBool(rng.flip()));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.totalEvents());
+  }
+}
+BENCHMARK(BM_EventSimCycle);
+
+}  // namespace
+}  // namespace gkll
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces the paper's Sec. VI scan/BIST discussion: with scan-chain
+// access an attacker can probe each GK-encrypted flop and resolve whether
+// it buffers or inverts at capture — unless hybrid XOR key gates make the
+// probed data value unpredictable.  Together with bench_sat_attack's
+// hybrid rows this closes the paper's mutual-protection loop:
+//   XOR keys shield GKs from scan probing;
+//   GKs shield XOR keys from the SAT attack.
+#include <cstdio>
+
+#include "attack/scan_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+
+  Table t("scan-chain probing of GK-encrypted flops (s1238, 4 GKs)");
+  t.header({"configuration", "resolved buffer", "resolved inverter",
+            "unresolved"});
+
+  const Netlist host = generateByName("s1238");
+  GkEncryptor enc(host);
+
+  for (int xorKeys : {0, 8, 16}) {
+    EncryptOptions opt;
+    opt.numGks = 4;
+    opt.hybridXorKeys = xorKeys;
+    const GkFlowResult locked = enc.encrypt(opt);
+    if (locked.insertions.size() < 4) continue;
+
+    const TimingOracle chip(locked.design.netlist, locked.clockArrival,
+                            locked.design.keyInputs,
+                            locked.design.correctKey, locked.clockPeriod,
+                            host.flops().size());
+    // The attacker knows the netlist but not the XOR key bits: every net
+    // in an XOR key's fanout cone is unpredictable.
+    const std::size_t gkBits = locked.insertions.size() * 2;
+    std::vector<NetId> unknown(
+        locked.design.keyInputs.begin() + static_cast<long>(gkBits),
+        locked.design.keyInputs.end());
+    const auto dep = markKeyDependent(locked.design.netlist, unknown);
+
+    const ScanAttackResult r =
+        scanAttack(locked.design.netlist, locked.insertions, dep, chip);
+    t.row({xorKeys == 0 ? "GK only (the conceded weakness)"
+                        : ("GK + " + std::to_string(xorKeys) + " XOR keys"),
+           fmtI(r.resolvedBuffers), fmtI(r.resolvedInverters),
+           fmtI(r.unresolved)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Shape: with no hybrid keys every GK is resolved (scan probing\n"
+      "works); as XOR keys blanket the data cones, probes become\n"
+      "inconclusive — and bench_sat_attack shows those XOR keys cannot be\n"
+      "SAT-attacked either, because the GKs poison the oracle constraints.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Table I: the number of available FFs for GK encryption.
+//
+// For every IWLS2005-shaped benchmark: synthesise (the circuits come out
+// of the generator already mapped), place & route, run STA at the
+// design's own minimum clock period, and count the flops whose timing
+// budget admits an on-glitch GK with a 1 ns glitch (the paper's strictest
+// scenario).  The last column is the size of the Karmakar-style [4]
+// same-PO-fanout group among the available flops.
+//
+// Paper reference values (Table I):
+//   s1238 16/88.89/4   s5378 104/63.80/89   s9234 74/51.03/59
+//   s13207 185/56.06/36   s15850 58/43.28/51   s38417 1037/66.30/920
+//   s38584 924/79.11/105   (average coverage 64.07%)
+#include <cstdio>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/ff_select.h"
+#include "flow/placement.h"
+#include "lock/glitch_keygate.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+
+  Table t("TABLE I — the number of available FFs for encryption (1 ns on-glitch GK)");
+  t.header({"Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]",
+            "paper Cov. (%)"});
+
+  const double paperCov[] = {88.89, 63.80, 51.03, 56.06, 43.28, 66.30, 79.11};
+  double covSum = 0;
+  int idx = 0;
+  for (const BenchSpec& spec : iwls2005Specs()) {
+    Netlist nl = generateBenchmark(spec);
+    const PlacementResult pr = placeAndRoute(nl, PlacementOptions{});
+
+    StaConfig cfg;
+    cfg.inputArrival = lib.clkToQ();
+    Sta probe(nl, cfg, lib);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+    cfg.clockPeriod = probe.minClockPeriod(100);
+
+    Sta sta(nl, cfg, lib);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+
+    GkParams proto;
+    proto.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
+    proto.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
+    const GkTiming gk = gkTiming(proto, lib);
+    const auto cands = analyzeFlops(nl, sta, gk, FfSelectOptions{ns(1), 150});
+    const std::size_t avail = countAvailable(cands);
+    const auto group = karmakarGroup(nl, cands);
+
+    const NetlistStats st = nl.stats(lib);
+    const double cov = 100.0 * static_cast<double>(avail) /
+                       static_cast<double>(st.numFFs);
+    covSum += cov;
+    t.row({spec.name, fmtI(static_cast<long long>(st.numCells)),
+           fmtI(static_cast<long long>(st.numFFs)),
+           fmtI(static_cast<long long>(avail)), fmtF(cov),
+           fmtI(static_cast<long long>(group.size())), fmtF(paperCov[idx])});
+    ++idx;
+  }
+  t.separator();
+  t.row({"Avg.", "", "", "", fmtF(covSum / 7.0), "", fmtF(64.07)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Shape check: coverage well above zero everywhere, broad\n"
+              "spread across circuits, average within a few points of the\n"
+              "paper's 64.07%%.\n");
+  return 0;
+}

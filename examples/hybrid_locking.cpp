@@ -1,0 +1,82 @@
+// The paper's closing argument (Sec. VI): GKs and conventional XOR key
+// gates protect each other.  This example builds the hybrid design and
+// demonstrates the full mutual-protection loop on one circuit:
+//
+//   - scan probing alone cannot resolve the GKs (XOR keys blind it),
+//   - the SAT attack cannot recover the XOR keys (GKs poison the oracle
+//     constraints),
+//   - and the hybrid costs far less area than spending the same key
+//     budget on GKs alone (Table II's last column).
+//
+//   $ ./example_hybrid_locking
+#include <cstdio>
+
+#include "attack/sat_attack.h"
+#include "attack/scan_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gkll;
+  const Netlist host = generateByName("s5378");
+  GkEncryptor enc(host);
+
+  // Same 32-bit key budget, two ways.
+  EncryptOptions pure;
+  pure.numGks = 16;  // 32 key inputs
+  EncryptOptions hybrid;
+  hybrid.numGks = 8;  // 16 GK bits...
+  hybrid.hybridXorKeys = 16;  // ...+ 16 XOR bits = 32
+
+  const GkFlowResult pureR = enc.encrypt(pure);
+  const GkFlowResult hybR = enc.encrypt(hybrid);
+
+  Table t("32 key-inputs on s5378, two allocations");
+  t.header({"configuration", "cell OH %", "area OH %", "verified"});
+  t.row({"16 GKs", fmtF(pureR.cellOverheadPct), fmtF(pureR.areaOverheadPct),
+         pureR.verify.ok() ? "yes" : "NO"});
+  t.row({"8 GKs + 16 XORs", fmtF(hybR.cellOverheadPct),
+         fmtF(hybR.areaOverheadPct), hybR.verify.ok() ? "yes" : "NO"});
+  std::printf("%s\n", t.render().c_str());
+
+  // --- mutual protection, attack by attack ---------------------------------
+  // (1) SAT attack on the hybrid.
+  const auto surf = enc.attackSurface(hybR);
+  std::vector<NetId> allKeys = surf.gkKeys;
+  allKeys.insert(allKeys.end(), surf.otherKeys.begin(), surf.otherKeys.end());
+  const SatAttackResult sat = satAttack(surf.comb, allKeys, surf.oracleComb);
+  std::printf("SAT attack on the hybrid: %s after %d DIP(s)%s\n",
+              sat.decrypted ? "DECRYPTED (!)" : "aborted",
+              sat.dips,
+              sat.keyConstraintsUnsat
+                  ? " — no key can explain the chip (GKs poison the "
+                    "constraints), so the XOR keys stay safe"
+                  : "");
+
+  // (2) Scan probing of the hybrid's GKs.
+  const TimingOracle chip(hybR.design.netlist, hybR.clockArrival,
+                          hybR.design.keyInputs, hybR.design.correctKey,
+                          hybR.clockPeriod, host.flops().size());
+  const std::size_t gkBits = hybR.insertions.size() * 2;
+  const std::vector<NetId> unknown(
+      hybR.design.keyInputs.begin() + static_cast<long>(gkBits),
+      hybR.design.keyInputs.end());
+  const auto dep = markKeyDependent(hybR.design.netlist, unknown);
+  const ScanAttackResult scan =
+      scanAttack(hybR.design.netlist, hybR.insertions, dep, chip);
+  std::printf("scan probing of the hybrid's GKs: %d resolved, %d blinded by "
+              "the XOR keys\n",
+              scan.resolvedBuffers + scan.resolvedInverters, scan.unresolved);
+
+  // (3) Wrong keys still corrupt hard.
+  const CorruptionReport c = enc.measureCorruption(hybR, 8);
+  std::printf("wrong keys: %d/%d trials corrupted "
+              "(avg %.1f state mismatches per 21 cycles)\n",
+              c.corruptedTrials, c.trials, c.avgStateMismatches);
+
+  std::printf("\nThe loop closes: XOR keys blind the scan probes, GKs kill\n"
+              "the SAT attack, and the hybrid pays ~half the area of the\n"
+              "all-GK allocation — the paper's Table II economics.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// The attacker's-eye view: lock one benchmark with four schemes and run
+// the matching attack against each, printing who survives.
+//
+//   $ ./example_lock_and_attack [circuit]       (default: s1238)
+#include <cstdio>
+#include <string>
+
+#include "attack/removal_attack.h"
+#include "attack/sensitization.h"
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/antisat.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gkll;
+  const std::string name = argc > 1 ? argv[1] : "s1238";
+  const Netlist host = generateByName(name);
+  const CombExtraction oracle = extractCombinational(host);
+  std::printf("host %s: %zu cells, %zu flops, %zu POs\n\n", name.c_str(),
+              host.stats().numCells, host.stats().numFFs,
+              host.outputs().size());
+
+  Table t("scheme vs attack outcome");
+  t.header({"scheme", "SAT attack", "removal attack", "sensitization"});
+
+  RemovalAttackOptions ropt;
+  ropt.skewThreshold = 0.02;  // toy-scale keys; see attack/removal_attack.h
+
+  auto runBoth = [&](const char* label, const Netlist& lockedSeq,
+                     const std::vector<NetId>& keyNets) {
+    const CombExtraction comb = extractCombinational(lockedSeq);
+    std::vector<NetId> keys;
+    for (NetId k : keyNets) keys.push_back(comb.netMap[k]);
+    const SatAttackResult sat = satAttack(comb.netlist, keys, oracle.netlist);
+    const RemovalAttackResult rem =
+        removalAttack(comb.netlist, keys, oracle.netlist, ropt);
+    const SensitizationResult sen =
+        sensitizationAttack(comb.netlist, keys, oracle.netlist);
+    t.row({label,
+           sat.decrypted
+               ? ("BROKEN in " + std::to_string(sat.dips) + " DIPs")
+               : (sat.unsatAtFirstIteration ? "defeated (UNSAT at iter 1)"
+                                            : "defeated"),
+           rem.restoredFunction ? "BROKEN (block bypassed)" : "defeated",
+           std::to_string(sen.resolvedBits) + "/" +
+               std::to_string(sen.recoveredKey.size()) + " bits read"});
+  };
+
+  {
+    const LockedDesign ld = xorLock(host, XorLockOptions{8, 1});
+    runBoth("XOR/XNOR [9], 8 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    const LockedDesign ld = sarLock(host, SarLockOptions{8, 2});
+    runBoth("SARLock [14], 8 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    const LockedDesign ld = antiSatLock(host, AntiSatOptions{8, 3});
+    runBoth("Anti-SAT [13], 16 keys", ld.netlist, ld.keyInputs);
+  }
+  {
+    GkEncryptor enc(host);
+    EncryptOptions opt;
+    opt.numGks = 4;
+    const GkFlowResult locked = enc.encrypt(opt);
+    const auto surf = enc.attackSurface(locked);
+    const SatAttackResult sat =
+        satAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+    const RemovalAttackResult rem =
+        removalAttack(surf.comb, surf.gkKeys, surf.oracleComb, ropt);
+    const SensitizationResult sen =
+        sensitizationAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+    t.row({"GK (this paper), 4 GKs",
+           sat.decrypted ? "BROKEN"
+                         : (sat.unsatAtFirstIteration
+                                ? "defeated (UNSAT at iter 1)"
+                                : "defeated"),
+           rem.restoredFunction ? "BROKEN" : "defeated",
+           std::to_string(sen.resolvedBits) + "/" +
+               std::to_string(sen.recoveredKey.size()) + " bits read"});
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Every scheme falls to one of the two classic attacks except\n"
+              "the glitch key-gate, which no static model can express.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "attack/appsat.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "attack/oracle.h"
+#include "lock/locking.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+using sat::Lit;
+using sat::mkLit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+AppSatResult appSatAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb, const AppSatOptions& opt) {
+  AppSatResult res;
+  assert(lockedComb.flops().empty());
+
+  std::vector<NetId> dataPIs;
+  for (NetId pi : lockedComb.inputs()) {
+    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
+      dataPIs.push_back(pi);
+  }
+  assert(dataPIs.size() == oracleComb.inputs().size());
+
+  // Input-slot bookkeeping for simulating the locked core under a key.
+  std::vector<int> slotOf(lockedComb.numNets(), -1);
+  for (std::size_t i = 0; i < lockedComb.inputs().size(); ++i)
+    slotOf[lockedComb.inputs()[i]] = static_cast<int>(i);
+
+  CombOracle oracle(oracleComb);
+  Rng rng(opt.seed);
+
+  Solver s;
+  s.setConflictBudget(opt.conflictBudget);
+  const std::vector<Var> v1 = encodeNetlist(s, lockedComb);
+  std::vector<Var> piVars;
+  for (NetId n : dataPIs) piVars.push_back(v1[n]);
+  const std::vector<Var> v2 = encodeNetlist(s, lockedComb, dataPIs, piVars);
+  std::vector<Var> diffs;
+  for (NetId po : lockedComb.outputs())
+    diffs.push_back(sat::makeXor(s, v1[po], v2[po]));
+  s.addClause(mkLit(sat::makeOrReduce(s, diffs)));
+
+  Solver ks;
+  ks.setConflictBudget(opt.conflictBudget);
+  std::vector<Var> kVars;
+  for (std::size_t i = 0; i < keyInputs.size(); ++i) kVars.push_back(ks.newVar());
+
+  std::vector<Var> k1, k2;
+  for (NetId kn : keyInputs) k1.push_back(v1[kn]);
+  for (NetId kn : keyInputs) k2.push_back(v2[kn]);
+
+  // Pin one circuit copy to (X, Y) in `solver`, keys bound to `keyVars`.
+  auto pinCopy = [&](Solver& solver, const std::vector<Var>& keyVars,
+                     const std::vector<Logic>& x, const std::vector<Logic>& y) {
+    std::vector<NetId> b = dataPIs;
+    std::vector<Var> bv;
+    for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+      const Var c = solver.newVar();
+      solver.addClause(mkLit(c, x[i] != Logic::T));
+      bv.push_back(c);
+    }
+    for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+      b.push_back(keyInputs[i]);
+      bv.push_back(keyVars[i]);
+    }
+    const std::vector<Var> vc = encodeNetlist(solver, lockedComb, b, bv);
+    for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
+      solver.addClause(mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));
+  };
+  auto constrainAll = [&](const std::vector<Logic>& x,
+                          const std::vector<Logic>& y) {
+    pinCopy(s, k1, x, y);
+    pinCopy(s, k2, x, y);
+    pinCopy(ks, kVars, x, y);
+  };
+
+  // Simulate the locked core under a concrete key.
+  auto lockedOutputs = [&](const std::vector<Logic>& x,
+                           const std::vector<int>& key) {
+    std::vector<Logic> in(lockedComb.inputs().size(), Logic::F);
+    for (std::size_t i = 0; i < dataPIs.size(); ++i)
+      in[static_cast<std::size_t>(slotOf[dataPIs[i]])] = x[i];
+    for (std::size_t i = 0; i < keyInputs.size(); ++i)
+      in[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
+          logicFromBool(key[i] != 0);
+    return outputValues(lockedComb, evalCombinational(lockedComb, in));
+  };
+  auto randomPattern = [&] {
+    std::vector<Logic> x(dataPIs.size());
+    for (Logic& v : x) v = logicFromBool(rng.flip());
+    return x;
+  };
+  auto measureError = [&](const std::vector<int>& key, int queries) {
+    int fails = 0;
+    for (int q = 0; q < queries; ++q) {
+      const std::vector<Logic> x = randomPattern();
+      if (lockedOutputs(x, key) != oracle.query(x)) ++fails;
+    }
+    return static_cast<double>(fails) / queries;
+  };
+  auto currentKey = [&]() -> std::vector<int> {
+    std::vector<int> key;
+    key.reserve(kVars.size());
+    for (Var v : kVars) key.push_back(ks.modelValue(v) ? 1 : 0);
+    return key;
+  };
+
+  for (int it = 0; it < opt.maxIterations; ++it) {
+    const Result miter = s.solve();
+    if (miter != Result::kSat) break;  // UNSAT (converged) or budget out
+    ++res.dips;
+    std::vector<Logic> dip;
+    for (NetId n : dataPIs) dip.push_back(logicFromBool(s.modelValue(v1[n])));
+    constrainAll(dip, oracle.query(dip));
+    if (ks.solve() == Result::kUnsat) {
+      res.keyConstraintsUnsat = true;
+      return res;
+    }
+
+    if (res.dips % opt.reconcileEvery != 0) continue;
+    ++res.reconciliations;
+    const std::vector<int> key = currentKey();
+    // Random-query reconciliation: count disagreements, feed them back.
+    int fails = 0;
+    for (int q = 0; q < opt.randomQueries; ++q) {
+      const std::vector<Logic> x = randomPattern();
+      const std::vector<Logic> want = oracle.query(x);
+      if (lockedOutputs(x, key) != want) {
+        ++fails;
+        constrainAll(x, want);
+      }
+    }
+    const double err = static_cast<double>(fails) / opt.randomQueries;
+    if (err <= opt.errorThreshold) {
+      res.succeeded = true;
+      res.approximateKey = key;
+      break;
+    }
+    if (ks.solve() == Result::kUnsat) {
+      res.keyConstraintsUnsat = true;
+      return res;
+    }
+  }
+
+  // Converged without early exit: take any remaining consistent key.
+  if (!res.succeeded) {
+    if (ks.solve() != Result::kSat) {
+      res.keyConstraintsUnsat = true;
+      return res;
+    }
+    const std::vector<int> key = currentKey();
+    const double err = measureError(key, opt.randomQueries);
+    if (err <= opt.errorThreshold) {
+      res.succeeded = true;
+      res.approximateKey = key;
+    }
+  }
+
+  if (res.succeeded) {
+    res.errorRate = measureError(res.approximateKey, 256);
+    const Netlist unlocked =
+        applyKey(lockedComb, keyInputs, res.approximateKey);
+    res.exactlyCorrect =
+        sat::checkEquivalence(unlocked, oracleComb).equivalent;
+  }
+  return res;
+}
+
+}  // namespace gkll

@@ -1,0 +1,52 @@
+// AppSAT — approximate SAT-based deobfuscation (Shamsi et al., HOST'17
+// [10]), the attack the paper credits with cracking the SAT-resistant
+// point-function schemes.
+//
+// Idea: run the ordinary DIP loop, but every `reconcileEvery` iterations
+// draw `randomQueries` random input patterns, compare the current
+// candidate key's circuit against the oracle, add the failing patterns
+// as constraints, and *stop early* once the observed error rate drops
+// below `errorThreshold`.  Against SARLock/Anti-SAT this converges
+// almost immediately to an approximate key whose only residual errors
+// are the point-function patterns — "approximately deobfuscated", which
+// defeats those schemes' exponential-DIP defence.  Against a GK-locked
+// design the very first reconciliation shows the candidate is wrong on
+// roughly every pattern that exercises a GK'd flop, no key ever scores
+// below the threshold, and the attack exits empty-handed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace gkll {
+
+struct AppSatOptions {
+  int maxIterations = 4096;
+  int reconcileEvery = 2;     ///< DIPs between random-query reconciliations
+  int randomQueries = 64;     ///< patterns per reconciliation
+  double errorThreshold = 0.02;  ///< accept keys with error rate below this
+  std::uint64_t seed = 71;
+  std::uint64_t conflictBudget = 0;  ///< per solver call; 0 = unlimited
+};
+
+struct AppSatResult {
+  bool succeeded = false;  ///< found a key under the error threshold
+  std::vector<int> approximateKey;
+  double errorRate = 1.0;  ///< measured on fresh random patterns
+  int dips = 0;
+  int reconciliations = 0;
+  bool exactlyCorrect = false;  ///< the approximate key is SAT-equivalent
+  bool keyConstraintsUnsat = false;  ///< no key fits the observations (GK)
+};
+
+/// Run AppSAT on a combinational locked core against the oracle circuit
+/// (interfaces as in satAttack).
+AppSatResult appSatAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb,
+                          const AppSatOptions& opt = {});
+
+}  // namespace gkll

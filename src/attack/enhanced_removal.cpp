@@ -1,0 +1,123 @@
+#include "attack/enhanced_removal.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+/// Walk upwards through unary cells (buffers, inverters, ideal delays) to
+/// the root net of a delay chain.
+NetId traceUnaryRoot(const Netlist& nl, NetId n) {
+  for (;;) {
+    const GateId d = nl.net(n).driver;
+    if (d == kNoGate) return n;
+    const Gate& gg = nl.gate(d);
+    if (!isUnaryKind(gg.kind)) return n;
+    n = gg.fanin[0];
+  }
+}
+
+}  // namespace
+
+std::vector<GkCandidate> locateGks(const Netlist& comb) {
+  std::vector<GkCandidate> out;
+  for (GateId g = 0; g < comb.numGates(); ++g) {
+    const Gate& mux = comb.gate(g);
+    if (mux.kind != CellKind::kMux2) continue;
+    const NetId sel = mux.fanin[0];
+    const GateId dUp = comb.net(mux.fanin[1]).driver;
+    const GateId dLo = comb.net(mux.fanin[2]).driver;
+    if (dUp == kNoGate || dLo == kNoGate) continue;
+    const Gate& up = comb.gate(dUp);
+    const Gate& lo = comb.gate(dLo);
+
+    const NetId selRoot = traceUnaryRoot(comb, sel);
+
+    // Withheld variant: both data pins driven by opaque LUTs whose last
+    // fanin chains back to the same root as the select.
+    if (up.kind == CellKind::kLut && lo.kind == CellKind::kLut) {
+      const NetId ra = traceUnaryRoot(comb, up.fanin.back());
+      const NetId rb = traceUnaryRoot(comb, lo.fanin.back());
+      if (ra == selRoot && rb == selRoot) {
+        GkCandidate c;
+        c.mux = g;
+        c.keySource = selRoot;
+        c.withheld = true;
+        out.push_back(c);
+      }
+      continue;
+    }
+
+    // Visible variant: XOR + XNOR sharing one fanin.
+    const bool kindsMatch =
+        (up.kind == CellKind::kXor2 && lo.kind == CellKind::kXnor2) ||
+        (up.kind == CellKind::kXnor2 && lo.kind == CellKind::kXor2);
+    if (!kindsMatch) continue;
+    NetId shared = kNoNet;
+    NetId tapUp = kNoNet, tapLo = kNoNet;
+    for (NetId a : up.fanin) {
+      for (NetId b : lo.fanin) {
+        if (a == b) {
+          shared = a;
+          tapUp = up.fanin[0] == a ? up.fanin[1] : up.fanin[0];
+          tapLo = lo.fanin[0] == b ? lo.fanin[1] : lo.fanin[0];
+        }
+      }
+    }
+    if (shared == kNoNet) continue;
+    if (traceUnaryRoot(comb, tapUp) != selRoot ||
+        traceUnaryRoot(comb, tapLo) != selRoot)
+      continue;
+
+    GkCandidate c;
+    c.mux = g;
+    c.x = shared;
+    c.keySource = selRoot;
+    out.push_back(c);
+  }
+  return out;
+}
+
+EnhancedRemovalResult enhancedRemovalAttack(
+    const Netlist& lockedComb, const std::vector<NetId>& gkKeyInputs,
+    const std::vector<NetId>& otherKeyInputs, const Netlist& oracleComb,
+    const SatAttackOptions& satOpt) {
+  EnhancedRemovalResult res;
+  res.candidates = locateGks(lockedComb);
+
+  std::vector<NetId> netMap;
+  res.rewritten = cloneNetlist(lockedComb, netMap);
+  Netlist& nl = res.rewritten;
+
+  int idx = 0;
+  for (const GkCandidate& c : res.candidates) {
+    if (c.withheld) {
+      ++res.unmodelable;
+      continue;
+    }
+    // Model the GK as a conventional XOR key gate: at capture time it is
+    // either a buffer or an inverter.
+    const NetId outNet = netMap[lockedComb.gate(c.mux).out];
+    const GateId mux = nl.net(outNet).driver;
+    nl.removeGate(mux);
+    const NetId nk = nl.addPI("keyin_er" + std::to_string(idx++));
+    nl.addGate(CellKind::kXor2, {netMap[c.x], nk}, outNet);
+    res.newKeyInputs.push_back(nk);
+    ++res.replaced;
+  }
+  if (res.replaced == 0) return res;
+
+  // SAT stage: every original key input plus the fresh model keys.
+  std::vector<NetId> keys;
+  for (NetId k : gkKeyInputs) keys.push_back(netMap[k]);
+  for (NetId k : otherKeyInputs) keys.push_back(netMap[k]);
+  keys.insert(keys.end(), res.newKeyInputs.begin(), res.newKeyInputs.end());
+  res.sat = satAttack(nl, keys, oracleComb, satOpt);
+  res.decrypted = res.sat.decrypted;
+  return res;
+}
+
+}  // namespace gkll

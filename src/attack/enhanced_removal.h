@@ -1,0 +1,56 @@
+// Enhanced removal attack (paper Sec. V-D): combine structural
+// localisation with SAT.
+//
+//   1. Locate candidate GKs by their structural fingerprint: a MUX whose
+//      two data pins are driven by an XOR and an XNOR sharing one fanin
+//      (the encrypted net x), the other fanins and the MUX select all
+//      tracing back through unary delay chains to one key source.
+//   2. Replace each located GK with a conventional XOR key gate — the
+//      candidate behaviours of a GK at capture time are exactly
+//      {buffer, inverter}, so an XOR with a fresh key bit models them.
+//   3. Run the SAT attack on the rewritten netlist.
+//
+// Against naked GKs this attack *succeeds* (which is the paper's point:
+// the structure must be hidden); with the withholding defence of Sec. V-D
+// the XOR/XNOR pair is gone — the MUX data pins come from opaque LUTs —
+// and step 1 finds nothing it can model.
+#pragma once
+
+#include <vector>
+
+#include "attack/sat_attack.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// One structurally located GK candidate.
+struct GkCandidate {
+  GateId mux = kNoGate;
+  NetId x = kNoNet;       ///< the shared (encrypted) data net
+  NetId keySource = kNoNet;  ///< root of the delay chains / MUX select
+  bool withheld = false;  ///< data pins are LUTs: located but unmodelable
+};
+
+/// Structural scan for GK fingerprints.
+std::vector<GkCandidate> locateGks(const Netlist& comb);
+
+struct EnhancedRemovalResult {
+  std::vector<GkCandidate> candidates;
+  int replaced = 0;   ///< GKs modelled as XOR key gates
+  int unmodelable = 0;  ///< withheld candidates that could not be replaced
+  Netlist rewritten;  ///< netlist after replacement (valid when replaced > 0)
+  std::vector<NetId> newKeyInputs;  ///< fresh key bits of the XOR models
+  SatAttackResult sat;  ///< the follow-up SAT attack (when replaced > 0)
+  bool decrypted = false;
+};
+
+/// Run the full pipeline on a combinational locked core whose GK keys were
+/// already exposed (stripKeygens).  `gkKeyInputs` are those exposed nets;
+/// `otherKeyInputs` (e.g. hybrid XOR keys) stay as ordinary key inputs for
+/// the SAT stage.
+EnhancedRemovalResult enhancedRemovalAttack(
+    const Netlist& lockedComb, const std::vector<NetId>& gkKeyInputs,
+    const std::vector<NetId>& otherKeyInputs, const Netlist& oracleComb,
+    const SatAttackOptions& satOpt = {});
+
+}  // namespace gkll

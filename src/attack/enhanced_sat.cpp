@@ -1,0 +1,131 @@
+#include "attack/enhanced_sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+using sat::mkLit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+struct Sample {
+  std::vector<Logic> pis;
+  std::vector<Logic> state;
+  TimingOracle::Capture cap;
+};
+
+/// Encode one chip probe into `solver`: a copy of the locked core with the
+/// probe's inputs pinned and the key nets bound to `keyVars`.  When
+/// `onlyOutput` >= 0 only that output's observation is asserted (used for
+/// the per-bit explainability analysis); X observations are skipped.
+void encodeSample(Solver& solver, const Netlist& comb,
+                  const std::vector<NetId>& dataPIs,
+                  const std::vector<NetId>& keyInputs,
+                  const std::vector<Var>& keyVars, const Sample& smp,
+                  const std::vector<Logic>& observed, int onlyOutput) {
+  std::vector<NetId> bound;
+  std::vector<Var> boundVars;
+  std::size_t di = 0;
+  auto pin = [&](NetId n, Logic v) {
+    const Var c = solver.newVar();
+    solver.addClause(mkLit(c, v != Logic::T));
+    bound.push_back(n);
+    boundVars.push_back(c);
+  };
+  for (Logic v : smp.pis) pin(dataPIs[di++], v);
+  for (Logic v : smp.state) pin(dataPIs[di++], v);
+  for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+    bound.push_back(keyInputs[i]);
+    boundVars.push_back(keyVars[i]);
+  }
+  const std::vector<Var> vc = encodeNetlist(solver, comb, bound, boundVars);
+  for (std::size_t o = 0; o < comb.outputs().size(); ++o) {
+    if (onlyOutput >= 0 && static_cast<std::size_t>(onlyOutput) != o) continue;
+    if (observed[o] == Logic::X) continue;  // violation: no observation
+    solver.addClause(mkLit(vc[comb.outputs()[o]], observed[o] != Logic::T));
+  }
+}
+
+}  // namespace
+
+EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
+                                    const std::vector<NetId>& keyInputs,
+                                    const TimingOracle& chip,
+                                    const EnhancedSatOptions& opt) {
+  EnhancedSatResult res;
+  assert(lockedComb.flops().empty());
+
+  // Data inputs: everything that is not a key, in inputs() order — first
+  // the original PIs, then the pseudo (state) PIs.
+  std::vector<NetId> dataPIs;
+  for (NetId pi : lockedComb.inputs()) {
+    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
+      dataPIs.push_back(pi);
+  }
+  const std::size_t numPIs = chip.numDataPIs();
+  const std::size_t numState = chip.numSharedFlops();
+  assert(dataPIs.size() == numPIs + numState);
+
+  // Probe the chip.
+  Rng rng(opt.seed);
+  std::vector<Sample> samples;
+  for (int s = 0; s < opt.samples; ++s) {
+    Sample smp;
+    smp.pis.resize(numPIs);
+    smp.state.resize(numState);
+    for (Logic& v : smp.pis) v = logicFromBool(rng.flip());
+    for (Logic& v : smp.state) v = logicFromBool(rng.flip());
+    smp.cap = chip.query(smp.pis, smp.state);
+    samples.push_back(std::move(smp));
+  }
+  res.samplesUsed = opt.samples;
+
+  auto observedOf = [&](const Sample& smp) {
+    std::vector<Logic> obs = smp.cap.poValues;
+    obs.insert(obs.end(), smp.cap.captured.begin(), smp.cap.captured.end());
+    assert(obs.size() == lockedComb.outputs().size());
+    return obs;
+  };
+
+  // Main question: is there any constant key under which the stable-value
+  // timed model reproduces every observation?
+  {
+    Solver s;
+    std::vector<Var> keyVars;
+    for (std::size_t i = 0; i < keyInputs.size(); ++i) keyVars.push_back(s.newVar());
+    for (const Sample& smp : samples)
+      encodeSample(s, lockedComb, dataPIs, keyInputs, keyVars, smp,
+                   observedOf(smp), -1);
+    if (s.solve() == Result::kSat) {
+      res.modelConsistent = true;
+      for (std::size_t i = 0; i < keyInputs.size(); ++i)
+        res.recoveredKey.push_back(s.modelValue(keyVars[i]) ? 1 : 0);
+      return res;
+    }
+  }
+
+  // Per-output explainability: which capture bits no key can account for
+  // (these are the glitch-transmitted values).  Bounded for large designs.
+  if (lockedComb.outputs().size() <= 512) {
+    for (std::size_t o = 0; o < lockedComb.outputs().size(); ++o) {
+      Solver s;
+      std::vector<Var> keyVars;
+      for (std::size_t i = 0; i < keyInputs.size(); ++i)
+        keyVars.push_back(s.newVar());
+      for (const Sample& smp : samples)
+        encodeSample(s, lockedComb, dataPIs, keyInputs, keyVars, smp,
+                     observedOf(smp), static_cast<int>(o));
+      if (s.solve() == Result::kUnsat) ++res.inexplicableBits;
+    }
+  }
+  return res;
+}
+
+}  // namespace gkll

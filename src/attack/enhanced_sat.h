@@ -1,0 +1,47 @@
+// Enhanced (timing-aware) SAT attack, after Ho et al.'s Timed
+// Characteristic Functions [3] — paper Sec. V-B.
+//
+// TCF extends CNF with timing: every net carries its *stable* value plus
+// arrival-time reasoning, which suffices to generate two-pattern tests for
+// delay defects (and would crack pure delay locking like the TDK's delay
+// key).  What TCF cannot express is the value carried *on a glitch*: a
+// glitch is a momentary level between transitions; the characteristic
+// function only constrains values once stable.  This module implements
+// the stable-value timed model and demonstrates the gap operationally:
+// it asks a SAT solver for any constant key under which the timed model
+// reproduces the chip's (timing-oracle) captures — for GK-locked designs
+// the answer is UNSAT with a handful of samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/oracle.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct EnhancedSatOptions {
+  int samples = 16;        ///< random (PI, state) probes of the chip
+  std::uint64_t seed = 23;
+};
+
+struct EnhancedSatResult {
+  bool modelConsistent = false;  ///< a key exists explaining all captures
+  int samplesUsed = 0;
+  std::vector<int> recoveredKey;  ///< when consistent
+  /// Number of capture bits where the timed model could not possibly match
+  /// the chip under any key (glitch-carried values).
+  int inexplicableBits = 0;
+};
+
+/// Attack a combinational locked core `lockedComb` (key nets exposed)
+/// against the physical chip `chip` (timing oracle, correct key inside).
+/// The locked core's pseudo-POs must be ordered original-POs first, then
+/// one per shared flop — the extractCombinational convention.
+EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
+                                    const std::vector<NetId>& keyInputs,
+                                    const TimingOracle& chip,
+                                    const EnhancedSatOptions& opt = {});
+
+}  // namespace gkll

@@ -1,0 +1,82 @@
+#include "attack/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "netlist/cell_library.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+
+namespace gkll {
+
+CombOracle::CombOracle(const Netlist& comb) : comb_(comb) {
+  assert(comb.flops().empty() && "CombOracle wants a combinational netlist");
+}
+
+std::vector<Logic> CombOracle::query(const std::vector<Logic>& inputs) const {
+  ++queries_;
+  const std::vector<Logic> nets = evalCombinational(comb_, inputs);
+  return outputValues(comb_, nets);
+}
+
+TimingOracle::TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,
+                           std::vector<NetId> keyInputs,
+                           std::vector<int> keyValues, Ps clockPeriod,
+                           std::size_t numSharedFlops)
+    : locked_(locked),
+      clockArrival_(std::move(clockArrival)),
+      keyInputs_(std::move(keyInputs)),
+      keyValues_(std::move(keyValues)),
+      clockPeriod_(clockPeriod),
+      numShared_(numSharedFlops) {
+  assert(clockArrival_.size() == locked_.flops().size());
+  assert(keyInputs_.size() == keyValues_.size());
+  // Data PIs = every primary input that is not a key input.
+  for (NetId pi : locked_.inputs()) {
+    if (std::find(keyInputs_.begin(), keyInputs_.end(), pi) ==
+        keyInputs_.end())
+      dataPIs_.push_back(pi);
+  }
+}
+
+TimingOracle::Capture TimingOracle::query(
+    const std::vector<Logic>& piValues, const std::vector<Logic>& state) const {
+  ++queries_;
+  assert(piValues.size() == dataPIs_.size());
+  assert(state.size() == numShared_);
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+
+  // The shared (functional) flops hold their scanned state through edge 1
+  // while the KEYGEN flops toggle normally; the single observed functional
+  // capture is edge 2, whose GK glitches were triggered by the edge-1
+  // KEYGEN toggle — matching a real scan sequence, where shift pulses keep
+  // the KEYGEN toggling right up to the capture pulse.
+  EventSimConfig cfg;
+  cfg.clockPeriod = clockPeriod_;
+  cfg.simTime = 3 * clockPeriod_;
+  EventSim sim(locked_, cfg, lib);
+  for (std::size_t i = 0; i < locked_.flops().size(); ++i)
+    sim.setClockArrival(locked_.flops()[i], clockArrival_[i]);
+  for (std::size_t i = 0; i < numShared_; ++i)
+    sim.setCaptureStart(locked_.flops()[i], 2);
+  for (std::size_t i = 0; i < keyInputs_.size(); ++i)
+    sim.setInitialInput(keyInputs_[i], logicFromBool(keyValues_[i] != 0));
+  for (std::size_t i = 0; i < dataPIs_.size(); ++i)
+    sim.setInitialInput(dataPIs_[i], piValues[i]);
+  for (std::size_t i = 0; i < numShared_; ++i)
+    sim.setInitialState(locked_.flops()[i], state[i]);
+  sim.run();
+
+  Capture cap;
+  for (NetId po : locked_.outputs())
+    cap.poValues.push_back(sim.valueAt(po, 2 * clockPeriod_));
+  for (std::size_t i = 0; i < numShared_; ++i) {
+    const NetId q = locked_.gate(locked_.flops()[i]).out;
+    cap.captured.push_back(sim.valueAt(
+        q, 2 * clockPeriod_ + clockArrival_[i] + lib.clkToQ() + 20));
+  }
+  cap.violations = static_cast<int>(sim.violations().size());
+  return cap;
+}
+
+}  // namespace gkll

@@ -1,0 +1,73 @@
+// Attack oracles — the "functionally correct chip" of the SAT-attack
+// threat model.
+//
+// CombOracle is the standard zero-delay functional oracle over the
+// combinational core (the attacker scans a state in, clocks once, scans
+// out).  TimingOracle is the physically faithful version backed by the
+// event-driven simulator: it returns what the flops of the *locked* chip
+// (running with the correct key, KEYGENs alive) actually capture,
+// glitches, violations and all.  The gap between the two on GK-encrypted
+// flops is precisely the paper's security argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+/// Zero-delay functional oracle over a combinational netlist.
+class CombOracle {
+ public:
+  explicit CombOracle(const Netlist& comb);
+
+  /// inputs in comb.inputs() order; returns values in comb.outputs() order.
+  std::vector<Logic> query(const std::vector<Logic>& inputs) const;
+
+  std::uint64_t numQueries() const { return queries_; }
+
+ private:
+  const Netlist& comb_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+/// Timing-accurate oracle over a *sequential locked* netlist driven with a
+/// fixed key.  A query sets the primary inputs and the shared flop states,
+/// runs one clock cycle of event simulation and reports what each shared
+/// flop captured (X on a setup/hold violation) and the settled PO values.
+class TimingOracle {
+ public:
+  TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,
+               std::vector<NetId> keyInputs, std::vector<int> keyValues,
+               Ps clockPeriod, std::size_t numSharedFlops);
+
+  struct Capture {
+    std::vector<Logic> poValues;  ///< settled just before the capture edge
+    std::vector<Logic> captured;  ///< per shared flop; X on violation
+    int violations = 0;
+  };
+
+  /// `piValues` in original-PI order (locked PIs minus key inputs);
+  /// `state` per shared flop.
+  Capture query(const std::vector<Logic>& piValues,
+                const std::vector<Logic>& state) const;
+
+  std::uint64_t numQueries() const { return queries_; }
+  std::size_t numSharedFlops() const { return numShared_; }
+  std::size_t numDataPIs() const { return dataPIs_.size(); }
+
+ private:
+  const Netlist& locked_;
+  std::vector<Ps> clockArrival_;
+  std::vector<NetId> keyInputs_;
+  std::vector<int> keyValues_;
+  std::vector<NetId> dataPIs_;
+  Ps clockPeriod_;
+  std::size_t numShared_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace gkll

@@ -1,0 +1,129 @@
+#include "attack/removal_attack.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lock/locking.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+std::vector<double> estimateSignalProbabilities(const Netlist& comb,
+                                                int samples,
+                                                std::uint64_t seed) {
+  assert(comb.flops().empty());
+  Rng rng(seed);
+  std::vector<std::uint32_t> ones(comb.numNets(), 0);
+  std::vector<Logic> inputs(comb.inputs().size());
+  for (int s = 0; s < samples; ++s) {
+    for (Logic& v : inputs) v = logicFromBool(rng.flip());
+    const std::vector<Logic> nets = evalCombinational(comb, inputs);
+    for (NetId n = 0; n < comb.numNets(); ++n)
+      if (nets[n] == Logic::T) ++ones[n];
+  }
+  std::vector<double> prob(comb.numNets());
+  for (NetId n = 0; n < comb.numNets(); ++n)
+    prob[n] = static_cast<double>(ones[n]) / static_cast<double>(samples);
+  return prob;
+}
+
+namespace {
+
+/// Nets in the transitive fanout of any key input.
+std::vector<bool> keyFanoutCone(const Netlist& nl,
+                                const std::vector<NetId>& keyInputs) {
+  std::vector<bool> inCone(nl.numNets(), false);
+  std::vector<NetId> stack(keyInputs.begin(), keyInputs.end());
+  for (NetId n : keyInputs) inCone[n] = true;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    for (GateId g : nl.net(n).fanouts) {
+      const Gate& gg = nl.gate(g);
+      if (gg.out == kNoNet || gg.kind == CellKind::kDff) continue;
+      if (!inCone[gg.out]) {
+        inCone[gg.out] = true;
+        stack.push_back(gg.out);
+      }
+    }
+  }
+  return inCone;
+}
+
+}  // namespace
+
+RemovalAttackResult removalAttack(const Netlist& lockedComb,
+                                  const std::vector<NetId>& keyInputs,
+                                  const Netlist& oracleComb,
+                                  const RemovalAttackOptions& opt) {
+  RemovalAttackResult res;
+  const std::vector<double> prob =
+      estimateSignalProbabilities(lockedComb, opt.samples, opt.seed);
+  const std::vector<bool> inCone = keyFanoutCone(lockedComb, keyInputs);
+
+  // Collect key-dependent, extremely skewed nets.
+  for (NetId n = 0; n < lockedComb.numNets(); ++n) {
+    if (!inCone[n]) continue;
+    if (prob[n] <= opt.skewThreshold || prob[n] >= 1.0 - opt.skewThreshold)
+      res.skewedKeyNets.push_back(n);
+  }
+
+  // Candidate bypass targets: skewed nets read by an XOR/XNOR whose
+  // *other* input is functional (outside the key cone) — the classic flip
+  // splice.  Most-skewed first: the real flip signal is the block's
+  // near-constant output, while functional nets rarely sit as close to a
+  // rail.
+  std::vector<NetId> candidates;
+  for (NetId n : res.skewedKeyNets) {
+    for (GateId g : lockedComb.net(n).fanouts) {
+      const Gate& gg = lockedComb.gate(g);
+      if (gg.kind != CellKind::kXor2 && gg.kind != CellKind::kXnor2) continue;
+      const NetId other = gg.fanin[0] == n ? gg.fanin[1] : gg.fanin[0];
+      if (inCone[other]) continue;  // both inputs key-dependent: not a splice
+      candidates.push_back(n);
+      break;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](NetId a, NetId b) {
+    return std::min(prob[a], 1.0 - prob[a]) < std::min(prob[b], 1.0 - prob[b]);
+  });
+  res.located = !candidates.empty();
+
+  // The attacker owns a working chip, so every bypass hypothesis can be
+  // validated; try the best few.
+  constexpr std::size_t kMaxTries = 10;
+  for (std::size_t i = 0; i < std::min(candidates.size(), kMaxTries); ++i) {
+    const NetId target = candidates[i];
+    std::vector<NetId> netMap;
+    Netlist repaired = cloneNetlist(lockedComb, netMap);
+    const NetId flip = netMap[target];
+    const GateId driver = repaired.net(flip).driver;
+    repaired.removeGate(driver);
+    repaired.addGate(
+        prob[target] < 0.5 ? CellKind::kConst0 : CellKind::kConst1, {}, flip);
+
+    // With the block bypassed, keys should be don't-cares: tie them off
+    // and check equivalence against the oracle.
+    std::vector<NetId> mappedKeys;
+    for (NetId k : keyInputs) mappedKeys.push_back(netMap[k]);
+    const std::vector<int> zeros(keyInputs.size(), 0);
+    const Netlist untied = applyKey(repaired, mappedKeys, zeros);
+    if (sat::checkEquivalence(untied, oracleComb).equivalent) {
+      res.flipSignal = target;
+      res.flipProbability = prob[target];
+      res.repaired = std::move(repaired);
+      res.restoredFunction = true;
+      return res;
+    }
+  }
+  if (res.located) {
+    res.flipSignal = candidates.front();
+    res.flipProbability = prob[candidates.front()];
+  }
+  return res;
+}
+
+}  // namespace gkll

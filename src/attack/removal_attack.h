@@ -1,0 +1,50 @@
+// Removal attack (Yasin et al. [15][16]; paper Secs. I and V-C).
+//
+// SAT-attack-resistant blocks (SARLock, Anti-SAT) keep output corruption
+// rare, which forces an internal "flip" signal to be almost always 0 —
+// a signal-probability skew an attacker can measure by random simulation.
+// The attack: estimate per-net signal probabilities, look for a
+// key-dependent, extremely skewed net that is XOR-ed into functional
+// logic, and bypass it with its dominant constant.  Against conventional
+// XOR key gates (and against GKs, whose outputs are unbiased) there is no
+// such skew and the attack finds nothing — matching Sec. V-C.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Monte-Carlo signal-probability estimate over a combinational netlist
+/// with uniformly random inputs (data and key alike).
+std::vector<double> estimateSignalProbabilities(const Netlist& comb,
+                                                int samples,
+                                                std::uint64_t seed);
+
+struct RemovalAttackOptions {
+  int samples = 4096;
+  double skewThreshold = 0.01;  ///< prob within this of 0/1 counts as skewed
+  std::uint64_t seed = 17;
+};
+
+struct RemovalAttackResult {
+  bool located = false;      ///< a bypassable flip signal was found
+  NetId flipSignal = kNoNet; ///< the skewed net feeding an XOR splice
+  double flipProbability = 0.0;
+  std::vector<NetId> skewedKeyNets;  ///< all skewed nets in key fanout cones
+  Netlist repaired;          ///< locked netlist with the block bypassed
+  /// True when the repaired circuit (keys tied off arbitrarily) is
+  /// equivalent to the oracle — the attack fully restored the function.
+  bool restoredFunction = false;
+};
+
+/// Run the attack on a combinational locked netlist against the oracle.
+RemovalAttackResult removalAttack(const Netlist& lockedComb,
+                                  const std::vector<NetId>& keyInputs,
+                                  const Netlist& oracleComb,
+                                  const RemovalAttackOptions& opt = {});
+
+}  // namespace gkll

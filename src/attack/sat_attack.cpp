@@ -1,0 +1,136 @@
+#include "attack/sat_attack.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "attack/oracle.h"
+#include "lock/locking.h"
+#include "sat/cnf.h"
+
+namespace gkll {
+
+using sat::Lit;
+using sat::mkLit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+SatAttackResult satAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb,
+                          const SatAttackOptions& opt) {
+  SatAttackResult res;
+  assert(lockedComb.flops().empty() && "attack wants a combinational core");
+
+  // Split the locked design's inputs into data PIs and key PIs.
+  std::vector<NetId> dataPIs;
+  for (NetId pi : lockedComb.inputs()) {
+    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
+      dataPIs.push_back(pi);
+  }
+  assert(dataPIs.size() == oracleComb.inputs().size());
+  assert(lockedComb.outputs().size() == oracleComb.outputs().size());
+
+  CombOracle oracle(oracleComb);
+
+  // Miter solver: two copies sharing the data inputs, independent keys.
+  Solver s;
+  s.setConflictBudget(opt.conflictBudget);
+  const std::vector<Var> v1 = encodeNetlist(s, lockedComb);
+  std::vector<NetId> bound = dataPIs;
+  std::vector<Var> boundVars;
+  for (NetId n : dataPIs) boundVars.push_back(v1[n]);
+  const std::vector<Var> v2 = encodeNetlist(s, lockedComb, bound, boundVars);
+
+  std::vector<Var> diffs;
+  for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
+    diffs.push_back(makeXor(s, v1[lockedComb.outputs()[i]],
+                            v2[lockedComb.outputs()[i]]));
+  s.addClause(mkLit(makeOrReduce(s, diffs)));
+
+  // Key solver: accumulates only the I/O consistency constraints; its
+  // models are the keys still compatible with every oracle response.
+  Solver ks;
+  std::vector<Var> kVars;
+  for (std::size_t i = 0; i < keyInputs.size(); ++i) kVars.push_back(ks.newVar());
+
+  auto constrainWithOracle = [&](const std::vector<Logic>& dip) {
+    const std::vector<Logic> y = oracle.query(dip);
+
+    // In the miter solver: pin a fresh copy per key set to (X*, Y*).
+    auto addCopy = [&](const std::vector<Var>& keySrc, Solver& solver,
+                       const std::vector<Var>* keyVarsOverride) {
+      std::vector<NetId> b = dataPIs;
+      std::vector<Var> bv;
+      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+        const Var c = solver.newVar();
+        solver.addClause(mkLit(c, dip[i] != Logic::T));
+        bv.push_back(c);
+      }
+      // Bind the key nets to the existing key variables of this solver.
+      for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+        b.push_back(keyInputs[i]);
+        bv.push_back(keyVarsOverride ? (*keyVarsOverride)[i] : keySrc[i]);
+      }
+      const std::vector<Var> vc = encodeNetlist(solver, lockedComb, b, bv);
+      for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i) {
+        solver.addClause(
+            mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));
+      }
+    };
+
+    std::vector<Var> k1, k2;
+    for (NetId kn : keyInputs) k1.push_back(v1[kn]);
+    for (NetId kn : keyInputs) k2.push_back(v2[kn]);
+    addCopy(k1, s, nullptr);
+    addCopy(k2, s, nullptr);
+    addCopy({}, ks, &kVars);
+  };
+
+  // --- DIP loop --------------------------------------------------------------
+  for (int it = 0; it < opt.maxIterations; ++it) {
+    const Result miter = s.solve();
+    if (miter == Result::kUnknown) {
+      res.budgetExhausted = true;
+      return res;
+    }
+    if (miter == Result::kUnsat) {
+      res.converged = true;
+      res.unsatAtFirstIteration = (it == 0);
+      break;
+    }
+    ++res.dips;
+    std::vector<Logic> dip;
+    dip.reserve(dataPIs.size());
+    for (NetId n : dataPIs)
+      dip.push_back(logicFromBool(s.modelValue(v1[n])));
+    constrainWithOracle(dip);
+    if (ks.solve() == Result::kUnsat) {
+      // No key can explain the oracle's response: the static CNF model is
+      // wrong about the chip (the GK case — the glitch transmits the value
+      // the CNF says is impossible).
+      res.keyConstraintsUnsat = true;
+      break;
+    }
+  }
+  res.solverStats = s.stats();
+  if (!res.converged && !res.keyConstraintsUnsat) return res;  // budget out
+
+  // --- key extraction --------------------------------------------------------
+  if (!res.keyConstraintsUnsat) {
+    if (ks.solve() == Result::kUnsat) {
+      res.keyConstraintsUnsat = true;
+    } else {
+      for (std::size_t i = 0; i < keyInputs.size(); ++i)
+        res.recoveredKey.push_back(ks.modelValue(kVars[i]) ? 1 : 0);
+    }
+  }
+  if (res.keyConstraintsUnsat) return res;
+
+  // --- did the attack actually decrypt? --------------------------------------
+  const Netlist unlocked = applyKey(lockedComb, keyInputs, res.recoveredKey);
+  res.decrypted = sat::checkEquivalence(unlocked, oracleComb).equivalent;
+  return res;
+}
+
+}  // namespace gkll

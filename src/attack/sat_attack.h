@@ -1,0 +1,62 @@
+// The SAT attack of Subramanyan, Ray & Malik (HOST'15 [11]) — the attack
+// the Glitch Key-gate is designed to invalidate.
+//
+// Standard algorithm on a combinational locked netlist C(X, K) with a
+// functional oracle O(X):
+//   1. build a miter  C(X, K1) != C(X, K2)  over shared data inputs X;
+//   2. while SAT: extract the distinguishing input pattern (DIP) X*,
+//      query the oracle Y* = O(X*), and constrain both key copies with
+//      C(X*, Ki) == Y*;
+//   3. when the miter goes UNSAT, any key satisfying the accumulated
+//      I/O constraints is functionally correct.
+//
+// Two GK-specific outcomes this implementation surfaces explicitly:
+//   - unsatAtFirstIteration: the miter found no DIP at all (paper Sec. VI:
+//     "the attack stopped at the first iteration ... and reported
+//     unsatisfiable") — the key inputs simply do not influence the CNF.
+//   - keyConstraintsUnsat: a DIP existed (e.g. from hybrid XOR keys) but
+//     no key can reproduce the oracle's response, because the static CNF
+//     of a GK computes the inverse of what the chip's glitch transmits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace gkll {
+
+class CombOracle;
+
+struct SatAttackOptions {
+  int maxIterations = 1 << 20;
+  /// Conflict budget per solver call (0 = unlimited).  When a call runs
+  /// out the attack gives up with budgetExhausted set — the practical
+  /// "attacker ran out of patience" outcome for very large baselines.
+  std::uint64_t conflictBudget = 0;
+};
+
+struct SatAttackResult {
+  bool converged = false;  ///< miter exhausted (no further DIPs)
+  int dips = 0;
+  bool unsatAtFirstIteration = false;
+  bool keyConstraintsUnsat = false;
+  bool budgetExhausted = false;  ///< a solver call hit the conflict budget
+  std::vector<int> recoveredKey;  ///< valid when converged && !keyConstraintsUnsat
+  /// True when the unlocked circuit (locked netlist with recoveredKey
+  /// applied) is SAT-equivalent to the oracle circuit — i.e. the attack
+  /// actually decrypted the design.
+  bool decrypted = false;
+  sat::SolverStats solverStats;
+};
+
+/// Run the attack.  `lockedComb` must be combinational (sequential designs
+/// go through extractCombinational + stripKeygens first, as in the paper);
+/// its non-key inputs must match `oracleComb.inputs()` 1:1 in order.
+SatAttackResult satAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb,
+                          const SatAttackOptions& opt = {});
+
+}  // namespace gkll

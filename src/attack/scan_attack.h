@@ -1,0 +1,48 @@
+// Scan-chain attack on GK-encrypted flops — the BIST weakness the paper
+// concedes in Sec. VI and the motivation for the hybrid XOR+GK mode.
+//
+// With scan access the attacker controls flop states and observes
+// captures directly.  A GK in front of flop j either buffers or inverts
+// the settled data x at capture time; if the attacker can *compute* x
+// (every net in x's cone is key-free), two probes with differing x reveal
+// which, and the GK is resolved — its key gate is bypassable.  When a
+// hybrid XOR key gate sits inside x's cone, x is unknown without the XOR
+// key, and the probe is inconclusive; the XOR keys in turn resist the SAT
+// attack because the GK poisons the oracle constraints (sat_attack's
+// keyConstraintsUnsat outcome).  That mutual protection is the paper's
+// closing argument.
+#pragma once
+
+#include <vector>
+
+#include "attack/oracle.h"
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct ScanAttackResult {
+  int resolvedBuffers = 0;    ///< GKs identified as buffer-at-capture
+  int resolvedInverters = 0;  ///< GKs identified as inverter-at-capture
+  int unresolved = 0;  ///< probes inconclusive (key-dependent data cone)
+  /// Per insertion: +1 buffer, -1 inverter, 0 unresolved.
+  std::vector<int> verdicts;
+  bool fullyResolved() const { return unresolved == 0; }
+};
+
+/// Probe each GK-encrypted flop through the scan interface of `chip`
+/// (a timing oracle over the locked design running the correct key).
+/// `locked` is the same netlist the oracle wraps; `insertions` identify
+/// the GK-hosting flops; `keyDependentNets` flags nets whose value the
+/// attacker cannot compute (fanout cones of unknown key bits).
+ScanAttackResult scanAttack(const Netlist& locked,
+                            const std::vector<GkInsertion>& insertions,
+                            const std::vector<bool>& keyDependentNets,
+                            const TimingOracle& chip);
+
+/// Helper: fanout-cone marking of unknown key inputs (e.g. hybrid XOR
+/// keys) over a sequential netlist, stopping at flop boundaries.
+std::vector<bool> markKeyDependent(const Netlist& nl,
+                                   const std::vector<NetId>& unknownKeys);
+
+}  // namespace gkll

@@ -1,0 +1,199 @@
+#include "attack/sensitization.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "attack/oracle.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+
+namespace gkll {
+
+using sat::mkLit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+/// Evaluate one output of the locked core under a concrete (X, key).
+Logic evalOutput(const Netlist& lockedComb, const std::vector<NetId>& dataPIs,
+                 const std::vector<NetId>& keyInputs,
+                 const std::vector<Logic>& x, const std::vector<int>& key,
+                 std::size_t outIdx) {
+  std::vector<Logic> in(lockedComb.inputs().size(), Logic::F);
+  std::vector<int> slot(lockedComb.numNets(), -1);
+  for (std::size_t i = 0; i < lockedComb.inputs().size(); ++i)
+    slot[lockedComb.inputs()[i]] = static_cast<int>(i);
+  for (std::size_t i = 0; i < dataPIs.size(); ++i)
+    in[static_cast<std::size_t>(slot[dataPIs[i]])] = x[i];
+  for (std::size_t i = 0; i < keyInputs.size(); ++i)
+    in[static_cast<std::size_t>(slot[keyInputs[i]])] =
+        logicFromBool(key[i] != 0);
+  const auto nets = evalCombinational(lockedComb, in);
+  return nets[lockedComb.outputs()[outIdx]];
+}
+
+}  // namespace
+
+SensitizationResult sensitizationAttack(const Netlist& lockedComb,
+                                        const std::vector<NetId>& keyInputs,
+                                        const Netlist& oracleComb,
+                                        const SensitizationOptions& opt) {
+  SensitizationResult res;
+  res.recoveredKey.assign(keyInputs.size(), -1);
+  assert(lockedComb.flops().empty());
+
+  std::vector<NetId> dataPIs;
+  for (NetId pi : lockedComb.inputs()) {
+    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
+      dataPIs.push_back(pi);
+  }
+  CombOracle oracle(oracleComb);
+
+  // For the universal checks we pin X and let the other keys roam; this
+  // helper builds a two-copy instance with k_i = 0 / kOtherFixed and
+  // returns UNSAT-ness of "the two outputs can agree".
+  auto goldenFor = [&](std::size_t ki, const std::vector<Logic>& x,
+                       std::size_t outIdx) -> bool {
+    Solver u;
+    auto pinInputs = [&](int kiValue,
+                         const std::vector<Var>& sharedOther) {
+      std::vector<NetId> bound = dataPIs;
+      std::vector<Var> bv;
+      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+        const Var c = u.newVar();
+        u.addClause(mkLit(c, x[i] != Logic::T));
+        bv.push_back(c);
+      }
+      std::size_t oi = 0;
+      for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+        bound.push_back(keyInputs[i]);
+        if (i == ki) {
+          const Var c = u.newVar();
+          u.addClause(mkLit(c, kiValue == 0));
+          bv.push_back(c);
+        } else {
+          bv.push_back(sharedOther[oi++]);
+        }
+      }
+      return encodeNetlist(u, lockedComb, bound, bv);
+    };
+    std::vector<Var> other;
+    for (std::size_t i = 0; i < keyInputs.size(); ++i)
+      if (i != ki) other.push_back(u.newVar());
+    const auto vA = pinInputs(0, other);
+    const auto vB = pinInputs(1, other);
+    // "They can agree" — UNSAT means the pattern is golden for this bit.
+    const Var agree = u.newVar();
+    const NetId o = lockedComb.outputs()[outIdx];
+    sat::addGateClauses(u, CellKind::kXnor2, {vA[o], vB[o]}, agree);
+    u.addClause(mkLit(agree));
+    if (u.solve() != Result::kUnsat) return false;
+
+    // The read-off also needs C(X, 0, ·)[o] to be constant in the other
+    // keys (two independent other-key copies must agree).
+    Solver w;
+    std::vector<Var> otherA, otherB;
+    for (std::size_t i = 0; i < keyInputs.size(); ++i)
+      if (i != ki) {
+        otherA.push_back(w.newVar());
+        otherB.push_back(w.newVar());
+      }
+    auto pinW = [&](const std::vector<Var>& others) {
+      std::vector<NetId> bound = dataPIs;
+      std::vector<Var> bv;
+      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+        const Var c = w.newVar();
+        w.addClause(mkLit(c, x[i] != Logic::T));
+        bv.push_back(c);
+      }
+      std::size_t oi = 0;
+      for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+        bound.push_back(keyInputs[i]);
+        if (i == ki) {
+          const Var c = w.newVar();
+          w.addClause(mkLit(c, true));  // k_i = 0
+          bv.push_back(c);
+        } else {
+          bv.push_back(others[oi++]);
+        }
+      }
+      return encodeNetlist(w, lockedComb, bound, bv);
+    };
+    const auto wA = pinW(otherA);
+    const auto wB = pinW(otherB);
+    const Var differ = w.newVar();
+    sat::addGateClauses(w, CellKind::kXor2, {wA[o], wB[o]}, differ);
+    w.addClause(mkLit(differ));
+    return w.solve() == Result::kUnsat;
+  };
+
+  for (std::size_t ki = 0; ki < keyInputs.size(); ++ki) {
+    // Existential search: X and some other-key witness under which the
+    // two k_i polarities split an output.
+    Solver s;
+    std::vector<Var> other;
+    for (std::size_t i = 0; i < keyInputs.size(); ++i)
+      if (i != ki) other.push_back(s.newVar());
+    std::vector<Var> xVars;
+    for (std::size_t i = 0; i < dataPIs.size(); ++i) xVars.push_back(s.newVar());
+    auto pinS = [&](int kiValue) {
+      std::vector<NetId> bound = dataPIs;
+      std::vector<Var> bv = xVars;
+      std::size_t oi = 0;
+      for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+        bound.push_back(keyInputs[i]);
+        if (i == ki) {
+          const Var c = s.newVar();
+          s.addClause(mkLit(c, kiValue == 0));
+          bv.push_back(c);
+        } else {
+          bv.push_back(other[oi++]);
+        }
+      }
+      return encodeNetlist(s, lockedComb, bound, bv);
+    };
+    const auto v0 = pinS(0);
+    const auto v1 = pinS(1);
+    std::vector<Var> diffs;
+    for (NetId po : lockedComb.outputs())
+      diffs.push_back(sat::makeXor(s, v0[po], v1[po]));
+    s.addClause(mkLit(sat::makeOrReduce(s, diffs)));
+
+    for (int attempt = 0; attempt < opt.maxPatternsPerKey; ++attempt) {
+      if (s.solve() != Result::kSat) break;  // bit never reaches an output
+      std::vector<Logic> x;
+      for (std::size_t i = 0; i < dataPIs.size(); ++i)
+        x.push_back(logicFromBool(s.modelValue(xVars[i])));
+      std::size_t outIdx = lockedComb.outputs().size();
+      for (std::size_t o = 0; o < diffs.size(); ++o) {
+        if (s.modelValue(diffs[o])) {
+          outIdx = o;
+          break;
+        }
+      }
+      assert(outIdx < lockedComb.outputs().size());
+
+      if (goldenFor(ki, x, outIdx)) {
+        // Read the bit off the chip.
+        const std::vector<Logic> y = oracle.query(x);
+        ++res.oracleQueries;
+        std::vector<int> probeKey(keyInputs.size(), 0);
+        const Logic value0 =
+            evalOutput(lockedComb, dataPIs, keyInputs, x, probeKey, outIdx);
+        res.recoveredKey[ki] = (y[outIdx] == value0) ? 0 : 1;
+        ++res.resolvedBits;
+        break;
+      }
+      // Block this X and look for another candidate pattern.
+      std::vector<sat::Lit> block;
+      for (std::size_t i = 0; i < xVars.size(); ++i)
+        block.push_back(mkLit(xVars[i], s.modelValue(xVars[i])));
+      s.addClause(std::move(block));
+    }
+  }
+  return res;
+}
+
+}  // namespace gkll

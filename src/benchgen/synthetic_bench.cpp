@@ -1,0 +1,211 @@
+#include "benchgen/synthetic_bench.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace gkll {
+
+const std::vector<BenchSpec>& iwls2005Specs() {
+  // Cell/FF counts from Table I; PI/PO counts are the published ISCAS-89
+  // interface sizes.  Seeds are arbitrary but fixed forever.  depth/deepFf
+  // are calibrated so each circuit's slack profile lands near the paper's
+  // Table I coverage (e.g. s1238 ~89% of flops GK-encryptable, s15850
+  // ~43%).
+  static const std::vector<BenchSpec> specs = {
+      {"s1238", 341, 18, 14, 14, 0x1238, 45, 0.11},
+      {"s5378", 775, 163, 35, 49, 0x5378, 48, 0.34},
+      {"s9234", 613, 145, 36, 39, 0x9234, 48, 0.50},
+      {"s13207", 901, 330, 62, 152, 0x13207, 50, 0.52},
+      {"s15850", 447, 134, 77, 150, 0x15850, 45, 0.56},
+      {"s38417", 5397, 1564, 28, 106, 0x38417, 55, 0.41},
+      {"s38584", 5304, 1168, 38, 304, 0x38584, 55, 0.23},
+  };
+  return specs;
+}
+
+Netlist generateBenchmark(const BenchSpec& spec) {
+  assert(spec.cells > spec.ffs);
+  assert(spec.depth >= 4);
+  Rng rng(spec.seed * 0x9E3779B97F4A7C15ULL + 1);
+  Netlist nl(spec.name);
+
+  // Level 0 sources: primary inputs and FF Q nets (DFF gates come last,
+  // once their D nets exist).
+  std::vector<std::vector<NetId>> levels(1);
+  for (int i = 0; i < spec.pis; ++i)
+    levels[0].push_back(nl.addPI("pi" + std::to_string(i)));
+  std::vector<NetId> qNets;
+  for (int i = 0; i < spec.ffs; ++i) {
+    const NetId q = nl.addNet("ff" + std::to_string(i) + "_q");
+    qNets.push_back(q);
+    levels[0].push_back(q);
+  }
+
+  // Weighted gate mix roughly matching a mapped 0.13um design.
+  struct Mix {
+    CellKind kind;
+    int weight;
+  };
+  static const Mix kMix[] = {
+      {CellKind::kNand2, 22}, {CellKind::kNor2, 14}, {CellKind::kInv, 14},
+      {CellKind::kAnd2, 9},   {CellKind::kOr2, 7},   {CellKind::kNand3, 8},
+      {CellKind::kNor3, 5},   {CellKind::kXor2, 6},  {CellKind::kXnor2, 3},
+      {CellKind::kAoi21, 5},  {CellKind::kOai21, 4}, {CellKind::kBuf, 3},
+  };
+  int totalWeight = 0;
+  for (const Mix& m : kMix) totalWeight += m.weight;
+
+  // Levelised construction: the first fanin of each gate comes from the
+  // previous level (pinning the gate's logic level), the rest from nearby
+  // earlier levels — giving a controlled critical depth with realistic
+  // reconvergence.  Gate counts are spread evenly across levels.
+  const int combGates = spec.cells - spec.ffs;
+  const int depth = std::min(spec.depth, combGates);
+  int remaining = combGates;
+  // Every PI and FF state bit must be read somewhere (no dead state):
+  // non-first fanins drain this queue before picking freely.
+  std::vector<NetId> unread = levels[0];
+  rng.shuffle(unread);
+  for (int l = 1; l <= depth; ++l) {
+    const int here = remaining / (depth - l + 1);
+    std::vector<NetId> thisLevel;
+    thisLevel.reserve(static_cast<std::size_t>(here));
+    for (int i = 0; i < here; ++i) {
+      int w = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(totalWeight)));
+      CellKind kind = CellKind::kNand2;
+      for (const Mix& m : kMix) {
+        if (w < m.weight) {
+          kind = m.kind;
+          break;
+        }
+        w -= m.weight;
+      }
+      const int nIns = cellNumInputs(kind);
+      std::vector<NetId> fanin;
+      fanin.reserve(static_cast<std::size_t>(nIns));
+      fanin.push_back(rng.pick(levels[static_cast<std::size_t>(l - 1)]));
+      for (int k = 1; k < nIns; ++k) {
+        if (!unread.empty()) {  // drain unread state/input bits first
+          fanin.push_back(unread.back());
+          unread.pop_back();
+          continue;
+        }
+        // 75%: one of the four preceding levels; 25%: anywhere earlier.
+        std::size_t fromLevel;
+        if (rng.chance(0.75)) {
+          const std::size_t back = 1 + rng.below(4);
+          fromLevel = static_cast<std::size_t>(l) > back
+                          ? static_cast<std::size_t>(l) - back
+                          : 0;
+        } else {
+          fromLevel = static_cast<std::size_t>(rng.below(
+              static_cast<std::uint64_t>(l)));
+        }
+        fanin.push_back(rng.pick(levels[fromLevel]));
+      }
+      const NetId out = nl.addNet();
+      nl.addGate(kind, std::move(fanin), out);
+      thisLevel.push_back(out);
+    }
+    remaining -= here;
+    levels.push_back(std::move(thisLevel));
+  }
+
+  // FF D pins: a `deepFf` fraction hangs near the critical path (upper
+  // quarter of levels — too little slack for a GK), the rest sit shallow
+  // (lower half).  This is the knob that shapes Table I's coverage.
+  const int shallowMax = std::max(1, depth / 2);
+  const int deepMin = std::max(1, (3 * depth) / 4);
+  for (int i = 0; i < spec.ffs; ++i) {
+    const bool deep = rng.uniform() < spec.deepFf;
+    std::size_t lvl;
+    if (deep) {
+      lvl = static_cast<std::size_t>(
+          deepMin + static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(depth - deepMin + 1))));
+    } else {
+      lvl = 1 + rng.below(static_cast<std::uint64_t>(shallowMax));
+    }
+    const NetId d = rng.pick(levels[lvl]);
+    nl.addGate(CellKind::kDff, {d}, qNets[static_cast<std::size_t>(i)]);
+  }
+
+  // Primary outputs: distinct nets biased to the deepest levels (they
+  // define the clock period together with the deep flops).
+  std::vector<NetId> poCandidates;
+  for (int l = depth;
+       l >= 1 && static_cast<int>(poCandidates.size()) < (3 * spec.pos) / 2 + 4;
+       --l)
+    for (NetId n : levels[static_cast<std::size_t>(l)]) poCandidates.push_back(n);
+  rng.shuffle(poCandidates);
+  const int numPOs =
+      std::min<int>(spec.pos, static_cast<int>(poCandidates.size()));
+  for (int i = 0; i < numPOs; ++i)
+    nl.markPO(poCandidates[static_cast<std::size_t>(i)]);
+
+  assert(!nl.validate().has_value());
+  return nl;
+}
+
+Netlist generateByName(const std::string& name) {
+  for (const BenchSpec& s : iwls2005Specs())
+    if (s.name == name) return generateBenchmark(s);
+  std::abort();
+}
+
+Netlist makeC17() {
+  Netlist nl("c17");
+  const NetId g1 = nl.addPI("G1");
+  const NetId g2 = nl.addPI("G2");
+  const NetId g3 = nl.addPI("G3");
+  const NetId g6 = nl.addPI("G6");
+  const NetId g7 = nl.addPI("G7");
+  const NetId g10 = nl.addNet("G10");
+  const NetId g11 = nl.addNet("G11");
+  const NetId g16 = nl.addNet("G16");
+  const NetId g19 = nl.addNet("G19");
+  const NetId g22 = nl.addNet("G22");
+  const NetId g23 = nl.addNet("G23");
+  nl.addGate(CellKind::kNand2, {g1, g3}, g10);
+  nl.addGate(CellKind::kNand2, {g3, g6}, g11);
+  nl.addGate(CellKind::kNand2, {g2, g11}, g16);
+  nl.addGate(CellKind::kNand2, {g11, g7}, g19);
+  nl.addGate(CellKind::kNand2, {g10, g16}, g22);
+  nl.addGate(CellKind::kNand2, {g16, g19}, g23);
+  nl.markPO(g22);
+  nl.markPO(g23);
+  return nl;
+}
+
+Netlist makeToySeq() {
+  // A 4-bit ripple-ish counter with enable and a comparator output:
+  // state bits toggle when all lower bits are 1 and en is 1.
+  Netlist nl("toyseq");
+  const NetId en = nl.addPI("en");
+  std::vector<NetId> q;
+  for (int i = 0; i < 4; ++i) q.push_back(nl.addNet("q" + std::to_string(i)));
+
+  NetId c = en;
+  for (int i = 0; i < 4; ++i) {
+    const NetId t = nl.addNet("t" + std::to_string(i));
+    nl.addGate(CellKind::kXor2, {q[static_cast<std::size_t>(i)], c}, t);
+    nl.addGate(CellKind::kDff, {t}, q[static_cast<std::size_t>(i)]);
+    if (i < 3) {
+      const NetId nc = nl.addNet("c" + std::to_string(i + 1));
+      nl.addGate(CellKind::kAnd2, {q[static_cast<std::size_t>(i)], c}, nc);
+      c = nc;
+    }
+  }
+  // Output: AND of the top two bits.
+  const NetId hit = nl.addNet("hit");
+  nl.addGate(CellKind::kAnd2, {q[2], q[3]}, hit);
+  nl.markPO(hit);
+  nl.markPO(q[0]);
+  return nl;
+}
+
+}  // namespace gkll

@@ -1,0 +1,124 @@
+#include "core/gk_encryptor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "attack/removal_attack.h"
+#include "lock/withholding.h"
+#include "netlist/netlist_ops.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+GkEncryptor::GkEncryptor(Netlist original) : original_(std::move(original)) {}
+
+GkFlowResult GkEncryptor::encrypt(const EncryptOptions& opt) const {
+  GkFlowOptions fo;
+  fo.numGks = opt.numGks;
+  fo.hybridXorKeys = opt.hybridXorKeys;
+  fo.glitchLen = opt.glitchLen;
+  fo.clockPeriod = opt.clockPeriod;
+  fo.bufferVariant = opt.bufferVariant;
+  fo.seed = opt.seed;
+  GkFlowResult res = runGkFlow(original_, fo);
+
+  if (opt.withholding) {
+    for (GkInsertion& ins : res.insertions)
+      withholdGk(res.design.netlist, ins.gk);
+    res.lockedStats = res.design.netlist.stats();
+    // LUT timing differs slightly from the XOR/XNOR it replaces; re-run
+    // the sign-off so the caller still holds a verified design.
+    VerifyOptions vo;
+    vo.clockPeriod = res.clockPeriod;
+    vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+    res.verify = verifySequential(original_, res.design.netlist,
+                                  original_.flops().size(), res.clockArrival,
+                                  res.design.keyInputs, res.design.correctKey,
+                                  vo);
+  }
+  return res;
+}
+
+CorruptionReport GkEncryptor::measureCorruption(const GkFlowResult& locked,
+                                                int trials,
+                                                std::uint64_t seed) const {
+  CorruptionReport rep;
+  if (locked.design.correctKey.empty()) return rep;  // nothing locked
+  rep.trials = trials;
+  Rng rng(seed);
+  long long stateSum = 0, poSum = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> key(locked.design.correctKey.size());
+    for (int& b : key) b = rng.flip() ? 1 : 0;
+    if (key == locked.design.correctKey)
+      key[rng.below(key.size())] ^= 1;  // force a wrong key
+
+    VerifyOptions vo;
+    vo.clockPeriod = locked.clockPeriod;
+    vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+    vo.seed = seed ^ (0x9E37ULL * static_cast<std::uint64_t>(t + 1));
+    const VerifyReport v = verifySequential(
+        original_, locked.design.netlist, original_.flops().size(),
+        locked.clockArrival, locked.design.keyInputs, key, vo);
+    stateSum += v.stateMismatches;
+    poSum += v.poMismatches;
+    if (v.stateMismatches > 0 || v.poMismatches > 0 || v.simViolations > 0)
+      ++rep.corruptedTrials;
+  }
+  if (trials > 0) {
+    rep.avgStateMismatches = static_cast<double>(stateSum) / trials;
+    rep.avgPoMismatches = static_cast<double>(poSum) / trials;
+  }
+  return rep;
+}
+
+GkEncryptor::AttackSurface GkEncryptor::attackSurface(
+    const GkFlowResult& locked) const {
+  AttackSurface surf;
+
+  // Paper Sec. VI preprocessing: remove the KEYGENs, expose GK key nets,
+  // then open the flops into pseudo PIs/POs.
+  std::vector<NetId> gkKeysSeq;
+  std::vector<NetId> stripMap;
+  const Netlist stripped = stripKeygens(locked.design.netlist,
+                                        locked.insertions, gkKeysSeq, &stripMap);
+  CombExtraction comb = extractCombinational(stripped);
+  surf.comb = std::move(comb.netlist);
+  for (NetId k : gkKeysSeq) surf.gkKeys.push_back(comb.netMap[k]);
+
+  // Hybrid XOR keys: everything in the design's key list that is not a
+  // KEYGEN k1/k2 input.
+  const std::size_t gkKeyBits = locked.insertions.size() * 2;
+  for (std::size_t i = gkKeyBits; i < locked.design.keyInputs.size(); ++i) {
+    const NetId inStripped = stripMap[locked.design.keyInputs[i]];
+    assert(inStripped != kNoNet);
+    surf.otherKeys.push_back(comb.netMap[inStripped]);
+  }
+
+  surf.oracleComb = extractCombinational(original_).netlist;
+  return surf;
+}
+
+AttackReport GkEncryptor::attackReport(const GkFlowResult& locked,
+                                       const SatAttackOptions& satOpt) const {
+  AttackReport rep;
+  const AttackSurface surf = attackSurface(locked);
+
+  std::vector<NetId> allKeys = surf.gkKeys;
+  allKeys.insert(allKeys.end(), surf.otherKeys.begin(), surf.otherKeys.end());
+
+  rep.sat = satAttack(surf.comb, allKeys, surf.oracleComb, satOpt);
+  rep.satDefeated = !rep.sat.decrypted;
+
+  const RemovalAttackResult rem =
+      removalAttack(surf.comb, allKeys, surf.oracleComb);
+  rep.removalLocated = rem.located;
+  rep.removalRestored = rem.restoredFunction;
+
+  rep.enhancedRemoval = enhancedRemovalAttack(
+      surf.comb, surf.gkKeys, surf.otherKeys, surf.oracleComb, satOpt);
+  rep.enhancedRemovalDefeated = !rep.enhancedRemoval.decrypted;
+  return rep;
+}
+
+}  // namespace gkll

@@ -1,0 +1,92 @@
+// GkEncryptor — the library's front door.
+//
+// One object wraps the whole paper: run the design flow to encrypt a
+// sequential netlist with Glitch Key-gates (optionally hybrid XOR+GK and
+// the withholding hardening), verify the result with timing-accurate
+// simulation, measure corruption under wrong keys, and mount the attack
+// battery (SAT, removal, enhanced removal, enhanced/timed SAT, scan)
+// against it.
+//
+//   GkEncryptor enc(original);
+//   auto locked = enc.encrypt({.numGks = 4});
+//   auto report = enc.attackReport(locked);
+//
+// Everything here composes public pieces from lock/, flow/ and attack/;
+// use those directly for finer control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/enhanced_removal.h"
+#include "attack/sat_attack.h"
+#include "flow/gk_flow.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct EncryptOptions {
+  int numGks = 4;
+  int hybridXorKeys = 0;
+  bool withholding = false;  ///< hide GK gates in LUTs (Sec. V-D)
+  bool bufferVariant = false;  ///< Fig. 3(b) GKs (constant correct keys)
+  Ps glitchLen = ns(1);
+  Ps clockPeriod = 0;  ///< 0 = keep the original design's period
+  std::uint64_t seed = 11;
+};
+
+/// Corruption of the design under a wrong key (higher = stronger lock).
+struct CorruptionReport {
+  int trials = 0;
+  int corruptedTrials = 0;  ///< trials with >= 1 state/PO mismatch
+  double avgStateMismatches = 0.0;
+  double avgPoMismatches = 0.0;
+};
+
+/// Outcome of the standard attack battery against one encrypted design.
+struct AttackReport {
+  SatAttackResult sat;              ///< classic SAT attack (Sec. V-A / VI)
+  bool satDefeated = false;         ///< attack failed to decrypt
+  bool removalLocated = false;      ///< removal attack found bypass candidates
+  bool removalRestored = false;     ///< a verified bypass restored the function
+  EnhancedRemovalResult enhancedRemoval;
+  bool enhancedRemovalDefeated = false;
+};
+
+class GkEncryptor {
+ public:
+  explicit GkEncryptor(Netlist original);
+
+  const Netlist& original() const { return original_; }
+
+  /// Run the full Sec. IV-B flow.  The returned GkFlowResult's verify
+  /// field is the correct-key sign-off.
+  GkFlowResult encrypt(const EncryptOptions& opt) const;
+
+  /// Timing-accurate corruption measurement: re-verify under `trials`
+  /// random wrong keys.
+  CorruptionReport measureCorruption(const GkFlowResult& locked, int trials,
+                                     std::uint64_t seed = 31) const;
+
+  /// Mount SAT / removal / enhanced-removal on the locked design, using
+  /// the paper's preprocessing (strip KEYGENs, expose GK keys, FF -> pseudo
+  /// PI/PO).  `satOpt` bounds the SAT stages (conflict budget etc.).
+  AttackReport attackReport(const GkFlowResult& locked,
+                            const SatAttackOptions& satOpt = {}) const;
+
+  /// The attack-surface netlist (combinational core with exposed keys)
+  /// and its key inputs — for composing custom attacks.
+  struct AttackSurface {
+    Netlist comb;                     ///< combinational core
+    std::vector<NetId> gkKeys;        ///< exposed GK key nets (in comb)
+    std::vector<NetId> otherKeys;     ///< hybrid XOR key nets (in comb)
+    Netlist oracleComb;               ///< original's combinational core
+  };
+  AttackSurface attackSurface(const GkFlowResult& locked) const;
+
+ private:
+  Netlist original_;
+};
+
+}  // namespace gkll

@@ -1,0 +1,94 @@
+#include "flow/ff_select.h"
+
+#include <algorithm>
+#include <map>
+
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+
+std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
+                                      const GkTiming& gk,
+                                      const FfSelectOptions& opt) {
+  const StaResult timing = sta.run();
+  std::vector<FfCandidate> out;
+  out.reserve(nl.flops().size());
+
+  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+    const GateId ff = nl.flops()[i];
+    const Gate& gate = nl.gate(ff);
+    FfCandidate c;
+    c.ff = ff;
+    c.tArrival = timing.maxArrival[gate.fanin[0]];
+    c.absLB = sta.absLowerBound(ff);
+    c.absUB = sta.absUpperBound(ff);
+    c.tCapture = sta.clockArrival(ff) + sta.clockPeriod();
+
+    // The KEYGEN can realise any trigger time >= the zero-tap trigger.
+    const Ps earliestTrigger = keygenEarliestTrigger(sta.library());
+
+    // Eq. (5) with margins; both key-transition directions must work
+    // because the toggle-flop KEYGEN alternates rising/falling triggers.
+    TriggerWindow on = triggerWindowOnGlitch(c.tArrival, gk, /*risingKey=*/true,
+                                             c.tCapture,
+                                             sta.library().holdTime(), c.absUB);
+    const TriggerWindow onF = triggerWindowOnGlitch(
+        c.tArrival, gk, /*risingKey=*/false, c.tCapture,
+        sta.library().holdTime(), c.absUB);
+    on.lo = std::max(on.lo, onF.lo);
+    on.hi = std::min(on.hi, onF.hi);
+    on.lo = std::max(on.lo + opt.margin, earliestTrigger);
+    on.hi -= opt.margin;
+    c.onGlitch = on;
+
+    TriggerWindow off =
+        triggerWindowOffGlitch(gk, /*risingKey=*/true, c.absLB, c.absUB);
+    const TriggerWindow offF =
+        triggerWindowOffGlitch(gk, /*risingKey=*/false, c.absLB, c.absUB);
+    off.lo = std::max(off.lo, offF.lo);
+    off.hi = std::min(off.hi, offF.hi);
+    off.lo = std::max(off.lo + opt.margin, earliestTrigger);
+    off.hi -= opt.margin;
+    c.offGlitch = off;
+
+    // Coverage uses the *physical* glitch length (the path delay alone):
+    // with symmetric MUX select/data delays the simulated glitch lasts
+    // D_Path, so Eq. (2)'s D_Path + D_MUX would be optimistic here.
+    const bool coverable =
+        glitchCoversWindow(std::min(gk.dPathA, gk.dPathB) - opt.margin / 2,
+                           sta.library().setupTime(), sta.library().holdTime());
+    c.available = coverable && c.onGlitch.valid() &&
+                  feasibleOnGlitch(c.tArrival, gk, true, c.absLB, c.absUB) &&
+                  feasibleOnGlitch(c.tArrival, gk, false, c.absLB, c.absUB);
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t countAvailable(const std::vector<FfCandidate>& cands) {
+  std::size_t n = 0;
+  for (const FfCandidate& c : cands) n += c.available ? 1 : 0;
+  return n;
+}
+
+std::vector<GateId> karmakarGroup(const Netlist& nl,
+                                  const std::vector<FfCandidate>& cands) {
+  const auto sigs = poFanoutSignatures(nl);
+  // Group the *available* flops by identical PO signature.
+  std::map<std::vector<std::uint32_t>, std::vector<GateId>> groups;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!cands[i].available) continue;
+    groups[sigs[i]].push_back(cands[i].ff);
+  }
+  std::vector<GateId> best;
+  for (const auto& [sig, ffs] : groups) {
+    // Flops driving no PO at all form a degenerate "group"; the scan-attack
+    // defence of [4] needs a shared non-empty PO set.
+    if (sig.empty()) continue;
+    if (ffs.size() > best.size()) best = ffs;
+  }
+  return best;
+}
+
+}  // namespace gkll

@@ -1,0 +1,50 @@
+// Feasible-flop analysis (Table I) and Karmakar-style grouping [4].
+//
+// A flop is *available* for GK encryption (paper Sec. VI: on-glitch
+// transmission with a fixed glitch length, the strictest scenario) when
+// the timing budget around its D pin admits the whole Eq. (3)/(5)
+// machinery: the data must settle, the glitch must be generated, start
+// before the setup deadline and outlast the hold window — all within the
+// original clock period.
+#pragma once
+
+#include <vector>
+
+#include "timing/gk_constraints.h"
+#include "timing/sta.h"
+
+namespace gkll {
+
+struct FfSelectOptions {
+  Ps glitchLen = ns(1);  ///< simulated glitch length target (paper: 1 ns)
+  Ps margin = 150;       ///< safety margin on every window check
+};
+
+/// Per-flop feasibility record.
+struct FfCandidate {
+  GateId ff = kNoGate;
+  Ps tArrival = 0;       ///< settle time of the D-pin data (max arrival)
+  Ps absLB = 0;          ///< Eq. (1) lower bound, absolute frame
+  Ps absUB = 0;          ///< Eq. (1) upper bound, absolute frame
+  Ps tCapture = 0;       ///< T_j + Tclk
+  TriggerWindow onGlitch;   ///< Eq. (5) window (after margin)
+  TriggerWindow offGlitch;  ///< Eq. (6) window (after margin)
+  bool available = false;   ///< on-glitch feasible (Table I criterion)
+};
+
+/// Analyse every flop.  `sta` must already carry the P&R clock arrivals.
+std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
+                                      const GkTiming& gk,
+                                      const FfSelectOptions& opt);
+
+/// Number of available flops.
+std::size_t countAvailable(const std::vector<FfCandidate>& cands);
+
+/// Karmakar et al. [4]: among the available flops, find the largest group
+/// whose members fan out to the same set of primary outputs — encrypting
+/// within one group resists scan-based localisation.  Returns the group's
+/// flop ids (empty when no flop is available).
+std::vector<GateId> karmakarGroup(const Netlist& nl,
+                                  const std::vector<FfCandidate>& cands);
+
+}  // namespace gkll

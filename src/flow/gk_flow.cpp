@@ -1,0 +1,380 @@
+#include "flow/gk_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "flow/synth.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+/// One full insertion attempt (everything except the repair loop).
+GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
+                          const std::set<GateId>& bannedFfs, Rng& rng) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  GkFlowResult res;
+
+  // --- P&R substitute ------------------------------------------------------
+  std::vector<NetId> netMap;
+  Netlist nl = cloneNetlist(original, netMap);
+  nl.setName(original.name() + "_gk");
+  const PlacementResult pr = placeAndRoute(nl, opt.placement);
+  res.originalStats = nl.stats(lib);
+
+  // --- clock period: keep the original design's period ---------------------
+  StaConfig staCfg;
+  staCfg.inputArrival = lib.clkToQ();
+  staCfg.clockPeriod = opt.clockPeriod;
+  {
+    Sta probe(nl, staCfg, lib);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+    if (staCfg.clockPeriod == 0) staCfg.clockPeriod = probe.minClockPeriod(100);
+  }
+  res.clockPeriod = staCfg.clockPeriod;
+
+  Sta sta(nl, staCfg, lib);
+  for (std::size_t i = 0; i < nl.flops().size(); ++i)
+    sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+
+  GkParams proto;
+  proto.bufferVariant = opt.bufferVariant;
+  // In variant (a) delay element A feeds the XNOR and B the XOR; variant
+  // (b) swaps the gates.  Either way both physical path delays equal the
+  // glitch target.
+  proto.gkDelayA = opt.glitchLen - lib.maxDelay(opt.bufferVariant
+                                                    ? CellKind::kXor2
+                                                    : CellKind::kXnor2);
+  proto.gkDelayB = opt.glitchLen - lib.maxDelay(opt.bufferVariant
+                                                    ? CellKind::kXnor2
+                                                    : CellKind::kXor2);
+  const GkTiming gk = gkTiming(proto, lib);
+  const FfSelectOptions selOpt{opt.glitchLen, opt.margin};
+
+  // --- hybrid mode: conventional XOR/XNOR key gates first ------------------
+  // The paper puts them "to the paths encrypted by GK", so the candidate
+  // nets are biased to the fanin cones of the flops a dry-run host
+  // selection would pick (using a copy of the RNG so the real selection
+  // below replays the same choices), always slack-filtered so the
+  // original clock period survives.
+  std::vector<NetId> xorKeys;
+  std::vector<int> xorKeyBits;
+  if (opt.hybridXorKeys > 0) {
+    const StaResult t0 = sta.run();
+    const Ps xorCost = lib.maxDelay(CellKind::kXnor2) + opt.margin;
+    std::vector<bool> slackOk(nl.numNets(), false);
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      const GateId d = nl.net(n).driver;
+      if (d == kNoGate) continue;
+      const CellKind k = nl.gate(d).kind;
+      if (isSourceKind(k) || k == CellKind::kDff || k == CellKind::kDelay)
+        continue;
+      if (t0.requiredMax[n] == INT64_MAX) continue;
+      if (t0.requiredMax[n] - t0.maxArrival[n] >= xorCost) slackOk[n] = true;
+    }
+
+    // Dry-run host selection.
+    Rng preview = rng;
+    const auto cands0 = analyzeFlops(nl, sta, gk, selOpt);
+    std::vector<GateId> group0 = karmakarGroup(nl, cands0);
+    std::vector<GateId> others0;
+    for (const FfCandidate& c : cands0) {
+      if (!c.available) continue;
+      if (std::find(group0.begin(), group0.end(), c.ff) != group0.end())
+        continue;
+      others0.push_back(c.ff);
+    }
+    preview.shuffle(group0);
+    preview.shuffle(others0);
+    group0.insert(group0.end(), others0.begin(), others0.end());
+
+    std::vector<NetId> preferred;
+    std::vector<bool> taken(nl.numNets(), false);
+    int hosts0 = 0;
+    for (GateId ff : group0) {
+      if (bannedFfs.count(ff) != 0) continue;
+      if (hosts0++ == opt.numGks) break;
+      for (GateId g : faninCone(nl, nl.gate(ff).fanin[0])) {
+        const NetId n = nl.gate(g).out;
+        if (slackOk[n] && !taken[n]) {
+          taken[n] = true;
+          preferred.push_back(n);
+        }
+      }
+    }
+    // Shuffle within each tier (host cones first, then the rest) and keep
+    // the tier order so key gates land on the GK paths first.
+    rng.shuffle(preferred);
+    std::vector<NetId> filler;
+    for (NetId n = 0; n < nl.numNets(); ++n)
+      if (slackOk[n] && !taken[n]) filler.push_back(n);
+    rng.shuffle(filler);
+    preferred.insert(preferred.end(), filler.begin(), filler.end());
+    xorLockInPlace(nl, opt.hybridXorKeys, rng, xorKeys, xorKeyBits, "keyin_x",
+                   std::move(preferred), /*shuffleCandidates=*/false);
+  }
+
+  // --- feasibility analysis (Table I) ---------------------------------------
+  const std::vector<FfCandidate> cands = analyzeFlops(nl, sta, gk, selOpt);
+  res.availableFfs = countAvailable(cands);
+  std::vector<GateId> group = karmakarGroup(nl, cands);
+  res.karmakarFfs = group.size();
+
+  // --- host selection: prefer the Karmakar group, then other available -----
+  std::vector<GateId> others;
+  for (const FfCandidate& c : cands) {
+    if (!c.available) continue;
+    if (std::find(group.begin(), group.end(), c.ff) != group.end()) continue;
+    others.push_back(c.ff);
+  }
+  rng.shuffle(group);
+  rng.shuffle(others);
+  std::vector<GateId> order = group;
+  order.insert(order.end(), others.begin(), others.end());
+
+  std::vector<const FfCandidate*> byFf(nl.numGates(), nullptr);
+  for (const FfCandidate& c : cands) byFf[c.ff] = &c;
+
+  std::vector<GateId> hosts;
+  for (GateId ff : order) {
+    if (bannedFfs.count(ff) != 0) continue;
+    hosts.push_back(ff);
+    if (static_cast<int>(hosts.size()) == opt.numGks) break;
+  }
+
+  // --- GK + KEYGEN insertion ------------------------------------------------
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const GateId ff = hosts[i];
+    const FfCandidate& c = *byFf[ff];
+
+    // Correct trigger: centre the glitch's coverage of the capture window.
+    const Ps capture = c.tCapture;
+    const Ps coverSlack = opt.glitchLen - lib.setupTime() - lib.holdTime();
+    Ps trigStar = capture - lib.setupTime() - coverSlack / 2 - gk.react();
+    trigStar = std::clamp(trigStar, c.onGlitch.lo + 1, c.onGlitch.hi - 1);
+
+    // Wrong trigger: a glitch that misses the capture window entirely —
+    // early (Eq. 6) when the cycle has room, else late (after the hold
+    // edge), so the wrong key cleanly captures the inverted value.
+    Ps trigWrong;
+    if (c.offGlitch.valid()) {
+      trigWrong = (c.offGlitch.lo + c.offGlitch.hi) / 2;
+    } else {
+      trigWrong = capture + lib.holdTime() + 2 * opt.margin - gk.react();
+    }
+    if (keygenTapForTrigger(trigWrong, lib) < 0)
+      trigWrong = keygenEarliestTrigger(lib);
+
+    GkParams p = proto;
+    const Ps tapStar = keygenTapForTrigger(trigStar, lib);
+    assert(tapStar >= 0);
+    if (opt.bufferVariant) {
+      // Variant (b): a constant key is correct (buffer); any transition
+      // fires an inverter-level glitch, so *both* ADB taps are timed onto
+      // the capture window to guarantee corruption.
+      p.correct = rng.flip() ? GkBehavior::kConst1 : GkBehavior::kConst0;
+      Ps trigStar2 = std::clamp(trigStar + opt.margin, c.onGlitch.lo + 1,
+                                c.onGlitch.hi - 1);
+      p.trigDelayA = tapStar;
+      p.trigDelayB = std::max<Ps>(0, keygenTapForTrigger(trigStar2, lib));
+    } else {
+      const bool correctIsA = rng.flip();
+      p.correct = correctIsA ? GkBehavior::kTrigA : GkBehavior::kTrigB;
+      const Ps tapWrong = std::max<Ps>(0, keygenTapForTrigger(trigWrong, lib));
+      p.trigDelayA = correctIsA ? tapStar : tapWrong;
+      p.trigDelayB = correctIsA ? tapWrong : tapStar;
+    }
+
+    GkInsertion ins =
+        insertGkAtFlop(nl, ff, p, "gk" + std::to_string(i));
+    const auto [k1, k2] = keyBitsFor(p.correct);
+    res.design.keyInputs.push_back(ins.keygen.k1);
+    res.design.correctKey.push_back(k1);
+    res.design.keyInputs.push_back(ins.keygen.k2);
+    res.design.correctKey.push_back(k2);
+    res.insertions.push_back(std::move(ins));
+    res.lockedFfs.push_back(ff);
+  }
+
+  // Append the hybrid XOR keys after the GK keys.
+  res.design.keyInputs.insert(res.design.keyInputs.end(), xorKeys.begin(),
+                              xorKeys.end());
+  res.design.correctKey.insert(res.design.correctKey.end(), xorKeyBits.begin(),
+                               xorKeyBits.end());
+
+  // --- re-synthesis: map ideal delay elements to cell chains ---------------
+  if (opt.mapDelays) mapDelayElements(nl, lib);
+
+  // --- clock arrivals for the final flop list (KEYGEN flops at trunk) ------
+  res.clockArrival = pr.clockArrival;
+  res.clockArrival.resize(nl.flops().size(), kPostPlacementClockArrival);
+
+  // --- STA re-check: classify false vs true violations ---------------------
+  {
+    Sta recheck(nl, staCfg, lib);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      recheck.setClockArrival(nl.flops()[i], res.clockArrival[i]);
+    const StaResult t = recheck.run();
+    for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+      if (t.setupSlack[i] >= 0) continue;
+      const GateId ff = nl.flops()[i];
+      const bool isGkHost =
+          std::find(res.lockedFfs.begin(), res.lockedFfs.end(), ff) !=
+          res.lockedFfs.end();
+      if (isGkHost)
+        ++res.falseViolations;  // deliberate delay: paper Sec. IV-B
+      else
+        ++res.trueViolations;
+    }
+    for (const Ps s : t.poSlack)
+      if (s < 0) ++res.trueViolations;
+  }
+
+  res.design.netlist = std::move(nl);
+  res.design.scheme = opt.hybridXorKeys > 0 ? "gk+xor" : "gk";
+
+  // --- overheads -------------------------------------------------------------
+  res.lockedStats = res.design.netlist.stats(lib);
+  res.cellOverheadPct =
+      100.0 *
+      (static_cast<double>(res.lockedStats.numCells) -
+       static_cast<double>(res.originalStats.numCells)) /
+      static_cast<double>(res.originalStats.numCells);
+  res.areaOverheadPct = 100.0 *
+                        (toUm2(res.lockedStats.area) - toUm2(res.originalStats.area)) /
+                        toUm2(res.originalStats.area);
+  return res;
+}
+
+}  // namespace
+
+GkFlowResult runGkFlow(const Netlist& original, const GkFlowOptions& opt) {
+  Rng rng(opt.seed);
+  std::set<GateId> banned;
+  GkFlowResult res;
+
+  for (int round = 0; round <= opt.maxRepairRounds; ++round) {
+    res = buildAttempt(original, opt, banned, rng);
+    res.repairRounds = round;
+    if (res.insertions.empty()) return res;
+
+    VerifyOptions vo;
+    vo.clockPeriod = res.clockPeriod;
+    vo.cycles = opt.verifyCycles;
+    vo.seed = opt.seed ^ 0xABCDEF;
+    vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+    res.verify =
+        verifySequential(original, res.design.netlist, original.flops().size(),
+                         res.clockArrival, res.design.keyInputs,
+                         res.design.correctKey, vo);
+    if (res.verify.ok() && res.trueViolations == 0) return res;
+
+    // Repair: ban the hosts implicated by the earliest mismatch (the flop
+    // ids of the clone equal the original's — cloneNetlist preserves gate
+    // order), or every host when attribution is empty.
+    bool attributed = false;
+    for (std::size_t fi : res.verify.firstMismatchFlops) {
+      const GateId ff = original.flops()[fi];
+      if (std::find(res.lockedFfs.begin(), res.lockedFfs.end(), ff) !=
+          res.lockedFfs.end()) {
+        banned.insert(ff);
+        attributed = true;
+      }
+    }
+    if (!attributed)
+      for (GateId ff : res.lockedFfs) banned.insert(ff);
+  }
+  return res;
+}
+
+VerifyReport verifySequential(const Netlist& original, const Netlist& locked,
+                              std::size_t numSharedFlops,
+                              const std::vector<Ps>& lockedClockArrival,
+                              const std::vector<NetId>& keyInputs,
+                              const std::vector<int>& keyValues,
+                              const VerifyOptions& vo) {
+  VerifyReport rep;
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  assert(numSharedFlops == original.flops().size());
+  assert(numSharedFlops <= locked.flops().size());
+  assert(lockedClockArrival.size() == locked.flops().size());
+  assert(keyInputs.size() == keyValues.size());
+  assert(original.inputs().size() + keyInputs.size() == locked.inputs().size());
+
+  const Ps tclk = vo.clockPeriod;
+  const int cycles = vo.cycles;
+  EventSimConfig cfg;
+  cfg.clockPeriod = tclk;
+  cfg.simTime = static_cast<Ps>(cycles + 1) * tclk;
+  EventSim sim(locked, cfg, lib);
+  for (std::size_t i = 0; i < locked.flops().size(); ++i)
+    sim.setClockArrival(locked.flops()[i], lockedClockArrival[i]);
+  for (std::size_t i = 0; i < keyInputs.size(); ++i)
+    sim.setInitialInput(keyInputs[i], logicFromBool(keyValues[i] != 0));
+
+  // Random per-cycle PI patterns.
+  Rng rng(vo.seed);
+  const std::size_t numPIs = original.inputs().size();
+  std::vector<std::vector<Logic>> pattern(
+      static_cast<std::size_t>(cycles), std::vector<Logic>(numPIs, Logic::F));
+  for (auto& cyc : pattern)
+    for (Logic& v : cyc) v = logicFromBool(rng.flip());
+
+  for (std::size_t p = 0; p < numPIs; ++p) {
+    const NetId pi = locked.inputs()[p];
+    sim.setInitialInput(pi, pattern[0][p]);
+    for (int k = 1; k < cycles; ++k)
+      sim.drive(pi, static_cast<Ps>(k) * tclk + vo.inputArrival, pattern[static_cast<std::size_t>(k)][p]);
+  }
+  sim.run();
+
+  auto stateAfterEdge = [&](int m) {
+    std::vector<Logic> s(numSharedFlops);
+    for (std::size_t i = 0; i < numSharedFlops; ++i) {
+      const NetId q = locked.gate(locked.flops()[i]).out;
+      s[i] = sim.valueAt(q, static_cast<Ps>(m) * tclk + lockedClockArrival[i] +
+                                lib.clkToQ() + 20);
+    }
+    return s;
+  };
+
+  const int m0 = vo.syncCycle;
+  if (cycles <= m0 + 1) return rep;  // nothing comparable
+
+  SequentialSim ref(original);
+  ref.setState(stateAfterEdge(m0));
+
+  for (int m = m0; m + 1 < cycles; ++m) {
+    const std::vector<Logic> poRef = ref.step(pattern[static_cast<std::size_t>(m)]);
+    for (std::size_t j = 0; j < original.outputs().size(); ++j) {
+      const Logic got =
+          sim.valueAt(locked.outputs()[j], static_cast<Ps>(m + 1) * tclk);
+      if (got != poRef[j]) ++rep.poMismatches;
+    }
+    const std::vector<Logic> sGot = stateAfterEdge(m + 1);
+    bool anyHere = false;
+    for (std::size_t i = 0; i < numSharedFlops; ++i) {
+      if (sGot[i] != ref.state()[i]) {
+        ++rep.stateMismatches;
+        if (rep.firstMismatchFlops.empty() || anyHere) {
+          rep.firstMismatchFlops.push_back(i);
+          anyHere = true;
+        }
+      }
+    }
+    ++rep.cyclesCompared;
+  }
+
+  const Ps syncTime = static_cast<Ps>(m0) * tclk;
+  for (const TimingViolation& v : sim.violations())
+    if (v.edge > syncTime) ++rep.simViolations;
+  return rep;
+}
+
+}  // namespace gkll

@@ -1,0 +1,109 @@
+// The complete GK insertion flow of paper Sec. IV-B, with the commercial
+// EDA stages replaced by this repository's substitutes:
+//
+//   synth (DC)    -> the netlist arrives already mapped to our library
+//   P&R (ICC)     -> flow/placement: wire delays + clock skew
+//   STA (PT)      -> timing/sta: slacks, Eq. (1) bounds per flop
+//   select        -> flow/ff_select: available flops (Table I) + [4] group
+//   insert        -> lock/glitch_keygate: GK + KEYGEN per chosen flop
+//   re-synthesis  -> flow/synth: ideal delay elements -> cell chains
+//   re-check      -> STA again: classify expected "false" setup violations
+//                    on GK paths vs true violations; repair loop on true
+//                    violations (drop the offending flop, pick another)
+//   sign-off      -> timing-accurate event simulation against the original
+//                    (verifySequential), the ground truth EDA cannot give.
+//
+// The flow also implements the Table II hybrid mode: half the key budget
+// as conventional XOR/XNOR key gates spliced into slack-filtered nets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/ff_select.h"
+#include "flow/placement.h"
+#include "lock/glitch_keygate.h"
+#include "lock/locking.h"
+#include "timing/sta.h"
+
+namespace gkll {
+
+struct GkFlowOptions {
+  int numGks = 4;
+  int hybridXorKeys = 0;    ///< additional conventional XOR/XNOR key gates
+  Ps glitchLen = ns(1);     ///< paper Sec. VI: 1 ns, on-glitch transmission
+  Ps margin = 150;          ///< window safety margin (ps)
+  Ps clockPeriod = 0;       ///< 0 = derive from the original design's STA
+  bool mapDelays = true;    ///< run the re-synthesis (delay mapping) stage
+  /// Insert Fig. 3(b) GKs instead of Fig. 3(a): the gate buffers under a
+  /// *constant* key and its glitch inverts, so the secret behaviour is
+  /// kConst0/kConst1 and both ADB taps are timed on-glitch (any transition
+  /// key corrupts).  Caveat the paper leaves implicit: the two constants
+  /// are behaviourally identical, so each variant-(b) GK has two correct
+  /// (k1,k2) assignments — half the key space of variant (a).
+  bool bufferVariant = false;
+  int verifyCycles = 24;
+  int maxRepairRounds = 3;
+  std::uint64_t seed = 11;
+  PlacementOptions placement;
+};
+
+/// Timing-accurate functional comparison of locked vs original.
+struct VerifyReport {
+  int cyclesCompared = 0;
+  int stateMismatches = 0;  ///< flop-state divergences after sync
+  int poMismatches = 0;     ///< primary-output divergences after sync
+  int simViolations = 0;    ///< setup/hold violations observed after sync
+  /// Flop indices (shared-flop order) that diverged on the earliest
+  /// mismatching cycle — the repair loop's attribution signal.
+  std::vector<std::size_t> firstMismatchFlops;
+  bool ok() const {
+    return cyclesCompared > 0 && stateMismatches == 0 && poMismatches == 0 &&
+           simViolations == 0;
+  }
+};
+
+struct GkFlowResult {
+  LockedDesign design;  ///< keyInputs: [gk0.k1, gk0.k2, ...] then XOR keys
+  std::vector<GkInsertion> insertions;
+  std::vector<GateId> lockedFfs;  ///< host flops that received a GK
+  Ps clockPeriod = 0;
+  /// Clock arrival per flop of design.netlist (flops() order; KEYGEN flops
+  /// ride the clock trunk at arrival 0).
+  std::vector<Ps> clockArrival;
+  NetlistStats originalStats;
+  NetlistStats lockedStats;
+  double cellOverheadPct = 0;
+  double areaOverheadPct = 0;
+  std::size_t availableFfs = 0;   ///< Table I "Ava. FF"
+  std::size_t karmakarFfs = 0;    ///< Table I "Ava. FF [4]"
+  int falseViolations = 0;  ///< STA setup violations on GK paths (expected)
+  int trueViolations = 0;   ///< violations elsewhere after repair (must be 0)
+  int repairRounds = 0;
+  VerifyReport verify;      ///< sign-off under the correct key
+};
+
+/// Run the full flow on `original` (which must be sequential).
+GkFlowResult runGkFlow(const Netlist& original, const GkFlowOptions& opt);
+
+struct VerifyOptions {
+  Ps clockPeriod = ns(10);
+  int cycles = 24;
+  std::uint64_t seed = 99;
+  Ps inputArrival = 120;  ///< when PI values change within a cycle
+  int syncCycle = 2;      ///< warm-up before states are compared
+};
+
+/// Drive `locked` with random per-cycle PI patterns and constant key bits
+/// in the event-driven simulator; synchronise the original's state to the
+/// locked circuit's captured state at `syncCycle`, then compare flop
+/// states and PO values cycle by cycle.  The first `numSharedFlops` of
+/// locked.flops() must correspond 1:1 to original.flops().
+VerifyReport verifySequential(const Netlist& original, const Netlist& locked,
+                              std::size_t numSharedFlops,
+                              const std::vector<Ps>& lockedClockArrival,
+                              const std::vector<NetId>& keyInputs,
+                              const std::vector<int>& keyValues,
+                              const VerifyOptions& vo);
+
+}  // namespace gkll

@@ -1,0 +1,43 @@
+#include "flow/placement.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gkll {
+
+PlacementResult placeAndRoute(Netlist& nl, const PlacementOptions& opt) {
+  PlacementResult res;
+  Rng rng(opt.seed);
+
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    Net& net = nl.net(n);
+    if (net.driver == kNoGate) continue;
+    const CellKind k = nl.gate(net.driver).kind;
+    if (isSourceKind(k) || k == CellKind::kDelay) {
+      net.wireDelay = 0;
+      continue;
+    }
+    const Ps fanout = static_cast<Ps>(net.fanouts.size());
+    const Ps extra = fanout > 1 ? (fanout - 1) * opt.wireDelayPerFanout : 0;
+    const Ps jitter =
+        opt.wireJitter > 0 ? static_cast<Ps>(rng.below(
+                                 static_cast<std::uint64_t>(opt.wireJitter) + 1))
+                           : 0;
+    net.wireDelay = opt.baseWireDelay + extra + jitter;
+    res.maxWireDelay = std::max(res.maxWireDelay, net.wireDelay);
+  }
+
+  res.clockArrival.reserve(nl.flops().size());
+  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+    const Ps skew =
+        opt.maxClockSkew > 0
+            ? static_cast<Ps>(rng.below(
+                  static_cast<std::uint64_t>(opt.maxClockSkew) + 1))
+            : 0;
+    res.clockArrival.push_back(skew);
+  }
+  return res;
+}
+
+}  // namespace gkll

@@ -1,0 +1,43 @@
+// Placement & routing substitute (the IC Compiler role).
+//
+// The paper's flow needs P&R for exactly two artefacts: post-layout wire
+// delays and clock-tree skew between flops.  We model wire delay as a
+// fanout-dependent per-net annotation and clock skew as a bounded
+// deterministic per-flop offset, both derived from a seeded hash so that
+// re-running the flow reproduces the identical "layout".  The default
+// skew bound (80 ps) is kept below clkToQ - Thold - minWire so a plain
+// Q->D path can never hold-violate, mirroring a hold-fixed real layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct PlacementOptions {
+  std::uint64_t seed = 7;
+  Ps baseWireDelay = 8;       ///< every routed net
+  Ps wireDelayPerFanout = 12; ///< extra per additional sink
+  Ps wireJitter = 10;         ///< uniform extra in [0, jitter]
+  Ps maxClockSkew = 80;       ///< per-flop clock arrival in [0, maxClockSkew]
+};
+
+struct PlacementResult {
+  /// Clock arrival per flop, aligned with netlist.flops().
+  std::vector<Ps> clockArrival;
+  Ps maxWireDelay = 0;
+};
+
+/// Annotate wire delays onto the netlist (in place) and compute clock
+/// arrivals.  Nets driven by kInput/kConst and kDelay outputs get zero
+/// wire delay (delay elements already model their wire budget).
+PlacementResult placeAndRoute(Netlist& nl, const PlacementOptions& opt);
+
+/// Clock arrival for flops added *after* P&R (e.g. KEYGEN flops): the GK
+/// flow places them next to their GK, on the trunk of the clock tree
+/// (zero skew).
+inline constexpr Ps kPostPlacementClockArrival = 0;
+
+}  // namespace gkll

@@ -1,0 +1,113 @@
+#include "flow/scan_chain.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/event_sim.h"
+
+namespace gkll {
+
+ScanChain insertScanChain(Netlist& nl, const std::vector<GateId>& exclude) {
+  ScanChain chain;
+  chain.scanEnable = nl.addPI("scan_en");
+  chain.scanIn = nl.addPI("scan_in");
+  for (GateId ff : nl.flops()) {  // snapshot before we add any gates
+    if (std::find(exclude.begin(), exclude.end(), ff) == exclude.end())
+      chain.order.push_back(ff);
+  }
+
+  NetId prev = chain.scanIn;
+  for (GateId ff : chain.order) {
+    const NetId d = nl.gate(ff).fanin[0];
+    const NetId dScan = nl.addNet(nl.net(nl.gate(ff).out).name + "_sd");
+    const GateId mux =
+        nl.addGate(CellKind::kMux2, {chain.scanEnable, d, prev}, dScan);
+    nl.replaceFanin(ff, d, dScan);
+    chain.muxes.push_back(mux);
+    prev = nl.gate(ff).out;
+  }
+  chain.scanOut = prev;
+  nl.markPO(chain.scanOut);
+  assert(!nl.validate().has_value());
+  return chain;
+}
+
+ScanSessionResult runScanSession(const Netlist& nl, const ScanChain& chain,
+                                 const std::vector<Logic>& stateIn,
+                                 const std::vector<Logic>& piValues,
+                                 const ScanSessionConfig& cfg) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  const std::size_t n = chain.order.size();
+  assert(stateIn.size() == n);
+  const Ps tclk = cfg.clockPeriod;
+  const Ps inputAt = lib.clkToQ();  // PI change offset within a cycle
+
+  EventSimConfig ecfg;
+  ecfg.clockPeriod = tclk;
+  ecfg.simTime = static_cast<Ps>(2 * n + 2) * tclk;
+  EventSim sim(nl, ecfg, lib);
+  if (!cfg.clockArrival.empty()) {
+    assert(cfg.clockArrival.size() == nl.flops().size());
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      sim.setClockArrival(nl.flops()[i], cfg.clockArrival[i]);
+  }
+  for (std::size_t i = 0; i < cfg.keyInputs.size(); ++i)
+    sim.setInitialInput(cfg.keyInputs[i],
+                        logicFromBool(cfg.keyValues[i] != 0));
+
+  // Functional primary inputs stay constant for the whole session.
+  std::size_t p = 0;
+  for (NetId pi : nl.inputs()) {
+    if (pi == chain.scanEnable || pi == chain.scanIn) continue;
+    if (std::find(cfg.keyInputs.begin(), cfg.keyInputs.end(), pi) !=
+        cfg.keyInputs.end())
+      continue;
+    assert(p < piValues.size());
+    sim.setInitialInput(pi, piValues[p++]);
+  }
+
+  // Shift in: the bit captured at edge k ends at chain position n - k.
+  sim.setInitialInput(chain.scanEnable, Logic::T);
+  sim.setInitialInput(chain.scanIn, stateIn[n - 1]);
+  for (std::size_t k = 2; k <= n; ++k)
+    sim.drive(chain.scanIn, static_cast<Ps>(k - 1) * tclk + inputAt,
+              stateIn[n - k]);
+
+  // One functional capture at edge n + 1.
+  sim.drive(chain.scanEnable, static_cast<Ps>(n) * tclk + inputAt, Logic::F);
+  sim.drive(chain.scanEnable, static_cast<Ps>(n + 1) * tclk + inputAt,
+            Logic::T);
+  sim.run();
+
+  ScanSessionResult res;
+  // Primary outputs settle just before the capture edge.
+  for (NetId po : nl.outputs())
+    res.poValues.push_back(
+        sim.valueAt(po, static_cast<Ps>(n + 1) * tclk));
+
+  // Shift out: position p's captured value appears at scan_out after
+  // n-1-p further shift edges.
+  const GateId last = chain.order.back();
+  const auto& flops = nl.flops();
+  const std::size_t lastIdx = static_cast<std::size_t>(
+      std::find(flops.begin(), flops.end(), last) - flops.begin());
+  const Ps lastSkew =
+      cfg.clockArrival.empty() ? 0 : cfg.clockArrival[lastIdx];
+  res.captured.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const Ps edge =
+        static_cast<Ps>(n + 1 + (n - 1 - pos)) * tclk + lastSkew;
+    res.captured[pos] =
+        sim.valueAt(chain.scanOut, edge + lib.clkToQ() + 20);
+  }
+
+  // Only the functional capture edge is timing-relevant for the caller.
+  for (const TimingViolation& v : sim.violations()) {
+    if (v.edge > static_cast<Ps>(n) * tclk &&
+        v.edge <= static_cast<Ps>(n + 1) * tclk + 100)
+      ++res.violations;
+  }
+  return res;
+}
+
+}  // namespace gkll

@@ -1,0 +1,68 @@
+// Scan-chain insertion — the BIST structure behind the paper's Sec. VI
+// weakness discussion, as a real netlist transform.
+//
+// Every flop's D pin gets a scan multiplexer: D' = MUX(scan_enable, D,
+// previous flop's Q); the first chain position reads the scan_in primary
+// input and the last flop's Q is exported as scan_out.  With scan_enable
+// high the flops form a shift register (state load/readout), with it low
+// the circuit runs functionally — which is exactly the access model the
+// scan attack (attack/scan_attack) and the TimingOracle assume.  The
+// event-driven ScanSession below performs a full shift-in / capture /
+// shift-out sequence and is used by the tests to validate that
+// abstraction against the physical simulation, GK glitches included.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+struct ScanChain {
+  NetId scanEnable = kNoNet;  ///< PI: 1 = shift, 0 = functional capture
+  NetId scanIn = kNoNet;      ///< PI: serial data in
+  NetId scanOut = kNoNet;     ///< PO: serial data out (last flop's Q)
+  /// Flops in chain order (scan_in feeds order[0]).
+  std::vector<GateId> order;
+  /// The inserted scan MUXes, aligned with `order`.
+  std::vector<GateId> muxes;
+};
+
+/// Stitch the flops of `nl` into one scan chain (in flops() order).
+/// Call *after* any locking transforms so key structures are inside the
+/// scanned logic, as in a real DFT flow.  Flops listed in `exclude` stay
+/// off the chain — GK designs keep their KEYGEN toggle flops unscanned,
+/// so the per-cycle key transitions continue through shift mode (the
+/// "shift pulses keep the KEYGEN toggling" model of the TimingOracle).
+ScanChain insertScanChain(Netlist& nl,
+                          const std::vector<GateId>& exclude = {});
+
+/// One complete scan operation, run on the event-driven simulator:
+/// shift the state in (N cycles, scan_enable high), apply one functional
+/// capture cycle, then shift the captured state out and return it.
+struct ScanSessionResult {
+  /// Captured state read back through scan_out, in chain order.
+  std::vector<Logic> captured;
+  int violations = 0;
+  /// Settled primary-output values just before the capture edge.
+  std::vector<Logic> poValues;
+};
+
+struct ScanSessionConfig {
+  Ps clockPeriod = ns(8);
+  /// Clock arrival per flop (flops() order); empty = all zero.
+  std::vector<Ps> clockArrival;
+  /// Key inputs held constant for the whole session.
+  std::vector<NetId> keyInputs;
+  std::vector<int> keyValues;
+};
+
+ScanSessionResult runScanSession(const Netlist& nl, const ScanChain& chain,
+                                 const std::vector<Logic>& stateIn,
+                                 const std::vector<Logic>& piValues,
+                                 const ScanSessionConfig& cfg);
+
+}  // namespace gkll

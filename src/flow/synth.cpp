@@ -1,0 +1,170 @@
+#include "flow/synth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gkll {
+namespace {
+
+struct PairStep {
+  int drive;
+  Ps delay;  ///< symmetric per-edge delay of one inverter pair
+};
+
+}  // namespace
+
+ChainPlan planDelayChain(Ps target, const CellLibrary& lib) {
+  ChainPlan plan;
+  if (target <= 0) return plan;  // mapped to a wire (caller adds a buffer)
+
+  // Coarse steps: dedicated delay cells (rise/fall symmetric by design).
+  const Ps d64 = lib.info(CellKind::kBuf, 64).rise;  // DLY8
+  const Ps d32 = lib.info(CellKind::kBuf, 32).rise;  // DLY4
+  const Ps d16 = lib.info(CellKind::kBuf, 16).rise;  // DLY2
+  const Ps d8 = lib.info(CellKind::kBuf, 8).rise;    // DLY1
+  // Fine steps: inverter pairs, rise/fall symmetric (a rising input falls
+  // through the first INV and rises through the second: rise+fall both
+  // ways).
+  const PairStep pairs[] = {
+      {1, lib.info(CellKind::kInv, 1).rise + lib.info(CellKind::kInv, 1).fall},
+      {2, lib.info(CellKind::kInv, 2).rise + lib.info(CellKind::kInv, 2).fall},
+      {4, lib.info(CellKind::kInv, 4).rise + lib.info(CellKind::kInv, 4).fall},
+  };
+  // One optional plain buffer as the finisher (small rise/fall asymmetry).
+  const CellInfo bufs[] = {lib.info(CellKind::kBuf, 1),
+                           lib.info(CellKind::kBuf, 2),
+                           lib.info(CellKind::kBuf, 4)};
+  const int bufDrive[] = {1, 2, 4};
+
+  // Within the flow's timing margin a chain is "good enough" at +/-25 ps;
+  // among good-enough plans the mapper minimises cell count (that is the
+  // actual synthesis objective and the knob behind Table II's overheads).
+  constexpr Ps kTolerance = 25;
+  Ps bestErr = INT64_MAX;
+  int bestCells = INT32_MAX;
+  int bC64 = 0, bC32 = 0, bC16 = 0, bC8 = 0, bP1 = 0, bP2 = 0, bP4 = 0,
+      bBuf = -1;
+  const int max64 = static_cast<int>(target / d64) + 1;
+  for (int c64 = 0; c64 <= std::min(max64, 64); ++c64) {
+    for (int c32 = 0; c32 <= 1; ++c32) {
+      for (int c16 = 0; c16 <= 1; ++c16) {
+        for (int c8 = 0; c8 <= 1; ++c8) {
+          for (int p1 = 0; p1 <= 2; ++p1) {
+            for (int p2 = 0; p2 <= 1; ++p2) {
+              for (int p4 = 0; p4 <= 1; ++p4) {
+                const Ps base = c64 * d64 + c32 * d32 + c16 * d16 + c8 * d8 +
+                                p1 * pairs[0].delay + p2 * pairs[1].delay +
+                                p4 * pairs[2].delay;
+                for (int b = -1; b < 3; ++b) {
+                  Ps rise = base, fall = base;
+                  if (b >= 0) {
+                    rise += bufs[b].rise;
+                    fall += bufs[b].fall;
+                  }
+                  const Ps err = std::max(std::llabs(rise - target),
+                                          std::llabs(fall - target));
+                  const int cells = c64 + c32 + c16 + c8 +
+                                    2 * (p1 + p2 + p4) + (b >= 0 ? 1 : 0);
+                  const bool better =
+                      (err <= kTolerance && bestErr <= kTolerance)
+                          ? cells < bestCells ||
+                                (cells == bestCells && err < bestErr)
+                          : err < bestErr;
+                  if (better) {
+                    bestErr = err;
+                    bestCells = cells;
+                    bC64 = c64;
+                    bC32 = c32;
+                    bC16 = c16;
+                    bC8 = c8;
+                    bP1 = p1;
+                    bP2 = p2;
+                    bP4 = p4;
+                    bBuf = b;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (int i = 0; i < bC64; ++i) plan.cells.emplace_back(CellKind::kBuf, 64);
+  for (int i = 0; i < bC32; ++i) plan.cells.emplace_back(CellKind::kBuf, 32);
+  for (int i = 0; i < bC16; ++i) plan.cells.emplace_back(CellKind::kBuf, 16);
+  for (int i = 0; i < bC8; ++i) plan.cells.emplace_back(CellKind::kBuf, 8);
+  auto pushPairs = [&](int count, int drive) {
+    for (int i = 0; i < count; ++i) {
+      plan.cells.emplace_back(CellKind::kInv, drive);
+      plan.cells.emplace_back(CellKind::kInv, drive);
+    }
+  };
+  pushPairs(bP1, 1);
+  pushPairs(bP2, 2);
+  pushPairs(bP4, 4);
+  plan.rise = plan.fall = bC64 * d64 + bC32 * d32 + bC16 * d16 + bC8 * d8 +
+                          bP1 * pairs[0].delay + bP2 * pairs[1].delay +
+                          bP4 * pairs[2].delay;
+  if (bBuf >= 0) {
+    plan.cells.emplace_back(CellKind::kBuf, bufDrive[bBuf]);
+    plan.rise += bufs[bBuf].rise;
+    plan.fall += bufs[bBuf].fall;
+  }
+  return plan;
+}
+
+SynthReport mapDelayElements(Netlist& nl, const CellLibrary& lib) {
+  SynthReport report;
+  // Snapshot the delay gates first; we add gates while iterating.
+  std::vector<GateId> delays;
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (!(gg.out == kNoNet && gg.fanin.empty()) && gg.kind == CellKind::kDelay)
+      delays.push_back(g);
+  }
+
+  for (GateId g : delays) {
+    const NetId in = nl.gate(g).fanin[0];
+    const NetId out = nl.gate(g).out;
+    const Ps target = nl.gate(g).delayPs;
+    nl.removeGate(g);
+
+    DelayChain chain;
+    chain.sourceDelay = g;
+    chain.target = target;
+
+    ChainPlan plan = planDelayChain(target, lib);
+    if (plan.cells.empty()) {
+      // Degenerate target: a single X4 buffer keeps the net driven.
+      plan.cells.emplace_back(CellKind::kBuf, 4);
+      plan.rise = lib.info(CellKind::kBuf, 4).rise;
+      plan.fall = lib.info(CellKind::kBuf, 4).fall;
+    }
+
+    NetId cur = in;
+    for (std::size_t i = 0; i < plan.cells.size(); ++i) {
+      const auto [kind, drive] = plan.cells[i];
+      const bool last = i + 1 == plan.cells.size();
+      const NetId next = last ? out : nl.addNet();
+      const GateId cell = nl.addGate(kind, {cur}, next);
+      nl.gate(cell).drive = static_cast<std::uint8_t>(drive);
+      chain.cells.push_back(cell);
+      report.areaAdded += lib.info(kind, drive).area;
+      ++report.cellsAdded;
+      cur = next;
+    }
+    chain.achievedRise = plan.rise;
+    chain.achievedFall = plan.fall;
+    report.worstError = std::max(
+        {report.worstError, static_cast<Ps>(std::llabs(plan.rise - target)),
+         static_cast<Ps>(std::llabs(plan.fall - target))});
+    report.chains.push_back(std::move(chain));
+  }
+  assert(!nl.validate().has_value());
+  return report;
+}
+
+}  // namespace gkll

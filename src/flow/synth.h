@@ -1,0 +1,53 @@
+// Synthesis substitute (the Design Compiler role in the paper's flow).
+//
+// The one synthesis capability the GK flow actually needs from DC is
+// mapping *ideal delay elements* onto chains of real library cells under
+// a min-delay design constraint (paper Sec. IV-B: "Design Compiler maps
+// delay elements from the library for satisfying the constraints").  We
+// compose chains from inverter *pairs* (drive X1/X2/X4), which are
+// symmetric in rise/fall, plus at most one buffer for fine adjustment.
+// Exactly as the paper observes (Sec. VI reasons 1-3), these chains cost
+// many more cells than the GK logic itself and dominate the area
+// overhead of Table II.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Outcome of mapping one ideal delay element.
+struct DelayChain {
+  GateId sourceDelay = kNoGate;  ///< the replaced kDelay gate
+  std::vector<GateId> cells;     ///< inserted BUF/INV cells (may be empty)
+  Ps target = 0;
+  Ps achievedRise = 0;  ///< chain delay for a rising input transition
+  Ps achievedFall = 0;
+};
+
+/// Aggregate report of a mapping pass.
+struct SynthReport {
+  std::vector<DelayChain> chains;
+  int cellsAdded = 0;
+  CentiUm2 areaAdded = 0;
+  Ps worstError = 0;  ///< max |achieved - target| over both edges
+};
+
+/// Plan a delay chain for `target` ps without touching the netlist:
+/// returns the cell sequence as (kind, drive) pairs.
+struct ChainPlan {
+  std::vector<std::pair<CellKind, int>> cells;
+  Ps rise = 0;
+  Ps fall = 0;
+};
+ChainPlan planDelayChain(Ps target,
+                         const CellLibrary& lib = CellLibrary::tsmc013c());
+
+/// Replace every ideal kDelay gate in the netlist with a mapped chain.
+/// Gates with delayPs == 0 become plain buffers.  The netlist remains
+/// valid; GateIds of pre-existing gates are unchanged.
+SynthReport mapDelayElements(Netlist& nl,
+                             const CellLibrary& lib = CellLibrary::tsmc013c());
+
+}  // namespace gkll

@@ -1,0 +1,73 @@
+#include "lock/antisat.h"
+
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+LockedDesign antiSatLock(const Netlist& original, const AntiSatOptions& opt) {
+  LockedDesign ld;
+  ld.scheme = "antisat";
+  std::vector<NetId> netMap;
+  ld.netlist = cloneNetlist(original, netMap);
+  Netlist& nl = ld.netlist;
+  nl.setName(original.name() + "_antisat");
+  const int n = opt.numInputBits;
+  assert(n >= 2 && "the complement tree needs at least two bits");
+  assert(static_cast<int>(nl.inputs().size()) >= n);
+  assert(!nl.outputs().empty());
+
+  Rng rng(opt.seed);
+  // The correct key has KA == KB (element-wise): pick KA at random.
+  std::vector<int> ka(static_cast<std::size_t>(n));
+  for (int& b : ka) b = rng.flip() ? 1 : 0;
+
+  std::vector<NetId> keysA, keysB;
+  for (int i = 0; i < n; ++i)
+    keysA.push_back(nl.addPI("keyin_a" + std::to_string(i)));
+  for (int i = 0; i < n; ++i)
+    keysB.push_back(nl.addPI("keyin_b" + std::to_string(i)));
+
+  auto xorTree = [&](const std::vector<NetId>& keys) {
+    std::vector<NetId> bits;
+    for (int i = 0; i < n; ++i) {
+      const NetId x = nl.inputs()[static_cast<std::size_t>(i)];
+      const NetId b = nl.addNet();
+      nl.addGate(CellKind::kXor2, {x, keys[static_cast<std::size_t>(i)]}, b);
+      bits.push_back(b);
+    }
+    return bits;
+  };
+  auto andReduce = [&](const std::vector<NetId>& bits, bool invertLast) {
+    NetId acc = bits[0];
+    for (std::size_t i = 1; i < bits.size(); ++i) {
+      const NetId next = nl.addNet();
+      const bool last = i + 1 == bits.size();
+      nl.addGate(last && invertLast ? CellKind::kNand2 : CellKind::kAnd2,
+                 {acc, bits[i]}, next);
+      acc = next;
+    }
+    return acc;
+  };
+
+  const NetId g = andReduce(xorTree(keysA), false);      // g(X ^ KA)
+  const NetId gbar = andReduce(xorTree(keysB), true);    // !g(X ^ KB)
+  const NetId y = nl.addNet("antisat_y");
+  nl.addGate(CellKind::kAnd2, {g, gbar}, y);
+
+  const NetId po = nl.outputs()[0];
+  const NetId poEnc = nl.addNet(nl.net(po).name + "_as");
+  nl.rewireReaders(po, poEnc);
+  nl.addGate(CellKind::kXor2, {po, y}, poEnc);
+
+  ld.keyInputs = keysA;
+  ld.keyInputs.insert(ld.keyInputs.end(), keysB.begin(), keysB.end());
+  ld.correctKey = ka;
+  ld.correctKey.insert(ld.correctKey.end(), ka.begin(), ka.end());
+  assert(!nl.validate().has_value());
+  return ld;
+}
+
+}  // namespace gkll

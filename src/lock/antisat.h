@@ -1,0 +1,26 @@
+// Anti-SAT (Xie & Srivastava [13]) — the second SAT-attack-resistant
+// baseline the paper discusses.
+//
+// Two complementary blocks g(X xor KA) and !g(X xor KB) (g = AND tree)
+// feed an AND gate: with the correct keys (KA == KB) the output Y is
+// constantly 0; with wrong keys Y is 1 on a tiny fraction of inputs, so
+// each DIP eliminates few keys and SAT-attack effort grows exponentially
+// in the key width.  Like SARLock, the block's near-constant output makes
+// it locatable by signal-probability analysis (removal attack).
+#pragma once
+
+#include <cstdint>
+
+#include "lock/locking.h"
+
+namespace gkll {
+
+struct AntiSatOptions {
+  int numInputBits = 8;  ///< n: width of each half; total key bits = 2n
+  std::uint64_t seed = 3;
+};
+
+/// Attach an Anti-SAT block (type-0: g = AND tree) to a copy of `original`.
+LockedDesign antiSatLock(const Netlist& original, const AntiSatOptions& opt);
+
+}  // namespace gkll

@@ -1,0 +1,198 @@
+#include "lock/glitch_keygate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll {
+
+std::pair<int, int> keyBitsFor(GkBehavior b) {
+  const int v = static_cast<int>(b);
+  return {(v >> 1) & 1, v & 1};
+}
+
+GkTiming gkTiming(const GkParams& p, const CellLibrary& lib) {
+  GkTiming t;
+  // PathA = delay element A + the gate it feeds (XNOR in variant (a),
+  // XOR in variant (b)); PathB symmetrically.
+  const Ps xnorD = lib.maxDelay(CellKind::kXnor2);
+  const Ps xorD = lib.maxDelay(CellKind::kXor2);
+  t.dPathA = p.gkDelayA + (p.bufferVariant ? xorD : xnorD);
+  t.dPathB = p.gkDelayB + (p.bufferVariant ? xnorD : xorD);
+  t.dMux = lib.maxDelay(CellKind::kMux2);
+  return t;
+}
+
+Ps keygenTriggerTime(Ps trigDelay, const CellLibrary& lib) {
+  return lib.clkToQ() + trigDelay + 2 * lib.maxDelay(CellKind::kMux2);
+}
+
+Ps keygenEarliestTrigger(const CellLibrary& lib) {
+  return keygenTriggerTime(0, lib);
+}
+
+Ps keygenTapForTrigger(Ps trigger, const CellLibrary& lib) {
+  return trigger - keygenEarliestTrigger(lib);
+}
+
+GkInstance buildGk(Netlist& nl, NetId target, NetId keyNet, bool bufferVariant,
+                   Ps delayA, Ps delayB, const std::string& prefix) {
+  GkInstance gk;
+  gk.x = target;
+  gk.keyNet = keyNet;
+  gk.bufferVariant = bufferVariant;
+
+  const NetId aOut = nl.addNet(prefix + "_aout");
+  const NetId bOut = nl.addNet(prefix + "_bout");
+  gk.delayA = nl.addDelay(keyNet, aOut, delayA);
+  gk.delayB = nl.addDelay(keyNet, bOut, delayB);
+
+  // Variant (a): upper gate (selected by key = 0) is the XNOR fed by A.
+  // Variant (b) swaps the two gate kinds (Fig. 3(b)).
+  const NetId upper = nl.addNet(prefix + "_up");
+  const NetId lower = nl.addNet(prefix + "_lo");
+  if (!bufferVariant) {
+    gk.xnorGate = nl.addGate(CellKind::kXnor2, {target, aOut}, upper);
+    gk.xorGate = nl.addGate(CellKind::kXor2, {target, bOut}, lower);
+  } else {
+    gk.xorGate = nl.addGate(CellKind::kXor2, {target, aOut}, upper);
+    gk.xnorGate = nl.addGate(CellKind::kXnor2, {target, bOut}, lower);
+  }
+
+  gk.y = nl.addNet(prefix + "_y");
+  gk.muxGate = nl.addGate(CellKind::kMux2, {keyNet, upper, lower}, gk.y);
+  return gk;
+}
+
+namespace {
+
+KeygenInstance buildKeygen(Netlist& nl, Ps trigDelayA, Ps trigDelayB,
+                           const std::string& prefix) {
+  KeygenInstance kg;
+  kg.trigDelayA = trigDelayA;
+  kg.trigDelayB = trigDelayB;
+  kg.k1 = nl.addPI(prefix + "_k1");
+  kg.k2 = nl.addPI(prefix + "_k2");
+
+  // Toggle flop: q = DFF(!q) produces one transition every clock cycle.
+  const NetId q = nl.addNet(prefix + "_q");
+  const NetId d = nl.addNet(prefix + "_d");
+  const GateId inv = nl.addGate(CellKind::kInv, {q}, d);
+  kg.toggleFf = nl.addGate(CellKind::kDff, {d}, q);
+
+  // Simplified ADB: taps at trigDelayA / trigDelayB, 4:1 MUX from three
+  // MUX2s, Fig. 6 input order {0, tapA, tapB, 1}.
+  const NetId tapA = nl.addNet(prefix + "_tapa");
+  const GateId dA = nl.addDelay(q, tapA, trigDelayA);
+  const NetId tapB = nl.addNet(prefix + "_tapb");
+  const GateId dB = nl.addDelay(q, tapB, trigDelayB);
+  const NetId c0 = nl.constNet(false);
+  const NetId c1 = nl.constNet(true);
+
+  const NetId m0 = nl.addNet(prefix + "_m0");
+  const GateId mux0 = nl.addGate(CellKind::kMux2, {kg.k2, c0, tapA}, m0);
+  const NetId m1 = nl.addNet(prefix + "_m1");
+  const GateId mux1 = nl.addGate(CellKind::kMux2, {kg.k2, tapB, c1}, m1);
+  kg.keyOut = nl.addNet(prefix + "_keyout");
+  const GateId muxT = nl.addGate(CellKind::kMux2, {kg.k1, m0, m1}, kg.keyOut);
+
+  kg.allGates = {inv, kg.toggleFf, dA, dB, mux0, mux1, muxT};
+  return kg;
+}
+
+}  // namespace
+
+GkInsertion insertGkAtFlop(Netlist& nl, GateId ff, const GkParams& p,
+                           const std::string& prefix) {
+  GkInsertion ins;
+  ins.correct = p.correct;
+  ins.keygen = buildKeygen(nl, p.trigDelayA, p.trigDelayB, prefix + "_kg");
+
+  const NetId d = nl.gate(ff).fanin[0];
+  ins.gk = buildGk(nl, d, ins.keygen.keyOut, p.bufferVariant, p.gkDelayA,
+                   p.gkDelayB, prefix);
+  // Only the flop's D pin is re-routed through the GK.
+  nl.replaceFanin(ff, d, ins.gk.y);
+  return ins;
+}
+
+Netlist stripKeygens(const Netlist& locked,
+                     const std::vector<GkInsertion>& insertions,
+                     std::vector<NetId>& gkKeys,
+                     std::vector<NetId>* netMapOut) {
+  // Gates to drop: the backward cone of each GK key net — the whole
+  // KEYGEN, including any buffer/inverter chains re-synthesis put in place
+  // of the ideal delay elements.  Constants and primary inputs stay (they
+  // may be shared); the k1/k2 PIs are dropped explicitly.
+  std::vector<bool> dropGate(locked.numGates(), false);
+  std::vector<bool> dropPI(locked.numNets(), false);
+  for (const GkInsertion& ins : insertions) {
+    dropPI[ins.keygen.k1] = true;
+    dropPI[ins.keygen.k2] = true;
+    std::vector<GateId> stack;
+    const GateId root = locked.net(ins.gk.keyNet).driver;
+    assert(root != kNoGate);
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      if (dropGate[g]) continue;
+      const Gate& gg = locked.gate(g);
+      if (isSourceKind(gg.kind)) continue;  // constants / k1,k2 stay here
+      dropGate[g] = true;
+      for (NetId in : gg.fanin) {
+        const GateId d = locked.net(in).driver;
+        if (d != kNoGate) stack.push_back(d);
+      }
+    }
+  }
+
+  Netlist out(locked.name() + "_attack");
+  // A net survives if its driver survives, it becomes a key input, or it
+  // is an input/constant still referenced.  Build the net set first.
+  std::vector<NetId> netMap(locked.numNets(), kNoNet);
+  auto mapNet = [&](NetId n) {
+    if (netMap[n] == kNoNet) netMap[n] = out.addNet(locked.net(n).name);
+    return netMap[n];
+  };
+
+  for (GateId g = 0; g < locked.numGates(); ++g) {
+    const Gate& gg = locked.gate(g);
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    if (dropGate[g]) continue;
+    if (gg.kind == CellKind::kInput && dropPI[gg.out]) continue;
+    if (gg.kind == CellKind::kInput) {
+      out.addGate(CellKind::kInput, {}, mapNet(gg.out));
+      continue;
+    }
+    std::vector<NetId> fanin;
+    fanin.reserve(gg.fanin.size());
+    for (NetId in : gg.fanin) fanin.push_back(mapNet(in));
+    const GateId ng = out.addGate(gg.kind, std::move(fanin), mapNet(gg.out));
+    out.gate(ng).drive = gg.drive;
+    out.gate(ng).delayPs = gg.delayPs;
+    out.gate(ng).lutMask = gg.lutMask;
+  }
+
+  // Expose the key nets as primary inputs.
+  gkKeys.clear();
+  for (const GkInsertion& ins : insertions) {
+    const NetId kn = mapNet(ins.gk.keyNet);
+    assert(out.net(kn).driver == kNoGate);
+    out.addGate(CellKind::kInput, {}, kn);
+    gkKeys.push_back(kn);
+  }
+
+  // Rebuild the interface lists: original PIs (minus dropped ones) first,
+  // then the exposed key nets.
+  for (NetId pi : locked.inputs()) {
+    if (dropPI[pi]) continue;
+    out.registerPI(netMap[pi]);
+  }
+  for (NetId kn : gkKeys) out.registerPI(kn);
+  for (NetId po : locked.outputs()) out.appendPO(netMap[po]);
+  assert(!out.validate().has_value());
+  if (netMapOut) *netMapOut = std::move(netMap);
+  return out;
+}
+
+}  // namespace gkll

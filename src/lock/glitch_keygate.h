@@ -1,0 +1,129 @@
+// The paper's contribution: the Glitch Key-gate (Sec. II) and its KEYGEN
+// (Sec. II-B), as structural netlist builders.
+//
+// GK structure (Fig. 3(a)):
+//
+//            +--DELAY(A)--> XNOR(x,.) --+
+//   key -----+                          +--> MUX(sel=key) --> y
+//            +--DELAY(B)--> XOR(x,.) ---+
+//
+// With a constant key the selected gate sees the settled (equal) key value
+// and acts as an inverter of x (Fig. 3(b) swaps XNOR/XOR and acts as a
+// buffer).  A key *transition* retargets the MUX while the delayed key is
+// still stale, producing a glitch at the old gate's output polarity — for
+// variant (a) the glitch level equals x on both rising and falling
+// transitions, i.e. the GK briefly acts as a buffer.
+//
+// KEYGEN structure (Fig. 5): a toggle flop (D = !Q) produces one
+// transition per clock cycle; a simplified Adjustable Delay Buffer (two
+// delay taps + a 4:1 MUX built from three MUX2s) selected by the key bits
+// (k1, k2) emits, in Fig. 6 order:
+//   (0,0) constant 0   (0,1) transition shifted by trigDelayA
+//   (1,0) transition shifted by trigDelayB   (1,1) constant 1.
+//
+// The key of one GK is therefore the pair (k1, k2); the secret is *which*
+// of the four behaviours — and hence which trigger timing — is correct.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "timing/gk_constraints.h"
+
+namespace gkll {
+
+/// The four KEYGEN behaviours, in (k1,k2) binary order (Fig. 6).
+enum class GkBehavior { kConst0 = 0, kTrigA = 1, kTrigB = 2, kConst1 = 3 };
+
+/// The (k1, k2) assignment selecting a behaviour.
+std::pair<int, int> keyBitsFor(GkBehavior b);
+
+/// Structural parameters of one GK + KEYGEN insertion.
+struct GkParams {
+  /// false: Fig. 3(a) — inverter on constant key, buffer-level glitch.
+  /// true:  Fig. 3(b) — buffer on constant key, inverter-level glitch.
+  bool bufferVariant = false;
+  Ps gkDelayA = ns(1);    ///< ideal delay element A inside the GK
+  Ps gkDelayB = ns(1);    ///< ideal delay element B inside the GK
+  Ps trigDelayA = 0;      ///< KEYGEN ADB tap A (trigger-time shift)
+  Ps trigDelayB = 0;      ///< KEYGEN ADB tap B
+  GkBehavior correct = GkBehavior::kTrigB;  ///< the secret behaviour
+};
+
+/// Gates/nets of one GK proper.
+struct GkInstance {
+  NetId x = kNoNet;       ///< encrypted data net (GK input)
+  NetId y = kNoNet;       ///< GK output net
+  NetId keyNet = kNoNet;  ///< key input net (driven by the KEYGEN)
+  GateId delayA = kNoGate;
+  GateId delayB = kNoGate;
+  GateId xnorGate = kNoGate;
+  GateId xorGate = kNoGate;
+  GateId muxGate = kNoGate;
+  bool bufferVariant = false;
+};
+
+/// Gates/nets of one KEYGEN.
+struct KeygenInstance {
+  NetId k1 = kNoNet;  ///< key-input PI (MSB of the behaviour selector)
+  NetId k2 = kNoNet;  ///< key-input PI (LSB)
+  NetId keyOut = kNoNet;
+  GateId toggleFf = kNoGate;
+  Ps trigDelayA = 0;
+  Ps trigDelayB = 0;
+  /// Every gate of the KEYGEN (for stripping before a SAT attack).
+  std::vector<GateId> allGates;
+};
+
+/// One complete insertion: GK + its KEYGEN + the secret behaviour.
+struct GkInsertion {
+  GkInstance gk;
+  KeygenInstance keygen;
+  GkBehavior correct = GkBehavior::kTrigB;
+};
+
+/// Analytic timing view of a GK instance (feeds Eqs. (2)-(6)).
+GkTiming gkTiming(const GkParams& p,
+                  const CellLibrary& lib = CellLibrary::tsmc013c());
+
+/// Key-transition arrival time at the GK key pin, relative to the clock
+/// edge that toggles the KEYGEN flop: clkToQ + trigDelay + 2 MUX delays.
+Ps keygenTriggerTime(Ps trigDelay,
+                     const CellLibrary& lib = CellLibrary::tsmc013c());
+
+/// The earliest trigger any KEYGEN can realise (a zero-length tap).
+Ps keygenEarliestTrigger(const CellLibrary& lib = CellLibrary::tsmc013c());
+
+/// The ADB tap delay needed for a key transition at `trigger` (relative to
+/// the clock edge).  Returns a negative value when the trigger is earlier
+/// than keygenEarliestTrigger() (infeasible).
+Ps keygenTapForTrigger(Ps trigger,
+                       const CellLibrary& lib = CellLibrary::tsmc013c());
+
+/// Build a GK that encrypts the D pin of flop `ff`: only the flop's input
+/// is re-routed through the GK (other readers of the original net are
+/// untouched).  Also builds the KEYGEN and wires its key_out to the GK.
+/// `prefix` names the created nets (e.g. "gk0").
+GkInsertion insertGkAtFlop(Netlist& nl, GateId ff, const GkParams& p,
+                           const std::string& prefix);
+
+/// Build only the GK structure, splicing in front of *all* readers of
+/// `target`, with an externally supplied key net (used by unit tests and
+/// by the withholding wrapper).
+GkInstance buildGk(Netlist& nl, NetId target, NetId keyNet, bool bufferVariant,
+                   Ps delayA, Ps delayB, const std::string& prefix);
+
+/// Attack-surface preparation (paper Sec. VI): return a copy of `locked`
+/// with every KEYGEN removed and each GK key net exposed as a fresh
+/// primary input.  `gkKeys` receives those nets (one per insertion), which
+/// the SAT attack then treats as the design's key inputs.
+/// `netMapOut`, when non-null, receives the locked-net -> stripped-net
+/// mapping (kNoNet for nets that did not survive).
+Netlist stripKeygens(const Netlist& locked,
+                     const std::vector<GkInsertion>& insertions,
+                     std::vector<NetId>& gkKeys,
+                     std::vector<NetId>* netMapOut = nullptr);
+
+}  // namespace gkll

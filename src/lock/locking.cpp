@@ -1,0 +1,26 @@
+#include "lock/locking.h"
+
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+
+Netlist applyKey(const Netlist& locked, const std::vector<NetId>& keyInputs,
+                 const std::vector<int>& keyBits) {
+  assert(keyInputs.size() == keyBits.size());
+  std::vector<NetId> netMap;
+  Netlist nl = cloneNetlist(locked, netMap);
+  for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+    const NetId kn = netMap[keyInputs[i]];
+    const GateId input = nl.net(kn).driver;
+    assert(input != kNoGate && nl.gate(input).kind == CellKind::kInput);
+    nl.removeGate(input);
+    nl.unregisterPI(kn);
+    nl.addGate(keyBits[i] != 0 ? CellKind::kConst1 : CellKind::kConst0, {}, kn);
+  }
+  assert(!nl.validate().has_value());
+  return nl;
+}
+
+}  // namespace gkll

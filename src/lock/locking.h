@@ -1,0 +1,32 @@
+// Common types shared by all logic-locking schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// A locked design: the encrypted netlist plus its key metadata.
+///
+/// Key inputs are ordinary primary-input nets appended to the netlist (so
+/// a locked netlist is a plain netlist an attacker can analyse), together
+/// with the correct key bit per input.  Schemes with transition keys (GK)
+/// additionally carry scheme-specific metadata in their own result types;
+/// the bits here are the KEYGEN selection bits (k1, k2) per GK.
+struct LockedDesign {
+  Netlist netlist;
+  std::vector<NetId> keyInputs;
+  std::vector<int> correctKey;  ///< one 0/1 per entry of keyInputs
+  std::string scheme;
+};
+
+/// Return a copy of `locked` with the listed key-input nets re-driven by
+/// constants (the nets leave the PI list).  This is "programming the key"
+/// — the result is a plain netlist with the original PI interface, ready
+/// for equivalence checks against the original design.
+Netlist applyKey(const Netlist& locked, const std::vector<NetId>& keyInputs,
+                 const std::vector<int>& keyBits);
+
+}  // namespace gkll

@@ -1,0 +1,75 @@
+#include "lock/sarlock.h"
+
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+LockedDesign sarLock(const Netlist& original, const SarLockOptions& opt) {
+  LockedDesign ld;
+  ld.scheme = "sarlock";
+  std::vector<NetId> netMap;
+  ld.netlist = cloneNetlist(original, netMap);
+  Netlist& nl = ld.netlist;
+  nl.setName(original.name() + "_sarlock");
+  assert(static_cast<int>(nl.inputs().size()) >= opt.numKeyBits);
+  assert(!nl.outputs().empty());
+
+  Rng rng(opt.seed);
+  std::vector<int> correct;
+  std::vector<NetId> keys;
+  for (int i = 0; i < opt.numKeyBits; ++i) {
+    keys.push_back(nl.addPI("keyin_s" + std::to_string(i)));
+    correct.push_back(rng.flip() ? 1 : 0);
+  }
+
+  // eq = AND_i XNOR(x_i, k_i)  — comparator X == K.
+  NetId eq = kNoNet;
+  for (int i = 0; i < opt.numKeyBits; ++i) {
+    const NetId x = nl.inputs()[static_cast<std::size_t>(i)];
+    const NetId bit = nl.addNet();
+    nl.addGate(CellKind::kXnor2, {x, keys[static_cast<std::size_t>(i)]}, bit);
+    if (eq == kNoNet) {
+      eq = bit;
+    } else {
+      const NetId acc = nl.addNet();
+      nl.addGate(CellKind::kAnd2, {eq, bit}, acc);
+      eq = acc;
+    }
+  }
+
+  // wrong = NOT(AND_i XNOR(k_i, correct_i)) — mask off the correct key.
+  NetId match = kNoNet;
+  for (int i = 0; i < opt.numKeyBits; ++i) {
+    const NetId cbit = nl.constNet(correct[static_cast<std::size_t>(i)] != 0);
+    const NetId bit = nl.addNet();
+    nl.addGate(CellKind::kXnor2, {keys[static_cast<std::size_t>(i)], cbit}, bit);
+    if (match == kNoNet) {
+      match = bit;
+    } else {
+      const NetId acc = nl.addNet();
+      nl.addGate(CellKind::kAnd2, {match, bit}, acc);
+      match = acc;
+    }
+  }
+  const NetId wrong = nl.addNet("sar_wrongkey");
+  nl.addGate(CellKind::kInv, {match}, wrong);
+
+  const NetId flip = nl.addNet("sar_flip");
+  nl.addGate(CellKind::kAnd2, {eq, wrong}, flip);
+
+  // XOR the flip into the first primary output.
+  const NetId po = nl.outputs()[0];
+  const NetId poEnc = nl.addNet(nl.net(po).name + "_sar");
+  nl.rewireReaders(po, poEnc);
+  nl.addGate(CellKind::kXor2, {po, flip}, poEnc);
+
+  ld.keyInputs = std::move(keys);
+  ld.correctKey = std::move(correct);
+  assert(!nl.validate().has_value());
+  return ld;
+}
+
+}  // namespace gkll

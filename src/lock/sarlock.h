@@ -1,0 +1,27 @@
+// SARLock (Yasin et al. [14]) — a SAT-attack-resistant point-function
+// scheme the paper discusses in Secs. I and V.
+//
+// A comparator raises `flip` when the input pattern X equals the key K,
+// and a mask suppresses the flip when K is the correct key; `flip` is
+// XOR-ed into one primary output.  Every DIP the SAT attack finds rules
+// out exactly one wrong key, so attack effort grows as 2^|K| — but the
+// block's output is almost always 0, the probability skew that the
+// removal attack (attack/removal_attack) exploits to locate and strip it.
+#pragma once
+
+#include <cstdint>
+
+#include "lock/locking.h"
+
+namespace gkll {
+
+struct SarLockOptions {
+  int numKeyBits = 8;   ///< comparator width (uses the first n PIs)
+  std::uint64_t seed = 2;
+};
+
+/// Attach a SARLock block to a copy of `original`.  Requires at least
+/// numKeyBits primary inputs and one primary output.
+LockedDesign sarLock(const Netlist& original, const SarLockOptions& opt);
+
+}  // namespace gkll

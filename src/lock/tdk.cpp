@@ -1,0 +1,88 @@
+#include "lock/tdk.h"
+
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+#include "timing/sta.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+TdkLockResult tdkLock(const Netlist& original, const TdkOptions& opt,
+                      Ps clockPeriod) {
+  TdkLockResult res;
+  LockedDesign& ld = res.design;
+  ld.scheme = "tdk";
+  std::vector<NetId> netMap;
+  ld.netlist = cloneNetlist(original, netMap);
+  Netlist& nl = ld.netlist;
+  nl.setName(original.name() + "_tdk");
+
+  // Fig. 2(c) scenario: the correct delay key selects the *short* path
+  // (which fits the slack); the wrong key switches in the long path, whose
+  // extra delay exceeds the flop's setup slack and breaks timing.  So we
+  // want flops whose setup slack absorbs shortDelay+mux but not longDelay.
+  Sta sta(nl, StaConfig{clockPeriod});
+  const StaResult timing = sta.run();
+  const Ps margin =
+      sta.library().maxDelay(CellKind::kMux2) + sta.library().maxDelay(CellKind::kXor2) + 100;
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+    if (timing.setupSlack[i] > opt.shortDelay + margin &&
+        timing.setupSlack[i] < opt.longDelay + margin)
+      candidates.push_back(i);
+  }
+  // Fallback: flops where at least the short path fits (wrong keys then
+  // corrupt function via k1 but not timing) — keeps insertion count up on
+  // slack-rich designs.
+  if (static_cast<int>(candidates.size()) < opt.numTdks) {
+    for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+      if (timing.setupSlack[i] >= opt.longDelay + margin) candidates.push_back(i);
+    }
+  }
+  Rng rng(opt.seed);
+  rng.shuffle(candidates);
+  const int count = std::min<int>(opt.numTdks, static_cast<int>(candidates.size()));
+
+  // Snapshot flop gate ids: inserting gates does not invalidate GateIds.
+  const std::vector<GateId> flops = nl.flops();
+
+  for (int t = 0; t < count; ++t) {
+    const GateId ff = flops[candidates[static_cast<std::size_t>(t)]];
+    const NetId d = nl.gate(ff).fanin[0];
+
+    const NetId k1 = nl.addPI("keyin_t" + std::to_string(t) + "_f");
+    const NetId k2 = nl.addPI("keyin_t" + std::to_string(t) + "_d");
+    const bool useXnor = rng.flip();
+
+    // Functional key gate on the D path.
+    const NetId xored = nl.addNet();
+    nl.addGate(useXnor ? CellKind::kXnor2 : CellKind::kXor2, {d, k1}, xored);
+
+    // Tunable Delay Buffer: MUX(k2, short, long).
+    const NetId slow = nl.addNet();
+    nl.addDelay(xored, slow, opt.longDelay);
+    const NetId fast = nl.addNet();
+    nl.addDelay(xored, fast, opt.shortDelay);
+    const NetId y = nl.addNet();
+    const GateId mux = nl.addGate(CellKind::kMux2, {k2, fast, slow}, y);
+    nl.replaceFanin(ff, d, y);
+
+    TdkInstance inst;
+    inst.k1Index = ld.keyInputs.size();
+    ld.keyInputs.push_back(k1);
+    ld.correctKey.push_back(useXnor ? 1 : 0);
+    inst.k2Index = ld.keyInputs.size();
+    ld.keyInputs.push_back(k2);
+    // Correct delay key selects the short path (MUX input 1, k2 = 0).
+    ld.correctKey.push_back(0);
+    inst.tdbMux = mux;
+    inst.flop = ff;
+    res.instances.push_back(inst);
+  }
+  assert(!nl.validate().has_value());
+  return res;
+}
+
+}  // namespace gkll

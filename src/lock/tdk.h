@@ -1,0 +1,45 @@
+// Tunable Delay Key-gate (Xie et al., "Delay Locking", DAC'17 [12]) —
+// the timing-based predecessor the paper's Fig. 2 reviews and improves on.
+//
+// A TDK is a functional XOR key gate (functional key k1) followed by a
+// Tunable Delay Buffer: a MUX (delay key k2) choosing between a short and
+// a long delay path.  The wrong k2 either adds enough delay to violate
+// setup or removes expected delay and violates hold.  Unlike the GK, the
+// TDB is *removable*: stripping it and re-synthesising restores a working
+// (SAT-attackable) circuit — the weakness Sec. I points out and that
+// attack/enhanced_removal demonstrates.
+#pragma once
+
+#include <cstdint>
+
+#include "lock/locking.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+struct TdkOptions {
+  int numTdks = 4;          ///< 2 key bits each (k1 functional, k2 delay)
+  Ps shortDelay = 200;      ///< TDB fast path
+  Ps longDelay = ns(3);     ///< TDB slow path
+  std::uint64_t seed = 4;
+};
+
+/// One inserted TDK instance (indices into LockedDesign::keyInputs).
+struct TdkInstance {
+  std::size_t k1Index = 0;  ///< functional key bit
+  std::size_t k2Index = 0;  ///< delay key bit
+  GateId tdbMux = kNoGate;  ///< the tunable-delay MUX (removal target)
+  GateId flop = kNoGate;    ///< capture flop of the locked path
+};
+
+struct TdkLockResult {
+  LockedDesign design;
+  std::vector<TdkInstance> instances;
+};
+
+/// Insert TDKs in front of randomly chosen flops.  The correct k2 per
+/// instance is chosen so the path meets setup/hold at `clockPeriod`.
+TdkLockResult tdkLock(const Netlist& original, const TdkOptions& opt,
+                      Ps clockPeriod);
+
+}  // namespace gkll

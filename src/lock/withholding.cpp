@@ -1,0 +1,139 @@
+#include "lock/withholding.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace gkll {
+namespace {
+
+/// A combinational cone rooted at the GK's data net: `leaves` are the
+/// (external) inputs, `gates` the absorbed cells in topological order.
+struct Cone {
+  std::vector<NetId> leaves;
+  std::vector<GateId> gates;  // root last
+};
+
+bool isAbsorbable(const Netlist& nl, NetId n) {
+  const GateId d = nl.net(n).driver;
+  if (d == kNoGate) return false;
+  const Gate& g = nl.gate(d);
+  return !isSourceKind(g.kind) && g.kind != CellKind::kDff &&
+         g.kind != CellKind::kLut && g.kind != CellKind::kDelay;
+}
+
+/// Greedy cone growth: expand leaves breadth-first while the leaf count
+/// stays within `maxLeaves`.  The root net `x` is always expanded first
+/// when possible.
+Cone growCone(const Netlist& nl, NetId x, int maxLeaves) {
+  Cone cone;
+  cone.leaves = {x};
+  std::size_t head = 0;
+  while (head < cone.leaves.size()) {
+    const NetId leaf = cone.leaves[head];
+    if (!isAbsorbable(nl, leaf)) {
+      ++head;
+      continue;
+    }
+    const Gate& g = nl.gate(nl.net(leaf).driver);
+    const int newCount = static_cast<int>(cone.leaves.size()) - 1 +
+                         static_cast<int>(g.fanin.size());
+    if (newCount > maxLeaves) {
+      ++head;
+      continue;
+    }
+    // Replace this leaf with the gate's fanins (dedup against existing).
+    cone.leaves.erase(cone.leaves.begin() + static_cast<long>(head));
+    for (NetId in : g.fanin) {
+      bool dup = false;
+      for (NetId l : cone.leaves) dup |= (l == in);
+      if (!dup) cone.leaves.push_back(in);
+    }
+    cone.gates.push_back(nl.net(leaf).driver);
+    head = 0;  // restart: earlier leaves may now be expandable in budget
+  }
+  return cone;
+}
+
+/// Evaluate the cone + outer XOR/XNOR for one leaf/key assignment.
+Logic evalConeFunction(const Netlist& nl, const Cone& cone, NetId root,
+                       CellKind outer, std::uint64_t assignment,
+                       bool keyValue) {
+  std::map<NetId, Logic> value;
+  for (std::size_t i = 0; i < cone.leaves.size(); ++i)
+    value[cone.leaves[i]] = logicFromBool((assignment >> i) & 1ULL);
+  // Worklist evaluation: the cone is a tiny DAG, so repeatedly evaluating
+  // any gate whose fanins are ready terminates quickly regardless of the
+  // recording order.
+  std::vector<bool> done(cone.gates.size(), false);
+  std::size_t remaining = cone.gates.size();
+  std::vector<Logic> ins;
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t gi = 0; gi < cone.gates.size(); ++gi) {
+      if (done[gi]) continue;
+      const Gate& gg = nl.gate(cone.gates[gi]);
+      bool ready = true;
+      ins.clear();
+      for (NetId in : gg.fanin) {
+        const auto it = value.find(in);
+        if (it == value.end()) {
+          ready = false;
+          break;
+        }
+        ins.push_back(it->second);
+      }
+      if (!ready) continue;
+      value[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
+      done[gi] = true;
+      --remaining;
+      progress = true;
+    }
+    assert(progress && "cone is not self-contained");
+    (void)progress;
+  }
+  const auto it = value.find(root);
+  assert(it != value.end());
+  const Logic x = it->second;
+  const Logic iv[] = {x, logicFromBool(keyValue)};
+  return evalCell(outer, iv);
+}
+
+}  // namespace
+
+WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
+                             const WithholdingOptions& opt) {
+  WithholdingResult res;
+  assert(opt.maxLutInputs >= 2 && opt.maxLutInputs <= 6);
+  const Cone cone = growCone(nl, gk.x, opt.maxLutInputs - 1);
+
+  auto replaceWithLut = [&](GateId old) -> GateId {
+    const Gate g = nl.gate(old);  // copy before removal
+    assert(g.kind == CellKind::kXnor2 || g.kind == CellKind::kXor2);
+    const NetId keyIn = g.fanin[1];  // delayed key tap
+    const NetId outNet = g.out;
+
+    const std::size_t n = cone.leaves.size();
+    std::uint64_t mask = 0;
+    for (std::uint64_t m = 0; m < (1ULL << (n + 1)); ++m) {
+      const bool keyVal = (m >> n) & 1ULL;
+      if (evalConeFunction(nl, cone, gk.x, g.kind, m, keyVal) == Logic::T)
+        mask |= 1ULL << m;
+    }
+    nl.removeGate(old);
+    std::vector<NetId> ins = cone.leaves;
+    ins.push_back(keyIn);
+    const GateId lut = nl.addLut(std::move(ins), outNet, mask);
+    res.luts.push_back(lut);
+    res.absorbedGates += static_cast<int>(cone.gates.size());
+    return lut;
+  };
+
+  const GateId lutA = replaceWithLut(gk.xnorGate);
+  const GateId lutB = replaceWithLut(gk.xorGate);
+  gk.xnorGate = lutA;
+  gk.xorGate = lutB;
+  return res;
+}
+
+}  // namespace gkll

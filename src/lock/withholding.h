@@ -1,0 +1,39 @@
+// Design withholding (Khaleghi et al. [5], Liu et al. [6]; paper Sec. V-D,
+// Fig. 10): the defence that hides a GK's gate-level structure inside a
+// lookup table whose contents live in tamper-proof storage.
+//
+// Each of the GK's XNOR/XOR gates becomes a kLut cell computing the same
+// function.  When the encrypted net's driver cone is small enough, it is
+// absorbed into the LUT ("reusing an AND gate from the encrypted path",
+// Fig. 10(b)) — and, per the paper's "we can encrypt the GK with more
+// gates into LUT to elevate the security level", the absorption is
+// greedy up to a configurable LUT width: every absorbed gate multiplies
+// the candidate functions an attacker must consider.  Attack code in
+// this repository honours the withholding contract: structural matchers
+// may look at LUT *shape* but never at lutMask.
+#pragma once
+
+#include <vector>
+
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct WithholdingOptions {
+  /// Total LUT width budget (data leaves + 1 key tap).  3 reproduces
+  /// Fig. 10(b)'s single-gate reuse; up to 6 absorbs whole subcones.
+  int maxLutInputs = 3;
+};
+
+struct WithholdingResult {
+  std::vector<GateId> luts;  ///< the LUTs now implementing the GK gates
+  int absorbedGates = 0;     ///< path gates folded in (across both LUTs)
+};
+
+/// Hide the two function gates of a GK inside LUTs (in place).  The GK's
+/// MUX and delay elements stay visible — they are timing, not function.
+WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
+                             const WithholdingOptions& opt = {});
+
+}  // namespace gkll

@@ -1,0 +1,57 @@
+#include "lock/xor_lock.h"
+
+#include <cassert>
+
+#include "netlist/netlist_ops.h"
+#include "util/rng.h"
+
+namespace gkll {
+
+void xorLockInPlace(Netlist& nl, int numKeyBits, Rng& rng,
+                    std::vector<NetId>& keyInputs, std::vector<int>& correctKey,
+                    const std::string& namePrefix,
+                    std::vector<NetId> candidates, bool shuffleCandidates) {
+  // Default candidate nets: outputs of combinational gates (never FF Q
+  // pins, so the locked netlist stays a clean sequential design), and
+  // never ideal delay elements (locking inside a delay chain would corrupt
+  // GK timing).
+  if (candidates.empty()) {
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      const GateId d = nl.net(n).driver;
+      if (d == kNoGate) continue;
+      const CellKind k = nl.gate(d).kind;
+      if (isSourceKind(k) || k == CellKind::kDff || k == CellKind::kDelay)
+        continue;
+      candidates.push_back(n);
+    }
+  }
+  assert(static_cast<int>(candidates.size()) >= numKeyBits);
+  if (shuffleCandidates) rng.shuffle(candidates);
+
+  for (int i = 0; i < numKeyBits; ++i) {
+    const NetId target = candidates[static_cast<std::size_t>(i)];
+    const bool useXnor = rng.flip();
+    const NetId key =
+        nl.addPI(namePrefix + std::to_string(keyInputs.size()));
+    const NetId locked = nl.addNet(nl.net(target).name + "_enc");
+    nl.rewireReaders(target, locked);
+    nl.addGate(useXnor ? CellKind::kXnor2 : CellKind::kXor2, {target, key},
+               locked);
+    keyInputs.push_back(key);
+    correctKey.push_back(useXnor ? 1 : 0);
+  }
+}
+
+LockedDesign xorLock(const Netlist& original, const XorLockOptions& opt) {
+  LockedDesign ld;
+  ld.scheme = "xor";
+  std::vector<NetId> netMap;
+  ld.netlist = cloneNetlist(original, netMap);
+  ld.netlist.setName(original.name() + "_xorlock");
+  Rng rng(opt.seed);
+  xorLockInPlace(ld.netlist, opt.numKeyBits, rng, ld.keyInputs, ld.correctKey);
+  assert(!ld.netlist.validate().has_value());
+  return ld;
+}
+
+}  // namespace gkll

@@ -1,0 +1,41 @@
+// Classic XOR/XNOR logic locking (EPIC, Roy et al. [9]; paper Fig. 1).
+//
+// Each key gate is an XOR (correct key bit 0) or XNOR (correct key bit 1)
+// spliced into a randomly chosen internal net; under the correct key every
+// key gate degenerates to a buffer and the circuit computes its original
+// function.  This is both a baseline the paper compares against (SAT
+// attack cracks it) and one half of the hybrid XOR+GK scheme of Table II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lock/locking.h"
+
+namespace gkll {
+
+struct XorLockOptions {
+  int numKeyBits = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Insert `numKeyBits` XOR/XNOR key gates at random internal nets.
+LockedDesign xorLock(const Netlist& original, const XorLockOptions& opt);
+
+class Rng;
+
+/// In-place variant used by the hybrid XOR+GK flow (Table II, last column):
+/// splices key gates directly into `nl`, appending to keyInputs/correctKey.
+/// `namePrefix` keeps key-input names unique across schemes.
+/// When `candidates` is non-empty, key gates are only spliced into those
+/// nets (the GK flow passes slack-filtered nets so hybrid locking never
+/// breaks the original clock period); otherwise any combinational net
+/// qualifies.  With `shuffleCandidates` false the caller's priority order
+/// is honoured (the hybrid flow puts GK-path nets first).
+void xorLockInPlace(Netlist& nl, int numKeyBits, Rng& rng,
+                    std::vector<NetId>& keyInputs, std::vector<int>& correctKey,
+                    const std::string& namePrefix = "keyin_x",
+                    std::vector<NetId> candidates = {},
+                    bool shuffleCandidates = true);
+
+}  // namespace gkll

@@ -1,0 +1,261 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gkll {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> splitArgs(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',' || c == ';') {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = trim(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Pick the n-ary variant (e.g. kAnd2/kAnd3/kAnd4) for a base 2-input kind.
+bool widen(CellKind base, std::size_t n, CellKind& out) {
+  auto step = [&](CellKind two) {
+    if (n < 2 || n > 4) return false;
+    out = static_cast<CellKind>(static_cast<int>(two) + static_cast<int>(n) - 2);
+    return true;
+  };
+  switch (base) {
+    case CellKind::kAnd2:
+      return step(CellKind::kAnd2);
+    case CellKind::kNand2:
+      return step(CellKind::kNand2);
+    case CellKind::kOr2:
+      return step(CellKind::kOr2);
+    case CellKind::kNor2:
+      return step(CellKind::kNor2);
+    default:
+      out = base;
+      return n == static_cast<std::size_t>(cellNumInputs(base));
+  }
+}
+
+struct PendingGate {
+  std::string outName;
+  std::string func;
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+}  // namespace
+
+BenchParseResult parseBench(const std::string& text, std::string name) {
+  BenchParseResult res;
+  res.netlist.setName(name.empty() ? "bench" : std::move(name));
+  Netlist& nl = res.netlist;
+
+  std::vector<std::string> outputNames;
+  std::vector<PendingGate> pending;
+
+  auto fail = [&](int line, const std::string& msg) {
+    res.ok = false;
+    res.error = "line " + std::to_string(line) + ": " + msg;
+    return res;
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    auto lp = line.find('(');
+    auto rp = line.rfind(')');
+    auto eq = line.find('=');
+
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(y)
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        return fail(lineNo, "malformed declaration: " + line);
+      const std::string head = trim(line.substr(0, lp));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (head == "INPUT") {
+        if (nl.findNet(arg)) return fail(lineNo, "duplicate net: " + arg);
+        nl.addPI(arg);
+      } else if (head == "OUTPUT") {
+        outputNames.push_back(arg);
+      } else {
+        return fail(lineNo, "unknown declaration: " + head);
+      }
+      continue;
+    }
+
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp || lp < eq)
+      return fail(lineNo, "malformed assignment: " + line);
+    PendingGate pg;
+    pg.outName = trim(line.substr(0, eq));
+    pg.func = trim(line.substr(eq + 1, lp - eq - 1));
+    pg.args = splitArgs(line.substr(lp + 1, rp - lp - 1));
+    pg.line = lineNo;
+    if (pg.outName.empty()) return fail(lineNo, "missing output name");
+    pending.push_back(std::move(pg));
+  }
+
+  // Create all defined nets first so gates can reference forward.
+  for (const PendingGate& pg : pending) {
+    if (nl.findNet(pg.outName))
+      return fail(pg.line, "duplicate net: " + pg.outName);
+    nl.addNet(pg.outName);
+  }
+
+  auto resolve = [&](const std::string& n, int line,
+                     NetId& out) -> bool {
+    auto id = nl.findNet(n);
+    if (!id) {
+      res.error = "line " + std::to_string(line) + ": undefined net: " + n;
+      return false;
+    }
+    out = *id;
+    return true;
+  };
+
+  for (const PendingGate& pg : pending) {
+    const NetId out = *nl.findNet(pg.outName);
+    if (pg.func == "CONST0" || pg.func == "CONST1") {
+      if (!pg.args.empty()) return fail(pg.line, "constants take no args");
+      nl.addGate(pg.func == "CONST0" ? CellKind::kConst0 : CellKind::kConst1,
+                 {}, out);
+      continue;
+    }
+    if (pg.func == "DELAY") {
+      if (pg.args.size() != 2) return fail(pg.line, "DELAY(in, ps)");
+      NetId in;
+      if (!resolve(pg.args[0], pg.line, in)) return res;
+      const Ps d = std::strtoll(pg.args[1].c_str(), nullptr, 10);
+      if (d < 0) return fail(pg.line, "negative delay");
+      nl.addDelay(in, out, d);
+      continue;
+    }
+    if (pg.func == "LUT") {
+      if (pg.args.size() < 2 || pg.args.size() > 7)
+        return fail(pg.line, "LUT(mask, in1..in6)");
+      const std::uint64_t mask = std::strtoull(pg.args[0].c_str(), nullptr, 0);
+      std::vector<NetId> ins;
+      for (std::size_t i = 1; i < pg.args.size(); ++i) {
+        NetId in;
+        if (!resolve(pg.args[i], pg.line, in)) return res;
+        ins.push_back(in);
+      }
+      nl.addLut(std::move(ins), out, mask);
+      continue;
+    }
+
+    CellKind base;
+    if (!cellKindFromName(pg.func, base))
+      return fail(pg.line, "unknown gate: " + pg.func);
+    CellKind kind;
+    if (!widen(base, pg.args.size(), kind))
+      return fail(pg.line, pg.func + " cannot take " +
+                               std::to_string(pg.args.size()) + " inputs");
+    std::vector<NetId> ins;
+    for (const std::string& a : pg.args) {
+      NetId in;
+      if (!resolve(a, pg.line, in)) return res;
+      ins.push_back(in);
+    }
+    nl.addGate(kind, std::move(ins), out);
+  }
+
+  for (const std::string& o : outputNames) {
+    NetId n;
+    if (!resolve(o, 0, n)) {
+      res.error = "OUTPUT references undefined net: " + o;
+      return res;
+    }
+    nl.markPO(n);
+  }
+
+  if (auto err = nl.validate()) {
+    res.error = *err;
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
+BenchParseResult parseBenchFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    BenchParseResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (base.size() > 6 && base.substr(base.size() - 6) == ".bench")
+    base.resize(base.size() - 6);
+  return parseBench(buf.str(), base);
+}
+
+std::string writeBench(const Netlist& nl) {
+  std::ostringstream out;
+  out << "# " << nl.name() << "\n";
+  for (NetId n : nl.inputs()) out << "INPUT(" << nl.net(n).name << ")\n";
+  for (NetId n : nl.outputs()) out << "OUTPUT(" << nl.net(n).name << ")\n";
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    if (gg.kind == CellKind::kInput) continue;
+    out << nl.net(gg.out).name << " = ";
+    if (gg.kind == CellKind::kConst0 || gg.kind == CellKind::kConst1) {
+      out << cellKindName(gg.kind) << "()\n";
+      continue;
+    }
+    if (gg.kind == CellKind::kDelay) {
+      out << "DELAY(" << nl.net(gg.fanin[0]).name << ", " << gg.delayPs
+          << ")\n";
+      continue;
+    }
+    if (gg.kind == CellKind::kLut) {
+      out << "LUT(0x" << std::hex << gg.lutMask << std::dec;
+      for (NetId in : gg.fanin) out << ", " << nl.net(in).name;
+      out << ")\n";
+      continue;
+    }
+    out << cellKindName(gg.kind) << "(";
+    for (std::size_t i = 0; i < gg.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.net(gg.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+bool writeBenchFile(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << writeBench(nl);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gkll

@@ -1,0 +1,37 @@
+// ISCAS-89 ".bench" format reader/writer, with three extensions needed by
+// this library:
+//   - `y = DELAY(x, 2500)`        ideal delay element, value in picoseconds
+//   - `y = MUX(s, a, b)`          2:1 multiplexer, out = s ? b : a
+//   - `y = LUT(0x8, a, b, c)`     withheld truth-table cell (hex mask)
+//   - `y = CONST0()` / `CONST1()` constant drivers
+// Classic gate names (NOT, BUFF, AND, OR, NAND, NOR, XOR, XNOR) are
+// accepted with any fanin count of 2..4 for the n-ary kinds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Parse result: either a netlist or a diagnostic with a line number.
+struct BenchParseResult {
+  bool ok = false;
+  Netlist netlist;
+  std::string error;  ///< human-readable, includes line number
+};
+
+/// Parse a netlist from .bench text.
+BenchParseResult parseBench(const std::string& text, std::string name = {});
+
+/// Parse a netlist from a .bench file on disk.
+BenchParseResult parseBenchFile(const std::string& path);
+
+/// Serialise to .bench text (round-trips through parseBench).
+std::string writeBench(const Netlist& nl);
+
+/// Write to a file; returns false on I/O failure.
+bool writeBenchFile(const Netlist& nl, const std::string& path);
+
+}  // namespace gkll

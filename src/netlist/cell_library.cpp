@@ -1,0 +1,219 @@
+#include "netlist/cell_library.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace gkll {
+namespace {
+
+struct KindMeta {
+  const char* name;
+  int numInputs;
+};
+
+// Order must match CellKind.
+constexpr KindMeta kMeta[kNumCellKinds] = {
+    {"INPUT", 0}, {"CONST0", 0}, {"CONST1", 0}, {"BUF", 1},   {"INV", 1},
+    {"AND2", 2},  {"AND3", 3},   {"AND4", 4},   {"NAND2", 2}, {"NAND3", 3},
+    {"NAND4", 4}, {"OR2", 2},    {"OR3", 3},    {"OR4", 4},   {"NOR2", 2},
+    {"NOR3", 3},  {"NOR4", 4},   {"XOR2", 2},   {"XNOR2", 2}, {"MUX2", 3},
+    {"AOI21", 3}, {"OAI21", 3},  {"DFF", 1},    {"DELAY", 1}, {"LUT", -1},
+};
+
+Logic andAll(std::span<const Logic> ins) {
+  Logic v = Logic::T;
+  for (Logic i : ins) v = logicAnd(v, i);
+  return v;
+}
+
+Logic orAll(std::span<const Logic> ins) {
+  Logic v = Logic::F;
+  for (Logic i : ins) v = logicOr(v, i);
+  return v;
+}
+
+}  // namespace
+
+int cellNumInputs(CellKind k) { return kMeta[static_cast<int>(k)].numInputs; }
+
+const char* cellKindName(CellKind k) { return kMeta[static_cast<int>(k)].name; }
+
+bool cellKindFromName(const std::string& name, CellKind& out) {
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    if (name == kMeta[i].name) {
+      out = static_cast<CellKind>(i);
+      return true;
+    }
+  }
+  // Accept the classic .bench spellings as aliases.
+  if (name == "NOT") { out = CellKind::kInv; return true; }
+  if (name == "BUFF") { out = CellKind::kBuf; return true; }
+  if (name == "AND") { out = CellKind::kAnd2; return true; }
+  if (name == "OR") { out = CellKind::kOr2; return true; }
+  if (name == "NAND") { out = CellKind::kNand2; return true; }
+  if (name == "NOR") { out = CellKind::kNor2; return true; }
+  if (name == "XOR") { out = CellKind::kXor2; return true; }
+  if (name == "XNOR") { out = CellKind::kXnor2; return true; }
+  if (name == "MUX") { out = CellKind::kMux2; return true; }
+  return false;
+}
+
+bool isSequential(CellKind k) { return k == CellKind::kDff; }
+
+bool isSourceKind(CellKind k) {
+  return k == CellKind::kInput || k == CellKind::kConst0 ||
+         k == CellKind::kConst1;
+}
+
+bool isUnaryKind(CellKind k) {
+  return k == CellKind::kBuf || k == CellKind::kInv || k == CellKind::kDelay;
+}
+
+Logic evalCell(CellKind k, std::span<const Logic> ins, std::uint64_t lutMask) {
+  switch (k) {
+    case CellKind::kInput:
+      return Logic::X;  // inputs have no function; driven externally
+    case CellKind::kConst0:
+      return Logic::F;
+    case CellKind::kConst1:
+      return Logic::T;
+    case CellKind::kBuf:
+    case CellKind::kDelay:
+    case CellKind::kDff:
+      return ins[0];
+    case CellKind::kInv:
+      return logicNot(ins[0]);
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kAnd4:
+      return andAll(ins);
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+      return logicNot(andAll(ins));
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kOr4:
+      return orAll(ins);
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+      return logicNot(orAll(ins));
+    case CellKind::kXor2:
+      return logicXor(ins[0], ins[1]);
+    case CellKind::kXnor2:
+      return logicNot(logicXor(ins[0], ins[1]));
+    case CellKind::kMux2: {
+      const Logic sel = ins[0];
+      if (sel == Logic::F) return ins[1];
+      if (sel == Logic::T) return ins[2];
+      // X select: output known only if both data inputs agree.
+      return ins[1] == ins[2] ? ins[1] : Logic::X;
+    }
+    case CellKind::kAoi21:
+      return logicNot(logicOr(logicAnd(ins[0], ins[1]), ins[2]));
+    case CellKind::kOai21:
+      return logicNot(logicAnd(logicOr(ins[0], ins[1]), ins[2]));
+    case CellKind::kLut: {
+      std::uint64_t idx = 0;
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        if (ins[i] == Logic::X) {
+          // Known output only if the two cofactors agree for every X input;
+          // conservatively recurse on the first X input.
+          std::vector<Logic> lo(ins.begin(), ins.end());
+          std::vector<Logic> hi(ins.begin(), ins.end());
+          lo[i] = Logic::F;
+          hi[i] = Logic::T;
+          const Logic a = evalCell(k, lo, lutMask);
+          const Logic b = evalCell(k, hi, lutMask);
+          return a == b ? a : Logic::X;
+        }
+        if (ins[i] == Logic::T) idx |= (1ULL << i);
+      }
+      return logicFromBool((lutMask >> idx) & 1ULL);
+    }
+  }
+  return Logic::X;
+}
+
+CellLibrary::CellLibrary() {
+  auto set = [&](CellKind k, double areaUm2, Ps rise, Ps fall) {
+    cells_[static_cast<int>(k)] = CellInfo{um2(areaUm2), rise, fall};
+  };
+  // Synthetic 0.13um-class values: X1 inverter ~5.1 um^2 and ~35 ps;
+  // everything else scaled with typical SAGE-X ratios.
+  set(CellKind::kInput, 0.0, 0, 0);
+  set(CellKind::kConst0, 0.0, 0, 0);
+  set(CellKind::kConst1, 0.0, 0, 0);
+  set(CellKind::kBuf, 6.4, 65, 60);
+  set(CellKind::kInv, 5.1, 38, 30);
+  set(CellKind::kAnd2, 7.7, 60, 55);
+  set(CellKind::kAnd3, 10.2, 72, 65);
+  set(CellKind::kAnd4, 12.8, 85, 75);
+  set(CellKind::kNand2, 6.4, 45, 38);
+  set(CellKind::kNand3, 9.0, 55, 48);
+  set(CellKind::kNand4, 11.5, 68, 58);
+  set(CellKind::kOr2, 7.7, 66, 60);
+  set(CellKind::kOr3, 10.2, 80, 70);
+  set(CellKind::kOr4, 12.8, 95, 82);
+  set(CellKind::kNor2, 6.4, 52, 42);
+  set(CellKind::kNor3, 9.0, 70, 55);
+  set(CellKind::kNor4, 11.5, 85, 65);
+  set(CellKind::kXor2, 11.5, 85, 80);
+  set(CellKind::kXnor2, 11.5, 88, 82);
+  set(CellKind::kMux2, 11.5, 80, 75);
+  set(CellKind::kAoi21, 9.0, 58, 50);
+  set(CellKind::kOai21, 9.0, 60, 52);
+  set(CellKind::kDff, 25.6, 120, 120);  // delay = clock-to-Q
+  set(CellKind::kDelay, 0.0, 0, 0);     // ideal until mapped by synthesis
+  set(CellKind::kLut, 16.0, 95, 90);    // base; area scaled by lutArea()
+
+  bufDrive_[0] = cells_[static_cast<int>(CellKind::kBuf)];
+  bufDrive_[1] = CellInfo{um2(7.7), 52, 48};
+  bufDrive_[2] = CellInfo{um2(12.8), 45, 42};
+  dlyDrive_[0] = CellInfo{um2(9.0), 180, 180};    // DLY1
+  dlyDrive_[1] = CellInfo{um2(12.8), 360, 360};   // DLY2
+  dlyDrive_[2] = CellInfo{um2(16.6), 720, 720};   // DLY4
+  dlyDrive_[3] = CellInfo{um2(20.5), 1440, 1440}; // DLY8
+  invDrive_[0] = cells_[static_cast<int>(CellKind::kInv)];
+  invDrive_[1] = CellInfo{um2(6.4), 30, 24};
+  invDrive_[2] = CellInfo{um2(10.2), 24, 20};
+
+  setup_ = 90;
+  hold_ = 25;
+  clkToQ_ = 120;
+}
+
+const CellLibrary& CellLibrary::tsmc013c() {
+  static const CellLibrary lib;
+  return lib;
+}
+
+CellInfo CellLibrary::info(CellKind k, int drive) const {
+  if (drive != 1 && (k == CellKind::kBuf || k == CellKind::kInv)) {
+    const CellInfo* table = (k == CellKind::kBuf) ? bufDrive_ : invDrive_;
+    if (drive == 2) return table[1];
+    if (drive == 4) return table[2];
+    if (k == CellKind::kBuf) {
+      if (drive == 8) return dlyDrive_[0];
+      if (drive == 16) return dlyDrive_[1];
+      if (drive == 32) return dlyDrive_[2];
+      if (drive == 64) return dlyDrive_[3];
+    }
+  }
+  return cells_[static_cast<int>(k)];
+}
+
+Ps CellLibrary::maxDelay(CellKind k, int drive) const {
+  const CellInfo ci = info(k, drive);
+  return ci.rise > ci.fall ? ci.rise : ci.fall;
+}
+
+CentiUm2 CellLibrary::lutArea(int numInputs) const {
+  assert(numInputs >= 1 && numInputs <= 6);
+  // Storage grows as 2^n on top of a fixed decoder cost.
+  return um2(8.0) + um2(2.0) * (CentiUm2{1} << numInputs);
+}
+
+}  // namespace gkll

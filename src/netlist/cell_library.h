@@ -1,0 +1,128 @@
+// Synthetic standard-cell library modelled on a 0.13um-class process.
+//
+// The paper maps its designs onto the TSMC 0.13um CL013G SAGE-X library via
+// Design Compiler.  We cannot ship that library, so this module provides a
+// synthetic equivalent with the same *relative* areas and delays (XOR about
+// 2.2x an X1 inverter in area, DFF about 5x, FO4-scale gate delays of a few
+// tens of picoseconds).  All of Tables I/II in the paper depend only on
+// these ratios, not on absolute values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "netlist/logic.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+/// Every cell kind the netlist can instantiate.
+///
+/// kDelay is an *ideal* delay element (the "A"/"B" boxes of the paper's
+/// Figs. 3 and 5): it has zero area and a per-gate delay value, and the
+/// synthesis step (flow/synth) maps it to a chain of real buffers and
+/// inverters from this library — exactly the mechanism the paper describes
+/// ("delay elements, e.g. inverters or buffers, are all from the cell
+/// library to composite a unique delay").
+///
+/// kLut is the withholding lookup table of Sec. V-D: a truth-table cell of
+/// up to six inputs whose contents are assumed to be held in tamper-proof
+/// storage and invisible to an attacker.
+enum class CellKind : std::uint8_t {
+  kInput,   ///< primary-input pseudo cell (no fanin)
+  kConst0,  ///< constant 0 source
+  kConst1,  ///< constant 1 source
+  kBuf,
+  kInv,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kNand2,
+  kNand3,
+  kNand4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kXor2,
+  kXnor2,
+  kMux2,   ///< fanin order {sel, in0, in1}: out = sel ? in1 : in0
+  kAoi21,  ///< fanin {a, b, c}: out = !((a & b) | c)
+  kOai21,  ///< fanin {a, b, c}: out = !((a | b) & c)
+  kDff,    ///< fanin {d}; output is Q.  Single implicit global clock.
+  kDelay,  ///< ideal delay element; see Gate::delayPs
+  kLut,    ///< withheld truth table; see Gate::lutMask
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kLut) + 1;
+
+/// Number of fanin pins of a kind, or -1 for variable (kLut).
+int cellNumInputs(CellKind k);
+
+/// Canonical upper-case name, e.g. "NAND2".
+const char* cellKindName(CellKind k);
+
+/// Inverse of cellKindName; returns false if the name is unknown.
+bool cellKindFromName(const std::string& name, CellKind& out);
+
+/// True for DFFs.
+bool isSequential(CellKind k);
+
+/// True for cells with no fanin (inputs and constants).
+bool isSourceKind(CellKind k);
+
+/// True for single-input cells that merely repeat/inverts their input
+/// (kBuf, kInv, kDelay).
+bool isUnaryKind(CellKind k);
+
+/// Evaluate the steady-state function of a cell under three-valued logic.
+/// `ins` must contain cellNumInputs(k) values (any count for kLut, <= 6).
+/// kDelay behaves as a buffer; kDff is evaluated as transparent (returns d)
+/// — sequential behaviour lives in the simulators.
+Logic evalCell(CellKind k, std::span<const Logic> ins, std::uint64_t lutMask = 0);
+
+/// Per-cell physical data: area and pin-to-output transport delays.
+struct CellInfo {
+  CentiUm2 area = 0;
+  Ps rise = 0;  ///< input-to-output delay when the output rises
+  Ps fall = 0;  ///< input-to-output delay when the output falls
+};
+
+/// The synthetic 0.13um library.  Inv exists in drive strengths X1/X2/X4
+/// (drive = 1, 2, 4); Buf additionally in dedicated *delay-cell* variants
+/// DLY1/DLY2/DLY4/DLY8 (drive = 8..64; symmetric 180..1440 ps) — the
+/// long-channel delay buffers real 0.13um libraries provide, which keep
+/// the paper's delay-element chains from exploding in cell count.  Every
+/// other kind exists only in X1.
+class CellLibrary {
+ public:
+  /// The process-wide synthetic library instance.
+  static const CellLibrary& tsmc013c();
+
+  /// Area/delay for a kind at a drive strength.
+  CellInfo info(CellKind k, int drive = 1) const;
+
+  /// Worst-case (max of rise/fall) transport delay of a cell.
+  Ps maxDelay(CellKind k, int drive = 1) const;
+
+  /// Flip-flop timing parameters.
+  Ps setupTime() const { return setup_; }
+  Ps holdTime() const { return hold_; }
+  Ps clkToQ() const { return clkToQ_; }
+
+  /// Area of a withheld LUT with the given input count (grows as 2^n).
+  CentiUm2 lutArea(int numInputs) const;
+
+ private:
+  CellLibrary();
+  CellInfo cells_[kNumCellKinds];
+  CellInfo bufDrive_[3];  // X1, X2, X4
+  CellInfo dlyDrive_[4];  // DLY1..DLY8 (drive 8, 16, 32, 64)
+  CellInfo invDrive_[3];
+  Ps setup_ = 0, hold_ = 0, clkToQ_ = 0;
+};
+
+}  // namespace gkll

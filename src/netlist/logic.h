@@ -1,0 +1,49 @@
+// Three-valued logic used by both the zero-delay and the event-driven
+// simulators.  X means "unknown / uninitialised".
+#pragma once
+
+#include <cstdint>
+
+namespace gkll {
+
+enum class Logic : std::uint8_t {
+  F = 0,  ///< logic 0
+  T = 1,  ///< logic 1
+  X = 2,  ///< unknown
+};
+
+constexpr Logic logicFromBool(bool b) { return b ? Logic::T : Logic::F; }
+
+constexpr bool isKnown(Logic v) { return v != Logic::X; }
+
+/// Three-valued NOT.
+constexpr Logic logicNot(Logic a) {
+  if (a == Logic::X) return Logic::X;
+  return a == Logic::T ? Logic::F : Logic::T;
+}
+
+/// Three-valued AND (0 dominates X).
+constexpr Logic logicAnd(Logic a, Logic b) {
+  if (a == Logic::F || b == Logic::F) return Logic::F;
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return Logic::T;
+}
+
+/// Three-valued OR (1 dominates X).
+constexpr Logic logicOr(Logic a, Logic b) {
+  if (a == Logic::T || b == Logic::T) return Logic::T;
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return Logic::F;
+}
+
+/// Three-valued XOR.
+constexpr Logic logicXor(Logic a, Logic b) {
+  if (a == Logic::X || b == Logic::X) return Logic::X;
+  return logicFromBool(a != b);
+}
+
+constexpr char logicChar(Logic v) {
+  return v == Logic::F ? '0' : (v == Logic::T ? '1' : 'X');
+}
+
+}  // namespace gkll

@@ -1,0 +1,247 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll {
+
+NetId Netlist::addNet(std::string name) {
+  if (name.empty()) {
+    do {
+      name = "_n" + std::to_string(autoName_++);
+    } while (byName_.count(name) != 0);
+  }
+  assert(byName_.count(name) == 0 && "duplicate net name");
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = std::move(name);
+  byName_.emplace(n.name, id);
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+GateId Netlist::addGate(CellKind kind, std::vector<NetId> fanin, NetId out) {
+  assert(out < nets_.size());
+  assert(nets_[out].driver == kNoGate && "net already driven");
+  const int expect = cellNumInputs(kind);
+  assert((expect < 0 || static_cast<int>(fanin.size()) == expect) &&
+         "fanin count mismatch");
+  (void)expect;
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = kind;
+  g.fanin = std::move(fanin);
+  g.out = out;
+  for (NetId in : g.fanin) nets_[in].fanouts.push_back(id);
+  nets_[out].driver = id;
+  if (kind == CellKind::kDff) ffs_.push_back(id);
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+NetId Netlist::addPI(std::string name) {
+  const NetId n = addNet(std::move(name));
+  addGate(CellKind::kInput, {}, n);
+  pis_.push_back(n);
+  return n;
+}
+
+void Netlist::registerPI(NetId n) {
+  assert(nets_[n].driver != kNoGate &&
+         gates_[nets_[n].driver].kind == CellKind::kInput);
+  pis_.push_back(n);
+}
+
+void Netlist::unregisterPI(NetId n) {
+  pis_.erase(std::remove(pis_.begin(), pis_.end(), n), pis_.end());
+}
+
+void Netlist::markPO(NetId n) {
+  if (!isPO(n)) pos_.push_back(n);
+}
+
+void Netlist::unmarkPO(NetId n) {
+  pos_.erase(std::remove(pos_.begin(), pos_.end(), n), pos_.end());
+}
+
+NetId Netlist::constNet(bool value) {
+  NetId& cache = value ? const1_ : const0_;
+  if (cache == kNoNet) {
+    cache = addNet(value ? "_const1" : "_const0");
+    addGate(value ? CellKind::kConst1 : CellKind::kConst0, {}, cache);
+  }
+  return cache;
+}
+
+GateId Netlist::addDelay(NetId in, NetId out, Ps d) {
+  const GateId g = addGate(CellKind::kDelay, {in}, out);
+  gates_[g].delayPs = d;
+  return g;
+}
+
+GateId Netlist::addLut(std::vector<NetId> fanin, NetId out, std::uint64_t mask) {
+  assert(fanin.size() >= 1 && fanin.size() <= 6);
+  const GateId g = addGate(CellKind::kLut, std::move(fanin), out);
+  gates_[g].lutMask = mask;
+  return g;
+}
+
+void Netlist::rewireReaders(NetId oldNet, NetId newNet) {
+  assert(oldNet != newNet);
+  // The fanout list holds one entry per reading *pin*, so simply moving
+  // each entry and retargeting one matching pin per entry keeps the
+  // per-pin invariant even when a gate reads oldNet on several pins.
+  for (GateId g : nets_[oldNet].fanouts) {
+    for (NetId& pin : gates_[g].fanin) {
+      if (pin == oldNet) {
+        pin = newNet;
+        break;  // one pin per fanout entry
+      }
+    }
+    nets_[newNet].fanouts.push_back(g);
+  }
+  nets_[oldNet].fanouts.clear();
+  // Keep the PO position stable: downstream checks match POs by index.
+  for (NetId& po : pos_)
+    if (po == oldNet) po = newNet;
+}
+
+void Netlist::replaceFanin(GateId g, NetId oldNet, NetId newNet) {
+  // Replace exactly one pin, matching the one-fanout-entry-per-pin invariant.
+  bool any = false;
+  for (NetId& pin : gates_[g].fanin) {
+    if (pin == oldNet) {
+      pin = newNet;
+      any = true;
+      break;
+    }
+  }
+  assert(any && "gate does not read oldNet");
+  (void)any;
+  auto& fo = nets_[oldNet].fanouts;
+  fo.erase(std::find(fo.begin(), fo.end(), g));
+  nets_[newNet].fanouts.push_back(g);
+}
+
+void Netlist::removeGate(GateId g) {
+  Gate& gg = gates_[g];
+  for (NetId in : gg.fanin) {
+    auto& fo = nets_[in].fanouts;
+    auto it = std::find(fo.begin(), fo.end(), g);
+    if (it != fo.end()) fo.erase(it);
+  }
+  if (gg.out != kNoNet && nets_[gg.out].driver == g)
+    nets_[gg.out].driver = kNoGate;
+  if (gg.kind == CellKind::kDff)
+    ffs_.erase(std::remove(ffs_.begin(), ffs_.end(), g), ffs_.end());
+  // Tombstone: keep the slot so GateIds stay stable, but neutralise it.
+  gg.fanin.clear();
+  gg.out = kNoNet;
+  gg.kind = CellKind::kConst0;
+}
+
+bool Netlist::isPO(NetId n) const {
+  return std::find(pos_.begin(), pos_.end(), n) != pos_.end();
+}
+
+std::optional<NetId> Netlist::findNet(const std::string& name) const {
+  auto it = byName_.find(name);
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<GateId> Netlist::topoOrder() const {
+  // Kahn's algorithm over the combinational dependency graph.  DFF and
+  // source gates have no combinational fanin dependency: a DFF's Q is
+  // available at the start of the cycle, and its D pin is a sink.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  ready.reserve(gates_.size());
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gg = gates_[g];
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) {
+      ready.push_back(g);
+      continue;
+    }
+    std::uint32_t deps = 0;
+    for (NetId in : gg.fanin) {
+      const GateId d = nets_[in].driver;
+      if (d != kNoGate && !isSourceKind(gates_[d].kind) &&
+          gates_[d].kind != CellKind::kDff)
+        ++deps;
+    }
+    pending[g] = deps;
+    if (deps == 0) ready.push_back(g);
+  }
+
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::size_t head = 0;
+  std::vector<GateId> queue = std::move(ready);
+  while (head < queue.size()) {
+    const GateId g = queue[head++];
+    order.push_back(g);
+    const Gate& gg = gates_[g];
+    if (gg.out == kNoNet) continue;
+    // Edges out of sources/DFFs were never counted in `pending`.
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    for (GateId reader : nets_[gg.out].fanouts) {
+      const Gate& rg = gates_[reader];
+      if (isSourceKind(rg.kind) || rg.kind == CellKind::kDff) continue;
+      if (--pending[reader] == 0) queue.push_back(reader);
+    }
+  }
+
+  // Count live gates to detect cycles.
+  std::size_t live = 0;
+  for (const Gate& g : gates_)
+    if (!(g.out == kNoNet && g.fanin.empty())) ++live;
+  if (order.size() != live) return {};  // combinational cycle
+  return order;
+}
+
+std::optional<std::string> Netlist::validate() const {
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    if (nets_[n].driver == kNoGate) {
+      // Orphan nets (undriven, unread, not part of the interface) are
+      // legal leftovers of gate-removal passes; anything else undriven is
+      // a structural error.
+      if (nets_[n].fanouts.empty() && !isPO(n)) continue;
+      return "net '" + nets_[n].name + "' has no driver";
+    }
+  }
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gg = gates_[g];
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    const int expect = cellNumInputs(gg.kind);
+    if (expect >= 0 && static_cast<int>(gg.fanin.size()) != expect)
+      return std::string(cellKindName(gg.kind)) + " gate has " +
+             std::to_string(gg.fanin.size()) + " fanins, expected " +
+             std::to_string(expect);
+    if (gg.out == kNoNet) return "gate with no output net";
+    if (nets_[gg.out].driver != g) return "driver bookkeeping broken";
+  }
+  if (topoOrder().empty() && !gates_.empty())
+    return "combinational cycle detected";
+  return std::nullopt;
+}
+
+NetlistStats Netlist::stats(const CellLibrary& lib) const {
+  NetlistStats s;
+  s.numPIs = pis_.size();
+  s.numPOs = pos_.size();
+  for (const Gate& g : gates_) {
+    if (g.out == kNoNet && g.fanin.empty()) continue;  // tombstone
+    if (isSourceKind(g.kind)) continue;
+    ++s.numCells;
+    if (g.kind == CellKind::kDff) ++s.numFFs;
+    if (g.kind == CellKind::kLut)
+      s.area += lib.lutArea(static_cast<int>(g.fanin.size()));
+    else
+      s.area += lib.info(g.kind, g.drive).area;
+  }
+  return s;
+}
+
+}  // namespace gkll

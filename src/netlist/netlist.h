@@ -1,0 +1,161 @@
+// Gate-level netlist representation.
+//
+// A Netlist is a set of nets and gates.  Every net has at most one driver
+// gate; primary inputs are modelled as kInput gates.  Sequential elements
+// are kDff gates clocked by a single implicit global clock (all the
+// circuits the paper evaluates are single-clock).  Storage is index-based
+// (dense vectors, 32-bit ids) for cache-friendly traversal of the
+// 50k-gate benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+
+inline constexpr NetId kNoNet = 0xFFFFFFFFu;
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+/// One cell instance.
+struct Gate {
+  CellKind kind = CellKind::kBuf;
+  std::uint8_t drive = 1;  ///< drive strength (1/2/4); only Buf/Inv vary
+  std::vector<NetId> fanin;
+  NetId out = kNoNet;
+  Ps delayPs = 0;           ///< only for kDelay: the ideal delay value
+  std::uint64_t lutMask = 0;  ///< only for kLut: truth table, bit i = f(i)
+};
+
+/// One wire.
+struct Net {
+  std::string name;
+  GateId driver = kNoGate;
+  std::vector<GateId> fanouts;  ///< gates reading this net
+  Ps wireDelay = 0;             ///< annotated by P&R; added to sink delays
+};
+
+/// Aggregate size/area statistics (Tables I/II report these).
+struct NetlistStats {
+  std::size_t numCells = 0;  ///< all gates except kInput/kConst*
+  std::size_t numFFs = 0;
+  std::size_t numPIs = 0;
+  std::size_t numPOs = 0;
+  CentiUm2 area = 0;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  // --- construction ------------------------------------------------------
+
+  /// Create a new net.  Names must be unique; empty name auto-generates one.
+  NetId addNet(std::string name = {});
+
+  /// Create a gate driving `out` (which must not already have a driver).
+  GateId addGate(CellKind kind, std::vector<NetId> fanin, NetId out);
+
+  /// Create a net + kInput gate and register it as a primary input.
+  NetId addPI(std::string name);
+
+  /// Register an existing net (already driven by a kInput gate) as a
+  /// primary input.  Used when cloning / converting netlists, where gates
+  /// are recreated individually and the PI order must be controlled.
+  void registerPI(NetId n);
+
+  /// Remove a net from the PI list (the caller re-drives it, e.g. with a
+  /// constant when fixing a key bit).
+  void unregisterPI(NetId n);
+
+  /// Mark an existing net as a primary output (no-op if already one).
+  void markPO(NetId n);
+
+  /// Append a primary-output slot even when the net is already listed —
+  /// used for the pseudo POs of combinational extraction, where output
+  /// *positions* must align 1:1 across circuits being compared even if a
+  /// flop's D net doubles as a real PO.
+  void appendPO(NetId n) { pos_.push_back(n); }
+
+  /// Remove a net from the PO list (used when re-wiring during locking).
+  void unmarkPO(NetId n);
+
+  /// Create a constant-0 / constant-1 net on demand (cached).
+  NetId constNet(bool value);
+
+  /// Create an ideal delay element: out = in delayed by `d`.
+  GateId addDelay(NetId in, NetId out, Ps d);
+
+  /// Create a LUT gate with an explicit truth table.
+  GateId addLut(std::vector<NetId> fanin, NetId out, std::uint64_t mask);
+
+  /// Re-route: every reader of `oldNet` (and the PO marking, if any) now
+  /// reads `newNet` instead.  The driver of `oldNet` is untouched, so the
+  /// caller can insert logic between the two (the standard key-gate
+  /// insertion primitive).
+  void rewireReaders(NetId oldNet, NetId newNet);
+
+  /// Replace one fanin pin of a gate.
+  void replaceFanin(GateId g, NetId oldNet, NetId newNet);
+
+  /// Delete a gate, leaving its output net driverless (used by removal
+  /// attacks).  Fanout bookkeeping is updated.
+  void removeGate(GateId g);
+
+  // --- access -------------------------------------------------------------
+
+  std::size_t numNets() const { return nets_.size(); }
+  std::size_t numGates() const { return gates_.size(); }
+  const Net& net(NetId n) const { return nets_[n]; }
+  Net& net(NetId n) { return nets_[n]; }
+  const Gate& gate(GateId g) const { return gates_[g]; }
+  Gate& gate(GateId g) { return gates_[g]; }
+
+  const std::vector<NetId>& inputs() const { return pis_; }
+  const std::vector<NetId>& outputs() const { return pos_; }
+  const std::vector<GateId>& flops() const { return ffs_; }
+
+  bool isPO(NetId n) const;
+
+  /// Find a net by name.
+  std::optional<NetId> findNet(const std::string& name) const;
+
+  /// Gates in topological order: sources first, then combinational gates in
+  /// dependency order; DFF outputs count as sources (their Q breaks cycles).
+  /// Fails (returns empty) if a combinational cycle exists.
+  std::vector<GateId> topoOrder() const;
+
+  /// Structural validation: every net driven exactly once, every gate pin
+  /// count matches its kind, no combinational cycles.  Returns an error
+  /// description, or nullopt when the netlist is well-formed.
+  std::optional<std::string> validate() const;
+
+  /// Size and area statistics against the given library.
+  NetlistStats stats(const CellLibrary& lib = CellLibrary::tsmc013c()) const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> pis_;
+  std::vector<NetId> pos_;
+  std::vector<GateId> ffs_;
+  std::unordered_map<std::string, NetId> byName_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  std::uint32_t autoName_ = 0;
+};
+
+}  // namespace gkll

@@ -1,0 +1,155 @@
+#include "netlist/netlist_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll {
+
+Netlist cloneNetlist(const Netlist& src, std::vector<NetId>& netMap) {
+  Netlist dst(src.name());
+  netMap.assign(src.numNets(), kNoNet);
+  for (NetId n = 0; n < src.numNets(); ++n) netMap[n] = dst.addNet(src.net(n).name);
+  for (GateId g = 0; g < src.numGates(); ++g) {
+    const Gate& gg = src.gate(g);
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    std::vector<NetId> fanin;
+    fanin.reserve(gg.fanin.size());
+    for (NetId in : gg.fanin) fanin.push_back(netMap[in]);
+    const GateId ng = dst.addGate(gg.kind, std::move(fanin), netMap[gg.out]);
+    dst.gate(ng).drive = gg.drive;
+    dst.gate(ng).delayPs = gg.delayPs;
+    dst.gate(ng).lutMask = gg.lutMask;
+  }
+  for (NetId n = 0; n < src.numNets(); ++n)
+    dst.net(netMap[n]).wireDelay = src.net(n).wireDelay;
+  for (NetId n : src.inputs()) dst.registerPI(netMap[n]);
+  for (NetId n : src.outputs()) dst.appendPO(netMap[n]);  // preserve slots
+  return dst;
+}
+
+CombExtraction extractCombinational(const Netlist& seq) {
+  CombExtraction res;
+  Netlist& nl = res.netlist;
+  nl.setName(seq.name() + "_comb");
+
+  res.netMap.assign(seq.numNets(), kNoNet);
+  std::vector<NetId>& netMap = res.netMap;
+  for (NetId n = 0; n < seq.numNets(); ++n)
+    netMap[n] = nl.addNet(seq.net(n).name);
+
+  for (GateId g = 0; g < seq.numGates(); ++g) {
+    const Gate& gg = seq.gate(g);
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    switch (gg.kind) {
+      case CellKind::kDff:
+        // Q becomes a pseudo primary input; D handled below.
+        nl.addGate(CellKind::kInput, {}, netMap[gg.out]);
+        break;
+      case CellKind::kDelay: {
+        // Delays are functionally transparent; keep a buffer so net names
+        // survive for diagnostics.
+        const GateId b =
+            nl.addGate(CellKind::kBuf, {netMap[gg.fanin[0]]}, netMap[gg.out]);
+        (void)b;
+        break;
+      }
+      default: {
+        std::vector<NetId> fanin;
+        fanin.reserve(gg.fanin.size());
+        for (NetId in : gg.fanin) fanin.push_back(netMap[in]);
+        const GateId ng = nl.addGate(gg.kind, std::move(fanin), netMap[gg.out]);
+        nl.gate(ng).drive = gg.drive;
+        nl.gate(ng).lutMask = gg.lutMask;
+        break;
+      }
+    }
+  }
+
+  // PI order: true PIs first (original order), then one pseudo PI per FF.
+  for (NetId n : seq.inputs()) nl.registerPI(netMap[n]);
+  for (NetId n : seq.outputs()) nl.appendPO(netMap[n]);  // preserve slots
+  for (GateId f : seq.flops()) {
+    const Gate& ff = seq.gate(f);
+    nl.registerPI(netMap[ff.out]);
+    res.pseudoPIs.push_back(netMap[ff.out]);
+    res.pseudoPOs.push_back(netMap[ff.fanin[0]]);
+    // appendPO, not markPO: one output slot per flop unconditionally, so
+    // output positions align across extractions even when a D net doubles
+    // as a primary output.
+    nl.appendPO(netMap[ff.fanin[0]]);
+  }
+  return res;
+}
+
+std::vector<int> levelize(const Netlist& nl) {
+  std::vector<int> level(nl.numNets(), 0);
+  for (GateId g : nl.topoOrder()) {
+    const Gate& gg = nl.gate(g);
+    if (gg.out == kNoNet) continue;
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) {
+      level[gg.out] = 0;
+      continue;
+    }
+    int m = 0;
+    for (NetId in : gg.fanin) m = std::max(m, level[in]);
+    level[gg.out] = m + 1;
+  }
+  return level;
+}
+
+std::vector<GateId> faninCone(const Netlist& nl, NetId target) {
+  std::vector<GateId> cone;
+  std::vector<bool> seen(nl.numGates(), false);
+  std::vector<NetId> stack{target};
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const GateId g = nl.net(n).driver;
+    if (g == kNoGate || seen[g]) continue;
+    seen[g] = true;
+    cone.push_back(g);
+    const Gate& gg = nl.gate(g);
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    for (NetId in : gg.fanin) stack.push_back(in);
+  }
+  return cone;
+}
+
+std::vector<std::vector<std::uint32_t>> poFanoutSignatures(const Netlist& nl) {
+  // Reverse reachability: for each PO, mark every net in its fanin cone
+  // crossing through combinational gates only (stop at DFF boundaries).
+  const std::size_t numPOs = nl.outputs().size();
+  // For each net, the set of POs reachable *from* it; propagate backwards
+  // from POs.  Use per-net vector<uint32_t> kept sorted+deduped; circuits
+  // here are small enough (<= ~6k gates, <= ~300 POs).
+  std::vector<std::vector<std::uint32_t>> reach(nl.numNets());
+
+  // Process nets in reverse topological order of their driver gates so that
+  // each net's reach set is final before its fanins consume it.
+  const std::vector<GateId> topo = nl.topoOrder();
+  for (std::uint32_t p = 0; p < numPOs; ++p)
+    reach[nl.outputs()[p]].push_back(p);
+  // Also treat FF D-pins as sinks carrying the signature of the POs their
+  // FF eventually reaches?  The paper's algorithm [4] groups by *primary
+  // output* fanout of the FF's combinational cone, so stop at FF boundary.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Gate& gg = nl.gate(*it);
+    if (gg.out == kNoNet) continue;
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    const auto& outReach = reach[gg.out];
+    if (outReach.empty()) continue;
+    for (NetId in : gg.fanin) {
+      auto& r = reach[in];
+      r.insert(r.end(), outReach.begin(), outReach.end());
+      std::sort(r.begin(), r.end());
+      r.erase(std::unique(r.begin(), r.end()), r.end());
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> sig;
+  sig.reserve(nl.flops().size());
+  for (GateId f : nl.flops()) sig.push_back(reach[nl.gate(f).out]);
+  return sig;
+}
+
+}  // namespace gkll

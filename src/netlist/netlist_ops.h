@@ -1,0 +1,48 @@
+// Structural operations on netlists used by the attacks and the flow:
+// sequential-to-combinational conversion (FFs become pseudo PIs/POs, the
+// standard pre-processing step of the SAT attack in Sec. VI), logic cones,
+// levelisation and deep-copy with net mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Result of extracting the combinational core of a sequential circuit.
+struct CombExtraction {
+  Netlist netlist;  ///< purely combinational circuit
+  /// Pseudo primary inputs (one per FF, the former Q nets), in the order of
+  /// the original netlist's flops() list.
+  std::vector<NetId> pseudoPIs;
+  /// Pseudo primary outputs (one per FF, the former D nets), same order.
+  std::vector<NetId> pseudoPOs;
+  /// Old-net -> new-net mapping (e.g. to relocate key-input nets).
+  std::vector<NetId> netMap;
+};
+
+/// Convert a sequential netlist into its combinational core by treating
+/// "the inputs and outputs of FFs as pseudo primary outputs and inputs"
+/// (paper Sec. VI).  Ideal kDelay elements are collapsed to buffers since
+/// they are functionally transparent.
+CombExtraction extractCombinational(const Netlist& seq);
+
+/// Deep copy of a netlist; `netMap[oldNetId] == newNetId` on return.
+Netlist cloneNetlist(const Netlist& src, std::vector<NetId>& netMap);
+
+/// Combinational level of every net: sources/DFF outputs are level 0,
+/// every gate output is 1 + max(level of fanins).
+std::vector<int> levelize(const Netlist& nl);
+
+/// Transitive fanin cone of a net (gate ids), up to sources/DFF outputs.
+std::vector<GateId> faninCone(const Netlist& nl, NetId target);
+
+/// The set of primary outputs structurally reachable from each FF's Q pin.
+/// Used by the Karmakar-style FF grouping [4]: FFs that fan out to the same
+/// PO set resist scan-based localisation better.  Result is one sorted PO
+/// index list per flop, in flops() order.
+std::vector<std::vector<std::uint32_t>> poFanoutSignatures(const Netlist& nl);
+
+}  // namespace gkll

@@ -1,0 +1,164 @@
+#include "netlist/netlist_opt.h"
+
+#include <cassert>
+#include <vector>
+
+#include "netlist/logic.h"
+
+namespace gkll {
+namespace {
+
+bool isTombstone(const Gate& g) { return g.out == kNoNet && g.fanin.empty(); }
+
+}  // namespace
+
+OptReport foldConstants(Netlist& nl) {
+  OptReport rep;
+  for (;;) {
+    // One constness pass: X = unknown, F/T = provably constant.
+    std::vector<Logic> value(nl.numNets(), Logic::X);
+    const auto topo = nl.topoOrder();
+    std::vector<Logic> ins;
+    for (GateId g : topo) {
+      const Gate& gg = nl.gate(g);
+      if (gg.out == kNoNet) continue;
+      switch (gg.kind) {
+        case CellKind::kConst0:
+          value[gg.out] = Logic::F;
+          break;
+        case CellKind::kConst1:
+          value[gg.out] = Logic::T;
+          break;
+        case CellKind::kInput:
+        case CellKind::kDff:
+          break;  // unknown
+        default: {
+          ins.clear();
+          for (NetId in : gg.fanin) ins.push_back(value[in]);
+          value[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
+          break;
+        }
+      }
+    }
+
+    bool changed = false;
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+      const Gate& gg = nl.gate(g);
+      if (isTombstone(gg)) continue;
+      if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+      if (value[gg.out] == Logic::X) continue;
+      const NetId out = gg.out;
+      const bool one = value[out] == Logic::T;
+      nl.removeGate(g);
+      nl.addGate(one ? CellKind::kConst1 : CellKind::kConst0, {}, out);
+      ++rep.constantsFolded;
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return rep;
+}
+
+OptReport collapseBuffers(Netlist& nl) {
+  OptReport rep;
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (isTombstone(gg)) continue;
+    if (gg.kind != CellKind::kBuf && gg.kind != CellKind::kDelay) continue;
+    const NetId out = gg.out;
+    if (nl.isPO(out)) continue;  // keep the interface name driven
+    const NetId in = gg.fanin[0];
+    if (in == out) continue;
+    nl.rewireReaders(out, in);
+    nl.removeGate(g);  // `out` becomes an orphan net
+    ++rep.buffersCollapsed;
+  }
+  return rep;
+}
+
+OptReport removeDeadLogic(Netlist& nl) {
+  OptReport rep;
+  // Needed-net worklist from the primary outputs; DFFs propagate need
+  // from Q to D.
+  std::vector<bool> needed(nl.numNets(), false);
+  std::vector<NetId> stack;
+  for (NetId po : nl.outputs()) {
+    if (!needed[po]) {
+      needed[po] = true;
+      stack.push_back(po);
+    }
+  }
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const GateId d = nl.net(n).driver;
+    if (d == kNoGate) continue;
+    for (NetId in : nl.gate(d).fanin) {
+      if (!needed[in]) {
+        needed[in] = true;
+        stack.push_back(in);
+      }
+    }
+  }
+
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (isTombstone(gg)) continue;
+    // Interface gates stay, and so do constants: Netlist caches its
+    // constant nets, so their drivers must never disappear behind the
+    // cache's back.
+    if (isSourceKind(gg.kind)) continue;
+    if (gg.out != kNoNet && needed[gg.out]) continue;
+    nl.removeGate(g);
+    ++rep.deadGatesRemoved;
+  }
+  return rep;
+}
+
+OptReport optimize(Netlist& nl) {
+  OptReport total;
+  for (;;) {
+    OptReport round;
+    const OptReport f = foldConstants(nl);
+    const OptReport b = collapseBuffers(nl);
+    const OptReport d = removeDeadLogic(nl);
+    round.constantsFolded = f.constantsFolded;
+    round.buffersCollapsed = b.buffersCollapsed;
+    round.deadGatesRemoved = d.deadGatesRemoved;
+    total.constantsFolded += round.constantsFolded;
+    total.buffersCollapsed += round.buffersCollapsed;
+    total.deadGatesRemoved += round.deadGatesRemoved;
+    if (!round.changed()) break;
+  }
+  return total;
+}
+
+Netlist compact(const Netlist& src) {
+  Netlist dst(src.name());
+  // A net survives if it is driven by a live gate or is a PI/PO.
+  std::vector<NetId> map(src.numNets(), kNoNet);
+  auto want = [&](NetId n) {
+    if (map[n] == kNoNet) map[n] = dst.addNet(src.net(n).name);
+    return map[n];
+  };
+  for (GateId g = 0; g < src.numGates(); ++g) {
+    const Gate& gg = src.gate(g);
+    if (isTombstone(gg)) continue;
+    std::vector<NetId> fanin;
+    fanin.reserve(gg.fanin.size());
+    for (NetId in : gg.fanin) fanin.push_back(want(in));
+    const GateId ng = dst.addGate(gg.kind, std::move(fanin), want(gg.out));
+    dst.gate(ng).drive = gg.drive;
+    dst.gate(ng).delayPs = gg.delayPs;
+    dst.gate(ng).lutMask = gg.lutMask;
+  }
+  for (NetId n = 0; n < src.numNets(); ++n)
+    if (map[n] != kNoNet) dst.net(map[n]).wireDelay = src.net(n).wireDelay;
+  for (NetId pi : src.inputs())
+    if (map[pi] != kNoNet) dst.registerPI(map[pi]);
+  for (NetId po : src.outputs()) dst.appendPO(want(po));
+  assert(!dst.validate().has_value());
+  return dst;
+}
+
+}  // namespace gkll

@@ -1,0 +1,48 @@
+// Light-weight netlist clean-up passes — the "re-synthesis" step the
+// paper invokes when discussing removal attacks ("the netlist after this
+// removal can be re-synthesized ... then SAT attack can be applied").
+// Removal/bypass transforms leave constants and orphaned logic behind;
+// these passes restore a tidy netlist an attacker (or a test) can reason
+// about.
+//
+// All passes are semantics-preserving over the PI/PO/flop interface and
+// report what they did.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+struct OptReport {
+  std::size_t constantsFolded = 0;  ///< gates replaced by constant drivers
+  std::size_t buffersCollapsed = 0; ///< BUF/DELAY gates bypassed
+  std::size_t deadGatesRemoved = 0; ///< gates with no path to any sink
+  bool changed() const {
+    return constantsFolded + buffersCollapsed + deadGatesRemoved > 0;
+  }
+};
+
+/// Constant propagation: gates whose output is fixed by constant inputs
+/// (e.g. AND with a 0 leg, XOR of a net with itself is left alone) are
+/// replaced by constant drivers; iterates to a fixed point.
+OptReport foldConstants(Netlist& nl);
+
+/// Collapse functional buffers: readers of a kBuf/kDelay output are
+/// rewired to its input (POs keep the buffer so the interface name
+/// survives).  Note this deliberately destroys *timing* structure — it is
+/// an attacker-side normalisation, never part of the defender's flow.
+OptReport collapseBuffers(Netlist& nl);
+
+/// Remove gates (and flops) from which no primary output is reachable.
+OptReport removeDeadLogic(Netlist& nl);
+
+/// foldConstants + collapseBuffers + removeDeadLogic to a fixed point.
+OptReport optimize(Netlist& nl);
+
+/// Rebuild a netlist without tombstoned gates and orphaned nets (compacts
+/// ids; names survive).  Run after heavy gate removal.
+Netlist compact(const Netlist& nl);
+
+}  // namespace gkll

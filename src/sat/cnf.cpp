@@ -1,0 +1,226 @@
+#include "sat/cnf.h"
+
+#include <cassert>
+
+namespace gkll::sat {
+namespace {
+
+void encodeAnd(Solver& s, const std::vector<Var>& ins, Var out, bool invert) {
+  // out = AND(ins)   (or NAND when invert).
+  const Lit outPos = mkLit(out, invert);   // literal true when AND is true
+  const Lit outNeg = negLit(outPos);
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Var in : ins) {
+    s.addClause(outNeg, mkLit(in));  // AND true -> every input true
+    big.push_back(mkLit(in, true));
+  }
+  big.push_back(outPos);  // all inputs true -> AND true
+  s.addClause(std::move(big));
+}
+
+void encodeOr(Solver& s, const std::vector<Var>& ins, Var out, bool invert) {
+  // out = OR(ins)   (or NOR when invert).
+  const Lit outPos = mkLit(out, invert);
+  const Lit outNeg = negLit(outPos);
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Var in : ins) {
+    s.addClause(outPos, mkLit(in, true));  // any input true -> OR true
+    big.push_back(mkLit(in));
+  }
+  big.push_back(outNeg);  // all inputs false -> OR false
+  s.addClause(std::move(big));
+}
+
+}  // namespace
+
+void addGateClauses(Solver& s, CellKind kind, const std::vector<Var>& ins,
+                    Var out, std::uint64_t lutMask) {
+  switch (kind) {
+    case CellKind::kInput:
+      return;  // free variable
+    case CellKind::kConst0:
+      s.addClause(mkLit(out, true));
+      return;
+    case CellKind::kConst1:
+      s.addClause(mkLit(out));
+      return;
+    case CellKind::kBuf:
+    case CellKind::kDelay:
+      s.addClause(mkLit(ins[0], true), mkLit(out));
+      s.addClause(mkLit(ins[0]), mkLit(out, true));
+      return;
+    case CellKind::kInv:
+      s.addClause(mkLit(ins[0], true), mkLit(out, true));
+      s.addClause(mkLit(ins[0]), mkLit(out));
+      return;
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kAnd4:
+      encodeAnd(s, ins, out, false);
+      return;
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+      encodeAnd(s, ins, out, true);
+      return;
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kOr4:
+      encodeOr(s, ins, out, false);
+      return;
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+      encodeOr(s, ins, out, true);
+      return;
+    case CellKind::kXor2:
+    case CellKind::kXnor2: {
+      const bool n = kind == CellKind::kXnor2;  // XNOR flips output polarity
+      const Var a = ins[0], b = ins[1];
+      s.addClause(mkLit(a, true), mkLit(b, true), mkLit(out, !n));
+      s.addClause(mkLit(a), mkLit(b), mkLit(out, !n));
+      s.addClause(mkLit(a, true), mkLit(b), mkLit(out, n));
+      s.addClause(mkLit(a), mkLit(b, true), mkLit(out, n));
+      return;
+    }
+    case CellKind::kMux2: {
+      const Var sel = ins[0], i0 = ins[1], i1 = ins[2];
+      s.addClause(mkLit(sel), mkLit(i0, true), mkLit(out));
+      s.addClause(mkLit(sel), mkLit(i0), mkLit(out, true));
+      s.addClause(mkLit(sel, true), mkLit(i1, true), mkLit(out));
+      s.addClause(mkLit(sel, true), mkLit(i1), mkLit(out, true));
+      // Redundant but propagation-strengthening clauses:
+      s.addClause(mkLit(i0, true), mkLit(i1, true), mkLit(out));
+      s.addClause(mkLit(i0), mkLit(i1), mkLit(out, true));
+      return;
+    }
+    case CellKind::kAoi21: {
+      const Var a = ins[0], b = ins[1], c = ins[2];
+      // out = !((a & b) | c)
+      s.addClause(mkLit(out, true), mkLit(c, true));
+      s.addClause(mkLit(out, true), mkLit(a, true), mkLit(b, true));
+      s.addClause(mkLit(out), mkLit(a), mkLit(c));
+      s.addClause(mkLit(out), mkLit(b), mkLit(c));
+      return;
+    }
+    case CellKind::kOai21: {
+      const Var a = ins[0], b = ins[1], c = ins[2];
+      // out = !((a | b) & c)
+      s.addClause(mkLit(out, true), mkLit(a, true), mkLit(c, true));
+      s.addClause(mkLit(out, true), mkLit(b, true), mkLit(c, true));
+      s.addClause(mkLit(out), mkLit(a), mkLit(b));
+      s.addClause(mkLit(out), mkLit(c));
+      return;
+    }
+    case CellKind::kLut: {
+      assert(ins.size() <= 6);
+      const std::size_t n = ins.size();
+      for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+        std::vector<Lit> clause;
+        clause.reserve(n + 1);
+        for (std::size_t i = 0; i < n; ++i)
+          clause.push_back(mkLit(ins[i], (m >> i) & 1ULL));  // negate set bits
+        const bool f = (lutMask >> m) & 1ULL;
+        clause.push_back(mkLit(out, !f));
+        s.addClause(std::move(clause));
+      }
+      return;
+    }
+    case CellKind::kDff:
+      assert(false && "encode combinational netlists only (use extractCombinational)");
+      return;
+  }
+}
+
+std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
+                               const std::vector<NetId>& boundNets,
+                               const std::vector<Var>& boundVars) {
+  assert(boundNets.size() == boundVars.size());
+  std::vector<Var> varOf(nl.numNets(), -1);
+  for (std::size_t i = 0; i < boundNets.size(); ++i)
+    varOf[boundNets[i]] = boundVars[i];
+  for (NetId n = 0; n < nl.numNets(); ++n)
+    if (varOf[n] < 0) varOf[n] = s.newVar();
+
+  std::vector<Var> ins;
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
+    if (gg.kind == CellKind::kInput) continue;
+    ins.clear();
+    for (NetId in : gg.fanin) ins.push_back(varOf[in]);
+    addGateClauses(s, gg.kind, ins, varOf[gg.out], gg.lutMask);
+  }
+  return varOf;
+}
+
+Var makeAnd(Solver& s, Var a, Var b) {
+  const Var o = s.newVar();
+  addGateClauses(s, CellKind::kAnd2, {a, b}, o);
+  return o;
+}
+
+Var makeOr(Solver& s, Var a, Var b) {
+  const Var o = s.newVar();
+  addGateClauses(s, CellKind::kOr2, {a, b}, o);
+  return o;
+}
+
+Var makeXor(Solver& s, Var a, Var b) {
+  const Var o = s.newVar();
+  addGateClauses(s, CellKind::kXor2, {a, b}, o);
+  return o;
+}
+
+Var makeOrReduce(Solver& s, const std::vector<Var>& vs) {
+  const Var o = s.newVar();
+  if (vs.empty()) {
+    s.addClause(mkLit(o, true));
+    return o;
+  }
+  std::vector<Lit> big;
+  big.reserve(vs.size() + 1);
+  for (Var v : vs) {
+    s.addClause(mkLit(o), mkLit(v, true));
+    big.push_back(mkLit(v));
+  }
+  big.push_back(mkLit(o, true));
+  s.addClause(std::move(big));
+  return o;
+}
+
+EquivResult checkEquivalence(const Netlist& a, const Netlist& b) {
+  assert(a.inputs().size() == b.inputs().size());
+  assert(a.outputs().size() == b.outputs().size());
+  Solver s;
+  const std::vector<Var> va = encodeNetlist(s, a);
+  // Share PI variables between the two copies.
+  std::vector<NetId> bPIs = b.inputs();
+  std::vector<Var> piVars;
+  piVars.reserve(bPIs.size());
+  for (std::size_t i = 0; i < bPIs.size(); ++i)
+    piVars.push_back(va[a.inputs()[i]]);
+  const std::vector<Var> vb = encodeNetlist(s, b, bPIs, piVars);
+
+  std::vector<Var> diffs;
+  diffs.reserve(a.outputs().size());
+  for (std::size_t i = 0; i < a.outputs().size(); ++i)
+    diffs.push_back(makeXor(s, va[a.outputs()[i]], vb[b.outputs()[i]]));
+  const Var any = makeOrReduce(s, diffs);
+  s.addClause(mkLit(any));
+
+  EquivResult r;
+  if (s.solve() == Result::kUnsat) {
+    r.equivalent = true;
+    return r;
+  }
+  r.equivalent = false;
+  r.counterexample.reserve(a.inputs().size());
+  for (NetId pi : a.inputs())
+    r.counterexample.push_back(logicFromBool(s.modelValue(va[pi])));
+  return r;
+}
+
+}  // namespace gkll::sat

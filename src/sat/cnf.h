@@ -1,0 +1,51 @@
+// Tseitin encoding of combinational netlists into CNF, plus the SAT-based
+// equivalence checker used by the tests and by the attack evaluation.
+//
+// Only combinational netlists can be encoded (run netlist_ops'
+// extractCombinational first for sequential designs — exactly what the
+// paper does before applying the SAT attack).  kDelay elements encode as
+// buffers: CNF sees steady-state logic only, which is precisely why a SAT
+// model cannot see the value carried on a glitch (paper Sec. V-A).
+#pragma once
+
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "sat/solver.h"
+
+namespace gkll::sat {
+
+/// Add the consistency clauses of one cell to the solver.
+void addGateClauses(Solver& s, CellKind kind, const std::vector<Var>& ins,
+                    Var out, std::uint64_t lutMask = 0);
+
+/// Encode a combinational netlist.  Nets listed in `boundNets` reuse the
+/// corresponding variable from `boundVars` (used to share PIs between the
+/// two miter copies); all other nets get fresh variables.  Returns one
+/// variable per net, indexed by NetId.
+std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
+                               const std::vector<NetId>& boundNets = {},
+                               const std::vector<Var>& boundVars = {});
+
+/// Tseitin helpers over already-created variables.
+Var makeAnd(Solver& s, Var a, Var b);
+Var makeOr(Solver& s, Var a, Var b);
+Var makeXor(Solver& s, Var a, Var b);
+/// OR-reduce a set of variables into one output variable (0 vars -> const
+/// false variable).
+Var makeOrReduce(Solver& s, const std::vector<Var>& vs);
+
+/// Combinational equivalence result.
+struct EquivResult {
+  bool equivalent = false;
+  /// When inequivalent: an input assignment (in inputs() order of `a`)
+  /// on which the two circuits' outputs differ.
+  std::vector<Logic> counterexample;
+};
+
+/// SAT-based combinational equivalence of two netlists with identical
+/// PI/PO counts (matched by position).
+EquivResult checkEquivalence(const Netlist& a, const Netlist& b);
+
+}  // namespace gkll::sat

@@ -1,0 +1,87 @@
+#include "sat/dimacs.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace gkll::sat {
+
+std::string writeDimacs(const std::vector<std::vector<Lit>>& clauses,
+                        int numVars) {
+  std::ostringstream out;
+  out << "c gkll CNF export\n";
+  out << "p cnf " << numVars << ' ' << clauses.size() << '\n';
+  for (const auto& cl : clauses) {
+    for (const Lit l : cl)
+      out << (litSign(l) ? -(litVar(l) + 1) : (litVar(l) + 1)) << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool parseDimacs(const std::string& text, DimacsFormula& out,
+                 std::string& error) {
+  out = DimacsFormula{};
+  std::istringstream in(text);
+  std::string line;
+  std::vector<Lit> current;
+  int declaredClauses = -1;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hdr(line);
+      std::string p, cnf;
+      hdr >> p >> cnf >> out.numVars >> declaredClauses;
+      if (hdr.fail() || cnf != "cnf" || out.numVars < 0 ||
+          declaredClauses < 0) {
+        error = "line " + std::to_string(lineNo) + ": bad header";
+        return false;
+      }
+      continue;
+    }
+    std::istringstream body(line);
+    long long v;
+    while (body >> v) {
+      if (v == 0) {
+        out.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const long long var = v > 0 ? v : -v;
+      if (var > (1LL << 28)) {
+        error = "line " + std::to_string(lineNo) + ": variable too large";
+        return false;
+      }
+      out.numVars = std::max(out.numVars, static_cast<int>(var));
+      current.push_back(mkLit(static_cast<Var>(var - 1), v < 0));
+    }
+    if (body.fail() && !body.eof()) {
+      error = "line " + std::to_string(lineNo) + ": not a number";
+      return false;
+    }
+  }
+  if (!current.empty()) out.clauses.push_back(current);  // tolerate missing 0
+  if (declaredClauses >= 0 &&
+      static_cast<std::size_t>(declaredClauses) != out.clauses.size()) {
+    // Header mismatch is a warning-grade issue in the wild; accept it.
+  }
+  error.clear();
+  return true;
+}
+
+Result solveDimacs(const DimacsFormula& f, std::vector<bool>* model) {
+  Solver s;
+  for (int i = 0; i < f.numVars; ++i) s.newVar();
+  for (const auto& cl : f.clauses) {
+    if (!s.addClause(cl)) return Result::kUnsat;
+  }
+  const Result r = s.solve();
+  if (r == Result::kSat && model) {
+    model->assign(static_cast<std::size_t>(f.numVars), false);
+    for (int i = 0; i < f.numVars; ++i) (*model)[static_cast<std::size_t>(i)] = s.modelValue(i);
+  }
+  return r;
+}
+
+}  // namespace gkll::sat

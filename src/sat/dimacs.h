@@ -1,0 +1,32 @@
+// DIMACS CNF interchange: export the solver's clause log (or any clause
+// list) for cross-checking with external SAT solvers, and import/solve
+// DIMACS files with this library's CDCL engine.  Used by the differential
+// tests and handy for debugging hard attack instances offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace gkll::sat {
+
+/// A parsed DIMACS formula (variables are 0-based internally).
+struct DimacsFormula {
+  int numVars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Serialise clauses in DIMACS CNF format (1-based, negative = negated).
+std::string writeDimacs(const std::vector<std::vector<Lit>>& clauses,
+                        int numVars);
+
+/// Parse DIMACS text.  Returns false (with a diagnostic) on malformed
+/// input; tolerates comments and missing/underspecified headers.
+bool parseDimacs(const std::string& text, DimacsFormula& out,
+                 std::string& error);
+
+/// Load a formula into a fresh solver and solve it.
+Result solveDimacs(const DimacsFormula& f, std::vector<bool>* model = nullptr);
+
+}  // namespace gkll::sat

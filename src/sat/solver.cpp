@@ -1,0 +1,470 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll::sat {
+namespace {
+
+inline constexpr std::int32_t kNoReason = -1;
+
+/// The (i+1)-th element of the Luby restart sequence: 1 1 2 1 1 2 4 ...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1ULL << seq;
+}
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  phase_.push_back(kFalse);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heapPos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(v);
+  return v;
+}
+
+void Solver::attach(ClauseRef c) {
+  const auto& lits = clauses_[c].lits;
+  assert(lits.size() >= 2);
+  watches_[negLit(lits[0])].push_back({c, lits[1]});
+  watches_[negLit(lits[1])].push_back({c, lits[0]});
+}
+
+bool Solver::addClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(trailLim_.empty() && "clauses must be added at the root level");
+  if (logClauses_) clauseLog_.push_back(lits);
+  // Normalise: sort, dedupe, drop tautologies and root-false literals.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && litVar(lits[i + 1]) == litVar(l))
+      return true;  // adjacent after sort => x and !x: tautology
+    const std::uint8_t v = litValue(l);
+    if (v == kTrue) return true;  // satisfied at root
+    if (v == kFalse) continue;    // drop
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const ClauseRef c = static_cast<ClauseRef>(clauses_.size());
+  Clause cl;
+  cl.lits = std::move(out);
+  clauses_.push_back(std::move(cl));
+  attach(c);
+  return true;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  const Var v = litVar(l);
+  assert(assign_[v] == kUndef);
+  assign_[v] = litSign(l) ? kFalse : kTrue;
+  phase_[v] = assign_[v];
+  level_[v] = static_cast<int>(trailLim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      // Blocker check first: if it is true the clause is satisfied and we
+      // never touch the clause body.
+      const Watcher w = ws[i];
+      if (litValue(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      const ClauseRef cr = w.clause;
+      auto& lits = clauses_[cr].lits;
+      const Lit falseLit = negLit(p);
+      if (lits[0] == falseLit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == falseLit);
+      if (litValue(lits[0]) == kTrue) {  // satisfied by the other watch
+        ws[keep++] = {cr, lits[0]};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (litValue(lits[k]) != kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[negLit(lits[1])].push_back({cr, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[keep++] = {cr, lits[0]};  // stays watched here
+      if (litValue(lits[0]) == kFalse) {
+        // Conflict: keep the remaining watches and report.
+        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(lits[0], cr);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bumpVar(Var v) {
+  activity_[v] += varInc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    varInc_ *= 1e-100;
+  }
+  if (inHeap(v)) heapUp(heapPos_[v]);
+}
+
+void Solver::decayVarActivity() { varInc_ /= 0.95; }
+
+void Solver::bumpClause(ClauseRef c) {
+  Clause& cl = clauses_[c];
+  if (!cl.learned) return;
+  cl.activity += clauseInc_;
+  if (cl.activity > 1e20) {
+    for (Clause& k : clauses_)
+      if (k.learned) k.activity *= 1e-20;
+    clauseInc_ *= 1e-20;
+  }
+}
+
+bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
+  analyzeStack_.clear();
+  analyzeStack_.push_back(l);
+  const std::size_t clearTop = analyzeToClear_.size();
+  while (!analyzeStack_.empty()) {
+    const Lit q = analyzeStack_.back();
+    analyzeStack_.pop_back();
+    const ClauseRef r = reason_[litVar(q)];
+    assert(r != kNoReason);
+    for (const Lit cl : clauses_[r].lits) {
+      const Var v = litVar(cl);
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] == kNoReason ||
+          ((1u << (level_[v] & 31)) & abstractLevels) == 0) {
+        // Hit a decision or a level outside the clause: not redundant.
+        for (std::size_t i = clearTop; i < analyzeToClear_.size(); ++i)
+          seen_[litVar(analyzeToClear_[i])] = 0;
+        analyzeToClear_.resize(clearTop);
+        return false;
+      }
+      seen_[v] = 1;
+      analyzeStack_.push_back(cl);
+      analyzeToClear_.push_back(cl);
+    }
+  }
+  return true;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     int& btLevel) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  int counter = 0;
+  Lit p = kLitUndef;
+  ClauseRef reason = conflict;
+  std::size_t index = trail_.size();
+  analyzeToClear_.clear();
+  const int curLevel = static_cast<int>(trailLim_.size());
+
+  do {
+    assert(reason != kNoReason);
+    bumpClause(reason);
+    for (const Lit q : clauses_[reason].lits) {
+      if (q == p) continue;
+      const Var v = litVar(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      analyzeToClear_.push_back(q);
+      bumpVar(v);
+      if (level_[v] >= curLevel)
+        ++counter;
+      else
+        learnt.push_back(q);
+    }
+    while (!seen_[litVar(trail_[--index])]) {
+    }
+    p = trail_[index];
+    reason = reason_[litVar(p)];
+    seen_[litVar(p)] = 0;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = negLit(p);
+
+  // Learned-clause minimisation: drop literals implied by the rest.
+  std::uint32_t abstractLevels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    abstractLevels |= 1u << (level_[litVar(learnt[i])] & 31);
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[litVar(learnt[i])] == kNoReason ||
+        !litRedundant(learnt[i], abstractLevels))
+      learnt[keep++] = learnt[i];
+  }
+  learnt.resize(keep);
+
+  btLevel = 0;
+  std::size_t maxIdx = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[litVar(learnt[i])] > btLevel) {
+      btLevel = level_[litVar(learnt[i])];
+      maxIdx = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[maxIdx]);
+
+  for (const Lit q : analyzeToClear_) seen_[litVar(q)] = 0;
+  analyzeToClear_.clear();
+}
+
+void Solver::backtrack(int toLevel) {
+  if (static_cast<int>(trailLim_.size()) <= toLevel) return;
+  const std::size_t bound = static_cast<std::size_t>(trailLim_[toLevel]);
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = litVar(trail_[i - 1]);
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    if (!inHeap(v)) heapInsert(v);
+  }
+  trail_.resize(bound);
+  trailLim_.resize(static_cast<std::size_t>(toLevel));
+  qhead_ = bound;
+}
+
+Lit Solver::pickBranchLit() {
+  while (!heap_.empty()) {
+    const Var v = heapPop();
+    if (assign_[v] == kUndef) return mkLit(v, phase_[v] == kFalse);
+  }
+  return kLitUndef;
+}
+
+void Solver::reduceDb() {
+  std::vector<ClauseRef> learned;
+  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c)
+    if (clauses_[c].learned) learned.push_back(c);
+  // Let the learned DB grow with search effort (MiniSat-style), otherwise
+  // long refutations keep deleting the clauses they need.
+  const std::size_t cap = 4000 + stats_.conflicts / 2;
+  if (learned.size() < cap) return;
+  std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> isReason(clauses_.size(), false);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[litVar(l)];
+    if (r != kNoReason) isReason[static_cast<std::size_t>(r)] = true;
+  }
+  std::vector<bool> drop(clauses_.size(), false);
+  for (std::size_t i = 0; i < learned.size() / 2; ++i)
+    if (!isReason[static_cast<std::size_t>(learned[i])])
+      drop[static_cast<std::size_t>(learned[i])] = true;
+
+  std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
+  std::vector<Clause> next;
+  next.reserve(clauses_.size());
+  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c) {
+    if (drop[static_cast<std::size_t>(c)]) continue;
+    remap[static_cast<std::size_t>(c)] = static_cast<ClauseRef>(next.size());
+    next.push_back(std::move(clauses_[static_cast<std::size_t>(c)]));
+  }
+  clauses_ = std::move(next);
+  for (auto& ws : watches_) ws.clear();
+  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c)
+    attach(c);
+  for (const Lit l : trail_) {
+    ClauseRef& r = reason_[litVar(l)];
+    if (r != kNoReason) r = remap[static_cast<std::size_t>(r)];
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return Result::kUnsat;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Result::kUnsat;
+  }
+
+  std::uint64_t restartCount = 0;
+  std::uint64_t restartBudget = 64 * luby(restartCount);
+  std::uint64_t conflictsThisRestart = 0;
+  std::uint64_t conflictsThisCall = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflictsThisRestart;
+      if (conflictBudget_ != 0 && ++conflictsThisCall >= conflictBudget_) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      if (trailLim_.empty()) {
+        ok_ = false;
+        return Result::kUnsat;
+      }
+      int btLevel = 0;
+      analyze(conflict, learnt, btLevel);
+      backtrack(btLevel);
+      if (learnt.size() == 1) {
+        assert(btLevel == 0);
+        if (litValue(learnt[0]) == kFalse) {
+          ok_ = false;
+          return Result::kUnsat;
+        }
+        if (litValue(learnt[0]) == kUndef) enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef c = static_cast<ClauseRef>(clauses_.size());
+        Clause cl;
+        cl.lits = learnt;
+        cl.learned = true;
+        clauses_.push_back(std::move(cl));
+        attach(c);
+        bumpClause(c);
+        ++stats_.learnedClauses;
+        enqueue(learnt[0], c);
+      }
+      decayVarActivity();
+      clauseInc_ /= 0.999;
+      continue;
+    }
+
+    if (conflictsThisRestart >= restartBudget) {
+      ++stats_.restarts;
+      ++restartCount;
+      restartBudget = 64 * luby(restartCount);
+      conflictsThisRestart = 0;
+      backtrack(0);
+      reduceDb();
+      continue;
+    }
+
+    // Replay assumptions as pseudo-decisions below real decisions.
+    if (trailLim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trailLim_.size()];
+      const std::uint8_t v = litValue(a);
+      if (v == kTrue) {  // already implied: open an empty level
+        trailLim_.push_back(static_cast<int>(trail_.size()));
+        continue;
+      }
+      if (v == kFalse) {  // contradicts earlier assumptions/implications
+        backtrack(0);
+        return Result::kUnsat;
+      }
+      trailLim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(a, kNoReason);
+      continue;
+    }
+
+    const Lit next = pickBranchLit();
+    if (next == kLitUndef) {
+      // Full model found: snapshot it, then restore the root level so the
+      // caller may add clauses afterwards.
+      model_.assign(assign_.begin(), assign_.end());
+      backtrack(0);
+      return Result::kSat;
+    }
+    ++stats_.decisions;
+    trailLim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+bool Solver::modelValue(Var v) const {
+  return static_cast<std::size_t>(v) < model_.size() && model_[v] == kTrue;
+}
+
+// --- activity heap ---------------------------------------------------------
+
+void Solver::heapInsert(Var v) {
+  heapPos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heapUp(heapPos_[v]);
+}
+
+Var Solver::heapPop() {
+  const Var top = heap_[0];
+  heapPos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heapPos_[heap_[0]] = 0;
+    heap_.pop_back();
+    heapDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::heapUp(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heapPos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heapPos_[v] = i;
+}
+
+void Solver::heapDown(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]])
+      ++child;
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heapPos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heapPos_[v] = i;
+}
+
+}  // namespace gkll::sat

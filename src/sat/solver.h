@@ -1,0 +1,162 @@
+// A from-scratch CDCL SAT solver.
+//
+// This is the engine behind the SAT attack (attack/sat_attack) and the
+// SAT-based equivalence checks used in the tests.  Feature set: two-literal
+// watching, first-UIP conflict analysis with clause learning, VSIDS
+// decision heuristic with a binary heap, phase saving, Luby restarts and
+// activity-based learned-clause reduction.  Solving under assumptions is
+// supported (used for incremental miter queries).
+//
+// The encoding layer (sat/cnf.h) maps netlists onto variables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gkll::sat {
+
+using Var = std::int32_t;
+/// Literal encoding: var*2 + sign (sign 1 = negated).
+using Lit = std::int32_t;
+
+inline constexpr Lit kLitUndef = -1;
+
+constexpr Lit mkLit(Var v, bool negated = false) {
+  return (v << 1) | static_cast<Lit>(negated);
+}
+constexpr Lit negLit(Lit l) { return l ^ 1; }
+constexpr Var litVar(Lit l) { return l >> 1; }
+constexpr bool litSign(Lit l) { return (l & 1) != 0; }
+
+enum class Result {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< the per-call conflict budget ran out (see setConflictBudget)
+};
+
+/// Solver statistics (cumulative across solve() calls).
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learnedClauses = 0;
+  std::uint64_t restarts = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Create a fresh variable and return it.
+  Var newVar();
+  int numVars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause over existing variables.  Returns false if the clause
+  /// makes the formula trivially unsatisfiable at the root level.
+  /// Clauses may be added between solve() calls (incremental use).
+  bool addClause(std::vector<Lit> lits);
+
+  /// Convenience single-/double-/triple-literal clause helpers.
+  bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+  bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+  bool addClause(Lit a, Lit b, Lit c) {
+    return addClause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Solve, optionally under assumptions (temporary unit decisions).
+  /// Returns kUnknown when a conflict budget is set and exhausted.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Limit the number of conflicts *per solve() call* (0 = unlimited).
+  /// When the budget runs out solve() returns kUnknown; the formula and
+  /// learned clauses stay intact, so callers may simply retry or give up.
+  void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
+
+  /// Record every original (non-learned) clause exactly as passed to
+  /// addClause, before simplification — for DIMACS export (sat/dimacs.h)
+  /// and differential testing.  Call before adding clauses.
+  void enableClauseLog() { logClauses_ = true; }
+  const std::vector<std::vector<Lit>>& loggedClauses() const {
+    return clauseLog_;
+  }
+
+  /// Model access after kSat.  Unassigned variables read as false.
+  bool modelValue(Var v) const;
+
+  /// False once the formula is known unsatisfiable at the root.
+  bool okay() const { return ok_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  enum : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+  };
+  using ClauseRef = std::int32_t;
+
+  /// Watcher with a blocker literal: when the blocker is already true the
+  /// clause is satisfied and the clause body is never touched (the classic
+  /// cache-miss saver).
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;
+  };
+
+  std::uint8_t litValue(Lit l) const {
+    const std::uint8_t a = assign_[litVar(l)];
+    if (a == kUndef) return kUndef;
+    return static_cast<std::uint8_t>(a ^ static_cast<std::uint8_t>(litSign(l)));
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& btLevel);
+  void backtrack(int level);
+  void bumpVar(Var v);
+  void decayVarActivity();
+  void bumpClause(ClauseRef c);
+  Lit pickBranchLit();
+  void attach(ClauseRef c);
+  void reduceDb();
+  bool litRedundant(Lit l, std::uint32_t abstractLevels);
+
+  // heap of variables ordered by activity
+  void heapInsert(Var v);
+  Var heapPop();
+  void heapUp(int i);
+  void heapDown(int i);
+  bool inHeap(Var v) const { return heapPos_[v] >= 0; }
+
+  bool ok_ = true;
+  std::uint64_t conflictBudget_ = 0;
+  bool logClauses_ = false;
+  std::vector<std::vector<Lit>> clauseLog_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // per literal
+  std::vector<std::uint8_t> assign_;             // per var
+  std::vector<std::uint8_t> phase_;              // saved polarity per var
+  std::vector<int> level_;                       // per var
+  std::vector<ClauseRef> reason_;                // per var
+  std::vector<Lit> trail_;
+  std::vector<int> trailLim_;
+  std::vector<std::uint8_t> model_;  // snapshot of assign_ at last kSat
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double varInc_ = 1.0;
+  double clauseInc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<int> heapPos_;
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyzeStack_;
+  std::vector<Lit> analyzeToClear_;
+
+  SolverStats stats_;
+};
+
+}  // namespace gkll::sat

@@ -1,0 +1,198 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace gkll {
+
+EventSim::EventSim(const Netlist& nl, EventSimConfig cfg, const CellLibrary& lib)
+    : nl_(nl),
+      cfg_(cfg),
+      lib_(lib),
+      waves_(nl.numNets()),
+      current_(nl.numNets(), Logic::X),
+      initialPI_(nl.numNets(), Logic::F),
+      initialFF_(nl.flops().size(), Logic::F),
+      clockArrival_(nl.flops().size(), 0),
+      captureStart_(nl.flops().size(), 1) {
+  // The hold-window check runs at the Q-commit event; it can only see the
+  // whole window if clock-to-Q is not shorter than the hold time.
+  assert(lib_.clkToQ() >= lib_.holdTime());
+}
+
+void EventSim::setInitialInput(NetId pi, Logic v) { initialPI_[pi] = v; }
+
+void EventSim::setInitialState(GateId ff, Logic v) {
+  const auto& flops = nl_.flops();
+  auto it = std::find(flops.begin(), flops.end(), ff);
+  assert(it != flops.end());
+  initialFF_[static_cast<std::size_t>(it - flops.begin())] = v;
+}
+
+void EventSim::setClockArrival(GateId ff, Ps t) {
+  const auto& flops = nl_.flops();
+  auto it = std::find(flops.begin(), flops.end(), ff);
+  assert(it != flops.end());
+  clockArrival_[static_cast<std::size_t>(it - flops.begin())] = t;
+}
+
+void EventSim::setCaptureStart(GateId ff, int k) {
+  assert(k >= 1);
+  const auto& flops = nl_.flops();
+  auto it = std::find(flops.begin(), flops.end(), ff);
+  assert(it != flops.end());
+  captureStart_[static_cast<std::size_t>(it - flops.begin())] = k;
+}
+
+void EventSim::drive(NetId pi, Ps time, Logic v) {
+  assert(nl_.net(pi).driver != kNoGate &&
+         nl_.gate(nl_.net(pi).driver).kind == CellKind::kInput &&
+         "only primary inputs can be driven externally");
+  stimuli_.push_back(Ev{time, 0, 0, pi, kNoGate, v});
+}
+
+Ps EventSim::gateDelay(const Gate& g, Logic newOut) const {
+  Ps d;
+  if (g.kind == CellKind::kDelay) {
+    d = g.delayPs;
+  } else {
+    const CellInfo ci = lib_.info(g.kind, g.drive);
+    if (newOut == Logic::T)
+      d = ci.rise;
+    else if (newOut == Logic::F)
+      d = ci.fall;
+    else
+      d = std::max(ci.rise, ci.fall);
+  }
+  return d + nl_.net(g.out).wireDelay;
+}
+
+void EventSim::run() {
+  assert(!ran_ && "EventSim::run may be called once");
+  ran_ = true;
+
+  // --- initial settle: zero-delay steady state at t = 0 ------------------
+  const std::vector<GateId> topo = nl_.topoOrder();
+  assert(!topo.empty() || nl_.numGates() == 0);
+  {
+    // Pass 1: all source values (inputs, constants, flop states) — these
+    // may appear anywhere in the gate order, so they must be written
+    // before any combinational evaluation reads them.
+    for (GateId g : topo) {
+      const Gate& gg = nl_.gate(g);
+      if (gg.out == kNoNet) continue;
+      switch (gg.kind) {
+        case CellKind::kInput:
+          current_[gg.out] = initialPI_[gg.out];
+          break;
+        case CellKind::kConst0:
+          current_[gg.out] = Logic::F;
+          break;
+        case CellKind::kConst1:
+          current_[gg.out] = Logic::T;
+          break;
+        case CellKind::kDff: {
+          const auto& flops = nl_.flops();
+          const auto it = std::find(flops.begin(), flops.end(), g);
+          current_[gg.out] =
+              initialFF_[static_cast<std::size_t>(it - flops.begin())];
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Pass 2: combinational gates in dependency order.
+    std::vector<Logic> ins;
+    for (GateId g : topo) {
+      const Gate& gg = nl_.gate(g);
+      if (gg.out == kNoNet) continue;
+      if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+      ins.clear();
+      for (NetId in : gg.fanin) ins.push_back(current_[in]);
+      current_[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
+    }
+    for (NetId n = 0; n < nl_.numNets(); ++n) waves_[n].setInitial(current_[n]);
+  }
+
+  // --- event queue --------------------------------------------------------
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> q;
+  std::uint64_t seq = 0;
+  for (Ev e : stimuli_) {
+    e.seq = seq++;
+    if (e.time < cfg_.simTime) q.push(e);
+  }
+  if (cfg_.clockedFlops) {
+    for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+      for (Ps t = clockArrival_[i] + captureStart_[i] * cfg_.clockPeriod;
+           t < cfg_.simTime; t += cfg_.clockPeriod)
+        q.push(Ev{t, 1, seq++, kNoNet, nl_.flops()[i], Logic::X});
+    }
+  }
+
+  // Causality guard: with per-edge (rise/fall) transport delays, a later
+  // evaluation can compute a smaller delay and its event would land
+  // *before* an earlier one, leaving the net stuck at a stale value.  Each
+  // net's events are therefore clamped to be time-monotonic in scheduling
+  // order; at equal times the later-scheduled (newer) value wins.
+  std::vector<Ps> lastSched(nl_.numNets(), INT64_MIN);
+  std::vector<Logic> ins;
+  auto evaluateAndSchedule = [&](GateId g, Ps now) {
+    const Gate& gg = nl_.gate(g);
+    if (gg.out == kNoNet) return;
+    ins.clear();
+    for (NetId in : gg.fanin) ins.push_back(current_[in]);
+    const Logic out = evalCell(gg.kind, ins, gg.lutMask);
+    Ps t = now + gateDelay(gg, out);
+    if (t < lastSched[gg.out]) t = lastSched[gg.out];
+    lastSched[gg.out] = t;
+    q.push(Ev{t, 0, seq++, gg.out, kNoGate, out});
+  };
+
+  auto applyNetChange = [&](NetId n, Ps t, Logic v) {
+    if (current_[n] == v) return;
+    current_[n] = v;
+    waves_[n].set(t, v);
+    ++totalEvents_;
+    for (GateId reader : nl_.net(n).fanouts) {
+      const Gate& rg = nl_.gate(reader);
+      if (rg.kind == CellKind::kDff || isSourceKind(rg.kind)) continue;
+      if (t + 1 >= cfg_.simTime) continue;  // horizon
+      evaluateAndSchedule(reader, t);
+    }
+  };
+
+  while (!q.empty()) {
+    const Ev e = q.top();
+    q.pop();
+    if (e.time >= cfg_.simTime) continue;
+    switch (e.kind) {
+      case 0:
+        applyNetChange(e.net, e.time, e.value);
+        break;
+      case 1: {  // capture: sample D now, commit Q after clock-to-Q
+        const Gate& ff = nl_.gate(e.flop);
+        const Logic d = current_[ff.fanin[0]];
+        q.push(Ev{e.time + lib_.clkToQ(), 2, seq++, kNoNet, e.flop, d});
+        break;
+      }
+      case 2: {  // Q commit + setup/hold window check
+        const Ps edge = e.time - lib_.clkToQ();
+        const Gate& ff = nl_.gate(e.flop);
+        Logic v = e.value;
+        for (const Transition& tr : waves_[ff.fanin[0]].transitions()) {
+          if (tr.time <= edge - lib_.setupTime()) continue;
+          if (tr.time >= edge + lib_.holdTime()) break;
+          violations_.push_back({e.flop, edge, tr.time <= edge});
+          v = Logic::X;  // metastability model
+          break;
+        }
+        applyNetChange(ff.out, e.time, v);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace gkll

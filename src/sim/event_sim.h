@@ -1,0 +1,114 @@
+// Event-driven gate-level timing simulator with *transport* delays.
+//
+// This is the substrate that makes glitches first-class: with transport
+// delays an arbitrarily narrow pulse survives through every gate (shifted
+// by the gate's pin-to-output delay), which is exactly the physical
+// behaviour the Glitch Key-gate exploits.  An inertial-delay simulator
+// would swallow pulses narrower than a gate delay and could not reproduce
+// the paper's Figs. 4, 6, 7 and 9.
+//
+// Sequential semantics: a single implicit clock.  Each DFF j has a clock
+// arrival time T_j (settable, default 0 — models clock skew) and captures
+// on every edge t = T_j + k * clockPeriod (k >= 1).  At capture, the D pin
+// must have been stable over the window (t - Tsetup, t + Thold); any change
+// inside the open window is a recorded setup or hold violation and drives
+// Q to X for that cycle (a simple metastability model).  Q updates at
+// t + TclkToQ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+#include "sim/waveform.h"
+
+namespace gkll {
+
+struct EventSimConfig {
+  Ps clockPeriod = ns(10);
+  Ps simTime = ns(100);        ///< simulate [0, simTime)
+  bool clockedFlops = true;    ///< false: FFs never capture (hold state)
+};
+
+/// A recorded setup/hold failure at a flop capture edge.
+struct TimingViolation {
+  GateId flop = kNoGate;
+  Ps edge = 0;        ///< the capture edge time
+  bool isSetup = false;  ///< true: change in (edge-Tsu, edge]; false: hold
+};
+
+/// Holds references: the netlist (and library) must outlive the simulator.
+class EventSim {
+ public:
+  EventSim(const Netlist& nl, EventSimConfig cfg,
+           const CellLibrary& lib = CellLibrary::tsmc013c());
+
+  /// Value a primary input holds from t = 0 (before any driven change).
+  void setInitialInput(NetId pi, Logic v);
+
+  /// Initial state of a flop's Q (default 0).
+  void setInitialState(GateId ff, Logic v);
+
+  /// Clock arrival time T_i of a flop (models clock skew / useful skew).
+  void setClockArrival(GateId ff, Ps t);
+
+  /// First clock edge index (k >= 1) at which a flop starts capturing;
+  /// earlier edges leave its state untouched.  Default 1.  The timing
+  /// oracle uses this to model scan-hold cycles while a KEYGEN keeps
+  /// toggling.
+  void setCaptureStart(GateId ff, int k);
+
+  /// Schedule an external change on a primary-input net.
+  void drive(NetId pi, Ps time, Logic v);
+
+  /// Run the simulation over [0, cfg.simTime).  May be called once.
+  void run();
+
+  /// Recorded waveform of any net (valid after run()).
+  const Waveform& wave(NetId n) const { return waves_[n]; }
+
+  Logic valueAt(NetId n, Ps t) const { return waves_[n].valueAt(t); }
+
+  const std::vector<TimingViolation>& violations() const { return violations_; }
+
+  /// Total number of value changes across all nets (activity metric).
+  std::uint64_t totalEvents() const { return totalEvents_; }
+
+  const EventSimConfig& config() const { return cfg_; }
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  struct Ev {
+    Ps time;
+    std::uint32_t kind;  // 0 = net update, 1 = flop capture, 2 = q commit
+    std::uint64_t seq;   // FIFO tie-break
+    NetId net;           // for kind 0
+    GateId flop;         // for kinds 1, 2
+    Logic value;         // for kinds 0, 2
+    bool operator>(const Ev& o) const {
+      if (time != o.time) return time > o.time;
+      if (kind != o.kind) return kind > o.kind;
+      return seq > o.seq;
+    }
+  };
+
+  Ps gateDelay(const Gate& g, Logic newOut) const;
+  void scheduleEval(GateId g, Ps now);
+
+  const Netlist& nl_;
+  EventSimConfig cfg_;
+  const CellLibrary& lib_;
+  std::vector<Waveform> waves_;
+  std::vector<Logic> current_;      // current value per net
+  std::vector<Logic> initialPI_;    // per net (only PIs consulted)
+  std::vector<Logic> initialFF_;    // per flop index
+  std::vector<Ps> clockArrival_;    // per flop index
+  std::vector<int> captureStart_;   // per flop index; first capturing edge
+  std::vector<Ev> stimuli_;
+  std::vector<TimingViolation> violations_;
+  std::uint64_t totalEvents_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace gkll

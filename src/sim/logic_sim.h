@@ -1,0 +1,67 @@
+// Zero-delay (cycle-accurate) logic simulation.
+//
+// Two entry points:
+//   - evalCombinational: one steady-state evaluation of a combinational
+//     netlist given values for all source nets (the functional oracle the
+//     SAT attack queries).
+//   - SequentialSim: cycle-by-cycle simulation of a sequential netlist
+//     with explicit FF state (used for functional verification of locked
+//     vs. original designs under the zero-delay abstraction — note that GK
+//     behaviour is *timing* dependent and only the event simulator models
+//     it faithfully; this simulator sees a GK as its steady-state function).
+#pragma once
+
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Assignment of logic values to specific nets.
+struct NetAssignment {
+  NetId net = kNoNet;
+  Logic value = Logic::X;
+};
+
+/// Evaluate a combinational netlist.  `inputs[i]` drives `nl.inputs()[i]`
+/// (missing entries default to X).  Returns a value per net.
+std::vector<Logic> evalCombinational(const Netlist& nl,
+                                     const std::vector<Logic>& inputs);
+
+/// Extract PO values from a full net-value vector, in outputs() order.
+std::vector<Logic> outputValues(const Netlist& nl,
+                                const std::vector<Logic>& netValues);
+
+/// Cycle-based sequential simulator with two-phase FF update.
+///
+/// Holds a reference: the netlist must outlive the simulator (do not pass
+/// a temporary).
+class SequentialSim {
+ public:
+  explicit SequentialSim(const Netlist& nl);
+
+  /// Reset all FFs to a given value (default 0, matching a reset line).
+  void reset(Logic v = Logic::F);
+
+  /// Set explicit FF state, in flops() order.
+  void setState(const std::vector<Logic>& state);
+
+  /// Current FF state, in flops() order.
+  const std::vector<Logic>& state() const { return state_; }
+
+  /// Apply one clock cycle with the given PI values; returns PO values
+  /// sampled *before* the clock edge (Mealy view of the current cycle).
+  std::vector<Logic> step(const std::vector<Logic>& inputs);
+
+  /// Net values from the most recent step (combinational settle).
+  const std::vector<Logic>& netValues() const { return nets_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<GateId> topo_;
+  std::vector<Logic> state_;
+  std::vector<Logic> nets_;
+};
+
+}  // namespace gkll

@@ -1,0 +1,92 @@
+#include "sim/vcd.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gkll {
+namespace {
+
+/// VCD short identifiers: base-94 over the printable ASCII range.
+std::string vcdId(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+char vcdValue(Logic v) {
+  switch (v) {
+    case Logic::F:
+      return '0';
+    case Logic::T:
+      return '1';
+    case Logic::X:
+      break;
+  }
+  return 'x';
+}
+
+}  // namespace
+
+std::string writeVcd(const EventSim& sim, const Netlist& nl,
+                     const VcdOptions& opt) {
+  std::vector<NetId> nets = opt.nets;
+  if (nets.empty()) {
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      if (nl.net(n).name.rfind("_n", 0) == 0) continue;  // auto names
+      nets.push_back(n);
+    }
+  }
+  const Ps horizon = opt.horizon > 0 ? opt.horizon : sim.config().simTime;
+
+  std::ostringstream out;
+  out << "$date gkll $end\n$version gkll event simulator $end\n"
+      << "$timescale 1ps $end\n"
+      << "$scope module " << opt.moduleName << " $end\n";
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    out << "$var wire 1 " << vcdId(i) << ' ' << nl.net(nets[i]).name
+        << " $end\n";
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  out << "$dumpvars\n";
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    out << vcdValue(sim.wave(nets[i]).initial()) << vcdId(i) << '\n';
+  out << "$end\n";
+
+  // Merge all transitions in time order.
+  struct Ev {
+    Ps time;
+    std::size_t idx;
+    Logic value;
+  };
+  std::vector<Ev> evs;
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    for (const Transition& tr : sim.wave(nets[i]).transitions())
+      if (tr.time < horizon) evs.push_back({tr.time, i, tr.value});
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Ev& a, const Ev& b) { return a.time < b.time; });
+
+  Ps lastTime = -1;
+  for (const Ev& e : evs) {
+    if (e.time != lastTime) {
+      out << '#' << e.time << '\n';
+      lastTime = e.time;
+    }
+    out << vcdValue(e.value) << vcdId(e.idx) << '\n';
+  }
+  out << '#' << horizon << '\n';
+  return out.str();
+}
+
+bool writeVcdFile(const EventSim& sim, const Netlist& nl,
+                  const std::string& path, const VcdOptions& opt) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << writeVcd(sim, nl, opt);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gkll

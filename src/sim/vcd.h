@@ -1,0 +1,31 @@
+// VCD (IEEE 1364 Value Change Dump) export of event-simulation results,
+// so GK glitches can be inspected in GTKWave or any commercial waveform
+// viewer next to the ASCII diagrams the benches print.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace gkll {
+
+struct VcdOptions {
+  /// Nets to dump; empty = every named net (auto-generated "_n..." names
+  /// are skipped to keep dumps readable unless listed explicitly).
+  std::vector<NetId> nets;
+  std::string moduleName = "gkll";
+  Ps horizon = 0;  ///< 0 = the simulator's configured simTime
+};
+
+/// Serialise recorded waveforms as VCD text (timescale 1 ps).
+std::string writeVcd(const EventSim& sim, const Netlist& nl,
+                     const VcdOptions& opt = {});
+
+/// Write to a file; returns false on I/O failure.
+bool writeVcdFile(const EventSim& sim, const Netlist& nl,
+                  const std::string& path, const VcdOptions& opt = {});
+
+}  // namespace gkll

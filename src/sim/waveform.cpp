@@ -1,0 +1,106 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace gkll {
+
+void Waveform::set(Ps t, Logic v) {
+  assert(changes_.empty() || t >= changes_.back().time);
+  if (!changes_.empty() && changes_.back().time == t) {
+    // Same-time re-record: the later write wins (transport-delay semantics).
+    changes_.back().value = v;
+    // Collapse if it now equals the preceding value.
+    const Logic prev =
+        changes_.size() >= 2 ? changes_[changes_.size() - 2].value : initial_;
+    if (prev == v) changes_.pop_back();
+    return;
+  }
+  const Logic cur = changes_.empty() ? initial_ : changes_.back().value;
+  if (cur == v) return;
+  changes_.push_back({t, v});
+}
+
+Logic Waveform::valueAt(Ps t) const {
+  // Binary search for the last change with time <= t.
+  auto it = std::upper_bound(
+      changes_.begin(), changes_.end(), t,
+      [](Ps lhs, const Transition& tr) { return lhs < tr.time; });
+  if (it == changes_.begin()) return initial_;
+  return std::prev(it)->value;
+}
+
+Logic Waveform::finalValue() const {
+  return changes_.empty() ? initial_ : changes_.back().value;
+}
+
+std::vector<Pulse> pulses(const Waveform& w, Ps t0, Ps horizon) {
+  std::vector<Pulse> out;
+  Ps segStart = t0;
+  Logic cur = w.valueAt(t0);
+  for (const Transition& tr : w.transitions()) {
+    if (tr.time <= t0) continue;
+    if (tr.time >= horizon) break;
+    if (tr.value == cur) continue;
+    out.push_back({segStart, tr.time, cur});
+    segStart = tr.time;
+    cur = tr.value;
+  }
+  out.push_back({segStart, horizon, cur});
+  return out;
+}
+
+std::vector<Pulse> glitches(const Waveform& w, Ps t0, Ps horizon, Ps maxWidth) {
+  std::vector<Pulse> segs = pulses(w, t0, horizon);
+  std::vector<Pulse> out;
+  // The leading segment starts at t0 artificially and the trailing one is
+  // unbounded; neither is a bounded pulse, so only interior segments count.
+  for (std::size_t i = 1; i + 1 < segs.size(); ++i)
+    if (segs[i].width() < maxWidth) out.push_back(segs[i]);
+  return out;
+}
+
+std::string renderDiagram(const std::vector<Trace>& traces, Ps t0, Ps t1,
+                          Ps step) {
+  assert(step > 0 && t1 > t0);
+  const std::size_t cols = static_cast<std::size_t>((t1 - t0) / step);
+  std::size_t labelW = 0;
+  for (const Trace& t : traces) labelW = std::max(labelW, t.label.size());
+
+  std::ostringstream out;
+  for (const Trace& t : traces) {
+    out << t.label << std::string(labelW - t.label.size(), ' ') << " : ";
+    Logic prev = t.wave->valueAt(t0 - step);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Ps at = t0 + static_cast<Ps>(c) * step;
+      const Logic v = t.wave->valueAt(at + step - 1);  // value by end of slot
+      char ch;
+      if (v == Logic::X)
+        ch = 'X';
+      else if (v != prev && prev != Logic::X)
+        ch = (v == Logic::T) ? '/' : '\\';
+      else
+        ch = (v == Logic::T) ? '-' : '_';
+      out << ch;
+      prev = v;
+    }
+    out << '\n';
+  }
+
+  // Time ruler in ns, a tick every 10 columns.
+  out << std::string(labelW, ' ') << " : ";
+  for (std::size_t c = 0; c < cols; ++c) out << (c % 10 == 0 ? '|' : ' ');
+  out << '\n' << std::string(labelW, ' ') << "   ";
+  for (std::size_t c = 0; c < cols; c += 10) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%-10.1f",
+                  static_cast<double>(t0 + static_cast<Ps>(c) * step) / 1000.0);
+    out << buf;
+  }
+  out << "(ns)\n";
+  return out.str();
+}
+
+}  // namespace gkll

@@ -1,0 +1,77 @@
+// Waveforms: per-net transition histories recorded by the event-driven
+// simulator, plus glitch/pulse analysis and ASCII timing-diagram rendering
+// (used by the Fig. 4 / Fig. 6 / Fig. 7 / Fig. 9 benchmark harnesses to
+// print diagrams directly comparable with the paper's figures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+/// One value change on a net.
+struct Transition {
+  Ps time = 0;
+  Logic value = Logic::X;
+};
+
+/// A net's full history: an initial value plus time-ordered changes.
+class Waveform {
+ public:
+  explicit Waveform(Logic initial = Logic::X) : initial_(initial) {}
+
+  Logic initial() const { return initial_; }
+  void setInitial(Logic v) { initial_ = v; }
+
+  const std::vector<Transition>& transitions() const { return changes_; }
+
+  /// Record a change at time t (must be >= the last recorded time).
+  /// Recording the current value is a no-op; same-time re-records replace.
+  void set(Ps t, Logic v);
+
+  /// Value at time t (changes take effect *at* their timestamp).
+  Logic valueAt(Ps t) const;
+
+  /// Last value of the history.
+  Logic finalValue() const;
+
+  /// Number of recorded changes.
+  std::size_t numTransitions() const { return changes_.size(); }
+
+ private:
+  Logic initial_;
+  std::vector<Transition> changes_;
+};
+
+/// A maximal constant-value segment of a waveform.
+struct Pulse {
+  Ps start = 0;
+  Ps end = 0;  ///< exclusive; == horizon for the trailing segment
+  Logic level = Logic::X;
+  Ps width() const { return end - start; }
+};
+
+/// Decompose a waveform into constant segments over [t0, horizon).
+std::vector<Pulse> pulses(const Waveform& w, Ps t0, Ps horizon);
+
+/// Pulses strictly shorter than `maxWidth` — i.e. glitches.  A glitch in
+/// the paper's sense is a momentary level between two transitions; the
+/// trailing (unbounded) segment is never a glitch.
+std::vector<Pulse> glitches(const Waveform& w, Ps t0, Ps horizon, Ps maxWidth);
+
+/// One named trace of a timing diagram.
+struct Trace {
+  std::string label;
+  const Waveform* wave = nullptr;
+};
+
+/// Render an ASCII timing diagram of several traces over [t0, t1), sampling
+/// every `step` ps.  '_' = 0, '-' = 1, 'X' = unknown, '/' and '\' mark the
+/// sample at which a rise/fall occurs.  A time ruler (in ns) is appended.
+std::string renderDiagram(const std::vector<Trace>& traces, Ps t0, Ps t1,
+                          Ps step);
+
+}  // namespace gkll

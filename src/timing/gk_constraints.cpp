@@ -1,0 +1,41 @@
+#include "timing/gk_constraints.h"
+
+#include <algorithm>
+
+namespace gkll {
+
+bool glitchCoversWindow(Ps glitchLen, Ps tSetup, Ps tHold) {
+  return glitchLen >= tSetup + tHold;
+}
+
+bool feasibleOnGlitch(Ps tArrival, const GkTiming& gk, bool risingKey,
+                      Ps absLB, Ps absUB) {
+  const Ps ready = risingKey ? gk.readyRising() : gk.readyFalling();
+  const Ps t = tArrival + ready + gk.react();
+  return absLB <= t && t <= absUB;
+}
+
+bool feasibleOffGlitch(Ps tArrival, const GkTiming& gk, Ps absLB, Ps absUB) {
+  const Ps t = tArrival + std::max(gk.dPathA, gk.dPathB) + gk.dMux;
+  return absLB <= t && t <= absUB;
+}
+
+TriggerWindow triggerWindowOnGlitch(Ps tArrival, const GkTiming& gk,
+                                    bool risingKey, Ps tCapture, Ps tHold,
+                                    Ps absUB) {
+  const Ps len =
+      risingKey ? gk.glitchLenRising() : gk.glitchLenFalling();
+  const Ps ready = risingKey ? gk.readyRising() : gk.readyFalling();
+  TriggerWindow w;
+  w.lo = std::max(tCapture + tHold - len - gk.react(), tArrival + ready);
+  w.hi = absUB - gk.react();
+  return w;
+}
+
+TriggerWindow triggerWindowOffGlitch(const GkTiming& gk, bool risingKey,
+                                     Ps absLB, Ps absUB) {
+  const Ps len = risingKey ? gk.glitchLenRising() : gk.glitchLenFalling();
+  return TriggerWindow{absLB - gk.react(), absUB - len - gk.react()};
+}
+
+}  // namespace gkll

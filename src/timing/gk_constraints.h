@@ -1,0 +1,77 @@
+// The paper's GK timing rules, Eqs. (2) through (6), as pure functions.
+//
+// All times are absolute within one clock cycle, in the same frame as the
+// STA results: primary inputs change at 0, flop j captures at
+// T_j + Tclk, and its D pin may legally change only inside the open window
+// (absLB_j, absUB_j) = (T_j + Thold, T_j + Tclk - Tsetup)  —  Eq. (1).
+//
+// A GK (Fig. 3) has two internal paths:  PathA = delay A + XNOR,
+// PathB = delay B + XOR, joined by a MUX selected directly by the key.
+// A *rising* key transition makes the MUX switch to PathB whose delayed
+// key value arrives D_PathB later, so the glitch lasts
+// L = D_PathB + D_MUX (Eq. 2) and needs D_ready = D_PathB of data
+// lead-time; a *falling* transition symmetrically uses PathA.
+#pragma once
+
+#include "util/time_types.h"
+
+namespace gkll {
+
+/// The delay parameters of one GK instance.
+struct GkTiming {
+  Ps dPathA = 0;  ///< delay element A + XNOR gate (ps)
+  Ps dPathB = 0;  ///< delay element B + XOR gate (ps)
+  Ps dMux = 0;    ///< MUX select-to-output delay (ps)
+
+  /// Eq. (2): glitch length for a rising / falling key transition.
+  Ps glitchLenRising() const { return dPathB + dMux; }
+  Ps glitchLenFalling() const { return dPathA + dMux; }
+
+  /// Data lead time D_ready: the encrypted value must sit at the selected
+  /// MUX data pin before the key transition arrives.
+  Ps readyRising() const { return dPathB; }
+  Ps readyFalling() const { return dPathA; }
+
+  /// Reaction latency D_react between the key transition and the start of
+  /// the glitch (the MUX select-to-output delay).
+  Ps react() const { return dMux; }
+};
+
+/// An open interval (lo, hi) of legal key-transition trigger times.
+struct TriggerWindow {
+  Ps lo = 0;
+  Ps hi = 0;
+  bool valid() const { return lo < hi; }
+  Ps width() const { return valid() ? hi - lo : 0; }
+  bool contains(Ps t) const { return t > lo && t < hi; }
+};
+
+/// Eq. (2) prerequisite for transmitting data *on* the glitch level: the
+/// glitch must cover the capture flop's setup+hold window.
+bool glitchCoversWindow(Ps glitchLen, Ps tSetup, Ps tHold);
+
+/// Eq. (3): a GK placed where the encrypted data arrives at `tArrival` can
+/// transmit *on* the glitch into flop j iff
+///   absLB <= tArrival + D_ready + D_react <= absUB.
+bool feasibleOnGlitch(Ps tArrival, const GkTiming& gk, bool risingKey,
+                      Ps absLB, Ps absUB);
+
+/// Eq. (4): transmitting *not* on the glitch only requires the whole
+/// glitch machinery to fit the cycle:
+///   absLB <= tArrival + max(D_PathA, D_PathB) + D_MUX <= absUB.
+bool feasibleOffGlitch(Ps tArrival, const GkTiming& gk, Ps absLB, Ps absUB);
+
+/// Eq. (5): legal key-transition times for on-glitch transmission into a
+/// flop capturing at `tCapture` (= T_j + Tclk) with hold time tHold:
+///   tCapture + tHold - L - D_react < T < absUB - D_react
+///   and  tArrival + D_ready < T.
+TriggerWindow triggerWindowOnGlitch(Ps tArrival, const GkTiming& gk,
+                                    bool risingKey, Ps tCapture, Ps tHold,
+                                    Ps absUB);
+
+/// Eq. (6): legal key-transition times for off-glitch transmission:
+///   absLB - D_react < T < absUB - L - D_react.
+TriggerWindow triggerWindowOffGlitch(const GkTiming& gk, bool risingKey,
+                                     Ps absLB, Ps absUB);
+
+}  // namespace gkll

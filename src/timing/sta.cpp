@@ -1,0 +1,166 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll {
+
+Sta::Sta(const Netlist& nl, StaConfig cfg, const CellLibrary& lib)
+    : nl_(nl), cfg_(cfg), lib_(lib), clockArrival_(nl.flops().size(), 0) {}
+
+std::size_t Sta::flopIndex(GateId ff) const {
+  const auto& flops = nl_.flops();
+  auto it = std::find(flops.begin(), flops.end(), ff);
+  assert(it != flops.end());
+  return static_cast<std::size_t>(it - flops.begin());
+}
+
+void Sta::setClockArrival(GateId ff, Ps t) { clockArrival_[flopIndex(ff)] = t; }
+
+Ps Sta::clockArrival(GateId ff) const { return clockArrival_[flopIndex(ff)]; }
+
+StaResult Sta::run() const {
+  StaResult r;
+  r.maxArrival.assign(nl_.numNets(), 0);
+  r.minArrival.assign(nl_.numNets(), 0);
+
+  const std::vector<GateId> topo = nl_.topoOrder();
+  // Pass 1 — source launch times.  topoOrder only sequences combinational
+  // dependencies, so sources (inputs, constants, flop Q pins) can appear
+  // *after* their readers and must be written first.
+  for (GateId g : topo) {
+    const Gate& gg = nl_.gate(g);
+    if (gg.out == kNoNet) continue;
+    switch (gg.kind) {
+      case CellKind::kInput:
+        r.maxArrival[gg.out] = cfg_.inputArrival;
+        r.minArrival[gg.out] = cfg_.inputArrival;
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        r.maxArrival[gg.out] = 0;
+        r.minArrival[gg.out] = 0;
+        break;
+      case CellKind::kDff: {
+        const Ps launch = clockArrival_[flopIndex(g)] + lib_.clkToQ();
+        r.maxArrival[gg.out] = launch;
+        r.minArrival[gg.out] = launch;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Pass 2 — combinational propagation in dependency order.
+  for (GateId g : topo) {
+    const Gate& gg = nl_.gate(g);
+    if (gg.out == kNoNet) continue;
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    Ps maxIn = INT64_MIN, minIn = INT64_MAX;
+    for (NetId in : gg.fanin) {
+      maxIn = std::max(maxIn, r.maxArrival[in]);
+      minIn = std::min(minIn, r.minArrival[in]);
+    }
+    Ps dMax, dMin;
+    if (gg.kind == CellKind::kDelay) {
+      dMax = dMin = gg.delayPs;
+    } else {
+      const CellInfo ci = lib_.info(gg.kind, gg.drive);
+      dMax = std::max(ci.rise, ci.fall);
+      dMin = std::min(ci.rise, ci.fall);
+    }
+    const Ps wire = nl_.net(gg.out).wireDelay;
+    r.maxArrival[gg.out] = maxIn + dMax + wire;
+    r.minArrival[gg.out] = minIn + dMin + wire;
+  }
+
+  r.worstSetupSlack = INT64_MAX;
+  r.worstHoldSlack = INT64_MAX;
+  r.criticalDelay = 0;
+
+  r.setupSlack.reserve(nl_.flops().size());
+  r.holdSlack.reserve(nl_.flops().size());
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const Gate& ff = nl_.gate(nl_.flops()[i]);
+    const NetId d = ff.fanin[0];
+    const Ps capture = clockArrival_[i] + cfg_.clockPeriod;
+    const Ps setup = capture - lib_.setupTime() - r.maxArrival[d];
+    const Ps hold = r.minArrival[d] - (clockArrival_[i] + lib_.holdTime());
+    r.setupSlack.push_back(setup);
+    r.holdSlack.push_back(hold);
+    r.worstSetupSlack = std::min(r.worstSetupSlack, setup);
+    r.worstHoldSlack = std::min(r.worstHoldSlack, hold);
+    r.criticalDelay = std::max(r.criticalDelay, r.maxArrival[d]);
+  }
+  for (NetId po : nl_.outputs()) {
+    const Ps slack = cfg_.clockPeriod - r.maxArrival[po];
+    r.poSlack.push_back(slack);
+    r.worstSetupSlack = std::min(r.worstSetupSlack, slack);
+    r.criticalDelay = std::max(r.criticalDelay, r.maxArrival[po]);
+  }
+  if (r.worstSetupSlack == INT64_MAX) r.worstSetupSlack = cfg_.clockPeriod;
+  if (r.worstHoldSlack == INT64_MAX) r.worstHoldSlack = cfg_.clockPeriod;
+
+  // Backward required-time pass (setup only).
+  r.requiredMax.assign(nl_.numNets(), INT64_MAX);
+  for (NetId po : nl_.outputs()) r.requiredMax[po] = cfg_.clockPeriod;
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const NetId d = nl_.gate(nl_.flops()[i]).fanin[0];
+    r.requiredMax[d] =
+        std::min(r.requiredMax[d],
+                 clockArrival_[i] + cfg_.clockPeriod - lib_.setupTime());
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Gate& gg = nl_.gate(*it);
+    if (gg.out == kNoNet) continue;
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    const Ps req = r.requiredMax[gg.out];
+    if (req == INT64_MAX) continue;
+    Ps dMax;
+    if (gg.kind == CellKind::kDelay) {
+      dMax = gg.delayPs;
+    } else {
+      const CellInfo ci = lib_.info(gg.kind, gg.drive);
+      dMax = std::max(ci.rise, ci.fall);
+    }
+    const Ps budget = req - dMax - nl_.net(gg.out).wireDelay;
+    for (NetId in : gg.fanin)
+      r.requiredMax[in] = std::min(r.requiredMax[in], budget);
+  }
+  return r;
+}
+
+Ps Sta::lowerBound(GateId ffi, GateId ffj) const {
+  return lib_.holdTime() + clockArrival_[flopIndex(ffj)] -
+         clockArrival_[flopIndex(ffi)];
+}
+
+Ps Sta::upperBound(GateId ffi, GateId ffj) const {
+  return cfg_.clockPeriod + clockArrival_[flopIndex(ffj)] -
+         clockArrival_[flopIndex(ffi)] - lib_.setupTime();
+}
+
+Ps Sta::absLowerBound(GateId ffj) const {
+  return clockArrival_[flopIndex(ffj)] + lib_.holdTime();
+}
+
+Ps Sta::absUpperBound(GateId ffj) const {
+  return clockArrival_[flopIndex(ffj)] + cfg_.clockPeriod - lib_.setupTime();
+}
+
+Ps Sta::minClockPeriod(Ps quantum) const {
+  StaResult r = run();
+  // criticalDelay already contains launch offsets; captures happen at
+  // T_j + Tclk, so the binding constraint over all sinks is
+  // Tclk >= maxArrival(D_j) + Tsetup - T_j (and >= maxArrival(PO)).
+  Ps need = 0;
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const Gate& ff = nl_.gate(nl_.flops()[i]);
+    need = std::max(need, r.maxArrival[ff.fanin[0]] + lib_.setupTime() -
+                              clockArrival_[i]);
+  }
+  for (NetId po : nl_.outputs()) need = std::max(need, r.maxArrival[po]);
+  return (need + quantum - 1) / quantum * quantum;
+}
+
+}  // namespace gkll

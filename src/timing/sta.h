@@ -1,0 +1,89 @@
+// Static timing analysis — the PrimeTime substitute.
+//
+// Model: single clock with per-flop clock arrival times T_i (clock skew,
+// annotated by the P&R step).  Primary inputs change at t = 0; a flop's Q
+// changes at T_i + TclkToQ.  Max-path (setup) and min-path (hold) arrival
+// times are propagated through gate transport delays plus per-net wire
+// delays.  Flop j captures at T_j + Tclk:
+//     setup slack_j = (T_j + Tclk - Tsetup) - maxArrival(D_j)
+//     hold  slack_j = minArrival(D_j) - (T_j + Thold)
+// and the paper's Eq. (1) bounds on the FF_i -> FF_j path delay (measured
+// from FF i's launch edge, inclusive of clock-to-Q) are
+//     LB_ij = Thold + T_j - T_i
+//     UB_ij = Tclk + T_j - T_i - Tsetup.
+#pragma once
+
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+#include "util/time_types.h"
+
+namespace gkll {
+
+struct StaConfig {
+  Ps clockPeriod = ns(10);
+  /// Arrival time of primary-input changes.  The GK flow sets this to
+  /// clkToQ, modelling PIs launched by upstream registers.
+  Ps inputArrival = 0;
+};
+
+/// Full STA result.  Arrival times are absolute within one representative
+/// cycle (PIs at 0, flop launches at T_i + TclkToQ).
+struct StaResult {
+  std::vector<Ps> maxArrival;  ///< per net; latest possible change time
+  std::vector<Ps> minArrival;  ///< per net; earliest possible change time
+  /// Latest time a change on the net still meets every downstream setup
+  /// deadline; INT64_MAX for nets with no timed sink.  Per-net setup slack
+  /// is requiredMax - maxArrival.
+  std::vector<Ps> requiredMax;
+  std::vector<Ps> setupSlack;  ///< per flop (flops() order)
+  std::vector<Ps> holdSlack;   ///< per flop
+  std::vector<Ps> poSlack;     ///< per PO against the clock period
+  Ps worstSetupSlack = 0;
+  Ps worstHoldSlack = 0;
+  Ps criticalDelay = 0;  ///< max arrival over all D pins and POs
+
+  bool meetsTiming() const { return worstSetupSlack >= 0 && worstHoldSlack >= 0; }
+};
+
+class Sta {
+ public:
+  Sta(const Netlist& nl, StaConfig cfg,
+      const CellLibrary& lib = CellLibrary::tsmc013c());
+
+  /// Clock arrival time T of a flop (default 0).
+  void setClockArrival(GateId ff, Ps t);
+  Ps clockArrival(GateId ff) const;
+
+  /// Run the analysis (can be called repeatedly, e.g. after edits).
+  StaResult run() const;
+
+  /// Paper Eq. (1): bounds on the FF i -> FF j path delay.
+  Ps lowerBound(GateId ffi, GateId ffj) const;
+  Ps upperBound(GateId ffi, GateId ffj) const;
+
+  /// Absolute-time bounds on when flop j's D pin may legally change:
+  /// (T_j + Thold, T_j + Tclk - Tsetup).  These are the LB/UB of Eq. (1)
+  /// rebased to absolute arrival times, which is what the GK feasibility
+  /// checks of Eqs. (3)-(6) consume.
+  Ps absLowerBound(GateId ffj) const;
+  Ps absUpperBound(GateId ffj) const;
+
+  /// Smallest clock period at which the netlist meets setup timing with
+  /// the current skews (critical delay + setup, rounded up to `quantum`).
+  Ps minClockPeriod(Ps quantum = 100) const;
+
+  const CellLibrary& library() const { return lib_; }
+  Ps clockPeriod() const { return cfg_.clockPeriod; }
+
+ private:
+  std::size_t flopIndex(GateId ff) const;
+
+  const Netlist& nl_;
+  StaConfig cfg_;
+  const CellLibrary& lib_;
+  std::vector<Ps> clockArrival_;  // per flop index
+};
+
+}  // namespace gkll

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gkll {
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto hline = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out << ' ' << c << std::string(widths[i] - c.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) != separators_.end())
+      hline();
+    emit(rows_[i]);
+  }
+  hline();
+  return out.str();
+}
+
+std::string fmtF(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmtI(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string fmtNs(std::int64_t ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2fns", static_cast<double>(ps) / 1000.0);
+  return buf;
+}
+
+}  // namespace gkll

@@ -1,0 +1,48 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables in a shape directly comparable with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gkll {
+
+/// Column-aligned ASCII table with a header row and a title.
+///
+/// Usage:
+///   Table t("TABLE I: available FFs");
+///   t.header({"Bench.", "Cell", "FF"});
+///   t.row({"s1238", "341", "18"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Insert a horizontal separator before the next row.
+  void separator() { separators_.push_back(rows_.size()); }
+
+  /// Render the table; every column is padded to its widest cell.
+  [[nodiscard]] std::string render() const;
+
+  std::size_t numRows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;
+};
+
+/// Format a double with fixed decimals (for overhead percentages etc.).
+std::string fmtF(double v, int decimals = 2);
+
+/// Format an integer with no grouping.
+std::string fmtI(long long v);
+
+/// Format a picosecond count as nanoseconds with 2 decimals, e.g. "3.00ns".
+std::string fmtNs(std::int64_t ps);
+
+}  // namespace gkll

@@ -1,0 +1,32 @@
+// Time and area units used throughout the library.
+//
+// All delays, arrival times, clock periods and timing windows are integer
+// picoseconds (Ps).  Integer time makes static timing analysis and the
+// event-driven simulator exactly reproducible and free of floating-point
+// accumulation error.  Areas are integer centi-square-microns (CentiUm2,
+// i.e. um^2 * 100) for the same reason.
+#pragma once
+
+#include <cstdint>
+
+namespace gkll {
+
+/// Picoseconds.  1 ns == 1000 ps.
+using Ps = std::int64_t;
+
+/// Convenience: construct a picosecond count from nanoseconds.
+constexpr Ps ns(std::int64_t n) { return n * 1000; }
+
+/// Area in hundredths of a square micron (um^2 * 100).
+using CentiUm2 = std::int64_t;
+
+/// Convenience: construct an area from square microns.
+constexpr CentiUm2 um2(double a) { return static_cast<CentiUm2>(a * 100.0 + 0.5); }
+
+/// Convert an area back to square microns for reporting.
+constexpr double toUm2(CentiUm2 a) { return static_cast<double>(a) / 100.0; }
+
+/// Sentinel for "no/unknown time" in STA results.
+inline constexpr Ps kNoTime = INT64_MIN;
+
+}  // namespace gkll

@@ -1,0 +1,71 @@
+#include "lock/antisat.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/removal_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+
+namespace gkll {
+namespace {
+
+TEST(AntiSat, CorrectKeyRestoresFunction) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = antiSatLock(orig, AntiSatOptions{3, 21});
+  ASSERT_EQ(ld.keyInputs.size(), 6u);  // 2n bits
+  const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, ld.correctKey);
+  EXPECT_TRUE(sat::checkEquivalence(unlocked, orig).equivalent);
+}
+
+TEST(AntiSat, AnyEqualKeyHalvesIsCorrect) {
+  // The Anti-SAT correctness condition is KA == KB, not a unique vector:
+  // g(X^K) & !g(X^K) == 0 for every K.
+  const Netlist orig = makeC17();
+  const LockedDesign ld = antiSatLock(orig, AntiSatOptions{3, 22});
+  for (int k = 0; k < 8; ++k) {
+    std::vector<int> bits;
+    for (int b = 0; b < 3; ++b) bits.push_back((k >> b) & 1);
+    std::vector<int> full = bits;
+    full.insert(full.end(), bits.begin(), bits.end());  // KA == KB
+    const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, full);
+    EXPECT_TRUE(sat::checkEquivalence(unlocked, orig).equivalent) << k;
+  }
+}
+
+TEST(AntiSat, UnequalHalvesCorruptRarely) {
+  // Wrong keys (KA != KB) flip the output on few input patterns — the
+  // low-corruptibility property that throttles the SAT attack.
+  const Netlist orig = makeC17();
+  const LockedDesign ld = antiSatLock(orig, AntiSatOptions{3, 23});
+  std::vector<int> bits = ld.correctKey;
+  bits[0] ^= 1;  // KA != KB now
+  const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, bits);
+  int corrupted = 0;
+  for (int m = 0; m < 32; ++m) {
+    std::vector<Logic> in;
+    for (int b = 0; b < 5; ++b) in.push_back(logicFromBool((m >> b) & 1));
+    const auto a = outputValues(orig, evalCombinational(orig, in));
+    const auto c = outputValues(unlocked, evalCombinational(unlocked, in));
+    if (a != c) ++corrupted;
+  }
+  EXPECT_GT(corrupted, 0);
+  EXPECT_LE(corrupted, 8);  // a small fraction of the 32 patterns
+}
+
+TEST(AntiSat, BlockOutputIsSkewedTowardsZero) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = antiSatLock(orig, AntiSatOptions{4, 24});
+  const auto prob = estimateSignalProbabilities(ld.netlist, 4096, 99);
+  const NetId y = *ld.netlist.findNet("antisat_y");
+  EXPECT_LT(prob[y], 0.12);  // ~2^-n with random keys
+}
+
+TEST(AntiSat, DeterministicForSeed) {
+  const Netlist orig = makeC17();
+  EXPECT_EQ(antiSatLock(orig, AntiSatOptions{3, 5}).correctKey,
+            antiSatLock(orig, AntiSatOptions{3, 5}).correctKey);
+}
+
+}  // namespace
+}  // namespace gkll

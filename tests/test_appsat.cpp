@@ -1,0 +1,85 @@
+#include "attack/appsat.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+
+namespace gkll {
+namespace {
+
+TEST(AppSat, ExactlyCracksXorLock) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 61});
+  const AppSatResult r = appSatAttack(ld.netlist, ld.keyInputs, orig);
+  EXPECT_TRUE(r.succeeded);
+  EXPECT_TRUE(r.exactlyCorrect);
+  EXPECT_LE(r.errorRate, 0.02);
+}
+
+TEST(AppSat, ApproximatelyCracksSarLockFast) {
+  // The whole point of AppSAT: it accepts an approximately correct key
+  // long before the exponential DIP sequence completes — defeating the
+  // point-function defence.
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 62});
+  AppSatOptions opt;
+  opt.errorThreshold = 0.1;  // 2 corrupt patterns / 32 = ~0.06
+  const AppSatResult r = appSatAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_TRUE(r.succeeded);
+  EXPECT_LT(r.dips, 12);  // far fewer than the ~2^4 exact DIPs
+  EXPECT_LE(r.errorRate, 0.1);
+}
+
+TEST(AppSat, DefeatedByGk) {
+  // A pure GK lock produces no DIPs at all, so AppSAT has nothing to
+  // learn from; every candidate key fails the final error measurement
+  // (the static view inverts what the glitch transmits).
+  const Netlist orig = generateByName("s1238");
+  GkEncryptor enc(orig);
+  EncryptOptions eo;
+  eo.numGks = 3;
+  const GkFlowResult locked = enc.encrypt(eo);
+  ASSERT_EQ(locked.insertions.size(), 3u);
+  const auto surf = enc.attackSurface(locked);
+  const AppSatResult r =
+      appSatAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+  EXPECT_EQ(r.dips, 0);
+  EXPECT_FALSE(r.succeeded);
+  EXPECT_FALSE(r.exactlyCorrect);
+}
+
+TEST(AppSat, HybridObservationsGoUnsat) {
+  // With hybrid XOR keys the miter does produce DIPs, and the very first
+  // oracle observation contradicts the static GK model: the candidate
+  // space empties out.
+  const Netlist orig = generateByName("s1238");
+  GkEncryptor enc(orig);
+  EncryptOptions eo;
+  eo.numGks = 2;
+  eo.hybridXorKeys = 4;
+  const GkFlowResult locked = enc.encrypt(eo);
+  ASSERT_EQ(locked.insertions.size(), 2u);
+  const auto surf = enc.attackSurface(locked);
+  std::vector<NetId> keys = surf.gkKeys;
+  keys.insert(keys.end(), surf.otherKeys.begin(), surf.otherKeys.end());
+  const AppSatResult r = appSatAttack(surf.comb, keys, surf.oracleComb);
+  EXPECT_FALSE(r.succeeded);
+  EXPECT_TRUE(r.keyConstraintsUnsat);
+}
+
+TEST(AppSat, ReconciliationCountsReported) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 63});
+  AppSatOptions opt;
+  opt.errorThreshold = 0.1;
+  opt.reconcileEvery = 1;
+  const AppSatResult r = appSatAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_TRUE(r.succeeded);
+  EXPECT_GE(r.reconciliations, 1);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,166 @@
+#include "netlist/bench_io.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "sat/cnf.h"
+
+namespace gkll {
+namespace {
+
+TEST(BenchIo, ParseMinimal) {
+  const auto r = parseBench(R"(
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.netlist.inputs().size(), 2u);
+  EXPECT_EQ(r.netlist.outputs().size(), 1u);
+  EXPECT_EQ(r.netlist.stats().numCells, 1u);
+}
+
+TEST(BenchIo, ParseClassicAliases) {
+  const auto r = parseBench(R"(
+INPUT(a)
+OUTPUT(y)
+n = NOT(a)
+y = BUFF(n)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const GateId inv = r.netlist.net(*r.netlist.findNet("n")).driver;
+  EXPECT_EQ(r.netlist.gate(inv).kind, CellKind::kInv);
+}
+
+TEST(BenchIo, NAryWidening) {
+  const auto r = parseBench(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+y = AND(a, b, c, d)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const GateId g = r.netlist.net(*r.netlist.findNet("y")).driver;
+  EXPECT_EQ(r.netlist.gate(g).kind, CellKind::kAnd4);
+}
+
+TEST(BenchIo, RejectsTooWide) {
+  const auto r = parseBench(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, a, a, a, a)
+)");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BenchIo, ForwardReferences) {
+  const auto r = parseBench(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = NOT(a)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(BenchIo, DffAndSequentialLoop) {
+  const auto r = parseBench(R"(
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.netlist.flops().size(), 1u);
+}
+
+TEST(BenchIo, Extensions) {
+  const auto r = parseBench(R"(
+INPUT(a)
+INPUT(s)
+OUTPUT(y)
+c = CONST1()
+dly = DELAY(a, 2500)
+l = LUT(0x8, a, c)
+y = MUX(s, dly, l)
+)");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Netlist& nl = r.netlist;
+  const GateId d = nl.net(*nl.findNet("dly")).driver;
+  EXPECT_EQ(nl.gate(d).kind, CellKind::kDelay);
+  EXPECT_EQ(nl.gate(d).delayPs, 2500);
+  const GateId l = nl.net(*nl.findNet("l")).driver;
+  EXPECT_EQ(nl.gate(l).kind, CellKind::kLut);
+  EXPECT_EQ(nl.gate(l).lutMask, 0x8u);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  const auto r = parseBench("INPUT(a)\nY = FROB(a)\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos) << r.error;
+}
+
+TEST(BenchIo, DuplicateNetRejected) {
+  const auto r = parseBench("INPUT(a)\na = NOT(a)\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BenchIo, UndefinedNetRejected) {
+  const auto r = parseBench("OUTPUT(y)\ny = NOT(ghost)\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BenchIo, RoundTripC17) {
+  const Netlist c17 = makeC17();
+  const auto r = parseBench(writeBench(c17), "c17rt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.netlist.inputs().size(), c17.inputs().size());
+  EXPECT_EQ(r.netlist.outputs().size(), c17.outputs().size());
+  EXPECT_TRUE(sat::checkEquivalence(c17, r.netlist).equivalent);
+}
+
+TEST(BenchIo, RoundTripSequentialToy) {
+  const Netlist toy = makeToySeq();
+  const auto r = parseBench(writeBench(toy), "toyrt");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.netlist.flops().size(), toy.flops().size());
+  EXPECT_EQ(r.netlist.stats().numCells, toy.stats().numCells);
+}
+
+TEST(BenchIo, RoundTripWithExtensions) {
+  Netlist nl("ext");
+  const NetId a = nl.addPI("a");
+  const NetId d = nl.addNet("d");
+  nl.addDelay(a, d, 777);
+  const NetId l = nl.addNet("l");
+  nl.addLut({a, d}, l, 0x9);
+  nl.markPO(l);
+  const auto r = parseBench(writeBench(nl), "extrt");
+  ASSERT_TRUE(r.ok) << r.error;
+  const GateId lg = r.netlist.net(*r.netlist.findNet("l")).driver;
+  EXPECT_EQ(r.netlist.gate(lg).lutMask, 0x9u);
+  const GateId dg = r.netlist.net(*r.netlist.findNet("d")).driver;
+  EXPECT_EQ(r.netlist.gate(dg).delayPs, 777);
+}
+
+TEST(BenchIo, FileRoundTrip) {
+  const Netlist toy = makeToySeq();
+  const std::string path = testing::TempDir() + "/gkll_toy.bench";
+  ASSERT_TRUE(writeBenchFile(toy, path));
+  const auto r = parseBenchFile(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.netlist.name(), "gkll_toy");
+  EXPECT_EQ(r.netlist.stats().numCells, toy.stats().numCells);
+}
+
+TEST(BenchIo, MissingFileFails) {
+  const auto r = parseBenchFile("/nonexistent/definitely.bench");
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,115 @@
+#include "benchgen/synthetic_bench.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+TEST(Specs, MatchPaperTableI) {
+  const auto& specs = iwls2005Specs();
+  ASSERT_EQ(specs.size(), 7u);
+  // The paper's exact cell/FF counts.
+  const struct {
+    const char* name;
+    int cells, ffs;
+  } expect[] = {
+      {"s1238", 341, 18},    {"s5378", 775, 163},  {"s9234", 613, 145},
+      {"s13207", 901, 330},  {"s15850", 447, 134}, {"s38417", 5397, 1564},
+      {"s38584", 5304, 1168},
+  };
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].name, expect[i].name);
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].cells, expect[i].cells);
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].ffs, expect[i].ffs);
+  }
+}
+
+/// Parameterised over every spec: the generated circuits must hit the
+/// published counts exactly and be structurally sound.
+class GenerateTest : public testing::TestWithParam<BenchSpec> {};
+
+TEST_P(GenerateTest, ExactCountsAndValidity) {
+  const BenchSpec& spec = GetParam();
+  const Netlist nl = generateBenchmark(spec);
+  const NetlistStats st = nl.stats();
+  EXPECT_EQ(st.numCells, static_cast<std::size_t>(spec.cells));
+  EXPECT_EQ(st.numFFs, static_cast<std::size_t>(spec.ffs));
+  EXPECT_EQ(st.numPIs, static_cast<std::size_t>(spec.pis));
+  EXPECT_EQ(st.numPOs, static_cast<std::size_t>(spec.pos));
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST_P(GenerateTest, DepthNearTarget) {
+  const BenchSpec& spec = GetParam();
+  const Netlist nl = generateBenchmark(spec);
+  const auto level = levelize(nl);
+  int maxLevel = 0;
+  for (NetId n = 0; n < nl.numNets(); ++n)
+    maxLevel = std::max(maxLevel, level[n]);
+  EXPECT_EQ(maxLevel, std::min(spec.depth, spec.cells - spec.ffs));
+}
+
+TEST_P(GenerateTest, EveryStateBitIsRead) {
+  const BenchSpec& spec = GetParam();
+  const Netlist nl = generateBenchmark(spec);
+  for (GateId f : nl.flops())
+    EXPECT_FALSE(nl.net(nl.gate(f).out).fanouts.empty());
+}
+
+TEST_P(GenerateTest, Deterministic) {
+  const BenchSpec& spec = GetParam();
+  const Netlist a = generateBenchmark(spec);
+  const Netlist b = generateBenchmark(spec);
+  ASSERT_EQ(a.numGates(), b.numGates());
+  for (GateId g = 0; g < a.numGates(); ++g) {
+    EXPECT_EQ(a.gate(g).kind, b.gate(g).kind);
+    EXPECT_EQ(a.gate(g).fanin, b.gate(g).fanin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIwls, GenerateTest,
+                         testing::ValuesIn(iwls2005Specs()),
+                         [](const testing::TestParamInfo<BenchSpec>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Generate, DifferentSeedsDiffer) {
+  BenchSpec a = iwls2005Specs()[0];
+  BenchSpec b = a;
+  b.seed ^= 0xDEAD;
+  const Netlist na = generateBenchmark(a);
+  const Netlist nb = generateBenchmark(b);
+  bool anyDiff = na.numGates() != nb.numGates();
+  for (GateId g = 0; !anyDiff && g < na.numGates(); ++g)
+    anyDiff = na.gate(g).kind != nb.gate(g).kind ||
+              na.gate(g).fanin != nb.gate(g).fanin;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Generate, ByNameAndUnknownAborts) {
+  const Netlist nl = generateByName("s5378");
+  EXPECT_EQ(nl.name(), "s5378");
+  EXPECT_DEATH(generateByName("nonexistent"), "");
+}
+
+TEST(ToyCircuits, C17Shape) {
+  const Netlist c17 = makeC17();
+  EXPECT_EQ(c17.inputs().size(), 5u);
+  EXPECT_EQ(c17.outputs().size(), 2u);
+  EXPECT_EQ(c17.stats().numCells, 6u);
+  EXPECT_TRUE(c17.flops().empty());
+  EXPECT_FALSE(c17.validate().has_value());
+}
+
+TEST(ToyCircuits, ToySeqShape) {
+  const Netlist toy = makeToySeq();
+  EXPECT_EQ(toy.flops().size(), 4u);
+  EXPECT_EQ(toy.inputs().size(), 1u);
+  EXPECT_EQ(toy.outputs().size(), 2u);
+  EXPECT_FALSE(toy.validate().has_value());
+}
+
+}  // namespace
+}  // namespace gkll

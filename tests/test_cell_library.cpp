@@ -1,0 +1,182 @@
+#include "netlist/cell_library.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gkll {
+namespace {
+
+TEST(CellKindMeta, NamesRoundTrip) {
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const CellKind k = static_cast<CellKind>(i);
+    CellKind back;
+    ASSERT_TRUE(cellKindFromName(cellKindName(k), back)) << cellKindName(k);
+    EXPECT_EQ(back, k);
+  }
+}
+
+TEST(CellKindMeta, ClassicBenchAliases) {
+  CellKind k;
+  ASSERT_TRUE(cellKindFromName("NOT", k));
+  EXPECT_EQ(k, CellKind::kInv);
+  ASSERT_TRUE(cellKindFromName("BUFF", k));
+  EXPECT_EQ(k, CellKind::kBuf);
+  ASSERT_TRUE(cellKindFromName("NAND", k));
+  EXPECT_EQ(k, CellKind::kNand2);
+  EXPECT_FALSE(cellKindFromName("FROB", k));
+}
+
+TEST(CellKindMeta, InputCounts) {
+  EXPECT_EQ(cellNumInputs(CellKind::kInv), 1);
+  EXPECT_EQ(cellNumInputs(CellKind::kNand3), 3);
+  EXPECT_EQ(cellNumInputs(CellKind::kMux2), 3);
+  EXPECT_EQ(cellNumInputs(CellKind::kDff), 1);
+  EXPECT_EQ(cellNumInputs(CellKind::kLut), -1);
+  EXPECT_EQ(cellNumInputs(CellKind::kInput), 0);
+}
+
+TEST(CellKindMeta, Predicates) {
+  EXPECT_TRUE(isSequential(CellKind::kDff));
+  EXPECT_FALSE(isSequential(CellKind::kBuf));
+  EXPECT_TRUE(isSourceKind(CellKind::kInput));
+  EXPECT_TRUE(isSourceKind(CellKind::kConst1));
+  EXPECT_FALSE(isSourceKind(CellKind::kDff));
+  EXPECT_TRUE(isUnaryKind(CellKind::kDelay));
+  EXPECT_TRUE(isUnaryKind(CellKind::kInv));
+  EXPECT_FALSE(isUnaryKind(CellKind::kXor2));
+}
+
+Logic L(int v) { return v ? Logic::T : Logic::F; }
+
+TEST(EvalCell, TwoInputGatesExhaustive) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const std::vector<Logic> in{L(a), L(b)};
+      EXPECT_EQ(evalCell(CellKind::kAnd2, in), L(a & b));
+      EXPECT_EQ(evalCell(CellKind::kNand2, in), L(!(a & b)));
+      EXPECT_EQ(evalCell(CellKind::kOr2, in), L(a | b));
+      EXPECT_EQ(evalCell(CellKind::kNor2, in), L(!(a | b)));
+      EXPECT_EQ(evalCell(CellKind::kXor2, in), L(a ^ b));
+      EXPECT_EQ(evalCell(CellKind::kXnor2, in), L(!(a ^ b)));
+    }
+  }
+}
+
+TEST(EvalCell, ThreeInputGatesExhaustive) {
+  for (int m = 0; m < 8; ++m) {
+    const int a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+    const std::vector<Logic> in{L(a), L(b), L(c)};
+    EXPECT_EQ(evalCell(CellKind::kAnd3, in), L(a & b & c));
+    EXPECT_EQ(evalCell(CellKind::kNor3, in), L(!(a | b | c)));
+    EXPECT_EQ(evalCell(CellKind::kAoi21, in), L(!((a & b) | c)));
+    EXPECT_EQ(evalCell(CellKind::kOai21, in), L(!((a | b) & c)));
+    // MUX fanin order {sel, in0, in1}.
+    EXPECT_EQ(evalCell(CellKind::kMux2, in), L(a ? c : b));
+  }
+}
+
+TEST(EvalCell, UnaryAndConstants) {
+  const std::vector<Logic> t{Logic::T}, f{Logic::F};
+  EXPECT_EQ(evalCell(CellKind::kBuf, t), Logic::T);
+  EXPECT_EQ(evalCell(CellKind::kInv, t), Logic::F);
+  EXPECT_EQ(evalCell(CellKind::kDelay, f), Logic::F);
+  EXPECT_EQ(evalCell(CellKind::kConst0, {}), Logic::F);
+  EXPECT_EQ(evalCell(CellKind::kConst1, {}), Logic::T);
+}
+
+TEST(EvalCell, XPropagation) {
+  const Logic X = Logic::X;
+  // 0 dominates AND; 1 dominates OR.
+  EXPECT_EQ(evalCell(CellKind::kAnd2, std::vector<Logic>{Logic::F, X}), Logic::F);
+  EXPECT_EQ(evalCell(CellKind::kAnd2, std::vector<Logic>{Logic::T, X}), X);
+  EXPECT_EQ(evalCell(CellKind::kOr2, std::vector<Logic>{Logic::T, X}), Logic::T);
+  EXPECT_EQ(evalCell(CellKind::kXor2, std::vector<Logic>{Logic::T, X}), X);
+  // MUX with X select but agreeing data is known.
+  EXPECT_EQ(evalCell(CellKind::kMux2, std::vector<Logic>{X, Logic::T, Logic::T}),
+            Logic::T);
+  EXPECT_EQ(evalCell(CellKind::kMux2, std::vector<Logic>{X, Logic::F, Logic::T}),
+            X);
+}
+
+TEST(EvalCell, LutMatchesMask) {
+  // 3-input LUT implementing the majority function: mask bits at indices
+  // with >= 2 ones: 3,5,6,7 -> 0b11101000.
+  const std::uint64_t maj = 0xE8;
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<Logic> in{L(m & 1), L((m >> 1) & 1), L((m >> 2) & 1)};
+    const int ones = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ(evalCell(CellKind::kLut, in, maj), L(ones >= 2)) << m;
+  }
+}
+
+TEST(EvalCell, LutXCofactoring) {
+  // f = in0 (mask 0b10): in1 is a don't care, so X there stays known.
+  const std::vector<Logic> in{Logic::T, Logic::X};
+  EXPECT_EQ(evalCell(CellKind::kLut, in, 0b1010), Logic::T);
+  // f = in0 ^ in1: X in1 makes the output unknown.
+  EXPECT_EQ(evalCell(CellKind::kLut, in, 0b0110), Logic::X);
+}
+
+TEST(CellLibrary, AreasAndDelaysPositive) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const CellKind k = static_cast<CellKind>(i);
+    if (isSourceKind(k) || k == CellKind::kDelay) continue;
+    const CellInfo ci = lib.info(k);
+    EXPECT_GT(ci.area, 0) << cellKindName(k);
+    EXPECT_GT(ci.rise, 0) << cellKindName(k);
+    EXPECT_GT(ci.fall, 0) << cellKindName(k);
+  }
+}
+
+TEST(CellLibrary, SaneRatios) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  const CellInfo inv = lib.info(CellKind::kInv);
+  const CellInfo xor2 = lib.info(CellKind::kXor2);
+  const CellInfo dff = lib.info(CellKind::kDff);
+  EXPECT_GT(xor2.area, 2 * inv.area);  // XOR ~2.2x INV
+  EXPECT_GT(dff.area, 4 * inv.area);   // DFF ~5x INV
+  EXPECT_GT(lib.clkToQ(), lib.setupTime());
+  EXPECT_GT(lib.setupTime(), lib.holdTime());
+}
+
+TEST(CellLibrary, DriveStrengthsMonotone) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  // Stronger drive: faster and bigger.
+  EXPECT_LT(lib.info(CellKind::kInv, 4).rise, lib.info(CellKind::kInv, 1).rise);
+  EXPECT_GT(lib.info(CellKind::kInv, 4).area, lib.info(CellKind::kInv, 1).area);
+  EXPECT_LT(lib.info(CellKind::kBuf, 4).rise, lib.info(CellKind::kBuf, 1).rise);
+}
+
+TEST(CellLibrary, DelayCellsSymmetricAndOrdered) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  Ps prev = 0;
+  for (int d : {8, 16, 32, 64}) {
+    const CellInfo ci = lib.info(CellKind::kBuf, d);
+    EXPECT_EQ(ci.rise, ci.fall) << "DLY cells must be edge-symmetric";
+    EXPECT_GT(ci.rise, prev);
+    prev = ci.rise;
+  }
+  EXPECT_EQ(lib.info(CellKind::kBuf, 64).rise, 2 * lib.info(CellKind::kBuf, 32).rise);
+}
+
+TEST(CellLibrary, LutAreaGrowsExponentially) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  EXPECT_GT(lib.lutArea(3), lib.lutArea(2));
+  EXPECT_GT(lib.lutArea(6) - lib.lutArea(5), lib.lutArea(5) - lib.lutArea(4));
+}
+
+TEST(Logic3, Operators) {
+  EXPECT_EQ(logicNot(Logic::T), Logic::F);
+  EXPECT_EQ(logicNot(Logic::X), Logic::X);
+  EXPECT_EQ(logicAnd(Logic::X, Logic::F), Logic::F);
+  EXPECT_EQ(logicOr(Logic::X, Logic::T), Logic::T);
+  EXPECT_EQ(logicXor(Logic::T, Logic::T), Logic::F);
+  EXPECT_EQ(logicChar(Logic::X), 'X');
+  EXPECT_TRUE(isKnown(Logic::F));
+  EXPECT_FALSE(isKnown(Logic::X));
+}
+
+}  // namespace
+}  // namespace gkll

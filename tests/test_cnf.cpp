@@ -1,0 +1,187 @@
+#include "sat/cnf.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll::sat {
+namespace {
+
+/// Property scaffold: for every cell kind, the Tseitin clauses must agree
+/// with evalCell on all complete input assignments.
+class GateEncodingTest : public testing::TestWithParam<CellKind> {};
+
+TEST_P(GateEncodingTest, MatchesEvalCellExhaustively) {
+  const CellKind kind = GetParam();
+  const int n = cellNumInputs(kind);
+  ASSERT_GT(n, 0);
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+    for (int outVal = 0; outVal < 2; ++outVal) {
+      Solver s;
+      std::vector<Var> ins;
+      std::vector<Logic> vals;
+      for (int i = 0; i < n; ++i) {
+        ins.push_back(s.newVar());
+        vals.push_back(logicFromBool((m >> i) & 1));
+      }
+      const Var out = s.newVar();
+      addGateClauses(s, kind, ins, out);
+      std::vector<Lit> assumps;
+      for (int i = 0; i < n; ++i)
+        assumps.push_back(mkLit(ins[static_cast<std::size_t>(i)], !((m >> i) & 1)));
+      assumps.push_back(mkLit(out, outVal == 0));
+      const Logic expect = evalCell(kind, vals);
+      const bool shouldBeSat = (expect == Logic::T) == (outVal == 1);
+      EXPECT_EQ(s.solve(assumps) == Result::kSat, shouldBeSat)
+          << cellKindName(kind) << " m=" << m << " out=" << outVal;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGateKinds, GateEncodingTest,
+    testing::Values(CellKind::kBuf, CellKind::kInv, CellKind::kAnd2,
+                    CellKind::kAnd3, CellKind::kAnd4, CellKind::kNand2,
+                    CellKind::kNand3, CellKind::kNand4, CellKind::kOr2,
+                    CellKind::kOr3, CellKind::kOr4, CellKind::kNor2,
+                    CellKind::kNor3, CellKind::kNor4, CellKind::kXor2,
+                    CellKind::kXnor2, CellKind::kMux2, CellKind::kAoi21,
+                    CellKind::kOai21, CellKind::kDelay),
+    [](const testing::TestParamInfo<CellKind>& info) {
+      return cellKindName(info.param);
+    });
+
+TEST(CnfEncode, LutClausesMatchMask) {
+  // Majority-of-3 LUT.
+  const std::uint64_t maj = 0xE8;
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    Solver s;
+    std::vector<Var> ins{s.newVar(), s.newVar(), s.newVar()};
+    const Var out = s.newVar();
+    addGateClauses(s, CellKind::kLut, ins, out, maj);
+    std::vector<Lit> assumps;
+    for (int i = 0; i < 3; ++i)
+      assumps.push_back(mkLit(ins[static_cast<std::size_t>(i)], !((m >> i) & 1)));
+    ASSERT_EQ(s.solve(assumps), Result::kSat);
+    EXPECT_EQ(s.modelValue(out), ((maj >> m) & 1) != 0) << m;
+  }
+}
+
+TEST(CnfEncode, ConstantsForceValues) {
+  Solver s;
+  const Var z = s.newVar();
+  const Var o = s.newVar();
+  addGateClauses(s, CellKind::kConst0, {}, z);
+  addGateClauses(s, CellKind::kConst1, {}, o);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.modelValue(z));
+  EXPECT_TRUE(s.modelValue(o));
+}
+
+TEST(CnfEncode, NetlistModelMatchesSimulator) {
+  // Property: for random input vectors, pinning the CNF inputs yields
+  // exactly the simulator's outputs (on c17 and the toy counter's comb
+  // core via its gates' steady-state function).
+  const Netlist c17 = makeC17();
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Logic> in;
+    for (std::size_t i = 0; i < c17.inputs().size(); ++i)
+      in.push_back(logicFromBool(rng.flip()));
+    const auto nets = evalCombinational(c17, in);
+
+    Solver s;
+    const std::vector<Var> vars = encodeNetlist(s, c17);
+    std::vector<Lit> assumps;
+    for (std::size_t i = 0; i < c17.inputs().size(); ++i)
+      assumps.push_back(mkLit(vars[c17.inputs()[i]], in[i] != Logic::T));
+    ASSERT_EQ(s.solve(assumps), Result::kSat);
+    for (NetId po : c17.outputs())
+      EXPECT_EQ(s.modelValue(vars[po]), nets[po] == Logic::T);
+  }
+}
+
+TEST(CnfEncode, BoundVariablesAreShared) {
+  const Netlist c17 = makeC17();
+  Solver s;
+  const std::vector<Var> a = encodeNetlist(s, c17);
+  std::vector<Var> piVars;
+  for (NetId pi : c17.inputs()) piVars.push_back(a[pi]);
+  const std::vector<Var> b = encodeNetlist(s, c17, c17.inputs(), piVars);
+  // Same circuit, same inputs -> outputs must match; asserting a
+  // difference is UNSAT.
+  std::vector<Var> diffs;
+  for (NetId po : c17.outputs()) diffs.push_back(makeXor(s, a[po], b[po]));
+  s.addClause(mkLit(makeOrReduce(s, diffs)));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(CnfHelpers, MakeAndOrXor) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var land = makeAnd(s, a, b);
+  const Var lor = makeOr(s, a, b);
+  const Var lxor = makeXor(s, a, b);
+  for (int m = 0; m < 4; ++m) {
+    const std::vector<Lit> assumps{mkLit(a, !(m & 1)), mkLit(b, !((m >> 1) & 1))};
+    ASSERT_EQ(s.solve(assumps), Result::kSat);
+    EXPECT_EQ(s.modelValue(land), (m & 1) && ((m >> 1) & 1));
+    EXPECT_EQ(s.modelValue(lor), (m & 1) || ((m >> 1) & 1));
+    EXPECT_EQ(s.modelValue(lxor), ((m & 1) ^ ((m >> 1) & 1)) != 0);
+  }
+}
+
+TEST(CnfHelpers, OrReduceEmptyIsFalse) {
+  Solver s;
+  const Var o = makeOrReduce(s, {});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.modelValue(o));
+}
+
+TEST(Equivalence, IdenticalCircuits) {
+  const Netlist c17 = makeC17();
+  EXPECT_TRUE(checkEquivalence(c17, c17).equivalent);
+}
+
+TEST(Equivalence, DifferentCircuitsGiveCounterexample) {
+  const Netlist a = makeC17();
+  Netlist b = makeC17();
+  // Flip one gate: NAND -> AND on the first output.
+  const NetId g22 = *b.findNet("G22");
+  const GateId drv = b.net(g22).driver;
+  const auto fanin = b.gate(drv).fanin;
+  b.removeGate(drv);
+  b.addGate(CellKind::kAnd2, fanin, g22);
+  const EquivResult r = checkEquivalence(a, b);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_EQ(r.counterexample.size(), a.inputs().size());
+  // The counterexample must actually distinguish the two circuits.
+  const auto oa = outputValues(a, evalCombinational(a, r.counterexample));
+  const auto ob = outputValues(b, evalCombinational(b, r.counterexample));
+  EXPECT_NE(oa, ob);
+}
+
+TEST(Equivalence, StructurallyDifferentButFunctionallyEqual) {
+  // y = a via double inversion vs direct buffer.
+  Netlist a("a");
+  const NetId ai = a.addPI("x");
+  const NetId an = a.addNet("n");
+  a.addGate(CellKind::kInv, {ai}, an);
+  const NetId ay = a.addNet("y");
+  a.addGate(CellKind::kInv, {an}, ay);
+  a.markPO(ay);
+
+  Netlist b("b");
+  const NetId bi = b.addPI("x");
+  const NetId by = b.addNet("y");
+  b.addGate(CellKind::kBuf, {bi}, by);
+  b.markPO(by);
+
+  EXPECT_TRUE(checkEquivalence(a, b).equivalent);
+}
+
+}  // namespace
+}  // namespace gkll::sat

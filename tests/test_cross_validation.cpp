@@ -1,0 +1,161 @@
+// Cross-validation property sweeps: the library's three models of a
+// circuit — zero-delay simulation, event-driven timing simulation, and
+// the CNF encoding — must agree wherever their domains overlap, across
+// every generated benchmark.  These are the consistency guarantees all
+// the attack/defence results stand on.
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/placement.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "timing/sta.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+std::vector<BenchSpec> allSpecs() { return iwls2005Specs(); }
+
+class CrossValidation : public testing::TestWithParam<BenchSpec> {};
+
+TEST_P(CrossValidation, CnfAgreesWithSimulatorOnCombCore) {
+  // Pin the CNF's inputs to random vectors; every net variable must take
+  // exactly the simulator's value.
+  const Netlist seq = generateBenchmark(GetParam());
+  const CombExtraction comb = extractCombinational(seq);
+  const Netlist& nl = comb.netlist;
+
+  sat::Solver s;
+  const std::vector<sat::Var> vars = sat::encodeNetlist(s, nl);
+  Rng rng(GetParam().seed ^ 0xC0FFEE);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<Logic> in;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+      in.push_back(logicFromBool(rng.flip()));
+    std::vector<sat::Lit> assumps;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+      assumps.push_back(sat::mkLit(vars[nl.inputs()[i]], in[i] != Logic::T));
+    ASSERT_EQ(s.solve(assumps), sat::Result::kSat);
+    const auto nets = evalCombinational(nl, in);
+    int checked = 0;
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      if (nets[n] == Logic::X) continue;
+      EXPECT_EQ(s.modelValue(vars[n]), nets[n] == Logic::T)
+          << GetParam().name << " net " << nl.net(n).name;
+      ++checked;
+    }
+    EXPECT_GT(checked, static_cast<int>(nl.numNets()) / 2);
+  }
+}
+
+TEST_P(CrossValidation, EventSimAgreesWithCycleSimOverManyCycles) {
+  // Run both simulators for 10 cycles of random stimulus on the placed
+  // netlist and compare every captured state and sampled PO.
+  Netlist nl = generateBenchmark(GetParam());
+  const PlacementResult pr = placeAndRoute(nl, PlacementOptions{});
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  StaConfig cfg;
+  cfg.inputArrival = lib.clkToQ();
+  Sta probe(nl, cfg);
+  for (std::size_t i = 0; i < nl.flops().size(); ++i)
+    probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+  const Ps tclk = probe.minClockPeriod(100);
+
+  const int cycles = 10;
+  Rng rng(GetParam().seed ^ 0xBEEF);
+  std::vector<std::vector<Logic>> pattern(
+      cycles, std::vector<Logic>(nl.inputs().size()));
+  for (auto& cyc : pattern)
+    for (Logic& v : cyc) v = logicFromBool(rng.flip());
+
+  EventSimConfig ecfg;
+  ecfg.clockPeriod = tclk;
+  ecfg.simTime = (cycles + 1) * tclk;
+  EventSim esim(nl, ecfg, lib);
+  for (std::size_t i = 0; i < nl.flops().size(); ++i)
+    esim.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+  for (std::size_t p = 0; p < nl.inputs().size(); ++p) {
+    esim.setInitialInput(nl.inputs()[p], pattern[0][p]);
+    for (int k = 1; k < cycles; ++k)
+      esim.drive(nl.inputs()[p], k * tclk + lib.clkToQ(),
+                 pattern[static_cast<std::size_t>(k)][p]);
+  }
+  esim.run();
+  ASSERT_TRUE(esim.violations().empty()) << GetParam().name;
+
+  SequentialSim csim(nl);
+  csim.reset();
+  for (int m = 0; m < cycles; ++m) {
+    const auto poRef = csim.step(pattern[static_cast<std::size_t>(m)]);
+    // POs settle before the next edge.
+    for (std::size_t j = 0; j < nl.outputs().size(); ++j)
+      ASSERT_EQ(esim.valueAt(nl.outputs()[j], (m + 1) * tclk), poRef[j])
+          << GetParam().name << " cycle " << m << " po " << j;
+    // Captured state after edge m+1.
+    for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+      const NetId q = nl.gate(nl.flops()[i]).out;
+      ASSERT_EQ(esim.valueAt(q, (m + 1) * tclk + pr.clockArrival[i] +
+                                    lib.clkToQ() + 20),
+                csim.state()[i])
+          << GetParam().name << " cycle " << m << " flop " << i;
+    }
+  }
+}
+
+TEST_P(CrossValidation, StaBoundsEventSimArrivals) {
+  // Every transition the event simulator produces in one input frame must
+  // land inside [minArrival, maxArrival] of the STA (same launch frame).
+  Netlist nl = generateBenchmark(GetParam());
+  placeAndRoute(nl, PlacementOptions{});
+  StaConfig cfg;
+  cfg.clockPeriod = ns(200);  // huge: captures out of the way
+  cfg.inputArrival = 0;
+  Sta sta(nl, cfg);
+  const StaResult r = sta.run();
+
+  EventSimConfig ecfg;
+  ecfg.clockPeriod = ns(200);
+  ecfg.simTime = ns(100);
+  EventSim sim(nl, ecfg);
+  Rng rng(GetParam().seed ^ 0xFACE);
+  for (NetId pi : nl.inputs()) sim.setInitialInput(pi, logicFromBool(rng.flip()));
+  for (NetId pi : nl.inputs())
+    sim.drive(pi, 1, logicFromBool(rng.flip()));  // new frame at t=1
+  sim.run();
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const auto& trs = sim.wave(n).transitions();
+    if (trs.empty()) continue;
+    EXPECT_LE(trs.back().time - 1, r.maxArrival[n]) << GetParam().name;
+    EXPECT_GE(trs.front().time - 1, r.minArrival[n]) << GetParam().name;
+  }
+}
+
+TEST_P(CrossValidation, CombExtractionRoundTripsThroughBench) {
+  // writeBench/parseBench preserve the combinational semantics of every
+  // generated circuit (equivalence on the smaller ones; structure checks
+  // everywhere).
+  const Netlist seq = generateBenchmark(GetParam());
+  const auto parsed = parseBench(writeBench(seq), GetParam().name + "_rt");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.netlist.stats().numCells, seq.stats().numCells);
+  EXPECT_EQ(parsed.netlist.flops().size(), seq.flops().size());
+  if (GetParam().cells <= 1000) {
+    const CombExtraction a = extractCombinational(seq);
+    const CombExtraction b = extractCombinational(parsed.netlist);
+    EXPECT_TRUE(sat::checkEquivalence(a.netlist, b.netlist).equivalent)
+        << GetParam().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CrossValidation,
+                         testing::ValuesIn(allSpecs()),
+                         [](const testing::TestParamInfo<BenchSpec>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace gkll

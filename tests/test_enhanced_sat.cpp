@@ -1,0 +1,74 @@
+#include "attack/enhanced_sat.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+TEST(EnhancedSat, ExplainsXorLockedChip) {
+  // Sanity: for a purely functional lock the stable-value timed model is
+  // complete — a consistent key exists and it is the correct one.
+  const Netlist orig = makeToySeq();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{3, 55});
+  const CombExtraction comb = extractCombinational(ld.netlist);
+  std::vector<NetId> keys;
+  for (NetId k : ld.keyInputs) keys.push_back(comb.netMap[k]);
+
+  const std::vector<Ps> arrivals(ld.netlist.flops().size(), 0);
+  TimingOracle chip(ld.netlist, arrivals, ld.keyInputs, ld.correctKey, ns(8),
+                    orig.flops().size());
+  const EnhancedSatResult r = enhancedSatAttack(comb.netlist, keys, chip);
+  EXPECT_TRUE(r.modelConsistent);
+  EXPECT_EQ(r.recoveredKey, ld.correctKey);
+}
+
+TEST(EnhancedSat, CannotModelGlitchTransmission) {
+  // Paper Sec. V-B: no constant key makes the stable-value (TCF-class)
+  // model reproduce what the glitch carries into the GK'd flop.
+  const Netlist orig = makeToySeq();
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 1;
+  opt.clockPeriod = ns(8);
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 1u);
+  ASSERT_TRUE(locked.verify.ok());
+
+  const auto surf = enc.attackSurface(locked);
+  TimingOracle chip(locked.design.netlist, locked.clockArrival,
+                    locked.design.keyInputs, locked.design.correctKey,
+                    locked.clockPeriod, orig.flops().size());
+  const EnhancedSatResult r =
+      enhancedSatAttack(surf.comb, surf.gkKeys, chip);
+  EXPECT_FALSE(r.modelConsistent);
+  // The inexplicable bits are exactly the GK'd flop's capture slot.
+  EXPECT_EQ(r.inexplicableBits, 1);
+}
+
+TEST(EnhancedSat, FewSamplesSuffice) {
+  const Netlist orig = makeToySeq();
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 1;
+  opt.clockPeriod = ns(8);
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 1u);
+  const auto surf = enc.attackSurface(locked);
+  TimingOracle chip(locked.design.netlist, locked.clockArrival,
+                    locked.design.keyInputs, locked.design.correctKey,
+                    locked.clockPeriod, orig.flops().size());
+  EnhancedSatOptions eo;
+  eo.samples = 4;
+  const EnhancedSatResult r =
+      enhancedSatAttack(surf.comb, surf.gkKeys, chip, eo);
+  EXPECT_FALSE(r.modelConsistent);
+  EXPECT_EQ(r.samplesUsed, 4);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,319 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::tsmc013c(); }
+
+TEST(EventSim, InverterPropagatesWithDelay) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {a}, y);
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(5);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.run();
+
+  EXPECT_EQ(sim.valueAt(y, 0), Logic::T);  // settled inverse of initial
+  // y falls one INV fall-delay after the rise on a.
+  EXPECT_EQ(sim.valueAt(y, ns(1) + lib().info(CellKind::kInv).fall - 1),
+            Logic::T);
+  EXPECT_EQ(sim.valueAt(y, ns(1) + lib().info(CellKind::kInv).fall), Logic::F);
+}
+
+TEST(EventSim, TransportPreservesNarrowPulses) {
+  // A 30 ps pulse must survive a chain of gates whose delays exceed the
+  // pulse width — that is the transport-delay property GKs rely on.
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  NetId cur = a;
+  for (int i = 0; i < 4; ++i) {
+    const NetId next = nl.addNet();
+    nl.addGate(CellKind::kBuf, {cur}, next);
+    cur = next;
+  }
+  nl.markPO(cur);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(4);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.drive(a, ns(1) + 30, Logic::F);
+  sim.run();
+
+  const auto g = glitches(sim.wave(cur), 0, ns(4), 200);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].level, Logic::T);
+  // Each buffer stage erodes a high pulse by its rise-fall asymmetry
+  // (65 - 60 = 5 ps), so 30 ps in -> 10 ps out after four stages — but the
+  // pulse must survive, never be swallowed (inertial delay would drop it).
+  const Ps erosion = lib().info(CellKind::kBuf).rise - lib().info(CellKind::kBuf).fall;
+  EXPECT_EQ(g[0].width(), 30 - 4 * erosion);
+}
+
+TEST(EventSim, IdealDelayElementShiftsExactly) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 1234);
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(5);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.run();
+  EXPECT_EQ(sim.valueAt(y, ns(1) + 1233), Logic::F);
+  EXPECT_EQ(sim.valueAt(y, ns(1) + 1234), Logic::T);
+}
+
+TEST(EventSim, WireDelayAdds) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kBuf, {a}, y);
+  nl.net(y).wireDelay = 500;
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(5);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.run();
+  const Ps expect = ns(1) + lib().info(CellKind::kBuf).rise + 500;
+  EXPECT_EQ(sim.valueAt(y, expect - 1), Logic::F);
+  EXPECT_EQ(sim.valueAt(y, expect), Logic::T);
+}
+
+TEST(EventSim, CausalityUnderAsymmetricDelays) {
+  // Two input changes closer together than the rise/fall asymmetry must
+  // still leave the output at its final functional value (regression for
+  // the scheduling-order hazard).
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId b = nl.addPI("b");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kOr2, {a, b}, y);  // rise 66, fall 60
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(3);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.setInitialInput(b, Logic::F);
+  sim.drive(a, 1000, Logic::T);   // schedules y=1 at 1066
+  sim.drive(a, 1002, Logic::F);   // would schedule y=0 at 1062 (!)
+  sim.run();
+  EXPECT_EQ(sim.wave(y).finalValue(), Logic::F);
+}
+
+TEST(EventSim, FlopCapturesOnEdges) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  const GateId ff = nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+  (void)ff;
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(14);
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(d, Logic::T);
+  sim.drive(d, ns(5), Logic::F);
+  sim.run();
+
+  EXPECT_EQ(sim.valueAt(q, ns(4) + lib().clkToQ()), Logic::T);   // edge 1
+  EXPECT_EQ(sim.valueAt(q, ns(8) + lib().clkToQ()), Logic::F);   // edge 2
+  EXPECT_TRUE(sim.violations().empty());
+}
+
+TEST(EventSim, SetupViolationDetectedAndPoisons) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(6);
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(d, Logic::F);
+  // Change inside the setup window (edge at 4 ns, Tsu 90 ps).
+  sim.drive(d, ns(4) - 40, Logic::T);
+  sim.run();
+  ASSERT_EQ(sim.violations().size(), 1u);
+  EXPECT_TRUE(sim.violations()[0].isSetup);
+  EXPECT_EQ(sim.valueAt(q, ns(4) + lib().clkToQ()), Logic::X);
+}
+
+TEST(EventSim, HoldViolationDetected) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(6);
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(d, Logic::F);
+  // Change just after the edge, inside the 25 ps hold window.
+  sim.drive(d, ns(4) + 10, Logic::T);
+  sim.run();
+  ASSERT_EQ(sim.violations().size(), 1u);
+  EXPECT_FALSE(sim.violations()[0].isSetup);
+}
+
+TEST(EventSim, StableWindowBoundariesAreLegal) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(6);
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(d, Logic::F);
+  sim.drive(d, ns(4) - lib().setupTime(), Logic::T);  // exactly at Tsu: legal
+  sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+  EXPECT_EQ(sim.valueAt(q, ns(4) + lib().clkToQ()), Logic::T);
+}
+
+TEST(EventSim, ClockSkewShiftsCaptures) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  const GateId ff = nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(6);
+  EventSim sim(nl, cfg);
+  sim.setClockArrival(ff, 300);
+  sim.setInitialInput(d, Logic::F);
+  sim.drive(d, ns(4) + 100, Logic::T);  // before the skewed edge at 4.3 ns
+  sim.run();
+  EXPECT_TRUE(sim.violations().empty());
+  EXPECT_EQ(sim.valueAt(q, ns(4) + 300 + lib().clkToQ()), Logic::T);
+}
+
+TEST(EventSim, CaptureStartSkipsEarlyEdges) {
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  const GateId ff = nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(10);
+  EventSim sim(nl, cfg);
+  sim.setCaptureStart(ff, 2);
+  sim.setInitialState(ff, Logic::T);
+  sim.setInitialInput(d, Logic::F);
+  sim.run();
+  // Edge 1 skipped: Q still holds the preset state after it.
+  EXPECT_EQ(sim.valueAt(q, ns(4) + lib().clkToQ() + 10), Logic::T);
+  // Edge 2 captures.
+  EXPECT_EQ(sim.valueAt(q, ns(8) + lib().clkToQ() + 10), Logic::F);
+}
+
+TEST(EventSim, InitialSettleMatchesZeroDelaySim) {
+  // Property: at t=0 the event simulator's settled values equal the
+  // zero-delay simulator's for the same inputs and state.
+  const Netlist nl = generateByName("s1238");
+  Rng rng(3);
+  std::vector<Logic> in;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    in.push_back(logicFromBool(rng.flip()));
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(10);
+  cfg.simTime = ns(1);
+  EventSim sim(nl, cfg);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    sim.setInitialInput(nl.inputs()[i], in[i]);
+  sim.run();
+
+  SequentialSim ref(nl);
+  ref.reset();
+  ref.step(in);
+  const auto& nets = ref.netValues();
+  for (NetId n = 0; n < nl.numNets(); ++n)
+    EXPECT_EQ(sim.wave(n).initial(), nets[n]) << nl.net(n).name;
+}
+
+TEST(EventSim, SteadyStateMatchesZeroDelayAfterSettle) {
+  // Drive new PI values mid-cycle; before the next capture the settled
+  // values must equal a zero-delay evaluation.
+  const Netlist nl = generateByName("s1238");
+  Rng rng(4);
+  std::vector<Logic> in0, in1;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    in0.push_back(logicFromBool(rng.flip()));
+    in1.push_back(logicFromBool(rng.flip()));
+  }
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(10);
+  cfg.simTime = ns(10);  // no captures before 10 ns: state stays at reset
+  EventSim sim(nl, cfg);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    sim.setInitialInput(nl.inputs()[i], in0[i]);
+    sim.drive(nl.inputs()[i], ns(2), in1[i]);
+  }
+  sim.run();
+
+  SequentialSim ref(nl);
+  ref.reset();
+  ref.step(in1);
+  const auto& nets = ref.netValues();
+  for (NetId po : nl.outputs())
+    EXPECT_EQ(sim.valueAt(po, ns(10) - 1), nets[po]) << nl.net(po).name;
+}
+
+TEST(EventSim, ActivityIsCounted) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {a}, y);
+  nl.markPO(y);
+  EventSimConfig cfg;
+  cfg.simTime = ns(5);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.drive(a, ns(2), Logic::F);
+  sim.run();
+  EXPECT_EQ(sim.totalEvents(), 4u);  // two changes on a, two on y
+}
+
+}  // namespace
+}  // namespace gkll

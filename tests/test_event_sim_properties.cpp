@@ -1,0 +1,187 @@
+// Event-simulator physics properties: pulse erosion, polarity tracking
+// through inverting chains, capture-edge boundary semantics, and the
+// glitch arithmetic the GK's security rests on.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+#include "sim/waveform.h"
+
+namespace gkll {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::tsmc013c(); }
+
+/// Parameterised over chain length: a pulse through N inverters (even N)
+/// erodes by the rise/fall asymmetry per stage and inverts per stage.
+class PulseChain : public testing::TestWithParam<int> {};
+
+TEST_P(PulseChain, ErosionIsLinearInStages) {
+  const int stages = GetParam();
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  NetId cur = a;
+  for (int i = 0; i < stages; ++i) {
+    const NetId next = nl.addNet();
+    nl.addGate(CellKind::kInv, {cur}, next);
+    cur = next;
+  }
+  nl.markPO(cur);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(6);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  const Ps width = 400;
+  sim.drive(a, ns(1), Logic::T);
+  sim.drive(a, ns(1) + width, Logic::F);
+  sim.run();
+
+  const auto g = glitches(sim.wave(cur), 0, ns(6), ns(1));
+  ASSERT_EQ(g.size(), 1u) << stages << " stages";
+  // A high pulse through an inverter pair shrinks by (rise - fall) per
+  // inverter *pair*; individual stages alternate polarity, and the net
+  // erosion over an even chain is stages/2 * (rise+fall - fall-rise)...
+  // measured directly: each INV delays the leading edge by its output
+  // transition delay.  For even chains the pulse polarity is preserved.
+  EXPECT_EQ(g[0].level, (stages % 2 == 0) ? Logic::T : Logic::F);
+  // Erosion bound: no more than the total rise/fall asymmetry.
+  const Ps asym = lib().info(CellKind::kInv).rise - lib().info(CellKind::kInv).fall;
+  EXPECT_LE(std::abs(static_cast<long long>(g[0].width() - width)),
+            static_cast<long long>(stages) * asym);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, PulseChain, testing::Values(2, 4, 6, 8, 10));
+
+TEST(EventSimProperties, GlitchLengthTracksDelayElementExactly) {
+  // For a GK-style structure the glitch width equals the delay element
+  // plus the function-gate delay, to within the rise/fall spread — the
+  // relation the flow's Eq. (2) bookkeeping depends on.
+  for (const Ps element : {Ps{500}, Ps{912}, Ps{1500}, Ps{2500}}) {
+    Netlist nl;
+    const NetId x = nl.addPI("x");
+    const NetId key = nl.addPI("key");
+    const NetId del = nl.addNet("del");
+    nl.addDelay(key, del, element);
+    const NetId up = nl.addNet("up");
+    nl.addGate(CellKind::kXnor2, {x, del}, up);
+    const NetId lo = nl.addNet("lo");
+    const NetId del2 = nl.addNet("del2");
+    nl.addDelay(key, del2, element);
+    nl.addGate(CellKind::kXor2, {x, del2}, lo);
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellKind::kMux2, {key, up, lo}, y);
+    nl.markPO(y);
+
+    EventSimConfig cfg;
+    cfg.simTime = ns(10);
+    cfg.clockedFlops = false;
+    EventSim sim(nl, cfg);
+    sim.setInitialInput(x, Logic::T);
+    sim.setInitialInput(key, Logic::F);
+    sim.drive(key, ns(4), Logic::T);
+    sim.run();
+    const auto g = glitches(sim.wave(y), 0, ns(10), ns(4));
+    ASSERT_EQ(g.size(), 1u) << element;
+    EXPECT_NEAR(static_cast<double>(g[0].width()),
+                static_cast<double>(element + lib().info(CellKind::kXor2).rise),
+                10.0)
+        << element;
+  }
+}
+
+TEST(EventSimProperties, CaptureConsumesPreEdgeValueExactly) {
+  // A D change arriving exactly Tsu before the edge is captured; one that
+  // lands inside the open window poisons; one right after the edge+hold
+  // waits for the next cycle.
+  struct Case {
+    Ps offset;  // change time relative to the 4 ns edge
+    Logic expectQ1;
+    int expectViolations;
+  };
+  const Case cases[] = {
+      {-lib().setupTime(), Logic::T, 0},      // on the setup boundary: legal
+      {-lib().setupTime() + 1, Logic::X, 1},  // inside: violation
+      {+lib().holdTime(), Logic::F, 0},       // on the hold boundary: legal
+      {+lib().holdTime() - 1, Logic::X, 1},   // inside: violation
+  };
+  for (const Case& c : cases) {
+    Netlist nl;
+    const NetId d = nl.addPI("d");
+    const NetId q = nl.addNet("q");
+    nl.addGate(CellKind::kDff, {d}, q);
+    nl.markPO(q);
+    EventSimConfig cfg;
+    cfg.clockPeriod = ns(4);
+    cfg.simTime = ns(6);
+    EventSim sim(nl, cfg);
+    sim.setInitialInput(d, Logic::F);
+    sim.drive(d, ns(4) + c.offset, Logic::T);
+    sim.run();
+    EXPECT_EQ(sim.valueAt(q, ns(4) + lib().clkToQ() + 10), c.expectQ1)
+        << "offset " << c.offset;
+    EXPECT_EQ(static_cast<int>(sim.violations().size()), c.expectViolations)
+        << "offset " << c.offset;
+  }
+}
+
+TEST(EventSimProperties, TotalEventsScaleWithActivity) {
+  // Doubling the number of input toggles at least doubles recorded events
+  // on a pass-through chain (sanity for the activity metric).
+  auto run = [&](int toggles) {
+    Netlist nl;
+    const NetId a = nl.addPI("a");
+    const NetId y = nl.addNet("y");
+    nl.addGate(CellKind::kBuf, {a}, y);
+    nl.markPO(y);
+    EventSimConfig cfg;
+    cfg.simTime = ns(100);
+    cfg.clockedFlops = false;
+    EventSim sim(nl, cfg);
+    Logic v = Logic::F;
+    sim.setInitialInput(a, v);
+    for (int i = 1; i <= toggles; ++i) {
+      v = logicNot(v);
+      sim.drive(a, i * ns(2), v);
+    }
+    sim.run();
+    return sim.totalEvents();
+  };
+  EXPECT_EQ(run(10), 20u);
+  EXPECT_EQ(run(20), 40u);
+}
+
+TEST(EventSimProperties, ReconvergentGlitchGeneration) {
+  // The textbook hazard: XOR(a, INV(INV(a))) emits a pulse on every input
+  // edge because the reconvergent paths race — transport delay must show
+  // it (an inertial model would hide shorter-than-delay hazards).
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId n1 = nl.addNet("n1");
+  nl.addGate(CellKind::kInv, {a}, n1);
+  const NetId n2 = nl.addNet("n2");
+  nl.addGate(CellKind::kInv, {n1}, n2);
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kXor2, {a, n2}, y);
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(4);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.run();
+  const auto g = glitches(sim.wave(y), 0, ns(4), ns(1));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].level, Logic::T);
+  // Hazard width ~= the two-inverter detour delay.
+  EXPECT_NEAR(static_cast<double>(g[0].width()),
+              static_cast<double>(lib().info(CellKind::kInv).fall +
+                                  lib().info(CellKind::kInv).rise),
+              15.0);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,142 @@
+// Failure injection: deliberately mis-build GK insertions and check that
+// the flow's own safety nets — the event-driven sign-off and the STA
+// recheck — actually catch them.  These tests pin down that a "verified"
+// flow result means something.
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/ff_select.h"
+#include "flow/gk_flow.h"
+#include "flow/placement.h"
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+struct Rig {
+  Netlist orig = generateByName("s1238");
+  Netlist nl;
+  PlacementResult pr;
+  Ps tclk = 0;
+  std::vector<FfCandidate> cands;
+  GkParams proto;
+
+  Rig() {
+    std::vector<NetId> map;
+    nl = cloneNetlist(orig, map);
+    pr = placeAndRoute(nl, PlacementOptions{});
+    const CellLibrary& lib = CellLibrary::tsmc013c();
+    StaConfig cfg;
+    cfg.inputArrival = lib.clkToQ();
+    Sta probe(nl, cfg);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+    cfg.clockPeriod = tclk = probe.minClockPeriod(100);
+    Sta sta(nl, cfg);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+    proto.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
+    proto.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
+    cands = analyzeFlops(nl, sta, gkTiming(proto), FfSelectOptions{ns(1), 150});
+  }
+
+  const FfCandidate& firstAvailable() const {
+    for (const FfCandidate& c : cands)
+      if (c.available) return c;
+    ADD_FAILURE() << "no available flop";
+    return cands.front();
+  }
+
+  VerifyReport verify(const GkInsertion& ins, GkBehavior key) {
+    std::vector<Ps> arrivals = pr.clockArrival;
+    arrivals.resize(nl.flops().size(), 0);
+    const auto [k1, k2] = keyBitsFor(key);
+    VerifyOptions vo;
+    vo.clockPeriod = tclk;
+    vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+    return verifySequential(orig, nl, orig.flops().size(), arrivals,
+                            {ins.keygen.k1, ins.keygen.k2}, {k1, k2}, vo);
+  }
+};
+
+TEST(FailureInjection, CorrectlyTimedGkPassesTheHarness) {
+  // Baseline sanity for the rig itself.
+  Rig rig;
+  const FfCandidate& c = rig.firstAvailable();
+  GkParams p = rig.proto;
+  p.correct = GkBehavior::kTrigA;
+  const Ps trig = (c.onGlitch.lo + c.onGlitch.hi) / 2;
+  p.trigDelayA = keygenTapForTrigger(trig);
+  p.trigDelayB = 0;
+  const GkInsertion ins = insertGkAtFlop(rig.nl, c.ff, p, "ok");
+  const VerifyReport v = rig.verify(ins, GkBehavior::kTrigA);
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(FailureInjection, GlitchParkedBeforeWindowIsCaught) {
+  // Sabotage: the "correct" trigger fires the glitch entirely before the
+  // capture window — the flop captures x' and the sign-off must fail.
+  Rig rig;
+  const FfCandidate& c = rig.firstAvailable();
+  GkParams p = rig.proto;
+  p.correct = GkBehavior::kTrigA;
+  ASSERT_TRUE(c.offGlitch.valid());
+  p.trigDelayA = std::max<Ps>(
+      0, keygenTapForTrigger((c.offGlitch.lo + c.offGlitch.hi) / 2));
+  p.trigDelayB = 0;
+  const GkInsertion ins = insertGkAtFlop(rig.nl, c.ff, p, "early");
+  const VerifyReport v = rig.verify(ins, GkBehavior::kTrigA);
+  EXPECT_FALSE(v.ok());
+  EXPECT_GT(v.stateMismatches, 0);
+}
+
+TEST(FailureInjection, GlitchEdgeInWindowTripsViolations) {
+  // Sabotage: time the trigger so the glitch *starts inside* the
+  // setup/hold window — the simulator must flag setup violations.
+  Rig rig;
+  const FfCandidate& c = rig.firstAvailable();
+  GkParams p = rig.proto;
+  p.correct = GkBehavior::kTrigA;
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  // Glitch start = trigger + react; aim it at the middle of the window.
+  const Ps trig = c.tCapture - lib.setupTime() + 40 - gkTiming(p).react();
+  p.trigDelayA = std::max<Ps>(0, keygenTapForTrigger(trig));
+  p.trigDelayB = 0;
+  const GkInsertion ins = insertGkAtFlop(rig.nl, c.ff, p, "edge");
+  const VerifyReport v = rig.verify(ins, GkBehavior::kTrigA);
+  EXPECT_FALSE(v.ok());
+  EXPECT_GT(v.simViolations, 0);
+}
+
+TEST(FailureInjection, TooShortGlitchCannotCarryData) {
+  // Sabotage: a glitch narrower than setup+hold (violates Eq. 2) can
+  // never cover the window; either the capture misses it (x') or an edge
+  // lands inside (violation).
+  Rig rig;
+  const FfCandidate& c = rig.firstAvailable();
+  GkParams p = rig.proto;
+  p.gkDelayA = p.gkDelayB = 10;  // ~100 ps glitch < Tsu + Th
+  p.correct = GkBehavior::kTrigA;
+  const Ps trig = (c.onGlitch.lo + c.onGlitch.hi) / 2;
+  p.trigDelayA = std::max<Ps>(0, keygenTapForTrigger(trig));
+  p.trigDelayB = 0;
+  const GkInsertion ins = insertGkAtFlop(rig.nl, c.ff, p, "thin");
+  const VerifyReport v = rig.verify(ins, GkBehavior::kTrigA);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(FailureInjection, FlowRejectsHostsViaBanListMechanism) {
+  // The repair loop's ban mechanism: banning every available flop leaves
+  // nothing to insert, and the flow reports that instead of lying.
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  opt.maxRepairRounds = 0;
+  const GkFlowResult ok = runGkFlow(orig, opt);
+  EXPECT_EQ(ok.insertions.size(), 4u);
+  EXPECT_TRUE(ok.verify.ok());
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,139 @@
+#include "flow/ff_select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/placement.h"
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+struct Analysis {
+  Netlist nl;
+  PlacementResult pr;
+  Ps tclk = 0;
+  std::vector<FfCandidate> cands;
+};
+
+Analysis analyze(const std::string& name, Ps glitchLen = ns(1)) {
+  Analysis a{generateByName(name), {}, 0, {}};
+  a.pr = placeAndRoute(a.nl, PlacementOptions{});
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  StaConfig cfg;
+  cfg.inputArrival = lib.clkToQ();
+  Sta probe(a.nl, cfg);
+  for (std::size_t i = 0; i < a.nl.flops().size(); ++i)
+    probe.setClockArrival(a.nl.flops()[i], a.pr.clockArrival[i]);
+  cfg.clockPeriod = a.tclk = probe.minClockPeriod(100);
+  Sta sta(a.nl, cfg);
+  for (std::size_t i = 0; i < a.nl.flops().size(); ++i)
+    sta.setClockArrival(a.nl.flops()[i], a.pr.clockArrival[i]);
+  GkParams p;
+  p.gkDelayA = glitchLen - lib.maxDelay(CellKind::kXnor2);
+  p.gkDelayB = glitchLen - lib.maxDelay(CellKind::kXor2);
+  a.cands = analyzeFlops(a.nl, sta, gkTiming(p), FfSelectOptions{glitchLen, 150});
+  return a;
+}
+
+TEST(AnalyzeFlops, OneRecordPerFlop) {
+  const Analysis a = analyze("s1238");
+  EXPECT_EQ(a.cands.size(), a.nl.flops().size());
+  for (std::size_t i = 0; i < a.cands.size(); ++i)
+    EXPECT_EQ(a.cands[i].ff, a.nl.flops()[i]);
+}
+
+TEST(AnalyzeFlops, AvailableImpliesValidWindows) {
+  const Analysis a = analyze("s5378");
+  for (const FfCandidate& c : a.cands) {
+    if (!c.available) continue;
+    EXPECT_TRUE(c.onGlitch.valid());
+    EXPECT_LT(c.tArrival, c.absUB);
+    EXPECT_GT(c.onGlitch.lo, 0);
+    // The window must leave room for the KEYGEN's earliest trigger.
+    EXPECT_GE(c.onGlitch.lo, keygenEarliestTrigger());
+  }
+}
+
+TEST(AnalyzeFlops, DeepFlopsUnavailable) {
+  const Analysis a = analyze("s5378");
+  // The flop with the latest-arriving data must not be available (it sits
+  // on the critical path by construction of the clock period).
+  const auto worst = std::max_element(
+      a.cands.begin(), a.cands.end(),
+      [](const FfCandidate& x, const FfCandidate& y) {
+        return x.tArrival < y.tArrival;
+      });
+  EXPECT_FALSE(worst->available);
+}
+
+TEST(AnalyzeFlops, CoverageMatchesPaperShape) {
+  // Spot-check two calibrated circuits (exact values are pinned by seeds).
+  const Analysis s1238 = analyze("s1238");
+  EXPECT_EQ(countAvailable(s1238.cands), 16u);  // paper: 16 (88.89%)
+  const Analysis s15850 = analyze("s15850");
+  const double cov = 100.0 * static_cast<double>(countAvailable(s15850.cands)) /
+                     static_cast<double>(s15850.nl.flops().size());
+  EXPECT_NEAR(cov, 43.28, 8.0);  // paper: 43.28%
+}
+
+TEST(AnalyzeFlops, LongerGlitchShrinksAvailability) {
+  const Analysis l1 = analyze("s9234", ns(1));
+  const Analysis l3 = analyze("s9234", ns(3));
+  EXPECT_LE(countAvailable(l3.cands), countAvailable(l1.cands));
+}
+
+TEST(AnalyzeFlops, ImpossibleGlitchMeansNoneAvailable) {
+  // A glitch shorter than setup+hold can never carry data (Eq. 2).
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  const Ps tooShort = lib.setupTime() + lib.holdTime() - 10;
+  Analysis a{generateByName("s1238"), {}, 0, {}};
+  a.pr = placeAndRoute(a.nl, PlacementOptions{});
+  StaConfig cfg;
+  cfg.inputArrival = lib.clkToQ();
+  cfg.clockPeriod = ns(10);
+  Sta sta(a.nl, cfg);
+  GkParams p;
+  p.gkDelayA = p.gkDelayB = 1;  // dPath ~ gate delay only: ~90 ps glitch
+  const auto cands =
+      analyzeFlops(a.nl, sta, gkTiming(p), FfSelectOptions{tooShort, 0});
+  EXPECT_EQ(countAvailable(cands), 0u);
+}
+
+TEST(KarmakarGroup, MembersShareSignatureAndAreAvailable) {
+  const Analysis a = analyze("s5378");
+  const auto group = karmakarGroup(a.nl, a.cands);
+  ASSERT_GT(group.size(), 1u);
+  const auto sigs = poFanoutSignatures(a.nl);
+  std::vector<std::uint32_t> ref;
+  for (GateId ff : group) {
+    const auto it = std::find(a.nl.flops().begin(), a.nl.flops().end(), ff);
+    ASSERT_NE(it, a.nl.flops().end());
+    const std::size_t idx =
+        static_cast<std::size_t>(it - a.nl.flops().begin());
+    EXPECT_TRUE(a.cands[idx].available);
+    if (ref.empty())
+      ref = sigs[idx];
+    else
+      EXPECT_EQ(sigs[idx], ref);
+  }
+  EXPECT_FALSE(ref.empty());  // the shared PO set is non-empty
+}
+
+TEST(KarmakarGroup, EmptyWhenNothingAvailable) {
+  Analysis a{makeToySeq(), {}, 0, {}};
+  StaConfig cfg;
+  cfg.clockPeriod = 600;  // absurdly tight: nothing fits a 1 ns glitch
+  Sta sta(a.nl, cfg);
+  GkParams p;
+  const auto cands =
+      analyzeFlops(a.nl, sta, gkTiming(p), FfSelectOptions{ns(1), 150});
+  EXPECT_EQ(countAvailable(cands), 0u);
+  EXPECT_TRUE(karmakarGroup(a.nl, cands).empty());
+}
+
+}  // namespace
+}  // namespace gkll

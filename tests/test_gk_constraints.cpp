@@ -1,0 +1,143 @@
+#include "timing/gk_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "lock/glitch_keygate.h"
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace gkll {
+namespace {
+
+GkTiming idealGk(Ps pathA, Ps pathB, Ps mux) {
+  GkTiming t;
+  t.dPathA = pathA;
+  t.dPathB = pathB;
+  t.dMux = mux;
+  return t;
+}
+
+TEST(Eq2, GlitchCoversWindow) {
+  EXPECT_TRUE(glitchCoversWindow(1000, 90, 25));
+  EXPECT_TRUE(glitchCoversWindow(115, 90, 25));
+  EXPECT_FALSE(glitchCoversWindow(114, 90, 25));
+}
+
+TEST(Eq3, OnGlitchFeasibility) {
+  const GkTiming gk = idealGk(1000, 1000, 80);
+  // tArrival + D_ready + D_react must land inside [LB, UB].
+  EXPECT_TRUE(feasibleOnGlitch(2000, gk, true, 100, 4000));
+  EXPECT_FALSE(feasibleOnGlitch(3000, gk, true, 100, 4000));  // 4080 > 4000
+  EXPECT_TRUE(feasibleOnGlitch(2920, gk, true, 100, 4000));   // == UB
+  // Falling uses PathA; asymmetric paths flip the verdict.
+  const GkTiming asym = idealGk(500, 2000, 80);
+  EXPECT_FALSE(feasibleOnGlitch(2000, asym, true, 100, 4000));   // 4080
+  EXPECT_TRUE(feasibleOnGlitch(2000, asym, false, 100, 4000));   // 2580
+}
+
+TEST(Eq4, OffGlitchUsesMaxPath) {
+  const GkTiming asym = idealGk(500, 2000, 80);
+  // max(DPath) + mux + tArrival within bounds.
+  EXPECT_TRUE(feasibleOffGlitch(1000, asym, 100, 4000));   // 3080
+  EXPECT_FALSE(feasibleOffGlitch(2000, asym, 100, 4000));  // 4080
+}
+
+TEST(Eq5, PaperFig9OnGlitchWindow) {
+  // Paper numbers: Tclk=8ns, Tsu=Th=1ns, T_j(capture)=8ns, L=3ns, ideal.
+  GkTiming gk = idealGk(ns(3), ns(3), 0);
+  const TriggerWindow w =
+      triggerWindowOnGlitch(/*tArrival=*/0, gk, true, ns(8), ns(1), ns(7));
+  EXPECT_EQ(w.lo, ns(6));  // T_j + Th - L - D_react
+  EXPECT_EQ(w.hi, ns(7));  // UB - D_react
+  EXPECT_TRUE(w.valid());
+  EXPECT_TRUE(w.contains(ns(6) + 500));
+  EXPECT_FALSE(w.contains(ns(6)));  // open interval
+}
+
+TEST(Eq5, DataReadinessBindsTheWindow) {
+  GkTiming gk = idealGk(ns(3), ns(3), 0);
+  // Late-arriving data pushes the lower edge to tArrival + D_ready.
+  const TriggerWindow w =
+      triggerWindowOnGlitch(ns(4), gk, true, ns(8), ns(1), ns(7));
+  EXPECT_EQ(w.lo, ns(7));  // 4 + 3 > 6
+  EXPECT_FALSE(w.valid());
+}
+
+TEST(Eq6, PaperFig9OffGlitchWindow) {
+  GkTiming gk = idealGk(ns(3), ns(3), 0);
+  const TriggerWindow w = triggerWindowOffGlitch(gk, true, ns(1), ns(7));
+  EXPECT_EQ(w.lo, ns(1));  // LB - D_react
+  EXPECT_EQ(w.hi, ns(4));  // UB - L - D_react
+}
+
+TEST(Eq6, MuxDelayShiftsBothEdges) {
+  GkTiming gk = idealGk(ns(3), ns(3), 100);
+  const TriggerWindow w = triggerWindowOffGlitch(gk, true, ns(1), ns(7));
+  EXPECT_EQ(w.lo, ns(1) - 100);
+  EXPECT_EQ(w.hi, ns(7) - ns(3) - 100 - 100);  // L = path + mux
+}
+
+TEST(TriggerWindow, Helpers) {
+  TriggerWindow w{100, 300};
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.width(), 200);
+  EXPECT_TRUE(w.contains(200));
+  EXPECT_FALSE(w.contains(100));
+  EXPECT_FALSE(w.contains(300));
+  TriggerWindow bad{300, 100};
+  EXPECT_FALSE(bad.valid());
+  EXPECT_EQ(bad.width(), 0);
+}
+
+// --- simulated confirmation: the analytic windows predict the simulator ---
+
+struct SweepFixture {
+  Ps tclk = ns(8);
+  Ps glitchLen = ns(3);
+
+  /// One GK + flop, key transition at `trig`; returns {capturedX, violated}.
+  std::pair<bool, bool> probe(Ps trig) {
+    const CellLibrary& lib = CellLibrary::tsmc013c();
+    Netlist nl("sweep");
+    const NetId x = nl.addPI("x");
+    const NetId key = nl.addPI("key");
+    const GkInstance gk = buildGk(nl, x, key, false,
+                                  glitchLen - lib.maxDelay(CellKind::kXnor2),
+                                  glitchLen - lib.maxDelay(CellKind::kXor2),
+                                  "gk");
+    const NetId q = nl.addNet("q");
+    nl.addGate(CellKind::kDff, {gk.y}, q);
+    nl.markPO(q);
+    EventSimConfig cfg;
+    cfg.clockPeriod = tclk;
+    cfg.simTime = tclk + ns(2);
+    EventSim sim(nl, cfg);
+    sim.setInitialInput(x, Logic::T);
+    sim.setInitialInput(key, Logic::F);
+    sim.drive(key, trig, Logic::T);
+    sim.run();
+    const Logic got = sim.valueAt(q, tclk + lib.clkToQ() + 20);
+    return {got == Logic::T, !sim.violations().empty()};
+  }
+};
+
+TEST(WindowsVsSimulation, FinePinpointsAllThreeRegimes) {
+  SweepFixture f;
+  // Deep inside the on-glitch window: capture x.
+  auto [onX, onV] = f.probe(ns(7) - 500);
+  EXPECT_TRUE(onX);
+  EXPECT_FALSE(onV);
+  // Deep inside the off-glitch window: capture x'.
+  auto [offX, offV] = f.probe(ns(2));
+  EXPECT_FALSE(offX);
+  EXPECT_FALSE(offV);
+  // Fine sweep: somewhere between the windows a trigger must violate
+  // (glitch edge crossing the capture window).
+  bool foundViolation = false;
+  for (Ps trig = ns(4); trig <= ns(5) && !foundViolation; trig += 10)
+    foundViolation = f.probe(trig).second;
+  EXPECT_TRUE(foundViolation);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,85 @@
+#include "core/gk_encryptor.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+
+namespace gkll {
+namespace {
+
+TEST(GkEncryptor, EncryptVerifiesAndReportsOverheads) {
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = enc.encrypt(opt);
+  ASSERT_EQ(r.insertions.size(), 4u);
+  EXPECT_TRUE(r.verify.ok());
+  EXPECT_GT(r.cellOverheadPct, 0);
+  EXPECT_GT(r.areaOverheadPct, 0);
+  EXPECT_EQ(r.originalStats.numCells, 341u);
+}
+
+TEST(GkEncryptor, CorruptionUnderWrongKeys) {
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = enc.encrypt(opt);
+  const CorruptionReport c = enc.measureCorruption(r, 8);
+  EXPECT_EQ(c.trials, 8);
+  EXPECT_EQ(c.corruptedTrials, 8);  // every wrong key corrupts
+  EXPECT_GT(c.avgStateMismatches, 0.0);
+}
+
+TEST(GkEncryptor, AttackReportShowsTheHeadlineResults) {
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult r = enc.encrypt(opt);
+  ASSERT_EQ(r.insertions.size(), 2u);
+  const AttackReport rep = enc.attackReport(r);
+  EXPECT_TRUE(rep.satDefeated);
+  EXPECT_TRUE(rep.sat.unsatAtFirstIteration);
+  EXPECT_FALSE(rep.removalLocated);
+  // Without withholding, the enhanced removal attack wins (Sec. V-D).
+  EXPECT_FALSE(rep.enhancedRemovalDefeated);
+}
+
+TEST(GkEncryptor, WithholdingClosesTheEnhancedRemovalHole) {
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 2;
+  opt.withholding = true;
+  const GkFlowResult r = enc.encrypt(opt);
+  ASSERT_EQ(r.insertions.size(), 2u);
+  EXPECT_TRUE(r.verify.ok());  // re-verified after the LUT swap
+  const AttackReport rep = enc.attackReport(r);
+  EXPECT_TRUE(rep.satDefeated);
+  EXPECT_TRUE(rep.enhancedRemovalDefeated);
+  EXPECT_EQ(rep.enhancedRemoval.unmodelable, 2);
+}
+
+TEST(GkEncryptor, AttackSurfaceInterfaceAligned) {
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 3;
+  opt.hybridXorKeys = 5;
+  const GkFlowResult r = enc.encrypt(opt);
+  const auto surf = enc.attackSurface(r);
+  EXPECT_EQ(surf.gkKeys.size(), 3u);
+  EXPECT_EQ(surf.otherKeys.size(), 5u);
+  EXPECT_EQ(surf.comb.outputs().size(), surf.oracleComb.outputs().size());
+  EXPECT_EQ(surf.comb.inputs().size(),
+            surf.oracleComb.inputs().size() + 3 + 5);
+  EXPECT_FALSE(surf.comb.validate().has_value());
+}
+
+TEST(GkEncryptor, CorruptionOnEmptyLockIsZero) {
+  GkEncryptor enc(makeToySeq());
+  GkFlowResult empty;  // nothing locked
+  const CorruptionReport c = enc.measureCorruption(empty, 4);
+  EXPECT_EQ(c.trials, 0);
+  EXPECT_EQ(c.corruptedTrials, 0);
+}
+
+}  // namespace
+}  // namespace gkll

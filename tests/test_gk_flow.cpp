@@ -1,0 +1,170 @@
+#include "flow/gk_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+
+namespace gkll {
+namespace {
+
+TEST(GkFlow, BasicInsertionOnBenchmark) {
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  EXPECT_EQ(r.insertions.size(), 4u);
+  EXPECT_EQ(r.lockedFfs.size(), 4u);
+  EXPECT_EQ(r.design.keyInputs.size(), 8u);  // 2 bits per GK
+  EXPECT_EQ(r.design.correctKey.size(), 8u);
+  EXPECT_GT(r.clockPeriod, 0);
+  EXPECT_FALSE(r.design.netlist.validate().has_value());
+}
+
+TEST(GkFlow, CorrectKeyVerifies) {
+  const Netlist orig = generateByName("s5378");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  ASSERT_EQ(r.insertions.size(), 4u);
+  EXPECT_TRUE(r.verify.ok()) << r.verify.stateMismatches << " state, "
+                             << r.verify.poMismatches << " PO, "
+                             << r.verify.simViolations << " violations";
+  EXPECT_EQ(r.trueViolations, 0);
+}
+
+TEST(GkFlow, CorrectBehaviourIsATransition) {
+  // Paper Sec. VI: every inserted GK transmits on the glitch level, so
+  // the secret behaviour must be TrigA or TrigB, never a constant.
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  for (const GkInsertion& ins : r.insertions) {
+    EXPECT_TRUE(ins.correct == GkBehavior::kTrigA ||
+                ins.correct == GkBehavior::kTrigB);
+  }
+}
+
+TEST(GkFlow, StaReportsFalseViolationsOnGkPaths) {
+  // Paper Sec. IV-B: "EDA tools will report that the FF at the output of
+  // the GK is violated" — a deliberate, false violation.
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  EXPECT_EQ(r.falseViolations, 4);
+  EXPECT_EQ(r.trueViolations, 0);
+}
+
+TEST(GkFlow, KeepsTheOriginalClockPeriod) {
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 2;
+  opt.clockPeriod = ns(6);
+  const GkFlowResult r = runGkFlow(orig, opt);
+  EXPECT_EQ(r.clockPeriod, ns(6));
+}
+
+TEST(GkFlow, OverheadGrowsWithGkCount) {
+  const Netlist orig = generateByName("s5378");
+  GkFlowOptions o4;
+  o4.numGks = 4;
+  GkFlowOptions o8;
+  o8.numGks = 8;
+  const GkFlowResult r4 = runGkFlow(orig, o4);
+  const GkFlowResult r8 = runGkFlow(orig, o8);
+  ASSERT_EQ(r4.insertions.size(), 4u);
+  ASSERT_EQ(r8.insertions.size(), 8u);
+  EXPECT_GT(r8.cellOverheadPct, r4.cellOverheadPct);
+  EXPECT_GT(r8.areaOverheadPct, r4.areaOverheadPct);
+  EXPECT_GT(r4.cellOverheadPct, 0);
+}
+
+TEST(GkFlow, HybridAddsXorKeys) {
+  const Netlist orig = generateByName("s5378");
+  GkFlowOptions opt;
+  opt.numGks = 4;
+  opt.hybridXorKeys = 8;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  ASSERT_EQ(r.insertions.size(), 4u);
+  EXPECT_EQ(r.design.keyInputs.size(), 16u);
+  EXPECT_EQ(r.design.scheme, "gk+xor");
+  EXPECT_TRUE(r.verify.ok());
+  EXPECT_EQ(r.trueViolations, 0);  // slack filtering protects the period
+}
+
+TEST(GkFlow, InsertsAtMostAvailable) {
+  const Netlist orig = generateByName("s1238");  // 16 available flops
+  GkFlowOptions opt;
+  opt.numGks = 100;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  EXPECT_LE(r.insertions.size(), r.availableFfs);
+  EXPECT_GT(r.insertions.size(), 0u);
+}
+
+TEST(GkFlow, MapDelaysOffLeavesIdealElements) {
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 2;
+  opt.mapDelays = false;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  int ideal = 0;
+  for (GateId g = 0; g < r.design.netlist.numGates(); ++g)
+    if (r.design.netlist.gate(g).kind == CellKind::kDelay) ++ideal;
+  EXPECT_EQ(ideal, 2 * 4);  // A, B in the GK + two ADB taps per KEYGEN
+  EXPECT_TRUE(r.verify.ok());
+}
+
+TEST(GkFlow, DeterministicForSeed) {
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 3;
+  const GkFlowResult a = runGkFlow(orig, opt);
+  const GkFlowResult b = runGkFlow(orig, opt);
+  EXPECT_EQ(a.design.correctKey, b.design.correctKey);
+  EXPECT_EQ(a.lockedFfs, b.lockedFfs);
+  EXPECT_EQ(a.cellOverheadPct, b.cellOverheadPct);
+}
+
+TEST(GkFlow, SeedVariesSelection) {
+  const Netlist orig = generateByName("s5378");
+  GkFlowOptions a, b;
+  a.numGks = b.numGks = 4;
+  a.seed = 11;
+  b.seed = 12;
+  const GkFlowResult ra = runGkFlow(orig, a);
+  const GkFlowResult rb = runGkFlow(orig, b);
+  EXPECT_NE(ra.lockedFfs, rb.lockedFfs);
+}
+
+TEST(GkFlow, ClockArrivalsCoverAllFlops) {
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  EXPECT_EQ(r.clockArrival.size(), r.design.netlist.flops().size());
+  // KEYGEN flops ride the trunk (arrival 0).
+  for (std::size_t i = orig.flops().size(); i < r.clockArrival.size(); ++i)
+    EXPECT_EQ(r.clockArrival[i], kPostPlacementClockArrival);
+}
+
+TEST(VerifySequentialFn, DetectsDeliberateCorruption) {
+  // Flipping one GK key bit must produce mismatches.
+  const Netlist orig = generateByName("s1238");
+  GkFlowOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult r = runGkFlow(orig, opt);
+  ASSERT_TRUE(r.verify.ok());
+  std::vector<int> bad = r.design.correctKey;
+  bad[0] ^= 1;
+  VerifyOptions vo;
+  vo.clockPeriod = r.clockPeriod;
+  vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+  const VerifyReport v =
+      verifySequential(orig, r.design.netlist, orig.flops().size(),
+                       r.clockArrival, r.design.keyInputs, bad, vo);
+  EXPECT_GT(v.stateMismatches, 0);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,98 @@
+// Parameterised flow invariants: for every (circuit, GK-count)
+// configuration the Sec. IV-B flow must deliver the same guarantees —
+// verified function under the correct key, clean STA apart from the
+// deliberate GK-path violations, exact key bookkeeping, and feasible
+// trigger windows for every insertion.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/gk_flow.h"
+
+namespace gkll {
+namespace {
+
+struct SweepCase {
+  const char* circuit;
+  int gks;
+};
+
+class FlowSweep : public testing::TestWithParam<SweepCase> {};
+
+GkFlowResult run(const SweepCase& c) {
+  GkFlowOptions opt;
+  opt.numGks = c.gks;
+  opt.seed = 11 + static_cast<std::uint64_t>(c.gks);
+  return runGkFlow(generateByName(c.circuit), opt);
+}
+
+TEST_P(FlowSweep, VerifiedAndClean) {
+  const GkFlowResult r = run(GetParam());
+  ASSERT_EQ(static_cast<int>(r.insertions.size()), GetParam().gks);
+  EXPECT_TRUE(r.verify.ok())
+      << GetParam().circuit << "/" << GetParam().gks << ": "
+      << r.verify.stateMismatches << "/" << r.verify.poMismatches << "/"
+      << r.verify.simViolations;
+  EXPECT_EQ(r.trueViolations, 0);
+  EXPECT_EQ(r.falseViolations, GetParam().gks);
+}
+
+TEST_P(FlowSweep, KeyBookkeeping) {
+  const GkFlowResult r = run(GetParam());
+  EXPECT_EQ(r.design.keyInputs.size(), 2u * r.insertions.size());
+  EXPECT_EQ(r.design.correctKey.size(), r.design.keyInputs.size());
+  for (std::size_t i = 0; i < r.insertions.size(); ++i) {
+    EXPECT_EQ(r.design.keyInputs[2 * i], r.insertions[i].keygen.k1);
+    EXPECT_EQ(r.design.keyInputs[2 * i + 1], r.insertions[i].keygen.k2);
+    const auto [k1, k2] = keyBitsFor(r.insertions[i].correct);
+    EXPECT_EQ(r.design.correctKey[2 * i], k1);
+    EXPECT_EQ(r.design.correctKey[2 * i + 1], k2);
+  }
+}
+
+TEST_P(FlowSweep, HostsAreDistinctOriginalFlops) {
+  const GkFlowResult r = run(GetParam());
+  const Netlist orig = generateByName(GetParam().circuit);
+  std::set<GateId> seen;
+  for (GateId ff : r.lockedFfs) {
+    EXPECT_TRUE(seen.insert(ff).second) << "duplicate host";
+    EXPECT_NE(std::find(orig.flops().begin(), orig.flops().end(), ff),
+              orig.flops().end());
+  }
+}
+
+TEST_P(FlowSweep, NoIdealDelaysSurviveMapping) {
+  const GkFlowResult r = run(GetParam());
+  for (GateId g = 0; g < r.design.netlist.numGates(); ++g)
+    EXPECT_NE(r.design.netlist.gate(g).kind, CellKind::kDelay);
+}
+
+TEST_P(FlowSweep, StatsConsistent) {
+  const GkFlowResult r = run(GetParam());
+  const NetlistStats st = r.design.netlist.stats();
+  EXPECT_EQ(st.numCells, r.lockedStats.numCells);
+  EXPECT_GT(r.lockedStats.numCells, r.originalStats.numCells);
+  // One KEYGEN flop per insertion.
+  EXPECT_EQ(st.numFFs, r.originalStats.numFFs + r.insertions.size());
+  const double expectCellOh =
+      100.0 *
+      (static_cast<double>(r.lockedStats.numCells) -
+       static_cast<double>(r.originalStats.numCells)) /
+      static_cast<double>(r.originalStats.numCells);
+  EXPECT_DOUBLE_EQ(r.cellOverheadPct, expectCellOh);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, FlowSweep,
+    testing::Values(SweepCase{"s1238", 2}, SweepCase{"s1238", 6},
+                    SweepCase{"s5378", 3}, SweepCase{"s5378", 10},
+                    SweepCase{"s9234", 5}, SweepCase{"s13207", 8},
+                    SweepCase{"s15850", 4}),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.circuit) + "_" +
+             std::to_string(info.param.gks);
+    });
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,248 @@
+#include "lock/glitch_keygate.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "sim/waveform.h"
+
+namespace gkll {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::tsmc013c(); }
+
+TEST(GkKeyBits, Fig6Order) {
+  EXPECT_EQ(keyBitsFor(GkBehavior::kConst0), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(keyBitsFor(GkBehavior::kTrigA), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(keyBitsFor(GkBehavior::kTrigB), (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(keyBitsFor(GkBehavior::kConst1), (std::pair<int, int>{1, 1}));
+}
+
+TEST(GkTimingModel, Eq2GlitchLengths) {
+  GkParams p;
+  p.gkDelayA = 2000;
+  p.gkDelayB = 3000;
+  const GkTiming t = gkTiming(p);
+  EXPECT_EQ(t.dPathA, 2000 + lib().maxDelay(CellKind::kXnor2));
+  EXPECT_EQ(t.dPathB, 3000 + lib().maxDelay(CellKind::kXor2));
+  EXPECT_EQ(t.dMux, lib().maxDelay(CellKind::kMux2));
+  // Eq. (2): L = D_Path + D_MUX.
+  EXPECT_EQ(t.glitchLenRising(), t.dPathB + t.dMux);
+  EXPECT_EQ(t.glitchLenFalling(), t.dPathA + t.dMux);
+  EXPECT_EQ(t.readyRising(), t.dPathB);
+  EXPECT_EQ(t.readyFalling(), t.dPathA);
+  EXPECT_EQ(t.react(), t.dMux);
+}
+
+TEST(GkTimingModel, BufferVariantSwapsGates) {
+  GkParams p;
+  p.gkDelayA = 1000;
+  p.gkDelayB = 1000;
+  p.bufferVariant = true;
+  const GkTiming t = gkTiming(p);
+  EXPECT_EQ(t.dPathA, 1000 + lib().maxDelay(CellKind::kXor2));
+  EXPECT_EQ(t.dPathB, 1000 + lib().maxDelay(CellKind::kXnor2));
+}
+
+TEST(KeygenTiming, TriggerArithmetic) {
+  EXPECT_EQ(keygenTriggerTime(0), keygenEarliestTrigger());
+  EXPECT_EQ(keygenTriggerTime(500), keygenEarliestTrigger() + 500);
+  EXPECT_EQ(keygenTapForTrigger(keygenTriggerTime(777)), 777);
+  EXPECT_LT(keygenTapForTrigger(0), 0);  // infeasible: before any tap
+}
+
+struct GkHarness {
+  Netlist nl{"gk"};
+  NetId x = kNoNet, key = kNoNet;
+  GkInstance gk;
+};
+
+GkHarness makeGk(bool bufferVariant, Ps da = ns(2), Ps db = ns(3)) {
+  GkHarness h;
+  h.x = h.nl.addPI("x");
+  h.key = h.nl.addPI("key");
+  h.gk = buildGk(h.nl, h.x, h.key, bufferVariant, da, db, "gk");
+  h.nl.markPO(h.gk.y);
+  return h;
+}
+
+TEST(GkStructure, VariantAGateKinds) {
+  const GkHarness h = makeGk(false);
+  EXPECT_EQ(h.nl.gate(h.gk.xnorGate).kind, CellKind::kXnor2);
+  EXPECT_EQ(h.nl.gate(h.gk.xorGate).kind, CellKind::kXor2);
+  EXPECT_EQ(h.nl.gate(h.gk.muxGate).kind, CellKind::kMux2);
+  // MUX select is the key, data 0 = XNOR (selected when key = 0).
+  EXPECT_EQ(h.nl.gate(h.gk.muxGate).fanin[0], h.key);
+  EXPECT_EQ(h.nl.gate(h.gk.muxGate).fanin[1], h.nl.gate(h.gk.xnorGate).out);
+  EXPECT_FALSE(h.nl.validate().has_value());
+}
+
+TEST(GkBehaviorSim, VariantAConstantKeysInvert) {
+  for (int keyVal = 0; keyVal <= 1; ++keyVal) {
+    for (int xVal = 0; xVal <= 1; ++xVal) {
+      GkHarness h = makeGk(false);
+      EventSimConfig cfg;
+      cfg.simTime = ns(10);
+      cfg.clockedFlops = false;
+      EventSim sim(h.nl, cfg);
+      sim.setInitialInput(h.x, logicFromBool(xVal));
+      sim.setInitialInput(h.key, logicFromBool(keyVal));
+      sim.run();
+      EXPECT_EQ(sim.valueAt(h.gk.y, ns(9)), logicFromBool(!xVal))
+          << "key=" << keyVal << " x=" << xVal;
+    }
+  }
+}
+
+TEST(GkBehaviorSim, VariantBConstantKeysBuffer) {
+  for (int keyVal = 0; keyVal <= 1; ++keyVal) {
+    GkHarness h = makeGk(true);
+    EventSimConfig cfg;
+    cfg.simTime = ns(10);
+    cfg.clockedFlops = false;
+    EventSim sim(h.nl, cfg);
+    sim.setInitialInput(h.x, Logic::T);
+    sim.setInitialInput(h.key, logicFromBool(keyVal));
+    sim.run();
+    EXPECT_EQ(sim.valueAt(h.gk.y, ns(9)), Logic::T);
+  }
+}
+
+TEST(GkBehaviorSim, Fig4GlitchLengthsAndLevels) {
+  // Variant (a), x=1: rising key glitch of ~DB at level x, falling key
+  // glitch of ~DA at level x.
+  GkHarness h = makeGk(false, ns(2), ns(3));
+  EventSimConfig cfg;
+  cfg.simTime = ns(18);
+  cfg.clockedFlops = false;
+  EventSim sim(h.nl, cfg);
+  sim.setInitialInput(h.x, Logic::T);
+  sim.setInitialInput(h.key, Logic::F);
+  sim.drive(h.key, ns(3), Logic::T);
+  sim.drive(h.key, ns(11), Logic::F);
+  sim.run();
+
+  const auto g = glitches(sim.wave(h.gk.y), 0, ns(18), ns(4));
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0].level, Logic::T);  // buffer level = x
+  EXPECT_EQ(g[1].level, Logic::T);
+  // Widths ~ delay element + function-gate delay (within 30 ps).
+  EXPECT_NEAR(static_cast<double>(g[0].width()), 3000 + 85, 30);
+  EXPECT_NEAR(static_cast<double>(g[1].width()), 2000 + 88, 30);
+  // Starts shortly (one MUX delay) after the key transitions.
+  EXPECT_NEAR(static_cast<double>(g[0].start - ns(3)), 80, 10);
+  EXPECT_NEAR(static_cast<double>(g[1].start - ns(11)), 75, 10);
+}
+
+TEST(GkBehaviorSim, VariantBGlitchesAtInvertedLevel) {
+  GkHarness h = makeGk(true, ns(2), ns(2));
+  EventSimConfig cfg;
+  cfg.simTime = ns(10);
+  cfg.clockedFlops = false;
+  EventSim sim(h.nl, cfg);
+  sim.setInitialInput(h.x, Logic::T);
+  sim.setInitialInput(h.key, Logic::F);
+  sim.drive(h.key, ns(3), Logic::T);
+  sim.run();
+  const auto g = glitches(sim.wave(h.gk.y), 0, ns(10), ns(4));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].level, Logic::F);  // inverter level = x'
+}
+
+TEST(GkBehaviorSim, GlitchTracksXChangesBeforeTrigger) {
+  // If x settles before the key transition (D_ready honoured), the glitch
+  // carries the *new* x.
+  GkHarness h = makeGk(false, ns(1), ns(1));
+  EventSimConfig cfg;
+  cfg.simTime = ns(10);
+  cfg.clockedFlops = false;
+  EventSim sim(h.nl, cfg);
+  sim.setInitialInput(h.x, Logic::F);
+  sim.setInitialInput(h.key, Logic::F);
+  sim.drive(h.x, ns(2), Logic::T);    // settles well before...
+  sim.drive(h.key, ns(5), Logic::T);  // ...the trigger
+  sim.run();
+  const auto g = glitches(sim.wave(h.gk.y), ns(4), ns(10), ns(2));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].level, Logic::T);
+}
+
+TEST(InsertGkAtFlop, OnlyFlopPinRerouted) {
+  Netlist nl = makeToySeq();
+  const GateId ff = nl.flops()[2];
+  const NetId d = nl.gate(ff).fanin[0];
+  const std::size_t othersBefore = nl.net(d).fanouts.size() - 1;
+  GkParams p;
+  const GkInsertion ins = insertGkAtFlop(nl, ff, p, "g");
+  EXPECT_EQ(nl.gate(ff).fanin[0], ins.gk.y);
+  // d still feeds its other readers plus the GK's two function gates.
+  EXPECT_EQ(nl.net(d).fanouts.size(), othersBefore + 2);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(InsertGkAtFlop, AddsKeygenFlopAndKeyInputs) {
+  Netlist nl = makeToySeq();
+  const std::size_t ffs = nl.flops().size();
+  const std::size_t pis = nl.inputs().size();
+  GkParams p;
+  const GkInsertion ins = insertGkAtFlop(nl, nl.flops()[0], p, "g");
+  EXPECT_EQ(nl.flops().size(), ffs + 1);  // the toggle flop
+  EXPECT_EQ(nl.inputs().size(), pis + 2);  // k1, k2
+  EXPECT_NE(ins.keygen.toggleFf, kNoGate);
+  EXPECT_EQ(nl.gate(ins.keygen.toggleFf).kind, CellKind::kDff);
+}
+
+TEST(StripKeygens, RemovesKeygenExposesKey) {
+  Netlist nl = makeToySeq();
+  const Netlist orig = makeToySeq();
+  GkParams p;
+  std::vector<GkInsertion> ins;
+  ins.push_back(insertGkAtFlop(nl, nl.flops()[0], p, "g0"));
+  ins.push_back(insertGkAtFlop(nl, nl.flops()[1], p, "g1"));
+
+  std::vector<NetId> keys;
+  const Netlist stripped = stripKeygens(nl, ins, keys);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(stripped.flops().size(), orig.flops().size());  // toggles gone
+  EXPECT_EQ(stripped.inputs().size(), orig.inputs().size() + 2);
+  for (NetId k : keys) {
+    const GateId d = stripped.net(k).driver;
+    EXPECT_EQ(stripped.gate(d).kind, CellKind::kInput);
+  }
+  EXPECT_FALSE(stripped.validate().has_value());
+}
+
+TEST(StripKeygens, StaticGkIsKeyInsensitive) {
+  // In the stripped combinational view, both key constants give y = x'
+  // (variant a) — the CNF-invisibility property of Sec. V-A.
+  Netlist nl = makeToySeq();
+  GkParams p;
+  std::vector<GkInsertion> ins;
+  ins.push_back(insertGkAtFlop(nl, nl.flops()[0], p, "g0"));
+  std::vector<NetId> keys;
+  const Netlist stripped = stripKeygens(nl, ins, keys);
+  const CombExtraction comb = extractCombinational(stripped);
+  const NetId key = comb.netMap[keys[0]];
+
+  // Evaluate with key = 0 and key = 1: all outputs identical.
+  for (int other = 0; other < 4; ++other) {
+    std::vector<Logic> in(comb.netlist.inputs().size(), Logic::F);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      in[i] = logicFromBool((static_cast<int>(i) + other) % 3 == 0);
+    std::vector<Logic> in0 = in, in1 = in;
+    for (std::size_t i = 0; i < comb.netlist.inputs().size(); ++i) {
+      if (comb.netlist.inputs()[i] == key) {
+        in0[i] = Logic::F;
+        in1[i] = Logic::T;
+      }
+    }
+    const auto o0 = outputValues(comb.netlist, evalCombinational(comb.netlist, in0));
+    const auto o1 = outputValues(comb.netlist, evalCombinational(comb.netlist, in1));
+    EXPECT_EQ(o0, o1);
+  }
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,91 @@
+// End-to-end properties across the whole stack, parameterised over the
+// benchmark suite: encrypt -> verify -> attack, the full paper pipeline.
+#include <gtest/gtest.h>
+
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+
+namespace gkll {
+namespace {
+
+/// The five small/medium circuits keep the suite fast; the two 38k
+/// circuits are covered by the benches.
+std::vector<BenchSpec> smallSpecs() {
+  std::vector<BenchSpec> out;
+  for (const BenchSpec& s : iwls2005Specs())
+    if (s.cells < 2000) out.push_back(s);
+  return out;
+}
+
+class PipelineTest : public testing::TestWithParam<BenchSpec> {};
+
+TEST_P(PipelineTest, EncryptVerifyAttack) {
+  const Netlist orig = generateBenchmark(GetParam());
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 4u) << GetParam().name;
+
+  // Correct key: timing-accurate equivalence.
+  EXPECT_TRUE(locked.verify.ok())
+      << GetParam().name << ": " << locked.verify.stateMismatches << "/"
+      << locked.verify.poMismatches << "/" << locked.verify.simViolations;
+  EXPECT_EQ(locked.trueViolations, 0);
+
+  // SAT attack: the paper's headline.
+  const auto surf = enc.attackSurface(locked);
+  const SatAttackResult sat =
+      satAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+  EXPECT_TRUE(sat.unsatAtFirstIteration) << GetParam().name;
+  EXPECT_FALSE(sat.decrypted) << GetParam().name;
+}
+
+TEST_P(PipelineTest, WrongKeysCorrupt) {
+  const Netlist orig = generateBenchmark(GetParam());
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 2u);
+  const CorruptionReport c = enc.measureCorruption(locked, 4);
+  EXPECT_EQ(c.corruptedTrials, 4) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSuite, PipelineTest,
+                         testing::ValuesIn(smallSpecs()),
+                         [](const testing::TestParamInfo<BenchSpec>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Integration, LockedNetlistSurvivesBenchRoundTrip) {
+  // The encrypted netlist (with mapped delay chains) serialises to .bench
+  // and reparses into an equivalent static circuit.
+  GkEncryptor enc(generateByName("s1238"));
+  EncryptOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult locked = enc.encrypt(opt);
+  const auto parsed = parseBench(writeBench(locked.design.netlist), "rt");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const CombExtraction a = extractCombinational(locked.design.netlist);
+  const CombExtraction b = extractCombinational(parsed.netlist);
+  EXPECT_TRUE(sat::checkEquivalence(a.netlist, b.netlist).equivalent);
+}
+
+TEST(Integration, BiggestCircuitSmokeTest) {
+  // One pass over s38417 keeps the 38k-scale path exercised in CI.
+  GkEncryptor enc(generateByName("s38417"));
+  EncryptOptions opt;
+  opt.numGks = 4;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 4u);
+  EXPECT_TRUE(locked.verify.ok());
+  EXPECT_LT(locked.cellOverheadPct, 10.0);  // big host, small footprint
+}
+
+}  // namespace
+}  // namespace gkll

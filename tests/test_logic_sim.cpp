@@ -1,0 +1,124 @@
+#include "sim/logic_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+
+namespace gkll {
+namespace {
+
+TEST(EvalCombinational, C17KnownVectors) {
+  const Netlist c17 = makeC17();
+  // c17: G22 = NAND(G10, G16), G23 = NAND(G16, G19)
+  //   G10 = NAND(G1,G3)  G11 = NAND(G3,G6)  G16 = NAND(G2,G11)
+  //   G19 = NAND(G11,G7)
+  auto run = [&](int g1, int g2, int g3, int g6, int g7) {
+    const std::vector<Logic> in{logicFromBool(g1), logicFromBool(g2),
+                                logicFromBool(g3), logicFromBool(g6),
+                                logicFromBool(g7)};
+    return outputValues(c17, evalCombinational(c17, in));
+  };
+  // All-zero input: G10=1, G11=1, G16=1, G19=1 -> G22=0? NAND(1,1)=0.
+  auto out = run(0, 0, 0, 0, 0);
+  EXPECT_EQ(out[0], Logic::F);
+  EXPECT_EQ(out[1], Logic::F);
+  // Exhaustive self-consistency against a direct model.
+  for (int m = 0; m < 32; ++m) {
+    const int g1 = m & 1, g2 = (m >> 1) & 1, g3 = (m >> 2) & 1,
+              g6 = (m >> 3) & 1, g7 = (m >> 4) & 1;
+    const int g10 = !(g1 && g3), g11 = !(g3 && g6), g16 = !(g2 && g11),
+              g19 = !(g11 && g7);
+    const int g22 = !(g10 && g16), g23 = !(g16 && g19);
+    out = run(g1, g2, g3, g6, g7);
+    EXPECT_EQ(out[0], logicFromBool(g22)) << m;
+    EXPECT_EQ(out[1], logicFromBool(g23)) << m;
+  }
+}
+
+TEST(EvalCombinational, MissingInputsAreX) {
+  const Netlist c17 = makeC17();
+  const auto nets = evalCombinational(c17, {});
+  for (NetId po : c17.outputs()) EXPECT_EQ(nets[po], Logic::X);
+}
+
+TEST(EvalCombinational, SequentialNetlistGivesXStates) {
+  const Netlist toy = makeToySeq();
+  const auto nets =
+      evalCombinational(toy, std::vector<Logic>(toy.inputs().size(), Logic::T));
+  // Flop outputs are unknown in a purely combinational evaluation.
+  for (GateId f : toy.flops()) EXPECT_EQ(nets[toy.gate(f).out], Logic::X);
+}
+
+TEST(SequentialSim, CounterCountsWithEnable) {
+  const Netlist toy = makeToySeq();
+  SequentialSim sim(toy);
+  sim.reset();
+  // With en=1 the 4-bit state increments each cycle.
+  int expected = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    sim.step({Logic::T});
+    expected = (expected + 1) & 0xF;
+    int got = 0;
+    for (int b = 0; b < 4; ++b)
+      if (sim.state()[static_cast<std::size_t>(b)] == Logic::T) got |= 1 << b;
+    EXPECT_EQ(got, expected) << "cycle " << cycle;
+  }
+}
+
+TEST(SequentialSim, EnableFreezesState) {
+  const Netlist toy = makeToySeq();
+  SequentialSim sim(toy);
+  sim.reset();
+  sim.step({Logic::T});
+  const auto snapshot = sim.state();
+  for (int i = 0; i < 5; ++i) sim.step({Logic::F});
+  EXPECT_EQ(sim.state(), snapshot);
+}
+
+TEST(SequentialSim, OutputsAreMealySampledPreEdge) {
+  const Netlist toy = makeToySeq();
+  SequentialSim sim(toy);
+  sim.reset();
+  // PO[1] mirrors q0 of the *current* state (before the edge): first step
+  // sees q0 = 0.
+  const auto out = sim.step({Logic::T});
+  EXPECT_EQ(out[1], Logic::F);
+  const auto out2 = sim.step({Logic::T});
+  EXPECT_EQ(out2[1], Logic::T);  // q0 toggled at the previous edge
+}
+
+TEST(SequentialSim, SetStateRoundTrips) {
+  const Netlist toy = makeToySeq();
+  SequentialSim sim(toy);
+  const std::vector<Logic> s{Logic::T, Logic::F, Logic::T, Logic::T};
+  sim.setState(s);
+  EXPECT_EQ(sim.state(), s);
+}
+
+TEST(SequentialSim, XStateStaysUntilReset) {
+  const Netlist toy = makeToySeq();
+  SequentialSim sim(toy);
+  // Default-constructed state is X; stepping with en=1 XORs X in.
+  const auto out = sim.step({Logic::T});
+  (void)out;
+  EXPECT_EQ(sim.state()[0], Logic::X);
+  sim.reset();
+  EXPECT_EQ(sim.state()[0], Logic::F);
+}
+
+TEST(SequentialSim, DeterministicOnBenchmarks) {
+  const Netlist nl = generateByName("s1238");
+  SequentialSim a(nl), b(nl);
+  a.reset();
+  b.reset();
+  const std::vector<Logic> in(nl.inputs().size(), Logic::T);
+  for (int i = 0; i < 10; ++i) {
+    const auto oa = a.step(in);
+    const auto ob = b.step(in);
+    EXPECT_EQ(oa, ob);
+  }
+  EXPECT_EQ(a.state(), b.state());
+}
+
+}  // namespace
+}  // namespace gkll

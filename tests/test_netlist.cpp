@@ -1,0 +1,235 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gkll {
+namespace {
+
+Netlist makeSmall() {
+  // a, b PIs; n1 = AND(a,b); q = DFF(n1); y = XOR(q, a); PO y.
+  Netlist nl("small");
+  const NetId a = nl.addPI("a");
+  const NetId b = nl.addPI("b");
+  const NetId n1 = nl.addNet("n1");
+  nl.addGate(CellKind::kAnd2, {a, b}, n1);
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {n1}, q);
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kXor2, {q, a}, y);
+  nl.markPO(y);
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist nl = makeSmall();
+  EXPECT_EQ(nl.numNets(), 5u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.flops().size(), 1u);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(Netlist, FindNetByName) {
+  const Netlist nl = makeSmall();
+  ASSERT_TRUE(nl.findNet("n1").has_value());
+  EXPECT_FALSE(nl.findNet("nope").has_value());
+  const NetId n1 = *nl.findNet("n1");
+  EXPECT_EQ(nl.net(n1).name, "n1");
+}
+
+TEST(Netlist, AutoNamesAreUnique) {
+  Netlist nl;
+  const NetId a = nl.addNet();
+  const NetId b = nl.addNet();
+  EXPECT_NE(nl.net(a).name, nl.net(b).name);
+}
+
+TEST(Netlist, FanoutBookkeeping) {
+  const Netlist nl = makeSmall();
+  const NetId a = *nl.findNet("a");
+  // a feeds the AND and the XOR.
+  EXPECT_EQ(nl.net(a).fanouts.size(), 2u);
+  const NetId q = *nl.findNet("q");
+  EXPECT_EQ(nl.net(q).fanouts.size(), 1u);
+}
+
+TEST(Netlist, MultiPinReaderHasOneFanoutEntryPerPin) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kAnd2, {a, a}, y);  // reads a twice
+  EXPECT_EQ(nl.net(a).fanouts.size(), 2u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  const Netlist nl = makeSmall();
+  const auto order = nl.topoOrder();
+  ASSERT_EQ(order.size(), nl.numGates());
+  std::vector<int> pos(nl.numGates());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    for (NetId in : gg.fanin) {
+      const GateId d = nl.net(in).driver;
+      if (isSourceKind(nl.gate(d).kind) || nl.gate(d).kind == CellKind::kDff)
+        continue;
+      EXPECT_LT(pos[d], pos[g]);
+    }
+  }
+}
+
+TEST(Netlist, SequentialLoopIsNotACombinationalCycle) {
+  // q = DFF(INV(q)) — legal; the flop breaks the loop.
+  Netlist nl;
+  const NetId q = nl.addNet("q");
+  const NetId d = nl.addNet("d");
+  nl.addGate(CellKind::kInv, {q}, d);
+  nl.addGate(CellKind::kDff, {d}, q);
+  EXPECT_FALSE(nl.validate().has_value());
+  EXPECT_EQ(nl.topoOrder().size(), 2u);
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  const NetId b = nl.addNet("b");
+  nl.addGate(CellKind::kInv, {a}, b);
+  nl.addGate(CellKind::kInv, {b}, a);
+  EXPECT_TRUE(nl.validate().has_value());
+}
+
+TEST(Netlist, UndrivenReadNetDetected) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {a}, y);  // reads the undriven net
+  EXPECT_TRUE(nl.validate().has_value());
+}
+
+TEST(Netlist, OrphanNetIsLegal) {
+  // Undriven + unread + not a PO: a legal leftover of gate removal.
+  Netlist nl;
+  nl.addNet("orphan");
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(Netlist, UndrivenPoDetected) {
+  Netlist nl;
+  const NetId a = nl.addNet("a");
+  nl.markPO(a);
+  EXPECT_TRUE(nl.validate().has_value());
+}
+
+TEST(Netlist, RewireReadersMovesAllPins) {
+  Netlist nl = makeSmall();
+  const NetId n1 = *nl.findNet("n1");
+  const NetId w = nl.addNet("w");
+  nl.rewireReaders(n1, w);
+  // The DFF now reads w; n1 has no readers.
+  EXPECT_TRUE(nl.net(n1).fanouts.empty());
+  EXPECT_EQ(nl.net(w).fanouts.size(), 1u);
+  const GateId ff = nl.flops()[0];
+  EXPECT_EQ(nl.gate(ff).fanin[0], w);
+}
+
+TEST(Netlist, RewireReadersPreservesPoPosition) {
+  Netlist nl = makeSmall();
+  const NetId y = *nl.findNet("y");
+  const NetId y2 = nl.addNet("y2");
+  nl.rewireReaders(y, y2);
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.outputs()[0], y2);
+}
+
+TEST(Netlist, ReplaceFaninSinglePin) {
+  Netlist nl = makeSmall();
+  const GateId ff = nl.flops()[0];
+  const NetId n1 = *nl.findNet("n1");
+  const NetId w = nl.addNet("w");
+  nl.replaceFanin(ff, n1, w);
+  EXPECT_EQ(nl.gate(ff).fanin[0], w);
+  EXPECT_TRUE(nl.net(n1).fanouts.empty());
+  EXPECT_EQ(nl.net(w).fanouts.size(), 1u);
+}
+
+TEST(Netlist, RemoveGateTombstones) {
+  Netlist nl = makeSmall();
+  const NetId y = *nl.findNet("y");
+  const GateId xorGate = nl.net(y).driver;
+  nl.removeGate(xorGate);
+  EXPECT_EQ(nl.net(y).driver, kNoGate);
+  // The inputs no longer list the gate as a reader.
+  const NetId q = *nl.findNet("q");
+  EXPECT_TRUE(nl.net(q).fanouts.empty());
+  // Re-drive to restore validity.
+  nl.addGate(CellKind::kBuf, {q}, y);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(Netlist, RemoveFlopUpdatesFlopList) {
+  Netlist nl = makeSmall();
+  ASSERT_EQ(nl.flops().size(), 1u);
+  nl.removeGate(nl.flops()[0]);
+  EXPECT_TRUE(nl.flops().empty());
+}
+
+TEST(Netlist, ConstNetsAreCached) {
+  Netlist nl;
+  EXPECT_EQ(nl.constNet(false), nl.constNet(false));
+  EXPECT_EQ(nl.constNet(true), nl.constNet(true));
+  EXPECT_NE(nl.constNet(false), nl.constNet(true));
+}
+
+TEST(Netlist, UnregisterPI) {
+  Netlist nl = makeSmall();
+  const NetId a = *nl.findNet("a");
+  nl.unregisterPI(a);
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(std::count(nl.inputs().begin(), nl.inputs().end(), a), 0);
+}
+
+TEST(Netlist, AppendPOAllowsDuplicates) {
+  Netlist nl = makeSmall();
+  const NetId y = *nl.findNet("y");
+  nl.appendPO(y);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  nl.markPO(y);  // dedupes
+  EXPECT_EQ(nl.outputs().size(), 2u);
+}
+
+TEST(Netlist, StatsCountCellsAndArea) {
+  const Netlist nl = makeSmall();
+  const NetlistStats st = nl.stats();
+  EXPECT_EQ(st.numCells, 3u);  // AND + DFF + XOR (inputs don't count)
+  EXPECT_EQ(st.numFFs, 1u);
+  EXPECT_EQ(st.numPIs, 2u);
+  EXPECT_EQ(st.numPOs, 1u);
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  EXPECT_EQ(st.area, lib.info(CellKind::kAnd2).area +
+                         lib.info(CellKind::kDff).area +
+                         lib.info(CellKind::kXor2).area);
+}
+
+TEST(Netlist, DelayGateCarriesValue) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  const GateId g = nl.addDelay(a, y, 1234);
+  EXPECT_EQ(nl.gate(g).delayPs, 1234);
+  EXPECT_EQ(nl.gate(g).kind, CellKind::kDelay);
+}
+
+TEST(Netlist, LutGateCarriesMask) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId b = nl.addPI("b");
+  const NetId y = nl.addNet("y");
+  const GateId g = nl.addLut({a, b}, y, 0x6);
+  EXPECT_EQ(nl.gate(g).lutMask, 0x6u);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,184 @@
+#include "netlist/netlist_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchgen/synthetic_bench.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+
+namespace gkll {
+namespace {
+
+TEST(CloneNetlist, PreservesEverything) {
+  const Netlist src = makeToySeq();
+  std::vector<NetId> map;
+  const Netlist dst = cloneNetlist(src, map);
+  EXPECT_EQ(dst.numNets(), src.numNets());
+  EXPECT_EQ(dst.numGates(), src.numGates());
+  EXPECT_EQ(dst.inputs().size(), src.inputs().size());
+  EXPECT_EQ(dst.outputs().size(), src.outputs().size());
+  EXPECT_EQ(dst.flops().size(), src.flops().size());
+  EXPECT_FALSE(dst.validate().has_value());
+  // Behavioural identity.
+  SequentialSim a(src), b(dst);
+  a.reset();
+  b.reset();
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(a.step({Logic::T}), b.step({Logic::T}));
+}
+
+TEST(CloneNetlist, CopiesAnnotations) {
+  Netlist src("anno");
+  const NetId a = src.addPI("a");
+  const NetId d = src.addNet("d");
+  src.addDelay(a, d, 456);
+  src.net(d).wireDelay = 33;
+  const NetId l = src.addNet("l");
+  src.addLut({a, d}, l, 0xE);
+  src.markPO(l);
+
+  std::vector<NetId> map;
+  const Netlist dst = cloneNetlist(src, map);
+  const GateId dg = dst.net(map[d]).driver;
+  EXPECT_EQ(dst.gate(dg).delayPs, 456);
+  EXPECT_EQ(dst.net(map[d]).wireDelay, 33);
+  const GateId lg = dst.net(map[l]).driver;
+  EXPECT_EQ(dst.gate(lg).lutMask, 0xEu);
+}
+
+TEST(CloneNetlist, SkipsTombstones) {
+  Netlist src = makeC17();
+  const NetId g22 = *src.findNet("G22");
+  const GateId drv = src.net(g22).driver;
+  const auto fanin = src.gate(drv).fanin;
+  src.removeGate(drv);
+  src.addGate(CellKind::kAnd2, fanin, g22);
+  std::vector<NetId> map;
+  const Netlist dst = cloneNetlist(src, map);
+  EXPECT_EQ(dst.numGates(), src.numGates() - 1);  // tombstone dropped
+  EXPECT_FALSE(dst.validate().has_value());
+}
+
+TEST(ExtractCombinational, InterfaceShape) {
+  const Netlist seq = makeToySeq();
+  const CombExtraction c = extractCombinational(seq);
+  EXPECT_TRUE(c.netlist.flops().empty());
+  EXPECT_EQ(c.pseudoPIs.size(), seq.flops().size());
+  EXPECT_EQ(c.pseudoPOs.size(), seq.flops().size());
+  EXPECT_EQ(c.netlist.inputs().size(),
+            seq.inputs().size() + seq.flops().size());
+  EXPECT_EQ(c.netlist.outputs().size(),
+            seq.outputs().size() + seq.flops().size());
+  EXPECT_FALSE(c.netlist.validate().has_value());
+}
+
+TEST(ExtractCombinational, MatchesSequentialStep) {
+  // Property: evaluating the comb core at (state, inputs) equals one
+  // SequentialSim step's next-state and outputs.
+  const Netlist seq = makeToySeq();
+  const CombExtraction c = extractCombinational(seq);
+
+  for (int stateBits = 0; stateBits < 16; ++stateBits) {
+    for (int en = 0; en <= 1; ++en) {
+      std::vector<Logic> state;
+      for (int b = 0; b < 4; ++b)
+        state.push_back(logicFromBool((stateBits >> b) & 1));
+      SequentialSim ref(seq);
+      ref.setState(state);
+      const auto poRef = ref.step({logicFromBool(en)});
+
+      std::vector<Logic> in{logicFromBool(en)};
+      in.insert(in.end(), state.begin(), state.end());
+      const auto nets = evalCombinational(c.netlist, in);
+      const auto outs = outputValues(c.netlist, nets);
+      // Outputs: original POs first...
+      for (std::size_t i = 0; i < seq.outputs().size(); ++i)
+        EXPECT_EQ(outs[i], poRef[i]);
+      // ...then next-state on the pseudo POs.
+      for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(outs[seq.outputs().size() + i], ref.state()[i]);
+    }
+  }
+}
+
+TEST(ExtractCombinational, DelaysBecomeBuffers) {
+  Netlist seq("d");
+  const NetId a = seq.addPI("a");
+  const NetId d = seq.addNet("d");
+  seq.addDelay(a, d, 999);
+  const NetId q = seq.addNet("q");
+  seq.addGate(CellKind::kDff, {d}, q);
+  seq.markPO(q);
+  const CombExtraction c = extractCombinational(seq);
+  const GateId g = c.netlist.net(c.netMap[d]).driver;
+  EXPECT_EQ(c.netlist.gate(g).kind, CellKind::kBuf);
+}
+
+TEST(ExtractCombinational, SharedPoDNetKeepsSlots) {
+  // A net that is both a PO and a flop's D must yield aligned output
+  // slots (PO slot + pseudo-PO slot).
+  Netlist seq("share");
+  const NetId a = seq.addPI("a");
+  const NetId n = seq.addNet("n");
+  seq.addGate(CellKind::kInv, {a}, n);
+  const NetId q = seq.addNet("q");
+  seq.addGate(CellKind::kDff, {n}, q);
+  seq.markPO(n);  // n is PO *and* D
+  seq.markPO(q);
+  const CombExtraction c = extractCombinational(seq);
+  EXPECT_EQ(c.netlist.outputs().size(), 3u);  // n, q, pseudo(n)
+}
+
+TEST(Levelize, MonotoneAlongPaths) {
+  const Netlist nl = generateByName("s1238");
+  const auto level = levelize(nl);
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) {
+      EXPECT_EQ(level[gg.out], 0);
+      continue;
+    }
+    for (NetId in : gg.fanin) EXPECT_GT(level[gg.out], level[in]);
+  }
+}
+
+TEST(FaninCone, StopsAtSourcesAndFlops) {
+  const Netlist seq = makeToySeq();
+  const NetId hit = *seq.findNet("hit");
+  const auto cone = faninCone(seq, hit);
+  // Cone: the AND gate + the two flops driving q2/q3.
+  EXPECT_EQ(cone.size(), 3u);
+  int flops = 0;
+  for (GateId g : cone) flops += seq.gate(g).kind == CellKind::kDff ? 1 : 0;
+  EXPECT_EQ(flops, 2);
+}
+
+TEST(PoFanoutSignatures, ToyCircuit) {
+  const Netlist seq = makeToySeq();
+  const auto sigs = poFanoutSignatures(seq);
+  ASSERT_EQ(sigs.size(), 4u);
+  // q0 feeds PO1 (itself) and, through the carry chain, the 'hit' PO as
+  // well?  hit = q2 & q3 only, so q0's combinational PO reach is exactly
+  // {po index of q0} = {1}.
+  EXPECT_EQ(sigs[0], (std::vector<std::uint32_t>{1}));
+  // q2 and q3 share the 'hit' (index 0) signature.
+  EXPECT_EQ(sigs[2], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(sigs[3], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(PoFanoutSignatures, SizesMatchOnBenchmarks) {
+  const Netlist nl = generateByName("s1238");
+  const auto sigs = poFanoutSignatures(nl);
+  EXPECT_EQ(sigs.size(), nl.flops().size());
+  // Every signature lists valid PO indices, sorted and unique.
+  for (const auto& s : sigs) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    for (auto p : s) EXPECT_LT(p, nl.outputs().size());
+  }
+}
+
+}  // namespace
+}  // namespace gkll

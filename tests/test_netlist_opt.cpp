@@ -1,0 +1,155 @@
+#include "netlist/netlist_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "lock/locking.h"
+#include "lock/sarlock.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+
+namespace gkll {
+namespace {
+
+TEST(FoldConstants, AndWithZeroLeg) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId c0 = nl.constNet(false);
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kAnd2, {a, c0}, y);
+  nl.markPO(y);
+  const OptReport r = foldConstants(nl);
+  EXPECT_EQ(r.constantsFolded, 1u);
+  EXPECT_EQ(nl.gate(nl.net(y).driver).kind, CellKind::kConst0);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(FoldConstants, PropagatesThroughChains) {
+  // INV(CONST1) = 0; OR(x, INV(that)) = OR(x, 1) = 1.
+  Netlist nl;
+  const NetId x = nl.addPI("x");
+  const NetId c1 = nl.constNet(true);
+  const NetId n1 = nl.addNet("n1");
+  nl.addGate(CellKind::kInv, {c1}, n1);  // 0
+  const NetId n2 = nl.addNet("n2");
+  nl.addGate(CellKind::kInv, {n1}, n2);  // 1
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kOr2, {x, n2}, y);  // 1
+  nl.markPO(y);
+  const OptReport r = foldConstants(nl);
+  EXPECT_EQ(r.constantsFolded, 3u);
+  EXPECT_EQ(nl.gate(nl.net(y).driver).kind, CellKind::kConst1);
+}
+
+TEST(FoldConstants, LeavesUnknownsAlone) {
+  Netlist nl = makeC17();
+  const OptReport r = foldConstants(nl);
+  EXPECT_EQ(r.constantsFolded, 0u);
+}
+
+TEST(CollapseBuffers, RewiresReaders) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId b = nl.addNet("b");
+  nl.addGate(CellKind::kBuf, {a}, b);
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {b}, y);
+  nl.markPO(y);
+  const OptReport r = collapseBuffers(nl);
+  EXPECT_EQ(r.buffersCollapsed, 1u);
+  const Gate& inv = nl.gate(nl.net(y).driver);
+  EXPECT_EQ(inv.fanin[0], a);
+  EXPECT_FALSE(nl.validate().has_value());  // b is now a legal orphan
+}
+
+TEST(CollapseBuffers, KeepsPoBuffers) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kBuf, {a}, y);
+  nl.markPO(y);
+  EXPECT_EQ(collapseBuffers(nl).buffersCollapsed, 0u);
+}
+
+TEST(RemoveDeadLogic, DropsUnreachableConeAndFlop) {
+  Netlist nl = makeToySeq();
+  // Graft an unused cone: two gates and a flop nothing observes.
+  const NetId en = nl.inputs()[0];
+  const NetId d1 = nl.addNet("dead1");
+  nl.addGate(CellKind::kInv, {en}, d1);
+  const NetId dq = nl.addNet("deadq");
+  nl.addGate(CellKind::kDff, {d1}, dq);
+  const NetId d2 = nl.addNet("dead2");
+  nl.addGate(CellKind::kAnd2, {dq, en}, d2);
+  const std::size_t before = nl.stats().numCells;
+  const OptReport r = removeDeadLogic(nl);
+  EXPECT_EQ(r.deadGatesRemoved, 3u);
+  EXPECT_EQ(nl.stats().numCells, before - 3);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(RemoveDeadLogic, KeepsEverythingLiveOnBenchmarks) {
+  // The generator guarantees every flop is observed transitively?  Not
+  // necessarily — but removal must never break the interface or function.
+  Netlist nl = generateByName("s1238");
+  const CombExtraction before = extractCombinational(nl);
+  removeDeadLogic(nl);
+  EXPECT_FALSE(nl.validate().has_value());
+  EXPECT_EQ(nl.inputs().size(), before.netlist.inputs().size() -
+                                    before.pseudoPIs.size());
+  EXPECT_EQ(nl.outputs().size(), 14u);
+}
+
+TEST(Optimize, SemanticsPreservedAfterBypass) {
+  // The paper's removal-attack scenario: bypass SARLock's flip signal
+  // with a constant, then "re-synthesise" — the result must equal the
+  // original function.
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 91});
+  Netlist hacked = applyKey(ld.netlist, ld.keyInputs,
+                            std::vector<int>(4, 0));
+  // Bypass: tie the flip signal low.
+  const NetId flip = *hacked.findNet("sar_flip");
+  hacked.removeGate(hacked.net(flip).driver);
+  hacked.addGate(CellKind::kConst0, {}, flip);
+
+  const OptReport r = optimize(hacked);
+  EXPECT_TRUE(r.changed());
+  const Netlist clean = compact(hacked);
+  EXPECT_TRUE(sat::checkEquivalence(clean, orig).equivalent);
+  // The whole SARLock comparator is gone.
+  EXPECT_LT(clean.stats().numCells, ld.netlist.stats().numCells);
+}
+
+TEST(Optimize, IdempotentOnCleanCircuits) {
+  Netlist nl = makeC17();
+  EXPECT_FALSE(optimize(nl).changed());
+}
+
+TEST(Compact, DropsTombstonesAndOrphans) {
+  Netlist nl = makeC17();
+  const NetId g10 = *nl.findNet("G10");
+  const GateId drv = nl.net(g10).driver;
+  const auto fanin = nl.gate(drv).fanin;
+  nl.removeGate(drv);
+  nl.addGate(CellKind::kNand2, fanin, g10);
+  nl.addNet("orphan");
+  const Netlist c = compact(nl);
+  EXPECT_EQ(c.numGates(), nl.numGates() - 1);
+  EXPECT_FALSE(c.findNet("orphan").has_value());
+  EXPECT_TRUE(sat::checkEquivalence(c, makeC17()).equivalent);
+}
+
+TEST(Compact, PreservesInterfaceOrder) {
+  Netlist nl = makeToySeq();
+  const Netlist c = compact(nl);
+  ASSERT_EQ(c.inputs().size(), nl.inputs().size());
+  ASSERT_EQ(c.outputs().size(), nl.outputs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    EXPECT_EQ(c.net(c.inputs()[i]).name, nl.net(nl.inputs()[i]).name);
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    EXPECT_EQ(c.net(c.outputs()[i]).name, nl.net(nl.outputs()[i]).name);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,101 @@
+#include "attack/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/gk_flow.h"
+#include "netlist/netlist_ops.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+TEST(CombOracle, MatchesDirectEvaluation) {
+  const Netlist c17 = makeC17();
+  CombOracle oracle(c17);
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<Logic> in;
+    for (std::size_t i = 0; i < c17.inputs().size(); ++i)
+      in.push_back(logicFromBool(rng.flip()));
+    EXPECT_EQ(oracle.query(in),
+              outputValues(c17, evalCombinational(c17, in)));
+  }
+  EXPECT_EQ(oracle.numQueries(), 20u);
+}
+
+struct LockedFixture {
+  Netlist orig = makeToySeq();
+  GkFlowResult locked;
+  LockedFixture() {
+    GkFlowOptions opt;
+    opt.numGks = 1;
+    opt.clockPeriod = ns(8);
+    locked = runGkFlow(orig, opt);
+  }
+};
+
+TEST(TimingOracle, CorrectKeyCapturesMatchOriginalTransitionFunction) {
+  LockedFixture f;
+  ASSERT_EQ(f.locked.insertions.size(), 1u);
+  ASSERT_TRUE(f.locked.verify.ok());
+  TimingOracle chip(f.locked.design.netlist, f.locked.clockArrival,
+                    f.locked.design.keyInputs, f.locked.design.correctKey,
+                    f.locked.clockPeriod, f.orig.flops().size());
+  EXPECT_EQ(chip.numDataPIs(), f.orig.inputs().size());
+  EXPECT_EQ(chip.numSharedFlops(), f.orig.flops().size());
+
+  Rng rng(2);
+  for (int t = 0; t < 12; ++t) {
+    std::vector<Logic> pis(chip.numDataPIs());
+    std::vector<Logic> state(chip.numSharedFlops());
+    for (Logic& v : pis) v = logicFromBool(rng.flip());
+    for (Logic& v : state) v = logicFromBool(rng.flip());
+    const TimingOracle::Capture cap = chip.query(pis, state);
+    EXPECT_EQ(cap.violations, 0);
+
+    SequentialSim ref(f.orig);
+    ref.setState(state);
+    const auto poRef = ref.step(pis);
+    EXPECT_EQ(cap.captured, ref.state()) << "trial " << t;
+    for (std::size_t i = 0; i < poRef.size(); ++i)
+      EXPECT_EQ(cap.poValues[i], poRef[i]);
+  }
+}
+
+TEST(TimingOracle, WrongKeyCapturesInvertedAtGkFlop) {
+  LockedFixture f;
+  // Wrong key: constant 0 on the KEYGEN (GK variant (a) then inverts).
+  std::vector<int> wrong = f.locked.design.correctKey;
+  for (int& b : wrong) b = 0;  // (k1,k2) = (0,0): glitchless
+  TimingOracle chip(f.locked.design.netlist, f.locked.clockArrival,
+                    f.locked.design.keyInputs, wrong, f.locked.clockPeriod,
+                    f.orig.flops().size());
+  // Find the locked flop's index.
+  const GateId host = f.locked.lockedFfs[0];
+  std::size_t hostIdx = 0;
+  for (std::size_t i = 0; i < f.orig.flops().size(); ++i)
+    if (f.orig.flops()[i] == host) hostIdx = i;
+
+  Rng rng(3);
+  int inverted = 0, total = 0;
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Logic> pis(chip.numDataPIs());
+    std::vector<Logic> state(chip.numSharedFlops());
+    for (Logic& v : pis) v = logicFromBool(rng.flip());
+    for (Logic& v : state) v = logicFromBool(rng.flip());
+    const auto cap = chip.query(pis, state);
+    SequentialSim ref(f.orig);
+    ref.setState(state);
+    ref.step(pis);
+    if (cap.captured[hostIdx] == Logic::X) continue;
+    ++total;
+    if (cap.captured[hostIdx] == logicNot(ref.state()[hostIdx])) ++inverted;
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(inverted, total);  // every clean capture is inverted
+}
+
+}  // namespace
+}  // namespace gkll

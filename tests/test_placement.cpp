@@ -1,0 +1,120 @@
+#include "flow/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "timing/sta.h"
+
+namespace gkll {
+namespace {
+
+TEST(Placement, AnnotatesWireDelays) {
+  Netlist nl = generateByName("s1238");
+  const PlacementResult r = placeAndRoute(nl, PlacementOptions{});
+  int annotated = 0;
+  for (NetId n = 0; n < nl.numNets(); ++n)
+    if (nl.net(n).wireDelay > 0) ++annotated;
+  EXPECT_GT(annotated, static_cast<int>(nl.numNets()) / 2);
+  EXPECT_GT(r.maxWireDelay, 0);
+}
+
+TEST(Placement, SourceAndDelayNetsStayClean) {
+  Netlist nl("src");
+  const NetId a = nl.addPI("a");
+  const NetId d = nl.addNet("d");
+  nl.addDelay(a, d, 500);
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kBuf, {d}, y);
+  nl.markPO(y);
+  placeAndRoute(nl, PlacementOptions{});
+  EXPECT_EQ(nl.net(a).wireDelay, 0);  // PI
+  EXPECT_EQ(nl.net(d).wireDelay, 0);  // delay-element output
+  EXPECT_GT(nl.net(y).wireDelay, 0);
+}
+
+TEST(Placement, FanoutIncreasesWireDelay) {
+  PlacementOptions opt;
+  opt.wireJitter = 0;
+  Netlist nl("fan");
+  const NetId a = nl.addPI("a");
+  const NetId one = nl.addNet("one");
+  nl.addGate(CellKind::kInv, {a}, one);
+  const NetId big = nl.addNet("big");
+  nl.addGate(CellKind::kInv, {a}, big);
+  // one sink for `one`, four sinks for `big`.
+  for (int i = 0; i < 1; ++i) {
+    const NetId t = nl.addNet();
+    nl.addGate(CellKind::kBuf, {one}, t);
+    nl.markPO(t);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const NetId t = nl.addNet();
+    nl.addGate(CellKind::kBuf, {big}, t);
+    nl.markPO(t);
+  }
+  placeAndRoute(nl, opt);
+  EXPECT_GT(nl.net(big).wireDelay, nl.net(one).wireDelay);
+  EXPECT_EQ(nl.net(big).wireDelay - nl.net(one).wireDelay,
+            3 * opt.wireDelayPerFanout);
+}
+
+TEST(Placement, ClockSkewBounded) {
+  Netlist nl = generateByName("s13207");
+  PlacementOptions opt;
+  const PlacementResult r = placeAndRoute(nl, opt);
+  ASSERT_EQ(r.clockArrival.size(), nl.flops().size());
+  for (Ps t : r.clockArrival) {
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, opt.maxClockSkew);
+  }
+}
+
+TEST(Placement, SkewBoundPreventsPlainHoldViolations) {
+  // The documented invariant: maxClockSkew < clkToQ - Thold - baseWire so
+  // a direct Q->D path cannot hold-violate.
+  const PlacementOptions opt;
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  EXPECT_LT(opt.maxClockSkew,
+            lib.clkToQ() - lib.holdTime() + opt.baseWireDelay);
+}
+
+TEST(Placement, DeterministicForSeed) {
+  Netlist a = generateByName("s1238");
+  Netlist b = generateByName("s1238");
+  const PlacementResult ra = placeAndRoute(a, PlacementOptions{});
+  const PlacementResult rb = placeAndRoute(b, PlacementOptions{});
+  EXPECT_EQ(ra.clockArrival, rb.clockArrival);
+  for (NetId n = 0; n < a.numNets(); ++n)
+    EXPECT_EQ(a.net(n).wireDelay, b.net(n).wireDelay);
+}
+
+TEST(Placement, SeedChangesLayout) {
+  Netlist a = generateByName("s1238");
+  Netlist b = generateByName("s1238");
+  PlacementOptions oa, ob;
+  ob.seed = oa.seed + 1;
+  placeAndRoute(a, oa);
+  placeAndRoute(b, ob);
+  bool anyDiff = false;
+  for (NetId n = 0; n < a.numNets() && !anyDiff; ++n)
+    anyDiff = a.net(n).wireDelay != b.net(n).wireDelay;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Placement, TimingStillMetAtDerivedPeriod) {
+  Netlist nl = generateByName("s9234");
+  const PlacementResult pr = placeAndRoute(nl, PlacementOptions{});
+  StaConfig cfg;
+  cfg.inputArrival = CellLibrary::tsmc013c().clkToQ();
+  Sta sta(nl, cfg);
+  for (std::size_t i = 0; i < nl.flops().size(); ++i)
+    sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+  cfg.clockPeriod = sta.minClockPeriod(100);
+  Sta at(nl, cfg);
+  for (std::size_t i = 0; i < nl.flops().size(); ++i)
+    at.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+  EXPECT_TRUE(at.run().meetsTiming());
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gkll {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng r(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(19);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);  // 1/32! chance of false failure
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(23);
+  Rng child = a.fork();
+  Rng a2(23);
+  a2.fork();
+  // Parent keeps producing the same stream as a reference parent.
+  EXPECT_EQ(a.next(), a2.next());
+  // The child stream differs from the parent's.
+  Rng c2 = Rng(23).fork();
+  EXPECT_EQ(child.next(), c2.next());
+}
+
+TEST(Rng, FlipIsRoughlyFair) {
+  Rng r(29);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.flip() ? 1 : 0;
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, PickReturnsElements) {
+  Rng r(31);
+  const std::vector<int> v{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,78 @@
+#include "lock/sarlock.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/removal_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "sat/cnf.h"
+#include "sim/logic_sim.h"
+
+namespace gkll {
+namespace {
+
+TEST(SarLock, CorrectKeyRestoresFunction) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 7});
+  const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, ld.correctKey);
+  EXPECT_TRUE(sat::checkEquivalence(unlocked, orig).equivalent);
+}
+
+TEST(SarLock, WrongKeyCorruptsExactlyOnePatternEach) {
+  // The point-function property: under a wrong key K, the output flips
+  // only when the comparator matches, i.e. on exactly the pattern X whose
+  // compared bits equal K.
+  const Netlist orig = makeC17();
+  const SarLockOptions opt{4, 8};
+  const LockedDesign ld = sarLock(orig, opt);
+  for (int key = 0; key < 16; ++key) {
+    std::vector<int> bits{key & 1, (key >> 1) & 1, (key >> 2) & 1,
+                          (key >> 3) & 1};
+    if (bits == ld.correctKey) continue;
+    const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, bits);
+    int corrupted = 0;
+    for (int m = 0; m < 32; ++m) {
+      std::vector<Logic> in;
+      for (int b = 0; b < 5; ++b) in.push_back(logicFromBool((m >> b) & 1));
+      const auto a = outputValues(orig, evalCombinational(orig, in));
+      const auto c = outputValues(unlocked, evalCombinational(unlocked, in));
+      if (a != c) ++corrupted;
+    }
+    // 5 PIs, 4 compared: the matching X has 2 completions (last PI free).
+    EXPECT_EQ(corrupted, 2) << "key " << key;
+  }
+}
+
+TEST(SarLock, FlipSignalIsHeavilySkewed) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 9});
+  const auto prob =
+      estimateSignalProbabilities(ld.netlist, 4096, 1234);
+  const NetId flip = *ld.netlist.findNet("sar_flip");
+  EXPECT_LT(prob[flip], 0.1);  // ~2^-4 * (1 - 2^-4)
+  EXPECT_GT(prob[flip], 0.0);  // but not constant
+}
+
+TEST(SarLock, InterfaceCounts) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 10});
+  EXPECT_EQ(ld.keyInputs.size(), 4u);
+  EXPECT_EQ(ld.correctKey.size(), 4u);
+  EXPECT_EQ(ld.netlist.inputs().size(), orig.inputs().size() + 4);
+  EXPECT_EQ(ld.netlist.outputs().size(), orig.outputs().size());
+}
+
+TEST(SarLock, DeterministicForSeed) {
+  const Netlist orig = makeC17();
+  EXPECT_EQ(sarLock(orig, SarLockOptions{4, 3}).correctKey,
+            sarLock(orig, SarLockOptions{4, 3}).correctKey);
+}
+
+TEST(SarLock, WorksOnSequentialHost) {
+  const Netlist orig = makeToySeq();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{1, 11});
+  EXPECT_FALSE(ld.netlist.validate().has_value());
+  EXPECT_EQ(ld.netlist.flops().size(), orig.flops().size());
+}
+
+}  // namespace
+}  // namespace gkll

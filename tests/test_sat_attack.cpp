@@ -1,0 +1,117 @@
+#include "attack/sat_attack.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/antisat.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll {
+namespace {
+
+TEST(SatAttack, CracksXorLockedC17) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 77});
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.unsatAtFirstIteration);
+  EXPECT_TRUE(r.decrypted);
+  EXPECT_GT(r.dips, 0);
+  // The recovered key may differ from the inserted one only if both unlock
+  // (possible with redundant logic); on c17 it is usually exact.
+  ASSERT_EQ(r.recoveredKey.size(), 4u);
+}
+
+TEST(SatAttack, CracksXorLockedSequentialBenchmark) {
+  const Netlist orig = generateByName("s1238");
+  const LockedDesign ld = xorLock(orig, XorLockOptions{8, 78});
+  const CombExtraction comb = extractCombinational(ld.netlist);
+  const CombExtraction oracle = extractCombinational(orig);
+  std::vector<NetId> keys;
+  for (NetId k : ld.keyInputs) keys.push_back(comb.netMap[k]);
+  const SatAttackResult r = satAttack(comb.netlist, keys, oracle.netlist);
+  EXPECT_TRUE(r.decrypted);
+}
+
+TEST(SatAttack, SarLockNeedsManyDips) {
+  // The point-function property: each DIP eliminates one key, so the
+  // attack needs ~2^n iterations (still succeeds for small n).
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 79});
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.decrypted);
+  EXPECT_GE(r.dips, 10);  // ~2^4 - few
+}
+
+TEST(SatAttack, AntiSatResistsProportionallyToo) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = antiSatLock(orig, AntiSatOptions{3, 80});
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.decrypted);
+}
+
+TEST(SatAttack, GkLockedDesignUnsatAtFirstIteration) {
+  // The paper's Sec. VI experiment in miniature.
+  const Netlist orig = generateByName("s1238");
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 2;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 2u);
+  const auto surf = enc.attackSurface(locked);
+  const SatAttackResult r =
+      satAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.unsatAtFirstIteration);
+  EXPECT_EQ(r.dips, 0);
+  EXPECT_FALSE(r.decrypted);  // the "recovered" circuit inverts the GKs
+}
+
+TEST(SatAttack, HybridAbortsWithContradictoryConstraints) {
+  const Netlist orig = generateByName("s1238");
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 2;
+  opt.hybridXorKeys = 4;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 2u);
+  const auto surf = enc.attackSurface(locked);
+  std::vector<NetId> keys = surf.gkKeys;
+  keys.insert(keys.end(), surf.otherKeys.begin(), surf.otherKeys.end());
+  const SatAttackResult r = satAttack(surf.comb, keys, surf.oracleComb);
+  EXPECT_GE(r.dips, 1);  // the XOR keys do produce DIPs
+  EXPECT_TRUE(r.keyConstraintsUnsat);
+  EXPECT_FALSE(r.decrypted);
+}
+
+TEST(SatAttack, ConflictBudgetGivesUpGracefully) {
+  const Netlist orig = generateByName("s5378");
+  const LockedDesign ld = xorLock(orig, XorLockOptions{16, 81});
+  const CombExtraction comb = extractCombinational(ld.netlist);
+  const CombExtraction oracle = extractCombinational(orig);
+  std::vector<NetId> keys;
+  for (NetId k : ld.keyInputs) keys.push_back(comb.netMap[k]);
+  SatAttackOptions opt;
+  opt.conflictBudget = 5;  // absurdly small
+  const SatAttackResult r = satAttack(comb.netlist, keys, oracle.netlist, opt);
+  EXPECT_TRUE(r.budgetExhausted);
+  EXPECT_FALSE(r.decrypted);
+}
+
+TEST(SatAttack, MaxIterationsBoundsTheLoop) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = sarLock(orig, SarLockOptions{4, 82});
+  SatAttackOptions opt;
+  opt.maxIterations = 2;
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.dips, 2);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,199 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gkll::sat {
+namespace {
+
+TEST(Literals, Encoding) {
+  const Var v = 5;
+  const Lit pos = mkLit(v);
+  const Lit neg = mkLit(v, true);
+  EXPECT_EQ(litVar(pos), v);
+  EXPECT_EQ(litVar(neg), v);
+  EXPECT_FALSE(litSign(pos));
+  EXPECT_TRUE(litSign(neg));
+  EXPECT_EQ(negLit(pos), neg);
+  EXPECT_EQ(negLit(neg), pos);
+}
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause(mkLit(a));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause(mkLit(a));
+  EXPECT_FALSE(s.addClause(mkLit(a, true)));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  s.newVar();
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.newVar());
+  for (int i = 0; i + 1 < 10; ++i)
+    s.addClause(mkLit(v[static_cast<std::size_t>(i)], true),
+                mkLit(v[static_cast<std::size_t>(i + 1)]));
+  s.addClause(mkLit(v[0]));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (Var x : v) EXPECT_TRUE(s.modelValue(x));
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  const Var a = s.newVar();
+  EXPECT_TRUE(s.addClause(std::vector<Lit>{mkLit(a), mkLit(a, true)}));
+  s.addClause(mkLit(a, true));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.modelValue(a));
+}
+
+TEST(Solver, DuplicateLiteralsCollapsed) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause(std::vector<Lit>{mkLit(a), mkLit(a), mkLit(a)});
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Solver, XorChainUnsat) {
+  // x1 ^ x2 = 1, x2 ^ x3 = 1, ..., and x1 = xn with odd parity: UNSAT.
+  Solver s;
+  const int n = 8;
+  std::vector<Var> v;
+  for (int i = 0; i < n; ++i) v.push_back(s.newVar());
+  auto addXorEq1 = [&](Var a, Var b) {
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(mkLit(a, true), mkLit(b, true));
+  };
+  for (int i = 0; i + 1 < n; ++i)
+    addXorEq1(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i + 1)]);
+  // n-1 = 7 xors flip parity an odd number of times, so x1 != x8; demanding
+  // equality is UNSAT.
+  s.addClause(mkLit(v[0]), mkLit(v[n - 1], true));
+  s.addClause(mkLit(v[0], true), mkLit(v[n - 1]));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, PigeonHole3Into2) {
+  // PHP(3,2): 3 pigeons, 2 holes — classically UNSAT, exercises learning.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p)
+    for (Var& x : row) x = s.newVar();
+  for (auto& row : p) s.addClause(mkLit(row[0]), mkLit(row[1]));
+  for (int h = 0; h < 2; ++h)
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j)
+        s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(mkLit(a, true), mkLit(b));  // a -> b
+  EXPECT_EQ(s.solve({mkLit(a)}), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+  s.addClause(mkLit(b, true));  // now b must be false
+  EXPECT_EQ(s.solve({mkLit(a)}), Result::kUnsat);
+  // Without the assumption the formula is still satisfiable.
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.modelValue(a));
+  EXPECT_TRUE(s.okay());
+}
+
+TEST(Solver, IncrementalClauseAddition) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 6; ++i) v.push_back(s.newVar());
+  EXPECT_EQ(s.solve(), Result::kSat);
+  s.addClause(mkLit(v[0]));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(v[0]));
+  s.addClause(mkLit(v[0], true), mkLit(v[1]));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(v[1]));
+  s.addClause(mkLit(v[1], true));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, RandomThreeSatAgreesWithBruteForce) {
+  // Property test: on random 12-var 3-SAT instances the solver's verdict
+  // matches exhaustive enumeration, and SAT models actually satisfy.
+  Rng rng(2024);
+  for (int inst = 0; inst < 40; ++inst) {
+    const int nVars = 12;
+    const int nClauses = 40 + static_cast<int>(rng.below(25));
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < nClauses; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.push_back(mkLit(static_cast<Var>(rng.below(nVars)), rng.flip()));
+      clauses.push_back(cl);
+    }
+    Solver s;
+    for (int i = 0; i < nVars; ++i) s.newVar();
+    bool rootOk = true;
+    for (auto& cl : clauses) rootOk &= s.addClause(cl) || !s.okay();
+    (void)rootOk;
+    const bool satResult = s.okay() && s.solve() == Result::kSat;
+
+    bool brute = false;
+    for (int m = 0; m < (1 << nVars) && !brute; ++m) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (Lit l : cl)
+          any |= (((m >> litVar(l)) & 1) != 0) != litSign(l);
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      brute = all;
+    }
+    ASSERT_EQ(satResult, brute) << "instance " << inst;
+    if (satResult) {
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (Lit l : cl) any |= s.modelValue(litVar(l)) != litSign(l);
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+TEST(Solver, StatsAccumulate) {
+  Solver s;
+  Var p[4][3];
+  for (auto& row : p)
+    for (Var& x : row) x = s.newVar();
+  for (auto& row : p) s.addClause(std::vector<Lit>{mkLit(row[0]), mkLit(row[1]), mkLit(row[2])});
+  for (int h = 0; h < 3; ++h)
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j)
+        s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace gkll::sat

@@ -1,0 +1,143 @@
+#include "flow/scan_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/gk_flow.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+TEST(InsertScanChain, Structure) {
+  Netlist nl = makeToySeq();
+  const std::size_t pis = nl.inputs().size();
+  const std::size_t cells = nl.stats().numCells;
+  const ScanChain chain = insertScanChain(nl);
+  EXPECT_EQ(chain.order.size(), 4u);
+  EXPECT_EQ(chain.muxes.size(), 4u);
+  EXPECT_EQ(nl.inputs().size(), pis + 2);          // scan_en, scan_in
+  EXPECT_EQ(nl.stats().numCells, cells + 4);       // one MUX per flop
+  EXPECT_TRUE(nl.isPO(chain.scanOut));
+  // Chain connectivity: mux[i] shift input is flop[i-1]'s Q.
+  for (std::size_t i = 1; i < chain.order.size(); ++i) {
+    const Gate& mux = nl.gate(chain.muxes[i]);
+    EXPECT_EQ(mux.fanin[2], nl.gate(chain.order[i - 1]).out);
+  }
+  EXPECT_EQ(nl.gate(chain.muxes[0]).fanin[2], chain.scanIn);
+}
+
+TEST(InsertScanChain, ExclusionKeepsFlopsOffChain) {
+  Netlist nl = makeToySeq();
+  const GateId keep = nl.flops()[1];
+  const ScanChain chain = insertScanChain(nl, {keep});
+  EXPECT_EQ(chain.order.size(), 3u);
+  EXPECT_EQ(std::count(chain.order.begin(), chain.order.end(), keep), 0);
+  // The excluded flop's D pin is untouched (no scan mux).
+  const GateId d = nl.net(nl.gate(keep).fanin[0]).driver;
+  EXPECT_NE(nl.gate(d).kind, CellKind::kMux2);
+}
+
+TEST(InsertScanChain, FunctionalModePreservesBehaviour) {
+  // With scan_en = 0 the chained circuit steps exactly like the original.
+  Netlist plain = makeToySeq();
+  Netlist scanned = makeToySeq();
+  insertScanChain(scanned);
+  SequentialSim a(plain), b(scanned);
+  a.reset();
+  b.reset();
+  for (int cyc = 0; cyc < 12; ++cyc) {
+    const Logic en = logicFromBool(cyc % 3 != 0);
+    const auto oa = a.step({en});
+    // scanned inputs: en, scan_en=0, scan_in=0.
+    const auto ob = b.step({en, Logic::F, Logic::F});
+    for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_EQ(ob[i], oa[i]);
+  }
+}
+
+TEST(InsertScanChain, ShiftModeMakesAShiftRegister) {
+  Netlist nl = makeToySeq();
+  insertScanChain(nl);
+  SequentialSim sim(nl);
+  sim.reset();
+  // Shift 1,0,1,1 in; after 4 cycles the state is exactly that pattern.
+  const Logic bits[] = {Logic::T, Logic::F, Logic::T, Logic::T};
+  for (const Logic b : bits) sim.step({Logic::F, Logic::T, b});
+  // bit fed first ends deepest in the chain.
+  EXPECT_EQ(sim.state()[3], bits[0]);
+  EXPECT_EQ(sim.state()[2], bits[1]);
+  EXPECT_EQ(sim.state()[1], bits[2]);
+  EXPECT_EQ(sim.state()[0], bits[3]);
+}
+
+TEST(ScanSession, MatchesZeroDelayCaptureOnPlainCircuit) {
+  Netlist nl = makeToySeq();
+  const ScanChain chain = insertScanChain(nl);
+  Rng rng(12);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Logic> state(4);
+    for (Logic& v : state) v = logicFromBool(rng.flip());
+    const std::vector<Logic> pi{logicFromBool(rng.flip())};
+
+    ScanSessionConfig cfg;
+    const ScanSessionResult r = runScanSession(nl, chain, state, pi, cfg);
+    EXPECT_EQ(r.violations, 0);
+
+    // Reference: one functional step of the original circuit.
+    const Netlist orig = makeToySeq();
+    SequentialSim ref(orig);
+    ref.setState(state);
+    ref.step(pi);
+    ASSERT_EQ(r.captured.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(r.captured[i], ref.state()[i]) << "trial " << trial;
+  }
+}
+
+TEST(ScanSession, GkCapturesCorrectlyThroughScan) {
+  // The money test: a GK-locked design with an (unscanned-KEYGEN) scan
+  // chain captures the *true* data through the glitch — validating the
+  // TimingOracle's scan abstraction against a physically simulated
+  // shift-in / capture / shift-out sequence.
+  const Netlist orig = makeToySeq();
+  GkFlowOptions opt;
+  opt.numGks = 1;
+  opt.clockPeriod = ns(8);
+  GkFlowResult locked = runGkFlow(orig, opt);
+  ASSERT_EQ(locked.insertions.size(), 1u);
+  ASSERT_TRUE(locked.verify.ok());
+
+  Netlist nl = locked.design.netlist;  // copy we may edit
+  std::vector<GateId> keygenFfs;
+  for (const GkInsertion& ins : locked.insertions)
+    keygenFfs.push_back(ins.keygen.toggleFf);
+  const ScanChain chain = insertScanChain(nl, keygenFfs);
+  ASSERT_EQ(chain.order.size(), orig.flops().size());
+
+  ScanSessionConfig cfg;
+  cfg.clockPeriod = locked.clockPeriod;
+  cfg.clockArrival = locked.clockArrival;
+  cfg.keyInputs = locked.design.keyInputs;
+  cfg.keyValues = locked.design.correctKey;
+
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Logic> state(orig.flops().size());
+    for (Logic& v : state) v = logicFromBool(rng.flip());
+    const std::vector<Logic> pi{logicFromBool(rng.flip())};
+
+    const ScanSessionResult r = runScanSession(nl, chain, state, pi, cfg);
+    EXPECT_EQ(r.violations, 0) << "trial " << trial;
+
+    SequentialSim ref(orig);
+    ref.setState(state);
+    ref.step(pi);
+    for (std::size_t i = 0; i < state.size(); ++i)
+      EXPECT_EQ(r.captured[i], ref.state()[i])
+          << "trial " << trial << " flop " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gkll

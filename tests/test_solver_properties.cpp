@@ -1,0 +1,157 @@
+// Additional CDCL solver behaviours: budgets, clause logging, assumption
+// semantics across incremental use, and structured instance families.
+#include <gtest/gtest.h>
+
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace gkll::sat {
+namespace {
+
+/// Pigeon-hole principle PHP(n+1, n): always UNSAT, exponentially hard
+/// for resolution — the standard stress family.
+void buildPhp(Solver& s, int holes) {
+  std::vector<std::vector<Var>> p(
+      static_cast<std::size_t>(holes + 1),
+      std::vector<Var>(static_cast<std::size_t>(holes)));
+  for (auto& row : p)
+    for (Var& v : row) v = s.newVar();
+  for (auto& row : p) {
+    std::vector<Lit> cl;
+    for (Var v : row) cl.push_back(mkLit(v));
+    s.addClause(cl);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int i = 0; i <= holes; ++i)
+      for (int j = i + 1; j <= holes; ++j)
+        s.addClause(
+            mkLit(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(h)], true),
+            mkLit(p[static_cast<std::size_t>(j)][static_cast<std::size_t>(h)], true));
+}
+
+TEST(SolverBudget, ExhaustsAndRecovers) {
+  Solver s;
+  buildPhp(s, 8);
+  s.setConflictBudget(10);  // far too small for PHP(9,8)
+  EXPECT_EQ(s.solve(), Result::kUnknown);
+  EXPECT_TRUE(s.okay());  // unknown, not unsat
+  // Lifting the budget finishes the refutation (learned clauses kept).
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SolverBudget, UnknownDoesNotCorruptLaterSolves) {
+  Solver s;
+  buildPhp(s, 7);
+  const Var extra = s.newVar();
+  s.setConflictBudget(5);
+  (void)s.solve();
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  (void)extra;
+}
+
+TEST(SolverClauseLog, RecordsVerbatim) {
+  Solver s;
+  s.enableClauseLog();
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(mkLit(a), mkLit(b, true));
+  s.addClause(mkLit(b));
+  ASSERT_EQ(s.loggedClauses().size(), 2u);
+  EXPECT_EQ(s.loggedClauses()[0],
+            (std::vector<Lit>{mkLit(a), mkLit(b, true)}));
+  // Learned clauses never enter the log.
+  buildPhp(s, 5);
+  const std::size_t afterAdds = s.loggedClauses().size();
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_EQ(s.loggedClauses().size(), afterAdds);
+}
+
+TEST(SolverAssumptions, OrderIndependentVerdicts) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  const Var c = s.newVar();
+  s.addClause(mkLit(a, true), mkLit(b, true), mkLit(c));
+  s.addClause(mkLit(c, true));
+  // a & b forces c, contradicting !c — regardless of assumption order.
+  EXPECT_EQ(s.solve({mkLit(a), mkLit(b)}), Result::kUnsat);
+  EXPECT_EQ(s.solve({mkLit(b), mkLit(a)}), Result::kUnsat);
+  EXPECT_EQ(s.solve({mkLit(a)}), Result::kSat);
+  EXPECT_FALSE(s.modelValue(b));
+}
+
+TEST(SolverAssumptions, RepeatedAndImpliedAssumptions) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(mkLit(a, true), mkLit(b));  // a -> b
+  // Duplicate and implied assumptions must not confuse the replay.
+  EXPECT_EQ(s.solve({mkLit(a), mkLit(a), mkLit(b)}), Result::kSat);
+  EXPECT_EQ(s.solve({mkLit(a), mkLit(b, true)}), Result::kUnsat);
+}
+
+TEST(SolverStructured, GraphColoringTriangle) {
+  // 3-coloring a triangle is SAT; 2-coloring is UNSAT.
+  auto color = [&](int colors) {
+    Solver s;
+    std::vector<std::vector<Var>> v(3);
+    for (auto& node : v)
+      for (int c = 0; c < colors; ++c) node.push_back(s.newVar());
+    for (auto& node : v) {
+      std::vector<Lit> atLeast;
+      for (Var x : node) atLeast.push_back(mkLit(x));
+      s.addClause(atLeast);
+    }
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j)
+        for (int c = 0; c < colors; ++c)
+          s.addClause(mkLit(v[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)], true),
+                      mkLit(v[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)], true));
+    return s.solve();
+  };
+  EXPECT_EQ(color(3), Result::kSat);
+  EXPECT_EQ(color(2), Result::kUnsat);
+}
+
+TEST(SolverStructured, ParityChainsScale) {
+  // XOR constraint chains of odd parity: UNSAT at every size; checks the
+  // learner on long, narrow refutations.
+  for (const int n : {16, 32, 64}) {
+    Solver s;
+    std::vector<Var> v;
+    for (int i = 0; i < n; ++i) v.push_back(s.newVar());
+    auto xorEq1 = [&](Var a, Var b) {
+      s.addClause(mkLit(a), mkLit(b));
+      s.addClause(mkLit(a, true), mkLit(b, true));
+    };
+    for (int i = 0; i + 1 < n; ++i)
+      xorEq1(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i + 1)]);
+    if (n % 2 == 0) {
+      // n-1 (odd) constraints flip parity oddly: x0 != x_{n-1}; demand ==.
+      s.addClause(mkLit(v[0]), mkLit(v[static_cast<std::size_t>(n - 1)], true));
+      s.addClause(mkLit(v[0], true), mkLit(v[static_cast<std::size_t>(n - 1)]));
+      EXPECT_EQ(s.solve(), Result::kUnsat) << n;
+    }
+  }
+}
+
+TEST(SolverModel, SnapshotSurvivesLaterAdds) {
+  Solver s;
+  const Var a = s.newVar();
+  const Var b = s.newVar();
+  s.addClause(mkLit(a));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  const bool bVal = s.modelValue(b);
+  // Adding a clause after SAT must be legal and not disturb the snapshot
+  // until the next solve.  Force b to flip: the unit literal must be
+  // negated exactly when the snapshot had b true.
+  s.addClause(mkLit(b, bVal));
+  EXPECT_EQ(s.modelValue(a), true);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.modelValue(b), !bVal);
+}
+
+}  // namespace
+}  // namespace gkll::sat

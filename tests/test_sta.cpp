@@ -1,0 +1,190 @@
+#include "timing/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/placement.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::tsmc013c(); }
+
+/// PI -> INV -> BUF -> DFF, PO on the BUF output.
+Netlist makePath(NetId* dOut = nullptr, GateId* ffOut = nullptr) {
+  Netlist nl("path");
+  const NetId a = nl.addPI("a");
+  const NetId n1 = nl.addNet("n1");
+  nl.addGate(CellKind::kInv, {a}, n1);
+  const NetId n2 = nl.addNet("n2");
+  nl.addGate(CellKind::kBuf, {n1}, n2);
+  const NetId q = nl.addNet("q");
+  const GateId ff = nl.addGate(CellKind::kDff, {n2}, q);
+  nl.markPO(n2);
+  if (dOut) *dOut = n2;
+  if (ffOut) *ffOut = ff;
+  return nl;
+}
+
+TEST(Sta, ArrivalTimesAddUp) {
+  NetId d;
+  const Netlist nl = makePath(&d);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const StaResult r = sta.run();
+  const Ps maxExpect = std::max(lib().info(CellKind::kInv).rise,
+                                lib().info(CellKind::kInv).fall) +
+                       std::max(lib().info(CellKind::kBuf).rise,
+                                lib().info(CellKind::kBuf).fall);
+  const Ps minExpect = std::min(lib().info(CellKind::kInv).rise,
+                                lib().info(CellKind::kInv).fall) +
+                       std::min(lib().info(CellKind::kBuf).rise,
+                                lib().info(CellKind::kBuf).fall);
+  EXPECT_EQ(r.maxArrival[d], maxExpect);
+  EXPECT_EQ(r.minArrival[d], minExpect);
+}
+
+TEST(Sta, InputArrivalShifts) {
+  NetId d;
+  const Netlist nl = makePath(&d);
+  Sta sta0(nl, StaConfig{ns(10), 0});
+  Sta sta120(nl, StaConfig{ns(10), 120});
+  EXPECT_EQ(sta120.run().maxArrival[d], sta0.run().maxArrival[d] + 120);
+}
+
+TEST(Sta, SetupSlackDefinition) {
+  NetId d;
+  GateId ff;
+  const Netlist nl = makePath(&d, &ff);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const StaResult r = sta.run();
+  EXPECT_EQ(r.setupSlack[0],
+            ns(10) - lib().setupTime() - r.maxArrival[d]);
+  EXPECT_EQ(r.holdSlack[0], r.minArrival[d] - lib().holdTime());
+  EXPECT_TRUE(r.meetsTiming());
+}
+
+TEST(Sta, ClockSkewMovesBounds) {
+  NetId d;
+  GateId ff;
+  const Netlist nl = makePath(&d, &ff);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  sta.setClockArrival(ff, 200);
+  const StaResult r = sta.run();
+  EXPECT_EQ(r.setupSlack[0],
+            200 + ns(10) - lib().setupTime() - r.maxArrival[d]);
+  EXPECT_EQ(sta.absLowerBound(ff), 200 + lib().holdTime());
+  EXPECT_EQ(sta.absUpperBound(ff), 200 + ns(10) - lib().setupTime());
+}
+
+TEST(Sta, FlopLaunchIncludesClkToQ) {
+  // q -> INV -> DFF2: arrival at DFF2's D = T_1 + clkToQ + inv.
+  Netlist nl;
+  const NetId q1 = nl.addNet("q1");
+  const NetId d1 = nl.addPI("d1");
+  const GateId ff1 = nl.addGate(CellKind::kDff, {d1}, q1);
+  const NetId n = nl.addNet("n");
+  nl.addGate(CellKind::kInv, {q1}, n);
+  const NetId q2 = nl.addNet("q2");
+  nl.addGate(CellKind::kDff, {n}, q2);
+  nl.markPO(q2);
+
+  Sta sta(nl, StaConfig{ns(10), 0});
+  sta.setClockArrival(ff1, 50);
+  const StaResult r = sta.run();
+  EXPECT_EQ(r.maxArrival[n],
+            50 + lib().clkToQ() + std::max(lib().info(CellKind::kInv).rise,
+                                           lib().info(CellKind::kInv).fall));
+}
+
+TEST(Sta, Eq1BoundsMatchPaper) {
+  // LB_ij = Thold + T_j - T_i ; UB_ij = Tclk + T_j - T_i - Tsetup.
+  Netlist nl;
+  const NetId d1 = nl.addPI("d1");
+  const NetId q1 = nl.addNet("q1");
+  const GateId ff1 = nl.addGate(CellKind::kDff, {d1}, q1);
+  const NetId q2 = nl.addNet("q2");
+  const GateId ff2 = nl.addGate(CellKind::kDff, {q1}, q2);
+  nl.markPO(q2);
+  Sta sta(nl, StaConfig{ns(8), 0});
+  sta.setClockArrival(ff1, 100);
+  sta.setClockArrival(ff2, 250);
+  EXPECT_EQ(sta.lowerBound(ff1, ff2), lib().holdTime() + 250 - 100);
+  EXPECT_EQ(sta.upperBound(ff1, ff2), ns(8) + 250 - 100 - lib().setupTime());
+}
+
+TEST(Sta, RequiredTimesBackwardPass) {
+  NetId d;
+  const Netlist nl = makePath(&d);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const StaResult r = sta.run();
+  // d feeds the PO (required Tclk) and the flop (required Tclk - Tsu).
+  EXPECT_EQ(r.requiredMax[d], ns(10) - lib().setupTime());
+  // The PI's required time backs off through both gates.
+  const NetId a = nl.inputs()[0];
+  EXPECT_LT(r.requiredMax[a], r.requiredMax[d]);
+  EXPECT_GE(r.requiredMax[a] - 0,
+            r.requiredMax[d] -
+                std::max(lib().info(CellKind::kInv).rise,
+                         lib().info(CellKind::kInv).fall) -
+                std::max(lib().info(CellKind::kBuf).rise,
+                         lib().info(CellKind::kBuf).fall));
+}
+
+TEST(Sta, MinClockPeriodIsTightAndRounded) {
+  NetId d;
+  const Netlist nl = makePath(&d);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const Ps minP = sta.minClockPeriod(100);
+  EXPECT_EQ(minP % 100, 0);
+  // At the minimum period timing is met...
+  Sta tight(nl, StaConfig{minP, 0});
+  EXPECT_TRUE(tight.run().meetsTiming());
+  // ...one quantum below it is not.
+  Sta broken(nl, StaConfig{minP - 100, 0});
+  EXPECT_FALSE(broken.run().meetsTiming());
+}
+
+TEST(Sta, DelayElementsAreHonored) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 3000);
+  nl.markPO(y);
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const StaResult r = sta.run();
+  EXPECT_EQ(r.maxArrival[y], 3000);
+  EXPECT_EQ(r.minArrival[y], 3000);
+}
+
+TEST(Sta, StaIsConservativeAgainstEventSim) {
+  // Property: on a placed benchmark driven once, every net settles in the
+  // event simulator no later than the STA max arrival (same input frame).
+  Netlist nl = generateByName("s1238");
+  placeAndRoute(nl, PlacementOptions{});
+  StaConfig cfg;
+  cfg.clockPeriod = ns(100);  // huge: no captures interfere
+  cfg.inputArrival = 0;
+  Sta sta(nl, cfg);
+  const StaResult r = sta.run();
+
+  EventSimConfig ecfg;
+  ecfg.clockPeriod = ns(100);
+  ecfg.simTime = ns(60);
+  EventSim sim(nl, ecfg);
+  Rng rng(5);
+  for (NetId pi : nl.inputs())
+    sim.setInitialInput(pi, logicFromBool(rng.flip()));
+  // Flip every input at t=0+epsilon? Instead drive new values at t=1ps.
+  for (NetId pi : nl.inputs()) sim.drive(pi, 1, logicFromBool(rng.flip()));
+  sim.run();
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const auto& trs = sim.wave(n).transitions();
+    if (trs.empty()) continue;
+    EXPECT_LE(trs.back().time - 1, r.maxArrival[n]) << nl.net(n).name;
+  }
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,148 @@
+#include "flow/synth.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_sim.h"
+#include "timing/sta.h"
+
+namespace gkll {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::tsmc013c(); }
+
+/// Parameterised accuracy sweep: the planner must hit any target in the
+/// GK-relevant range within the flow's tolerance on both edges.
+class ChainPlanTest : public testing::TestWithParam<Ps> {};
+
+TEST_P(ChainPlanTest, AccurateWithinTolerance) {
+  const Ps target = GetParam();
+  const ChainPlan plan = planDelayChain(target, lib());
+  EXPECT_LE(std::llabs(plan.rise - target), 25) << target;
+  EXPECT_LE(std::llabs(plan.fall - target), 25) << target;
+}
+
+TEST_P(ChainPlanTest, PreservesPolarity) {
+  const ChainPlan plan = planDelayChain(GetParam(), lib());
+  int inversions = 0;
+  for (const auto& [kind, drive] : plan.cells)
+    if (kind == CellKind::kInv) ++inversions;
+  EXPECT_EQ(inversions % 2, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetSweep, ChainPlanTest,
+                         testing::Values(Ps{100}, Ps{250}, Ps{444}, Ps{912},
+                                         Ps{915}, Ps{1675}, Ps{2500}, Ps{3555},
+                                         Ps{5000}, Ps{7321}));
+
+TEST(ChainPlan, ZeroTargetIsEmpty) {
+  EXPECT_TRUE(planDelayChain(0, lib()).cells.empty());
+}
+
+TEST(ChainPlan, UsesCoarseDelayCellsForLongTargets) {
+  const ChainPlan plan = planDelayChain(ns(5), lib());
+  // 5 ns from inverter pairs alone would need ~150 cells; delay cells
+  // keep it compact.
+  EXPECT_LE(plan.cells.size(), 10u);
+  bool anyDly = false;
+  for (const auto& [kind, drive] : plan.cells)
+    anyDly |= (kind == CellKind::kBuf && drive >= 8);
+  EXPECT_TRUE(anyDly);
+}
+
+TEST(ChainPlan, MinimisesCellsWithinTolerance) {
+  // 1440 is exactly one DLY8: the planner must not pile up fine cells.
+  const ChainPlan plan = planDelayChain(1440, lib());
+  EXPECT_EQ(plan.cells.size(), 1u);
+  EXPECT_EQ(plan.cells[0].first, CellKind::kBuf);
+  EXPECT_EQ(plan.cells[0].second, 64);
+}
+
+TEST(MapDelayElements, ReplacesIdealDelays) {
+  Netlist nl("map");
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 912);
+  nl.markPO(y);
+
+  const SynthReport rep = mapDelayElements(nl);
+  ASSERT_EQ(rep.chains.size(), 1u);
+  EXPECT_GT(rep.cellsAdded, 0);
+  EXPECT_GT(rep.areaAdded, 0);
+  EXPECT_LE(rep.worstError, 25);
+  // No ideal delay elements left.
+  for (GateId g = 0; g < nl.numGates(); ++g)
+    EXPECT_NE(nl.gate(g).kind, CellKind::kDelay);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(MapDelayElements, MappedChainMatchesStaAndSim) {
+  Netlist nl("timed");
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 2500);
+  nl.markPO(y);
+  mapDelayElements(nl);
+
+  // STA view.
+  Sta sta(nl, StaConfig{ns(10), 0});
+  const StaResult r = sta.run();
+  EXPECT_NEAR(static_cast<double>(r.maxArrival[y]), 2500, 30);
+
+  // Event-sim view: a rising edge arrives ~target later.
+  EventSimConfig cfg;
+  cfg.simTime = ns(8);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.drive(a, ns(1), Logic::T);
+  sim.run();
+  ASSERT_EQ(sim.wave(y).numTransitions(), 1u);
+  EXPECT_NEAR(static_cast<double>(sim.wave(y).transitions()[0].time - ns(1)),
+              2500, 30);
+}
+
+TEST(MapDelayElements, ZeroDelayBecomesBuffer) {
+  Netlist nl("z");
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 0);
+  nl.markPO(y);
+  const SynthReport rep = mapDelayElements(nl);
+  EXPECT_EQ(rep.cellsAdded, 1);
+  EXPECT_EQ(nl.net(y).driver != kNoGate &&
+                nl.gate(nl.net(y).driver).kind == CellKind::kBuf,
+            true);
+}
+
+TEST(MapDelayElements, PreservesExistingGateIds) {
+  Netlist nl("ids");
+  const NetId a = nl.addPI("a");
+  const NetId n = nl.addNet("n");
+  const GateId inv = nl.addGate(CellKind::kInv, {a}, n);
+  const NetId y = nl.addNet("y");
+  nl.addDelay(n, y, 500);
+  nl.markPO(y);
+  mapDelayElements(nl);
+  EXPECT_EQ(nl.gate(inv).kind, CellKind::kInv);
+  EXPECT_EQ(nl.gate(inv).out, n);
+}
+
+TEST(MapDelayElements, FunctionalTransparency) {
+  // The mapped chain must still pass the value through unchanged.
+  Netlist nl("func");
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addDelay(a, y, 1800);
+  nl.markPO(y);
+  mapDelayElements(nl);
+  EventSimConfig cfg;
+  cfg.simTime = ns(10);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::T);
+  sim.run();
+  EXPECT_EQ(sim.valueAt(y, ns(9)), Logic::T);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time_types.h"
+
+namespace gkll {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.header({"a", "bee"});
+  t.row({"1", "2"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| bee |"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, PadsToWidestCell) {
+  Table t;
+  t.header({"x"});
+  t.row({"longvalue"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| x         |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"only"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string s = t.render();
+  // header rule + top + bottom + separator = 4 horizontal lines.
+  int rules = 0;
+  for (std::size_t p = s.find("+-"); p != std::string::npos;
+       p = s.find("+-", p + 1))
+    ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Formatters, Fixed) {
+  EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtF(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmtF(2.0, 0), "2");
+}
+
+TEST(Formatters, Integer) {
+  EXPECT_EQ(fmtI(0), "0");
+  EXPECT_EQ(fmtI(-42), "-42");
+  EXPECT_EQ(fmtI(123456789LL), "123456789");
+}
+
+TEST(Formatters, Nanoseconds) {
+  EXPECT_EQ(fmtNs(1000), "1.00ns");
+  EXPECT_EQ(fmtNs(2500), "2.50ns");
+  EXPECT_EQ(fmtNs(0), "0.00ns");
+  EXPECT_EQ(fmtNs(-500), "-0.50ns");
+}
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_EQ(ns(3), 3000);
+  EXPECT_EQ(um2(5.1), 510);
+  EXPECT_DOUBLE_EQ(toUm2(510), 5.1);
+}
+
+}  // namespace
+}  // namespace gkll

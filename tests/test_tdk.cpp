@@ -1,0 +1,129 @@
+#include "lock/tdk.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "flow/gk_flow.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "sim/event_sim.h"
+#include "timing/sta.h"
+
+namespace gkll {
+namespace {
+
+Ps clockFor(const Netlist& nl) {
+  StaConfig cfg;
+  cfg.inputArrival = CellLibrary::tsmc013c().clkToQ();
+  Sta probe(nl, cfg);
+  return probe.minClockPeriod(100);
+}
+
+TEST(TdkLock, StructureAndKeys) {
+  const Netlist orig = generateByName("s1238");
+  const TdkLockResult r = tdkLock(orig, TdkOptions{4, 200, ns(3), 4}, clockFor(orig));
+  EXPECT_EQ(r.instances.size(), 4u);
+  EXPECT_EQ(r.design.keyInputs.size(), 8u);  // k1 + k2 per TDK
+  EXPECT_FALSE(r.design.netlist.validate().has_value());
+  for (const TdkInstance& inst : r.instances) {
+    const Gate& mux = r.design.netlist.gate(inst.tdbMux);
+    EXPECT_EQ(mux.kind, CellKind::kMux2);
+    // Both data pins come from ideal delay elements (the TDB taps).
+    for (int pin = 1; pin <= 2; ++pin) {
+      const GateId d = r.design.netlist.net(mux.fanin[static_cast<std::size_t>(pin)]).driver;
+      EXPECT_EQ(r.design.netlist.gate(d).kind, CellKind::kDelay);
+    }
+    // The correct delay key selects the short path.
+    EXPECT_EQ(r.design.correctKey[inst.k2Index], 0);
+  }
+}
+
+TEST(TdkLock, CorrectKeyIsFunctionallyClean) {
+  // Statically (zero-delay), the TDK with correct functional keys is the
+  // original circuit no matter the delay keys.
+  const Netlist orig = generateByName("s1238");
+  const TdkLockResult r = tdkLock(orig, TdkOptions{}, clockFor(orig));
+  const Netlist unlocked =
+      applyKey(r.design.netlist, r.design.keyInputs, r.design.correctKey);
+  const CombExtraction a = extractCombinational(orig);
+  const CombExtraction b = extractCombinational(unlocked);
+  EXPECT_TRUE(sat::checkEquivalence(a.netlist, b.netlist).equivalent);
+}
+
+TEST(TdkLock, WrongFunctionalKeyCorruptsStatically) {
+  const Netlist orig = generateByName("s1238");
+  const TdkLockResult r = tdkLock(orig, TdkOptions{}, clockFor(orig));
+  ASSERT_FALSE(r.instances.empty());
+  std::vector<int> key = r.design.correctKey;
+  key[r.instances[0].k1Index] ^= 1;
+  const Netlist unlocked = applyKey(r.design.netlist, r.design.keyInputs, key);
+  const CombExtraction a = extractCombinational(orig);
+  const CombExtraction b = extractCombinational(unlocked);
+  EXPECT_FALSE(sat::checkEquivalence(a.netlist, b.netlist).equivalent);
+}
+
+TEST(TdkLock, DelayKeyIsInvisibleToStaticAnalysis) {
+  // The TDK's weakness in one line: the delay key never changes the
+  // steady-state function, so CNF-based attacks only need the functional
+  // keys.
+  const Netlist orig = generateByName("s1238");
+  const TdkLockResult r = tdkLock(orig, TdkOptions{}, clockFor(orig));
+  ASSERT_FALSE(r.instances.empty());
+  std::vector<int> key = r.design.correctKey;
+  for (const TdkInstance& inst : r.instances) key[inst.k2Index] ^= 1;
+  const Netlist unlocked = applyKey(r.design.netlist, r.design.keyInputs, key);
+  const CombExtraction a = extractCombinational(orig);
+  const CombExtraction b = extractCombinational(unlocked);
+  EXPECT_TRUE(sat::checkEquivalence(a.netlist, b.netlist).equivalent);
+}
+
+TEST(TdkToyPath, WrongDelayKeyViolatesSetup) {
+  // The Fig. 2(c) situation, deterministic: a toggling D with a long TDB
+  // path landing inside the capture window.
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  Netlist nl("toy");
+  const NetId x = nl.addPI("x");
+  const NetId k2 = nl.addPI("k2");
+  const NetId fast = nl.addNet("fast");
+  nl.addDelay(x, fast, 200);
+  const NetId slow = nl.addNet("slow");
+  nl.addDelay(x, slow, 1760);  // 120 + 1760 + ~80 lands in (1910, 2025)
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kMux2, {k2, fast, slow}, y);
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {y}, q);
+  nl.markPO(q);
+
+  for (int k2val = 0; k2val <= 1; ++k2val) {
+    EventSimConfig cfg;
+    cfg.clockPeriod = ns(2);
+    cfg.simTime = 13 * ns(2);
+    EventSim sim(nl, cfg);
+    sim.setInitialInput(k2, logicFromBool(k2val != 0));
+    Logic v = Logic::F;
+    sim.setInitialInput(x, v);
+    for (int k = 1; k < 13; ++k) {
+      v = logicNot(v);
+      sim.drive(x, k * ns(2) + lib.clkToQ(), v);
+    }
+    sim.run();
+    if (k2val == 0)
+      EXPECT_TRUE(sim.violations().empty());
+    else
+      EXPECT_GE(sim.violations().size(), 8u);
+  }
+}
+
+TEST(TdkLock, DeterministicForSeed) {
+  const Netlist orig = generateByName("s1238");
+  const Ps tclk = clockFor(orig);
+  const TdkLockResult a = tdkLock(orig, TdkOptions{}, tclk);
+  const TdkLockResult b = tdkLock(orig, TdkOptions{}, tclk);
+  EXPECT_EQ(a.design.correctKey, b.design.correctKey);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i)
+    EXPECT_EQ(a.instances[i].flop, b.instances[i].flop);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,93 @@
+// The Fig. 3(b) "buffer variant" flow mode: constant correct keys,
+// inverter-level glitches, both taps aimed at the capture window.
+#include <gtest/gtest.h>
+
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "flow/gk_flow.h"
+
+namespace gkll {
+namespace {
+
+GkFlowResult lockB(const Netlist& orig, int gks) {
+  GkFlowOptions opt;
+  opt.numGks = gks;
+  opt.bufferVariant = true;
+  return runGkFlow(orig, opt);
+}
+
+TEST(VariantB, CorrectConstantKeyVerifies) {
+  const Netlist orig = generateByName("s1238");
+  const GkFlowResult r = lockB(orig, 3);
+  ASSERT_EQ(r.insertions.size(), 3u);
+  EXPECT_TRUE(r.verify.ok());
+  for (const GkInsertion& ins : r.insertions) {
+    EXPECT_TRUE(ins.correct == GkBehavior::kConst0 ||
+                ins.correct == GkBehavior::kConst1);
+    EXPECT_TRUE(ins.gk.bufferVariant);
+  }
+}
+
+TEST(VariantB, BothConstantsAreBehaviourallyCorrect) {
+  // The documented caveat: const 0 and const 1 both buffer, so flipping a
+  // GK's key from one constant to the other keeps the design verified.
+  const Netlist orig = generateByName("s1238");
+  const GkFlowResult r = lockB(orig, 2);
+  ASSERT_EQ(r.insertions.size(), 2u);
+  std::vector<int> other = r.design.correctKey;
+  other[0] ^= 1;  // (0,0) <-> (1,1) for the first GK
+  other[1] ^= 1;
+  VerifyOptions vo;
+  vo.clockPeriod = r.clockPeriod;
+  vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+  const VerifyReport v =
+      verifySequential(orig, r.design.netlist, orig.flops().size(),
+                       r.clockArrival, r.design.keyInputs, other, vo);
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(VariantB, TransitionKeysCorrupt) {
+  // Any (k1,k2) selecting a transition puts an inverter-level glitch on
+  // the capture window: the flop captures x'.
+  const Netlist orig = generateByName("s1238");
+  const GkFlowResult r = lockB(orig, 2);
+  ASSERT_EQ(r.insertions.size(), 2u);
+  for (const GkBehavior wrong : {GkBehavior::kTrigA, GkBehavior::kTrigB}) {
+    std::vector<int> key = r.design.correctKey;
+    const auto [k1, k2] = keyBitsFor(wrong);
+    key[0] = k1;
+    key[1] = k2;
+    VerifyOptions vo;
+    vo.clockPeriod = r.clockPeriod;
+    vo.inputArrival = CellLibrary::tsmc013c().clkToQ();
+    const VerifyReport v =
+        verifySequential(orig, r.design.netlist, orig.flops().size(),
+                         r.clockArrival, r.design.keyInputs, key, vo);
+    EXPECT_GT(v.stateMismatches, 0) << "behaviour " << static_cast<int>(wrong);
+  }
+}
+
+TEST(VariantB, SatAttackStillDiesAtIterationOne) {
+  // Statically a variant-(b) GK is a *buffer* for both key constants —
+  // still key-insensitive, so the miter has no DIP.
+  const Netlist orig = generateByName("s1238");
+  GkEncryptor enc(orig);
+  EncryptOptions opt;
+  opt.numGks = 2;
+  opt.bufferVariant = true;
+  const GkFlowResult locked = enc.encrypt(opt);
+  ASSERT_EQ(locked.insertions.size(), 2u);
+  const auto surf = enc.attackSurface(locked);
+  const SatAttackResult sat =
+      satAttack(surf.comb, surf.gkKeys, surf.oracleComb);
+  EXPECT_TRUE(sat.unsatAtFirstIteration);
+  // But note: unlike variant (a), the static view of a variant-(b) GK is
+  // a buffer — the *correct* function.  The attacker's recovered netlist
+  // is equivalent; variant (b)'s security rests only on the corruption
+  // under transition keys, which is why the paper evaluates variant (a).
+  EXPECT_TRUE(sat.decrypted);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,111 @@
+#include "sim/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "lock/glitch_keygate.h"
+
+namespace gkll {
+namespace {
+
+struct VcdFixture {
+  Netlist nl{"vcd"};
+  NetId x = kNoNet, key = kNoNet;
+  GkInstance gk;
+  std::unique_ptr<EventSim> sim;
+
+  VcdFixture() {
+    x = nl.addPI("x");
+    key = nl.addPI("key");
+    gk = buildGk(nl, x, key, false, ns(2), ns(3), "gk");
+    nl.markPO(gk.y);
+    EventSimConfig cfg;
+    cfg.simTime = ns(10);
+    cfg.clockedFlops = false;
+    sim = std::make_unique<EventSim>(nl, cfg);
+    sim->setInitialInput(x, Logic::T);
+    sim->setInitialInput(key, Logic::F);
+    sim->drive(key, ns(3), Logic::T);
+    sim->run();
+  }
+};
+
+TEST(Vcd, HeaderAndDefinitions) {
+  VcdFixture f;
+  const std::string vcd = writeVcd(*f.sim, f.nl);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module gkll $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! x $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+}
+
+TEST(Vcd, DumpsInitialValuesAndChanges) {
+  VcdFixture f;
+  VcdOptions opt;
+  opt.nets = {f.key, f.gk.y};
+  const std::string vcd = writeVcd(*f.sim, f.nl, opt);
+  // key (id '!') initially 0, y (id '"') initially 0 (x' with x=1... y=0).
+  EXPECT_NE(vcd.find("0!"), std::string::npos);
+  // The key rise at exactly 3 ns.
+  EXPECT_NE(vcd.find("#3000\n1!"), std::string::npos);
+  // Final timestamp is the horizon.
+  EXPECT_NE(vcd.find("#10000\n"), std::string::npos);
+}
+
+TEST(Vcd, TimesAreMonotone) {
+  VcdFixture f;
+  const std::string vcd = writeVcd(*f.sim, f.nl);
+  std::istringstream in(vcd);
+  std::string line;
+  long long last = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    const long long t = std::stoll(line.substr(1));
+    EXPECT_GE(t, last);
+    last = t;
+  }
+  EXPECT_GT(last, 0);
+}
+
+TEST(Vcd, HorizonClips) {
+  VcdFixture f;
+  VcdOptions opt;
+  opt.nets = {f.gk.y};
+  opt.horizon = ns(4);  // before the glitch ends at ~6.2 ns
+  const std::string vcd = writeVcd(*f.sim, f.nl, opt);
+  EXPECT_EQ(vcd.find("#6"), std::string::npos);
+  EXPECT_NE(vcd.find("#4000\n"), std::string::npos);
+}
+
+TEST(Vcd, AutoNamedNetsSkippedByDefault) {
+  Netlist nl("auto");
+  const NetId a = nl.addPI("a");
+  const NetId hidden = nl.addNet();  // "_n0"
+  nl.addGate(CellKind::kInv, {a}, hidden);
+  nl.markPO(hidden);
+  EventSimConfig cfg;
+  cfg.simTime = ns(1);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.run();
+  const std::string vcd = writeVcd(sim, nl);
+  EXPECT_EQ(vcd.find("_n0"), std::string::npos);
+  EXPECT_NE(vcd.find(" a $end"), std::string::npos);
+}
+
+TEST(Vcd, FileRoundTrip) {
+  VcdFixture f;
+  const std::string path = testing::TempDir() + "/gkll_wave.vcd";
+  ASSERT_TRUE(writeVcdFile(*f.sim, f.nl, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), writeVcd(*f.sim, f.nl));
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,128 @@
+#include "sim/waveform.h"
+
+#include <gtest/gtest.h>
+
+namespace gkll {
+namespace {
+
+TEST(Waveform, InitialAndFinal) {
+  Waveform w(Logic::F);
+  EXPECT_EQ(w.initial(), Logic::F);
+  EXPECT_EQ(w.finalValue(), Logic::F);
+  w.set(100, Logic::T);
+  EXPECT_EQ(w.finalValue(), Logic::T);
+  EXPECT_EQ(w.numTransitions(), 1u);
+}
+
+TEST(Waveform, ValueAtBinarySearch) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);
+  w.set(200, Logic::F);
+  w.set(300, Logic::X);
+  EXPECT_EQ(w.valueAt(0), Logic::F);
+  EXPECT_EQ(w.valueAt(99), Logic::F);
+  EXPECT_EQ(w.valueAt(100), Logic::T);  // changes take effect at their time
+  EXPECT_EQ(w.valueAt(199), Logic::T);
+  EXPECT_EQ(w.valueAt(200), Logic::F);
+  EXPECT_EQ(w.valueAt(299), Logic::F);
+  EXPECT_EQ(w.valueAt(1000), Logic::X);
+}
+
+TEST(Waveform, RedundantSetIsNoOp) {
+  Waveform w(Logic::T);
+  w.set(50, Logic::T);
+  EXPECT_EQ(w.numTransitions(), 0u);
+}
+
+TEST(Waveform, SameTimeReRecordReplaces) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);
+  w.set(100, Logic::X);
+  ASSERT_EQ(w.numTransitions(), 1u);
+  EXPECT_EQ(w.valueAt(100), Logic::X);
+}
+
+TEST(Waveform, SameTimeRevertCollapses) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);
+  w.set(100, Logic::F);  // back to the previous value: zero-width pulse
+  EXPECT_EQ(w.numTransitions(), 0u);
+  EXPECT_EQ(w.valueAt(100), Logic::F);
+}
+
+TEST(Pulses, DecomposesSegments) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);
+  w.set(300, Logic::F);
+  const auto segs = pulses(w, 0, 1000);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].level, Logic::F);
+  EXPECT_EQ(segs[0].width(), 100);
+  EXPECT_EQ(segs[1].level, Logic::T);
+  EXPECT_EQ(segs[1].width(), 200);
+  EXPECT_EQ(segs[2].level, Logic::F);
+  EXPECT_EQ(segs[2].end, 1000);
+}
+
+TEST(Pulses, WindowClipsHistory) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);
+  w.set(300, Logic::F);
+  const auto segs = pulses(w, 150, 250);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].level, Logic::T);
+  EXPECT_EQ(segs[0].start, 150);
+  EXPECT_EQ(segs[0].end, 250);
+}
+
+TEST(Glitches, OnlyInteriorNarrowSegments) {
+  Waveform w(Logic::F);
+  w.set(100, Logic::T);   // 50-wide pulse
+  w.set(150, Logic::F);
+  w.set(500, Logic::T);   // wide pulse
+  w.set(900, Logic::F);
+  const auto g = glitches(w, 0, 1000, 100);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].start, 100);
+  EXPECT_EQ(g[0].width(), 50);
+}
+
+TEST(Glitches, TrailingSegmentNeverCounts) {
+  Waveform w(Logic::F);
+  w.set(990, Logic::T);  // 10 before the horizon, but unbounded
+  EXPECT_TRUE(glitches(w, 0, 1000, 100).empty());
+}
+
+TEST(RenderDiagram, ShowsLevelsAndEdges) {
+  Waveform w(Logic::F);
+  w.set(400, Logic::T);
+  w.set(800, Logic::F);
+  const std::string s = renderDiagram({{"sig", &w}}, 0, 1200, 200);
+  // 6 sample columns: __/-\_ plus ruler lines.
+  EXPECT_NE(s.find("sig : "), std::string::npos);
+  EXPECT_NE(s.find('/'), std::string::npos);
+  EXPECT_NE(s.find('\\'), std::string::npos);
+  EXPECT_NE(s.find("(ns)"), std::string::npos);
+}
+
+TEST(RenderDiagram, UnknownRendersAsX) {
+  Waveform w(Logic::X);
+  const std::string s = renderDiagram({{"u", &w}}, 0, 600, 200);
+  EXPECT_NE(s.find("XXX"), std::string::npos);
+}
+
+TEST(RenderDiagram, LabelsAligned) {
+  Waveform a(Logic::F), b(Logic::T);
+  const std::string s =
+      renderDiagram({{"short", &a}, {"a_much_longer_name", &b}}, 0, 400, 200);
+  // Both rows must place the " : " separator at the same offset from the
+  // start of their label (labels are padded to the widest).
+  const auto l1 = s.find("short");
+  const auto c1 = s.find(" : ", l1);
+  const auto l2 = s.find("a_much_longer_name");
+  const auto c2 = s.find(" : ", l2);
+  EXPECT_EQ(c1 - l1, c2 - l2);
+}
+
+}  // namespace
+}  // namespace gkll

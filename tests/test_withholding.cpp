@@ -1,0 +1,111 @@
+#include "lock/withholding.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/enhanced_removal.h"
+#include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "sim/event_sim.h"
+
+namespace gkll {
+namespace {
+
+struct Harness {
+  Netlist nl{"wh"};
+  NetId x = kNoNet, key = kNoNet;
+  GkInstance gk;
+};
+
+Harness makeGkOnGate(CellKind innerKind) {
+  // u, v -> inner gate -> x -> GK; the inner gate is absorbable.
+  Harness h;
+  const NetId u = h.nl.addPI("u");
+  const NetId v = h.nl.addPI("v");
+  h.x = h.nl.addNet("x");
+  h.nl.addGate(innerKind, {u, v}, h.x);
+  h.key = h.nl.addPI("key");
+  h.gk = buildGk(h.nl, h.x, h.key, false, ns(1), ns(1), "gk");
+  h.nl.markPO(h.gk.y);
+  return h;
+}
+
+TEST(Withholding, ReplacesGatesWithLuts) {
+  Harness h = makeGkOnGate(CellKind::kAnd2);
+  const WithholdingResult r = withholdGk(h.nl, h.gk);
+  EXPECT_EQ(r.luts.size(), 2u);
+  EXPECT_EQ(r.absorbedGates, 2);  // AND absorbed into both LUTs
+  EXPECT_EQ(h.nl.gate(h.gk.xnorGate).kind, CellKind::kLut);
+  EXPECT_EQ(h.nl.gate(h.gk.xorGate).kind, CellKind::kLut);
+  EXPECT_FALSE(h.nl.validate().has_value());
+}
+
+TEST(Withholding, AbsorbedLutHasThreeInputs) {
+  Harness h = makeGkOnGate(CellKind::kNand2);
+  const WithholdingResult r = withholdGk(h.nl, h.gk);
+  for (GateId l : r.luts) EXPECT_EQ(h.nl.gate(l).fanin.size(), 3u);
+}
+
+TEST(Withholding, PreservesSteadyStateFunction) {
+  // The withheld GK must compute the same steady-state function: y = x'
+  // for constant keys (variant a), where x = AND(u, v).
+  for (const CellKind inner :
+       {CellKind::kAnd2, CellKind::kOr2, CellKind::kXor2, CellKind::kNand2}) {
+    Harness plain = makeGkOnGate(inner);
+    Harness hidden = makeGkOnGate(inner);
+    withholdGk(hidden.nl, hidden.gk);
+    // Compare statically over all input combinations (delays are buffers
+    // in CNF).
+    EXPECT_TRUE(
+        sat::checkEquivalence(plain.nl, hidden.nl).equivalent)
+        << cellKindName(inner);
+  }
+}
+
+TEST(Withholding, GlitchBehaviourSurvives) {
+  Harness h = makeGkOnGate(CellKind::kAnd2);
+  withholdGk(h.nl, h.gk);
+  EventSimConfig cfg;
+  cfg.simTime = ns(10);
+  cfg.clockedFlops = false;
+  EventSim sim(h.nl, cfg);
+  // u = v = 1 -> x = 1; steady y = 0; glitch at level 1 on key rise.
+  for (NetId pi : h.nl.inputs())
+    sim.setInitialInput(pi, pi == h.key ? Logic::F : Logic::T);
+  sim.drive(h.key, ns(4), Logic::T);
+  sim.run();
+  const auto g = glitches(sim.wave(h.gk.y), 0, ns(10), ns(3));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].level, Logic::T);
+  EXPECT_NEAR(static_cast<double>(g[0].width()), 1000, 120);
+}
+
+TEST(Withholding, NoAbsorbableDriverFallsBackToTwoInputs) {
+  // x driven by a PI: nothing to absorb.
+  Harness h;
+  h.x = h.nl.addPI("x");
+  h.key = h.nl.addPI("key");
+  h.gk = buildGk(h.nl, h.x, h.key, false, ns(1), ns(1), "gk");
+  h.nl.markPO(h.gk.y);
+  const WithholdingResult r = withholdGk(h.nl, h.gk);
+  EXPECT_EQ(r.absorbedGates, 0);
+  for (GateId l : r.luts) EXPECT_EQ(h.nl.gate(l).fanin.size(), 2u);
+}
+
+TEST(Withholding, DefeatsStructuralLocalisation) {
+  // Before withholding the GK fingerprint is visible; after, the located
+  // candidates are flagged unmodelable.
+  Harness plain = makeGkOnGate(CellKind::kAnd2);
+  const auto before = locateGks(plain.nl);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_FALSE(before[0].withheld);
+
+  Harness hidden = makeGkOnGate(CellKind::kAnd2);
+  withholdGk(hidden.nl, hidden.gk);
+  const auto after = locateGks(hidden.nl);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_TRUE(after[0].withheld);
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,107 @@
+// Deep (multi-gate) withholding: the Sec. V-D escalation "we can encrypt
+// the GK with more gates into LUT to elevate the security level".
+#include <gtest/gtest.h>
+
+#include "attack/enhanced_removal.h"
+#include "lock/withholding.h"
+#include "netlist/cell_library.h"
+#include "sat/cnf.h"
+
+namespace gkll {
+namespace {
+
+struct DeepHarness {
+  Netlist nl{"deep"};
+  NetId x = kNoNet, key = kNoNet;
+  GkInstance gk;
+};
+
+/// u,v,w,z -> (u&v) | (w^z) -> x -> GK : a two-level absorbable cone.
+DeepHarness makeDeep() {
+  DeepHarness h;
+  const NetId u = h.nl.addPI("u");
+  const NetId v = h.nl.addPI("v");
+  const NetId w = h.nl.addPI("w");
+  const NetId z = h.nl.addPI("z");
+  const NetId a = h.nl.addNet("a");
+  h.nl.addGate(CellKind::kAnd2, {u, v}, a);
+  const NetId b = h.nl.addNet("b");
+  h.nl.addGate(CellKind::kXor2, {w, z}, b);
+  h.x = h.nl.addNet("x");
+  h.nl.addGate(CellKind::kOr2, {a, b}, h.x);
+  h.key = h.nl.addPI("key");
+  h.gk = buildGk(h.nl, h.x, h.key, false, ns(1), ns(1), "gk");
+  h.nl.markPO(h.gk.y);
+  return h;
+}
+
+TEST(WithholdingDeep, BudgetControlsAbsorptionDepth) {
+  // Budget 3: only the OR is absorbed (leaves a, b + key).
+  {
+    DeepHarness h = makeDeep();
+    WithholdingOptions opt;
+    opt.maxLutInputs = 3;
+    const WithholdingResult r = withholdGk(h.nl, h.gk, opt);
+    EXPECT_EQ(r.absorbedGates, 2);  // one gate per LUT
+    for (GateId l : r.luts) EXPECT_EQ(h.nl.gate(l).fanin.size(), 3u);
+  }
+  // Budget 5: the whole two-level cone fits (u,v,w,z + key).
+  {
+    DeepHarness h = makeDeep();
+    WithholdingOptions opt;
+    opt.maxLutInputs = 5;
+    const WithholdingResult r = withholdGk(h.nl, h.gk, opt);
+    EXPECT_EQ(r.absorbedGates, 6);  // three gates per LUT
+    for (GateId l : r.luts) EXPECT_EQ(h.nl.gate(l).fanin.size(), 5u);
+  }
+}
+
+TEST(WithholdingDeep, DeepAbsorptionPreservesFunction) {
+  DeepHarness plain = makeDeep();
+  DeepHarness hidden = makeDeep();
+  WithholdingOptions opt;
+  opt.maxLutInputs = 5;
+  withholdGk(hidden.nl, hidden.gk, opt);
+  EXPECT_TRUE(sat::checkEquivalence(plain.nl, hidden.nl).equivalent);
+  EXPECT_FALSE(hidden.nl.validate().has_value());
+}
+
+TEST(WithholdingDeep, DeepLutsStillDefeatLocalisation) {
+  DeepHarness h = makeDeep();
+  WithholdingOptions opt;
+  opt.maxLutInputs = 5;
+  withholdGk(h.nl, h.gk, opt);
+  const auto cands = locateGks(h.nl);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].withheld);
+}
+
+TEST(WithholdingDeep, WiderLutsCostMoreArea) {
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  DeepHarness narrow = makeDeep();
+  DeepHarness wide = makeDeep();
+  WithholdingOptions n3, n5;
+  n3.maxLutInputs = 3;
+  n5.maxLutInputs = 5;
+  withholdGk(narrow.nl, narrow.gk, n3);
+  withholdGk(wide.nl, wide.gk, n5);
+  EXPECT_GT(wide.nl.stats(lib).area, narrow.nl.stats(lib).area);
+}
+
+TEST(WithholdingDeep, KeyTapIsAlwaysLastInput) {
+  // locateGks and the withholding contract both rely on this layout.
+  DeepHarness h = makeDeep();
+  WithholdingOptions opt;
+  opt.maxLutInputs = 5;
+  const WithholdingResult r = withholdGk(h.nl, h.gk, opt);
+  for (GateId l : r.luts) {
+    const NetId last = h.nl.gate(l).fanin.back();
+    // The last input traces back to the key through a delay element.
+    const GateId d = h.nl.net(last).driver;
+    EXPECT_EQ(h.nl.gate(d).kind, CellKind::kDelay);
+    EXPECT_EQ(h.nl.gate(d).fanin[0], h.key);
+  }
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,112 @@
+#include "lock/xor_lock.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+TEST(XorLock, CorrectKeyRestoresFunction) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 42});
+  ASSERT_EQ(ld.keyInputs.size(), 4u);
+  const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, ld.correctKey);
+  EXPECT_TRUE(sat::checkEquivalence(unlocked, orig).equivalent);
+}
+
+TEST(XorLock, EveryWrongKeyCorruptsC17) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{3, 43});
+  for (int key = 0; key < 8; ++key) {
+    std::vector<int> bits{key & 1, (key >> 1) & 1, (key >> 2) & 1};
+    if (bits == ld.correctKey) continue;
+    const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, bits);
+    EXPECT_FALSE(sat::checkEquivalence(unlocked, orig).equivalent)
+        << "key " << key << " should corrupt";
+  }
+}
+
+TEST(XorLock, KeyGateKindsMatchKeyBits) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 44});
+  for (std::size_t i = 0; i < ld.keyInputs.size(); ++i) {
+    const NetId key = ld.keyInputs[i];
+    ASSERT_EQ(ld.netlist.net(key).fanouts.size(), 1u);
+    const Gate& g = ld.netlist.gate(ld.netlist.net(key).fanouts[0]);
+    if (ld.correctKey[i] == 0)
+      EXPECT_EQ(g.kind, CellKind::kXor2);
+    else
+      EXPECT_EQ(g.kind, CellKind::kXnor2);
+  }
+}
+
+TEST(XorLock, PreservesInterfaceCounts) {
+  const Netlist orig = makeToySeq();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{2, 45});
+  EXPECT_EQ(ld.netlist.inputs().size(), orig.inputs().size() + 2);
+  EXPECT_EQ(ld.netlist.outputs().size(), orig.outputs().size());
+  EXPECT_EQ(ld.netlist.flops().size(), orig.flops().size());
+  EXPECT_EQ(ld.netlist.stats().numCells, orig.stats().numCells + 2);
+}
+
+TEST(XorLock, SequentialCorrectKeyEquivalence) {
+  const Netlist orig = makeToySeq();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{3, 46});
+  const Netlist unlocked = applyKey(ld.netlist, ld.keyInputs, ld.correctKey);
+  // Compare the combinational cores (pseudo PI/PO alignment by position).
+  const CombExtraction a = extractCombinational(orig);
+  const CombExtraction b = extractCombinational(unlocked);
+  EXPECT_TRUE(sat::checkEquivalence(a.netlist, b.netlist).equivalent);
+}
+
+TEST(XorLock, DeterministicForSeed) {
+  const Netlist orig = makeC17();
+  const LockedDesign a = xorLock(orig, XorLockOptions{4, 7});
+  const LockedDesign b = xorLock(orig, XorLockOptions{4, 7});
+  EXPECT_EQ(a.correctKey, b.correctKey);
+  EXPECT_EQ(a.netlist.numGates(), b.netlist.numGates());
+  const LockedDesign c = xorLock(orig, XorLockOptions{4, 8});
+  EXPECT_TRUE(a.correctKey != c.correctKey ||
+              a.netlist.net(a.keyInputs[0]).fanouts[0] !=
+                  c.netlist.net(c.keyInputs[0]).fanouts[0]);
+}
+
+TEST(XorLock, InPlaceRespectsCandidateList) {
+  Netlist nl = makeC17();
+  const NetId g10 = *nl.findNet("G10");
+  Rng rng(9);
+  std::vector<NetId> keys;
+  std::vector<int> bits;
+  xorLockInPlace(nl, 1, rng, keys, bits, "k", {g10});
+  ASSERT_EQ(keys.size(), 1u);
+  // The key gate must read G10.
+  const Gate& kg = nl.gate(nl.net(keys[0]).fanouts[0]);
+  EXPECT_TRUE(kg.fanin[0] == g10 || kg.fanin[1] == g10);
+}
+
+TEST(XorLock, NeverLocksFlopOutputsOrDelays) {
+  Netlist orig = makeToySeq();
+  // Add a delay element to tempt the locker.
+  const NetId hit = *orig.findNet("hit");
+  const NetId dd = orig.addNet("dd");
+  orig.addDelay(hit, dd, 500);
+  orig.markPO(dd);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const LockedDesign ld = xorLock(orig, XorLockOptions{4, seed});
+    for (NetId key : ld.keyInputs) {
+      const Gate& kg = ld.netlist.gate(ld.netlist.net(key).fanouts[0]);
+      const NetId target = kg.fanin[0] == key ? kg.fanin[1] : kg.fanin[0];
+      const CellKind dk = ld.netlist.gate(ld.netlist.net(target).driver).kind;
+      EXPECT_NE(dk, CellKind::kDff);
+      EXPECT_NE(dk, CellKind::kDelay);
+      EXPECT_FALSE(isSourceKind(dk));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkll
