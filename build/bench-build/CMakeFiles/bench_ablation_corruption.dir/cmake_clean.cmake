@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_corruption"
+  "../bench/bench_ablation_corruption.pdb"
+  "CMakeFiles/bench_ablation_corruption.dir/bench_ablation_corruption.cpp.o"
+  "CMakeFiles/bench_ablation_corruption.dir/bench_ablation_corruption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appsat"
+  "../bench/bench_appsat.pdb"
+  "CMakeFiles/bench_appsat.dir/bench_appsat.cpp.o"
+  "CMakeFiles/bench_appsat.dir/bench_appsat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_enhanced_sat"
+  "../bench/bench_enhanced_sat.pdb"
+  "CMakeFiles/bench_enhanced_sat.dir/bench_enhanced_sat.cpp.o"
+  "CMakeFiles/bench_enhanced_sat.dir/bench_enhanced_sat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enhanced_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

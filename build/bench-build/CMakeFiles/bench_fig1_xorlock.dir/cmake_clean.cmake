@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_xorlock"
+  "../bench/bench_fig1_xorlock.pdb"
+  "CMakeFiles/bench_fig1_xorlock.dir/bench_fig1_xorlock.cpp.o"
+  "CMakeFiles/bench_fig1_xorlock.dir/bench_fig1_xorlock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_xorlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_tdk"
+  "../bench/bench_fig2_tdk.pdb"
+  "CMakeFiles/bench_fig2_tdk.dir/bench_fig2_tdk.cpp.o"
+  "CMakeFiles/bench_fig2_tdk.dir/bench_fig2_tdk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_gk_waveform"
+  "../bench/bench_fig4_gk_waveform.pdb"
+  "CMakeFiles/bench_fig4_gk_waveform.dir/bench_fig4_gk_waveform.cpp.o"
+  "CMakeFiles/bench_fig4_gk_waveform.dir/bench_fig4_gk_waveform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gk_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_keygen"
+  "../bench/bench_fig6_keygen.pdb"
+  "CMakeFiles/bench_fig6_keygen.dir/bench_fig6_keygen.cpp.o"
+  "CMakeFiles/bench_fig6_keygen.dir/bench_fig6_keygen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

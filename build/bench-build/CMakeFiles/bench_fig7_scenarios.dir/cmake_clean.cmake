@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_scenarios"
+  "../bench/bench_fig7_scenarios.pdb"
+  "CMakeFiles/bench_fig7_scenarios.dir/bench_fig7_scenarios.cpp.o"
+  "CMakeFiles/bench_fig7_scenarios.dir/bench_fig7_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

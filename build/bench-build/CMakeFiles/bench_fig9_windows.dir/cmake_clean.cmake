@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_windows"
+  "../bench/bench_fig9_windows.pdb"
+  "CMakeFiles/bench_fig9_windows.dir/bench_fig9_windows.cpp.o"
+  "CMakeFiles/bench_fig9_windows.dir/bench_fig9_windows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

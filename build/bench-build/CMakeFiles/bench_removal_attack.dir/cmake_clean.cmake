@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_removal_attack"
+  "../bench/bench_removal_attack.pdb"
+  "CMakeFiles/bench_removal_attack.dir/bench_removal_attack.cpp.o"
+  "CMakeFiles/bench_removal_attack.dir/bench_removal_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_removal_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

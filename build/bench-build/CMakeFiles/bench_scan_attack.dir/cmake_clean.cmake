@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scan_attack"
+  "../bench/bench_scan_attack.pdb"
+  "CMakeFiles/bench_scan_attack.dir/bench_scan_attack.cpp.o"
+  "CMakeFiles/bench_scan_attack.dir/bench_scan_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

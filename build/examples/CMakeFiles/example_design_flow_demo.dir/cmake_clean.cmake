@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_flow_demo.dir/design_flow_demo.cpp.o"
+  "CMakeFiles/example_design_flow_demo.dir/design_flow_demo.cpp.o.d"
+  "example_design_flow_demo"
+  "example_design_flow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_flow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

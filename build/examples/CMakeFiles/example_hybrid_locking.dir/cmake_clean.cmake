@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_locking.dir/hybrid_locking.cpp.o"
+  "CMakeFiles/example_hybrid_locking.dir/hybrid_locking.cpp.o.d"
+  "example_hybrid_locking"
+  "example_hybrid_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lock_and_attack.dir/lock_and_attack.cpp.o"
+  "CMakeFiles/example_lock_and_attack.dir/lock_and_attack.cpp.o.d"
+  "example_lock_and_attack"
+  "example_lock_and_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lock_and_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

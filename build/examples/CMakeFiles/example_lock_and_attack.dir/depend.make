@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lock_and_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scan_debug.dir/scan_debug.cpp.o"
+  "CMakeFiles/example_scan_debug.dir/scan_debug.cpp.o.d"
+  "example_scan_debug"
+  "example_scan_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scan_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/appsat.cpp" "src/CMakeFiles/gkll.dir/attack/appsat.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/appsat.cpp.o.d"
+  "/root/repo/src/attack/enhanced_removal.cpp" "src/CMakeFiles/gkll.dir/attack/enhanced_removal.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/enhanced_removal.cpp.o.d"
+  "/root/repo/src/attack/enhanced_sat.cpp" "src/CMakeFiles/gkll.dir/attack/enhanced_sat.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/enhanced_sat.cpp.o.d"
+  "/root/repo/src/attack/oracle.cpp" "src/CMakeFiles/gkll.dir/attack/oracle.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/oracle.cpp.o.d"
+  "/root/repo/src/attack/removal_attack.cpp" "src/CMakeFiles/gkll.dir/attack/removal_attack.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/removal_attack.cpp.o.d"
+  "/root/repo/src/attack/sat_attack.cpp" "src/CMakeFiles/gkll.dir/attack/sat_attack.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/sat_attack.cpp.o.d"
+  "/root/repo/src/attack/scan_attack.cpp" "src/CMakeFiles/gkll.dir/attack/scan_attack.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/scan_attack.cpp.o.d"
+  "/root/repo/src/attack/sensitization.cpp" "src/CMakeFiles/gkll.dir/attack/sensitization.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/attack/sensitization.cpp.o.d"
+  "/root/repo/src/benchgen/synthetic_bench.cpp" "src/CMakeFiles/gkll.dir/benchgen/synthetic_bench.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/benchgen/synthetic_bench.cpp.o.d"
+  "/root/repo/src/core/gk_encryptor.cpp" "src/CMakeFiles/gkll.dir/core/gk_encryptor.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/core/gk_encryptor.cpp.o.d"
+  "/root/repo/src/flow/ff_select.cpp" "src/CMakeFiles/gkll.dir/flow/ff_select.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/flow/ff_select.cpp.o.d"
+  "/root/repo/src/flow/gk_flow.cpp" "src/CMakeFiles/gkll.dir/flow/gk_flow.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/flow/gk_flow.cpp.o.d"
+  "/root/repo/src/flow/placement.cpp" "src/CMakeFiles/gkll.dir/flow/placement.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/flow/placement.cpp.o.d"
+  "/root/repo/src/flow/scan_chain.cpp" "src/CMakeFiles/gkll.dir/flow/scan_chain.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/flow/scan_chain.cpp.o.d"
+  "/root/repo/src/flow/synth.cpp" "src/CMakeFiles/gkll.dir/flow/synth.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/flow/synth.cpp.o.d"
+  "/root/repo/src/lock/antisat.cpp" "src/CMakeFiles/gkll.dir/lock/antisat.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/antisat.cpp.o.d"
+  "/root/repo/src/lock/glitch_keygate.cpp" "src/CMakeFiles/gkll.dir/lock/glitch_keygate.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/glitch_keygate.cpp.o.d"
+  "/root/repo/src/lock/locking.cpp" "src/CMakeFiles/gkll.dir/lock/locking.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/locking.cpp.o.d"
+  "/root/repo/src/lock/sarlock.cpp" "src/CMakeFiles/gkll.dir/lock/sarlock.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/sarlock.cpp.o.d"
+  "/root/repo/src/lock/tdk.cpp" "src/CMakeFiles/gkll.dir/lock/tdk.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/tdk.cpp.o.d"
+  "/root/repo/src/lock/withholding.cpp" "src/CMakeFiles/gkll.dir/lock/withholding.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/withholding.cpp.o.d"
+  "/root/repo/src/lock/xor_lock.cpp" "src/CMakeFiles/gkll.dir/lock/xor_lock.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/lock/xor_lock.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/gkll.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/gkll.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/gkll.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/netlist_ops.cpp" "src/CMakeFiles/gkll.dir/netlist/netlist_ops.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/netlist/netlist_ops.cpp.o.d"
+  "/root/repo/src/netlist/netlist_opt.cpp" "src/CMakeFiles/gkll.dir/netlist/netlist_opt.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/netlist/netlist_opt.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "src/CMakeFiles/gkll.dir/sat/cnf.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sat/cnf.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/gkll.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/gkll.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/gkll.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/CMakeFiles/gkll.dir/sim/logic_sim.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sim/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/gkll.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/CMakeFiles/gkll.dir/sim/waveform.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/sim/waveform.cpp.o.d"
+  "/root/repo/src/timing/gk_constraints.cpp" "src/CMakeFiles/gkll.dir/timing/gk_constraints.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/timing/gk_constraints.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/gkll.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/timing/sta.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gkll.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gkll.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gkll.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_antisat.cpp" "tests/CMakeFiles/gkll_tests.dir/test_antisat.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_antisat.cpp.o.d"
+  "/root/repo/tests/test_appsat.cpp" "tests/CMakeFiles/gkll_tests.dir/test_appsat.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_appsat.cpp.o.d"
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/gkll_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_benchgen.cpp" "tests/CMakeFiles/gkll_tests.dir/test_benchgen.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_benchgen.cpp.o.d"
+  "/root/repo/tests/test_cell_library.cpp" "tests/CMakeFiles/gkll_tests.dir/test_cell_library.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_cell_library.cpp.o.d"
+  "/root/repo/tests/test_cnf.cpp" "tests/CMakeFiles/gkll_tests.dir/test_cnf.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_cnf.cpp.o.d"
+  "/root/repo/tests/test_core_smoke.cpp" "tests/CMakeFiles/gkll_tests.dir/test_core_smoke.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_core_smoke.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/gkll_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_dimacs.cpp" "tests/CMakeFiles/gkll_tests.dir/test_dimacs.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_dimacs.cpp.o.d"
+  "/root/repo/tests/test_enhanced_removal.cpp" "tests/CMakeFiles/gkll_tests.dir/test_enhanced_removal.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_enhanced_removal.cpp.o.d"
+  "/root/repo/tests/test_enhanced_sat.cpp" "tests/CMakeFiles/gkll_tests.dir/test_enhanced_sat.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_enhanced_sat.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/gkll_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_event_sim_properties.cpp" "tests/CMakeFiles/gkll_tests.dir/test_event_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_event_sim_properties.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/gkll_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_ff_select.cpp" "tests/CMakeFiles/gkll_tests.dir/test_ff_select.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_ff_select.cpp.o.d"
+  "/root/repo/tests/test_gk_constraints.cpp" "tests/CMakeFiles/gkll_tests.dir/test_gk_constraints.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_gk_constraints.cpp.o.d"
+  "/root/repo/tests/test_gk_encryptor.cpp" "tests/CMakeFiles/gkll_tests.dir/test_gk_encryptor.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_gk_encryptor.cpp.o.d"
+  "/root/repo/tests/test_gk_flow.cpp" "tests/CMakeFiles/gkll_tests.dir/test_gk_flow.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_gk_flow.cpp.o.d"
+  "/root/repo/tests/test_gk_flow_sweep.cpp" "tests/CMakeFiles/gkll_tests.dir/test_gk_flow_sweep.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_gk_flow_sweep.cpp.o.d"
+  "/root/repo/tests/test_glitch_keygate.cpp" "tests/CMakeFiles/gkll_tests.dir/test_glitch_keygate.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_glitch_keygate.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gkll_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_logic_sim.cpp" "tests/CMakeFiles/gkll_tests.dir/test_logic_sim.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_logic_sim.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/gkll_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_netlist_ops.cpp" "tests/CMakeFiles/gkll_tests.dir/test_netlist_ops.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_netlist_ops.cpp.o.d"
+  "/root/repo/tests/test_netlist_opt.cpp" "tests/CMakeFiles/gkll_tests.dir/test_netlist_opt.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_netlist_opt.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/gkll_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_paper_regression.cpp" "tests/CMakeFiles/gkll_tests.dir/test_paper_regression.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_paper_regression.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/gkll_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_removal_attack.cpp" "tests/CMakeFiles/gkll_tests.dir/test_removal_attack.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_removal_attack.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/gkll_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sarlock.cpp" "tests/CMakeFiles/gkll_tests.dir/test_sarlock.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_sarlock.cpp.o.d"
+  "/root/repo/tests/test_sat_attack.cpp" "tests/CMakeFiles/gkll_tests.dir/test_sat_attack.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_sat_attack.cpp.o.d"
+  "/root/repo/tests/test_sat_solver.cpp" "tests/CMakeFiles/gkll_tests.dir/test_sat_solver.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_sat_solver.cpp.o.d"
+  "/root/repo/tests/test_scan_attack.cpp" "tests/CMakeFiles/gkll_tests.dir/test_scan_attack.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_scan_attack.cpp.o.d"
+  "/root/repo/tests/test_scan_chain.cpp" "tests/CMakeFiles/gkll_tests.dir/test_scan_chain.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_scan_chain.cpp.o.d"
+  "/root/repo/tests/test_sensitization.cpp" "tests/CMakeFiles/gkll_tests.dir/test_sensitization.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_sensitization.cpp.o.d"
+  "/root/repo/tests/test_solver_properties.cpp" "tests/CMakeFiles/gkll_tests.dir/test_solver_properties.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_solver_properties.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/gkll_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/gkll_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/gkll_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tdk.cpp" "tests/CMakeFiles/gkll_tests.dir/test_tdk.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_tdk.cpp.o.d"
+  "/root/repo/tests/test_variant_b.cpp" "tests/CMakeFiles/gkll_tests.dir/test_variant_b.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_variant_b.cpp.o.d"
+  "/root/repo/tests/test_vcd.cpp" "tests/CMakeFiles/gkll_tests.dir/test_vcd.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_vcd.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/gkll_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_waveform.cpp.o.d"
+  "/root/repo/tests/test_withholding.cpp" "tests/CMakeFiles/gkll_tests.dir/test_withholding.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_withholding.cpp.o.d"
+  "/root/repo/tests/test_withholding_deep.cpp" "tests/CMakeFiles/gkll_tests.dir/test_withholding_deep.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_withholding_deep.cpp.o.d"
+  "/root/repo/tests/test_xor_lock.cpp" "tests/CMakeFiles/gkll_tests.dir/test_xor_lock.cpp.o" "gcc" "tests/CMakeFiles/gkll_tests.dir/test_xor_lock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gkll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
