@@ -18,8 +18,10 @@
 #include "lock/xor_lock.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_ablation_corruption");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
   const int kTrials = 10;

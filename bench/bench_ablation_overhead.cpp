@@ -15,8 +15,10 @@
 #include "flow/gk_flow.h"
 #include "flow/synth.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_ablation_overhead");
   using namespace gkll;
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Netlist host = generateByName("s5378");

@@ -18,8 +18,10 @@
 #include "lock/xor_lock.h"
 #include "netlist/netlist_ops.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_appsat");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
   const CombExtraction oracle = extractCombinational(host);

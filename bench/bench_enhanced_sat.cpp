@@ -13,8 +13,10 @@
 #include "netlist/netlist_ops.h"
 #include "timing/sta.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_enhanced_sat");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
 

@@ -12,8 +12,10 @@
 #include "sat/cnf.h"
 #include "sim/logic_sim.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig1_xorlock");
   using namespace gkll;
 
   const Netlist original = makeC17();

@@ -17,8 +17,10 @@
 #include "netlist/netlist_ops.h"
 #include "sim/event_sim.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig2_tdk");
   using namespace gkll;
   const Netlist original = generateByName("s1238");
 

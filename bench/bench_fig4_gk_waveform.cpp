@@ -15,8 +15,10 @@
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig4_gk_waveform");
   using namespace gkll;
 
   // Standalone GK: x and key are primary inputs.

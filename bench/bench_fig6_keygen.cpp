@@ -11,8 +11,10 @@
 #include "netlist/netlist.h"
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig6_keygen");
   using namespace gkll;
   const Ps tclk = ns(10);
 

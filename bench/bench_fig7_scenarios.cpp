@@ -18,8 +18,10 @@
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig7_scenarios");
   using namespace gkll;
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Ps tclk = ns(8);

@@ -22,8 +22,10 @@
 #include "sim/event_sim.h"
 #include "timing/gk_constraints.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_fig9_windows");
   using namespace gkll;
 
   // --- analytic part: the paper's idealised numbers -------------------------

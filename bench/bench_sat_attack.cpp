@@ -22,10 +22,29 @@
 #include "core/gk_encryptor.h"
 #include "lock/xor_lock.h"
 #include "netlist/netlist_ops.h"
+#include "obs/telemetry.h"
 #include "util/table.h"
+
+namespace {
+
+/// Machine-readable mirror of one printed table row, keyed
+/// "bench.sat_attack.<circuit>.<scheme>.<metric>" in the metrics JSONL —
+/// the mechanically diffable trajectory the human table cannot give.
+void recordRow(const std::string& circuit, const std::string& scheme,
+               const gkll::SatAttackResult& sat) {
+  const std::string base = "bench.sat_attack." + circuit + "." + scheme + ".";
+  gkll::obs::record(base + "dips", sat.dips);
+  gkll::obs::record(base + "decrypted", sat.decrypted ? 1 : 0);
+  gkll::obs::record(base + "unsat_at_iter1", sat.unsatAtFirstIteration ? 1 : 0);
+  gkll::obs::record(base + "conflicts",
+                    static_cast<double>(sat.solverStats.conflicts));
+}
+
+}  // namespace
 
 int main() {
   using namespace gkll;
+  obs::BenchTelemetry telemetry("bench_sat_attack");
   // A generous but bounded attacker: the largest XOR baselines refute in
   // ~150k conflicts; anything past 1M counts as "gave up".
   SatAttackOptions kBudget;
@@ -56,6 +75,7 @@ int main() {
                      surf.otherKeys.end());
       const SatAttackResult sat =
           satAttack(surf.comb, allKeys, surf.oracleComb, kBudget);
+      recordRow(spec.name, "gk" + std::to_string(gks), sat);
       t.row({spec.name, "GK", fmtI(2 * gks), fmtI(sat.dips),
              sat.unsatAtFirstIteration ? "YES" : "no",
              sat.keyConstraintsUnsat ? "no (UNSAT)" : "yes",
@@ -73,6 +93,7 @@ int main() {
       for (NetId k : xl.keyInputs) keys.push_back(comb.netMap[k]);
       const SatAttackResult sat =
           satAttack(comb.netlist, keys, oracle.netlist, kBudget);
+      recordRow(spec.name, "xor16", sat);
       t.row({spec.name, "XOR [9]", "16", fmtI(sat.dips),
              sat.unsatAtFirstIteration ? "YES" : "no",
              sat.budgetExhausted
@@ -96,6 +117,7 @@ int main() {
                        surf.otherKeys.end());
         const SatAttackResult sat =
             satAttack(surf.comb, allKeys, surf.oracleComb, kBudget);
+        recordRow(spec.name, "hybrid", sat);
         t.row({spec.name, "GK+XOR", "16", fmtI(sat.dips),
                sat.unsatAtFirstIteration ? "YES" : "no",
                sat.keyConstraintsUnsat ? "no (UNSAT)" : "yes",

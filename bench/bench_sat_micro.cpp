@@ -6,6 +6,7 @@
 
 #include "benchgen/synthetic_bench.h"
 #include "netlist/netlist_ops.h"
+#include "obs/telemetry.h"
 #include "sat/cnf.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
@@ -92,4 +93,14 @@ BENCHMARK(BM_EventSimCycle);
 }  // namespace
 }  // namespace gkll
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the telemetry session brackets the run: with
+// GKLL_TRACE=1 the solver/sim counters accumulated across all iterations
+// land in bench_sat_micro.metrics.jsonl for trajectory tracking.
+int main(int argc, char** argv) {
+  gkll::obs::BenchTelemetry telemetry("bench_sat_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

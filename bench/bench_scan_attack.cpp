@@ -11,8 +11,10 @@
 #include "benchgen/synthetic_bench.h"
 #include "core/gk_encryptor.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_scan_attack");
   using namespace gkll;
 
   Table t("scan-chain probing of GK-encrypted flops (s1238, 4 GKs)");

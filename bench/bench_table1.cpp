@@ -18,8 +18,10 @@
 #include "flow/placement.h"
 #include "lock/glitch_keygate.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_table1");
   using namespace gkll;
   const CellLibrary& lib = CellLibrary::tsmc013c();
 
@@ -57,6 +59,11 @@ int main() {
     const double cov = 100.0 * static_cast<double>(avail) /
                        static_cast<double>(st.numFFs);
     covSum += cov;
+    // Mirror of the printed row for the metrics exporter.
+    const std::string base = "bench.table1." + std::string(spec.name) + ".";
+    obs::record(base + "available_ffs", static_cast<double>(avail));
+    obs::record(base + "coverage_pct", cov);
+    obs::record(base + "karmakar_ffs", static_cast<double>(group.size()));
     t.row({spec.name, fmtI(static_cast<long long>(st.numCells)),
            fmtI(static_cast<long long>(st.numFFs)),
            fmtI(static_cast<long long>(avail)), fmtF(cov),

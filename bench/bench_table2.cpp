@@ -12,6 +12,7 @@
 #include "benchgen/synthetic_bench.h"
 #include "flow/gk_flow.h"
 #include "util/table.h"
+#include "obs/telemetry.h"
 
 namespace {
 
@@ -24,6 +25,7 @@ struct Config {
 }  // namespace
 
 int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_table2");
   using namespace gkll;
   const Config configs[] = {
       {"4 GKs, 8 key-inputs", 4, 0},
@@ -57,6 +59,12 @@ int main() {
       sums[c][0] += r.cellOverheadPct;
       sums[c][1] += r.areaOverheadPct;
       ++counts[c];
+      // Mirror of the printed cell for the metrics exporter.
+      const std::string base = "bench.table2." + std::string(spec.name) +
+                               ".gk" + std::to_string(configs[c].gks) + "x" +
+                               std::to_string(configs[c].xors) + ".";
+      obs::record(base + "cell_overhead_pct", r.cellOverheadPct);
+      obs::record(base + "area_overhead_pct", r.areaOverheadPct);
     }
     t.row(row);
   }

@@ -5,6 +5,7 @@
 
 #include "attack/oracle.h"
 #include "lock/locking.h"
+#include "obs/telemetry.h"
 #include "sat/cnf.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
@@ -17,9 +18,12 @@ using sat::Result;
 using sat::Solver;
 using sat::Var;
 
-AppSatResult appSatAttack(const Netlist& lockedComb,
-                          const std::vector<NetId>& keyInputs,
-                          const Netlist& oracleComb, const AppSatOptions& opt) {
+namespace {
+
+AppSatResult appSatAttackImpl(const Netlist& lockedComb,
+                              const std::vector<NetId>& keyInputs,
+                              const Netlist& oracleComb,
+                              const AppSatOptions& opt) {
   AppSatResult res;
   assert(lockedComb.flops().empty());
 
@@ -115,12 +119,18 @@ AppSatResult appSatAttack(const Netlist& lockedComb,
   };
 
   for (int it = 0; it < opt.maxIterations; ++it) {
+    obs::Span iter("attack.appsat.iter");
+    iter.arg("iter", it);
     const Result miter = s.solve();
     if (miter != Result::kSat) break;  // UNSAT (converged) or budget out
     ++res.dips;
+    obs::count("attack.appsat.dips");
     std::vector<Logic> dip;
     for (NetId n : dataPIs) dip.push_back(logicFromBool(s.modelValue(v1[n])));
     constrainAll(dip, oracle.query(dip));
+    iter.arg("dips", res.dips);
+    iter.arg("cnf_vars", s.numVars());
+    iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
     if (ks.solve() == Result::kUnsat) {
       res.keyConstraintsUnsat = true;
       return res;
@@ -171,6 +181,27 @@ AppSatResult appSatAttack(const Netlist& lockedComb,
         applyKey(lockedComb, keyInputs, res.approximateKey);
     res.exactlyCorrect =
         sat::checkEquivalence(unlocked, oracleComb).equivalent;
+  }
+  return res;
+}
+
+}  // namespace
+
+AppSatResult appSatAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb, const AppSatOptions& opt) {
+  obs::Span span("attack.appsat");
+  const AppSatResult res =
+      appSatAttackImpl(lockedComb, keyInputs, oracleComb, opt);
+  if (obs::enabled()) {
+    span.arg("dips", res.dips);
+    span.arg("reconciliations", res.reconciliations);
+    span.arg("succeeded", res.succeeded ? 1 : 0);
+    obs::count("attack.appsat.runs");
+    obs::count("attack.appsat.reconciliations",
+               static_cast<std::uint64_t>(res.reconciliations));
+    obs::record("attack.appsat.dips_per_run", res.dips);
+    if (res.succeeded) obs::record("attack.appsat.error_rate", res.errorRate);
   }
   return res;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.h"
 #include "sat/cnf.h"
 #include "util/rng.h"
 
@@ -61,6 +62,7 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
                                     const EnhancedSatOptions& opt) {
   EnhancedSatResult res;
   assert(lockedComb.flops().empty());
+  obs::Span span("attack.enhanced_sat");
 
   // Data inputs: everything that is not a key, in inputs() order — first
   // the original PIs, then the pseudo (state) PIs.
@@ -74,6 +76,8 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
   assert(dataPIs.size() == numPIs + numState);
 
   // Probe the chip.
+  obs::Span probeSpan("attack.enhanced_sat.probe");
+  probeSpan.arg("samples", opt.samples);
   Rng rng(opt.seed);
   std::vector<Sample> samples;
   for (int s = 0; s < opt.samples; ++s) {
@@ -86,6 +90,9 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
     samples.push_back(std::move(smp));
   }
   res.samplesUsed = opt.samples;
+  probeSpan.end();
+  obs::count("attack.enhanced_sat.samples",
+             static_cast<std::uint64_t>(opt.samples));
 
   auto observedOf = [&](const Sample& smp) {
     std::vector<Logic> obs = smp.cap.poValues;
@@ -97,6 +104,7 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
   // Main question: is there any constant key under which the stable-value
   // timed model reproduces every observation?
   {
+    obs::Span consistencySpan("attack.enhanced_sat.consistency");
     Solver s;
     std::vector<Var> keyVars;
     for (std::size_t i = 0; i < keyInputs.size(); ++i) keyVars.push_back(s.newVar());
@@ -114,6 +122,9 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
   // Per-output explainability: which capture bits no key can account for
   // (these are the glitch-transmitted values).  Bounded for large designs.
   if (lockedComb.outputs().size() <= 512) {
+    obs::Span explainSpan("attack.enhanced_sat.explain");
+    explainSpan.arg("outputs",
+                    static_cast<std::int64_t>(lockedComb.outputs().size()));
     for (std::size_t o = 0; o < lockedComb.outputs().size(); ++o) {
       Solver s;
       std::vector<Var> keyVars;
@@ -124,6 +135,13 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
                      observedOf(smp), static_cast<int>(o));
       if (s.solve() == Result::kUnsat) ++res.inexplicableBits;
     }
+  }
+  if (obs::enabled()) {
+    span.arg("model_consistent", res.modelConsistent ? 1 : 0);
+    span.arg("inexplicable_bits", res.inexplicableBits);
+    obs::count("attack.enhanced_sat.runs");
+    obs::count("attack.enhanced_sat.inexplicable_bits",
+               static_cast<std::uint64_t>(res.inexplicableBits));
   }
   return res;
 }

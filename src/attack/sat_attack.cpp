@@ -5,6 +5,7 @@
 
 #include "attack/oracle.h"
 #include "lock/locking.h"
+#include "obs/telemetry.h"
 #include "sat/cnf.h"
 
 namespace gkll {
@@ -15,10 +16,12 @@ using sat::Result;
 using sat::Solver;
 using sat::Var;
 
-SatAttackResult satAttack(const Netlist& lockedComb,
-                          const std::vector<NetId>& keyInputs,
-                          const Netlist& oracleComb,
-                          const SatAttackOptions& opt) {
+namespace {
+
+SatAttackResult satAttackImpl(const Netlist& lockedComb,
+                              const std::vector<NetId>& keyInputs,
+                              const Netlist& oracleComb,
+                              const SatAttackOptions& opt) {
   SatAttackResult res;
   assert(lockedComb.flops().empty() && "attack wants a combinational core");
 
@@ -89,6 +92,10 @@ SatAttackResult satAttack(const Netlist& lockedComb,
 
   // --- DIP loop --------------------------------------------------------------
   for (int it = 0; it < opt.maxIterations; ++it) {
+    // One span per iteration: miter solve + oracle query + key-solver check,
+    // annotated with the running DIP count and the miter CNF's growth.
+    obs::Span iter("attack.sat.iter");
+    iter.arg("iter", it);
     const Result miter = s.solve();
     if (miter == Result::kUnknown) {
       res.budgetExhausted = true;
@@ -100,11 +107,15 @@ SatAttackResult satAttack(const Netlist& lockedComb,
       break;
     }
     ++res.dips;
+    obs::count("attack.sat.dips");
     std::vector<Logic> dip;
     dip.reserve(dataPIs.size());
     for (NetId n : dataPIs)
       dip.push_back(logicFromBool(s.modelValue(v1[n])));
     constrainWithOracle(dip);
+    iter.arg("dips", res.dips);
+    iter.arg("cnf_vars", s.numVars());
+    iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
     if (ks.solve() == Result::kUnsat) {
       // No key can explain the oracle's response: the static CNF model is
       // wrong about the chip (the GK case — the glitch transmits the value
@@ -130,6 +141,30 @@ SatAttackResult satAttack(const Netlist& lockedComb,
   // --- did the attack actually decrypt? --------------------------------------
   const Netlist unlocked = applyKey(lockedComb, keyInputs, res.recoveredKey);
   res.decrypted = sat::checkEquivalence(unlocked, oracleComb).equivalent;
+  return res;
+}
+
+}  // namespace
+
+SatAttackResult satAttack(const Netlist& lockedComb,
+                          const std::vector<NetId>& keyInputs,
+                          const Netlist& oracleComb,
+                          const SatAttackOptions& opt) {
+  obs::Span span("attack.sat");
+  const SatAttackResult res =
+      satAttackImpl(lockedComb, keyInputs, oracleComb, opt);
+  if (obs::enabled()) {
+    span.arg("dips", res.dips);
+    span.arg("keys", static_cast<std::int64_t>(keyInputs.size()));
+    span.arg("converged", res.converged ? 1 : 0);
+    span.arg("decrypted", res.decrypted ? 1 : 0);
+    obs::count("attack.sat.runs");
+    obs::record("attack.sat.dips_per_run", res.dips);
+    if (res.unsatAtFirstIteration) obs::count("attack.sat.unsat_at_iter1");
+    if (res.keyConstraintsUnsat) obs::count("attack.sat.key_constraints_unsat");
+    if (res.budgetExhausted) obs::count("attack.sat.budget_exhausted");
+    if (res.decrypted) obs::count("attack.sat.decrypted");
+  }
   return res;
 }
 

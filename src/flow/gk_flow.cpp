@@ -7,6 +7,7 @@
 #include "flow/synth.h"
 #include "lock/xor_lock.h"
 #include "netlist/netlist_ops.h"
+#include "obs/telemetry.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
@@ -32,6 +33,7 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   staCfg.inputArrival = lib.clkToQ();
   staCfg.clockPeriod = opt.clockPeriod;
   {
+    obs::Span staSpan("flow.sta_probe");
     Sta probe(nl, staCfg, lib);
     for (std::size_t i = 0; i < nl.flops().size(); ++i)
       probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
@@ -66,6 +68,8 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   std::vector<NetId> xorKeys;
   std::vector<int> xorKeyBits;
   if (opt.hybridXorKeys > 0) {
+    obs::Span hybridSpan("flow.hybrid_xor");
+    hybridSpan.arg("xor_keys", opt.hybridXorKeys);
     const StaResult t0 = sta.run();
     const Ps xorCost = lib.maxDelay(CellKind::kXnor2) + opt.margin;
     std::vector<bool> slackOk(nl.numNets(), false);
@@ -121,10 +125,17 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   }
 
   // --- feasibility analysis (Table I) ---------------------------------------
-  const std::vector<FfCandidate> cands = analyzeFlops(nl, sta, gk, selOpt);
-  res.availableFfs = countAvailable(cands);
-  std::vector<GateId> group = karmakarGroup(nl, cands);
-  res.karmakarFfs = group.size();
+  std::vector<FfCandidate> cands;
+  std::vector<GateId> group;
+  {
+    obs::Span selSpan("flow.ff_select");
+    cands = analyzeFlops(nl, sta, gk, selOpt);
+    res.availableFfs = countAvailable(cands);
+    group = karmakarGroup(nl, cands);
+    res.karmakarFfs = group.size();
+    selSpan.arg("available_ffs", static_cast<std::int64_t>(res.availableFfs));
+    selSpan.arg("karmakar_ffs", static_cast<std::int64_t>(res.karmakarFfs));
+  }
 
   // --- host selection: prefer the Karmakar group, then other available -----
   std::vector<GateId> others;
@@ -149,6 +160,8 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   }
 
   // --- GK + KEYGEN insertion ------------------------------------------------
+  obs::Span insertSpan("flow.gk_insert");
+  insertSpan.arg("hosts", static_cast<std::int64_t>(hosts.size()));
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     const GateId ff = hosts[i];
     const FfCandidate& c = *byFf[ff];
@@ -202,6 +215,9 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
     res.lockedFfs.push_back(ff);
   }
 
+  insertSpan.end();
+  obs::count("flow.gk.inserted", hosts.size());
+
   // Append the hybrid XOR keys after the GK keys.
   res.design.keyInputs.insert(res.design.keyInputs.end(), xorKeys.begin(),
                               xorKeys.end());
@@ -217,6 +233,7 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
 
   // --- STA re-check: classify false vs true violations ---------------------
   {
+    obs::Span recheckSpan("flow.sta_recheck");
     Sta recheck(nl, staCfg, lib);
     for (std::size_t i = 0; i < nl.flops().size(); ++i)
       recheck.setClockArrival(nl.flops()[i], res.clockArrival[i]);
@@ -255,11 +272,15 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
 }  // namespace
 
 GkFlowResult runGkFlow(const Netlist& original, const GkFlowOptions& opt) {
+  obs::Span flowSpan("flow.gk");
   Rng rng(opt.seed);
   std::set<GateId> banned;
   GkFlowResult res;
 
   for (int round = 0; round <= opt.maxRepairRounds; ++round) {
+    obs::Span attemptSpan("flow.gk.attempt");
+    attemptSpan.arg("round", round);
+    obs::count("flow.gk.attempts");
     res = buildAttempt(original, opt, banned, rng);
     res.repairRounds = round;
     if (res.insertions.empty()) return res;
@@ -300,6 +321,8 @@ VerifyReport verifySequential(const Netlist& original, const Netlist& locked,
                               const std::vector<int>& keyValues,
                               const VerifyOptions& vo) {
   VerifyReport rep;
+  obs::Span span("flow.verify");
+  span.arg("cycles", vo.cycles);
   const CellLibrary& lib = CellLibrary::tsmc013c();
   assert(numSharedFlops == original.flops().size());
   assert(numSharedFlops <= locked.flops().size());

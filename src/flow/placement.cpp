@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace gkll {
 
 PlacementResult placeAndRoute(Netlist& nl, const PlacementOptions& opt) {
   PlacementResult res;
+  obs::Span span("flow.pnr");
+  span.arg("nets", nl.numNets());
+  obs::count("flow.pnr.runs");
   Rng rng(opt.seed);
 
   for (NetId n = 0; n < nl.numNets(); ++n) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/telemetry.h"
+
 namespace gkll {
 namespace {
 
@@ -118,6 +120,7 @@ ChainPlan planDelayChain(Ps target, const CellLibrary& lib) {
 
 SynthReport mapDelayElements(Netlist& nl, const CellLibrary& lib) {
   SynthReport report;
+  obs::Span span("flow.resynth");
   // Snapshot the delay gates first; we add gates while iterating.
   std::vector<GateId> delays;
   for (GateId g = 0; g < nl.numGates(); ++g) {
@@ -164,6 +167,12 @@ SynthReport mapDelayElements(Netlist& nl, const CellLibrary& lib) {
     report.chains.push_back(std::move(chain));
   }
   assert(!nl.validate().has_value());
+  if (obs::enabled()) {
+    span.arg("chains", static_cast<std::int64_t>(report.chains.size()));
+    span.arg("cells_added", report.cellsAdded);
+    obs::count("flow.resynth.cells_added",
+               static_cast<std::uint64_t>(report.cellsAdded));
+  }
   return report;
 }
 

@@ -1,0 +1,344 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace gkll::obs {
+namespace {
+
+std::atomic<int> g_enabled{-1};  // -1 = consult GKLL_TRACE on first use
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+void jsonEscape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void jsonNumber(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+bool enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("GKLL_TRACE");
+    v = (e != nullptr && *e != '\0' && std::string_view(e) != "0") ? 1 : 0;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void setEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --- P2Quantile --------------------------------------------------------------
+
+void P2Quantile::add(double x) {
+  if (!sketch_) {
+    q_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(q_, q_ + 5);
+      for (int i = 0; i < 5; ++i) pos_[i] = i + 1;
+      npos_[0] = 1;
+      npos_[1] = 1 + 2 * p_;
+      npos_[2] = 1 + 4 * p_;
+      npos_[3] = 3 + 2 * p_;
+      npos_[4] = 5;
+      dn_[0] = 0;
+      dn_[1] = p_ / 2;
+      dn_[2] = p_;
+      dn_[3] = (1 + p_) / 2;
+      dn_[4] = 1;
+      sketch_ = true;
+    }
+    return;
+  }
+
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 3;
+    for (int i = 1; i < 4; ++i) {
+      if (x < q_[i]) {
+        k = i - 1;
+        break;
+      }
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) pos_[i] += 1;
+  for (int i = 0; i < 5; ++i) npos_[i] += dn_[i];
+
+  for (int i = 1; i < 4; ++i) {
+    const double d = npos_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) ||
+        (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      const int s = d >= 0 ? 1 : -1;
+      const double cand = parabolic(i, s);
+      q_[i] = (q_[i - 1] < cand && cand < q_[i + 1]) ? cand : linear(i, s);
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::parabolic(int i, int s) const {
+  return q_[i] +
+         s / (pos_[i + 1] - pos_[i - 1]) *
+             ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                  (pos_[i + 1] - pos_[i]) +
+              (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                  (pos_[i] - pos_[i - 1]));
+}
+
+double P2Quantile::linear(int i, int s) const {
+  return q_[i] + s * (q_[i + s] - q_[i]) / (pos_[i + s] - pos_[i]);
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (!sketch_) {
+    double sorted[5];
+    std::copy(q_, q_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    int idx = static_cast<int>(p_ * n_ + 0.5) - 1;
+    idx = std::clamp(idx, 0, n_ - 1);
+    return sorted[idx];
+  }
+  return q_[2];
+}
+
+// --- Distribution ------------------------------------------------------------
+
+void Distribution::record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  p50_.add(v);
+  p95_.add(v);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry::Registry() : startNs_(steadyNowNs()) {}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+std::int64_t Registry::nowUs() const {
+  return (steadyNowNs() - startNs_) / 1000;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  return it->second;
+}
+
+Distribution& Registry::distribution(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dists_.find(name);
+  if (it == dists_.end())
+    it = dists_.emplace(std::string(name), Distribution{}).first;
+  return it->second;
+}
+
+void Registry::addTraceEvent(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::uint64_t Registry::counterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::size_t Registry::numCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::size_t Registry::numDistributions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dists_.size();
+}
+
+std::size_t Registry::numTraceEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  dists_.clear();
+  events_.clear();
+}
+
+void Registry::writeMetricsJsonl(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << "{\"type\":\"counter\",\"name\":\"";
+    jsonEscape(os, name);
+    os << "\",\"value\":" << c.value() << "}\n";
+  }
+  for (const auto& [name, d] : dists_) {
+    os << "{\"type\":\"dist\",\"name\":\"";
+    jsonEscape(os, name);
+    os << "\",\"count\":" << d.count() << ",\"min\":";
+    jsonNumber(os, d.min());
+    os << ",\"max\":";
+    jsonNumber(os, d.max());
+    os << ",\"mean\":";
+    jsonNumber(os, d.mean());
+    os << ",\"p50\":";
+    jsonNumber(os, d.p50());
+    os << ",\"p95\":";
+    jsonNumber(os, d.p95());
+    os << "}\n";
+  }
+}
+
+bool Registry::writeMetricsJsonl(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeMetricsJsonl(f);
+  return static_cast<bool>(f);
+}
+
+void Registry::writeChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    jsonEscape(os, ev.name);
+    os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << ev.tsUs
+       << ",\"dur\":" << ev.durUs;
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      bool firstArg = true;
+      for (const auto& [k, v] : ev.args) {
+        if (!firstArg) os << ",";
+        firstArg = false;
+        os << "\"";
+        jsonEscape(os, k);
+        os << "\":" << v;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool Registry::writeChromeTrace(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  writeChromeTrace(f);
+  return static_cast<bool>(f);
+}
+
+// --- Span --------------------------------------------------------------------
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = name;
+  startUs_ = registry().nowUs();
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  args_.emplace_back(std::string(key), value);
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  Registry& reg = registry();
+  const std::int64_t endUs = reg.nowUs();
+  const std::int64_t dur = endUs - startUs_;
+  reg.distribution("span." + name_ + ".us").record(static_cast<double>(dur));
+  reg.addTraceEvent(TraceEvent{std::move(name_), startUs_, dur, std::move(args_)});
+}
+
+// --- free helpers ------------------------------------------------------------
+
+void count(std::string_view name, std::uint64_t n) {
+  if (!enabled()) return;
+  registry().counter(name).add(n);
+}
+
+void record(std::string_view name, double value) {
+  if (!enabled()) return;
+  registry().distribution(name).record(value);
+}
+
+// --- BenchTelemetry ----------------------------------------------------------
+
+BenchTelemetry::BenchTelemetry(std::string name) : name_(std::move(name)) {}
+
+BenchTelemetry::~BenchTelemetry() {
+  if (!enabled()) return;
+  const char* dirEnv = std::getenv("GKLL_TRACE_DIR");
+  const std::string dir = (dirEnv != nullptr && *dirEnv != '\0')
+                              ? std::string(dirEnv) + "/"
+                              : std::string();
+  const std::string metricsPath = dir + name_ + ".metrics.jsonl";
+  const std::string tracePath = dir + name_ + ".trace.json";
+  const bool mOk = registry().writeMetricsJsonl(metricsPath);
+  const bool tOk = registry().writeChromeTrace(tracePath);
+  std::fprintf(stderr, "[obs] %s metrics -> %s%s, trace -> %s%s\n",
+               name_.c_str(), metricsPath.c_str(), mOk ? "" : " (FAILED)",
+               tracePath.c_str(), tOk ? "" : " (FAILED)");
+}
+
+}  // namespace gkll::obs

@@ -1,0 +1,176 @@
+// Unified telemetry: process-wide named counters and value distributions,
+// RAII phase spans, and two exporters — a metrics JSONL dump and a Chrome
+// trace-event file (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+// Everything is gated behind one runtime switch: the GKLL_TRACE environment
+// variable (unset/"0" = off) or the programmatic setEnabled().  When the
+// switch is off, instrumentation sites are a single relaxed atomic load and
+// nothing is ever allocated or recorded — hot paths (solver propagation,
+// event-sim inner loop) must stay within noise of an uninstrumented build.
+//
+// Conventions:
+//   - counter/distribution names are dot-separated paths, subsystem first:
+//     "sat.conflicts", "sim.events", "attack.sat.dips", "flow.gk.inserted"
+//   - every Span named "x" also feeds a distribution "span.x.us" with its
+//     wall time, so the metrics JSONL carries per-phase timing statistics
+//     without parsing the trace file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gkll::obs {
+
+/// The global switch.  First call reads GKLL_TRACE; setEnabled overrides.
+bool enabled();
+void setEnabled(bool on);
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory, exact
+/// for the first five samples, a parabolic-interpolation marker sketch
+/// afterwards.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p) : p_(p) {}
+  void add(double x);
+  double value() const;  ///< current estimate (0 when empty)
+
+ private:
+  double parabolic(int i, int s) const;
+  double linear(int i, int s) const;
+
+  double p_;
+  int n_ = 0;          // samples seen, saturates at 5 once markers start
+  bool sketch_ = false;
+  double q_[5] = {};   // marker heights (initial buffer before sketch_)
+  double pos_[5] = {};
+  double npos_[5] = {};
+  double dn_[5] = {};
+};
+
+/// Streaming value distribution: count/min/max/mean plus p50/p95 sketches.
+class Distribution {
+ public:
+  void record(double v);
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_{0.50};
+  P2Quantile p95_{0.95};
+};
+
+/// One completed span, in Chrome trace-event terms a "ph":"X" record.
+struct TraceEvent {
+  std::string name;
+  std::int64_t tsUs = 0;   ///< start, microseconds since registry start
+  std::int64_t durUs = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/// Process-wide store of all telemetry.  Thread-safe; references returned
+/// by counter()/distribution() stay valid until reset().
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Distribution& distribution(std::string_view name);
+  void addTraceEvent(TraceEvent ev);
+
+  /// Microseconds since the registry was created (the trace time base).
+  std::int64_t nowUs() const;
+
+  // --- exporters -----------------------------------------------------------
+  /// One JSON object per line: {"type":"counter",...} / {"type":"dist",...}.
+  void writeMetricsJsonl(std::ostream& os) const;
+  bool writeMetricsJsonl(const std::string& path) const;
+  /// Chrome trace-event format: {"traceEvents":[...]} of complete events.
+  void writeChromeTrace(std::ostream& os) const;
+  bool writeChromeTrace(const std::string& path) const;
+
+  // --- introspection (tests, exporters) ------------------------------------
+  std::uint64_t counterValue(std::string_view name) const;  ///< 0 if absent
+  std::size_t numCounters() const;
+  std::size_t numDistributions() const;
+  std::size_t numTraceEvents() const;
+
+  /// Drop every counter, distribution and trace event (keeps the time base).
+  void reset();
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Distribution, std::less<>> dists_;
+  std::vector<TraceEvent> events_;
+  std::int64_t startNs_ = 0;  // steady-clock origin
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+/// RAII wall-time span.  A no-op (no clock read, no allocation) when
+/// tracing is disabled at construction.  Nested spans nest by time
+/// containment in the trace viewer; args attach key/value integers.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(std::string_view key, std::int64_t value);
+  /// Close early (idempotent; the destructor calls it too).
+  void end();
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::int64_t startUs_ = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+};
+
+/// Guarded conveniences for one-shot instrumentation sites.
+void count(std::string_view name, std::uint64_t n = 1);
+void record(std::string_view name, double value);
+
+/// Per-binary harness glue for bench_* executables: construct first thing
+/// in main().  When tracing is enabled, the destructor writes
+/// "<name>.metrics.jsonl" and "<name>.trace.json" into GKLL_TRACE_DIR
+/// (default: the current directory) and notes the paths on stderr.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string name);
+  ~BenchTelemetry();
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gkll::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace gkll::sat {
 namespace {
 
@@ -318,6 +320,35 @@ void Solver::reduceDb() {
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solveCalls;
+  if (!obs::enabled()) return solveImpl(assumptions);
+
+  // Telemetry bridge: one span per solve() call, and the per-call deltas of
+  // the cumulative SolverStats folded into the process-wide registry.  All
+  // recording sits at the call boundary — the search loop itself is
+  // untouched, so a disabled run pays only the enabled() check above.
+  obs::Span span("sat.solve");
+  const SolverStats before = stats_;
+  const Result r = solveImpl(assumptions);
+  obs::Registry& reg = obs::registry();
+  reg.counter("sat.solve_calls").add(1);
+  reg.counter("sat.decisions").add(stats_.decisions - before.decisions);
+  reg.counter("sat.propagations").add(stats_.propagations - before.propagations);
+  reg.counter("sat.conflicts").add(stats_.conflicts - before.conflicts);
+  reg.counter("sat.learned_clauses")
+      .add(stats_.learnedClauses - before.learnedClauses);
+  reg.counter("sat.restarts").add(stats_.restarts - before.restarts);
+  reg.distribution("sat.solve.conflicts")
+      .record(static_cast<double>(stats_.conflicts - before.conflicts));
+  span.arg("vars", numVars());
+  span.arg("clauses", static_cast<std::int64_t>(clauses_.size()));
+  span.arg("conflicts",
+           static_cast<std::int64_t>(stats_.conflicts - before.conflicts));
+  span.arg("result", r == Result::kSat ? 1 : (r == Result::kUnsat ? 0 : -1));
+  return r;
+}
+
+Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
   backtrack(0);
   if (propagate() != kNoReason) {
@@ -407,6 +438,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     }
     ++stats_.decisions;
     trailLim_.push_back(static_cast<int>(trail_.size()));
+    if (trailLim_.size() > stats_.maxDecisionLevel)
+      stats_.maxDecisionLevel = trailLim_.size();
     enqueue(next, kNoReason);
   }
 }

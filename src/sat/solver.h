@@ -41,6 +41,8 @@ struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t learnedClauses = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t maxDecisionLevel = 0;  ///< deepest decision stack ever seen
+  std::uint64_t solveCalls = 0;
 };
 
 class Solver {
@@ -80,6 +82,10 @@ class Solver {
     return clauseLog_;
   }
 
+  /// Total clause count (original + currently retained learned clauses) —
+  /// the CNF-growth signal the attack telemetry reports per iteration.
+  std::size_t numClauses() const { return clauses_.size(); }
+
   /// Model access after kSat.  Unassigned variables read as false.
   bool modelValue(Var v) const;
 
@@ -90,6 +96,8 @@ class Solver {
 
  private:
   enum : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  Result solveImpl(const std::vector<Lit>& assumptions);
 
   struct Clause {
     std::vector<Lit> lits;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/telemetry.h"
+
 namespace gkll {
 
 EventSim::EventSim(const Netlist& nl, EventSimConfig cfg, const CellLibrary& lib)
@@ -71,6 +73,7 @@ Ps EventSim::gateDelay(const Gate& g, Logic newOut) const {
 void EventSim::run() {
   assert(!ran_ && "EventSim::run may be called once");
   ran_ = true;
+  obs::Span span("sim.run");
 
   // --- initial settle: zero-delay steady state at t = 0 ------------------
   const std::vector<GateId> topo = nl_.topoOrder();
@@ -152,6 +155,17 @@ void EventSim::run() {
 
   auto applyNetChange = [&](NetId n, Ps t, Logic v) {
     if (current_[n] == v) return;
+    // Glitch census: a change back to the value that preceded the last
+    // transition, within glitchWidth, closes a narrow pulse.
+    {
+      const auto& tr = waves_[n].transitions();
+      if (!tr.empty() && t > tr.back().time &&
+          t - tr.back().time < cfg_.glitchWidth) {
+        const Logic before =
+            tr.size() >= 2 ? tr[tr.size() - 2].value : waves_[n].initial();
+        if (v == before) ++glitches_;
+      }
+    }
     current_[n] = v;
     waves_[n].set(t, v);
     ++totalEvents_;
@@ -164,6 +178,7 @@ void EventSim::run() {
   };
 
   while (!q.empty()) {
+    if (q.size() > queueHighWater_) queueHighWater_ = q.size();
     const Ev e = q.top();
     q.pop();
     if (e.time >= cfg_.simTime) continue;
@@ -192,6 +207,20 @@ void EventSim::run() {
         break;
       }
     }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("sim.runs").add(1);
+    reg.counter("sim.events").add(totalEvents_);
+    reg.counter("sim.glitches").add(glitches_);
+    reg.counter("sim.violations").add(violations_.size());
+    reg.distribution("sim.queue_high_water")
+        .record(static_cast<double>(queueHighWater_));
+    span.arg("events", static_cast<std::int64_t>(totalEvents_));
+    span.arg("glitches", static_cast<std::int64_t>(glitches_));
+    span.arg("queue_hwm", static_cast<std::int64_t>(queueHighWater_));
+    span.arg("nets", nl_.numNets());
   }
 }
 

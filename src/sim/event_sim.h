@@ -29,6 +29,9 @@ struct EventSimConfig {
   Ps clockPeriod = ns(10);
   Ps simTime = ns(100);        ///< simulate [0, simTime)
   bool clockedFlops = true;    ///< false: FFs never capture (hold state)
+  /// Pulses strictly narrower than this count towards glitchesGenerated()
+  /// (an activity metric only — propagation is always transport-exact).
+  Ps glitchWidth = ns(2);
 };
 
 /// A recorded setup/hold failure at a flop capture edge.
@@ -75,6 +78,13 @@ class EventSim {
   /// Total number of value changes across all nets (activity metric).
   std::uint64_t totalEvents() const { return totalEvents_; }
 
+  /// Number of pulses narrower than cfg.glitchWidth observed while
+  /// simulating — the glitch traffic the GK scheme rides on.
+  std::uint64_t glitchesGenerated() const { return glitches_; }
+
+  /// Largest size the pending-event queue ever reached during run().
+  std::size_t queueHighWater() const { return queueHighWater_; }
+
   const EventSimConfig& config() const { return cfg_; }
   const Netlist& netlist() const { return nl_; }
 
@@ -108,6 +118,8 @@ class EventSim {
   std::vector<Ev> stimuli_;
   std::vector<TimingViolation> violations_;
   std::uint64_t totalEvents_ = 0;
+  std::uint64_t glitches_ = 0;
+  std::size_t queueHighWater_ = 0;
   bool ran_ = false;
 };
 

@@ -1,0 +1,334 @@
+// Tests for the telemetry layer (src/obs): counters, distributions (P²
+// quantile sketches), span nesting, exporter round-trips, and — crucially —
+// that a disabled registry records nothing at all.
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+// --- a minimal JSON syntax checker (round-trip parse for the exporters) ----
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        ++pos_;
+      } else if (c == '"') {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::registry().reset();
+    obs::setEnabled(true);
+  }
+  void TearDown() override {
+    obs::registry().reset();
+    obs::setEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CountersAccumulate) {
+  obs::registry().counter("x.y").add(3);
+  obs::count("x.y", 4);
+  obs::count("x.z");
+  EXPECT_EQ(obs::registry().counterValue("x.y"), 7u);
+  EXPECT_EQ(obs::registry().counterValue("x.z"), 1u);
+  EXPECT_EQ(obs::registry().counterValue("absent"), 0u);
+}
+
+TEST_F(ObsTest, DistributionExactForSmallSamples) {
+  obs::Distribution d;
+  d.record(10);
+  d.record(30);
+  d.record(20);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_DOUBLE_EQ(d.min(), 10);
+  EXPECT_DOUBLE_EQ(d.max(), 30);
+  EXPECT_DOUBLE_EQ(d.mean(), 20);
+  EXPECT_DOUBLE_EQ(d.p50(), 20);  // exact below five samples
+}
+
+TEST_F(ObsTest, DistributionQuantileSketch) {
+  // 1..1000 in a shuffled order: the P² estimates must land close to the
+  // true quantiles, min/max/mean exactly.
+  std::vector<double> vals;
+  for (int i = 1; i <= 1000; ++i) vals.push_back(i);
+  Rng rng(7);
+  rng.shuffle(vals);
+  obs::Distribution d;
+  for (double v : vals) d.record(v);
+  EXPECT_EQ(d.count(), 1000u);
+  EXPECT_DOUBLE_EQ(d.min(), 1);
+  EXPECT_DOUBLE_EQ(d.max(), 1000);
+  EXPECT_DOUBLE_EQ(d.mean(), 500.5);
+  EXPECT_NEAR(d.p50(), 500, 50);
+  EXPECT_NEAR(d.p95(), 950, 50);
+}
+
+TEST_F(ObsTest, SpanNestingRecordsContainedEvents) {
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+      inner.arg("k", 42);
+    }
+  }
+  ASSERT_EQ(obs::registry().numTraceEvents(), 2u);
+  // Both span names also feed wall-time distributions.
+  std::ostringstream os;
+  obs::registry().writeMetricsJsonl(os);
+  const std::string jsonl = os.str();
+  EXPECT_NE(jsonl.find("span.outer.us"), std::string::npos);
+  EXPECT_NE(jsonl.find("span.inner.us"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanEndIsIdempotent) {
+  obs::Span s("once");
+  s.end();
+  s.end();  // destructor will call a third time
+  EXPECT_EQ(obs::registry().numTraceEvents(), 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonlRoundTrip) {
+  obs::count("sat.conflicts", 123);
+  obs::record("queue.depth", 5);
+  obs::record("queue.depth", 15);
+  { obs::Span s("phase \"quoted\"\n"); }  // exercises JSON escaping
+
+  std::ostringstream os;
+  obs::registry().writeMetricsJsonl(os);
+  const std::string jsonl = os.str();
+
+  // Every line must parse as a standalone JSON object.
+  std::istringstream lines(jsonl);
+  std::string line;
+  int parsed = 0;
+  bool sawCounter = false;
+  bool sawDist = false;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(JsonChecker(line).valid()) << "bad JSONL line: " << line;
+    ++parsed;
+    if (line.find("\"type\":\"counter\"") != std::string::npos &&
+        line.find("\"name\":\"sat.conflicts\"") != std::string::npos) {
+      sawCounter = true;
+      EXPECT_NE(line.find("\"value\":123"), std::string::npos);
+    }
+    if (line.find("\"name\":\"queue.depth\"") != std::string::npos) {
+      sawDist = true;
+      EXPECT_NE(line.find("\"count\":2"), std::string::npos);
+      EXPECT_NE(line.find("\"min\":5"), std::string::npos);
+      EXPECT_NE(line.find("\"max\":15"), std::string::npos);
+      EXPECT_NE(line.find("\"mean\":10"), std::string::npos);
+    }
+  }
+  EXPECT_GE(parsed, 3);
+  EXPECT_TRUE(sawCounter);
+  EXPECT_TRUE(sawDist);
+}
+
+TEST_F(ObsTest, ChromeTraceIsValidJson) {
+  {
+    obs::Span outer("attack.sat");
+    obs::Span inner("sat.solve");
+    inner.arg("conflicts", 7);
+  }
+  std::ostringstream os;
+  obs::registry().writeChromeTrace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"sat.solve\""), std::string::npos);
+  EXPECT_NE(trace.find("\"conflicts\":7"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::setEnabled(false);
+  obs::registry().reset();
+
+  // Free helpers, spans, and the instrumented solver/sim hot paths must
+  // all leave the registry untouched.
+  obs::count("nope");
+  obs::record("nope.dist", 1.0);
+  {
+    obs::Span s("nope.span");
+    s.arg("k", 1);
+  }
+  sat::Solver solver;
+  const sat::Var a = solver.newVar();
+  const sat::Var b = solver.newVar();
+  solver.addClause(sat::mkLit(a), sat::mkLit(b));
+  solver.addClause(sat::mkLit(a, true), sat::mkLit(b));
+  EXPECT_EQ(solver.solve(), sat::Result::kSat);
+
+  EXPECT_EQ(obs::registry().numCounters(), 0u);
+  EXPECT_EQ(obs::registry().numDistributions(), 0u);
+  EXPECT_EQ(obs::registry().numTraceEvents(), 0u);
+}
+
+TEST_F(ObsTest, SolverBridgesStatsIntoRegistry) {
+  sat::Solver s;
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < 8; ++i) vars.push_back(s.newVar());
+  // Small pigeonhole-ish contradiction to force real search work.
+  for (int i = 0; i < 8; ++i)
+    for (int j = i + 1; j < 8; ++j)
+      s.addClause(sat::mkLit(vars[static_cast<std::size_t>(i)], true),
+                  sat::mkLit(vars[static_cast<std::size_t>(j)], true));
+  std::vector<sat::Lit> all;
+  for (sat::Var v : vars) all.push_back(sat::mkLit(v));
+  s.addClause(all);
+  ASSERT_EQ(s.solve(), sat::Result::kSat);
+
+  EXPECT_EQ(obs::registry().counterValue("sat.solve_calls"), 1u);
+  EXPECT_GE(obs::registry().numTraceEvents(), 1u);  // the sat.solve span
+  EXPECT_EQ(s.stats().solveCalls, 1u);
+  EXPECT_GE(s.stats().maxDecisionLevel, 1u);
+}
+
+TEST_F(ObsTest, EventSimCountersReachRegistry) {
+  // A two-inverter chain driven with a fast pulse: events and a glitch.
+  Netlist nl("obs_sim");
+  const NetId in = nl.addPI("a");
+  const NetId mid = nl.addNet("m");
+  const NetId out = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {in}, mid);
+  nl.addGate(CellKind::kInv, {mid}, out);
+  nl.markPO(out);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(20);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(in, Logic::F);
+  sim.drive(in, ns(5), Logic::T);
+  sim.drive(in, ns(5) + 300, Logic::F);  // 300 ps pulse -> glitch traffic
+  sim.run();
+
+  EXPECT_GT(sim.totalEvents(), 0u);
+  EXPECT_GT(sim.glitchesGenerated(), 0u);
+  EXPECT_GT(sim.queueHighWater(), 0u);
+  EXPECT_EQ(obs::registry().counterValue("sim.runs"), 1u);
+  EXPECT_EQ(obs::registry().counterValue("sim.events"), sim.totalEvents());
+  EXPECT_EQ(obs::registry().counterValue("sim.glitches"),
+            sim.glitchesGenerated());
+}
+
+TEST_F(ObsTest, RegistryResetClearsEverything) {
+  obs::count("a");
+  { obs::Span s("b"); }
+  EXPECT_GT(obs::registry().numCounters() + obs::registry().numTraceEvents(),
+            0u);
+  obs::registry().reset();
+  EXPECT_EQ(obs::registry().numCounters(), 0u);
+  EXPECT_EQ(obs::registry().numDistributions(), 0u);
+  EXPECT_EQ(obs::registry().numTraceEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace gkll
