@@ -4,7 +4,12 @@
 // runs dozens of miter solves over 10k-gate circuits.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "attack/oracle.h"
 #include "benchgen/synthetic_bench.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist_ops.h"
 #include "obs/telemetry.h"
 #include "sat/cnf.h"
@@ -14,6 +19,17 @@
 
 namespace gkll {
 namespace {
+
+std::vector<std::vector<Logic>> randomPatterns(const Netlist& comb,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Logic>> pats(
+      count, std::vector<Logic>(comb.inputs().size()));
+  for (auto& p : pats)
+    for (Logic& v : p) v = logicFromBool(rng.flip());
+  return pats;
+}
 
 void BM_SolverPigeonHole(benchmark::State& state) {
   const int holes = static_cast<int>(state.range(0));
@@ -71,6 +87,62 @@ void BM_ZeroDelaySimStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ZeroDelaySimStep);
 
+// 64 oracle queries, one scalar evaluation each — the pre-packed baseline.
+void BM_OracleScalar64(benchmark::State& state) {
+  const Netlist comb = extractCombinational(generateByName("s5378")).netlist;
+  const CombOracle oracle(comb);
+  const auto pats = randomPatterns(comb, 64, 3);
+  for (auto _ : state) {
+    for (const auto& p : pats) benchmark::DoNotOptimize(oracle.query(p));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_OracleScalar64);
+
+// The same 64 queries answered by one bit-parallel packed evaluation.
+void BM_OraclePacked64(benchmark::State& state) {
+  const Netlist comb = extractCombinational(generateByName("s5378")).netlist;
+  const CombOracle oracle(comb);
+  const auto packed = packPatterns(randomPatterns(comb, 64, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.queryPacked(packed));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_OraclePacked64);
+
+// One-shot packed-vs-scalar measurement outside the google-benchmark loop,
+// so the speedup and pattern throughput land in the metrics JSONL (and on
+// stdout) of every run.
+void measurePackedThroughput() {
+  const Netlist comb = extractCombinational(generateByName("s5378")).netlist;
+  const CombOracle oracle(comb);
+  const auto pats = randomPatterns(comb, 64, 3);
+  const auto packed = packPatterns(pats);
+  using clock = std::chrono::steady_clock;
+  constexpr int kReps = 50;
+
+  const auto t0 = clock::now();
+  for (int r = 0; r < kReps; ++r)
+    for (const auto& p : pats) benchmark::DoNotOptimize(oracle.query(p));
+  const auto t1 = clock::now();
+  for (int r = 0; r < kReps; ++r)
+    benchmark::DoNotOptimize(oracle.queryPacked(packed));
+  const auto t2 = clock::now();
+
+  const double scalarSec = std::chrono::duration<double>(t1 - t0).count();
+  const double packedSec = std::chrono::duration<double>(t2 - t1).count();
+  const double patterns = 64.0 * kReps;
+  const double packedPerSec = patterns / packedSec;
+  const double speedup = scalarSec / packedSec;
+  std::printf(
+      "packed-eval throughput (s5378 comb, 64-pattern batches): "
+      "%.3g patterns/sec, %.2fx vs 64 scalar queries\n",
+      packedPerSec, speedup);
+  obs::record("sim.packed.patterns_per_sec", packedPerSec);
+  obs::record("sim.packed.speedup_vs_scalar", speedup);
+}
+
 void BM_EventSimCycle(benchmark::State& state) {
   const Netlist nl = generateByName("s5378");
   Rng rng(2);
@@ -101,6 +173,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  gkll::measurePackedThroughput();
   benchmark::Shutdown();
   return 0;
 }

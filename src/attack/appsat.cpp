@@ -7,7 +7,6 @@
 #include "lock/locking.h"
 #include "obs/telemetry.h"
 #include "sat/cnf.h"
-#include "sim/logic_sim.h"
 #include "util/rng.h"
 
 namespace gkll {
@@ -40,14 +39,15 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     slotOf[lockedComb.inputs()[i]] = static_cast<int>(i);
 
   CombOracle oracle(oracleComb);
+  const CompiledNetlist locked = CompiledNetlist::compile(lockedComb);
   Rng rng(opt.seed);
 
   Solver s;
   s.setConflictBudget(opt.conflictBudget);
-  const std::vector<Var> v1 = encodeNetlist(s, lockedComb);
+  const std::vector<Var> v1 = encodeNetlist(s, locked);
   std::vector<Var> piVars;
   for (NetId n : dataPIs) piVars.push_back(v1[n]);
-  const std::vector<Var> v2 = encodeNetlist(s, lockedComb, dataPIs, piVars);
+  const std::vector<Var> v2 = encodeNetlist(s, locked, dataPIs, piVars);
   std::vector<Var> diffs;
   for (NetId po : lockedComb.outputs())
     diffs.push_back(sat::makeXor(s, v1[po], v2[po]));
@@ -76,7 +76,7 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
       b.push_back(keyInputs[i]);
       bv.push_back(keyVars[i]);
     }
-    const std::vector<Var> vc = encodeNetlist(solver, lockedComb, b, bv);
+    const std::vector<Var> vc = encodeNetlist(solver, locked, b, bv);
     for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
       solver.addClause(mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));
   };
@@ -87,28 +87,47 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     pinCopy(ks, kVars, x, y);
   };
 
-  // Simulate the locked core under a concrete key.
-  auto lockedOutputs = [&](const std::vector<Logic>& x,
-                           const std::vector<int>& key) {
-    std::vector<Logic> in(lockedComb.inputs().size(), Logic::F);
-    for (std::size_t i = 0; i < dataPIs.size(); ++i)
-      in[static_cast<std::size_t>(slotOf[dataPIs[i]])] = x[i];
+  // Bit-parallel random-query engine: one packed evaluation answers up to
+  // 64 patterns at once, on both the locked core (under `key`) and the
+  // oracle.  Returns the number of disagreeing lanes; with `feedback` each
+  // disagreeing (pattern, oracle response) pair is re-pinned as a
+  // constraint in all three solvers.
+  std::vector<PackedBits> lockedIn, oracleIn, lockedNets;
+  auto randomBatch = [&](const std::vector<int>& key, unsigned n,
+                         bool feedback) {
+    lockedIn.assign(lockedComb.inputs().size(), packedConst(false));
     for (std::size_t i = 0; i < keyInputs.size(); ++i)
-      in[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
-          logicFromBool(key[i] != 0);
-    return outputValues(lockedComb, evalCombinational(lockedComb, in));
-  };
-  auto randomPattern = [&] {
-    std::vector<Logic> x(dataPIs.size());
-    for (Logic& v : x) v = logicFromBool(rng.flip());
-    return x;
+      lockedIn[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
+          packedConst(key[i] != 0);
+    oracleIn.assign(dataPIs.size(), packedConst(false));
+    for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+      std::uint64_t bits = 0;
+      for (unsigned l = 0; l < n; ++l)
+        bits |= static_cast<std::uint64_t>(rng.flip() ? 1 : 0) << l;
+      const PackedBits pb{bits, 0};
+      lockedIn[static_cast<std::size_t>(slotOf[dataPIs[i]])] = pb;
+      oracleIn[i] = pb;
+    }
+    locked.evalPacked(lockedIn, {}, lockedNets);
+    const std::vector<PackedBits> got = locked.outputLanes(lockedNets);
+    const std::vector<PackedBits> want = oracle.queryPacked(oracleIn, n);
+    std::uint64_t diff = 0;
+    for (std::size_t o = 0; o < got.size(); ++o)
+      diff |= (got[o].v ^ want[o].v) | (got[o].x ^ want[o].x);
+    if (n < 64) diff &= (1ULL << n) - 1;
+    int fails = 0;
+    for (unsigned l = 0; l < n; ++l) {
+      if (!((diff >> l) & 1ULL)) continue;
+      ++fails;
+      if (feedback) constrainAll(unpackLane(oracleIn, l), unpackLane(want, l));
+    }
+    return fails;
   };
   auto measureError = [&](const std::vector<int>& key, int queries) {
     int fails = 0;
-    for (int q = 0; q < queries; ++q) {
-      const std::vector<Logic> x = randomPattern();
-      if (lockedOutputs(x, key) != oracle.query(x)) ++fails;
-    }
+    for (int done = 0; done < queries; done += 64)
+      fails += randomBatch(
+          key, static_cast<unsigned>(std::min(64, queries - done)), false);
     return static_cast<double>(fails) / queries;
   };
   auto currentKey = [&]() -> std::vector<int> {
@@ -139,16 +158,13 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     if (res.dips % opt.reconcileEvery != 0) continue;
     ++res.reconciliations;
     const std::vector<int> key = currentKey();
-    // Random-query reconciliation: count disagreements, feed them back.
+    // Random-query reconciliation: packed 64-lane batches, disagreeing
+    // lanes unpacked and fed back as constraints.
     int fails = 0;
-    for (int q = 0; q < opt.randomQueries; ++q) {
-      const std::vector<Logic> x = randomPattern();
-      const std::vector<Logic> want = oracle.query(x);
-      if (lockedOutputs(x, key) != want) {
-        ++fails;
-        constrainAll(x, want);
-      }
-    }
+    for (int done = 0; done < opt.randomQueries; done += 64)
+      fails += randomBatch(
+          key, static_cast<unsigned>(std::min(64, opt.randomQueries - done)),
+          true);
     const double err = static_cast<double>(fails) / opt.randomQueries;
     if (err <= opt.errorThreshold) {
       res.succeeded = true;

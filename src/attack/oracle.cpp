@@ -9,14 +9,39 @@
 
 namespace gkll {
 
-CombOracle::CombOracle(const Netlist& comb) : comb_(comb) {
+CombOracle::CombOracle(const Netlist& comb)
+    : comb_(CompiledNetlist::compile(comb)) {
   assert(comb.flops().empty() && "CombOracle wants a combinational netlist");
 }
 
 std::vector<Logic> CombOracle::query(const std::vector<Logic>& inputs) const {
   ++queries_;
-  const std::vector<Logic> nets = evalCombinational(comb_, inputs);
-  return outputValues(comb_, nets);
+  const std::vector<Logic> nets = comb_.evalComb(inputs);
+  return outputValues(comb_.source(), nets);
+}
+
+std::vector<PackedBits> CombOracle::queryPacked(
+    const std::vector<PackedBits>& inputs, unsigned patterns) const {
+  assert(patterns >= 1 && patterns <= 64);
+  queries_ += patterns;
+  comb_.evalPacked(inputs, {}, packedNets_);
+  return comb_.outputLanes(packedNets_);
+}
+
+std::vector<std::vector<Logic>> CombOracle::queryBatch(
+    const std::vector<std::vector<Logic>>& patterns) const {
+  std::vector<std::vector<Logic>> results(patterns.size());
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, patterns.size() - base);
+    const std::vector<std::vector<Logic>> chunk(
+        patterns.begin() + static_cast<std::ptrdiff_t>(base),
+        patterns.begin() + static_cast<std::ptrdiff_t>(base + n));
+    const std::vector<PackedBits> outs =
+        queryPacked(packPatterns(chunk), static_cast<unsigned>(n));
+    for (std::size_t l = 0; l < n; ++l)
+      results[base + l] = unpackLane(outs, static_cast<unsigned>(l));
+  }
+  return results;
 }
 
 TimingOracle::TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,

@@ -13,13 +13,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
 #include "util/time_types.h"
 
 namespace gkll {
 
-/// Zero-delay functional oracle over a combinational netlist.
+/// Zero-delay functional oracle over a combinational netlist.  Compiles the
+/// netlist once at construction; the netlist must outlive the oracle and
+/// may not be mutated while it is in use.
 class CombOracle {
  public:
   explicit CombOracle(const Netlist& comb);
@@ -27,10 +30,25 @@ class CombOracle {
   /// inputs in comb.inputs() order; returns values in comb.outputs() order.
   std::vector<Logic> query(const std::vector<Logic>& inputs) const;
 
+  /// Bit-parallel batch query: lane l of every PackedBits word is one
+  /// independent pattern, so a single call answers up to 64 queries.
+  /// `inputs` in comb.inputs() order; returns per-output lane words in
+  /// comb.outputs() order.  Counts `patterns` towards numQueries().
+  std::vector<PackedBits> queryPacked(const std::vector<PackedBits>& inputs,
+                                      unsigned patterns = 64) const;
+
+  /// Convenience batch API over scalar patterns (each inner vector in
+  /// comb.inputs() order).  Packs into 64-lane chunks internally.
+  std::vector<std::vector<Logic>> queryBatch(
+      const std::vector<std::vector<Logic>>& patterns) const;
+
+  const CompiledNetlist& compiled() const { return comb_; }
+
   std::uint64_t numQueries() const { return queries_; }
 
  private:
-  const Netlist& comb_;
+  CompiledNetlist comb_;
+  mutable std::vector<PackedBits> packedNets_;  // scratch, reused per batch
   mutable std::uint64_t queries_ = 0;
 };
 

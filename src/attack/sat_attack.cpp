@@ -35,15 +35,18 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   assert(lockedComb.outputs().size() == oracleComb.outputs().size());
 
   CombOracle oracle(oracleComb);
+  // The locked core is re-encoded 2 + 3/DIP times; compile it once and
+  // stamp every copy from the analyzed view.
+  const CompiledNetlist locked = CompiledNetlist::compile(lockedComb);
 
   // Miter solver: two copies sharing the data inputs, independent keys.
   Solver s;
   s.setConflictBudget(opt.conflictBudget);
-  const std::vector<Var> v1 = encodeNetlist(s, lockedComb);
+  const std::vector<Var> v1 = encodeNetlist(s, locked);
   std::vector<NetId> bound = dataPIs;
   std::vector<Var> boundVars;
   for (NetId n : dataPIs) boundVars.push_back(v1[n]);
-  const std::vector<Var> v2 = encodeNetlist(s, lockedComb, bound, boundVars);
+  const std::vector<Var> v2 = encodeNetlist(s, locked, bound, boundVars);
 
   std::vector<Var> diffs;
   for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
@@ -75,7 +78,7 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
         b.push_back(keyInputs[i]);
         bv.push_back(keyVarsOverride ? (*keyVarsOverride)[i] : keySrc[i]);
       }
-      const std::vector<Var> vc = encodeNetlist(solver, lockedComb, b, bv);
+      const std::vector<Var> vc = encodeNetlist(solver, locked, b, bv);
       for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i) {
         solver.addClause(
             mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));

@@ -1,17 +1,20 @@
 #include "lock/withholding.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <vector>
+
+#include "netlist/compiled.h"
 
 namespace gkll {
 namespace {
 
 /// A combinational cone rooted at the GK's data net: `leaves` are the
-/// (external) inputs, `gates` the absorbed cells in topological order.
+/// (external) inputs, `gates` the absorbed cells (expansion order).
 struct Cone {
   std::vector<NetId> leaves;
-  std::vector<GateId> gates;  // root last
+  std::vector<GateId> gates;
 };
 
 bool isAbsorbable(const Netlist& nl, NetId n) {
@@ -55,48 +58,44 @@ Cone growCone(const Netlist& nl, NetId x, int maxLeaves) {
   return cone;
 }
 
-/// Evaluate the cone + outer XOR/XNOR for one leaf/key assignment.
-Logic evalConeFunction(const Netlist& nl, const Cone& cone, NetId root,
-                       CellKind outer, std::uint64_t assignment,
-                       bool keyValue) {
-  std::map<NetId, Logic> value;
-  for (std::size_t i = 0; i < cone.leaves.size(); ++i)
-    value[cone.leaves[i]] = logicFromBool((assignment >> i) & 1ULL);
-  // Worklist evaluation: the cone is a tiny DAG, so repeatedly evaluating
-  // any gate whose fanins are ready terminates quickly regardless of the
-  // recording order.
-  std::vector<bool> done(cone.gates.size(), false);
-  std::size_t remaining = cone.gates.size();
-  std::vector<Logic> ins;
-  while (remaining > 0) {
-    bool progress = false;
-    for (std::size_t gi = 0; gi < cone.gates.size(); ++gi) {
-      if (done[gi]) continue;
-      const Gate& gg = nl.gate(cone.gates[gi]);
-      bool ready = true;
-      ins.clear();
-      for (NetId in : gg.fanin) {
-        const auto it = value.find(in);
-        if (it == value.end()) {
-          ready = false;
-          break;
-        }
-        ins.push_back(it->second);
-      }
-      if (!ready) continue;
-      value[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
-      done[gi] = true;
-      --remaining;
-      progress = true;
-    }
-    assert(progress && "cone is not self-contained");
-    (void)progress;
+/// Truth table of cone ∘ outer(root, key) over all 2^(n+1) assignments in
+/// ONE packed evaluation: lane m is minterm m (leaf i = bit i of m, the
+/// key = bit n).  With maxLutInputs <= 6 the whole table fits in the 64
+/// lanes exactly — no per-assignment loop.
+std::uint64_t coneLutMask(const CompiledNetlist& cn, const Cone& cone,
+                          NetId root, CellKind outer) {
+  const std::size_t n = cone.leaves.size();
+  assert(n + 1 <= 6);
+  // Binary-counting lane constants: leaf i reads 1 in exactly the lanes
+  // whose index has bit i set.
+  std::map<NetId, PackedBits> value;
+  for (std::size_t i = 0; i <= n; ++i) {
+    std::uint64_t bits = 0;
+    for (std::uint64_t m = 0; m < 64; ++m)
+      if ((m >> i) & 1ULL) bits |= 1ULL << m;
+    if (i < n)
+      value[cone.leaves[i]] = PackedBits{bits, 0};
+    else
+      value[kNoNet] = PackedBits{bits, 0};  // the key, addressed below
   }
-  const auto it = value.find(root);
-  assert(it != value.end());
-  const Logic x = it->second;
-  const Logic iv[] = {x, logicFromBool(keyValue)};
-  return evalCell(outer, iv);
+  // The cone is recorded in expansion order; sorting by the compiled
+  // view's dependency position makes a single forward pass sufficient.
+  std::vector<GateId> order = cone.gates;
+  std::sort(order.begin(), order.end(), [&](GateId a, GateId b) {
+    return cn.topoPos(a) < cn.topoPos(b);
+  });
+  std::vector<PackedBits> ins;
+  for (GateId g : order) {
+    ins.clear();
+    for (NetId in : cn.fanin(g)) ins.push_back(value.at(in));
+    value[cn.out(g)] = evalPackedCell(cn.kind(g), ins, cn.lutMask(g));
+  }
+  const PackedBits outIns[] = {value.at(root), value.at(kNoNet)};
+  const PackedBits f = evalPackedCell(outer, outIns);
+  assert(f.x == 0 && "cone evaluation left X lanes");
+  const std::uint64_t tableLanes =
+      (n + 1) == 6 ? ~0ULL : ((1ULL << (1ULL << (n + 1))) - 1);
+  return f.v & tableLanes;
 }
 
 }  // namespace
@@ -106,6 +105,9 @@ WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
   WithholdingResult res;
   assert(opt.maxLutInputs >= 2 && opt.maxLutInputs <= 6);
   const Cone cone = growCone(nl, gk.x, opt.maxLutInputs - 1);
+  // Compiled once, before any edit below: only topoPos/fanin/kind of the
+  // (unmodified) cone gates are consulted afterwards.
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
 
   auto replaceWithLut = [&](GateId old) -> GateId {
     const Gate g = nl.gate(old);  // copy before removal
@@ -113,13 +115,7 @@ WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
     const NetId keyIn = g.fanin[1];  // delayed key tap
     const NetId outNet = g.out;
 
-    const std::size_t n = cone.leaves.size();
-    std::uint64_t mask = 0;
-    for (std::uint64_t m = 0; m < (1ULL << (n + 1)); ++m) {
-      const bool keyVal = (m >> n) & 1ULL;
-      if (evalConeFunction(nl, cone, gk.x, g.kind, m, keyVal) == Logic::T)
-        mask |= 1ULL << m;
-    }
+    const std::uint64_t mask = coneLutMask(cn, cone, gk.x, g.kind);
     nl.removeGate(old);
     std::vector<NetId> ins = cone.leaves;
     ins.push_back(keyIn);

@@ -1,0 +1,358 @@
+#include "netlist/compiled.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/telemetry.h"
+
+namespace gkll {
+namespace {
+
+/// Exact packed counterpart of the scalar kMux2 evaluation: known select
+/// picks a leg; an X select is known only where both legs agree and are
+/// known.
+PackedBits packedMux(PackedBits s, PackedBits in0, PackedBits in1) {
+  const std::uint64_t selKnown = ~s.x;
+  const std::uint64_t pickV = (~s.v & in0.v) | (s.v & in1.v);
+  const std::uint64_t pickX = (~s.v & in0.x) | (s.v & in1.x);
+  const std::uint64_t agree = ~(in0.v ^ in1.v) & ~in0.x & ~in1.x;
+  const std::uint64_t x = (selKnown & pickX) | (~selKnown & ~agree);
+  const std::uint64_t v = ((selKnown & pickV) | (~selKnown & in0.v)) & ~x;
+  return {v, x};
+}
+
+/// Packed LUT with exact cofactor semantics: a lane's output is known 1
+/// (resp. 0) iff every minterm consistent with its known input bits maps
+/// to 1 (resp. 0) — identical to the recursive X-expansion in evalCell.
+PackedBits packedLut(std::span<const PackedBits> ins, std::uint64_t mask) {
+  std::uint64_t couldBe1 = 0, couldBe0 = 0;
+  const std::size_t n = ins.size();
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+    std::uint64_t possible = ~0ULL;  // lanes for which minterm m is reachable
+    for (std::size_t i = 0; i < n; ++i) {
+      // could-be-1 = v | x; could-be-0 = ~v (canonical form: X lanes have
+      // their value bit clear, so ~v covers both known-0 and X).
+      possible &= ((m >> i) & 1ULL) ? (ins[i].v | ins[i].x) : ~ins[i].v;
+    }
+    if ((mask >> m) & 1ULL)
+      couldBe1 |= possible;
+    else
+      couldBe0 |= possible;
+  }
+  return {couldBe1 & ~couldBe0, couldBe1 & couldBe0};
+}
+
+}  // namespace
+
+PackedBits evalPackedCell(CellKind k, std::span<const PackedBits> ins,
+                          std::uint64_t lutMask) {
+  auto andAll = [&] {
+    PackedBits v = packedConst(true);
+    for (PackedBits i : ins) v = packedAnd(v, i);
+    return v;
+  };
+  auto orAll = [&] {
+    PackedBits v = packedConst(false);
+    for (PackedBits i : ins) v = packedOr(v, i);
+    return v;
+  };
+  switch (k) {
+    case CellKind::kInput:
+      return {};  // all X; driven externally
+    case CellKind::kConst0:
+      return packedConst(false);
+    case CellKind::kConst1:
+      return packedConst(true);
+    case CellKind::kBuf:
+    case CellKind::kDelay:
+    case CellKind::kDff:
+      return ins[0];
+    case CellKind::kInv:
+      return packedNot(ins[0]);
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kAnd4:
+      return andAll();
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+      return packedNot(andAll());
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kOr4:
+      return orAll();
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+      return packedNot(orAll());
+    case CellKind::kXor2:
+      return packedXor(ins[0], ins[1]);
+    case CellKind::kXnor2:
+      return packedNot(packedXor(ins[0], ins[1]));
+    case CellKind::kMux2:
+      return packedMux(ins[0], ins[1], ins[2]);
+    case CellKind::kAoi21:
+      return packedNot(packedOr(packedAnd(ins[0], ins[1]), ins[2]));
+    case CellKind::kOai21:
+      return packedNot(packedAnd(packedOr(ins[0], ins[1]), ins[2]));
+    case CellKind::kLut:
+      return packedLut(ins, lutMask);
+  }
+  return {};
+}
+
+std::vector<PackedBits> packPatterns(
+    const std::vector<std::vector<Logic>>& patterns) {
+  assert(patterns.size() <= 64);
+  std::size_t numSignals = 0;
+  for (const auto& p : patterns) numSignals = std::max(numSignals, p.size());
+  std::vector<PackedBits> out(numSignals);
+  for (unsigned lane = 0; lane < patterns.size(); ++lane)
+    for (std::size_t i = 0; i < patterns[lane].size(); ++i)
+      packedSetLane(out[i], lane, patterns[lane][i]);
+  return out;
+}
+
+std::vector<Logic> unpackLane(const std::vector<PackedBits>& packed,
+                              unsigned lane) {
+  std::vector<Logic> out;
+  out.reserve(packed.size());
+  for (PackedBits b : packed) out.push_back(packedLane(b, lane));
+  return out;
+}
+
+std::optional<CompiledNetlist> CompiledNetlist::tryCompile(const Netlist& nl,
+                                                           std::string* error) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CompiledNetlist c;
+  c.src_ = &nl;
+  const std::size_t nGates = nl.numGates();
+  const std::size_t nNets = nl.numNets();
+
+  // --- dense per-gate tables + CSR fanin, duplicate-driver check -----------
+  c.kind_.resize(nGates);
+  c.drive_.resize(nGates);
+  c.out_.resize(nGates);
+  c.delayPs_.resize(nGates);
+  c.lutMask_.resize(nGates);
+  c.faninOff_.assign(nGates + 1, 0);
+  c.driver_.assign(nNets, kNoGate);
+  std::size_t pins = 0;
+  for (GateId g = 0; g < nGates; ++g) {
+    const Gate& gg = nl.gate(g);
+    c.kind_[g] = gg.kind;
+    c.drive_[g] = gg.drive;
+    c.out_[g] = gg.out;
+    c.delayPs_[g] = gg.delayPs;
+    c.lutMask_[g] = gg.lutMask;
+    c.faninOff_[g] = static_cast<std::uint32_t>(pins);
+    pins += gg.fanin.size();
+    if (gg.out == kNoNet) continue;  // tombstone
+    if (c.driver_[gg.out] != kNoGate) {
+      if (error)
+        *error = "net '" + nl.net(gg.out).name + "' is multiply driven (by " +
+                 cellKindName(c.kind_[c.driver_[gg.out]]) + " gate " +
+                 std::to_string(c.driver_[gg.out]) + " and " +
+                 std::string(cellKindName(gg.kind)) + " gate " +
+                 std::to_string(g) + ")";
+      return std::nullopt;
+    }
+    c.driver_[gg.out] = g;
+  }
+  c.faninOff_[nGates] = static_cast<std::uint32_t>(pins);
+  c.faninNets_.reserve(pins);
+  for (GateId g = 0; g < nGates; ++g)
+    for (NetId in : nl.gate(g).fanin) c.faninNets_.push_back(in);
+
+  // --- CSR fanout (rebuilt from the gates, not copied from Net::fanouts,
+  // so the view is self-consistent even if fanout bookkeeping drifts) -------
+  c.fanoutOff_.assign(nNets + 1, 0);
+  for (NetId in : c.faninNets_) ++c.fanoutOff_[in + 1];
+  for (std::size_t n = 0; n < nNets; ++n) c.fanoutOff_[n + 1] += c.fanoutOff_[n];
+  c.fanoutGates_.resize(pins);
+  {
+    std::vector<std::uint32_t> cursor(c.fanoutOff_.begin(),
+                                      c.fanoutOff_.end() - 1);
+    for (GateId g = 0; g < nGates; ++g)
+      for (NetId in : c.fanin(g)) c.fanoutGates_[cursor[in]++] = g;
+  }
+
+  // --- partitions and flop index -------------------------------------------
+  c.combMask_.assign(nGates, 0);
+  c.flopIndex_.assign(nGates, -1);
+  c.flops_.assign(nl.flops().begin(), nl.flops().end());
+  for (std::size_t i = 0; i < c.flops_.size(); ++i)
+    c.flopIndex_[c.flops_[i]] = static_cast<int>(i);
+
+  // --- Kahn's algorithm over the combinational dependency graph.  DFF and
+  // source gates have no combinational fanin dependency: a DFF's Q is
+  // available at the start of the cycle, and its D pin is a sink. ----------
+  std::vector<std::uint32_t> pending(nGates, 0);
+  std::size_t live = 0;
+  c.topo_.reserve(nGates);
+  for (GateId g = 0; g < nGates; ++g) {
+    if (c.out_[g] == kNoNet && c.fanin(g).empty()) continue;  // tombstone
+    ++live;
+    if (isSourceKind(c.kind_[g])) {
+      c.sources_.push_back(g);
+      c.topo_.push_back(g);
+      continue;
+    }
+    if (c.kind_[g] == CellKind::kDff) {
+      c.topo_.push_back(g);
+      continue;
+    }
+    std::uint32_t deps = 0;
+    for (NetId in : c.fanin(g)) {
+      const GateId d = c.driver_[in];
+      if (d != kNoGate && !isSourceKind(c.kind_[d]) &&
+          c.kind_[d] != CellKind::kDff)
+        ++deps;
+    }
+    pending[g] = deps;
+    if (deps == 0) c.topo_.push_back(g);
+  }
+
+  for (std::size_t i = 0; i < c.topo_.size(); ++i) {
+    // The vector doubles as the work queue: entries past `i` are already
+    // ready, and releasing a gate appends its newly-ready readers.
+    const GateId g = c.topo_[i];
+    if (c.out_[g] == kNoNet) continue;
+    // Edges out of sources/DFFs were never counted in `pending`.
+    if (isSourceKind(c.kind_[g]) || c.kind_[g] == CellKind::kDff) continue;
+    for (GateId reader : c.fanout(c.out_[g])) {
+      const CellKind rk = c.kind_[reader];
+      if (isSourceKind(rk) || rk == CellKind::kDff) continue;
+      if (--pending[reader] == 0) c.topo_.push_back(reader);
+    }
+  }
+  if (c.topo_.size() != live) {
+    if (error) {
+      // Name a gate stuck on the cycle for the diagnostic.
+      *error = "combinational cycle detected";
+      for (GateId g = 0; g < nGates; ++g) {
+        if (pending[g] > 0 && c.out_[g] != kNoNet) {
+          *error += " through net '" + nl.net(c.out_[g]).name +
+                    "' (driven by " + cellKindName(c.kind_[g]) + " gate " +
+                    std::to_string(g) + ")";
+          break;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  c.topoPos_.assign(nGates, 0);
+  for (std::uint32_t i = 0; i < c.topo_.size(); ++i)
+    c.topoPos_[c.topo_[i]] = i;
+
+  // --- combinational core + levels ----------------------------------------
+  c.level_.assign(nNets, 0);
+  c.comb_.reserve(c.topo_.size());
+  for (GateId g : c.topo_) {
+    const CellKind k = c.kind_[g];
+    if (isSourceKind(k) || k == CellKind::kDff) continue;
+    c.combMask_[g] = 1;
+    c.comb_.push_back(g);
+    if (c.out_[g] == kNoNet) continue;
+    int m = 0;
+    for (NetId in : c.fanin(g)) m = std::max(m, c.level_[in]);
+    c.level_[c.out_[g]] = m + 1;
+    c.maxLevel_ = std::max(c.maxLevel_, m + 1);
+  }
+
+  if (obs::enabled()) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    obs::count("netlist.compiled.builds");
+    obs::record(
+        "netlist.compiled.build_us",
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            dt)
+            .count());
+    obs::record("netlist.compiled.gates", static_cast<double>(live));
+  }
+  return c;
+}
+
+CompiledNetlist CompiledNetlist::compile(const Netlist& nl) {
+  std::string err;
+  std::optional<CompiledNetlist> c = tryCompile(nl, &err);
+  if (!c) {
+    std::fprintf(stderr, "CompiledNetlist: netlist '%s': %s\n",
+                 nl.name().c_str(), err.c_str());
+    std::abort();
+  }
+  return *std::move(c);
+}
+
+void CompiledNetlist::evalInto(std::span<const Logic> inputs,
+                               std::span<const Logic> ffState,
+                               std::vector<Logic>& nets) const {
+  nets.assign(numNets(), Logic::X);
+  const auto& pis = src_->inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    nets[pis[i]] = i < inputs.size() ? inputs[i] : Logic::X;
+  if (!ffState.empty()) {
+    assert(ffState.size() == flops_.size());
+    for (std::size_t i = 0; i < flops_.size(); ++i)
+      nets[out_[flops_[i]]] = ffState[i];
+  }
+  // Constants may appear anywhere in the gate order; write every source
+  // value before evaluating any combinational gate.
+  for (GateId g : sources_) {
+    if (kind_[g] == CellKind::kConst0) nets[out_[g]] = Logic::F;
+    if (kind_[g] == CellKind::kConst1) nets[out_[g]] = Logic::T;
+  }
+  std::vector<Logic> ins;
+  for (GateId g : comb_) {
+    if (out_[g] == kNoNet) continue;
+    ins.clear();
+    for (NetId in : fanin(g)) ins.push_back(nets[in]);
+    nets[out_[g]] = evalCell(kind_[g], ins, lutMask_[g]);
+  }
+}
+
+std::vector<Logic> CompiledNetlist::evalComb(
+    std::span<const Logic> inputs) const {
+  std::vector<Logic> nets;
+  evalInto(inputs, {}, nets);
+  return nets;
+}
+
+void CompiledNetlist::evalPacked(std::span<const PackedBits> inputs,
+                                 std::span<const PackedBits> ffState,
+                                 std::vector<PackedBits>& nets) const {
+  nets.assign(numNets(), PackedBits{});
+  const auto& pis = src_->inputs();
+  for (std::size_t i = 0; i < pis.size() && i < inputs.size(); ++i)
+    nets[pis[i]] = inputs[i];
+  if (!ffState.empty()) {
+    assert(ffState.size() == flops_.size());
+    for (std::size_t i = 0; i < flops_.size(); ++i)
+      nets[out_[flops_[i]]] = ffState[i];
+  }
+  for (GateId g : sources_) {
+    if (kind_[g] == CellKind::kConst0) nets[out_[g]] = packedConst(false);
+    if (kind_[g] == CellKind::kConst1) nets[out_[g]] = packedConst(true);
+  }
+  std::vector<PackedBits> ins;
+  for (GateId g : comb_) {
+    if (out_[g] == kNoNet) continue;
+    ins.clear();
+    for (NetId in : fanin(g)) ins.push_back(nets[in]);
+    nets[out_[g]] = evalPackedCell(kind_[g], ins, lutMask_[g]);
+  }
+  if (obs::enabled()) obs::count("sim.packed.evals");
+}
+
+std::vector<PackedBits> CompiledNetlist::outputLanes(
+    const std::vector<PackedBits>& nets) const {
+  std::vector<PackedBits> out;
+  out.reserve(src_->outputs().size());
+  for (NetId po : src_->outputs()) out.push_back(nets[po]);
+  return out;
+}
+
+}  // namespace gkll

@@ -1,0 +1,227 @@
+// CompiledNetlist — the one analyzed, immutable view of a Netlist.
+//
+// A Netlist is a mutable construction object: gates are added, rewired,
+// tombstoned, and every structural fact (dependency order, levels, fanout
+// lists) can change under an edit.  Every consumer that previously
+// re-derived those facts on its own — the zero-delay simulator, the event
+// scheduler, STA, the CNF encoder, the optimisation passes, withholding —
+// now compiles the netlist once into this view and reads cached arrays:
+//
+//   - CSR (compressed-sparse-row) fanin and fanout adjacency,
+//   - the topological order (the only toposort implementation in the tree),
+//   - per-net combinational levels,
+//   - dense per-gate kind / drive / delay / LUT tables (no Gate pointer
+//     chasing on hot paths),
+//   - source / combinational / flop gate partitions and a combinational-
+//     core mask.
+//
+// Invalidation rule: a CompiledNetlist is a snapshot.  After *any* Netlist
+// mutation (addGate, rewireReaders, removeGate, ...) the view is stale and
+// must be rebuilt; holders never observe edits.  The view keeps a pointer
+// to its source netlist for name lookups only — the source must outlive
+// the view.
+//
+// On top of the scalar evaluator the view provides a 64-way bit-parallel
+// evaluator (evalPacked): each net carries one 64-bit value lane set plus a
+// second 64-bit plane tracking X, so one pass evaluates 64 input patterns.
+// This is what the attack oracles and random-pattern sampling batch on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// 64 three-valued logic lanes for one signal.  Bit i of `x` set means
+/// lane i is X; otherwise bit i of `v` is the 0/1 value.  Canonical form:
+/// `v & x == 0` (an X lane's value bit is 0) — every helper below both
+/// assumes and preserves this.
+struct PackedBits {
+  std::uint64_t v = 0;
+  std::uint64_t x = ~0ULL;  ///< default: all lanes X
+
+  bool operator==(const PackedBits&) const = default;
+};
+
+inline PackedBits packedConst(bool one) {
+  return {one ? ~0ULL : 0ULL, 0ULL};
+}
+inline PackedBits packedSplat(Logic l) {
+  if (l == Logic::X) return {0ULL, ~0ULL};
+  return packedConst(l == Logic::T);
+}
+inline Logic packedLane(PackedBits b, unsigned lane) {
+  if ((b.x >> lane) & 1ULL) return Logic::X;
+  return logicFromBool((b.v >> lane) & 1ULL);
+}
+inline void packedSetLane(PackedBits& b, unsigned lane, Logic l) {
+  const std::uint64_t bit = 1ULL << lane;
+  b.v &= ~bit;
+  b.x &= ~bit;
+  if (l == Logic::X)
+    b.x |= bit;
+  else if (l == Logic::T)
+    b.v |= bit;
+}
+
+// Lane-wise three-valued connectives (exact matches of logicNot/And/Or/Xor).
+inline PackedBits packedNot(PackedBits a) { return {~a.v & ~a.x, a.x}; }
+inline PackedBits packedAnd(PackedBits a, PackedBits b) {
+  const std::uint64_t zero = (~a.v & ~a.x) | (~b.v & ~b.x);  // a known 0
+  return {a.v & b.v, (a.x | b.x) & ~zero};
+}
+inline PackedBits packedOr(PackedBits a, PackedBits b) {
+  const std::uint64_t one = a.v | b.v;  // canonical: v set only when known
+  return {one, (a.x | b.x) & ~one};
+}
+inline PackedBits packedXor(PackedBits a, PackedBits b) {
+  const std::uint64_t x = a.x | b.x;
+  return {(a.v ^ b.v) & ~x, x};
+}
+
+/// Packed counterpart of evalCell: evaluate one cell on 64 lanes at once.
+/// `ins` in pin order; `lutMask` only consulted for kLut.
+PackedBits evalPackedCell(CellKind k, std::span<const PackedBits> ins,
+                          std::uint64_t lutMask = 0);
+
+/// Transpose pattern-major inputs (patterns[k][i] = signal i of lane k,
+/// k < 64) into one PackedBits per signal.  Missing trailing signals in a
+/// pattern default to X; lanes beyond patterns.size() are X.
+std::vector<PackedBits> packPatterns(
+    const std::vector<std::vector<Logic>>& patterns);
+
+/// Lane `lane` of a signal-major packed vector, as a plain Logic vector.
+std::vector<Logic> unpackLane(const std::vector<PackedBits>& packed,
+                              unsigned lane);
+
+class CompiledNetlist {
+ public:
+  /// Analyze `nl`.  Fails — returning std::nullopt and, when `error` is
+  /// non-null, a descriptive message naming the offending net — on the two
+  /// structural defects no consumer can survive: a combinational cycle, or
+  /// a net driven by more than one live gate.
+  static std::optional<CompiledNetlist> tryCompile(const Netlist& nl,
+                                                   std::string* error = nullptr);
+
+  /// Analyze a netlist that is known to be well-formed; prints the
+  /// diagnostic and aborts on a structural defect (the debug-build
+  /// equivalent of the asserts the mutators carry).
+  static CompiledNetlist compile(const Netlist& nl);
+
+  // --- source --------------------------------------------------------------
+  const Netlist& source() const { return *src_; }
+  std::size_t numGates() const { return kind_.size(); }
+  std::size_t numNets() const { return fanoutOff_.size() - 1; }
+  /// Gates that are neither tombstones nor duplicates — the length of
+  /// topoOrder().
+  std::size_t numLiveGates() const { return topo_.size(); }
+
+  // --- dense per-gate tables ----------------------------------------------
+  CellKind kind(GateId g) const { return kind_[g]; }
+  std::uint8_t drive(GateId g) const { return drive_[g]; }
+  NetId out(GateId g) const { return out_[g]; }
+  Ps delayPs(GateId g) const { return delayPs_[g]; }
+  std::uint64_t lutMask(GateId g) const { return lutMask_[g]; }
+  bool isTombstone(GateId g) const {
+    return out_[g] == kNoNet && faninOff_[g] == faninOff_[g + 1];
+  }
+
+  // --- CSR adjacency -------------------------------------------------------
+  std::span<const NetId> fanin(GateId g) const {
+    return {faninNets_.data() + faninOff_[g], faninOff_[g + 1] - faninOff_[g]};
+  }
+  /// Reader gates of a net, one entry per reading pin (matches
+  /// Net::fanouts up to order).
+  std::span<const GateId> fanout(NetId n) const {
+    return {fanoutGates_.data() + fanoutOff_[n],
+            fanoutOff_[n + 1] - fanoutOff_[n]};
+  }
+  GateId driver(NetId n) const { return driver_[n]; }
+
+  // --- cached structure ----------------------------------------------------
+  /// All live gates, sources first, combinational gates in dependency
+  /// order (DFG Q pins count as sources; their D pins as sinks).
+  std::span<const GateId> topoOrder() const { return topo_; }
+  /// Position of a gate within topoOrder(); gates earlier in the order
+  /// have smaller positions.  Undefined for tombstones.
+  std::uint32_t topoPos(GateId g) const { return topoPos_[g]; }
+  /// Only the combinational gates (the combinational core), in dependency
+  /// order — the exact iteration set of every evaluation pass.
+  std::span<const GateId> combGates() const { return comb_; }
+  /// kInput / kConst0 / kConst1 gates.
+  std::span<const GateId> sourceGates() const { return sources_; }
+  /// The combinational-core mask: true for live gates that are neither
+  /// sources nor flops.
+  bool isCombGate(GateId g) const { return combMask_[g] != 0; }
+
+  /// Combinational level per net: sources and flop Q pins are level 0,
+  /// a gate output is 1 + max(level of its fanins).
+  int level(NetId n) const { return level_[n]; }
+  std::span<const int> levels() const { return level_; }
+  int maxLevel() const { return maxLevel_; }
+
+  /// Flop gates in Netlist::flops() order, with O(1) reverse lookup
+  /// (-1 when the gate is not a flop).
+  std::span<const GateId> flops() const { return flops_; }
+  int flopIndex(GateId g) const { return flopIndex_[g]; }
+
+  // --- scalar evaluation ---------------------------------------------------
+  /// One steady-state zero-delay evaluation.  `inputs[i]` drives
+  /// source().inputs()[i] (missing entries default to X); `ffState[i]`
+  /// drives flop i's Q net (empty = flops float at X, the combinational
+  /// case).  Writes every net's settled value into `nets`.
+  void evalInto(std::span<const Logic> inputs, std::span<const Logic> ffState,
+                std::vector<Logic>& nets) const;
+
+  /// Convenience wrapper over evalInto for combinational netlists.
+  std::vector<Logic> evalComb(std::span<const Logic> inputs) const;
+
+  // --- 64-way bit-parallel evaluation --------------------------------------
+  /// Same contract as evalInto, 64 patterns at a time: `inputs[i]` holds
+  /// the 64 lanes of source().inputs()[i].  X lanes propagate with exactly
+  /// the three-valued semantics of evalCell (verified lane-by-lane by the
+  /// property tests).
+  void evalPacked(std::span<const PackedBits> inputs,
+                  std::span<const PackedBits> ffState,
+                  std::vector<PackedBits>& nets) const;
+
+  /// PO lanes of a full packed net vector, in source().outputs() order.
+  std::vector<PackedBits> outputLanes(
+      const std::vector<PackedBits>& nets) const;
+
+ private:
+  CompiledNetlist() = default;
+
+  const Netlist* src_ = nullptr;
+
+  std::vector<CellKind> kind_;
+  std::vector<std::uint8_t> drive_;
+  std::vector<NetId> out_;
+  std::vector<Ps> delayPs_;
+  std::vector<std::uint64_t> lutMask_;
+
+  std::vector<std::uint32_t> faninOff_;   // numGates + 1
+  std::vector<NetId> faninNets_;
+  std::vector<std::uint32_t> fanoutOff_;  // numNets + 1
+  std::vector<GateId> fanoutGates_;
+  std::vector<GateId> driver_;            // per net
+
+  std::vector<GateId> topo_;
+  std::vector<std::uint32_t> topoPos_;
+  std::vector<GateId> comb_;
+  std::vector<GateId> sources_;
+  std::vector<std::uint8_t> combMask_;
+  std::vector<int> level_;
+  int maxLevel_ = 0;
+
+  std::vector<GateId> flops_;
+  std::vector<int> flopIndex_;
+};
+
+}  // namespace gkll

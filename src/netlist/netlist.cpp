@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "netlist/compiled.h"
+
 namespace gkll {
 
 NetId Netlist::addNet(std::string name) {
@@ -151,54 +153,12 @@ std::optional<NetId> Netlist::findNet(const std::string& name) const {
 }
 
 std::vector<GateId> Netlist::topoOrder() const {
-  // Kahn's algorithm over the combinational dependency graph.  DFF and
-  // source gates have no combinational fanin dependency: a DFF's Q is
-  // available at the start of the cycle, and its D pin is a sink.
-  std::vector<std::uint32_t> pending(gates_.size(), 0);
-  std::vector<GateId> ready;
-  ready.reserve(gates_.size());
-  for (GateId g = 0; g < gates_.size(); ++g) {
-    const Gate& gg = gates_[g];
-    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) {
-      ready.push_back(g);
-      continue;
-    }
-    std::uint32_t deps = 0;
-    for (NetId in : gg.fanin) {
-      const GateId d = nets_[in].driver;
-      if (d != kNoGate && !isSourceKind(gates_[d].kind) &&
-          gates_[d].kind != CellKind::kDff)
-        ++deps;
-    }
-    pending[g] = deps;
-    if (deps == 0) ready.push_back(g);
-  }
-
-  std::vector<GateId> order;
-  order.reserve(gates_.size());
-  std::size_t head = 0;
-  std::vector<GateId> queue = std::move(ready);
-  while (head < queue.size()) {
-    const GateId g = queue[head++];
-    order.push_back(g);
-    const Gate& gg = gates_[g];
-    if (gg.out == kNoNet) continue;
-    // Edges out of sources/DFFs were never counted in `pending`.
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
-    for (GateId reader : nets_[gg.out].fanouts) {
-      const Gate& rg = gates_[reader];
-      if (isSourceKind(rg.kind) || rg.kind == CellKind::kDff) continue;
-      if (--pending[reader] == 0) queue.push_back(reader);
-    }
-  }
-
-  // Count live gates to detect cycles.
-  std::size_t live = 0;
-  for (const Gate& g : gates_)
-    if (!(g.out == kNoNet && g.fanin.empty())) ++live;
-  if (order.size() != live) return {};  // combinational cycle
-  return order;
+  // The sort itself lives in CompiledNetlist — the tree's only toposort
+  // implementation.  This wrapper exists for one-shot callers; anything on
+  // a hot path should compile the netlist once and keep the view.
+  const std::optional<CompiledNetlist> c = CompiledNetlist::tryCompile(*this);
+  if (!c) return {};  // combinational cycle (or multiply-driven net)
+  return {c->topoOrder().begin(), c->topoOrder().end()};
 }
 
 std::optional<std::string> Netlist::validate() const {
@@ -220,10 +180,15 @@ std::optional<std::string> Netlist::validate() const {
              std::to_string(gg.fanin.size()) + " fanins, expected " +
              std::to_string(expect);
     if (gg.out == kNoNet) return "gate with no output net";
-    if (nets_[gg.out].driver != g) return "driver bookkeeping broken";
+    if (nets_[gg.out].driver != g)
+      return "net '" + nets_[gg.out].name +
+             "' driver bookkeeping broken (multiply driven?)";
   }
-  if (topoOrder().empty() && !gates_.empty())
-    return "combinational cycle detected";
+  // The compiled-view builder performs the graph-level checks: multiply-
+  // driven nets (two live gates claiming one output) and combinational
+  // cycles, both with diagnostics naming the offending net.
+  std::string err;
+  if (!CompiledNetlist::tryCompile(*this, &err).has_value()) return err;
   return std::nullopt;
 }
 

@@ -134,12 +134,16 @@ class Netlist {
 
   /// Gates in topological order: sources first, then combinational gates in
   /// dependency order; DFF outputs count as sources (their Q breaks cycles).
-  /// Fails (returns empty) if a combinational cycle exists.
+  /// Fails (returns empty) if a combinational cycle exists.  One-shot
+  /// convenience wrapper over CompiledNetlist — hot paths should compile
+  /// the netlist once and keep the view instead.
   std::vector<GateId> topoOrder() const;
 
   /// Structural validation: every net driven exactly once, every gate pin
-  /// count matches its kind, no combinational cycles.  Returns an error
-  /// description, or nullopt when the netlist is well-formed.
+  /// count matches its kind, no multiply-driven nets, no combinational
+  /// cycles (the latter two delegated to the CompiledNetlist builder, which
+  /// names the offending net).  Returns an error description, or nullopt
+  /// when the netlist is well-formed.
   std::optional<std::string> validate() const;
 
   /// Size and area statistics against the given library.

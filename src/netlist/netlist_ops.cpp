@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "netlist/compiled.h"
+
 namespace gkll {
 
 Netlist cloneNetlist(const Netlist& src, std::vector<NetId>& netMap) {
@@ -82,19 +84,8 @@ CombExtraction extractCombinational(const Netlist& seq) {
 }
 
 std::vector<int> levelize(const Netlist& nl) {
-  std::vector<int> level(nl.numNets(), 0);
-  for (GateId g : nl.topoOrder()) {
-    const Gate& gg = nl.gate(g);
-    if (gg.out == kNoNet) continue;
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) {
-      level[gg.out] = 0;
-      continue;
-    }
-    int m = 0;
-    for (NetId in : gg.fanin) m = std::max(m, level[in]);
-    level[gg.out] = m + 1;
-  }
-  return level;
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  return {cn.levels().begin(), cn.levels().end()};
 }
 
 std::vector<GateId> faninCone(const Netlist& nl, NetId target) {
@@ -124,21 +115,21 @@ std::vector<std::vector<std::uint32_t>> poFanoutSignatures(const Netlist& nl) {
   // here are small enough (<= ~6k gates, <= ~300 POs).
   std::vector<std::vector<std::uint32_t>> reach(nl.numNets());
 
-  // Process nets in reverse topological order of their driver gates so that
-  // each net's reach set is final before its fanins consume it.
-  const std::vector<GateId> topo = nl.topoOrder();
+  // Process combinational gates in reverse dependency order so that each
+  // net's reach set is final before its fanins consume it.
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
   for (std::uint32_t p = 0; p < numPOs; ++p)
     reach[nl.outputs()[p]].push_back(p);
   // Also treat FF D-pins as sinks carrying the signature of the POs their
   // FF eventually reaches?  The paper's algorithm [4] groups by *primary
   // output* fanout of the FF's combinational cone, so stop at FF boundary.
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const Gate& gg = nl.gate(*it);
-    if (gg.out == kNoNet) continue;
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
-    const auto& outReach = reach[gg.out];
+  const auto comb = cn.combGates();
+  for (auto it = comb.rbegin(); it != comb.rend(); ++it) {
+    const GateId g = *it;
+    if (cn.out(g) == kNoNet) continue;
+    const auto& outReach = reach[cn.out(g)];
     if (outReach.empty()) continue;
-    for (NetId in : gg.fanin) {
+    for (NetId in : cn.fanin(g)) {
       auto& r = reach[in];
       r.insert(r.end(), outReach.begin(), outReach.end());
       std::sort(r.begin(), r.end());

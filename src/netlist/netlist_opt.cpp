@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/logic.h"
 
 namespace gkll {
@@ -14,32 +15,13 @@ bool isTombstone(const Gate& g) { return g.out == kNoNet && g.fanin.empty(); }
 
 OptReport foldConstants(Netlist& nl) {
   OptReport rep;
+  std::vector<Logic> value;
   for (;;) {
-    // One constness pass: X = unknown, F/T = provably constant.
-    std::vector<Logic> value(nl.numNets(), Logic::X);
-    const auto topo = nl.topoOrder();
-    std::vector<Logic> ins;
-    for (GateId g : topo) {
-      const Gate& gg = nl.gate(g);
-      if (gg.out == kNoNet) continue;
-      switch (gg.kind) {
-        case CellKind::kConst0:
-          value[gg.out] = Logic::F;
-          break;
-        case CellKind::kConst1:
-          value[gg.out] = Logic::T;
-          break;
-        case CellKind::kInput:
-        case CellKind::kDff:
-          break;  // unknown
-        default: {
-          ins.clear();
-          for (NetId in : gg.fanin) ins.push_back(value[in]);
-          value[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
-          break;
-        }
-      }
-    }
+    // One constness pass: X = unknown, F/T = provably constant.  The
+    // compiled view's zero-stimulus evaluation is exactly this pass — PIs
+    // and flop Q pins float at X, constants propagate.  The view is
+    // rebuilt every round because the loop body edits the netlist.
+    CompiledNetlist::compile(nl).evalInto({}, {}, value);
 
     bool changed = false;
     for (GateId g = 0; g < nl.numGates(); ++g) {

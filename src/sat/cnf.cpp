@@ -134,26 +134,31 @@ void addGateClauses(Solver& s, CellKind kind, const std::vector<Var>& ins,
   }
 }
 
-std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
+std::vector<Var> encodeNetlist(Solver& s, const CompiledNetlist& cn,
                                const std::vector<NetId>& boundNets,
                                const std::vector<Var>& boundVars) {
   assert(boundNets.size() == boundVars.size());
-  std::vector<Var> varOf(nl.numNets(), -1);
+  std::vector<Var> varOf(cn.numNets(), -1);
   for (std::size_t i = 0; i < boundNets.size(); ++i)
     varOf[boundNets[i]] = boundVars[i];
-  for (NetId n = 0; n < nl.numNets(); ++n)
+  for (NetId n = 0; n < cn.numNets(); ++n)
     if (varOf[n] < 0) varOf[n] = s.newVar();
 
   std::vector<Var> ins;
-  for (GateId g = 0; g < nl.numGates(); ++g) {
-    const Gate& gg = nl.gate(g);
-    if (gg.out == kNoNet && gg.fanin.empty()) continue;  // tombstone
-    if (gg.kind == CellKind::kInput) continue;
+  for (GateId g : cn.topoOrder()) {
+    const CellKind k = cn.kind(g);
+    if (k == CellKind::kInput) continue;
     ins.clear();
-    for (NetId in : gg.fanin) ins.push_back(varOf[in]);
-    addGateClauses(s, gg.kind, ins, varOf[gg.out], gg.lutMask);
+    for (NetId in : cn.fanin(g)) ins.push_back(varOf[in]);
+    addGateClauses(s, k, ins, varOf[cn.out(g)], cn.lutMask(g));
   }
   return varOf;
+}
+
+std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
+                               const std::vector<NetId>& boundNets,
+                               const std::vector<Var>& boundVars) {
+  return encodeNetlist(s, CompiledNetlist::compile(nl), boundNets, boundVars);
 }
 
 Var makeAnd(Solver& s, Var a, Var b) {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
 #include "sat/solver.h"
@@ -24,6 +25,13 @@ void addGateClauses(Solver& s, CellKind kind, const std::vector<Var>& ins,
 /// corresponding variable from `boundVars` (used to share PIs between the
 /// two miter copies); all other nets get fresh variables.  Returns one
 /// variable per net, indexed by NetId.
+///
+/// The CompiledNetlist overload is the repeated-encoding path: the SAT
+/// attacks pin a fresh circuit copy per DIP, so they compile the locked
+/// core once and re-encode from the analyzed view.
+std::vector<Var> encodeNetlist(Solver& s, const CompiledNetlist& cn,
+                               const std::vector<NetId>& boundNets = {},
+                               const std::vector<Var>& boundVars = {});
 std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
                                const std::vector<NetId>& boundNets = {},
                                const std::vector<Var>& boundVars = {});

@@ -10,6 +10,7 @@ namespace gkll {
 
 EventSim::EventSim(const Netlist& nl, EventSimConfig cfg, const CellLibrary& lib)
     : nl_(nl),
+      compiled_(CompiledNetlist::compile(nl)),
       cfg_(cfg),
       lib_(lib),
       waves_(nl.numNets()),
@@ -26,25 +27,22 @@ EventSim::EventSim(const Netlist& nl, EventSimConfig cfg, const CellLibrary& lib
 void EventSim::setInitialInput(NetId pi, Logic v) { initialPI_[pi] = v; }
 
 void EventSim::setInitialState(GateId ff, Logic v) {
-  const auto& flops = nl_.flops();
-  auto it = std::find(flops.begin(), flops.end(), ff);
-  assert(it != flops.end());
-  initialFF_[static_cast<std::size_t>(it - flops.begin())] = v;
+  const int i = compiled_.flopIndex(ff);
+  assert(i >= 0);
+  initialFF_[static_cast<std::size_t>(i)] = v;
 }
 
 void EventSim::setClockArrival(GateId ff, Ps t) {
-  const auto& flops = nl_.flops();
-  auto it = std::find(flops.begin(), flops.end(), ff);
-  assert(it != flops.end());
-  clockArrival_[static_cast<std::size_t>(it - flops.begin())] = t;
+  const int i = compiled_.flopIndex(ff);
+  assert(i >= 0);
+  clockArrival_[static_cast<std::size_t>(i)] = t;
 }
 
 void EventSim::setCaptureStart(GateId ff, int k) {
   assert(k >= 1);
-  const auto& flops = nl_.flops();
-  auto it = std::find(flops.begin(), flops.end(), ff);
-  assert(it != flops.end());
-  captureStart_[static_cast<std::size_t>(it - flops.begin())] = k;
+  const int i = compiled_.flopIndex(ff);
+  assert(i >= 0);
+  captureStart_[static_cast<std::size_t>(i)] = k;
 }
 
 void EventSim::drive(NetId pi, Ps time, Logic v) {
@@ -76,45 +74,36 @@ void EventSim::run() {
   obs::Span span("sim.run");
 
   // --- initial settle: zero-delay steady state at t = 0 ------------------
-  const std::vector<GateId> topo = nl_.topoOrder();
-  assert(!topo.empty() || nl_.numGates() == 0);
+  // Pass 1: all source values (inputs, constants, flop states) — these may
+  // appear anywhere in the gate order, so they must be written before any
+  // combinational evaluation reads them.
   {
-    // Pass 1: all source values (inputs, constants, flop states) — these
-    // may appear anywhere in the gate order, so they must be written
-    // before any combinational evaluation reads them.
-    for (GateId g : topo) {
-      const Gate& gg = nl_.gate(g);
-      if (gg.out == kNoNet) continue;
-      switch (gg.kind) {
+    for (GateId g : compiled_.sourceGates()) {
+      const NetId out = compiled_.out(g);
+      switch (compiled_.kind(g)) {
         case CellKind::kInput:
-          current_[gg.out] = initialPI_[gg.out];
+          current_[out] = initialPI_[out];
           break;
         case CellKind::kConst0:
-          current_[gg.out] = Logic::F;
+          current_[out] = Logic::F;
           break;
         case CellKind::kConst1:
-          current_[gg.out] = Logic::T;
+          current_[out] = Logic::T;
           break;
-        case CellKind::kDff: {
-          const auto& flops = nl_.flops();
-          const auto it = std::find(flops.begin(), flops.end(), g);
-          current_[gg.out] =
-              initialFF_[static_cast<std::size_t>(it - flops.begin())];
-          break;
-        }
         default:
           break;
       }
     }
+    for (std::size_t i = 0; i < nl_.flops().size(); ++i)
+      current_[compiled_.out(nl_.flops()[i])] = initialFF_[i];
     // Pass 2: combinational gates in dependency order.
     std::vector<Logic> ins;
-    for (GateId g : topo) {
-      const Gate& gg = nl_.gate(g);
-      if (gg.out == kNoNet) continue;
-      if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+    for (GateId g : compiled_.combGates()) {
+      const NetId out = compiled_.out(g);
+      if (out == kNoNet) continue;
       ins.clear();
-      for (NetId in : gg.fanin) ins.push_back(current_[in]);
-      current_[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
+      for (NetId in : compiled_.fanin(g)) ins.push_back(current_[in]);
+      current_[out] = evalCell(compiled_.kind(g), ins, compiled_.lutMask(g));
     }
     for (NetId n = 0; n < nl_.numNets(); ++n) waves_[n].setInitial(current_[n]);
   }
@@ -142,15 +131,15 @@ void EventSim::run() {
   std::vector<Ps> lastSched(nl_.numNets(), INT64_MIN);
   std::vector<Logic> ins;
   auto evaluateAndSchedule = [&](GateId g, Ps now) {
-    const Gate& gg = nl_.gate(g);
-    if (gg.out == kNoNet) return;
+    const NetId outNet = compiled_.out(g);
+    if (outNet == kNoNet) return;
     ins.clear();
-    for (NetId in : gg.fanin) ins.push_back(current_[in]);
-    const Logic out = evalCell(gg.kind, ins, gg.lutMask);
-    Ps t = now + gateDelay(gg, out);
-    if (t < lastSched[gg.out]) t = lastSched[gg.out];
-    lastSched[gg.out] = t;
-    q.push(Ev{t, 0, seq++, gg.out, kNoGate, out});
+    for (NetId in : compiled_.fanin(g)) ins.push_back(current_[in]);
+    const Logic out = evalCell(compiled_.kind(g), ins, compiled_.lutMask(g));
+    Ps t = now + gateDelay(nl_.gate(g), out);
+    if (t < lastSched[outNet]) t = lastSched[outNet];
+    lastSched[outNet] = t;
+    q.push(Ev{t, 0, seq++, outNet, kNoGate, out});
   };
 
   auto applyNetChange = [&](NetId n, Ps t, Logic v) {
@@ -169,10 +158,11 @@ void EventSim::run() {
     current_[n] = v;
     waves_[n].set(t, v);
     ++totalEvents_;
-    for (GateId reader : nl_.net(n).fanouts) {
-      const Gate& rg = nl_.gate(reader);
-      if (rg.kind == CellKind::kDff || isSourceKind(rg.kind)) continue;
-      if (t + 1 >= cfg_.simTime) continue;  // horizon
+    // CSR fanout walk: the compiled view's reader list is contiguous, so
+    // the scheduler's hottest loop touches no per-Net vector headers.
+    for (GateId reader : compiled_.fanout(n)) {
+      if (!compiled_.isCombGate(reader)) continue;  // DFFs sample at capture
+      if (t + 1 >= cfg_.simTime) continue;          // horizon
       evaluateAndSchedule(reader, t);
     }
   };

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "netlist/cell_library.h"
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "sim/waveform.h"
 
@@ -107,6 +108,7 @@ class EventSim {
   void scheduleEval(GateId g, Ps now);
 
   const Netlist& nl_;
+  CompiledNetlist compiled_;  ///< analyzed once; the netlist may not mutate
   EventSimConfig cfg_;
   const CellLibrary& lib_;
   std::vector<Waveform> waves_;

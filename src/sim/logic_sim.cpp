@@ -3,61 +3,13 @@
 #include <cassert>
 
 namespace gkll {
-namespace {
-
-/// Shared evaluation core: walks `topo`, reading FF outputs from `ffState`
-/// (may be empty for purely combinational netlists) and PI values from
-/// `inputs`, writing every net's settled value into `nets`.
-void evalCore(const Netlist& nl, const std::vector<GateId>& topo,
-              const std::vector<Logic>& inputs,
-              const std::vector<Logic>& ffState, std::vector<Logic>& nets) {
-  nets.assign(nl.numNets(), Logic::X);
-  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
-    nets[nl.inputs()[i]] = i < inputs.size() ? inputs[i] : Logic::X;
-  if (!ffState.empty()) {
-    assert(ffState.size() == nl.flops().size());
-    for (std::size_t i = 0; i < nl.flops().size(); ++i)
-      nets[nl.gate(nl.flops()[i]).out] = ffState[i];
-  }
-  // Source pre-pass: constants may appear *after* their readers in the
-  // gate order (e.g. a key input replaced by a constant), and topoOrder
-  // only sequences combinational dependencies — so write every source
-  // value before evaluating any gate.
-  for (GateId g : topo) {
-    const Gate& gg = nl.gate(g);
-    if (gg.out == kNoNet) continue;
-    if (gg.kind == CellKind::kConst0) nets[gg.out] = Logic::F;
-    if (gg.kind == CellKind::kConst1) nets[gg.out] = Logic::T;
-  }
-
-  std::vector<Logic> ins;
-  for (GateId g : topo) {
-    const Gate& gg = nl.gate(g);
-    if (gg.out == kNoNet) continue;
-    switch (gg.kind) {
-      case CellKind::kInput:
-      case CellKind::kConst0:
-      case CellKind::kConst1:
-        break;  // already driven above
-      case CellKind::kDff:
-        if (ffState.empty()) nets[gg.out] = Logic::X;
-        break;  // state written above
-      default: {
-        ins.clear();
-        for (NetId in : gg.fanin) ins.push_back(nets[in]);
-        nets[gg.out] = evalCell(gg.kind, ins, gg.lutMask);
-        break;
-      }
-    }
-  }
-}
-
-}  // namespace
 
 std::vector<Logic> evalCombinational(const Netlist& nl,
                                      const std::vector<Logic>& inputs) {
+  // One-shot path: analyze, evaluate, discard.  Repeated callers (oracles,
+  // samplers) should hold a CompiledNetlist and call evalInto/evalPacked.
   std::vector<Logic> nets;
-  evalCore(nl, nl.topoOrder(), inputs, {}, nets);
+  CompiledNetlist::compile(nl).evalInto(inputs, {}, nets);
   return nets;
 }
 
@@ -70,7 +22,9 @@ std::vector<Logic> outputValues(const Netlist& nl,
 }
 
 SequentialSim::SequentialSim(const Netlist& nl)
-    : nl_(nl), topo_(nl.topoOrder()), state_(nl.flops().size(), Logic::X) {}
+    : nl_(nl),
+      compiled_(CompiledNetlist::compile(nl)),
+      state_(nl.flops().size(), Logic::X) {}
 
 void SequentialSim::reset(Logic v) { state_.assign(nl_.flops().size(), v); }
 
@@ -80,7 +34,7 @@ void SequentialSim::setState(const std::vector<Logic>& state) {
 }
 
 std::vector<Logic> SequentialSim::step(const std::vector<Logic>& inputs) {
-  evalCore(nl_, topo_, inputs, state_, nets_);
+  compiled_.evalInto(inputs, state_, nets_);
   std::vector<Logic> outs = outputValues(nl_, nets_);
   // Two-phase update: sample every D pin, then commit.
   std::vector<Logic> next(state_.size());

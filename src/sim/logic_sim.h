@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
 
@@ -59,7 +60,7 @@ class SequentialSim {
 
  private:
   const Netlist& nl_;
-  std::vector<GateId> topo_;
+  CompiledNetlist compiled_;  ///< analyzed once at construction
   std::vector<Logic> state_;
   std::vector<Logic> nets_;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "netlist/compiled.h"
+
 namespace gkll {
 
 Sta::Sta(const Netlist& nl, StaConfig cfg, const CellLibrary& lib)
@@ -24,54 +26,44 @@ StaResult Sta::run() const {
   r.maxArrival.assign(nl_.numNets(), 0);
   r.minArrival.assign(nl_.numNets(), 0);
 
-  const std::vector<GateId> topo = nl_.topoOrder();
-  // Pass 1 — source launch times.  topoOrder only sequences combinational
-  // dependencies, so sources (inputs, constants, flop Q pins) can appear
-  // *after* their readers and must be written first.
-  for (GateId g : topo) {
-    const Gate& gg = nl_.gate(g);
-    if (gg.out == kNoNet) continue;
-    switch (gg.kind) {
-      case CellKind::kInput:
-        r.maxArrival[gg.out] = cfg_.inputArrival;
-        r.minArrival[gg.out] = cfg_.inputArrival;
-        break;
-      case CellKind::kConst0:
-      case CellKind::kConst1:
-        r.maxArrival[gg.out] = 0;
-        r.minArrival[gg.out] = 0;
-        break;
-      case CellKind::kDff: {
-        const Ps launch = clockArrival_[flopIndex(g)] + lib_.clkToQ();
-        r.maxArrival[gg.out] = launch;
-        r.minArrival[gg.out] = launch;
-        break;
-      }
-      default:
-        break;
-    }
+  // The analysis must see post-edit structure (run() is re-runnable after
+  // netlist edits), so the compiled view is rebuilt per run, not cached.
+  const CompiledNetlist cn = CompiledNetlist::compile(nl_);
+  // Pass 1 — source launch times.  The dependency order only sequences
+  // combinational gates, so sources (inputs, constants, flop Q pins) can
+  // appear *after* their readers and must be written first.
+  for (GateId g : cn.sourceGates()) {
+    const NetId out = cn.out(g);
+    const Ps t = cn.kind(g) == CellKind::kInput ? cfg_.inputArrival : 0;
+    r.maxArrival[out] = t;
+    r.minArrival[out] = t;
+  }
+  for (std::size_t i = 0; i < cn.flops().size(); ++i) {
+    const NetId q = cn.out(cn.flops()[i]);
+    const Ps launch = clockArrival_[i] + lib_.clkToQ();
+    r.maxArrival[q] = launch;
+    r.minArrival[q] = launch;
   }
   // Pass 2 — combinational propagation in dependency order.
-  for (GateId g : topo) {
-    const Gate& gg = nl_.gate(g);
-    if (gg.out == kNoNet) continue;
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
+  for (GateId g : cn.combGates()) {
+    const NetId out = cn.out(g);
+    if (out == kNoNet) continue;
     Ps maxIn = INT64_MIN, minIn = INT64_MAX;
-    for (NetId in : gg.fanin) {
+    for (NetId in : cn.fanin(g)) {
       maxIn = std::max(maxIn, r.maxArrival[in]);
       minIn = std::min(minIn, r.minArrival[in]);
     }
     Ps dMax, dMin;
-    if (gg.kind == CellKind::kDelay) {
-      dMax = dMin = gg.delayPs;
+    if (cn.kind(g) == CellKind::kDelay) {
+      dMax = dMin = cn.delayPs(g);
     } else {
-      const CellInfo ci = lib_.info(gg.kind, gg.drive);
+      const CellInfo ci = lib_.info(cn.kind(g), cn.drive(g));
       dMax = std::max(ci.rise, ci.fall);
       dMin = std::min(ci.rise, ci.fall);
     }
-    const Ps wire = nl_.net(gg.out).wireDelay;
-    r.maxArrival[gg.out] = maxIn + dMax + wire;
-    r.minArrival[gg.out] = minIn + dMin + wire;
+    const Ps wire = nl_.net(out).wireDelay;
+    r.maxArrival[out] = maxIn + dMax + wire;
+    r.minArrival[out] = minIn + dMin + wire;
   }
 
   r.worstSetupSlack = INT64_MAX;
@@ -110,21 +102,22 @@ StaResult Sta::run() const {
         std::min(r.requiredMax[d],
                  clockArrival_[i] + cfg_.clockPeriod - lib_.setupTime());
   }
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const Gate& gg = nl_.gate(*it);
-    if (gg.out == kNoNet) continue;
-    if (isSourceKind(gg.kind) || gg.kind == CellKind::kDff) continue;
-    const Ps req = r.requiredMax[gg.out];
+  const auto comb = cn.combGates();
+  for (auto it = comb.rbegin(); it != comb.rend(); ++it) {
+    const GateId g = *it;
+    const NetId out = cn.out(g);
+    if (out == kNoNet) continue;
+    const Ps req = r.requiredMax[out];
     if (req == INT64_MAX) continue;
     Ps dMax;
-    if (gg.kind == CellKind::kDelay) {
-      dMax = gg.delayPs;
+    if (cn.kind(g) == CellKind::kDelay) {
+      dMax = cn.delayPs(g);
     } else {
-      const CellInfo ci = lib_.info(gg.kind, gg.drive);
+      const CellInfo ci = lib_.info(cn.kind(g), cn.drive(g));
       dMax = std::max(ci.rise, ci.fall);
     }
-    const Ps budget = req - dMax - nl_.net(gg.out).wireDelay;
-    for (NetId in : gg.fanin)
+    const Ps budget = req - dMax - nl_.net(out).wireDelay;
+    for (NetId in : cn.fanin(g))
       r.requiredMax[in] = std::min(r.requiredMax[in], budget);
   }
   return r;

@@ -1,0 +1,229 @@
+#include "netlist/compiled.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+Logic randomLogic(Rng& rng, double pX) {
+  if (rng.chance(pX)) return Logic::X;
+  return logicFromBool(rng.flip());
+}
+
+// --- CSR round-trip ---------------------------------------------------------
+
+TEST(CompiledNetlist, CsrMatchesGateAndNetVectors) {
+  for (const char* name : {"s1238", "s5378"}) {
+    const Netlist nl = generateByName(name);
+    const CompiledNetlist cn = CompiledNetlist::compile(nl);
+    ASSERT_EQ(cn.numGates(), nl.numGates());
+    ASSERT_EQ(cn.numNets(), nl.numNets());
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+      const Gate& gg = nl.gate(g);
+      EXPECT_EQ(cn.kind(g), gg.kind);
+      EXPECT_EQ(cn.out(g), gg.out);
+      EXPECT_EQ(cn.lutMask(g), gg.lutMask);
+      const auto fi = cn.fanin(g);
+      ASSERT_EQ(fi.size(), gg.fanin.size());
+      for (std::size_t i = 0; i < fi.size(); ++i) EXPECT_EQ(fi[i], gg.fanin[i]);
+    }
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+      EXPECT_EQ(cn.driver(n), nl.net(n).driver);
+      std::vector<GateId> a(cn.fanout(n).begin(), cn.fanout(n).end());
+      std::vector<GateId> b = nl.net(n).fanouts;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "net " << n;
+    }
+  }
+}
+
+// --- dependency order and level properties ----------------------------------
+
+TEST(CompiledNetlist, TopoOrderAndLevelsAreConsistent) {
+  const Netlist nl = generateByName("s9234");
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  EXPECT_EQ(cn.topoOrder().size(), cn.numLiveGates());
+  for (GateId g : cn.combGates()) {
+    EXPECT_TRUE(cn.isCombGate(g));
+    int maxIn = 0;
+    for (NetId in : cn.fanin(g)) {
+      maxIn = std::max(maxIn, cn.level(in));
+      const GateId d = cn.driver(in);
+      if (d != kNoGate && cn.isCombGate(d)) {
+        // Every combinational fanin driver is sequenced strictly earlier.
+        EXPECT_LT(cn.topoPos(d), cn.topoPos(g));
+      } else if (d != kNoGate) {
+        EXPECT_EQ(cn.level(in), 0);  // sources and flop Q pins
+      }
+    }
+    if (cn.out(g) != kNoNet) {
+      EXPECT_EQ(cn.level(cn.out(g)), maxIn + 1);
+      EXPECT_LE(cn.level(cn.out(g)), cn.maxLevel());
+    }
+  }
+  for (GateId g : cn.sourceGates()) EXPECT_FALSE(cn.isCombGate(g));
+  for (std::size_t i = 0; i < cn.flops().size(); ++i)
+    EXPECT_EQ(cn.flopIndex(cn.flops()[i]), static_cast<int>(i));
+}
+
+// --- structural rejection ----------------------------------------------------
+
+TEST(CompiledNetlist, RejectsCombinationalCycleWithDiagnostic) {
+  Netlist nl("cyclic");
+  const NetId pi = nl.addPI("pi");
+  const NetId n1 = nl.addNet("loop_a");
+  const NetId n2 = nl.addNet("loop_b");
+  nl.addGate(CellKind::kAnd2, {n2, pi}, n1);
+  nl.addGate(CellKind::kBuf, {n1}, n2);
+  nl.markPO(n2);
+
+  std::string err;
+  EXPECT_FALSE(CompiledNetlist::tryCompile(nl, &err).has_value());
+  EXPECT_NE(err.find("combinational cycle"), std::string::npos) << err;
+  EXPECT_NE(err.find("loop_"), std::string::npos) << err;
+
+  // The builder-facing validators surface the same diagnostic.
+  const auto v = nl.validate();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("combinational cycle"), std::string::npos) << *v;
+  EXPECT_TRUE(nl.topoOrder().empty());
+}
+
+TEST(CompiledNetlist, AcceptsDffFeedbackLoops) {
+  // Sequential feedback through a flop is not a combinational cycle.
+  const Netlist nl = makeToySeq();
+  EXPECT_TRUE(CompiledNetlist::tryCompile(nl).has_value());
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+// --- packed lane helpers ------------------------------------------------------
+
+TEST(PackedBits, LaneHelpersRoundTrip) {
+  Rng rng(7);
+  PackedBits b;
+  std::vector<Logic> ref(64, Logic::X);
+  for (int step = 0; step < 500; ++step) {
+    const unsigned lane = static_cast<unsigned>(rng.below(64));
+    const Logic v = randomLogic(rng, 0.3);
+    packedSetLane(b, lane, v);
+    ref[lane] = v;
+  }
+  EXPECT_EQ(b.v & b.x, 0u) << "canonical form violated";
+  for (unsigned lane = 0; lane < 64; ++lane)
+    EXPECT_EQ(packedLane(b, lane), ref[lane]) << lane;
+}
+
+TEST(PackedBits, PackUnpackRoundTrip) {
+  Rng rng(11);
+  std::vector<std::vector<Logic>> patterns(37);
+  for (auto& p : patterns) {
+    p.resize(9);
+    for (Logic& v : p) v = randomLogic(rng, 0.2);
+  }
+  const std::vector<PackedBits> packed = packPatterns(patterns);
+  ASSERT_EQ(packed.size(), 9u);
+  for (unsigned lane = 0; lane < patterns.size(); ++lane)
+    EXPECT_EQ(unpackLane(packed, lane), patterns[lane]);
+  // Lanes beyond the pattern count are X.
+  for (PackedBits b : packed) EXPECT_EQ(packedLane(b, 60), Logic::X);
+}
+
+// --- the central property: evalPacked == 64 x scalar evalCombinational ------
+
+void checkPackedAgainstScalar(const Netlist& comb, std::uint64_t seed,
+                              double pX) {
+  Rng rng(seed);
+  const std::size_t numIns = comb.inputs().size();
+  std::vector<std::vector<Logic>> patterns(64);
+  for (auto& p : patterns) {
+    p.resize(numIns);
+    for (Logic& v : p) v = randomLogic(rng, pX);
+  }
+
+  const CompiledNetlist cn = CompiledNetlist::compile(comb);
+  std::vector<PackedBits> nets;
+  cn.evalPacked(packPatterns(patterns), {}, nets);
+  ASSERT_EQ(nets.size(), comb.numNets());
+
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const std::vector<Logic> ref = evalCombinational(comb, patterns[lane]);
+    for (NetId n = 0; n < comb.numNets(); ++n) {
+      ASSERT_EQ(packedLane(nets[n], lane), ref[n])
+          << comb.name() << " net " << n << " ('" << comb.net(n).name
+          << "') lane " << lane;
+    }
+  }
+}
+
+TEST(PackedEval, MatchesScalarOnC17) {
+  checkPackedAgainstScalar(makeC17(), 1, 0.0);
+  checkPackedAgainstScalar(makeC17(), 2, 0.25);
+}
+
+TEST(PackedEval, MatchesScalarOnSyntheticBenches) {
+  // Combinational cores of the synthetic IWLS circuits: every cell family
+  // (NAND/NOR/AOI/OAI/MUX/XOR/...) appears, and the X-heavy variant
+  // exercises the three-valued planes of every packed connective.
+  for (const char* name : {"s1238", "s5378"}) {
+    const Netlist comb = extractCombinational(generateByName(name)).netlist;
+    checkPackedAgainstScalar(comb, 0xC0FFEE, 0.0);
+    checkPackedAgainstScalar(comb, 0xBEEF, 0.15);
+    checkPackedAgainstScalar(comb, 0xDEAD, 0.5);
+  }
+}
+
+TEST(PackedEval, SequentialStateLanesMatchScalar) {
+  const Netlist nl = makeToySeq();
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  Rng rng(23);
+  std::vector<std::vector<Logic>> ins(64), ffs(64);
+  for (auto& p : ins) {
+    p.resize(nl.inputs().size());
+    for (Logic& v : p) v = randomLogic(rng, 0.2);
+  }
+  for (auto& p : ffs) {
+    p.resize(nl.flops().size());
+    for (Logic& v : p) v = randomLogic(rng, 0.2);
+  }
+  std::vector<PackedBits> nets;
+  cn.evalPacked(packPatterns(ins), packPatterns(ffs), nets);
+  std::vector<Logic> ref;
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    cn.evalInto(ins[lane], ffs[lane], ref);
+    for (NetId n = 0; n < nl.numNets(); ++n)
+      ASSERT_EQ(packedLane(nets[n], lane), ref[n]) << "net " << n;
+  }
+}
+
+TEST(PackedEval, OutputLanesSelectPOs) {
+  const Netlist c17 = makeC17();
+  const CompiledNetlist cn = CompiledNetlist::compile(c17);
+  std::vector<std::vector<Logic>> patterns(64);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    patterns[lane].resize(c17.inputs().size());
+    for (std::size_t i = 0; i < patterns[lane].size(); ++i)
+      patterns[lane][i] = logicFromBool((lane >> i) & 1u);
+  }
+  std::vector<PackedBits> nets;
+  cn.evalPacked(packPatterns(patterns), {}, nets);
+  const std::vector<PackedBits> outs = cn.outputLanes(nets);
+  ASSERT_EQ(outs.size(), c17.outputs().size());
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const std::vector<Logic> ref =
+        outputValues(c17, evalCombinational(c17, patterns[lane]));
+    EXPECT_EQ(unpackLane(outs, lane), ref) << "lane " << lane;
+  }
+}
+
+}  // namespace
+}  // namespace gkll
