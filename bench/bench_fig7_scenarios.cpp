@@ -9,20 +9,24 @@
 //
 // In every scenario the capture is clean (no setup/hold violation); only
 // the *value* changes with the trigger timing.  That timing sensitivity
-// is the entire key space of the GK.
+// is the entire key space of the GK.  The four simulations are
+// independent, so they run through the shared scenario driver
+// (serial-vs-parallel identity checked, speedup in BENCH_fig7.json).
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist.h"
+#include "obs/telemetry.h"
+#include "scenario_driver.h"
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
 #include "util/table.h"
-#include "obs/telemetry.h"
 
 int main() {
   gkll::obs::BenchTelemetry telemetry("bench_fig7_scenarios");
   using namespace gkll;
+  runtime::BenchJson json("fig7");
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Ps tclk = ns(8);
   const Ps glitchLen = ns(1);
@@ -42,11 +46,14 @@ int main() {
       {"(d) glitchless (key constant)", -1, "Q = x' (inverter)"},
   };
 
-  Table t("Fig. 7 — capture results for the four scenarios (x = 1, Tclk = 8 ns)");
-  t.header({"Scenario", "key transition", "captured Q", "violations",
-            "expected"});
-
-  for (const Scenario& sc : scenarios) {
+  struct Outcome {
+    char got = '?';
+    long long violations = 0;
+    std::string diagram;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto scenario = [&](std::size_t s) -> Outcome {
+    const Scenario& sc = scenarios[s];
     Netlist nl("fig7");
     const NetId x = nl.addPI("x");
     const NetId key = nl.addPI("key");
@@ -55,7 +62,7 @@ int main() {
                                   glitchLen - lib.maxDelay(CellKind::kXor2),
                                   "gk");
     const NetId q = nl.addNet("q");
-    const GateId ff = nl.addGate(CellKind::kDff, {gk.y}, q);
+    nl.addGate(CellKind::kDff, {gk.y}, q);
     nl.markPO(q);
 
     EventSimConfig cfg;
@@ -67,18 +74,28 @@ int main() {
     if (sc.trigger >= 0) sim.drive(key, sc.trigger, Logic::T);
     sim.run();
 
-    const Logic got = sim.valueAt(q, tclk + lib.clkToQ() + 20);
-    t.row({sc.label,
-           sc.trigger >= 0 ? fmtNs(sc.trigger) : std::string("none"),
-           std::string(1, logicChar(got)),
-           fmtI(static_cast<long long>(sim.violations().size())), sc.expect});
-
+    Outcome out;
+    out.got = logicChar(sim.valueAt(q, tclk + lib.clkToQ() + 20));
+    out.violations = static_cast<long long>(sim.violations().size());
     const std::vector<Trace> traces = {{"key", &sim.wave(key)},
                                        {"y(D)", &sim.wave(gk.y)},
                                        {"Q", &sim.wave(q)}};
-    std::printf("%s:\n%s\n", sc.label,
-                renderDiagram(traces, ns(5), ns(10), 100).c_str());
-    (void)ff;
+    out.diagram = renderDiagram(traces, ns(5), ns(10), 100);
+    return out;
+  };
+  const std::vector<Outcome> outcomes =
+      bench::dualRun<Outcome>(std::size(scenarios), scenario, json);
+
+  Table t("Fig. 7 — capture results for the four scenarios (x = 1, Tclk = 8 ns)");
+  t.header({"Scenario", "key transition", "captured Q", "violations",
+            "expected"});
+  for (std::size_t s = 0; s < std::size(scenarios); ++s) {
+    const Scenario& sc = scenarios[s];
+    const Outcome& out = outcomes[s];
+    t.row({sc.label,
+           sc.trigger >= 0 ? fmtNs(sc.trigger) : std::string("none"),
+           std::string(1, out.got), fmtI(out.violations), sc.expect});
+    std::printf("%s:\n%s\n", sc.label, out.diagram.c_str());
   }
   std::printf("%s\n", t.render().c_str());
   return 0;

@@ -13,20 +13,24 @@
 //   off-glitch (Eq. 6): 1 ns < T_trigger < 4 ns
 //     glitch (c) just before 4 ns — ends at the setup deadline;
 //     glitch (d) just after 1 ns — starts at the hold deadline.
-// Every trigger outside both ranges violates timing.  A sweep with the
-// event simulator confirms the three regimes.
+// Every trigger outside both ranges violates timing.  The confirming
+// event-simulator sweep runs as independent scenarios on the pool through
+// the shared driver (serial-vs-parallel identity checked, speedup in
+// BENCH_fig9.json).
 #include <cstdio>
 
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist.h"
+#include "obs/telemetry.h"
+#include "scenario_driver.h"
 #include "sim/event_sim.h"
 #include "timing/gk_constraints.h"
 #include "util/table.h"
-#include "obs/telemetry.h"
 
 int main() {
   gkll::obs::BenchTelemetry telemetry("bench_fig9_windows");
   using namespace gkll;
+  runtime::BenchJson json("fig9");
 
   // --- analytic part: the paper's idealised numbers -------------------------
   {
@@ -57,11 +61,17 @@ int main() {
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Ps tclk = ns(8);
   const Ps glitchLen = ns(3);
-  std::printf("Simulated sweep (x=1, real 0.13um library, glitch %s):\n",
-              fmtNs(glitchLen).c_str());
-  std::printf("%8s  %-10s %s\n", "trigger", "capture", "classification");
-  int violations = 0, onGlitch = 0, offGlitch = 0;
-  for (Ps trig = ns(1); trig <= ns(8); trig += 250) {
+  const Ps trigStart = ns(1), trigStep = 250;
+  const std::size_t steps =
+      static_cast<std::size_t>((ns(8) - trigStart) / trigStep) + 1;
+
+  struct Sample {
+    char got = '?';
+    bool viol = false;
+    bool operator==(const Sample&) const = default;
+  };
+  auto scenario = [&](std::size_t s) -> Sample {
+    const Ps trig = trigStart + static_cast<Ps>(s) * trigStep;
     Netlist nl("fig9");
     const NetId x = nl.addPI("x");
     const NetId key = nl.addPI("key");
@@ -82,20 +92,33 @@ int main() {
     sim.drive(key, trig, Logic::T);
     sim.run();
 
-    const Logic got = sim.valueAt(q, tclk + lib.clkToQ() + 20);
-    const bool viol = !sim.violations().empty();
+    Sample smp;
+    smp.got = logicChar(sim.valueAt(q, tclk + lib.clkToQ() + 20));
+    smp.viol = !sim.violations().empty();
+    return smp;
+  };
+  const std::vector<Sample> samples =
+      bench::dualRun<Sample>(steps, scenario, json);
+
+  std::printf("Simulated sweep (x=1, real 0.13um library, glitch %s):\n",
+              fmtNs(glitchLen).c_str());
+  std::printf("%8s  %-10s %s\n", "trigger", "capture", "classification");
+  int violations = 0, onGlitch = 0, offGlitch = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const Ps trig = trigStart + static_cast<Ps>(s) * trigStep;
+    const Sample& smp = samples[s];
     const char* cls;
-    if (viol) {
+    if (smp.viol) {
       cls = "TIMING VIOLATION";
       ++violations;
-    } else if (got == Logic::T) {
+    } else if (smp.got == '1') {
       cls = "on-glitch (captures x)";
       ++onGlitch;
     } else {
       cls = "off-glitch (captures x')";
       ++offGlitch;
     }
-    std::printf("%8s  %-10c %s\n", fmtNs(trig).c_str(), logicChar(got), cls);
+    std::printf("%8s  %-10c %s\n", fmtNs(trig).c_str(), smp.got, cls);
   }
   std::printf(
       "\nregimes observed: %d off-glitch, %d on-glitch, %d violating\n"

@@ -7,6 +7,11 @@
 // scenario).  The last column is the size of the Karmakar-style [4]
 // same-PO-fanout group among the available flops.
 //
+// The per-benchmark analyses are independent, so they run as scenarios on
+// the work-stealing pool — twice (serial, then parallel) through
+// bench::dualRun, which byte-compares the runs and records the speedup in
+// BENCH_table1.json.
+//
 // Paper reference values (Table I):
 //   s1238 16/88.89/4   s5378 104/63.80/89   s9234 74/51.03/59
 //   s13207 185/56.06/36   s15850 58/43.28/51   s38417 1037/66.30/920
@@ -17,22 +22,27 @@
 #include "flow/ff_select.h"
 #include "flow/placement.h"
 #include "lock/glitch_keygate.h"
-#include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
+#include "util/table.h"
 
 int main() {
   gkll::obs::BenchTelemetry telemetry("bench_table1");
   using namespace gkll;
+  runtime::BenchJson json("table1");
   const CellLibrary& lib = CellLibrary::tsmc013c();
+  const std::vector<BenchSpec>& specs = iwls2005Specs();
 
-  Table t("TABLE I — the number of available FFs for encryption (1 ns on-glitch GK)");
-  t.header({"Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]",
-            "paper Cov. (%)"});
-
-  const double paperCov[] = {88.89, 63.80, 51.03, 56.06, 43.28, 66.30, 79.11};
-  double covSum = 0;
-  int idx = 0;
-  for (const BenchSpec& spec : iwls2005Specs()) {
+  struct Row {
+    long long cells = 0;
+    long long ffs = 0;
+    long long avail = 0;
+    long long group = 0;
+    double cov = 0.0;
+    bool operator==(const Row&) const = default;
+  };
+  auto scenario = [&](std::size_t s) -> Row {
+    const BenchSpec& spec = specs[s];
     Netlist nl = generateBenchmark(spec);
     const PlacementResult pr = placeAndRoute(nl, PlacementOptions{});
 
@@ -56,19 +66,32 @@ int main() {
     const auto group = karmakarGroup(nl, cands);
 
     const NetlistStats st = nl.stats(lib);
-    const double cov = 100.0 * static_cast<double>(avail) /
-                       static_cast<double>(st.numFFs);
-    covSum += cov;
+    Row row;
+    row.cells = static_cast<long long>(st.numCells);
+    row.ffs = static_cast<long long>(st.numFFs);
+    row.avail = static_cast<long long>(avail);
+    row.group = static_cast<long long>(group.size());
+    row.cov =
+        100.0 * static_cast<double>(avail) / static_cast<double>(st.numFFs);
+    return row;
+  };
+  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, json);
+
+  Table t("TABLE I — the number of available FFs for encryption (1 ns on-glitch GK)");
+  t.header({"Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]",
+            "paper Cov. (%)"});
+  const double paperCov[] = {88.89, 63.80, 51.03, 56.06, 43.28, 66.30, 79.11};
+  double covSum = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Row& r = rows[i];
+    covSum += r.cov;
     // Mirror of the printed row for the metrics exporter.
-    const std::string base = "bench.table1." + std::string(spec.name) + ".";
-    obs::record(base + "available_ffs", static_cast<double>(avail));
-    obs::record(base + "coverage_pct", cov);
-    obs::record(base + "karmakar_ffs", static_cast<double>(group.size()));
-    t.row({spec.name, fmtI(static_cast<long long>(st.numCells)),
-           fmtI(static_cast<long long>(st.numFFs)),
-           fmtI(static_cast<long long>(avail)), fmtF(cov),
-           fmtI(static_cast<long long>(group.size())), fmtF(paperCov[idx])});
-    ++idx;
+    const std::string base = "bench.table1." + specs[i].name + ".";
+    obs::record(base + "available_ffs", static_cast<double>(r.avail));
+    obs::record(base + "coverage_pct", r.cov);
+    obs::record(base + "karmakar_ffs", static_cast<double>(r.group));
+    t.row({specs[i].name, fmtI(r.cells), fmtI(r.ffs), fmtI(r.avail),
+           fmtF(r.cov), fmtI(r.group), fmtF(paperCov[i])});
   }
   t.separator();
   t.row({"Avg.", "", "", "", fmtF(covSum / 7.0), "", fmtF(64.07)});

@@ -2,11 +2,16 @@
 // 4 / 8 / 16 GKs (8 / 16 / 32 key-inputs) and the hybrid configuration of
 // 8 GKs + 16 XOR key gates (32 key-inputs).
 //
+// One scenario = one benchmark (all four lock configurations), run on the
+// work-stealing pool via bench::dualRun — serial then parallel, results
+// byte-compared, speedup recorded in BENCH_table2.json.
+//
 // Paper averages: 9.48/10.68 (4 GKs), 14.30/12.22 (8), 27.63/26.11 (16),
 // 15.9/13.65 (hybrid) — cell OH % / area OH %.  The expected *shape*:
 // overhead grows with GK count, is inversely related to circuit size
 // (s38417/s38584 only a few %), and the hybrid scheme undercuts the
 // 16-GK configuration at the same 32 key-inputs.
+#include <array>
 #include <chrono>
 #include <cstdio>
 
@@ -14,9 +19,10 @@
 #include "flow/gk_flow.h"
 #include "netlist/compiled.h"
 #include "netlist/netlist_ops.h"
+#include "obs/telemetry.h"
+#include "scenario_driver.h"
 #include "util/rng.h"
 #include "util/table.h"
-#include "obs/telemetry.h"
 
 namespace {
 
@@ -31,23 +37,28 @@ struct Config {
 int main() {
   gkll::obs::BenchTelemetry telemetry("bench_table2");
   using namespace gkll;
+  runtime::BenchJson json("table2");
   const Config configs[] = {
       {"4 GKs, 8 key-inputs", 4, 0},
       {"8 GKs, 16 key-inputs", 8, 0},
       {"16 GKs, 32 key-inputs", 16, 0},
       {"8 GKs + 16 XORs, 32 key-inputs", 8, 16},
   };
+  const std::vector<BenchSpec>& specs = iwls2005Specs();
 
-  Table t("TABLE II — overhead after inserting different numbers of GKs"
-          " (cell OH % / area OH %)");
-  t.header({"Bench.", configs[0].label, configs[1].label, configs[2].label,
-            configs[3].label});
-
-  double sums[4][2] = {};
-  int counts[4] = {};
-  for (const BenchSpec& spec : iwls2005Specs()) {
-    std::vector<std::string> row{spec.name};
-    const Netlist original = generateBenchmark(spec);
+  struct Cell {
+    bool feasible = false;
+    double cellOh = 0.0;
+    double areaOh = 0.0;
+    bool operator==(const Cell&) const = default;
+  };
+  struct Row {
+    std::array<Cell, 4> cells;
+    bool operator==(const Row&) const = default;
+  };
+  auto scenario = [&](std::size_t s) -> Row {
+    Row row;
+    const Netlist original = generateBenchmark(specs[s]);
     for (int c = 0; c < 4; ++c) {
       GkFlowOptions opt;
       opt.numGks = configs[c].gks;
@@ -55,20 +66,39 @@ int main() {
       opt.seed = 11 + static_cast<std::uint64_t>(c);
       const GkFlowResult r = runGkFlow(original, opt);
       if (static_cast<int>(r.insertions.size()) < configs[c].gks ||
-          !r.verify.ok()) {
-        row.push_back("-");  // not enough feasible flops (paper's dashes)
+          !r.verify.ok())
+        continue;  // not enough feasible flops (paper's dashes)
+      row.cells[static_cast<std::size_t>(c)] =
+          Cell{true, r.cellOverheadPct, r.areaOverheadPct};
+    }
+    return row;
+  };
+  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, json);
+
+  Table t("TABLE II — overhead after inserting different numbers of GKs"
+          " (cell OH % / area OH %)");
+  t.header({"Bench.", configs[0].label, configs[1].label, configs[2].label,
+            configs[3].label});
+  double sums[4][2] = {};
+  int counts[4] = {};
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::vector<std::string> row{specs[s].name};
+    for (int c = 0; c < 4; ++c) {
+      const Cell& cell = rows[s].cells[static_cast<std::size_t>(c)];
+      if (!cell.feasible) {
+        row.push_back("-");
         continue;
       }
-      row.push_back(fmtF(r.cellOverheadPct) + " / " + fmtF(r.areaOverheadPct));
-      sums[c][0] += r.cellOverheadPct;
-      sums[c][1] += r.areaOverheadPct;
+      row.push_back(fmtF(cell.cellOh) + " / " + fmtF(cell.areaOh));
+      sums[c][0] += cell.cellOh;
+      sums[c][1] += cell.areaOh;
       ++counts[c];
       // Mirror of the printed cell for the metrics exporter.
-      const std::string base = "bench.table2." + std::string(spec.name) +
-                               ".gk" + std::to_string(configs[c].gks) + "x" +
+      const std::string base = "bench.table2." + specs[s].name + ".gk" +
+                               std::to_string(configs[c].gks) + "x" +
                                std::to_string(configs[c].xors) + ".";
-      obs::record(base + "cell_overhead_pct", r.cellOverheadPct);
-      obs::record(base + "area_overhead_pct", r.areaOverheadPct);
+      obs::record(base + "cell_overhead_pct", cell.cellOh);
+      obs::record(base + "area_overhead_pct", cell.areaOh);
     }
     t.row(row);
   }
@@ -110,6 +140,7 @@ int main() {
     std::printf("packed-eval throughput (s5378 comb): %.3g patterns/sec\n",
                 pps);
     obs::record("sim.packed.patterns_per_sec", pps);
+    json.set("packed_patterns_per_sec", pps);
   }
   return 0;
 }

@@ -1,0 +1,65 @@
+// Shared parallel scenario driver for the bench_* harnesses.
+//
+// A scenario is a pure function of its index (and, via parallelSweep, of a
+// per-index Rng): the driver evaluates all of them across a pool and hands
+// the results back in index order, so table rendering and the obs metric
+// mirrors stay serial and deterministic.
+//
+// dualRun is the determinism-and-speedup check the runtime promises
+// (DESIGN.md §8), executed on every bench run: the same scenario set runs
+// twice — once on a single-lane pool, once on the shared global pool — the
+// two result vectors are compared for equality, and serial/parallel wall
+// time, speedup, thread count and the identity verdict all land in the
+// bench's BENCH_<name>.json.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/pool.h"
+#include "runtime/sweep.h"
+
+namespace gkll::bench {
+
+/// Evaluate fn(i) for i in [0, n) on `pool` (null = global), results in
+/// index order.  R needs default construction and operator==.
+template <class R, class Fn>
+std::vector<R> runScenarios(std::size_t n, Fn&& fn,
+                            runtime::ThreadPool* pool = nullptr) {
+  std::vector<R> out(n);
+  runtime::ParallelOptions opt;
+  opt.pool = pool;
+  runtime::parallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, opt);
+  return out;
+}
+
+/// Serial-then-parallel double run with identity check; records
+/// scenarios/serial_wall_ms/parallel_wall_ms/speedup/parallel_identical
+/// into `json` and returns the parallel results.
+template <class R, class Fn>
+std::vector<R> dualRun(std::size_t n, Fn&& fn, runtime::BenchJson& json) {
+  runtime::ThreadPool serialPool(1);
+  const double s0 = runtime::wallMsNow();
+  const std::vector<R> serial = runScenarios<R>(n, fn, &serialPool);
+  const double serialMs = runtime::wallMsNow() - s0;
+
+  const double p0 = runtime::wallMsNow();
+  std::vector<R> parallel = runScenarios<R>(n, fn, nullptr);
+  const double parallelMs = runtime::wallMsNow() - p0;
+
+  const bool identical = serial == parallel;
+  if (!identical)
+    std::fprintf(stderr,
+                 "[bench] WARNING: parallel scenario results differ from "
+                 "the serial run — determinism contract broken\n");
+  json.set("scenarios", static_cast<double>(n));
+  json.set("serial_wall_ms", serialMs);
+  json.set("parallel_wall_ms", parallelMs);
+  json.set("speedup", parallelMs > 0 ? serialMs / parallelMs : 1.0);
+  json.set("parallel_identical", identical ? 1.0 : 0.0);
+  return parallel;
+}
+
+}  // namespace gkll::bench

@@ -6,6 +6,7 @@
 #include "attack/oracle.h"
 #include "lock/locking.h"
 #include "obs/telemetry.h"
+#include "runtime/parallel.h"
 #include "sat/cnf.h"
 #include "util/rng.h"
 
@@ -87,48 +88,84 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     pinCopy(ks, kVars, x, y);
   };
 
-  // Bit-parallel random-query engine: one packed evaluation answers up to
-  // 64 patterns at once, on both the locked core (under `key`) and the
-  // oracle.  Returns the number of disagreeing lanes; with `feedback` each
-  // disagreeing (pattern, oracle response) pair is re-pinned as a
-  // constraint in all three solvers.
-  std::vector<PackedBits> lockedIn, oracleIn, lockedNets;
-  auto randomBatch = [&](const std::vector<int>& key, unsigned n,
-                         bool feedback) {
-    lockedIn.assign(lockedComb.inputs().size(), packedConst(false));
+  // Bit-parallel random-query engine: packed evaluations answer up to 64
+  // patterns per batch, on both the locked core (under `key`) and the
+  // oracle, with the batches spread across the pool.  Returns the number
+  // of disagreeing lanes; with `feedback` each disagreeing (pattern,
+  // oracle response) pair is re-pinned as a constraint in all three
+  // solvers.
+  //
+  // Determinism: patterns are drawn from the single Rng serially
+  // (batch-major, PI-major, lane-minor — the historical draw order) and
+  // the feedback constraints are applied serially in batch/lane order.
+  // Only the pure evaluations run in parallel, each with task-local
+  // scratch (CombOracle::queryPacked shares one buffer, so the batches go
+  // through oracle.compiled() instead); the outcome is byte-identical at
+  // any thread count.
+  struct BatchEval {
+    std::vector<PackedBits> oracleIn;  ///< patterns, dataPIs order
+    std::vector<PackedBits> want;      ///< oracle output lanes
+    std::uint64_t diff = 0;            ///< disagreeing-lane mask
+    unsigned n = 0;                    ///< live lanes in this batch
+  };
+  auto runBatches = [&](const std::vector<int>& key, int total,
+                        bool feedback) {
+    std::vector<BatchEval> batches((static_cast<std::size_t>(total) + 63) /
+                                   64);
+    std::vector<PackedBits> keyedIn(lockedComb.inputs().size(),
+                                    packedConst(false));
     for (std::size_t i = 0; i < keyInputs.size(); ++i)
-      lockedIn[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
+      keyedIn[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
           packedConst(key[i] != 0);
-    oracleIn.assign(dataPIs.size(), packedConst(false));
-    for (std::size_t i = 0; i < dataPIs.size(); ++i) {
-      std::uint64_t bits = 0;
-      for (unsigned l = 0; l < n; ++l)
-        bits |= static_cast<std::uint64_t>(rng.flip() ? 1 : 0) << l;
-      const PackedBits pb{bits, 0};
-      lockedIn[static_cast<std::size_t>(slotOf[dataPIs[i]])] = pb;
-      oracleIn[i] = pb;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      BatchEval& be = batches[b];
+      be.n = static_cast<unsigned>(
+          std::min<std::size_t>(64, static_cast<std::size_t>(total) - 64 * b));
+      be.oracleIn.assign(dataPIs.size(), packedConst(false));
+      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+        std::uint64_t bits = 0;
+        for (unsigned l = 0; l < be.n; ++l)
+          bits |= static_cast<std::uint64_t>(rng.flip() ? 1 : 0) << l;
+        be.oracleIn[i] = PackedBits{bits, 0};
+      }
     }
-    locked.evalPacked(lockedIn, {}, lockedNets);
-    const std::vector<PackedBits> got = locked.outputLanes(lockedNets);
-    const std::vector<PackedBits> want = oracle.queryPacked(oracleIn, n);
-    std::uint64_t diff = 0;
-    for (std::size_t o = 0; o < got.size(); ++o)
-      diff |= (got[o].v ^ want[o].v) | (got[o].x ^ want[o].x);
-    if (n < 64) diff &= (1ULL << n) - 1;
+    const CompiledNetlist& oracleNl = oracle.compiled();
+    runtime::ParallelOptions popt;
+    popt.pool = opt.pool;
+    runtime::parallelFor(
+        batches.size(),
+        [&](std::size_t b) {
+          BatchEval& be = batches[b];
+          std::vector<PackedBits> lockedIn = keyedIn;
+          for (std::size_t i = 0; i < dataPIs.size(); ++i)
+            lockedIn[static_cast<std::size_t>(slotOf[dataPIs[i]])] =
+                be.oracleIn[i];
+          std::vector<PackedBits> lockedNets, oracleNets;
+          locked.evalPacked(lockedIn, {}, lockedNets);
+          const std::vector<PackedBits> got = locked.outputLanes(lockedNets);
+          oracleNl.evalPacked(be.oracleIn, {}, oracleNets);
+          be.want = oracleNl.outputLanes(oracleNets);
+          std::uint64_t diff = 0;
+          for (std::size_t o = 0; o < got.size(); ++o)
+            diff |= (got[o].v ^ be.want[o].v) | (got[o].x ^ be.want[o].x);
+          if (be.n < 64) diff &= (1ULL << be.n) - 1;
+          be.diff = diff;
+        },
+        popt);
+    oracle.noteQueries(static_cast<std::uint64_t>(total));
     int fails = 0;
-    for (unsigned l = 0; l < n; ++l) {
-      if (!((diff >> l) & 1ULL)) continue;
-      ++fails;
-      if (feedback) constrainAll(unpackLane(oracleIn, l), unpackLane(want, l));
+    for (const BatchEval& be : batches) {
+      for (unsigned l = 0; l < be.n; ++l) {
+        if (!((be.diff >> l) & 1ULL)) continue;
+        ++fails;
+        if (feedback)
+          constrainAll(unpackLane(be.oracleIn, l), unpackLane(be.want, l));
+      }
     }
     return fails;
   };
   auto measureError = [&](const std::vector<int>& key, int queries) {
-    int fails = 0;
-    for (int done = 0; done < queries; done += 64)
-      fails += randomBatch(
-          key, static_cast<unsigned>(std::min(64, queries - done)), false);
-    return static_cast<double>(fails) / queries;
+    return static_cast<double>(runBatches(key, queries, false)) / queries;
   };
   auto currentKey = [&]() -> std::vector<int> {
     std::vector<int> key;
@@ -158,13 +195,9 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     if (res.dips % opt.reconcileEvery != 0) continue;
     ++res.reconciliations;
     const std::vector<int> key = currentKey();
-    // Random-query reconciliation: packed 64-lane batches, disagreeing
-    // lanes unpacked and fed back as constraints.
-    int fails = 0;
-    for (int done = 0; done < opt.randomQueries; done += 64)
-      fails += randomBatch(
-          key, static_cast<unsigned>(std::min(64, opt.randomQueries - done)),
-          true);
+    // Random-query reconciliation: packed 64-lane batches evaluated across
+    // the pool, disagreeing lanes unpacked and fed back as constraints.
+    const int fails = runBatches(key, opt.randomQueries, true);
     const double err = static_cast<double>(fails) / opt.randomQueries;
     if (err <= opt.errorThreshold) {
       res.succeeded = true;

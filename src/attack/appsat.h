@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "runtime/pool.h"
 #include "sat/solver.h"
 
 namespace gkll {
@@ -30,6 +31,10 @@ struct AppSatOptions {
   double errorThreshold = 0.02;  ///< accept keys with error rate below this
   std::uint64_t seed = 71;
   std::uint64_t conflictBudget = 0;  ///< per solver call; 0 = unlimited
+  /// Pool for the packed-oracle reconciliation sweeps (null = global pool).
+  /// Patterns are drawn and constraints applied serially, so the result is
+  /// byte-identical at any thread count.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 struct AppSatResult {

@@ -46,6 +46,12 @@ class CombOracle {
 
   std::uint64_t numQueries() const { return queries_; }
 
+  /// Query accounting for callers that evaluate through compiled()
+  /// directly (parallel sweeps keep task-local scratch because
+  /// queryPacked's shared buffer is not thread-safe) — call serially
+  /// after the sweep so numQueries() stays honest.
+  void noteQueries(std::uint64_t n) const { queries_ += n; }
+
  private:
   CompiledNetlist comb_;
   mutable std::vector<PackedBits> packedNets_;  // scratch, reused per batch

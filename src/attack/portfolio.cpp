@@ -1,0 +1,110 @@
+#include "attack/portfolio.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/telemetry.h"
+#include "runtime/parallel.h"
+#include "runtime/seed.h"
+#include "runtime/sweep.h"
+
+namespace gkll {
+
+sat::SolverConfig portfolioConfig(int racer, std::uint64_t seed) {
+  using Phase = sat::SolverConfig::Phase;
+  sat::SolverConfig cfg;  // racer 0: the historical default, untouched
+  switch (racer) {
+    case 0:
+      break;
+    case 1:
+      cfg.initialPhase = Phase::kAllTrue;
+      cfg.restartBase = 128;
+      break;
+    case 2:
+      cfg.initialPhase = Phase::kRandom;
+      cfg.restartBase = 32;
+      cfg.varDecay = 0.92;
+      break;
+    case 3:
+      cfg.initialPhase = Phase::kRandom;
+      cfg.restartBase = 256;
+      cfg.varDecay = 0.98;
+      break;
+    default: {
+      // Past the hand-picked schedule: pseudo-random but fully determined
+      // by (racer, seed).
+      const std::uint64_t h =
+          runtime::taskSeed(seed, static_cast<std::uint64_t>(racer));
+      cfg.initialPhase = (h & 1) ? Phase::kAllTrue : Phase::kRandom;
+      cfg.restartBase = 32ULL << ((h >> 1) & 3);       // 32..256
+      cfg.varDecay = 0.91 + 0.02 * ((h >> 3) & 3);     // 0.91..0.97
+      break;
+    }
+  }
+  if (cfg.initialPhase == Phase::kRandom)
+    cfg.seed = runtime::taskSeed(seed, static_cast<std::uint64_t>(racer));
+  return cfg;
+}
+
+PortfolioResult portfolioSatAttack(const Netlist& lockedComb,
+                                   const std::vector<NetId>& keyInputs,
+                                   const Netlist& oracleComb,
+                                   const PortfolioOptions& opt) {
+  obs::Span span("attack.portfolio");
+  const double t0 = runtime::wallMsNow();
+
+  PortfolioResult pr;
+  const int racers = opt.racers > 0 ? opt.racers : 1;
+  pr.outcomes.resize(static_cast<std::size_t>(racers));
+
+  // One shared flag stops every racer the moment a winner is definitive.
+  const runtime::CancelToken race = runtime::CancelToken::make();
+  std::atomic<int> winner{-1};
+
+  runtime::ThreadPool& pool =
+      opt.pool != nullptr ? *opt.pool : runtime::ThreadPool::global();
+  runtime::TaskGroup group(&pool);
+  for (int i = 0; i < racers; ++i) {
+    group.run([&, i] {
+      RacerOutcome& out = pr.outcomes[static_cast<std::size_t>(i)];
+      out.config = portfolioConfig(i, opt.seed);
+      SatAttackOptions ro = opt.base;
+      ro.solverConfig = out.config;
+      ro.cancel = race;
+      const double rt0 = runtime::wallMsNow();
+      out.result = satAttack(lockedComb, keyInputs, oracleComb, ro);
+      out.wallMs = runtime::wallMsNow() - rt0;
+      out.definitive =
+          out.result.converged || out.result.keyConstraintsUnsat;
+      if (out.definitive) {
+        int expect = -1;
+        if (winner.compare_exchange_strong(expect, i))
+          race.requestCancel();  // we own the race: stop the losers
+      }
+    });
+  }
+  group.wait();
+
+  pr.winner = winner.load();
+  // Nobody definitive (deadline/budget everywhere): report the default
+  // config's outcome, which is what the serial attack would have said.
+  pr.result = pr.outcomes[static_cast<std::size_t>(
+                              pr.winner >= 0 ? pr.winner : 0)]
+                  .result;
+  for (const RacerOutcome& o : pr.outcomes)
+    if (o.result.canceled) ++pr.canceledRacers;
+  pr.wallMs = runtime::wallMsNow() - t0;
+
+  if (obs::enabled()) {
+    span.arg("racers", racers);
+    span.arg("winner", pr.winner);
+    span.arg("canceled", pr.canceledRacers);
+    obs::count("attack.portfolio.runs");
+    obs::count("attack.portfolio.canceled_racers",
+               static_cast<std::uint64_t>(pr.canceledRacers));
+    obs::record("attack.portfolio.wall_ms", pr.wallMs);
+  }
+  return pr;
+}
+
+}  // namespace gkll

@@ -1,0 +1,70 @@
+// Portfolio SAT attack: race N diversified attack instances on the
+// work-stealing pool, first definitive answer wins, losers are canceled.
+//
+// Why a portfolio and not a parallel solver: CDCL runtimes are heavy-tailed
+// in the search-heuristic choices (restart cadence, branching polarity,
+// activity decay).  Racing a handful of *differently configured* but
+// otherwise independent attacks and keeping the first finisher routinely
+// beats the mean single-config runtime — the classic ManySAT/ppfolio
+// observation — and needs no clause-sharing machinery.
+//
+// Each racer runs the full SAT attack (attack/sat_attack.h) on its own
+// Solver with a config from portfolioConfig(i, seed).  Racer 0 always gets
+// the historical default config, so a 1-racer portfolio reproduces the
+// serial attack exactly.  A shared CancelToken is fired by the first racer
+// to reach a *definitive* outcome (converged or keyConstraintsUnsat — the
+// two states that settle what the attack can learn); the rest wind down at
+// their next solver boundary and report canceled.  Cancellation is
+// cooperative, so a canceled racer's solver and accumulated constraints
+// remain intact and reusable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/sat_attack.h"
+#include "runtime/pool.h"
+
+namespace gkll {
+
+struct PortfolioOptions {
+  int racers = 4;
+  /// Template for every racer: budgets/deadline are shared, the per-racer
+  /// solverConfig is overwritten from portfolioConfig(i, seed).  The base
+  /// cancel token is replaced by the portfolio's internal race token.
+  SatAttackOptions base;
+  std::uint64_t seed = 1;  ///< diversification seed for the config schedule
+  runtime::ThreadPool* pool = nullptr;  ///< null = ThreadPool::global()
+};
+
+/// One racer's end state, index-aligned with the config schedule.
+struct RacerOutcome {
+  sat::SolverConfig config;
+  SatAttackResult result;
+  double wallMs = 0.0;
+  bool definitive = false;  ///< converged || keyConstraintsUnsat
+};
+
+struct PortfolioResult {
+  /// The winning racer's attack result; when no racer was definitive
+  /// (deadline/budget hit everywhere), racer 0's result — the default
+  /// config, i.e. what the serial attack would have reported.
+  SatAttackResult result;
+  int winner = -1;          ///< racer index, -1 when nobody finished
+  int canceledRacers = 0;   ///< losers stopped by the race token
+  double wallMs = 0.0;      ///< whole-portfolio wall time
+  std::vector<RacerOutcome> outcomes;  ///< one per racer, in racer order
+};
+
+/// The deterministic config schedule: racer 0 is the solver's historical
+/// default, racers 1+ diversify polarity, restart cadence and VSIDS decay
+/// (pseudo-randomised from `seed` past the hand-picked first few).  Pure
+/// function of (racer, seed) — tests pin it down.
+sat::SolverConfig portfolioConfig(int racer, std::uint64_t seed);
+
+PortfolioResult portfolioSatAttack(const Netlist& lockedComb,
+                                   const std::vector<NetId>& keyInputs,
+                                   const Netlist& oracleComb,
+                                   const PortfolioOptions& opt = {});
+
+}  // namespace gkll

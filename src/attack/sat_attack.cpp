@@ -42,6 +42,9 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   // Miter solver: two copies sharing the data inputs, independent keys.
   Solver s;
   s.setConflictBudget(opt.conflictBudget);
+  s.setDeadline(opt.deadline);
+  s.setCancelToken(opt.cancel);
+  s.setConfig(opt.solverConfig);
   const std::vector<Var> v1 = encodeNetlist(s, locked);
   std::vector<NetId> bound = dataPIs;
   std::vector<Var> boundVars;
@@ -57,8 +60,19 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   // Key solver: accumulates only the I/O consistency constraints; its
   // models are the keys still compatible with every oracle response.
   Solver ks;
+  ks.setDeadline(opt.deadline);
+  ks.setCancelToken(opt.cancel);
   std::vector<Var> kVars;
   for (std::size_t i = 0; i < keyInputs.size(); ++i) kVars.push_back(ks.newVar());
+
+  // Map a solver's kUnknown back onto the attack-level outcome flags.
+  auto markStopped = [&](const Solver& solver) {
+    switch (solver.stopCause()) {
+      case sat::StopCause::kDeadline: res.deadlineExceeded = true; break;
+      case sat::StopCause::kCanceled: res.canceled = true; break;
+      default: res.budgetExhausted = true; break;
+    }
+  };
 
   auto constrainWithOracle = [&](const std::vector<Logic>& dip) {
     const std::vector<Logic> y = oracle.query(dip);
@@ -101,7 +115,8 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     iter.arg("iter", it);
     const Result miter = s.solve();
     if (miter == Result::kUnknown) {
-      res.budgetExhausted = true;
+      markStopped(s);
+      res.solverStats = s.stats();
       return res;
     }
     if (miter == Result::kUnsat) {
@@ -119,7 +134,13 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     iter.arg("dips", res.dips);
     iter.arg("cnf_vars", s.numVars());
     iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
-    if (ks.solve() == Result::kUnsat) {
+    const Result keyCheck = ks.solve();
+    if (keyCheck == Result::kUnknown) {
+      markStopped(ks);
+      res.solverStats = s.stats();
+      return res;
+    }
+    if (keyCheck == Result::kUnsat) {
       // No key can explain the oracle's response: the static CNF model is
       // wrong about the chip (the GK case — the glitch transmits the value
       // the CNF says is impossible).
@@ -132,7 +153,12 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
 
   // --- key extraction --------------------------------------------------------
   if (!res.keyConstraintsUnsat) {
-    if (ks.solve() == Result::kUnsat) {
+    const Result finalKey = ks.solve();
+    if (finalKey == Result::kUnknown) {
+      markStopped(ks);
+      return res;
+    }
+    if (finalKey == Result::kUnsat) {
       res.keyConstraintsUnsat = true;
     } else {
       for (std::size_t i = 0; i < keyInputs.size(); ++i)
@@ -166,6 +192,8 @@ SatAttackResult satAttack(const Netlist& lockedComb,
     if (res.unsatAtFirstIteration) obs::count("attack.sat.unsat_at_iter1");
     if (res.keyConstraintsUnsat) obs::count("attack.sat.key_constraints_unsat");
     if (res.budgetExhausted) obs::count("attack.sat.budget_exhausted");
+    if (res.deadlineExceeded) obs::count("attack.sat.deadline_exceeded");
+    if (res.canceled) obs::count("attack.sat.canceled");
     if (res.decrypted) obs::count("attack.sat.decrypted");
   }
   return res;

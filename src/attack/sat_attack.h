@@ -35,6 +35,17 @@ struct SatAttackOptions {
   /// out the attack gives up with budgetExhausted set — the practical
   /// "attacker ran out of patience" outcome for very large baselines.
   std::uint64_t conflictBudget = 0;
+  /// Wall-clock budget for the whole attack (default unlimited).  Checked
+  /// cooperatively inside both solvers; on expiry the attack returns with
+  /// deadlineExceeded set and all accumulated constraints intact.
+  runtime::Deadline deadline;
+  /// External cancellation (portfolio racing): when the token fires the
+  /// attack winds down at the next solver boundary with canceled set.
+  runtime::CancelToken cancel;
+  /// Search-heuristic knobs for the miter solver — the diversification
+  /// lever the portfolio varies per racer.  Defaults reproduce the
+  /// historical single-threaded behaviour exactly.
+  sat::SolverConfig solverConfig;
 };
 
 struct SatAttackResult {
@@ -42,7 +53,9 @@ struct SatAttackResult {
   int dips = 0;
   bool unsatAtFirstIteration = false;
   bool keyConstraintsUnsat = false;
-  bool budgetExhausted = false;  ///< a solver call hit the conflict budget
+  bool budgetExhausted = false;   ///< a solver call hit the conflict budget
+  bool deadlineExceeded = false;  ///< the wall-clock deadline expired
+  bool canceled = false;          ///< the cancel token fired (lost the race)
   std::vector<int> recoveredKey;  ///< valid when converged && !keyConstraintsUnsat
   /// True when the unlocked circuit (locked netlist with recoveredKey
   /// applied) is SAT-equivalent to the oracle circuit — i.e. the attack

@@ -23,8 +23,9 @@ GkFlowResult GkEncryptor::encrypt(const EncryptOptions& opt) const {
   GkFlowResult res = runGkFlow(original_, fo);
 
   if (opt.withholding) {
-    for (GkInsertion& ins : res.insertions)
-      withholdGk(res.design.netlist, ins.gk);
+    // Batch form: all LUT masks computed in parallel, identical netlist to
+    // the per-GK loop (withholding.h documents the equivalence).
+    withholdAllGks(res.design.netlist, res.insertions);
     res.lockedStats = res.design.netlist.stats();
     // LUT timing differs slightly from the XOR/XNOR it replaces; re-run
     // the sign-off so the caller still holds a verified design.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "netlist/compiled.h"
+#include "runtime/parallel.h"
 
 namespace gkll {
 namespace {
@@ -130,6 +131,76 @@ WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
   gk.xnorGate = lutA;
   gk.xorGate = lutB;
   return res;
+}
+
+std::vector<WithholdingResult> withholdAllGks(Netlist& nl,
+                                              std::vector<GkInsertion>& ins,
+                                              const WithholdingOptions& opt,
+                                              runtime::ThreadPool* pool) {
+  assert(opt.maxLutInputs >= 2 && opt.maxLutInputs <= 6);
+  std::vector<WithholdingResult> results(ins.size());
+  if (ins.empty()) return results;
+
+  // --- plan: grow every cone against the un-edited netlist ------------------
+  std::vector<Cone> cones;
+  cones.reserve(ins.size());
+  for (const GkInsertion& i : ins)
+    cones.push_back(growCone(nl, i.gk.x, opt.maxLutInputs - 1));
+
+  // The sequential loop grows GK j's cone on the netlist *after* GKs 0..j-1
+  // were edited; those edits only swap each GK's own XNOR/XOR for a LUT.
+  // A cone that never absorbs another GK's function gates therefore grows
+  // identically pre- and post-edit — when one does, bail out to the loop.
+  for (std::size_t j = 0; j < ins.size(); ++j) {
+    for (const GateId g : cones[j].gates) {
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        if (i != j && (g == ins[i].gk.xnorGate || g == ins[i].gk.xorGate)) {
+          for (std::size_t k = 0; k < ins.size(); ++k)
+            results[k] = withholdGk(nl, ins[k].gk, opt);
+          return results;
+        }
+      }
+    }
+  }
+
+  // --- parallel mask computation over one compiled view ---------------------
+  // coneLutMask is a pure function of (cn, cone, root, outer); mask slot
+  // 2j / 2j+1 is owned by task j's XNOR / XOR gate, so the sweep is
+  // deterministic at any thread count.
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  std::vector<std::uint64_t> masks(2 * ins.size());
+  runtime::ParallelOptions popt;
+  popt.pool = pool;
+  runtime::parallelFor(
+      2 * ins.size(),
+      [&](std::size_t m) {
+        const GkInstance& gk = ins[m / 2].gk;
+        const GateId old = (m % 2 == 0) ? gk.xnorGate : gk.xorGate;
+        masks[m] = coneLutMask(cn, cones[m / 2], gk.x, nl.gate(old).kind);
+      },
+      popt);
+
+  // --- serial commit, byte-identical mutation order to the loop -------------
+  for (std::size_t j = 0; j < ins.size(); ++j) {
+    GkInstance& gk = ins[j].gk;
+    WithholdingResult& res = results[j];
+    auto swapInLut = [&](GateId old, std::uint64_t mask) -> GateId {
+      const Gate g = nl.gate(old);  // copy before removal
+      assert(g.kind == CellKind::kXnor2 || g.kind == CellKind::kXor2);
+      const NetId keyIn = g.fanin[1];
+      const NetId outNet = g.out;
+      nl.removeGate(old);
+      std::vector<NetId> lutIns = cones[j].leaves;
+      lutIns.push_back(keyIn);
+      const GateId lut = nl.addLut(std::move(lutIns), outNet, mask);
+      res.luts.push_back(lut);
+      res.absorbedGates += static_cast<int>(cones[j].gates.size());
+      return lut;
+    };
+    gk.xnorGate = swapInLut(gk.xnorGate, masks[2 * j]);
+    gk.xorGate = swapInLut(gk.xorGate, masks[2 * j + 1]);
+  }
+  return results;
 }
 
 }  // namespace gkll

@@ -17,6 +17,7 @@
 
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist.h"
+#include "runtime/pool.h"
 
 namespace gkll {
 
@@ -35,5 +36,16 @@ struct WithholdingResult {
 /// MUX and delay elements stay visible — they are timing, not function.
 WithholdingResult withholdGk(Netlist& nl, GkInstance& gk,
                              const WithholdingOptions& opt = {});
+
+/// Batch form: withhold every GK of the flow at once.  Plans all cones and
+/// computes the 2N LUT masks in parallel over a single compiled view, then
+/// commits the netlist edits serially in insertion order — the resulting
+/// netlist is identical to calling withholdGk in a loop.  When one GK's
+/// cone would absorb another GK's function gates (the only case where the
+/// per-GK recompile of the sequential loop can change an answer), the
+/// whole batch falls back to that loop.  Returns one result per insertion.
+std::vector<WithholdingResult> withholdAllGks(
+    Netlist& nl, std::vector<GkInsertion>& insertions,
+    const WithholdingOptions& opt = {}, runtime::ThreadPool* pool = nullptr);
 
 }  // namespace gkll

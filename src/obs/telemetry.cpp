@@ -1,5 +1,8 @@
 #include "obs/telemetry.h"
 
+#include "runtime/pool.h"
+#include "runtime/sweep.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -146,6 +149,7 @@ double P2Quantile::value() const {
 // --- Distribution ------------------------------------------------------------
 
 void Distribution::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = v;
   } else {
@@ -156,6 +160,36 @@ void Distribution::record(double v) {
   sum_ += v;
   p50_.add(v);
   p95_.add(v);
+}
+
+std::uint64_t Distribution::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Distribution::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? min_ : 0.0;
+}
+
+double Distribution::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? max_ : 0.0;
+}
+
+double Distribution::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Distribution::p50() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p50_.value();
+}
+
+double Distribution::p95() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return p95_.value();
 }
 
 // --- Registry ----------------------------------------------------------------
@@ -175,7 +209,7 @@ Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
@@ -183,13 +217,34 @@ Distribution& Registry::distribution(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = dists_.find(name);
   if (it == dists_.end())
-    it = dists_.emplace(std::string(name), Distribution{}).first;
+    it = dists_.try_emplace(std::string(name)).first;
   return it->second;
 }
 
+namespace {
+/// Each thread's log handle, looked up once then cached.  The shared_ptr
+/// keeps the log (and its events) alive in the registry after the thread
+/// exits — pool workers come and go, their spans stay exportable.
+thread_local std::shared_ptr<void> t_threadLogHandle;
+}  // namespace
+
+Registry::ThreadLog& Registry::threadLog() {
+  if (t_threadLogHandle == nullptr) {
+    auto log = std::make_shared<ThreadLog>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      log->tid = static_cast<int>(logs_.size()) + 1;
+      logs_.push_back(log);
+    }
+    t_threadLogHandle = log;
+  }
+  return *static_cast<ThreadLog*>(t_threadLogHandle.get());
+}
+
 void Registry::addTraceEvent(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(ev));
+  ThreadLog& log = threadLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(std::move(ev));
 }
 
 std::uint64_t Registry::counterValue(std::string_view name) const {
@@ -210,14 +265,24 @@ std::size_t Registry::numDistributions() const {
 
 std::size_t Registry::numTraceEvents() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  std::size_t n = 0;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> logLock(log->mu);
+    n += log->events.size();
+  }
+  return n;
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   dists_.clear();
-  events_.clear();
+  // Thread logs stay registered (threads cache their handle and tids stay
+  // stable); only the buffered events are dropped.
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> logLock(log->mu);
+    log->events.clear();
+  }
 }
 
 void Registry::writeMetricsJsonl(std::ostream& os) const {
@@ -255,26 +320,29 @@ void Registry::writeChromeTrace(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& ev : events_) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n{\"name\":\"";
-    jsonEscape(os, ev.name);
-    os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << ev.tsUs
-       << ",\"dur\":" << ev.durUs;
-    if (!ev.args.empty()) {
-      os << ",\"args\":{";
-      bool firstArg = true;
-      for (const auto& [k, v] : ev.args) {
-        if (!firstArg) os << ",";
-        firstArg = false;
-        os << "\"";
-        jsonEscape(os, k);
-        os << "\":" << v;
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> logLock(log->mu);
+    for (const TraceEvent& ev : log->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"";
+      jsonEscape(os, ev.name);
+      os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << log->tid
+         << ",\"ts\":" << ev.tsUs << ",\"dur\":" << ev.durUs;
+      if (!ev.args.empty()) {
+        os << ",\"args\":{";
+        bool firstArg = true;
+        for (const auto& [k, v] : ev.args) {
+          if (!firstArg) os << ",";
+          firstArg = false;
+          os << "\"";
+          jsonEscape(os, k);
+          os << "\":" << v;
+        }
+        os << "}";
       }
       os << "}";
     }
-    os << "}";
   }
   os << "\n]}\n";
 }
@@ -324,10 +392,22 @@ void record(std::string_view name, double value) {
 
 // --- BenchTelemetry ----------------------------------------------------------
 
-BenchTelemetry::BenchTelemetry(std::string name) : name_(std::move(name)) {}
+BenchTelemetry::BenchTelemetry(std::string name)
+    : name_(std::move(name)),
+      wallStartMs_(runtime::wallMsNow()),
+      cpuStartMs_(runtime::cpuMsNow()) {}
 
 BenchTelemetry::~BenchTelemetry() {
   if (!enabled()) return;
+  registry()
+      .counter("bench.threads")
+      .add(static_cast<std::uint64_t>(runtime::ThreadPool::global().threads()));
+  registry()
+      .distribution("bench.wall_ms")
+      .record(runtime::wallMsNow() - wallStartMs_);
+  registry()
+      .distribution("bench.cpu_ms")
+      .record(runtime::cpuMsNow() - cpuStartMs_);
   const char* dirEnv = std::getenv("GKLL_TRACE_DIR");
   const std::string dir = (dirEnv != nullptr && *dirEnv != '\0')
                               ? std::string(dirEnv) + "/"

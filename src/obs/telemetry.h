@@ -14,11 +14,31 @@
 //   - every Span named "x" also feeds a distribution "span.x.us" with its
 //     wall time, so the metrics JSONL carries per-phase timing statistics
 //     without parsing the trace file.
+//
+// Threading contract (the work-stealing pool in src/runtime runs
+// instrumented code on every worker):
+//   - Counter::add/value are lock-free relaxed atomics — any number of
+//     threads may hold the same Counter& and add concurrently; value() is
+//     a monotonic snapshot.
+//   - Distribution::record and every accessor take a per-object mutex;
+//     concurrent record() calls serialise, accessors see a consistent
+//     (count, min, max, mean, sketch) tuple.
+//   - Spans buffer their completed TraceEvents into a per-thread log
+//     (uncontended in steady state) that the exporters merge; each
+//     thread's events carry a stable small tid in the Chrome trace, so
+//     pool workers show up as separate rows in the viewer.
+//   - registry() map lookups are mutex-guarded and the returned references
+//     stay valid until reset(); hot sites should cache them.
+//   - setEnabled/reset are *not* synchronisation points for in-flight
+//     spans: flip the switch and reset only while no instrumented work is
+//     running (between phases, in tests).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -31,14 +51,17 @@ namespace gkll::obs {
 bool enabled();
 void setEnabled(bool on);
 
-/// Monotonic named counter.
+/// Monotonic named counter.  Thread-safe and lock-free: add() is a relaxed
+/// fetch-add, value() a relaxed load (a monotonic snapshot, not a fence).
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory, exact
@@ -64,17 +87,20 @@ class P2Quantile {
 };
 
 /// Streaming value distribution: count/min/max/mean plus p50/p95 sketches.
+/// Thread-safe: record() and the accessors serialise on a per-object mutex
+/// (the P² sketch update is not atomically decomposable).
 class Distribution {
  public:
   void record(double v);
-  std::uint64_t count() const { return count_; }
-  double min() const { return count_ ? min_ : 0.0; }
-  double max() const { return count_ ? max_ : 0.0; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  double p50() const { return p50_.value(); }
-  double p95() const { return p95_.value(); }
+  std::uint64_t count() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  double p50() const;
+  double p95() const;
 
  private:
+  mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -84,6 +110,8 @@ class Distribution {
 };
 
 /// One completed span, in Chrome trace-event terms a "ph":"X" record.
+/// The emitting thread's tid is attached at export time from the
+/// per-thread log the event was buffered in.
 struct TraceEvent {
   std::string name;
   std::int64_t tsUs = 0;   ///< start, microseconds since registry start
@@ -124,10 +152,21 @@ class Registry {
  private:
   Registry();
 
+  /// Per-thread trace-event buffer.  Appends lock only the owning
+  /// thread's (uncontended) mutex; exporters lock each log briefly while
+  /// merging.  Logs outlive their threads (shared_ptr), so pool workers
+  /// that exit never strand events.
+  struct ThreadLog {
+    std::mutex mu;
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+  ThreadLog& threadLog();
+
   mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Distribution, std::less<>> dists_;
-  std::vector<TraceEvent> events_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
   std::int64_t startNs_ = 0;  // steady-clock origin
 };
 
@@ -159,9 +198,12 @@ void count(std::string_view name, std::uint64_t n = 1);
 void record(std::string_view name, double value);
 
 /// Per-binary harness glue for bench_* executables: construct first thing
-/// in main().  When tracing is enabled, the destructor writes
-/// "<name>.metrics.jsonl" and "<name>.trace.json" into GKLL_TRACE_DIR
-/// (default: the current directory) and notes the paths on stderr.
+/// in main().  When tracing is enabled, the destructor records the run's
+/// thread count and wall-vs-CPU time ("bench.threads", "bench.wall_ms",
+/// "bench.cpu_ms" — the fields that keep serial and parallel trajectories
+/// comparable), then writes "<name>.metrics.jsonl" and "<name>.trace.json"
+/// into GKLL_TRACE_DIR (default: the current directory) and notes the
+/// paths on stderr.
 class BenchTelemetry {
  public:
   explicit BenchTelemetry(std::string name);
@@ -171,6 +213,8 @@ class BenchTelemetry {
 
  private:
   std::string name_;
+  double wallStartMs_ = 0;
+  double cpuStartMs_ = 0;
 };
 
 }  // namespace gkll::obs

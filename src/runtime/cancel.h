@@ -1,0 +1,90 @@
+// Cooperative cancellation and wall-clock budgets for the parallel runtime.
+//
+// CancelToken is a copyable handle onto a shared one-way flag: any holder
+// may requestCancel(), every holder polls canceled().  A default-constructed
+// token is *empty* — it can never fire — so APIs can take a token by value
+// and "no cancellation" costs a null check.  Cancellation is cooperative
+// throughout the tree: the SAT solver polls at conflict/decision
+// boundaries, parallel_for between chunks; nothing is ever interrupted
+// mid-operation, which is what keeps canceled solvers reusable.
+//
+// Deadline is an absolute steady-clock point ("finish by t"), the
+// wall-clock sibling of Solver::setConflictBudget.  A default-constructed
+// Deadline is unlimited.  Both types are plain values: cheap to copy into
+// options structs and across threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace gkll::runtime {
+
+/// Shared one-way cancellation flag.  Thread-safe: requestCancel() and
+/// canceled() may race freely from any number of threads.
+class CancelToken {
+ public:
+  /// Empty token: canceled() is always false, requestCancel() a no-op.
+  CancelToken() = default;
+
+  /// A fresh, fireable token (allocates the shared flag).
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool valid() const { return flag_ != nullptr; }
+
+  void requestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  bool canceled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Absolute wall-clock budget on the steady clock.  Default: unlimited.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline at(std::chrono::steady_clock::time_point tp) {
+    Deadline d;
+    d.armed_ = true;
+    d.tp_ = tp;
+    return d;
+  }
+
+  static Deadline afterMs(double ms) {
+    return at(std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  bool unlimited() const { return !armed_; }
+
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= tp_;
+  }
+
+  /// Milliseconds until expiry: +inf when unlimited, clamped at 0 after.
+  double remainingMs() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    const auto left = tp_ - std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(left).count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point tp_{};
+};
+
+}  // namespace gkll::runtime

@@ -1,0 +1,158 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace gkll::runtime {
+namespace detail {
+namespace {
+
+/// Shared frame of one parallelFor call.  Chunks are claimed dynamically
+/// (an atomic ticket), so a slow chunk never leaves lanes idle while fast
+/// chunks remain; determinism is unaffected because chunk *boundaries*
+/// depend only on (n, grain, lanes)-independent arithmetic below.
+struct ForFrame {
+  ChunkFn fn = nullptr;
+  void* ctx = nullptr;
+  std::size_t n = 0;
+  std::size_t numChunks = 0;
+  CancelToken cancel;
+
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> completedChunks{0};
+  std::atomic<bool> abort{false};
+  std::mutex errMu;
+  std::exception_ptr firstError;
+
+  std::size_t chunkBegin(std::size_t c) const { return c * n / numChunks; }
+  std::size_t chunkEnd(std::size_t c) const { return (c + 1) * n / numChunks; }
+
+  void runChunks() noexcept {
+    for (;;) {
+      const std::size_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= numChunks) return;
+      if (!abort.load(std::memory_order_relaxed) && !cancel.canceled()) {
+        try {
+          fn(ctx, chunkBegin(c), chunkEnd(c));
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(errMu);
+            if (!firstError) firstError = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      completedChunks.fetch_add(1, std::memory_order_release);
+    }
+  }
+};
+
+struct RunnerJob final : Job {
+  ForFrame* frame = nullptr;
+  std::atomic<std::size_t>* runnersDone = nullptr;
+  void execute() noexcept override {
+    frame->runChunks();
+    runnersDone->fetch_add(1, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+void parallelForImpl(std::size_t n, const ParallelOptions& opt, ChunkFn fn,
+                     void* ctx) {
+  if (n == 0) return;
+  ThreadPool& pool = opt.pool != nullptr ? *opt.pool : ThreadPool::global();
+  const std::size_t grain = std::max<std::size_t>(1, opt.grain);
+  const std::size_t lanes = static_cast<std::size_t>(pool.threads());
+
+  ForFrame frame;
+  frame.fn = fn;
+  frame.ctx = ctx;
+  frame.n = n;
+  frame.cancel = opt.cancel;
+  // Enough chunks for dynamic balancing (4 per lane), never smaller than
+  // the grain.  A serial pool degenerates to one chunk = one plain loop.
+  frame.numChunks =
+      std::max<std::size_t>(1, std::min((n + grain - 1) / grain, lanes * 4));
+
+  if (lanes <= 1 || frame.numChunks == 1) {
+    frame.runChunks();
+    if (frame.firstError) std::rethrow_exception(frame.firstError);
+    return;
+  }
+
+  const std::size_t numRunners =
+      std::min(lanes - 1, frame.numChunks - 1);  // caller is runner #0
+  std::atomic<std::size_t> runnersDone{0};
+  std::vector<RunnerJob> runners(numRunners);
+  for (RunnerJob& r : runners) {
+    r.frame = &frame;
+    r.runnersDone = &runnersDone;
+    pool.submit(&r);
+  }
+
+  frame.runChunks();
+
+  // Help until every chunk has finished AND every runner job has unwound
+  // (the jobs live on this stack frame).
+  while (frame.completedChunks.load(std::memory_order_acquire) <
+             frame.numChunks ||
+         runnersDone.load(std::memory_order_acquire) < numRunners) {
+    if (!pool.runOneTask()) std::this_thread::yield();
+  }
+
+  if (frame.firstError) std::rethrow_exception(frame.firstError);
+}
+
+}  // namespace detail
+
+// --- TaskGroup ---------------------------------------------------------------
+
+struct TaskGroup::GroupJob final : detail::Job {
+  TaskGroup* group = nullptr;
+  std::function<void()> fn;
+  void execute() noexcept override {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(group->errMu_);
+      if (!group->firstError_) group->firstError_ = std::current_exception();
+    }
+    group->pending_.fetch_sub(1, std::memory_order_release);
+  }
+};
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+
+TaskGroup::~TaskGroup() { joinAll(); }
+
+void TaskGroup::run(std::function<void()> fn) {
+  auto job = std::make_unique<GroupJob>();
+  job->group = this;
+  job->fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  GroupJob* raw = job.get();
+  jobs_.push_back(std::move(job));
+  pool_->submit(raw);
+}
+
+void TaskGroup::joinAll() {
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!pool_->runOneTask()) std::this_thread::yield();
+  }
+}
+
+void TaskGroup::wait() {
+  joinAll();
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(errMu_);
+    err = firstError_;
+    firstError_ = nullptr;
+  }
+  jobs_.clear();  // every job has executed; safe to reclaim
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace gkll::runtime

@@ -1,0 +1,94 @@
+// Structured parallelism over the work-stealing pool.
+//
+//   parallelFor(n, body)   — run body(0..n-1), dynamically chunked across
+//                            the pool; the caller participates and the call
+//                            returns only when every index has run.
+//   TaskGroup              — fork heterogeneous tasks, wait() joins them.
+//
+// Both propagate the *first* exception thrown by any task to the waiting
+// thread (remaining chunks/tasks are skipped, running ones finish), honour
+// a CancelToken (checked between chunks — a canceled parallelFor simply
+// stops claiming work), and nest freely: a waiting thread helps execute
+// pending pool tasks, so an inner parallelFor inside an outer chunk can
+// never deadlock.
+//
+// Determinism contract: scheduling (chunk sizes, which thread runs what)
+// varies with the thread count, but a body that writes only state derived
+// from its own index — the pattern parallelSweep (runtime/sweep.h)
+// packages with per-task RNG splitting — produces byte-identical results
+// on any pool.  Use parallelFor for index spaces, TaskGroup for a handful
+// of dissimilar tasks (e.g. racing solver configurations).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/cancel.h"
+#include "runtime/pool.h"
+
+namespace gkll::runtime {
+
+struct ParallelOptions {
+  ThreadPool* pool = nullptr;  ///< null = ThreadPool::global()
+  std::size_t grain = 1;       ///< minimum indices per chunk
+  CancelToken cancel{};        ///< checked before each chunk
+};
+
+namespace detail {
+
+using ChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+/// Type-erased core: runs fn over [0, n) in chunks of >= grain.
+void parallelForImpl(std::size_t n, const ParallelOptions& opt, ChunkFn fn,
+                     void* ctx);
+
+}  // namespace detail
+
+/// Parallel loop over [0, n).  body(i) must not touch state owned by other
+/// indices; see the determinism contract above.
+template <class Body>
+void parallelFor(std::size_t n, Body&& body, const ParallelOptions& opt = {}) {
+  using Fn = std::remove_reference_t<Body>;
+  detail::ChunkFn chunk = [](void* ctx, std::size_t begin, std::size_t end) {
+    Fn& f = *static_cast<Fn*>(ctx);
+    for (std::size_t i = begin; i < end; ++i) f(i);
+  };
+  detail::parallelForImpl(n, opt, chunk, const_cast<Fn*>(std::addressof(body)));
+}
+
+/// Fork/join group of heterogeneous tasks.  run() and wait() are owner-
+/// thread only; the tasks themselves run anywhere in the pool.  The
+/// destructor joins outstanding tasks and *discards* their exceptions —
+/// call wait() to observe them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+
+  /// Join every task, then rethrow the first captured exception (if any).
+  void wait();
+
+ private:
+  struct GroupJob;
+
+  void joinAll();
+
+  ThreadPool* pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex errMu_;
+  std::exception_ptr firstError_;
+  std::vector<std::unique_ptr<GroupJob>> jobs_;
+};
+
+}  // namespace gkll::runtime

@@ -1,0 +1,186 @@
+#include "runtime/pool.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace gkll::runtime {
+namespace detail {
+
+namespace {
+constexpr std::int64_t kInitialCap = 256;
+}  // namespace
+
+ChaseLevDeque::ChaseLevDeque() {
+  buffers_.push_back(std::make_unique<Buffer>(kInitialCap));
+  buf_.store(buffers_.back().get(), std::memory_order_relaxed);
+}
+
+ChaseLevDeque::Buffer::Buffer(std::int64_t capacity)
+    : cap(capacity), slots(new std::atomic<Job*>[
+          static_cast<std::size_t>(capacity)]) {}
+
+ChaseLevDeque::Buffer* ChaseLevDeque::grow(Buffer* old, std::int64_t top,
+                                           std::int64_t bottom) {
+  buffers_.push_back(std::make_unique<Buffer>(old->cap * 2));
+  Buffer* next = buffers_.back().get();
+  for (std::int64_t i = top; i < bottom; ++i) next->put(i, old->get(i));
+  buf_.store(next, std::memory_order_release);
+  return next;
+}
+
+void ChaseLevDeque::push(Job* job) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* a = buf_.load(std::memory_order_relaxed);
+  if (b - t > a->cap - 1) a = grow(a, t, b);
+  a->put(b, job);
+  bottom_.store(b + 1, std::memory_order_release);
+}
+
+Job* ChaseLevDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* a = buf_.load(std::memory_order_relaxed);
+  // seq_cst store/load pair: the single point where owner and stealers must
+  // agree on a total order (the fence in the canonical formulation).
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  if (t > b) {  // empty: restore bottom
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Job* job = a->get(b);
+  if (t == b) {
+    // Last element: race the stealers for it.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      job = nullptr;  // a stealer won
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return job;
+}
+
+Job* ChaseLevDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  Buffer* a = buf_.load(std::memory_order_acquire);
+  Job* job = a->get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return nullptr;  // lost the race; caller may retry elsewhere
+  return job;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Which pool (if any) the current thread is a worker of, and its index.
+struct TlsWorker {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local TlsWorker t_worker;
+
+}  // namespace
+
+int ThreadPool::defaultThreads() {
+  if (const char* env = std::getenv("GKLL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(defaultThreads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  lanes_ = threads > 0 ? threads : defaultThreads();
+  const std::size_t numWorkers = static_cast<std::size_t>(lanes_ - 1);
+  workers_.reserve(numWorkers);
+  for (std::size_t i = 0; i < numWorkers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  // Deques exist before any thread starts: workers steal from each other.
+  for (std::size_t i = 0; i < numWorkers; ++i)
+    workers_[i]->thread = std::thread([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleepMu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleepCv_.notify_all();
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void ThreadPool::submit(detail::Job* job) {
+  if (t_worker.pool == this) {
+    workers_[t_worker.index]->deque.push(job);
+  } else {
+    std::lock_guard<std::mutex> lock(injectMu_);
+    inject_.push_back(job);
+  }
+  pendingApprox_.fetch_add(1, std::memory_order_relaxed);
+  // Empty critical section: a worker is either before its predicate check
+  // (sees the new pendingApprox_) or inside wait (gets the notify).
+  { std::lock_guard<std::mutex> lock(sleepMu_); }
+  sleepCv_.notify_one();
+}
+
+detail::Job* ThreadPool::findWork(std::size_t selfIndex) {
+  // 1. Own deque (workers only).
+  if (selfIndex < workers_.size()) {
+    if (detail::Job* j = workers_[selfIndex]->deque.pop()) return j;
+  }
+  // 2. Injection queue (LIFO pop is fine: jobs are independent).
+  {
+    std::lock_guard<std::mutex> lock(injectMu_);
+    if (!inject_.empty()) {
+      detail::Job* j = inject_.back();
+      inject_.pop_back();
+      return j;
+    }
+  }
+  // 3. Steal, starting just past self so victims rotate.
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::size_t victim = (selfIndex + k) % (n + 1);
+    if (victim >= n) continue;  // the "external" slot has no deque
+    if (detail::Job* j = workers_[victim]->deque.steal()) return j;
+  }
+  return nullptr;
+}
+
+bool ThreadPool::runOneTask() {
+  const std::size_t self =
+      t_worker.pool == this ? t_worker.index : workers_.size();
+  detail::Job* j = findWork(self);
+  if (j == nullptr) return false;
+  pendingApprox_.fetch_sub(1, std::memory_order_relaxed);
+  j->execute();
+  return true;
+}
+
+void ThreadPool::workerLoop(std::size_t index) {
+  t_worker.pool = this;
+  t_worker.index = index;
+  for (;;) {
+    if (runOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sleepMu_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (pendingApprox_.load(std::memory_order_relaxed) > 0) continue;
+    // Timed wait as a lost-wakeup backstop; the submit-side empty critical
+    // section makes the common path race-free.
+    sleepCv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+}  // namespace gkll::runtime

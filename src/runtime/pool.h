@@ -1,0 +1,131 @@
+// Work-stealing thread pool.
+//
+// One Chase-Lev deque per worker: the owning worker pushes and pops at the
+// bottom (LIFO, cache-warm), idle workers steal from the top (FIFO, oldest
+// first — the coarsest subtasks, which is what keeps stealing rare).  The
+// implementation follows the weak-memory formulation of Lê, Pop, Cohen &
+// Zappa Nardelli (PPoPP'13) with the standalone fences replaced by
+// seq_cst operations on top/bottom — marginally stronger, and expressible
+// entirely through std::atomic so ThreadSanitizer reasons about it
+// natively.  Retired ring buffers are kept until the deque dies, the
+// classic safe-reclamation shortcut.
+//
+// Threads submit from anywhere: a pool worker pushes onto its own deque;
+// external threads (main, tests) go through a small mutex-guarded
+// injection queue that workers drain between steals.  Blocking waits do
+// not exist — waiters *help*: parallel_for and TaskGroup::wait run pending
+// tasks on the waiting thread until their own work completes, which is
+// what makes nested parallelism deadlock-free.
+//
+// Sizing: ThreadPool(n) provides n lanes of parallelism — n-1 background
+// workers plus the submitting thread, which always participates.  n = 0
+// means defaultThreads(): the GKLL_THREADS environment variable if set,
+// otherwise std::thread::hardware_concurrency().  The lazily-constructed
+// global() pool is what the library's parallel paths use by default.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gkll::runtime {
+
+namespace detail {
+
+/// A unit of pool work.  execute() must be noexcept: structured wrappers
+/// (parallel_for, TaskGroup) capture exceptions into their own state and
+/// rethrow on the waiting thread.
+struct Job {
+  virtual void execute() noexcept = 0;
+  virtual ~Job() = default;
+};
+
+/// Chase-Lev work-stealing deque of Job*.  push/pop: owner thread only;
+/// steal: any thread.  Grows unboundedly; retired buffers are reclaimed at
+/// destruction only (stealers may still be reading them).
+class ChaseLevDeque {
+ public:
+  ChaseLevDeque();
+  ~ChaseLevDeque() = default;
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  void push(Job* job);  ///< owner only
+  Job* pop();           ///< owner only; nullptr when empty
+  Job* steal();         ///< any thread; nullptr when empty or race lost
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t capacity);
+    const std::int64_t cap;  // power of two
+    std::unique_ptr<std::atomic<Job*>[]> slots;
+
+    Job* get(std::int64_t i) const {
+      return slots[i & (cap - 1)].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Job* j) {
+      slots[i & (cap - 1)].store(j, std::memory_order_relaxed);
+    }
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buf_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-mutated (grow only)
+};
+
+}  // namespace detail
+
+class ThreadPool {
+ public:
+  /// n lanes of parallelism (n-1 workers + the caller); 0 = defaultThreads().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism lanes (always >= 1).
+  int threads() const { return lanes_; }
+
+  /// GKLL_THREADS if set and > 0, else hardware_concurrency (min 1).
+  static int defaultThreads();
+
+  /// The process-wide pool, built on first use with defaultThreads() lanes.
+  static ThreadPool& global();
+
+  /// Enqueue a job.  The job must stay alive until it has executed; the
+  /// pool never deletes jobs.  Callable from any thread.
+  void submit(detail::Job* job);
+
+  /// Execute one pending job on the calling thread, if any is available.
+  /// This is the helping primitive waiters spin on.
+  bool runOneTask();
+
+ private:
+  struct Worker {
+    detail::ChaseLevDeque deque;
+    std::thread thread;
+  };
+
+  void workerLoop(std::size_t index);
+  detail::Job* findWork(std::size_t selfIndex);  ///< selfIndex==size: external
+
+  int lanes_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex injectMu_;
+  std::vector<detail::Job*> inject_;  // external submissions, FIFO-ish
+
+  std::mutex sleepMu_;
+  std::condition_variable sleepCv_;
+  std::atomic<std::int64_t> pendingApprox_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace gkll::runtime

@@ -1,0 +1,25 @@
+// Deterministic per-task RNG splitting.
+//
+// Parallel code must never share one Rng between tasks (the draw order
+// would depend on scheduling).  Instead every task derives its own seed as
+// a hash of (master seed, task index) and constructs a private Rng from
+// it.  Because the seed depends only on the *logical* task index, a sweep
+// produces byte-identical results on 1, 2, or 64 threads — the determinism
+// contract tests/test_runtime.cpp pins down.
+#pragma once
+
+#include <cstdint>
+
+namespace gkll::runtime {
+
+/// Stateless splitmix64-style mix of (masterSeed, taskIndex).  taskIndex 0
+/// is a valid task; the +1 keeps it from collapsing onto the master seed.
+constexpr std::uint64_t taskSeed(std::uint64_t masterSeed,
+                                 std::uint64_t taskIndex) {
+  std::uint64_t z = masterSeed + 0x9E3779B97F4A7C15ULL * (taskIndex + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gkll::runtime

@@ -1,0 +1,108 @@
+#include "runtime/sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+namespace gkll::runtime {
+
+double wallMsNow() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double cpuMsNow() {
+  // std::clock() is per-process CPU time on POSIX — it sums every thread,
+  // which is exactly the wall-vs-CPU comparison the bench JSON records.
+  return 1000.0 * static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  wallStart_ = wallMsNow();
+  cpuStart_ = cpuMsNow();
+}
+
+void BenchJson::set(const std::string& key, double value) {
+  fields_[key] = value;
+}
+
+void BenchJson::set(const std::string& key, const std::string& value) {
+  fields_[key] = value;
+}
+
+std::string BenchJson::path() const {
+  const char* dir = std::getenv("GKLL_TRACE_DIR");
+  const std::string prefix =
+      (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : std::string();
+  return prefix + "BENCH_" + name_ + ".json";
+}
+
+namespace {
+
+void jsonEscapeTo(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+BenchJson::~BenchJson() {
+  const double wallMs = wallMsNow() - wallStart_;
+  const double cpuMs = cpuMsNow() - cpuStart_;
+
+  std::string out = "{\n  \"name\": \"";
+  jsonEscapeTo(out, name_);
+  out += "\",\n";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "  \"threads\": %d,\n",
+                ThreadPool::global().threads());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  \"wall_ms\": %.3f,\n", wallMs);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  \"cpu_ms\": %.3f", cpuMs);
+  out += buf;
+  for (const auto& [key, value] : fields_) {
+    out += ",\n  \"";
+    jsonEscapeTo(out, key);
+    out += "\": ";
+    if (const double* d = std::get_if<double>(&value)) {
+      std::snprintf(buf, sizeof buf, "%.17g", *d);
+      out += buf;
+    } else {
+      out += '"';
+      jsonEscapeTo(out, std::get<std::string>(value));
+      out += '"';
+    }
+  }
+  out += "\n}\n";
+
+  const std::string p = path();
+  std::ofstream f(p);
+  if (f) {
+    f << out;
+    std::fprintf(stderr, "[bench] %s -> %s\n", name_.c_str(), p.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] %s: FAILED to write %s\n", name_.c_str(),
+                 p.c_str());
+  }
+}
+
+}  // namespace gkll::runtime

@@ -1,0 +1,91 @@
+// Parallel scenario sweeps and the bench JSON emitter.
+//
+// parallelSweep is the one driver every grid-shaped evaluation shares
+// (bench_table1/table2, bench_fig7_scenarios, bench_fig9_windows, the
+// keygen window sweeps): item i is computed by fn(i, rng_i) with a private
+// Rng seeded from hash(masterSeed, i) — see runtime/seed.h — and the
+// results come back in index order.  Because nothing about an item depends
+// on scheduling, a sweep is byte-identical on 1 thread and on 64; the
+// benches exploit that by running serial + parallel and *checking*.
+//
+// BenchJson writes BENCH_<name>.json (into GKLL_TRACE_DIR when set, else
+// the working directory) with the run's thread count and wall-vs-CPU time
+// alongside whatever metrics the bench sets — the fields that keep
+// trajectories comparable between serial and parallel runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/seed.h"
+#include "util/rng.h"
+
+namespace gkll::runtime {
+
+/// Milliseconds on the steady clock (wall) / of process CPU time (all
+/// threads).  wall << cpu is the signature of a saturated pool.
+double wallMsNow();
+double cpuMsNow();
+
+/// Deterministic parallel sweep: out[i] = fn(i, Rng(taskSeed(masterSeed,i))).
+/// R must be default-constructible; fn must not touch other items' state.
+template <class R, class Fn>
+std::vector<R> parallelSweep(std::size_t n, std::uint64_t masterSeed, Fn&& fn,
+                             const ParallelOptions& opt = {}) {
+  std::vector<R> out(n);
+  parallelFor(
+      n,
+      [&](std::size_t i) {
+        Rng rng(taskSeed(masterSeed, i));
+        out[i] = fn(i, rng);
+      },
+      opt);
+  return out;
+}
+
+/// Scoped serial-vs-parallel measurement of one sweep body, for the
+/// benches' determinism + speedup check: run() executes the body once on
+/// the given pool and returns (result, wallMs).
+struct SweepTiming {
+  double wallMs = 0;
+  double cpuMs = 0;
+};
+
+template <class Fn>
+auto timedRun(Fn&& body, SweepTiming& t) {
+  const double w0 = wallMsNow();
+  const double c0 = cpuMsNow();
+  auto result = body();
+  t.wallMs = wallMsNow() - w0;
+  t.cpuMs = cpuMsNow() - c0;
+  return result;
+}
+
+/// BENCH_<name>.json writer.  Construction starts the clocks; destruction
+/// stamps {"name","threads","wall_ms","cpu_ms"} plus every set() metric
+/// (keys sorted, so files diff cleanly) and writes the file.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+  ~BenchJson();
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+
+  std::string path() const;  ///< where the destructor will write
+
+ private:
+  std::string name_;
+  double wallStart_ = 0;
+  double cpuStart_ = 0;
+  std::map<std::string, std::variant<double, std::string>> fields_;
+};
+
+}  // namespace gkll::runtime

@@ -4,11 +4,18 @@
 #include <cassert>
 
 #include "obs/telemetry.h"
+#include "runtime/seed.h"
 
 namespace gkll::sat {
 namespace {
 
 inline constexpr std::int32_t kNoReason = -1;
+
+/// Conflicts/decisions between cooperative deadline checks.  The cancel
+/// token is a bare atomic load and is polled on the same cadence; the
+/// deadline additionally reads the steady clock, so the interval keeps the
+/// clock off the hot path (64 conflicts is microseconds of search).
+inline constexpr std::uint64_t kStopCheckInterval = 64;
 
 /// The (i+1)-th element of the Luby restart sequence: 1 1 2 1 1 2 4 ...
 std::uint64_t luby(std::uint64_t i) {
@@ -29,10 +36,34 @@ std::uint64_t luby(std::uint64_t i) {
 
 Solver::Solver() = default;
 
+std::uint8_t Solver::initialPhaseOf(Var v) const {
+  switch (cfg_.initialPhase) {
+    case SolverConfig::Phase::kAllTrue:
+      return kTrue;
+    case SolverConfig::Phase::kRandom:
+      // Deterministic per-variable polarity: same seed => same phases,
+      // independent of variable creation order interleaving.
+      return (runtime::taskSeed(cfg_.seed, static_cast<std::uint64_t>(v)) & 1)
+                 ? kTrue
+                 : kFalse;
+    case SolverConfig::Phase::kAllFalse:
+    default:
+      return kFalse;
+  }
+}
+
+void Solver::setConfig(const SolverConfig& cfg) {
+  cfg_ = cfg;
+  // Re-seed the saved polarity of every variable not yet pinned by search,
+  // so setConfig after CNF encoding still diversifies the first descent.
+  for (Var v = 0; v < static_cast<Var>(phase_.size()); ++v)
+    phase_[static_cast<std::size_t>(v)] = initialPhaseOf(v);
+}
+
 Var Solver::newVar() {
   const Var v = static_cast<Var>(assign_.size());
   assign_.push_back(kUndef);
-  phase_.push_back(kFalse);
+  phase_.push_back(initialPhaseOf(v));
   level_.push_back(0);
   reason_.push_back(kNoReason);
   activity_.push_back(0.0);
@@ -156,7 +187,7 @@ void Solver::bumpVar(Var v) {
   if (inHeap(v)) heapUp(heapPos_[v]);
 }
 
-void Solver::decayVarActivity() { varInc_ /= 0.95; }
+void Solver::decayVarActivity() { varInc_ /= cfg_.varDecay; }
 
 void Solver::bumpClause(ClauseRef c) {
   Clause& cl = clauses_[c];
@@ -349,7 +380,27 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 }
 
 Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
+  stopCause_ = StopCause::kNone;
   if (!ok_) return Result::kUnsat;
+
+  // Cooperative stop poll: the cancel flag is checked (one atomic load) and
+  // the deadline clock read.  Called at restart boundaries and every
+  // kStopCheckInterval conflicts/decisions; on fire we unwind to the root so
+  // the formula and learned clauses stay reusable.
+  auto stopRequested = [&]() -> bool {
+    if (cancel_.canceled()) {
+      stopCause_ = StopCause::kCanceled;
+      return true;
+    }
+    if (deadline_.expired()) {
+      stopCause_ = StopCause::kDeadline;
+      return true;
+    }
+    return false;
+  };
+  const bool mayStop = cancel_.valid() || !deadline_.unlimited();
+  if (mayStop && stopRequested()) return Result::kUnknown;
+
   backtrack(0);
   if (propagate() != kNoReason) {
     ok_ = false;
@@ -357,9 +408,10 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
   }
 
   std::uint64_t restartCount = 0;
-  std::uint64_t restartBudget = 64 * luby(restartCount);
+  std::uint64_t restartBudget = cfg_.restartBase * luby(restartCount);
   std::uint64_t conflictsThisRestart = 0;
   std::uint64_t conflictsThisCall = 0;
+  std::uint64_t stopCountdown = kStopCheckInterval;
   std::vector<Lit> learnt;
 
   for (;;) {
@@ -368,8 +420,16 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
       ++stats_.conflicts;
       ++conflictsThisRestart;
       if (conflictBudget_ != 0 && ++conflictsThisCall >= conflictBudget_) {
+        stopCause_ = StopCause::kConflictBudget;
         backtrack(0);
         return Result::kUnknown;
+      }
+      if (mayStop && --stopCountdown == 0) {
+        stopCountdown = kStopCheckInterval;
+        if (stopRequested()) {
+          backtrack(0);
+          return Result::kUnknown;
+        }
       }
       if (trailLim_.empty()) {
         ok_ = false;
@@ -404,9 +464,10 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
     if (conflictsThisRestart >= restartBudget) {
       ++stats_.restarts;
       ++restartCount;
-      restartBudget = 64 * luby(restartCount);
+      restartBudget = cfg_.restartBase * luby(restartCount);
       conflictsThisRestart = 0;
       backtrack(0);
+      if (mayStop && stopRequested()) return Result::kUnknown;
       reduceDb();
       continue;
     }
@@ -437,6 +498,15 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
       return Result::kSat;
     }
     ++stats_.decisions;
+    // Decision-boundary poll too: propagation-heavy instances can run long
+    // stretches without a single conflict.
+    if (mayStop && --stopCountdown == 0) {
+      stopCountdown = kStopCheckInterval;
+      if (stopRequested()) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+    }
     trailLim_.push_back(static_cast<int>(trail_.size()));
     if (trailLim_.size() > stats_.maxDecisionLevel)
       stats_.maxDecisionLevel = trailLim_.size();

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/cancel.h"
+
 namespace gkll::sat {
 
 using Var = std::int32_t;
@@ -31,7 +33,32 @@ constexpr bool litSign(Lit l) { return (l & 1) != 0; }
 enum class Result {
   kSat,
   kUnsat,
-  kUnknown,  ///< the per-call conflict budget ran out (see setConflictBudget)
+  kUnknown,  ///< a stop condition fired first — see Solver::stopCause()
+};
+
+/// Why the last solve() call returned kUnknown.
+enum class StopCause {
+  kNone,            ///< last call ran to completion (kSat/kUnsat)
+  kConflictBudget,  ///< per-call conflict budget exhausted
+  kDeadline,        ///< wall-clock deadline expired
+  kCanceled,        ///< the cancel token fired (portfolio racing)
+};
+
+/// Search-heuristic knobs.  The defaults reproduce the solver's historical
+/// behaviour bit-for-bit; a portfolio runs several configs in parallel so
+/// the racers explore *different* search trees (sat/portfolio-style
+/// diversification: restart cadence, branching polarity, decay rate).
+struct SolverConfig {
+  enum class Phase : std::uint8_t {
+    kAllFalse,  ///< branch to false first (the classic circuit-SAT default)
+    kAllTrue,   ///< branch to true first
+    kRandom,    ///< per-variable pseudo-random polarity derived from `seed`
+  };
+
+  std::uint64_t restartBase = 64;  ///< Luby restart unit (conflicts)
+  double varDecay = 0.95;          ///< VSIDS decay factor (varInc /= decay)
+  Phase initialPhase = Phase::kAllFalse;
+  std::uint64_t seed = 0;  ///< polarity seed, only read when Phase::kRandom
 };
 
 /// Solver statistics (cumulative across solve() calls).
@@ -74,6 +101,28 @@ class Solver {
   /// learned clauses stay intact, so callers may simply retry or give up.
   void setConflictBudget(std::uint64_t budget) { conflictBudget_ = budget; }
 
+  /// Wall-clock sibling of setConflictBudget: when the deadline expires the
+  /// current and all future solve() calls return kUnknown with
+  /// stopCause() == kDeadline.  Checked cooperatively at conflict, decision
+  /// and restart boundaries — never mid-propagation — so the formula stays
+  /// intact and reusable (tighten/clear by setting a new Deadline).
+  void setDeadline(runtime::Deadline d) { deadline_ = d; }
+
+  /// Cooperative cancellation (portfolio racing): once the token fires,
+  /// solve() winds down at the next conflict/decision boundary and returns
+  /// kUnknown with stopCause() == kCanceled.  The formula and learned
+  /// clauses survive — a canceled racer can keep its solver for reuse.
+  void setCancelToken(runtime::CancelToken t) { cancel_ = std::move(t); }
+
+  /// Why the most recent solve() returned kUnknown (kNone after kSat/kUnsat).
+  StopCause stopCause() const { return stopCause_; }
+
+  /// Install search-heuristic knobs.  Call before solve(); the initial
+  /// polarity is applied to every existing *and* future variable's saved
+  /// phase, so configs may be set after encoding the CNF.
+  void setConfig(const SolverConfig& cfg);
+  const SolverConfig& config() const { return cfg_; }
+
   /// Record every original (non-learned) clause exactly as passed to
   /// addClause, before simplification — for DIMACS export (sat/dimacs.h)
   /// and differential testing.  Call before adding clauses.
@@ -98,6 +147,7 @@ class Solver {
   enum : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
   Result solveImpl(const std::vector<Lit>& assumptions);
+  std::uint8_t initialPhaseOf(Var v) const;
 
   struct Clause {
     std::vector<Lit> lits;
@@ -141,6 +191,10 @@ class Solver {
 
   bool ok_ = true;
   std::uint64_t conflictBudget_ = 0;
+  runtime::Deadline deadline_;
+  runtime::CancelToken cancel_;
+  StopCause stopCause_ = StopCause::kNone;
+  SolverConfig cfg_;
   bool logClauses_ = false;
   std::vector<std::vector<Lit>> clauseLog_;
   std::vector<Clause> clauses_;

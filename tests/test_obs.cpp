@@ -7,10 +7,14 @@
 
 #include <cctype>
 #include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "runtime/parallel.h"
+#include "runtime/pool.h"
 #include "sat/solver.h"
 #include "sim/event_sim.h"
 #include "util/rng.h"
@@ -328,6 +332,72 @@ TEST_F(ObsTest, RegistryResetClearsEverything) {
   EXPECT_EQ(obs::registry().numCounters(), 0u);
   EXPECT_EQ(obs::registry().numDistributions(), 0u);
   EXPECT_EQ(obs::registry().numTraceEvents(), 0u);
+}
+
+// --- threading contract (see the header's doc block) -------------------------
+
+TEST_F(ObsTest, CountersSumAcrossPoolThreads) {
+  runtime::ThreadPool pool(8);
+  runtime::ParallelOptions opt;
+  opt.pool = &pool;
+  constexpr std::size_t kN = 8000;
+  runtime::parallelFor(
+      kN, [](std::size_t) { obs::count("par.hits"); }, opt);
+  EXPECT_EQ(obs::registry().counterValue("par.hits"), kN);
+}
+
+TEST_F(ObsTest, ConcurrentDistributionRecordsAreAllCounted) {
+  constexpr int kThreads = 8, kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        obs::record("par.dist", t * kPerThread + i);
+    });
+  for (std::thread& t : threads) t.join();
+  const obs::Distribution& d = obs::registry().distribution("par.dist");
+  EXPECT_EQ(d.count(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(d.min(), 0);
+  EXPECT_DOUBLE_EQ(d.max(), kThreads * kPerThread - 1);
+}
+
+TEST_F(ObsTest, SpansFromDistinctThreadsGetDistinctTraceTids) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] { obs::Span s("threaded.span"); });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::registry().numTraceEvents(),
+            static_cast<std::size_t>(kThreads));
+
+  std::ostringstream os;
+  obs::registry().writeChromeTrace(os);
+  const std::string trace = os.str();
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace;
+  std::set<std::string> tids;
+  for (std::size_t pos = trace.find("\"tid\":"); pos != std::string::npos;
+       pos = trace.find("\"tid\":", pos + 1)) {
+    std::size_t end = pos + 6;
+    while (end < trace.size() &&
+           std::isdigit(static_cast<unsigned char>(trace[end])) != 0)
+      ++end;
+    tids.insert(trace.substr(pos + 6, end - pos - 6));
+  }
+  EXPECT_GE(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(ObsTest, ResetKeepsThreadRegistrationsUsable) {
+  // The contract: reset() drops events but a thread's cached log handle
+  // (and its tid) stays valid, so threads keep tracing after a reset.
+  { obs::Span s("before.reset"); }
+  obs::registry().reset();
+  EXPECT_EQ(obs::registry().numTraceEvents(), 0u);
+  { obs::Span s("after.reset"); }
+  EXPECT_EQ(obs::registry().numTraceEvents(), 1u);
+  std::ostringstream os;
+  obs::registry().writeChromeTrace(os);
+  EXPECT_NE(os.str().find("after.reset"), std::string::npos);
+  EXPECT_EQ(os.str().find("before.reset"), std::string::npos);
 }
 
 }  // namespace

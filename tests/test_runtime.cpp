@@ -1,0 +1,389 @@
+// Tests for the parallel runtime (src/runtime) and its consumers: pool
+// determinism across thread counts, cancellation and deadlines, exception
+// propagation, nested parallelism, the cooperative solver stop conditions,
+// and the portfolio SAT attack.
+#include "runtime/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "attack/portfolio.h"
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "runtime/cancel.h"
+#include "runtime/pool.h"
+#include "runtime/seed.h"
+#include "runtime/sweep.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+using runtime::CancelToken;
+using runtime::Deadline;
+using runtime::ParallelOptions;
+using runtime::TaskGroup;
+using runtime::ThreadPool;
+
+// --- pool + parallelFor ------------------------------------------------------
+
+TEST(Pool, LaneCountAndSerialDegeneration) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.threads(), 4);
+  EXPECT_GE(ThreadPool::defaultThreads(), 1);
+  EXPECT_GE(ThreadPool::global().threads(), 1);
+}
+
+TEST(Pool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelOptions opt;
+  opt.pool = &pool;
+  runtime::parallelFor(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1); }, opt);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Pool, GrainOptionStillCoversTheIndexSpace) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1001;  // deliberately not a grain multiple
+  std::vector<int> out(kN, 0);
+  ParallelOptions opt;
+  opt.pool = &pool;
+  opt.grain = 64;
+  runtime::parallelFor(
+      kN, [&](std::size_t i) { out[i] = static_cast<int>(i); }, opt);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i));
+}
+
+// The determinism contract: a body that writes only its own slot produces
+// byte-identical results on any pool size.
+TEST(Pool, SweepByteIdenticalAcrossOneTwoEightThreads) {
+  constexpr std::size_t kN = 257;
+  constexpr std::uint64_t kSeed = 42;
+  auto body = [](std::size_t i, Rng& rng) -> std::uint64_t {
+    // Mix the per-task rng stream with some arithmetic on the index.
+    std::uint64_t acc = i;
+    for (int r = 0; r < 8; ++r) acc = acc * 6364136223846793005ULL + rng.next();
+    return acc;
+  };
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ParallelOptions opt;
+    opt.pool = &pool;
+    runs.push_back(
+        runtime::parallelSweep<std::uint64_t>(kN, kSeed, body, opt));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(Pool, TaskSeedIsAPureInjectionOnSmallRanges) {
+  EXPECT_EQ(runtime::taskSeed(7, 3), runtime::taskSeed(7, 3));
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seeds.push_back(runtime::taskSeed(123, i));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_TRUE(std::adjacent_find(seeds.begin(), seeds.end()) == seeds.end());
+}
+
+TEST(Pool, ExceptionPropagatesToTheCaller) {
+  ThreadPool pool(4);
+  ParallelOptions opt;
+  opt.pool = &pool;
+  EXPECT_THROW(
+      runtime::parallelFor(
+          1000,
+          [&](std::size_t i) {
+            if (i == 357) throw std::runtime_error("chunk failure");
+          },
+          opt),
+      std::runtime_error);
+}
+
+TEST(Pool, PreCanceledParallelForRunsNothing) {
+  ThreadPool pool(4);
+  CancelToken token = CancelToken::make();
+  token.requestCancel();
+  std::atomic<int> ran{0};
+  ParallelOptions opt;
+  opt.pool = &pool;
+  opt.cancel = token;
+  runtime::parallelFor(
+      5000, [&](std::size_t) { ran.fetch_add(1); }, opt);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Pool, CancelMidFlightSkipsRemainingChunks) {
+  ThreadPool pool(2);
+  CancelToken token = CancelToken::make();
+  std::atomic<int> ran{0};
+  ParallelOptions opt;
+  opt.pool = &pool;
+  opt.cancel = token;
+  constexpr int kN = 100000;
+  runtime::parallelFor(
+      kN,
+      [&](std::size_t) {
+        ran.fetch_add(1);
+        token.requestCancel();  // first body to run cancels the rest
+      },
+      opt);
+  // Chunks already claimed finish; unclaimed chunks are skipped.  With
+  // 2 lanes there are at most 8 chunks, so well under half the indices run.
+  EXPECT_GT(ran.load(), 0);
+  EXPECT_LT(ran.load(), kN / 2);
+}
+
+TEST(Pool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // fewer lanes than outer iterations — must help
+  constexpr std::size_t kOuter = 8, kInner = 64;
+  std::vector<std::vector<int>> out(kOuter);
+  ParallelOptions opt;
+  opt.pool = &pool;
+  runtime::parallelFor(
+      kOuter,
+      [&](std::size_t o) {
+        out[o].assign(kInner, 0);
+        runtime::parallelFor(
+            kInner,
+            [&](std::size_t i) { out[o][i] = static_cast<int>(o * kInner + i); },
+            opt);
+      },
+      opt);
+  for (std::size_t o = 0; o < kOuter; ++o)
+    for (std::size_t i = 0; i < kInner; ++i)
+      EXPECT_EQ(out[o][i], static_cast<int>(o * kInner + i));
+}
+
+// --- TaskGroup ---------------------------------------------------------------
+
+TEST(TaskGroupTest, RunsHeterogeneousTasksToCompletion) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> sum{0};
+  for (int t = 1; t <= 10; ++t)
+    group.run([&sum, t] { sum.fetch_add(t); });
+  group.wait();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(TaskGroupTest, WaitRethrowsTheFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.run([] {});
+  group.run([] { throw std::logic_error("task failed"); });
+  group.run([] {});
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(TaskGroupTest, WaitAfterWaitIsIdempotent) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.run([&] { ran.fetch_add(1); });
+  group.wait();
+  group.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// --- CancelToken / Deadline --------------------------------------------------
+
+TEST(Cancel, DefaultTokenNeverFires) {
+  CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.canceled());
+}
+
+TEST(Cancel, SharedTokenObservesRequest) {
+  CancelToken a = CancelToken::make();
+  CancelToken b = a;  // shared state
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(b.canceled());
+  a.requestCancel();
+  EXPECT_TRUE(b.canceled());
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, PastDeadlineIsExpiredWithZeroRemaining) {
+  Deadline d = Deadline::afterMs(0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remainingMs(), 0);
+}
+
+// --- solver stop conditions --------------------------------------------------
+
+// A satisfiable formula the solver finishes instantly — enough to check
+// the stop conditions fire at solve entry and clear cleanly.  Returns the
+// variable that is true in every model.
+sat::Var addSmallFormula(sat::Solver& s) {
+  const sat::Var a = s.newVar();
+  const sat::Var b = s.newVar();
+  s.addClause(sat::mkLit(a), sat::mkLit(b));
+  s.addClause(sat::mkLit(a, true), sat::mkLit(b));
+  return b;
+}
+
+TEST(SolverStop, ExpiredDeadlineReturnsUnknownThenClears) {
+  sat::Solver s;
+  (void)addSmallFormula(s);
+  s.setDeadline(Deadline::afterMs(0));
+  EXPECT_EQ(s.solve(), sat::Result::kUnknown);
+  EXPECT_EQ(s.stopCause(), sat::StopCause::kDeadline);
+  // Clearing the deadline leaves the formula intact and solvable.
+  s.setDeadline(Deadline());
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+  EXPECT_EQ(s.stopCause(), sat::StopCause::kNone);
+}
+
+TEST(SolverStop, CanceledSolverKeepsFormulaReusable) {
+  sat::Solver s;
+  const sat::Var b = addSmallFormula(s);
+  CancelToken token = CancelToken::make();
+  token.requestCancel();
+  s.setCancelToken(token);
+  EXPECT_EQ(s.solve(), sat::Result::kUnknown);
+  EXPECT_EQ(s.stopCause(), sat::StopCause::kCanceled);
+  // Clear the token: same solver, same clauses, normal solve.
+  s.setCancelToken(CancelToken());
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+  EXPECT_EQ(s.stopCause(), sat::StopCause::kNone);
+  EXPECT_TRUE(s.modelValue(b));  // b is true in every model
+}
+
+TEST(SolverStop, EveryPortfolioConfigSolvesTheSameFormula) {
+  for (int racer = 0; racer < 8; ++racer) {
+    sat::Solver s;
+    s.setConfig(portfolioConfig(racer, /*seed=*/5));
+    const sat::Var b = addSmallFormula(s);
+    EXPECT_EQ(s.solve(), sat::Result::kSat) << "racer " << racer;
+    EXPECT_TRUE(s.modelValue(b)) << "racer " << racer;
+    // And an unsat core stays unsat under any heuristic.
+    sat::Solver u;
+    u.setConfig(portfolioConfig(racer, /*seed=*/5));
+    const sat::Var v = u.newVar();
+    u.addClause(sat::mkLit(v));
+    u.addClause(sat::mkLit(v, true));
+    EXPECT_EQ(u.solve(), sat::Result::kUnsat) << "racer " << racer;
+  }
+}
+
+// --- SAT attack deadline / cancel --------------------------------------------
+
+TEST(AttackStop, ExpiredDeadlineSetsDeadlineExceeded) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 77});
+  SatAttackOptions opt;
+  opt.deadline = Deadline::afterMs(0);
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_TRUE(r.deadlineExceeded);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.canceled);
+}
+
+TEST(AttackStop, FiredCancelTokenSetsCanceled) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 77});
+  SatAttackOptions opt;
+  CancelToken token = CancelToken::make();
+  token.requestCancel();
+  opt.cancel = token;
+  const SatAttackResult r = satAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_TRUE(r.canceled);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.deadlineExceeded);
+}
+
+// --- portfolio ---------------------------------------------------------------
+
+TEST(Portfolio, ConfigScheduleIsDeterministicWithDefaultRacerZero) {
+  const sat::SolverConfig def{};
+  const sat::SolverConfig r0 = portfolioConfig(0, 999);
+  EXPECT_EQ(r0.restartBase, def.restartBase);
+  EXPECT_EQ(r0.varDecay, def.varDecay);
+  EXPECT_EQ(r0.initialPhase, def.initialPhase);
+  for (int racer = 0; racer < 16; ++racer) {
+    const sat::SolverConfig a = portfolioConfig(racer, 7);
+    const sat::SolverConfig b = portfolioConfig(racer, 7);
+    EXPECT_EQ(a.restartBase, b.restartBase);
+    EXPECT_EQ(a.varDecay, b.varDecay);
+    EXPECT_EQ(a.initialPhase, b.initialPhase);
+    EXPECT_EQ(a.seed, b.seed);
+  }
+}
+
+TEST(Portfolio, SingleRacerReproducesTheSerialAttack) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 77});
+  const SatAttackResult serial = satAttack(ld.netlist, ld.keyInputs, orig);
+
+  PortfolioOptions opt;
+  opt.racers = 1;
+  const PortfolioResult pr =
+      portfolioSatAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_EQ(pr.winner, 0);
+  ASSERT_EQ(pr.outcomes.size(), 1u);
+  EXPECT_TRUE(pr.result.converged);
+  EXPECT_EQ(pr.result.dips, serial.dips);
+  EXPECT_EQ(pr.result.recoveredKey, serial.recoveredKey);
+  EXPECT_EQ(pr.result.decrypted, serial.decrypted);
+}
+
+TEST(Portfolio, RaceRecoversAWorkingKey) {
+  const Netlist orig = makeC17();
+  const LockedDesign ld = xorLock(orig, XorLockOptions{4, 81});
+  PortfolioOptions opt;
+  opt.racers = 3;
+  const PortfolioResult pr =
+      portfolioSatAttack(ld.netlist, ld.keyInputs, orig, opt);
+  EXPECT_GE(pr.winner, 0);
+  EXPECT_LT(pr.winner, 3);
+  ASSERT_EQ(pr.outcomes.size(), 3u);
+  EXPECT_TRUE(pr.outcomes[static_cast<std::size_t>(pr.winner)].definitive);
+  EXPECT_TRUE(pr.result.converged);
+  EXPECT_TRUE(pr.result.decrypted);
+  // Losers either also finished (definitive) or were canceled by the race
+  // token; nobody may report a deadline that was never set.
+  for (const RacerOutcome& o : pr.outcomes)
+    EXPECT_FALSE(o.result.deadlineExceeded);
+}
+
+TEST(Portfolio, SequentialBenchmarkRaceMatchesSerialOutcome) {
+  const Netlist orig = generateByName("s1238");
+  const LockedDesign ld = xorLock(orig, XorLockOptions{8, 78});
+  const CombExtraction comb = extractCombinational(ld.netlist);
+  const CombExtraction oracle = extractCombinational(orig);
+  std::vector<NetId> keys;
+  for (NetId k : ld.keyInputs) keys.push_back(comb.netMap[k]);
+
+  PortfolioOptions opt;
+  opt.racers = 2;
+  const PortfolioResult pr =
+      portfolioSatAttack(comb.netlist, keys, oracle.netlist, opt);
+  EXPECT_GE(pr.winner, 0);
+  EXPECT_TRUE(pr.result.converged);
+  EXPECT_TRUE(pr.result.decrypted);
+}
+
+}  // namespace
+}  // namespace gkll
