@@ -8,7 +8,9 @@
 #include <cstdio>
 
 #include "attack/oracle.h"
+#include "attack/sat_attack.h"
 #include "benchgen/synthetic_bench.h"
+#include "lock/xor_lock.h"
 #include "netlist/compiled.h"
 #include "netlist/netlist_ops.h"
 #include "obs/telemetry.h"
@@ -143,6 +145,65 @@ void measurePackedThroughput() {
   obs::record("sim.packed.speedup_vs_scalar", speedup);
 }
 
+// Sustained incremental DIP-check throughput: one persistent miter solver
+// over thousands of assumption solves — the workload the SAT attack puts
+// on the solver, and the one where learned-clause management decides
+// whether propagation throughput holds up or decays as the DB bloats.
+// Recorded as solver.props_per_sec / solver.conflicts_per_sec.
+void measureSolverThroughput() {
+  // Self-miter of s5378 with every input shared: each assumption solve is
+  // an UNSAT proof ("no two keys differ on this input"), learned clauses
+  // accumulate in the persistent solver across thousands of calls, and
+  // propagation throughput only holds up if the clause database is kept
+  // in check — the tiered reduction's whole job.
+  const Netlist comb = extractCombinational(generateByName("s5378")).netlist;
+  sat::Solver s;
+  const auto v1 = sat::encodeNetlist(s, comb);
+  std::vector<sat::Var> pi;
+  for (NetId n : comb.inputs()) pi.push_back(v1[n]);
+  const auto v2 = sat::encodeNetlist(s, comb, comb.inputs(), pi);
+  std::vector<sat::Var> diffs;
+  for (NetId po : comb.outputs())
+    diffs.push_back(sat::makeXor(s, v1[po], v2[po]));
+  s.addClause(sat::mkLit(sat::makeOrReduce(s, diffs)));
+
+  Rng rng(9);
+  constexpr int kSolves = 16000;
+  std::vector<sat::Lit> assumps(pi.size());
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  for (int i = 0; i < kSolves; ++i) {
+    for (std::size_t j = 0; j < pi.size(); ++j)
+      assumps[j] = sat::mkLit(pi[j], rng.flip());
+    benchmark::DoNotOptimize(s.solve(assumps));
+  }
+  const double sec = std::chrono::duration<double>(clock::now() - t0).count();
+  const double propsPerSec = static_cast<double>(s.stats().propagations) / sec;
+  const double conflPerSec = static_cast<double>(s.stats().conflicts) / sec;
+  std::printf(
+      "sustained DIP-check throughput (s5378 self-miter, %d solves): "
+      "%.3g props/sec, %.3g conflicts/sec, %zu clauses retained\n",
+      kSolves, propsPerSec, conflPerSec, s.numClauses());
+  obs::record("solver.props_per_sec", propsPerSec);
+  obs::record("solver.conflicts_per_sec", conflPerSec);
+}
+
+// Per-DIP CNF growth of the key-cone-reduced attack encoding on a locked
+// circuit (the residual should be far smaller than the full circuit).
+void measureDipEncoding() {
+  const Netlist comb = extractCombinational(generateByName("s1238")).netlist;
+  const LockedDesign ld = xorLock(comb, XorLockOptions{12, 7});
+  const SatAttackResult res =
+      satAttack(ld.netlist, ld.keyInputs, comb, SatAttackOptions{});
+  std::printf(
+      "per-DIP CNF growth (s1238 XOR-12, %d dips, decrypted=%d): "
+      "%.1f vars/dip, %.1f clauses/dip\n",
+      res.dips, res.decrypted ? 1 : 0, res.cnfVarsPerDip,
+      res.cnfClausesPerDip);
+  obs::record("cnf.vars_per_dip", res.cnfVarsPerDip);
+  obs::record("cnf.clauses_per_dip", res.cnfClausesPerDip);
+}
+
 void BM_EventSimCycle(benchmark::State& state) {
   const Netlist nl = generateByName("s5378");
   Rng rng(2);
@@ -174,6 +235,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   gkll::measurePackedThroughput();
+  gkll::measureSolverThroughput();
+  gkll::measureDipEncoding();
   benchmark::Shutdown();
   return 0;
 }

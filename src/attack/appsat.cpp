@@ -63,29 +63,37 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
   for (NetId kn : keyInputs) k1.push_back(v1[kn]);
   for (NetId kn : keyInputs) k2.push_back(v2[kn]);
 
+  // Key-cone-reduced copy pinning (see encodeResidual): each observed
+  // (X, Y) pair folds X through the circuit once with the keys X-valued,
+  // then every solver copy encodes only the residual key cone.
+  std::vector<PackedBits> foldIn(lockedComb.inputs().size());
+  std::vector<PackedBits> foldedNets;
+  sat::ConstVars sConsts, ksConsts;
+
   // Pin one circuit copy to (X, Y) in `solver`, keys bound to `keyVars`.
+  // Assumes `foldedNets` holds the fold of X (lane 0).
   auto pinCopy = [&](Solver& solver, const std::vector<Var>& keyVars,
-                     const std::vector<Logic>& x, const std::vector<Logic>& y) {
-    std::vector<NetId> b = dataPIs;
-    std::vector<Var> bv;
-    for (std::size_t i = 0; i < dataPIs.size(); ++i) {
-      const Var c = solver.newVar();
-      solver.addClause(mkLit(c, x[i] != Logic::T));
-      bv.push_back(c);
+                     sat::ConstVars& consts, const std::vector<Logic>& y) {
+    const std::vector<Var> vc = sat::encodeResidual(
+        solver, locked, foldedNets, 0, keyInputs, keyVars, consts);
+    for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i) {
+      const NetId on = lockedComb.outputs()[i];
+      const Logic fv = packedLane(foldedNets[on], 0);
+      if (fv == Logic::X)
+        solver.addClause(mkLit(vc[on], y[i] != Logic::T));
+      else if ((fv == Logic::T) != (y[i] == Logic::T))
+        solver.addClause(std::vector<Lit>{});
     }
-    for (std::size_t i = 0; i < keyInputs.size(); ++i) {
-      b.push_back(keyInputs[i]);
-      bv.push_back(keyVars[i]);
-    }
-    const std::vector<Var> vc = encodeNetlist(solver, locked, b, bv);
-    for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
-      solver.addClause(mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));
   };
   auto constrainAll = [&](const std::vector<Logic>& x,
                           const std::vector<Logic>& y) {
-    pinCopy(s, k1, x, y);
-    pinCopy(s, k2, x, y);
-    pinCopy(ks, kVars, x, y);
+    for (std::size_t i = 0; i < foldIn.size(); ++i) foldIn[i] = packedSplat(Logic::X);
+    for (std::size_t i = 0; i < dataPIs.size(); ++i)
+      foldIn[static_cast<std::size_t>(slotOf[dataPIs[i]])] = packedSplat(x[i]);
+    locked.evalPacked(foldIn, {}, foldedNets);
+    pinCopy(s, k1, sConsts, y);
+    pinCopy(s, k2, sConsts, y);
+    pinCopy(ks, kVars, ksConsts, y);
   };
 
   // Bit-parallel random-query engine: packed evaluations answer up to 64

@@ -22,35 +22,31 @@ struct Sample {
   TimingOracle::Capture cap;
 };
 
-/// Encode one chip probe into `solver`: a copy of the locked core with the
-/// probe's inputs pinned and the key nets bound to `keyVars`.  When
-/// `onlyOutput` >= 0 only that output's observation is asserted (used for
-/// the per-bit explainability analysis); X observations are skipped.
-void encodeSample(Solver& solver, const Netlist& comb,
-                  const std::vector<NetId>& dataPIs,
+/// Encode one chip probe into `solver`: a key-cone-reduced copy of the
+/// locked core under the probe's inputs (pre-folded into `foldedNets` with
+/// the keys X-valued), key nets bound to `keyVars`.  When `onlyOutput` >= 0
+/// only that output's observation is asserted (used for the per-bit
+/// explainability analysis); X observations are skipped.  A folded-constant
+/// output that contradicts its observation is inexplicable under *every*
+/// key, so the whole formula is made unsatisfiable.
+void encodeSample(Solver& solver, const CompiledNetlist& locked,
                   const std::vector<NetId>& keyInputs,
-                  const std::vector<Var>& keyVars, const Sample& smp,
-                  const std::vector<Logic>& observed, int onlyOutput) {
-  std::vector<NetId> bound;
-  std::vector<Var> boundVars;
-  std::size_t di = 0;
-  auto pin = [&](NetId n, Logic v) {
-    const Var c = solver.newVar();
-    solver.addClause(mkLit(c, v != Logic::T));
-    bound.push_back(n);
-    boundVars.push_back(c);
-  };
-  for (Logic v : smp.pis) pin(dataPIs[di++], v);
-  for (Logic v : smp.state) pin(dataPIs[di++], v);
-  for (std::size_t i = 0; i < keyInputs.size(); ++i) {
-    bound.push_back(keyInputs[i]);
-    boundVars.push_back(keyVars[i]);
-  }
-  const std::vector<Var> vc = encodeNetlist(solver, comb, bound, boundVars);
+                  const std::vector<Var>& keyVars,
+                  const std::vector<PackedBits>& foldedNets,
+                  sat::ConstVars& consts, const std::vector<Logic>& observed,
+                  int onlyOutput) {
+  const Netlist& comb = locked.source();
+  const std::vector<Var> vc = sat::encodeResidual(
+      solver, locked, foldedNets, 0, keyInputs, keyVars, consts);
   for (std::size_t o = 0; o < comb.outputs().size(); ++o) {
     if (onlyOutput >= 0 && static_cast<std::size_t>(onlyOutput) != o) continue;
     if (observed[o] == Logic::X) continue;  // violation: no observation
-    solver.addClause(mkLit(vc[comb.outputs()[o]], observed[o] != Logic::T));
+    const NetId on = comb.outputs()[o];
+    const Logic fv = packedLane(foldedNets[on], 0);
+    if (fv == Logic::X)
+      solver.addClause(mkLit(vc[on], observed[o] != Logic::T));
+    else if ((fv == Logic::T) != (observed[o] == Logic::T))
+      solver.addClause(std::vector<sat::Lit>{});
   }
 }
 
@@ -101,6 +97,28 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
     return obs;
   };
 
+  // Fold each probe through the circuit once (keys X-valued): both the
+  // consistency and the explainability phases stamp the same residual.
+  const CompiledNetlist locked = CompiledNetlist::compile(lockedComb);
+  std::vector<std::vector<PackedBits>> foldedBySample(samples.size());
+  {
+    std::vector<PackedBits> foldIn(lockedComb.inputs().size(),
+                                   packedSplat(Logic::X));
+    std::vector<int> slotOf(lockedComb.numNets(), -1);
+    for (std::size_t i = 0; i < lockedComb.inputs().size(); ++i)
+      slotOf[lockedComb.inputs()[i]] = static_cast<int>(i);
+    for (std::size_t si = 0; si < samples.size(); ++si) {
+      std::size_t di = 0;
+      for (Logic v : samples[si].pis)
+        foldIn[static_cast<std::size_t>(slotOf[dataPIs[di++]])] =
+            packedSplat(v);
+      for (Logic v : samples[si].state)
+        foldIn[static_cast<std::size_t>(slotOf[dataPIs[di++]])] =
+            packedSplat(v);
+      locked.evalPacked(foldIn, {}, foldedBySample[si]);
+    }
+  }
+
   // Main question: is there any constant key under which the stable-value
   // timed model reproduces every observation?
   {
@@ -108,9 +126,10 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
     Solver s;
     std::vector<Var> keyVars;
     for (std::size_t i = 0; i < keyInputs.size(); ++i) keyVars.push_back(s.newVar());
-    for (const Sample& smp : samples)
-      encodeSample(s, lockedComb, dataPIs, keyInputs, keyVars, smp,
-                   observedOf(smp), -1);
+    sat::ConstVars consts;
+    for (std::size_t si = 0; si < samples.size(); ++si)
+      encodeSample(s, locked, keyInputs, keyVars, foldedBySample[si], consts,
+                   observedOf(samples[si]), -1);
     if (s.solve() == Result::kSat) {
       res.modelConsistent = true;
       for (std::size_t i = 0; i < keyInputs.size(); ++i)
@@ -130,9 +149,10 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
       std::vector<Var> keyVars;
       for (std::size_t i = 0; i < keyInputs.size(); ++i)
         keyVars.push_back(s.newVar());
-      for (const Sample& smp : samples)
-        encodeSample(s, lockedComb, dataPIs, keyInputs, keyVars, smp,
-                     observedOf(smp), static_cast<int>(o));
+      sat::ConstVars consts;
+      for (std::size_t si = 0; si < samples.size(); ++si)
+        encodeSample(s, locked, keyInputs, keyVars, foldedBySample[si], consts,
+                     observedOf(samples[si]), static_cast<int>(o));
       if (s.solve() == Result::kUnsat) ++res.inexplicableBits;
     }
   }

@@ -57,6 +57,13 @@ PortfolioResult portfolioSatAttack(const Netlist& lockedComb,
   const int racers = opt.racers > 0 ? opt.racers : 1;
   pr.outcomes.resize(static_cast<std::size_t>(racers));
 
+  // Encode the miter once; every racer replays the shared template's
+  // clause log instead of re-running the CNF encoder.  The replayed
+  // formula is literally identical to a direct encode, so diversification
+  // stays purely heuristic.
+  const MiterTemplate miter =
+      buildMiterTemplate(CompiledNetlist::compile(lockedComb), keyInputs);
+
   // One shared flag stops every racer the moment a winner is definitive.
   const runtime::CancelToken race = runtime::CancelToken::make();
   std::atomic<int> winner{-1};
@@ -71,6 +78,7 @@ PortfolioResult portfolioSatAttack(const Netlist& lockedComb,
       SatAttackOptions ro = opt.base;
       ro.solverConfig = out.config;
       ro.cancel = race;
+      ro.miter = &miter;
       const double rt0 = runtime::wallMsNow();
       out.result = satAttack(lockedComb, keyInputs, oracleComb, ro);
       out.wallMs = runtime::wallMsNow() - rt0;

@@ -18,6 +18,34 @@ using sat::Var;
 
 namespace {
 
+/// Encode the miter into `s`: copy 1 with fresh vars, copy 2 sharing the
+/// data inputs, outputs constrained to differ.  The one encoding path both
+/// the direct attack and buildMiterTemplate go through, so a template
+/// replay reproduces the direct formula literally.
+void encodeMiter(Solver& s, const CompiledNetlist& locked,
+                 const std::vector<NetId>& dataPIs, std::vector<Var>& v1,
+                 std::vector<Var>& v2) {
+  const Netlist& src = locked.source();
+  v1 = encodeNetlist(s, locked);
+  std::vector<Var> boundVars;
+  for (NetId n : dataPIs) boundVars.push_back(v1[n]);
+  v2 = encodeNetlist(s, locked, dataPIs, boundVars);
+  std::vector<Var> diffs;
+  for (NetId po : src.outputs())
+    diffs.push_back(makeXor(s, v1[po], v2[po]));
+  s.addClause(mkLit(makeOrReduce(s, diffs)));
+}
+
+std::vector<NetId> dataInputsOf(const Netlist& lockedComb,
+                                const std::vector<NetId>& keyInputs) {
+  std::vector<NetId> dataPIs;
+  for (NetId pi : lockedComb.inputs()) {
+    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
+      dataPIs.push_back(pi);
+  }
+  return dataPIs;
+}
+
 SatAttackResult satAttackImpl(const Netlist& lockedComb,
                               const std::vector<NetId>& keyInputs,
                               const Netlist& oracleComb,
@@ -26,17 +54,13 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   assert(lockedComb.flops().empty() && "attack wants a combinational core");
 
   // Split the locked design's inputs into data PIs and key PIs.
-  std::vector<NetId> dataPIs;
-  for (NetId pi : lockedComb.inputs()) {
-    if (std::find(keyInputs.begin(), keyInputs.end(), pi) == keyInputs.end())
-      dataPIs.push_back(pi);
-  }
+  const std::vector<NetId> dataPIs = dataInputsOf(lockedComb, keyInputs);
   assert(dataPIs.size() == oracleComb.inputs().size());
   assert(lockedComb.outputs().size() == oracleComb.outputs().size());
 
   CombOracle oracle(oracleComb);
-  // The locked core is re-encoded 2 + 3/DIP times; compile it once and
-  // stamp every copy from the analyzed view.
+  // The locked core is re-encoded per DIP; compile it once and stamp every
+  // copy from the analyzed view.
   const CompiledNetlist locked = CompiledNetlist::compile(lockedComb);
 
   // Miter solver: two copies sharing the data inputs, independent keys.
@@ -45,17 +69,18 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   s.setDeadline(opt.deadline);
   s.setCancelToken(opt.cancel);
   s.setConfig(opt.solverConfig);
-  const std::vector<Var> v1 = encodeNetlist(s, locked);
-  std::vector<NetId> bound = dataPIs;
-  std::vector<Var> boundVars;
-  for (NetId n : dataPIs) boundVars.push_back(v1[n]);
-  const std::vector<Var> v2 = encodeNetlist(s, locked, bound, boundVars);
-
-  std::vector<Var> diffs;
-  for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i)
-    diffs.push_back(makeXor(s, v1[lockedComb.outputs()[i]],
-                            v2[lockedComb.outputs()[i]]));
-  s.addClause(mkLit(makeOrReduce(s, diffs)));
+  std::vector<Var> v1, v2;
+  if (opt.miter != nullptr) {
+    // Portfolio path: replay the shared pre-encoded miter instead of
+    // re-running the encoder.  addClause is deterministic, so the replayed
+    // formula is literally the one encodeMiter would have produced.
+    for (int i = 0; i < opt.miter->numVars; ++i) s.newVar();
+    for (const std::vector<Lit>& cl : opt.miter->clauses) s.addClause(cl);
+    v1 = opt.miter->v1;
+    v2 = opt.miter->v2;
+  } else {
+    encodeMiter(s, locked, dataPIs, v1, v2);
+  }
 
   // Key solver: accumulates only the I/O consistency constraints; its
   // models are the keys still compatible with every oracle response.
@@ -74,40 +99,62 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     }
   };
 
+  // Per-DIP copies are key-cone reduced: fold the concrete DIP through the
+  // circuit once with the key inputs X (packed three-valued evaluation),
+  // then encode only the gates the key still influences.  Folded-constant
+  // nets bind to one pinned constant variable per solver, which addClause's
+  // root-level simplification folds out of the residual clauses.
+  std::vector<std::uint8_t> isKeySlot(lockedComb.inputs().size(), 0);
+  for (std::size_t i = 0; i < lockedComb.inputs().size(); ++i)
+    if (std::find(keyInputs.begin(), keyInputs.end(),
+                  lockedComb.inputs()[i]) != keyInputs.end())
+      isKeySlot[i] = 1;
+  std::vector<PackedBits> foldIn(lockedComb.inputs().size());
+  std::vector<PackedBits> foldedNets;
+  sat::ConstVars sConsts, ksConsts;
+
   auto constrainWithOracle = [&](const std::vector<Logic>& dip) {
     const std::vector<Logic> y = oracle.query(dip);
 
-    // In the miter solver: pin a fresh copy per key set to (X*, Y*).
-    auto addCopy = [&](const std::vector<Var>& keySrc, Solver& solver,
-                       const std::vector<Var>* keyVarsOverride) {
-      std::vector<NetId> b = dataPIs;
-      std::vector<Var> bv;
-      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
-        const Var c = solver.newVar();
-        solver.addClause(mkLit(c, dip[i] != Logic::T));
-        bv.push_back(c);
-      }
-      // Bind the key nets to the existing key variables of this solver.
-      for (std::size_t i = 0; i < keyInputs.size(); ++i) {
-        b.push_back(keyInputs[i]);
-        bv.push_back(keyVarsOverride ? (*keyVarsOverride)[i] : keySrc[i]);
-      }
-      const std::vector<Var> vc = encodeNetlist(solver, locked, b, bv);
+    std::size_t di = 0;
+    for (std::size_t i = 0; i < foldIn.size(); ++i)
+      foldIn[i] = packedSplat(isKeySlot[i] ? Logic::X : dip[di++]);
+    locked.evalPacked(foldIn, {}, foldedNets);
+
+    // Pin one residual copy per key set to (X*, Y*).  Outputs the fold
+    // already decided only need a check: a constant that contradicts the
+    // oracle holds for *every* key, so the whole formula is unsatisfiable
+    // (the GK case — the CNF disagrees with the chip on all keys).
+    auto addCopy = [&](Solver& solver, const std::vector<Var>& keyVars,
+                       sat::ConstVars& consts) {
+      const std::vector<Var> vc = sat::encodeResidual(
+          solver, locked, foldedNets, 0, keyInputs, keyVars, consts);
       for (std::size_t i = 0; i < lockedComb.outputs().size(); ++i) {
-        solver.addClause(
-            mkLit(vc[lockedComb.outputs()[i]], y[i] != Logic::T));
+        const NetId on = lockedComb.outputs()[i];
+        const Logic fv = packedLane(foldedNets[on], 0);
+        if (fv == Logic::X)
+          solver.addClause(mkLit(vc[on], y[i] != Logic::T));
+        else if ((fv == Logic::T) != (y[i] == Logic::T))
+          solver.addClause(std::vector<Lit>{});
       }
     };
 
     std::vector<Var> k1, k2;
     for (NetId kn : keyInputs) k1.push_back(v1[kn]);
     for (NetId kn : keyInputs) k2.push_back(v2[kn]);
-    addCopy(k1, s, nullptr);
-    addCopy(k2, s, nullptr);
-    addCopy({}, ks, &kVars);
+    addCopy(s, k1, sConsts);
+    addCopy(s, k2, sConsts);
+    addCopy(ks, kVars, ksConsts);
   };
 
   // --- DIP loop --------------------------------------------------------------
+  std::int64_t dipVars = 0, dipClauses = 0;
+  auto finishCnfStats = [&] {
+    if (res.dips > 0) {
+      res.cnfVarsPerDip = static_cast<double>(dipVars) / res.dips;
+      res.cnfClausesPerDip = static_cast<double>(dipClauses) / res.dips;
+    }
+  };
   for (int it = 0; it < opt.maxIterations; ++it) {
     // One span per iteration: miter solve + oracle query + key-solver check,
     // annotated with the running DIP count and the miter CNF's growth.
@@ -117,6 +164,7 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     if (miter == Result::kUnknown) {
       markStopped(s);
       res.solverStats = s.stats();
+      finishCnfStats();
       return res;
     }
     if (miter == Result::kUnsat) {
@@ -130,7 +178,12 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     dip.reserve(dataPIs.size());
     for (NetId n : dataPIs)
       dip.push_back(logicFromBool(s.modelValue(v1[n])));
+    const int varsBefore = s.numVars();
+    const std::size_t clausesBefore = s.numClauses();
     constrainWithOracle(dip);
+    dipVars += s.numVars() - varsBefore;
+    dipClauses += static_cast<std::int64_t>(s.numClauses()) -
+                  static_cast<std::int64_t>(clausesBefore);
     iter.arg("dips", res.dips);
     iter.arg("cnf_vars", s.numVars());
     iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
@@ -138,6 +191,7 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     if (keyCheck == Result::kUnknown) {
       markStopped(ks);
       res.solverStats = s.stats();
+      finishCnfStats();
       return res;
     }
     if (keyCheck == Result::kUnsat) {
@@ -149,6 +203,7 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     }
   }
   res.solverStats = s.stats();
+  finishCnfStats();
   if (!res.converged && !res.keyConstraintsUnsat) return res;  // budget out
 
   // --- key extraction --------------------------------------------------------
@@ -174,6 +229,18 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
 }
 
 }  // namespace
+
+MiterTemplate buildMiterTemplate(const CompiledNetlist& locked,
+                                 const std::vector<NetId>& keyInputs) {
+  MiterTemplate t;
+  Solver scratch;
+  scratch.enableClauseLog();
+  const std::vector<NetId> dataPIs = dataInputsOf(locked.source(), keyInputs);
+  encodeMiter(scratch, locked, dataPIs, t.v1, t.v2);
+  t.numVars = scratch.numVars();
+  t.clauses = scratch.loggedClauses();
+  return t;
+}
 
 SatAttackResult satAttack(const Netlist& lockedComb,
                           const std::vector<NetId>& keyInputs,

@@ -22,12 +22,31 @@
 #include <cstdint>
 #include <vector>
 
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "sat/solver.h"
 
 namespace gkll {
 
 class CombOracle;
+
+/// A pre-encoded miter formula: the two locked-circuit copies over shared
+/// data inputs plus the difference constraint, captured as the solver's
+/// verbatim clause log.  Replaying the log through Solver::addClause is
+/// deterministic, so every consumer that replays the template holds a
+/// literally identical formula — the portfolio builds it once and seeds
+/// all racers from it instead of re-running the CNF encoder per racer.
+struct MiterTemplate {
+  int numVars = 0;
+  std::vector<std::vector<sat::Lit>> clauses;
+  std::vector<sat::Var> v1;  ///< per-net vars of miter copy 1
+  std::vector<sat::Var> v2;  ///< per-net vars of miter copy 2
+};
+
+/// Encode the SAT-attack miter for `locked` once.  `keyInputs` are left
+/// free in both copies; all other inputs are shared between them.
+MiterTemplate buildMiterTemplate(const CompiledNetlist& locked,
+                                 const std::vector<NetId>& keyInputs);
 
 struct SatAttackOptions {
   int maxIterations = 1 << 20;
@@ -46,6 +65,11 @@ struct SatAttackOptions {
   /// lever the portfolio varies per racer.  Defaults reproduce the
   /// historical single-threaded behaviour exactly.
   sat::SolverConfig solverConfig;
+  /// Optional pre-encoded miter (see buildMiterTemplate).  When set, the
+  /// attack replays the template's clause log instead of re-encoding the
+  /// locked circuit — the formula is identical either way.  The template
+  /// must have been built from the same locked netlist and key set.
+  const MiterTemplate* miter = nullptr;
 };
 
 struct SatAttackResult {
@@ -62,6 +86,11 @@ struct SatAttackResult {
   /// actually decrypted the design.
   bool decrypted = false;
   sat::SolverStats solverStats;
+  /// Mean CNF growth of the miter solver per DIP (both pinned copies):
+  /// with key-cone-reduced stamping this measures the residual, not the
+  /// whole circuit.  0 when no DIP was found.
+  double cnfVarsPerDip = 0.0;
+  double cnfClausesPerDip = 0.0;
 };
 
 /// Run the attack.  `lockedComb` must be combinational (sequential designs

@@ -50,22 +50,37 @@ SensitizationResult sensitizationAttack(const Netlist& lockedComb,
       dataPIs.push_back(pi);
   }
   CombOracle oracle(oracleComb);
+  const CompiledNetlist locked = CompiledNetlist::compile(lockedComb);
+  std::vector<int> slot(lockedComb.numNets(), -1);
+  for (std::size_t i = 0; i < lockedComb.inputs().size(); ++i)
+    slot[lockedComb.inputs()[i]] = static_cast<int>(i);
 
   // For the universal checks we pin X and let the other keys roam; this
   // helper builds a two-copy instance with k_i = 0 / kOtherFixed and
-  // returns UNSAT-ness of "the two outputs can agree".
+  // returns UNSAT-ness of "the two outputs can agree".  X is concrete in
+  // both checks, so each copy is key-cone reduced: fold X through the
+  // circuit once with the keys X-valued and stamp only the residual.  A
+  // folded-constant output binds both copies to the same pinned constant,
+  // making "can agree" trivially SAT (not golden) and "can differ"
+  // trivially UNSAT (constant in the other keys) — exactly the full
+  // encoding's answers for a key-independent output.
   auto goldenFor = [&](std::size_t ki, const std::vector<Logic>& x,
                        std::size_t outIdx) -> bool {
+    std::vector<PackedBits> foldIn(lockedComb.inputs().size(),
+                                   packedSplat(Logic::X));
+    for (std::size_t i = 0; i < dataPIs.size(); ++i)
+      foldIn[static_cast<std::size_t>(slot[dataPIs[i]])] = packedSplat(x[i]);
+    std::vector<PackedBits> foldedNets;
+    locked.evalPacked(foldIn, {}, foldedNets);
+    const NetId o = lockedComb.outputs()[outIdx];
+    const Logic fo = packedLane(foldedNets[o], 0);
+
     Solver u;
+    sat::ConstVars uConsts;
     auto pinInputs = [&](int kiValue,
-                         const std::vector<Var>& sharedOther) {
-      std::vector<NetId> bound = dataPIs;
+                         const std::vector<Var>& sharedOther) -> Var {
+      std::vector<NetId> bound;
       std::vector<Var> bv;
-      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
-        const Var c = u.newVar();
-        u.addClause(mkLit(c, x[i] != Logic::T));
-        bv.push_back(c);
-      }
       std::size_t oi = 0;
       for (std::size_t i = 0; i < keyInputs.size(); ++i) {
         bound.push_back(keyInputs[i]);
@@ -77,37 +92,34 @@ SensitizationResult sensitizationAttack(const Netlist& lockedComb,
           bv.push_back(sharedOther[oi++]);
         }
       }
-      return encodeNetlist(u, lockedComb, bound, bv);
+      const auto vc =
+          sat::encodeResidual(u, locked, foldedNets, 0, bound, bv, uConsts);
+      return fo == Logic::X ? vc[o] : uConsts.get(u, fo == Logic::T);
     };
     std::vector<Var> other;
     for (std::size_t i = 0; i < keyInputs.size(); ++i)
       if (i != ki) other.push_back(u.newVar());
-    const auto vA = pinInputs(0, other);
-    const auto vB = pinInputs(1, other);
+    const Var vA = pinInputs(0, other);
+    const Var vB = pinInputs(1, other);
     // "They can agree" — UNSAT means the pattern is golden for this bit.
     const Var agree = u.newVar();
-    const NetId o = lockedComb.outputs()[outIdx];
-    sat::addGateClauses(u, CellKind::kXnor2, {vA[o], vB[o]}, agree);
+    sat::addGateClauses(u, CellKind::kXnor2, {vA, vB}, agree);
     u.addClause(mkLit(agree));
     if (u.solve() != Result::kUnsat) return false;
 
     // The read-off also needs C(X, 0, ·)[o] to be constant in the other
     // keys (two independent other-key copies must agree).
     Solver w;
+    sat::ConstVars wConsts;
     std::vector<Var> otherA, otherB;
     for (std::size_t i = 0; i < keyInputs.size(); ++i)
       if (i != ki) {
         otherA.push_back(w.newVar());
         otherB.push_back(w.newVar());
       }
-    auto pinW = [&](const std::vector<Var>& others) {
-      std::vector<NetId> bound = dataPIs;
+    auto pinW = [&](const std::vector<Var>& others) -> Var {
+      std::vector<NetId> bound;
       std::vector<Var> bv;
-      for (std::size_t i = 0; i < dataPIs.size(); ++i) {
-        const Var c = w.newVar();
-        w.addClause(mkLit(c, x[i] != Logic::T));
-        bv.push_back(c);
-      }
       std::size_t oi = 0;
       for (std::size_t i = 0; i < keyInputs.size(); ++i) {
         bound.push_back(keyInputs[i]);
@@ -119,12 +131,14 @@ SensitizationResult sensitizationAttack(const Netlist& lockedComb,
           bv.push_back(others[oi++]);
         }
       }
-      return encodeNetlist(w, lockedComb, bound, bv);
+      const auto vc =
+          sat::encodeResidual(w, locked, foldedNets, 0, bound, bv, wConsts);
+      return fo == Logic::X ? vc[o] : wConsts.get(w, fo == Logic::T);
     };
-    const auto wA = pinW(otherA);
-    const auto wB = pinW(otherB);
+    const Var wA = pinW(otherA);
+    const Var wB = pinW(otherB);
     const Var differ = w.newVar();
-    sat::addGateClauses(w, CellKind::kXor2, {wA[o], wB[o]}, differ);
+    sat::addGateClauses(w, CellKind::kXor2, {wA, wB}, differ);
     w.addClause(mkLit(differ));
     return w.solve() == Result::kUnsat;
   };
@@ -152,7 +166,9 @@ SensitizationResult sensitizationAttack(const Netlist& lockedComb,
           bv.push_back(other[oi++]);
         }
       }
-      return encodeNetlist(s, lockedComb, bound, bv);
+      // The existential phase leaves X free, so it keeps the full
+      // encoding — but stamps it from the shared compiled view.
+      return encodeNetlist(s, locked, bound, bv);
     };
     const auto v0 = pinS(0);
     const auto v1 = pinS(1);

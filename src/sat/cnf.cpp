@@ -161,6 +161,73 @@ std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
   return encodeNetlist(s, CompiledNetlist::compile(nl), boundNets, boundVars);
 }
 
+FanoutCone computeFanoutCone(const CompiledNetlist& cn,
+                             const std::vector<NetId>& seeds) {
+  FanoutCone cone;
+  cone.gateInCone.assign(cn.numGates(), 0);
+  cone.netInCone.assign(cn.numNets(), 0);
+  for (NetId n : seeds) cone.netInCone[n] = 1;
+  // One pass in dependency order: a gate is in the cone iff any fanin is.
+  for (GateId g : cn.topoOrder()) {
+    if (cn.kind(g) == CellKind::kInput) continue;
+    for (NetId in : cn.fanin(g)) {
+      if (!cone.netInCone[in]) continue;
+      cone.gateInCone[g] = 1;
+      cone.netInCone[cn.out(g)] = 1;
+      ++cone.gateCount;
+      break;
+    }
+  }
+  return cone;
+}
+
+Var ConstVars::get(Solver& s, bool value) {
+  Var& v = var_[value ? 1 : 0];
+  if (v < 0) {
+    v = s.newVar();
+    s.addClause(mkLit(v, !value));
+  }
+  return v;
+}
+
+std::vector<Var> encodeResidual(Solver& s, const CompiledNetlist& cn,
+                                const std::vector<PackedBits>& folded,
+                                unsigned lane,
+                                const std::vector<NetId>& boundNets,
+                                const std::vector<Var>& boundVars,
+                                ConstVars& consts) {
+  assert(boundNets.size() == boundVars.size());
+  assert(folded.size() == cn.numNets());
+  std::vector<Var> varOf(cn.numNets(), -1);
+  for (std::size_t i = 0; i < boundNets.size(); ++i)
+    varOf[boundNets[i]] = boundVars[i];
+
+  // Resolve a fanin net to a variable on demand: bound nets and residual
+  // gate outputs already have one (topological order guarantees the driver
+  // was visited first); folded-constant nets share the pinned constants;
+  // an unbound X input (a key net the caller chose not to bind) floats
+  // free.
+  auto varFor = [&](NetId n) -> Var {
+    if (varOf[n] >= 0) return varOf[n];
+    const Logic fv = packedLane(folded[n], lane);
+    varOf[n] = fv == Logic::X ? s.newVar() : consts.get(s, fv == Logic::T);
+    return varOf[n];
+  };
+
+  std::vector<Var> ins;
+  for (GateId g : cn.topoOrder()) {
+    const CellKind k = cn.kind(g);
+    if (k == CellKind::kInput) continue;
+    const NetId on = cn.out(g);
+    if (packedLane(folded[on], lane) != Logic::X)
+      continue;  // the DIP pins this gate: no clauses needed
+    ins.clear();
+    for (NetId in : cn.fanin(g)) ins.push_back(varFor(in));
+    addGateClauses(s, k, ins, varFor(on), cn.lutMask(g));
+  }
+  return varOf;
+}
+
 Var makeAnd(Solver& s, Var a, Var b) {
   const Var o = s.newVar();
   addGateClauses(s, CellKind::kAnd2, {a, b}, o);

@@ -36,6 +36,47 @@ std::vector<Var> encodeNetlist(Solver& s, const Netlist& nl,
                                const std::vector<NetId>& boundNets = {},
                                const std::vector<Var>& boundVars = {});
 
+/// Static transitive fanout cone of a set of seed nets (typically the key
+/// inputs): every gate/net whose value can depend on some seed.  Computed
+/// once per compiled netlist and shared across all DIP iterations; the
+/// complement is the part of the circuit a concrete DIP folds to constants.
+struct FanoutCone {
+  std::vector<std::uint8_t> gateInCone;  ///< per GateId
+  std::vector<std::uint8_t> netInCone;   ///< per NetId (seeds included)
+  std::size_t gateCount = 0;             ///< live gates inside the cone
+};
+FanoutCone computeFanoutCone(const CompiledNetlist& cn,
+                             const std::vector<NetId>& seeds);
+
+/// Lazily created pinned constant variables (one true, one false) per
+/// solver — the binding points for folded-constant nets in encodeResidual.
+/// Reuse one instance per solver so repeated residual copies share them.
+class ConstVars {
+ public:
+  Var get(Solver& s, bool value);
+
+ private:
+  Var var_[2] = {-1, -1};
+};
+
+/// Key-cone-reduced copy encoding: the repeated-stamping path of the SAT
+/// attacks.  `folded` is a packed evaluation of `cn` with the data inputs
+/// concrete and the key inputs X; gates whose folded output on `lane` is a
+/// constant are NOT encoded — their nets bind to a pinned constant from
+/// `consts`, and addClause's root-level simplification folds them out of
+/// the residual clauses.  Only the gates the key can still influence under
+/// this input (folded output X on `lane`) get clauses.  `boundNets`/
+/// `boundVars` bind nets (typically the key inputs) to existing variables,
+/// taking precedence over folded constants.  Returns one variable per net;
+/// nets outside the residual that no residual gate reads stay -1 — callers
+/// must consult `folded` before indexing an output net.
+std::vector<Var> encodeResidual(Solver& s, const CompiledNetlist& cn,
+                                const std::vector<PackedBits>& folded,
+                                unsigned lane,
+                                const std::vector<NetId>& boundNets,
+                                const std::vector<Var>& boundVars,
+                                ConstVars& consts);
+
 /// Tseitin helpers over already-created variables.
 Var makeAnd(Solver& s, Var a, Var b);
 Var makeOr(Solver& s, Var a, Var b);

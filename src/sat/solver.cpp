@@ -1,6 +1,7 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "obs/telemetry.h"
@@ -9,13 +10,22 @@
 namespace gkll::sat {
 namespace {
 
-inline constexpr std::int32_t kNoReason = -1;
-
 /// Conflicts/decisions between cooperative deadline checks.  The cancel
 /// token is a bare atomic load and is polled on the same cadence; the
 /// deadline additionally reads the steady clock, so the interval keeps the
 /// clock off the hot path (64 conflicts is microseconds of search).
 inline constexpr std::uint64_t kStopCheckInterval = 64;
+
+/// Learned-clause tier boundaries (glucose): LBD <= kCoreLbd lives forever,
+/// LBD <= kMidLbd survives reductions while it keeps getting used.
+inline constexpr std::uint32_t kCoreLbd = 2;
+inline constexpr std::uint32_t kMidLbd = 6;
+
+/// reduceDb cadence: first reduction after this many conflicts, then the
+/// interval stretches by kReduceIncrement per reduction so long refutations
+/// keep the clauses they need.
+inline constexpr std::uint64_t kFirstReduce = 4000;
+inline constexpr std::uint64_t kReduceIncrement = 100;
 
 /// The (i+1)-th element of the Luby restart sequence: 1 1 2 1 1 2 4 ...
 std::uint64_t luby(std::uint64_t i) {
@@ -35,6 +45,37 @@ std::uint64_t luby(std::uint64_t i) {
 }  // namespace
 
 Solver::Solver() = default;
+
+// --- arena clause database ---------------------------------------------------
+
+float Solver::clauseActivity(ClauseRef c) const {
+  return std::bit_cast<float>(arena_[c + 2]);
+}
+
+void Solver::setClauseActivity(ClauseRef c, float a) {
+  arena_[c + 2] = std::bit_cast<std::uint32_t>(a);
+}
+
+Solver::ClauseRef Solver::allocClause(const std::vector<Lit>& lits,
+                                      bool learned, std::uint32_t lbd) {
+  const ClauseRef c = static_cast<ClauseRef>(arena_.size());
+  const std::uint32_t header =
+      (static_cast<std::uint32_t>(lits.size()) << kSizeShift) |
+      (learned ? kLearnedBit : 0u);
+  arena_.push_back(header);
+  if (learned) {
+    arena_.push_back(lbd);
+    arena_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+    setClauseTier(c, lbd <= kCoreLbd   ? kTierCore
+                     : lbd <= kMidLbd ? kTierMid
+                                      : kTierLocal);
+  }
+  arena_.insert(arena_.end(), reinterpret_cast<const std::uint32_t*>(lits.data()),
+                reinterpret_cast<const std::uint32_t*>(lits.data()) +
+                    lits.size());
+  stats_.arenaBytes = arena_.size() * sizeof(std::uint32_t);
+  return c;
+}
 
 std::uint8_t Solver::initialPhaseOf(Var v) const {
   switch (cfg_.initialPhase) {
@@ -65,7 +106,7 @@ Var Solver::newVar() {
   assign_.push_back(kUndef);
   phase_.push_back(initialPhaseOf(v));
   level_.push_back(0);
-  reason_.push_back(kNoReason);
+  reason_.push_back(kRefUndef);
   activity_.push_back(0.0);
   heapPos_.push_back(-1);
   seen_.push_back(0);
@@ -76,8 +117,17 @@ Var Solver::newVar() {
 }
 
 void Solver::attach(ClauseRef c) {
-  const auto& lits = clauses_[c].lits;
-  assert(lits.size() >= 2);
+  const Lit* lits = clauseLits(c);
+  const std::uint32_t n = clauseSize(c);
+  assert(n >= 2);
+  if (n == 2) {
+    // Binary specialization: the co-literal rides in the watcher, so
+    // propagating a binary clause never dereferences the arena.
+    watches_[negLit(lits[0])].push_back({c | kBinFlag, lits[1]});
+    watches_[negLit(lits[1])].push_back({c | kBinFlag, lits[0]});
+    ++stats_.binaryClauses;
+    return;
+  }
   watches_[negLit(lits[0])].push_back({c, lits[1]});
   watches_[negLit(lits[1])].push_back({c, lits[0]});
 }
@@ -105,17 +155,15 @@ bool Solver::addClause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    enqueue(out[0], kNoReason);
-    if (propagate() != kNoReason) {
+    enqueue(out[0], kRefUndef);
+    if (propagate() != kRefUndef) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  const ClauseRef c = static_cast<ClauseRef>(clauses_.size());
-  Clause cl;
-  cl.lits = std::move(out);
-  clauses_.push_back(std::move(cl));
+  const ClauseRef c = allocClause(out, /*learned=*/false, 0);
+  ++numOriginal_;
   attach(c);
   return true;
 }
@@ -134,27 +182,51 @@ Solver::ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
+    const Lit falseLit = negLit(p);
+
     std::vector<Watcher>& ws = watches_[p];
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < ws.size(); ++i) {
+    Watcher* const begin = ws.data();
+    Watcher* const end = begin + ws.size();
+    Watcher* keep = begin;
+    for (Watcher* i = begin; i != end; ++i) {
+      const Watcher w = *i;
+      if (i + 1 != end)
+        __builtin_prefetch(arena_.data() + (i[1].clause & ~kBinFlag));
+      if (w.clause & kBinFlag) {
+        // Binary clause: conflict/satisfied/unit all decided from the
+        // co-literal — the arena is never touched.  The watcher never
+        // migrates, so it is always kept.
+        *keep++ = w;
+        const std::uint8_t v = litValue(w.blocker);
+        if (v == kFalse) {
+          for (Watcher* k = i + 1; k != end; ++k) *keep++ = *k;
+          ws.resize(static_cast<std::size_t>(keep - begin));
+          qhead_ = trail_.size();
+          return w.clause & ~kBinFlag;
+        }
+        if (v == kUndef) enqueue(w.blocker, w.clause & ~kBinFlag);
+        continue;
+      }
       // Blocker check first: if it is true the clause is satisfied and we
       // never touch the clause body.
-      const Watcher w = ws[i];
       if (litValue(w.blocker) == kTrue) {
-        ws[keep++] = w;
+        *keep++ = w;
         continue;
       }
       const ClauseRef cr = w.clause;
-      auto& lits = clauses_[cr].lits;
-      const Lit falseLit = negLit(p);
+      const std::uint32_t header = arena_[cr];
+      // Branchless literal offset: +1 header word, +2 more when learned.
+      Lit* lits =
+          reinterpret_cast<Lit*>(arena_.data() + cr + 1 + ((header & 1u) << 1));
+      const std::uint32_t n = header >> kSizeShift;
       if (lits[0] == falseLit) std::swap(lits[0], lits[1]);
       assert(lits[1] == falseLit);
       if (litValue(lits[0]) == kTrue) {  // satisfied by the other watch
-        ws[keep++] = {cr, lits[0]};
+        *keep++ = {cr, lits[0]};
         continue;
       }
       bool moved = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
+      for (std::uint32_t k = 2; k < n; ++k) {
         if (litValue(lits[k]) != kFalse) {
           std::swap(lits[1], lits[k]);
           watches_[negLit(lits[1])].push_back({cr, lits[0]});
@@ -163,19 +235,19 @@ Solver::ClauseRef Solver::propagate() {
         }
       }
       if (moved) continue;
-      ws[keep++] = {cr, lits[0]};  // stays watched here
+      *keep++ = {cr, lits[0]};  // stays watched here
       if (litValue(lits[0]) == kFalse) {
         // Conflict: keep the remaining watches and report.
-        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
-        ws.resize(keep);
+        for (Watcher* k = i + 1; k != end; ++k) *keep++ = *k;
+        ws.resize(static_cast<std::size_t>(keep - begin));
         qhead_ = trail_.size();
         return cr;
       }
       enqueue(lits[0], cr);
     }
-    ws.resize(keep);
+    ws.resize(static_cast<std::size_t>(keep - begin));
   }
-  return kNoReason;
+  return kRefUndef;
 }
 
 void Solver::bumpVar(Var v) {
@@ -190,14 +262,33 @@ void Solver::bumpVar(Var v) {
 void Solver::decayVarActivity() { varInc_ /= cfg_.varDecay; }
 
 void Solver::bumpClause(ClauseRef c) {
-  Clause& cl = clauses_[c];
-  if (!cl.learned) return;
-  cl.activity += clauseInc_;
-  if (cl.activity > 1e20) {
-    for (Clause& k : clauses_)
-      if (k.learned) k.activity *= 1e-20;
-    clauseInc_ *= 1e-20;
+  if (!clauseLearned(c)) return;
+  arena_[c] |= kTouchedBit;  // used since the last reduction: protected
+  const float a = clauseActivity(c) + clauseInc_;
+  setClauseActivity(c, a);
+  if (a > 1e20f) {
+    // Rescale every learned clause's activity (arena walk: rare).
+    for (ClauseRef r = 0; r < static_cast<ClauseRef>(arena_.size());
+         r += (clauseLearned(r) ? 3 : 1) + clauseSize(r)) {
+      if (clauseLearned(r)) setClauseActivity(r, clauseActivity(r) * 1e-20f);
+    }
+    clauseInc_ *= 1e-20f;
   }
+}
+
+std::uint32_t Solver::computeLbd(const std::vector<Lit>& lits) {
+  if (lbdStamp_.size() < trailLim_.size() + 1)
+    lbdStamp_.resize(trailLim_.size() + 1, 0);
+  ++lbdStampGen_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::size_t lv = static_cast<std::size_t>(level_[litVar(l)]);
+    if (lbdStamp_[lv] != lbdStampGen_) {
+      lbdStamp_[lv] = lbdStampGen_;
+      ++lbd;
+    }
+  }
+  return lbd;
 }
 
 bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
@@ -208,15 +299,18 @@ bool Solver::litRedundant(Lit l, std::uint32_t abstractLevels) {
     const Lit q = analyzeStack_.back();
     analyzeStack_.pop_back();
     const ClauseRef r = reason_[litVar(q)];
-    assert(r != kNoReason);
-    for (const Lit cl : clauses_[r].lits) {
+    assert(r != kRefUndef);
+    const Lit* lits = clauseLits(r);
+    const std::uint32_t n = clauseSize(r);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Lit cl = lits[i];
       const Var v = litVar(cl);
       if (seen_[v] || level_[v] == 0) continue;
-      if (reason_[v] == kNoReason ||
+      if (reason_[v] == kRefUndef ||
           ((1u << (level_[v] & 31)) & abstractLevels) == 0) {
         // Hit a decision or a level outside the clause: not redundant.
-        for (std::size_t i = clearTop; i < analyzeToClear_.size(); ++i)
-          seen_[litVar(analyzeToClear_[i])] = 0;
+        for (std::size_t j = clearTop; j < analyzeToClear_.size(); ++j)
+          seen_[litVar(analyzeToClear_[j])] = 0;
         analyzeToClear_.resize(clearTop);
         return false;
       }
@@ -240,9 +334,12 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
   const int curLevel = static_cast<int>(trailLim_.size());
 
   do {
-    assert(reason != kNoReason);
+    assert(reason != kRefUndef);
     bumpClause(reason);
-    for (const Lit q : clauses_[reason].lits) {
+    const Lit* lits = clauseLits(reason);
+    const std::uint32_t n = clauseSize(reason);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Lit q = lits[i];
       if (q == p) continue;
       const Var v = litVar(q);
       if (seen_[v] || level_[v] == 0) continue;
@@ -269,7 +366,7 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
     abstractLevels |= 1u << (level_[litVar(learnt[i])] & 31);
   std::size_t keep = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (reason_[litVar(learnt[i])] == kNoReason ||
+    if (reason_[litVar(learnt[i])] == kRefUndef ||
         !litRedundant(learnt[i], abstractLevels))
       learnt[keep++] = learnt[i];
   }
@@ -295,7 +392,7 @@ void Solver::backtrack(int toLevel) {
   for (std::size_t i = trail_.size(); i > bound; --i) {
     const Var v = litVar(trail_[i - 1]);
     assign_[v] = kUndef;
-    reason_[v] = kNoReason;
+    reason_[v] = kRefUndef;
     if (!inHeap(v)) heapInsert(v);
   }
   trail_.resize(bound);
@@ -312,42 +409,109 @@ Lit Solver::pickBranchLit() {
 }
 
 void Solver::reduceDb() {
-  std::vector<ClauseRef> learned;
-  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c)
-    if (clauses_[c].learned) learned.push_back(c);
-  // Let the learned DB grow with search effort (MiniSat-style), otherwise
-  // long refutations keep deleting the clauses they need.
-  const std::size_t cap = 4000 + stats_.conflicts / 2;
-  if (learned.size() < cap) return;
-  std::sort(learned.begin(), learned.end(), [&](ClauseRef a, ClauseRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
-  });
-  std::vector<bool> isReason(clauses_.size(), false);
-  for (const Lit l : trail_) {
-    const ClauseRef r = reason_[litVar(l)];
-    if (r != kNoReason) isReason[static_cast<std::size_t>(r)] = true;
-  }
-  std::vector<bool> drop(clauses_.size(), false);
-  for (std::size_t i = 0; i < learned.size() / 2; ++i)
-    if (!isReason[static_cast<std::size_t>(learned[i])])
-      drop[static_cast<std::size_t>(learned[i])] = true;
+  assert(trailLim_.empty() && "reduceDb runs at the root level");
+  nextReduceConflicts_ =
+      stats_.conflicts + kFirstReduce + kReduceIncrement * ++reduceCount_;
+  if (numLearned_ < 2000) return;
 
-  std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
-  std::vector<Clause> next;
-  next.reserve(clauses_.size());
-  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c) {
-    if (drop[static_cast<std::size_t>(c)]) continue;
-    remap[static_cast<std::size_t>(c)] = static_cast<ClauseRef>(next.size());
-    next.push_back(std::move(clauses_[static_cast<std::size_t>(c)]));
+  // Root-level assignments are permanent, so reasons are never consulted
+  // again for level-0 variables — clear them before the arena moves.
+  for (const Lit l : trail_) reason_[litVar(l)] = kRefUndef;
+
+  // Pass 1 (tier management): demote mid-tier clauses that went unused
+  // since the last reduction, then rank the unprotected local tier by
+  // (LBD desc, activity asc) and mark the worse half for deletion.
+  struct Victim {
+    std::uint32_t lbd;
+    float act;
+    ClauseRef ref;
+  };
+  std::vector<Victim> victims;
+  const auto refEnd = static_cast<ClauseRef>(arena_.size());
+  for (ClauseRef c = 0; c < refEnd;
+       c += (clauseLearned(c) ? 3 : 1) + clauseSize(c)) {
+    if (!clauseLearned(c)) continue;
+    const bool touched = (arena_[c] & kTouchedBit) != 0;
+    arena_[c] &= ~kTouchedBit;  // protection lasts one reduction round
+    if (clauseTier(c) == kTierMid && !touched) setClauseTier(c, kTierLocal);
+    if (clauseTier(c) == kTierLocal && !touched)
+      victims.push_back({clauseLbd(c), clauseActivity(c), c});
   }
-  clauses_ = std::move(next);
+  std::sort(victims.begin(), victims.end(), [](const Victim& a, const Victim& b) {
+    if (a.lbd != b.lbd) return a.lbd > b.lbd;
+    if (a.act != b.act) return a.act < b.act;
+    return a.ref < b.ref;
+  });
+  victims.resize(victims.size() * 3 / 4);  // worse three quarters die
+  std::vector<ClauseRef> deadRefs;
+  deadRefs.reserve(victims.size());
+  for (const Victim& v : victims) deadRefs.push_back(v.ref);
+  std::sort(deadRefs.begin(), deadRefs.end());
+
+  // Pass 2 (compaction with on-the-fly shrinking): copy the survivors into
+  // a fresh arena, dropping clauses satisfied at the root and removing
+  // root-false literals.  After root propagation every unsatisfied clause
+  // keeps >= 2 unassigned literals, so the watch invariant is rebuilt
+  // directly from the first two.
+  const std::vector<std::uint32_t> old = std::move(arena_);
+  arena_ = {};
+  arena_.reserve(old.size());
+  stats_.binaryClauses = 0;
+  numOriginal_ = 0;
+  numLearned_ = 0;
   for (auto& ws : watches_) ws.clear();
-  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c)
-    attach(c);
-  for (const Lit l : trail_) {
-    ClauseRef& r = reason_[litVar(l)];
-    if (r != kNoReason) r = remap[static_cast<std::size_t>(r)];
+
+  auto oldLearned = [&](ClauseRef c) { return (old[c] & kLearnedBit) != 0; };
+  auto oldSize = [&](ClauseRef c) { return old[c] >> kSizeShift; };
+  std::vector<Lit> shrunk;
+  std::uint64_t dropped = 0;
+  for (ClauseRef c = 0; c < static_cast<ClauseRef>(old.size());
+       c += (oldLearned(c) ? 3 : 1) + oldSize(c)) {
+    const bool learned = oldLearned(c);
+    if (learned &&
+        std::binary_search(deadRefs.begin(), deadRefs.end(), c)) {
+      ++dropped;
+      continue;
+    }
+    const Lit* lits =
+        reinterpret_cast<const Lit*>(old.data() + c + (learned ? 3 : 1));
+    const std::uint32_t n = oldSize(c);
+    shrunk.clear();
+    bool satisfied = false;
+    for (std::uint32_t i = 0; i < n && !satisfied; ++i) {
+      const std::uint8_t v = litValue(lits[i]);
+      if (v == kTrue) satisfied = true;
+      else if (v == kUndef) shrunk.push_back(lits[i]);
+    }
+    if (satisfied) {
+      ++dropped;
+      continue;
+    }
+    assert(shrunk.size() >= 2);
+    if (shrunk.size() == 1) {  // defensive: re-imply instead of dropping
+      if (litValue(shrunk[0]) == kUndef) enqueue(shrunk[0], kRefUndef);
+      ++dropped;
+      continue;
+    }
+    const std::uint32_t lbd = learned
+        ? std::min(old[c + 1], static_cast<std::uint32_t>(shrunk.size()))
+        : 0;
+    const Tier tier = learned ? static_cast<Tier>((old[c] >> 1) & 3u)
+                              : kTierCore;
+    const ClauseRef nc = allocClause(shrunk, learned, lbd);
+    if (learned) {
+      // Keep the earned tier (shrinking can only improve a clause).
+      setClauseTier(nc, lbd <= kCoreLbd ? kTierCore : tier);
+      arena_[nc + 2] = old[c + 2];  // activity carries over
+      ++numLearned_;
+    } else {
+      ++numOriginal_;
+    }
+    attach(nc);
   }
+  stats_.reducedClauses += dropped;
+  stats_.arenaBytes = arena_.size() * sizeof(std::uint32_t);
+  if (qhead_ < trail_.size()) propagate();  // defensive unit replay
 }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
@@ -372,7 +536,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   reg.distribution("sat.solve.conflicts")
       .record(static_cast<double>(stats_.conflicts - before.conflicts));
   span.arg("vars", numVars());
-  span.arg("clauses", static_cast<std::int64_t>(clauses_.size()));
+  span.arg("clauses", static_cast<std::int64_t>(numClauses()));
   span.arg("conflicts",
            static_cast<std::int64_t>(stats_.conflicts - before.conflicts));
   span.arg("result", r == Result::kSat ? 1 : (r == Result::kUnsat ? 0 : -1));
@@ -402,10 +566,15 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
   if (mayStop && stopRequested()) return Result::kUnknown;
 
   backtrack(0);
-  if (propagate() != kNoReason) {
+  if (propagate() != kRefUndef) {
     ok_ = false;
     return Result::kUnsat;
   }
+  // Incremental callers (the SAT attack's DIP checks) solve thousands of
+  // times under assumptions with few conflicts per call, so restarts — the
+  // other reduce trigger — may never fire inside a single call.  Check the
+  // reduction schedule here too, while we are guaranteed at the root.
+  if (stats_.conflicts >= nextReduceConflicts_) reduceDb();
 
   std::uint64_t restartCount = 0;
   std::uint64_t restartBudget = cfg_.restartBase * luby(restartCount);
@@ -416,7 +585,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
 
   for (;;) {
     const ClauseRef conflict = propagate();
-    if (conflict != kNoReason) {
+    if (conflict != kRefUndef) {
       ++stats_.conflicts;
       ++conflictsThisRestart;
       if (conflictBudget_ != 0 && ++conflictsThisCall >= conflictBudget_) {
@@ -437,6 +606,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
       }
       int btLevel = 0;
       analyze(conflict, learnt, btLevel);
+      const std::uint32_t lbd = computeLbd(learnt);
       backtrack(btLevel);
       if (learnt.size() == 1) {
         assert(btLevel == 0);
@@ -444,20 +614,17 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
           ok_ = false;
           return Result::kUnsat;
         }
-        if (litValue(learnt[0]) == kUndef) enqueue(learnt[0], kNoReason);
+        if (litValue(learnt[0]) == kUndef) enqueue(learnt[0], kRefUndef);
       } else {
-        const ClauseRef c = static_cast<ClauseRef>(clauses_.size());
-        Clause cl;
-        cl.lits = learnt;
-        cl.learned = true;
-        clauses_.push_back(std::move(cl));
+        const ClauseRef c = allocClause(learnt, /*learned=*/true, lbd);
+        ++numLearned_;
         attach(c);
         bumpClause(c);
         ++stats_.learnedClauses;
         enqueue(learnt[0], c);
       }
       decayVarActivity();
-      clauseInc_ /= 0.999;
+      clauseInc_ /= 0.999f;
       continue;
     }
 
@@ -468,7 +635,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
       conflictsThisRestart = 0;
       backtrack(0);
       if (mayStop && stopRequested()) return Result::kUnknown;
-      reduceDb();
+      if (stats_.conflicts >= nextReduceConflicts_) reduceDb();
       continue;
     }
 
@@ -485,7 +652,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
         return Result::kUnsat;
       }
       trailLim_.push_back(static_cast<int>(trail_.size()));
-      enqueue(a, kNoReason);
+      enqueue(a, kRefUndef);
       continue;
     }
 
@@ -510,7 +677,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
     trailLim_.push_back(static_cast<int>(trail_.size()));
     if (trailLim_.size() > stats_.maxDecisionLevel)
       stats_.maxDecisionLevel = trailLim_.size();
-    enqueue(next, kNoReason);
+    enqueue(next, kRefUndef);
   }
 }
 

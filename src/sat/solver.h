@@ -2,10 +2,18 @@
 //
 // This is the engine behind the SAT attack (attack/sat_attack) and the
 // SAT-based equivalence checks used in the tests.  Feature set: two-literal
-// watching, first-UIP conflict analysis with clause learning, VSIDS
-// decision heuristic with a binary heap, phase saving, Luby restarts and
-// activity-based learned-clause reduction.  Solving under assumptions is
-// supported (used for incremental miter queries).
+// watching with blocking literals, binary-clause specialization (the
+// co-literal lives in the watcher, so binary propagation never touches the
+// clause database), first-UIP conflict analysis with clause learning,
+// glucose-style LBD-tiered learned-clause management, VSIDS decision
+// heuristic with a binary heap, phase saving and Luby restarts.  Solving
+// under assumptions is supported (used for incremental miter queries).
+//
+// Clause storage is a flat uint32_t arena: every clause is a small inline
+// header (size, learned flag, tier, and — for learned clauses — LBD and a
+// float activity) followed by its literals, so propagation walks contiguous
+// memory instead of chasing per-clause vector allocations.  A ClauseRef is
+// an offset into the arena.
 //
 // The encoding layer (sat/cnf.h) maps netlists onto variables.
 #pragma once
@@ -70,6 +78,9 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t maxDecisionLevel = 0;  ///< deepest decision stack ever seen
   std::uint64_t solveCalls = 0;
+  std::uint64_t arenaBytes = 0;      ///< current clause-arena footprint
+  std::uint64_t binaryClauses = 0;   ///< binary clauses currently in the DB
+  std::uint64_t reducedClauses = 0;  ///< clauses dropped by DB reductions
 };
 
 class Solver {
@@ -124,8 +135,9 @@ class Solver {
   const SolverConfig& config() const { return cfg_; }
 
   /// Record every original (non-learned) clause exactly as passed to
-  /// addClause, before simplification — for DIMACS export (sat/dimacs.h)
-  /// and differential testing.  Call before adding clauses.
+  /// addClause, before simplification — for DIMACS export (sat/dimacs.h),
+  /// portfolio formula replay, and differential testing.  Call before
+  /// adding clauses.
   void enableClauseLog() { logClauses_ = true; }
   const std::vector<std::vector<Lit>>& loggedClauses() const {
     return clauseLog_;
@@ -133,7 +145,7 @@ class Solver {
 
   /// Total clause count (original + currently retained learned clauses) —
   /// the CNF-growth signal the attack telemetry reports per iteration.
-  std::size_t numClauses() const { return clauses_.size(); }
+  std::size_t numClauses() const { return numOriginal_ + numLearned_; }
 
   /// Model access after kSat.  Unassigned variables read as false.
   bool modelValue(Var v) const;
@@ -146,19 +158,61 @@ class Solver {
  private:
   enum : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
-  Result solveImpl(const std::vector<Lit>& assumptions);
-  std::uint8_t initialPhaseOf(Var v) const;
+  /// Offset of a clause header in the arena.  kRefUndef doubles as the
+  /// "no reason / no conflict" sentinel.
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kRefUndef = 0xFFFFFFFFu;
 
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learned = false;
-  };
-  using ClauseRef = std::int32_t;
+  /// Watcher-list tag: binary clauses share the per-literal watcher list
+  /// with long clauses (one header load, one contiguous scan per trail
+  /// pop), distinguished by this bit in the stored ClauseRef.  Stripped
+  /// before the ref is used as a reason, so the arena stays < 2^31 words.
+  static constexpr ClauseRef kBinFlag = 0x80000000u;
+
+  /// Learned-clause tiers (glucose): core clauses (LBD <= 2) are kept
+  /// forever, mid clauses (LBD <= 6) survive reductions but are demoted to
+  /// local when they sit untouched, local clauses compete on (LBD,
+  /// activity) and the worse half dies at every reduction.
+  enum Tier : std::uint32_t { kTierCore = 0, kTierMid = 1, kTierLocal = 2 };
+
+  // --- arena clause layout ---------------------------------------------------
+  // word 0: size << 5 | touched << 3 | tier << 1 | learned
+  // learned clauses only:
+  //   word 1: LBD
+  //   word 2: activity (IEEE float bits)
+  // then `size` literal words.
+  static constexpr std::uint32_t kLearnedBit = 1u;
+  static constexpr std::uint32_t kTouchedBit = 1u << 3;
+  static constexpr std::uint32_t kSizeShift = 5;
+
+  bool clauseLearned(ClauseRef c) const { return (arena_[c] & kLearnedBit) != 0; }
+  std::uint32_t clauseSize(ClauseRef c) const { return arena_[c] >> kSizeShift; }
+  Tier clauseTier(ClauseRef c) const {
+    return static_cast<Tier>((arena_[c] >> 1) & 3u);
+  }
+  void setClauseTier(ClauseRef c, Tier t) {
+    arena_[c] = (arena_[c] & ~(3u << 1)) | (static_cast<std::uint32_t>(t) << 1);
+  }
+  std::uint32_t clauseLbd(ClauseRef c) const { return arena_[c + 1]; }
+  Lit* clauseLits(ClauseRef c) {
+    return reinterpret_cast<Lit*>(arena_.data() + c +
+                                  (clauseLearned(c) ? 3 : 1));
+  }
+  const Lit* clauseLits(ClauseRef c) const {
+    return reinterpret_cast<const Lit*>(arena_.data() + c +
+                                        (clauseLearned(c) ? 3 : 1));
+  }
+  float clauseActivity(ClauseRef c) const;
+  void setClauseActivity(ClauseRef c, float a);
+  ClauseRef allocClause(const std::vector<Lit>& lits, bool learned,
+                        std::uint32_t lbd);
 
   /// Watcher with a blocker literal: when the blocker is already true the
   /// clause is satisfied and the clause body is never touched (the classic
-  /// cache-miss saver).
+  /// cache-miss saver).  For binary clauses (kBinFlag set) the blocker IS
+  /// the co-literal, so propagation/conflict detection needs zero clause
+  /// derefs; the ClauseRef is only consulted when the clause becomes a
+  /// reason.
   struct Watcher {
     ClauseRef clause;
     Lit blocker;
@@ -170,9 +224,13 @@ class Solver {
     return static_cast<std::uint8_t>(a ^ static_cast<std::uint8_t>(litSign(l)));
   }
 
+  Result solveImpl(const std::vector<Lit>& assumptions);
+  std::uint8_t initialPhaseOf(Var v) const;
+
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& btLevel);
+  std::uint32_t computeLbd(const std::vector<Lit>& lits);
   void backtrack(int level);
   void bumpVar(Var v);
   void decayVarActivity();
@@ -197,12 +255,18 @@ class Solver {
   SolverConfig cfg_;
   bool logClauses_ = false;
   std::vector<std::vector<Lit>> clauseLog_;
-  std::vector<Clause> clauses_;
-  std::vector<std::vector<Watcher>> watches_;  // per literal
-  std::vector<std::uint8_t> assign_;             // per var
-  std::vector<std::uint8_t> phase_;              // saved polarity per var
-  std::vector<int> level_;                       // per var
-  std::vector<ClauseRef> reason_;                // per var
+
+  std::vector<std::uint32_t> arena_;           // flat clause database
+  std::size_t numOriginal_ = 0;                // live original clauses
+  std::size_t numLearned_ = 0;                 // live learned clauses
+  std::uint64_t nextReduceConflicts_ = 4000;   // reduceDb trigger
+  std::uint64_t reduceCount_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // per literal (bin + long)
+  std::vector<std::uint8_t> assign_;              // per var
+  std::vector<std::uint8_t> phase_;               // saved polarity per var
+  std::vector<int> level_;                        // per var
+  std::vector<ClauseRef> reason_;                 // per var
   std::vector<Lit> trail_;
   std::vector<int> trailLim_;
   std::vector<std::uint8_t> model_;  // snapshot of assign_ at last kSat
@@ -210,13 +274,15 @@ class Solver {
 
   std::vector<double> activity_;
   double varInc_ = 1.0;
-  double clauseInc_ = 1.0;
+  float clauseInc_ = 1.0f;
   std::vector<Var> heap_;
   std::vector<int> heapPos_;
 
   std::vector<std::uint8_t> seen_;
   std::vector<Lit> analyzeStack_;
   std::vector<Lit> analyzeToClear_;
+  std::vector<std::uint64_t> lbdStamp_;  // per level, for computeLbd
+  std::uint64_t lbdStampGen_ = 0;
 
   SolverStats stats_;
 };
