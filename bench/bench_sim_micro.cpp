@@ -1,0 +1,215 @@
+// Micro-benchmarks for the reusable event-simulator sessions: raw event
+// throughput of a recycled session, oracle query throughput against the
+// old compile-per-query baseline, and the serial-vs-parallel queryBatch
+// identity check.  Emits BENCH_sim_micro.json (sim.events_per_sec,
+// oracle.queries_per_sec, queue high-water, parallel_identical) so the CI
+// perf-smoke job can gate on determinism and track the trajectory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "attack/oracle.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "netlist/compiled.h"
+#include "obs/telemetry.h"
+#include "runtime/pool.h"
+#include "runtime/sweep.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+double secondsSince(clock_t_::time_point t0) {
+  return std::chrono::duration<double>(clock_t_::now() - t0).count();
+}
+
+std::vector<TimingOracle::Query> randomQueries(std::size_t numPIs,
+                                               std::size_t numState,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimingOracle::Query> qs(count);
+  for (auto& q : qs) {
+    q.piValues.resize(numPIs);
+    q.state.resize(numState);
+    for (Logic& v : q.piValues) v = logicFromBool(rng.flip());
+    for (Logic& v : q.state) v = logicFromBool(rng.flip());
+  }
+  return qs;
+}
+
+// Raw event throughput of one recycled session: compile s5378 once, then
+// run/reset in a tight loop with fresh stimuli each time — the shape of a
+// long oracle-driven attack.  Also reports the event-queue high-water
+// mark, which with lazy clock edges tracks genuine traffic (a handful of
+// pending events per active net), not flops x cycles.
+void measureSimThroughput(runtime::BenchJson& json) {
+  const Netlist nl = generateByName("s5378");
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(6);
+  cfg.simTime = 8 * ns(6);
+  EventSim sim(cn, cfg);
+  Rng rng(1);
+
+  constexpr int kRuns = 300;
+  std::uint64_t events = 0;
+  std::size_t highWater = 0;
+  const auto t0 = clock_t_::now();
+  for (int r = 0; r < kRuns; ++r) {
+    sim.reset();
+    for (NetId pi : nl.inputs()) {
+      sim.setInitialInput(pi, logicFromBool(rng.flip()));
+      sim.drive(pi, ns(6) + 120, logicFromBool(rng.flip()));
+      sim.drive(pi, 3 * ns(6) + 120, logicFromBool(rng.flip()));
+      sim.drive(pi, 5 * ns(6) + 120, logicFromBool(rng.flip()));
+    }
+    sim.run();
+    events += sim.totalEvents();
+    highWater = std::max(highWater, sim.queueHighWater());
+  }
+  const double sec = secondsSince(t0);
+  const double eventsPerSec = static_cast<double>(events) / sec;
+  std::printf(
+      "recycled-session event throughput (s5378, %d runs x 8 cycles): "
+      "%.3g events/sec, queue high-water %zu\n",
+      kRuns, eventsPerSec, highWater);
+  obs::record("sim.events_per_sec", eventsPerSec);
+  obs::record("sim.queue_high_water", static_cast<double>(highWater));
+  json.set("events_per_sec", eventsPerSec);
+  json.set("queue_high_water", static_cast<double>(highWater));
+  json.set("sim_runs", static_cast<double>(kRuns));
+}
+
+/// One GK-locked design shared by the oracle measurements.
+struct LockedBench {
+  Netlist host;
+  GkFlowResult locked;
+  int gks;
+  LockedBench(const char* design, int numGks)
+      : host(generateByName(design)), gks(numGks) {
+    GkEncryptor enc(host);
+    EncryptOptions opt;
+    opt.numGks = numGks;
+    locked = enc.encrypt(opt);
+  }
+  TimingOracle makeOracle() const {
+    return TimingOracle(locked.design.netlist, locked.clockArrival,
+                        locked.design.keyInputs, locked.design.correctKey,
+                        locked.clockPeriod, host.flops().size());
+  }
+};
+
+// Oracle query throughput: one compile-once oracle recycling its session,
+// against the old cost model — a freshly constructed oracle per query
+// (CompiledNetlist::compile + every buffer allocation on each call, which
+// is exactly what TimingOracle::query used to do internally).  Each side
+// is timed as the best of three repetitions: single-core CI boxes show
+// 20-30% run-to-run scheduler noise, and the minimum is the standard
+// noise-robust estimator for a deterministic workload.
+void measureOracleThroughput(const LockedBench& lb, const char* design,
+                             runtime::BenchJson& json) {
+  const TimingOracle probe = lb.makeOracle();
+  const auto qs =
+      randomQueries(probe.numDataPIs(), probe.numSharedFlops(), 64, 7);
+  constexpr int kReps = 3;
+
+  constexpr int kBaseline = 48;
+  double baselineSec = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto b0 = clock_t_::now();
+    for (int i = 0; i < kBaseline; ++i) {
+      const TimingOracle fresh = lb.makeOracle();  // compile per query
+      benchmark::DoNotOptimize(
+          fresh.query(qs[static_cast<std::size_t>(i) % qs.size()].piValues,
+                      qs[static_cast<std::size_t>(i) % qs.size()].state));
+    }
+    baselineSec = std::min(baselineSec, secondsSince(b0));
+  }
+  const double baselinePerSec = kBaseline / baselineSec;
+
+  constexpr int kQueries = 512;
+  const TimingOracle chip = lb.makeOracle();
+  for (int i = 0; i < 16; ++i)  // warm the session's buffers
+    benchmark::DoNotOptimize(chip.query(qs[0].piValues, qs[0].state));
+  double querySec = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = clock_t_::now();
+    for (int i = 0; i < kQueries; ++i) {
+      const auto& q = qs[static_cast<std::size_t>(i) % qs.size()];
+      benchmark::DoNotOptimize(chip.query(q.piValues, q.state));
+    }
+    querySec = std::min(querySec, secondsSince(t0));
+  }
+  const double queriesPerSec = kQueries / querySec;
+  const double speedup = queriesPerSec / baselinePerSec;
+  std::printf(
+      "oracle query throughput (%s + %d GKs): %.3g queries/sec recycled "
+      "vs %.3g/sec compile-per-query — %.1fx\n",
+      design, lb.gks, queriesPerSec, baselinePerSec, speedup);
+  obs::record("oracle.queries_per_sec", queriesPerSec);
+  obs::record("oracle.baseline_queries_per_sec", baselinePerSec);
+  obs::record("oracle.session_speedup", speedup);
+  json.set("queries_per_sec", queriesPerSec);
+  json.set("baseline_queries_per_sec", baselinePerSec);
+  json.set("session_speedup", speedup);
+}
+
+// queryBatch determinism gate: the same batch answered on a one-lane pool
+// and on the work-stealing pool must be byte-identical — recorded as
+// parallel_identical, which the CI perf-smoke job greps for.
+void measureBatchIdentity(const LockedBench& lb, runtime::BenchJson& json) {
+  const TimingOracle chip = lb.makeOracle();
+  const auto qs =
+      randomQueries(chip.numDataPIs(), chip.numSharedFlops(), 96, 9);
+
+  runtime::ThreadPool serialPool(1);
+  const auto s0 = clock_t_::now();
+  const auto serial = chip.queryBatch(qs, &serialPool);
+  const double serialMs = secondsSince(s0) * 1e3;
+
+  const auto p0 = clock_t_::now();
+  const auto parallel = chip.queryBatch(qs, nullptr);
+  const double parallelMs = secondsSince(p0) * 1e3;
+
+  const bool identical = serial == parallel;
+  if (!identical)
+    std::fprintf(stderr,
+                 "[bench] WARNING: parallel queryBatch results differ from "
+                 "the serial run — determinism contract broken\n");
+  std::printf(
+      "queryBatch identity (96 queries): serial %.1f ms, parallel %.1f ms, "
+      "identical=%d\n",
+      serialMs, parallelMs, identical ? 1 : 0);
+  json.set("batch_queries", static_cast<double>(qs.size()));
+  json.set("serial_wall_ms", serialMs);
+  json.set("parallel_wall_ms", parallelMs);
+  json.set("speedup", parallelMs > 0 ? serialMs / parallelMs : 1.0);
+  json.set("parallel_identical", identical ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace gkll
+
+int main() {
+  gkll::obs::BenchTelemetry telemetry("bench_sim_micro");
+  gkll::runtime::BenchJson json("sim_micro");
+  gkll::measureSimThroughput(json);
+  // Oracle throughput runs on s1238 (a Table-1 design): the session win is
+  // the ratio of per-query construction overhead to per-query sim work, so
+  // the small-to-mid designs an attack loop hammers hardest show it
+  // cleanest.  Batch identity runs on the larger s5378 so every pool lane
+  // gets enough work to expose real interleaving.
+  const gkll::LockedBench small("s1238", 2);
+  gkll::measureOracleThroughput(small, "s1238", json);
+  const gkll::LockedBench big("s5378", 4);
+  gkll::measureBatchIdentity(big, json);
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "netlist/cell_library.h"
+#include "runtime/parallel.h"
+#include "runtime/pool.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
 
@@ -49,6 +51,7 @@ TimingOracle::TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,
                            std::vector<int> keyValues, Ps clockPeriod,
                            std::size_t numSharedFlops)
     : locked_(locked),
+      compiled_(CompiledNetlist::compile(locked)),
       clockArrival_(std::move(clockArrival)),
       keyInputs_(std::move(keyInputs)),
       keyValues_(std::move(keyValues)),
@@ -62,46 +65,105 @@ TimingOracle::TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,
         keyInputs_.end())
       dataPIs_.push_back(pi);
   }
-}
-
-TimingOracle::Capture TimingOracle::query(
-    const std::vector<Logic>& piValues, const std::vector<Logic>& state) const {
-  ++queries_;
-  assert(piValues.size() == dataPIs_.size());
-  assert(state.size() == numShared_);
-  const CellLibrary& lib = CellLibrary::tsmc013c();
-
   // The shared (functional) flops hold their scanned state through edge 1
   // while the KEYGEN flops toggle normally; the single observed functional
   // capture is edge 2, whose GK glitches were triggered by the edge-1
   // KEYGEN toggle — matching a real scan sequence, where shift pulses keep
   // the KEYGEN toggling right up to the capture pulse.
-  EventSimConfig cfg;
-  cfg.clockPeriod = clockPeriod_;
-  cfg.simTime = 3 * clockPeriod_;
-  EventSim sim(locked_, cfg, lib);
-  for (std::size_t i = 0; i < locked_.flops().size(); ++i)
-    sim.setClockArrival(locked_.flops()[i], clockArrival_[i]);
+  simCfg_.clockPeriod = clockPeriod_;
+  // The last value a query ever samples is Q at edge2 + clkToQ + 20; the
+  // next Q commit is a full period later.  Truncating the horizon just past
+  // that sample point drops the entire post-capture propagation wave at
+  // push — a third or more of the event traffic — without changing any
+  // sampled value, capture or recorded violation.  Capped at the old
+  // 3-period horizon so huge clock skews cannot pull edge-3 captures (and
+  // their violations) into the run.
+  const Ps maxArrival =
+      clockArrival_.empty()
+          ? 0
+          : *std::max_element(clockArrival_.begin(), clockArrival_.end());
+  simCfg_.simTime =
+      std::min(3 * clockPeriod_, 2 * clockPeriod_ + maxArrival +
+                                     CellLibrary::tsmc013c().clkToQ() + 21);
+}
+
+EventSim& TimingOracle::session() const {
+  if (!session_)
+    session_ = std::make_unique<EventSim>(compiled_, simCfg_,
+                                          CellLibrary::tsmc013c());
+  return *session_;
+}
+
+TimingOracle::Capture TimingOracle::queryWith(
+    EventSim& sim, const std::vector<Logic>& piValues,
+    const std::vector<Logic>& state) const {
+  assert(piValues.size() == dataPIs_.size());
+  assert(state.size() == numShared_);
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+
+  sim.reset();
+  const auto& flops = locked_.flops();
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    sim.setClockArrival(flops[i], clockArrival_[i]);
   for (std::size_t i = 0; i < numShared_; ++i)
-    sim.setCaptureStart(locked_.flops()[i], 2);
+    sim.setCaptureStart(flops[i], 2);
   for (std::size_t i = 0; i < keyInputs_.size(); ++i)
     sim.setInitialInput(keyInputs_[i], logicFromBool(keyValues_[i] != 0));
   for (std::size_t i = 0; i < dataPIs_.size(); ++i)
     sim.setInitialInput(dataPIs_[i], piValues[i]);
   for (std::size_t i = 0; i < numShared_; ++i)
-    sim.setInitialState(locked_.flops()[i], state[i]);
+    sim.setInitialState(flops[i], state[i]);
   sim.run();
 
   Capture cap;
+  cap.poValues.reserve(locked_.outputs().size());
   for (NetId po : locked_.outputs())
     cap.poValues.push_back(sim.valueAt(po, 2 * clockPeriod_));
+  cap.captured.reserve(numShared_);
   for (std::size_t i = 0; i < numShared_; ++i) {
-    const NetId q = locked_.gate(locked_.flops()[i]).out;
+    const NetId q = locked_.gate(flops[i]).out;
     cap.captured.push_back(sim.valueAt(
         q, 2 * clockPeriod_ + clockArrival_[i] + lib.clkToQ() + 20));
   }
   cap.violations = static_cast<int>(sim.violations().size());
   return cap;
+}
+
+TimingOracle::Capture TimingOracle::query(
+    const std::vector<Logic>& piValues, const std::vector<Logic>& state) const {
+  ++queries_;
+  return queryWith(session(), piValues, state);
+}
+
+std::vector<TimingOracle::Capture> TimingOracle::queryBatch(
+    const std::vector<Query>& queries, runtime::ThreadPool* pool) const {
+  std::vector<Capture> out(queries.size());
+  runtime::ThreadPool& p = pool ? *pool : runtime::ThreadPool::global();
+  const std::size_t lanes =
+      std::min<std::size_t>(static_cast<std::size_t>(p.threads()),
+                            queries.size());
+  if (lanes <= 1) {
+    EventSim sim(compiled_, simCfg_);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      out[i] = queryWith(sim, queries[i].piValues, queries[i].state);
+  } else {
+    // Contiguous chunks, one task (and one reusable session) per lane;
+    // every out[i] depends only on queries[i], so scheduling cannot change
+    // the result.
+    runtime::TaskGroup group(&p);
+    for (std::size_t t = 0; t < lanes; ++t) {
+      const std::size_t begin = queries.size() * t / lanes;
+      const std::size_t end = queries.size() * (t + 1) / lanes;
+      group.run([this, &queries, &out, begin, end] {
+        EventSim sim(compiled_, simCfg_);
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = queryWith(sim, queries[i].piValues, queries[i].state);
+      });
+    }
+    group.wait();
+  }
+  queries_ += queries.size();
+  return out;
 }
 
 }  // namespace gkll

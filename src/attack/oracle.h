@@ -11,14 +11,20 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
+#include "sim/event_sim.h"
 #include "util/time_types.h"
 
 namespace gkll {
+
+namespace runtime {
+class ThreadPool;
+}
 
 /// Zero-delay functional oracle over a combinational netlist.  Compiles the
 /// netlist once at construction; the netlist must outlive the oracle and
@@ -62,6 +68,13 @@ class CombOracle {
 /// fixed key.  A query sets the primary inputs and the shared flop states,
 /// runs one clock cycle of event simulation and reports what each shared
 /// flop captured (X on a setup/hold violation) and the settled PO values.
+///
+/// The locked netlist is compiled exactly once, at construction; every
+/// query recycles a reusable EventSim session (reset() + run()), so a
+/// thousand queries perform no further CompiledNetlist::compile and ~zero
+/// allocation.  Like CombOracle's packed scratch, the cached session makes
+/// query() non-thread-safe — concurrent callers go through queryBatch,
+/// which gives every worker its own session.
 class TimingOracle {
  public:
   TimingOracle(const Netlist& locked, std::vector<Ps> clockArrival,
@@ -72,6 +85,15 @@ class TimingOracle {
     std::vector<Logic> poValues;  ///< settled just before the capture edge
     std::vector<Logic> captured;  ///< per shared flop; X on violation
     int violations = 0;
+
+    bool operator==(const Capture&) const = default;
+  };
+
+  /// One oracle stimulus: `piValues` in original-PI order (locked PIs
+  /// minus key inputs), `state` per shared flop.
+  struct Query {
+    std::vector<Logic> piValues;
+    std::vector<Logic> state;
   };
 
   /// `piValues` in original-PI order (locked PIs minus key inputs);
@@ -79,18 +101,34 @@ class TimingOracle {
   Capture query(const std::vector<Logic>& piValues,
                 const std::vector<Logic>& state) const;
 
+  /// Answer independent queries across the runtime thread pool (null =
+  /// the global pool), one reusable sim session per worker task.  Results
+  /// come back in query order; because each Capture is a pure function of
+  /// its Query, a parallel batch is byte-identical to a serial loop of
+  /// query() calls — the benches check exactly that.
+  std::vector<Capture> queryBatch(const std::vector<Query>& queries,
+                                  runtime::ThreadPool* pool = nullptr) const;
+
   std::uint64_t numQueries() const { return queries_; }
   std::size_t numSharedFlops() const { return numShared_; }
   std::size_t numDataPIs() const { return dataPIs_.size(); }
+  const CompiledNetlist& compiled() const { return compiled_; }
 
  private:
+  EventSim& session() const;  ///< the lazily-built cached query() session
+  Capture queryWith(EventSim& sim, const std::vector<Logic>& piValues,
+                    const std::vector<Logic>& state) const;
+
   const Netlist& locked_;
+  CompiledNetlist compiled_;
   std::vector<Ps> clockArrival_;
   std::vector<NetId> keyInputs_;
   std::vector<int> keyValues_;
   std::vector<NetId> dataPIs_;
   Ps clockPeriod_;
   std::size_t numShared_;
+  EventSimConfig simCfg_;
+  mutable std::unique_ptr<EventSim> session_;
   mutable std::uint64_t queries_ = 0;
 };
 

@@ -21,19 +21,30 @@ constexpr KindMeta kMeta[kNumCellKinds] = {
     {"AOI21", 3}, {"OAI21", 3},  {"DFF", 1},    {"DELAY", 1}, {"LUT", -1},
 };
 
-Logic andAll(std::span<const Logic> ins) {
-  Logic v = Logic::T;
-  for (Logic i : ins) v = logicAnd(v, i);
-  return v;
-}
-
-Logic orAll(std::span<const Logic> ins) {
-  Logic v = Logic::F;
-  for (Logic i : ins) v = logicOr(v, i);
-  return v;
-}
-
 }  // namespace
+
+namespace detail {
+
+Logic evalLutWithX(std::span<const Logic> ins, std::uint64_t lutMask) {
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i] != Logic::X) continue;
+    // Known output only if the two cofactors agree for every X input;
+    // conservatively recurse on the first X input.
+    std::vector<Logic> lo(ins.begin(), ins.end());
+    std::vector<Logic> hi(ins.begin(), ins.end());
+    lo[i] = Logic::F;
+    hi[i] = Logic::T;
+    const Logic a = evalCell(CellKind::kLut, lo, lutMask);
+    const Logic b = evalCell(CellKind::kLut, hi, lutMask);
+    return a == b ? a : Logic::X;
+  }
+  std::uint64_t idx = 0;
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    if (ins[i] == Logic::T) idx |= (1ULL << i);
+  return logicFromBool((lutMask >> idx) & 1ULL);
+}
+
+}  // namespace detail
 
 int cellNumInputs(CellKind k) { return kMeta[static_cast<int>(k)].numInputs; }
 
@@ -70,72 +81,6 @@ bool isUnaryKind(CellKind k) {
   return k == CellKind::kBuf || k == CellKind::kInv || k == CellKind::kDelay;
 }
 
-Logic evalCell(CellKind k, std::span<const Logic> ins, std::uint64_t lutMask) {
-  switch (k) {
-    case CellKind::kInput:
-      return Logic::X;  // inputs have no function; driven externally
-    case CellKind::kConst0:
-      return Logic::F;
-    case CellKind::kConst1:
-      return Logic::T;
-    case CellKind::kBuf:
-    case CellKind::kDelay:
-    case CellKind::kDff:
-      return ins[0];
-    case CellKind::kInv:
-      return logicNot(ins[0]);
-    case CellKind::kAnd2:
-    case CellKind::kAnd3:
-    case CellKind::kAnd4:
-      return andAll(ins);
-    case CellKind::kNand2:
-    case CellKind::kNand3:
-    case CellKind::kNand4:
-      return logicNot(andAll(ins));
-    case CellKind::kOr2:
-    case CellKind::kOr3:
-    case CellKind::kOr4:
-      return orAll(ins);
-    case CellKind::kNor2:
-    case CellKind::kNor3:
-    case CellKind::kNor4:
-      return logicNot(orAll(ins));
-    case CellKind::kXor2:
-      return logicXor(ins[0], ins[1]);
-    case CellKind::kXnor2:
-      return logicNot(logicXor(ins[0], ins[1]));
-    case CellKind::kMux2: {
-      const Logic sel = ins[0];
-      if (sel == Logic::F) return ins[1];
-      if (sel == Logic::T) return ins[2];
-      // X select: output known only if both data inputs agree.
-      return ins[1] == ins[2] ? ins[1] : Logic::X;
-    }
-    case CellKind::kAoi21:
-      return logicNot(logicOr(logicAnd(ins[0], ins[1]), ins[2]));
-    case CellKind::kOai21:
-      return logicNot(logicAnd(logicOr(ins[0], ins[1]), ins[2]));
-    case CellKind::kLut: {
-      std::uint64_t idx = 0;
-      for (std::size_t i = 0; i < ins.size(); ++i) {
-        if (ins[i] == Logic::X) {
-          // Known output only if the two cofactors agree for every X input;
-          // conservatively recurse on the first X input.
-          std::vector<Logic> lo(ins.begin(), ins.end());
-          std::vector<Logic> hi(ins.begin(), ins.end());
-          lo[i] = Logic::F;
-          hi[i] = Logic::T;
-          const Logic a = evalCell(k, lo, lutMask);
-          const Logic b = evalCell(k, hi, lutMask);
-          return a == b ? a : Logic::X;
-        }
-        if (ins[i] == Logic::T) idx |= (1ULL << i);
-      }
-      return logicFromBool((lutMask >> idx) & 1ULL);
-    }
-  }
-  return Logic::X;
-}
 
 CellLibrary::CellLibrary() {
   auto set = [&](CellKind k, double areaUm2, Ps rise, Ps fall) {
@@ -187,6 +132,14 @@ CellLibrary::CellLibrary() {
 
 const CellLibrary& CellLibrary::tsmc013c() {
   static const CellLibrary lib;
+  return lib;
+}
+
+CellLibrary CellLibrary::withFlopTiming(Ps setup, Ps hold, Ps clkToQ) {
+  CellLibrary lib;
+  lib.setup_ = setup;
+  lib.hold_ = hold;
+  lib.clkToQ_ = clkToQ;
   return lib;
 }
 

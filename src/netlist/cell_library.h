@@ -78,11 +78,90 @@ bool isSourceKind(CellKind k);
 /// (kBuf, kInv, kDelay).
 bool isUnaryKind(CellKind k);
 
+namespace detail {
+
+inline Logic andAll(std::span<const Logic> ins) {
+  Logic v = Logic::T;
+  for (Logic i : ins) v = logicAnd(v, i);
+  return v;
+}
+
+inline Logic orAll(std::span<const Logic> ins) {
+  Logic v = Logic::F;
+  for (Logic i : ins) v = logicOr(v, i);
+  return v;
+}
+
+/// Cold path: kLut with at least one X input (cofactor recursion over the
+/// first X).  Out of line — it allocates, and X inputs are rare.
+Logic evalLutWithX(std::span<const Logic> ins, std::uint64_t lutMask);
+
+}  // namespace detail
+
 /// Evaluate the steady-state function of a cell under three-valued logic.
 /// `ins` must contain cellNumInputs(k) values (any count for kLut, <= 6).
 /// kDelay behaves as a buffer; kDff is evaluated as transparent (returns d)
-/// — sequential behaviour lives in the simulators.
-Logic evalCell(CellKind k, std::span<const Logic> ins, std::uint64_t lutMask = 0);
+/// — sequential behaviour lives in the simulators.  Defined inline: this is
+/// the innermost call of both the packed evaluator's scalar fallback and
+/// the event simulator's scheduling loop, where the cross-TU call (no LTO)
+/// was measurable.
+inline Logic evalCell(CellKind k, std::span<const Logic> ins,
+                      std::uint64_t lutMask = 0) {
+  switch (k) {
+    case CellKind::kInput:
+      return Logic::X;  // inputs have no function; driven externally
+    case CellKind::kConst0:
+      return Logic::F;
+    case CellKind::kConst1:
+      return Logic::T;
+    case CellKind::kBuf:
+    case CellKind::kDelay:
+    case CellKind::kDff:
+      return ins[0];
+    case CellKind::kInv:
+      return logicNot(ins[0]);
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+    case CellKind::kAnd4:
+      return detail::andAll(ins);
+    case CellKind::kNand2:
+    case CellKind::kNand3:
+    case CellKind::kNand4:
+      return logicNot(detail::andAll(ins));
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+    case CellKind::kOr4:
+      return detail::orAll(ins);
+    case CellKind::kNor2:
+    case CellKind::kNor3:
+    case CellKind::kNor4:
+      return logicNot(detail::orAll(ins));
+    case CellKind::kXor2:
+      return logicXor(ins[0], ins[1]);
+    case CellKind::kXnor2:
+      return logicNot(logicXor(ins[0], ins[1]));
+    case CellKind::kMux2: {
+      const Logic sel = ins[0];
+      if (sel == Logic::F) return ins[1];
+      if (sel == Logic::T) return ins[2];
+      // X select: output known only if both data inputs agree.
+      return ins[1] == ins[2] ? ins[1] : Logic::X;
+    }
+    case CellKind::kAoi21:
+      return logicNot(logicOr(logicAnd(ins[0], ins[1]), ins[2]));
+    case CellKind::kOai21:
+      return logicNot(logicAnd(logicOr(ins[0], ins[1]), ins[2]));
+    case CellKind::kLut: {
+      std::uint64_t idx = 0;
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        if (ins[i] == Logic::X) return detail::evalLutWithX(ins, lutMask);
+        if (ins[i] == Logic::T) idx |= (1ULL << i);
+      }
+      return logicFromBool((lutMask >> idx) & 1ULL);
+    }
+  }
+  return Logic::X;
+}
 
 /// Per-cell physical data: area and pin-to-output transport delays.
 struct CellInfo {
@@ -101,6 +180,12 @@ class CellLibrary {
  public:
   /// The process-wide synthetic library instance.
   static const CellLibrary& tsmc013c();
+
+  /// A copy of tsmc013c() with overridden flop timing parameters — the
+  /// seam the tests use to exercise library-precondition guards (e.g. the
+  /// simulator's clkToQ >= holdTime requirement).  The returned library
+  /// must outlive any consumer holding a reference to it.
+  static CellLibrary withFlopTiming(Ps setup, Ps hold, Ps clkToQ);
 
   /// Area/delay for a kind at a drive strength.
   CellInfo info(CellKind k, int drive = 1) const;

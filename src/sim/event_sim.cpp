@@ -1,75 +1,236 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
-#include <queue>
+#include <stdexcept>
 
 #include "obs/telemetry.h"
 
 namespace gkll {
 
+namespace {
+// Min-heap ordering for std::push_heap/pop_heap (smallest event at front).
+struct EvGreater {
+  template <class Ev>
+  bool operator()(const Ev& a, const Ev& b) const {
+    return a > b;
+  }
+};
+}  // namespace
+
+// --- event queue -----------------------------------------------------------
+
+void EventSim::EvQueue::arm(SimScheduler mode, Ps start, Ps horizon) {
+  mode_ = mode;
+  horizon_ = horizon;
+  size_ = 0;
+  heap_.clear();
+  overflow_.clear();
+  overflowSorted_ = true;
+  if (slots_.empty()) {
+    slots_.resize(kWheelSlots);
+    occ_.assign(kOccWords, 0);
+  }
+  // A completed run drains every bucket, so only slots still flagged
+  // occupied (an aborted run) need clearing — O(pending), not O(4096).
+  for (std::size_t w = 0; w < kOccWords; ++w) {
+    std::uint64_t word = occ_[w];
+    while (word != 0) {
+      const auto b = static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      slots_[(w << 6) + b].clear();
+    }
+    occ_[w] = 0;
+  }
+  inWheel_ = 0;
+  base_ = start;
+  cursor_ = start;
+}
+
+void EventSim::EvQueue::push(const Ev& e) {
+  if (e.time >= horizon_) return;  // the run loop would discard it anyway
+  assert(e.time >= cursor_ && "events may not be scheduled in the past");
+  if (mode_ == SimScheduler::kReferenceHeap) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), EvGreater{});
+  } else if (e.time < base_ + kWheelSlots) {
+    const std::size_t s = slotOf(e.time);
+    markSlot(s);
+    slots_[s].push_back(e);
+    ++inWheel_;
+  } else {
+    // Far-future events (mostly lazily generated clock edges a period
+    // ahead) are batched unsorted and sorted once per refill cycle — the
+    // arm-time burst of per-flop edges made per-push heap maintenance the
+    // single hottest queue operation.
+    overflow_.push_back(e);
+    overflowSorted_ = false;
+  }
+  ++size_;
+}
+
+void EventSim::EvQueue::sortOverflow() {
+  // Newest-first (descending), so refill drains the earliest events from
+  // the back with O(1) pop_back.  (time, kind, seq) is unique, so the
+  // order — and therefore the run — is deterministic.
+  std::sort(overflow_.begin(), overflow_.end(), EvGreater{});
+  overflowSorted_ = true;
+}
+
+void EventSim::EvQueue::refill() {
+  if (!overflowSorted_) sortOverflow();
+  while (!overflow_.empty() && overflow_.back().time < base_ + kWheelSlots) {
+    const std::size_t s = slotOf(overflow_.back().time);
+    markSlot(s);
+    slots_[s].push_back(overflow_.back());
+    overflow_.pop_back();
+    ++inWheel_;
+  }
+}
+
+EventSim::Ev EventSim::EvQueue::pop() {
+  assert(size_ > 0);
+  --size_;
+  if (mode_ == SimScheduler::kReferenceHeap) {
+    std::pop_heap(heap_.begin(), heap_.end(), EvGreater{});
+    const Ev e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+  // Advance the cursor to the next populated slot.  Within the window
+  // [base_, base_+kWheelSlots) each slot holds exactly one timestamp, so a
+  // populated slot under the cursor contains only events at time cursor_.
+  if (inWheel_ == 0) {
+    // The whole near-future window is empty: jump straight to the
+    // earliest overflow event instead of rotating through empty slots
+    // (clock edges are typically a full period ahead).
+    if (!overflowSorted_) sortOverflow();
+    base_ = overflow_.back().time;
+    cursor_ = base_;
+    refill();
+  }
+  // Every set occupancy bit is at a time >= cursor_ (drained buckets have
+  // their bits cleared), and the window spans exactly kWheelSlots, so the
+  // circular slot distance from the cursor equals the time distance.
+  const std::size_t s0 = slotOf(cursor_);
+  std::size_t w = s0 >> 6;
+  std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (s0 & 63));
+  while (word == 0) {
+    w = (w + 1) & (kOccWords - 1);
+    word = occ_[w];
+  }
+  const std::size_t s =
+      (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  cursor_ += static_cast<Ps>((s - s0) & static_cast<std::size_t>(kWheelSlots - 1));
+  // Same-time events pop in (kind, seq) order, exactly like the reference
+  // heap; buckets hold a handful of events, so a linear scan wins over any
+  // per-bucket ordering structure.
+  auto& slot = slots_[s];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slot.size(); ++i) {
+    if (slot[i].kind < slot[best].kind ||
+        (slot[i].kind == slot[best].kind && slot[i].seq < slot[best].seq))
+      best = i;
+  }
+  const Ev e = slot[best];
+  slot[best] = slot.back();
+  slot.pop_back();
+  if (slot.empty()) occ_[w] &= ~(std::uint64_t{1} << (s & 63));
+  --inWheel_;
+  return e;
+}
+
+// --- construction / session lifecycle --------------------------------------
+
+EventSim::EventSim(const CompiledNetlist& compiled, EventSimConfig cfg,
+                   const CellLibrary& lib)
+    : cn_(&compiled), nl_(&compiled.source()), cfg_(cfg), lib_(lib) {
+  initBuffers();
+}
+
 EventSim::EventSim(const Netlist& nl, EventSimConfig cfg, const CellLibrary& lib)
-    : nl_(nl),
-      compiled_(CompiledNetlist::compile(nl)),
+    : owned_(std::make_unique<CompiledNetlist>(CompiledNetlist::compile(nl))),
+      cn_(owned_.get()),
+      nl_(&nl),
       cfg_(cfg),
-      lib_(lib),
-      waves_(nl.numNets()),
-      current_(nl.numNets(), Logic::X),
-      initialPI_(nl.numNets(), Logic::F),
-      initialFF_(nl.flops().size(), Logic::F),
-      clockArrival_(nl.flops().size(), 0),
-      captureStart_(nl.flops().size(), 1) {
+      lib_(lib) {
+  initBuffers();
+}
+
+void EventSim::initBuffers() {
   // The hold-window check runs at the Q-commit event; it can only see the
-  // whole window if clock-to-Q is not shorter than the hold time.
-  assert(lib_.clkToQ() >= lib_.holdTime());
+  // whole window if clock-to-Q is not shorter than the hold time.  A real
+  // error (not an assert): a Release build with a bad library would
+  // silently corrupt capture results otherwise.
+  if (lib_.clkToQ() < lib_.holdTime())
+    throw std::invalid_argument(
+        "EventSim: library precondition clkToQ >= holdTime violated");
+  waves_.resize(cn_->numNets());
+  current_.assign(cn_->numNets(), Logic::X);
+  initialPI_.assign(cn_->numNets(), Logic::F);
+  initialFF_.assign(cn_->flops().size(), Logic::F);
+  clockArrival_.assign(cn_->flops().size(), 0);
+  captureStart_.assign(cn_->flops().size(), 1);
+  lastSched_.assign(cn_->numNets(), INT64_MIN);
+  lastSchedVal_.assign(cn_->numNets(), Logic::X);
+  inDirty_.assign(cn_->numNets(), 0);
+  // Per-gate output delays (wire delay folded in), so the hot scheduling
+  // loop is two flat-array loads instead of a CellLibrary::info call plus
+  // a dereference of the fat Net struct per evaluation.
+  riseDelay_.assign(cn_->numGates(), 0);
+  fallDelay_.assign(cn_->numGates(), 0);
+  for (GateId g = 0; g < static_cast<GateId>(cn_->numGates()); ++g) {
+    const NetId out = cn_->out(g);
+    if (out == kNoNet) continue;
+    const Ps wire = nl_->net(out).wireDelay;
+    if (cn_->kind(g) == CellKind::kDelay) {
+      riseDelay_[g] = fallDelay_[g] = cn_->delayPs(g) + wire;
+    } else {
+      const CellInfo ci = lib_.info(cn_->kind(g), cn_->drive(g));
+      riseDelay_[g] = ci.rise + wire;
+      fallDelay_[g] = ci.fall + wire;
+    }
+  }
 }
 
-void EventSim::setInitialInput(NetId pi, Logic v) { initialPI_[pi] = v; }
-
-void EventSim::setInitialState(GateId ff, Logic v) {
-  const int i = compiled_.flopIndex(ff);
-  assert(i >= 0);
-  initialFF_[static_cast<std::size_t>(i)] = v;
-}
-
-void EventSim::setClockArrival(GateId ff, Ps t) {
-  const int i = compiled_.flopIndex(ff);
-  assert(i >= 0);
-  clockArrival_[static_cast<std::size_t>(i)] = t;
-}
-
-void EventSim::setCaptureStart(GateId ff, int k) {
-  assert(k >= 1);
-  const int i = compiled_.flopIndex(ff);
-  assert(i >= 0);
-  captureStart_[static_cast<std::size_t>(i)] = k;
+void EventSim::reset() {
+  // Only nets that actually transitioned have anything to drop; the
+  // settle pass rewrites every net's initial value on the next run()
+  // anyway, so untouched waveforms need no work here.
+  for (NetId n : dirtyNets_) {
+    waves_[n].clear();
+    inDirty_[n] = 0;
+  }
+  dirtyNets_.clear();
+  std::fill(current_.begin(), current_.end(), Logic::X);
+  stimuli_.clear();
+  violations_.clear();
+  totalEvents_ = 0;
+  glitches_ = 0;
+  glitchesCounted_ = true;  // waves are empty until the next run
+  queueHighWater_ = 0;
+  ran_ = false;
 }
 
 void EventSim::drive(NetId pi, Ps time, Logic v) {
-  assert(nl_.net(pi).driver != kNoGate &&
-         nl_.gate(nl_.net(pi).driver).kind == CellKind::kInput &&
-         "only primary inputs can be driven externally");
+  const GateId drv = pi < nl_->numNets() ? nl_->net(pi).driver : kNoGate;
+  if (drv == kNoGate || nl_->gate(drv).kind != CellKind::kInput)
+    throw std::invalid_argument(
+        "EventSim::drive: only primary inputs can be driven externally");
   stimuli_.push_back(Ev{time, 0, 0, pi, kNoGate, v});
 }
 
-Ps EventSim::gateDelay(const Gate& g, Logic newOut) const {
-  Ps d;
-  if (g.kind == CellKind::kDelay) {
-    d = g.delayPs;
-  } else {
-    const CellInfo ci = lib_.info(g.kind, g.drive);
-    if (newOut == Logic::T)
-      d = ci.rise;
-    else if (newOut == Logic::F)
-      d = ci.fall;
-    else
-      d = std::max(ci.rise, ci.fall);
-  }
-  return d + nl_.net(g.out).wireDelay;
+Ps EventSim::gateDelay(GateId g, Logic newOut) const {
+  if (newOut == Logic::T) return riseDelay_[g];
+  if (newOut == Logic::F) return fallDelay_[g];
+  return std::max(riseDelay_[g], fallDelay_[g]);
 }
 
 void EventSim::run() {
-  assert(!ran_ && "EventSim::run may be called once");
+  if (ran_)
+    throw std::logic_error(
+        "EventSim::run: already ran; call reset() to start a new session");
   ran_ = true;
   obs::Span span("sim.run");
 
@@ -78,9 +239,9 @@ void EventSim::run() {
   // appear anywhere in the gate order, so they must be written before any
   // combinational evaluation reads them.
   {
-    for (GateId g : compiled_.sourceGates()) {
-      const NetId out = compiled_.out(g);
-      switch (compiled_.kind(g)) {
+    for (GateId g : cn_->sourceGates()) {
+      const NetId out = cn_->out(g);
+      switch (cn_->kind(g)) {
         case CellKind::kInput:
           current_[out] = initialPI_[out];
           break;
@@ -94,32 +255,49 @@ void EventSim::run() {
           break;
       }
     }
-    for (std::size_t i = 0; i < nl_.flops().size(); ++i)
-      current_[compiled_.out(nl_.flops()[i])] = initialFF_[i];
-    // Pass 2: combinational gates in dependency order.
-    std::vector<Logic> ins;
-    for (GateId g : compiled_.combGates()) {
-      const NetId out = compiled_.out(g);
+    const auto flops = cn_->flops();
+    for (std::size_t i = 0; i < flops.size(); ++i)
+      current_[cn_->out(flops[i])] = initialFF_[i];
+    // Pass 2: combinational gates in dependency order.  Fanins gather
+    // into a fixed stack array — no cell has more than 6 pins (kLut's
+    // cap), and skipping the vector's size/capacity bookkeeping is worth
+    // a few ns on every one of these per-run evaluations.
+    for (GateId g : cn_->combGates()) {
+      const NetId out = cn_->out(g);
       if (out == kNoNet) continue;
-      ins.clear();
-      for (NetId in : compiled_.fanin(g)) ins.push_back(current_[in]);
-      current_[out] = evalCell(compiled_.kind(g), ins, compiled_.lutMask(g));
+      Logic fv[8];
+      const auto fi = cn_->fanin(g);
+      assert(fi.size() <= 8);
+      for (std::size_t i = 0; i < fi.size(); ++i) fv[i] = current_[fi[i]];
+      current_[out] =
+          evalCell(cn_->kind(g), {fv, fi.size()}, cn_->lutMask(g));
     }
-    for (NetId n = 0; n < nl_.numNets(); ++n) waves_[n].setInitial(current_[n]);
+    for (NetId n = 0; n < cn_->numNets(); ++n) waves_[n].setInitial(current_[n]);
   }
 
   // --- event queue --------------------------------------------------------
-  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> q;
+  Ps start = 0;
+  for (const Ev& e : stimuli_) start = std::min(start, e.time);
+  queue_.arm(cfg_.scheduler, start, cfg_.simTime);
   std::uint64_t seq = 0;
   for (Ev e : stimuli_) {
     e.seq = seq++;
-    if (e.time < cfg_.simTime) q.push(e);
+    queue_.push(e);
   }
   if (cfg_.clockedFlops) {
-    for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
-      for (Ps t = clockArrival_[i] + captureStart_[i] * cfg_.clockPeriod;
-           t < cfg_.simTime; t += cfg_.clockPeriod)
-        q.push(Ev{t, 1, seq++, kNoNet, nl_.flops()[i], Logic::X});
+    // Lazily generated clock edges: one pending Q-commit per flop at a
+    // time; each processed commit schedules the flop's next one.  The
+    // queue no longer holds flops x cycles events up front.  The capture
+    // edge itself needs no event of its own: the committed D value is
+    // recovered at commit time from the D net's recorded waveform by the
+    // same binary search the setup/hold window check performs — a commit
+    // at edge + clkToQ is dropped by the horizon exactly when the old
+    // separate capture event would have scheduled nothing observable.
+    const auto flops = cn_->flops();
+    for (std::size_t i = 0; i < flops.size(); ++i) {
+      const Ps t = clockArrival_[i] + captureStart_[i] * cfg_.clockPeriod +
+                   lib_.clkToQ();
+      queue_.push(Ev{t, 1, seq++, kNoNet, flops[i], Logic::X});
     }
   }
 
@@ -128,90 +306,122 @@ void EventSim::run() {
   // *before* an earlier one, leaving the net stuck at a stale value.  Each
   // net's events are therefore clamped to be time-monotonic in scheduling
   // order; at equal times the later-scheduled (newer) value wins.
-  std::vector<Ps> lastSched(nl_.numNets(), INT64_MIN);
-  std::vector<Logic> ins;
+  std::fill(lastSched_.begin(), lastSched_.end(), INT64_MIN);
+  // A net's scheduled events pop in push order (times are clamped
+  // monotone, seq breaks ties), so an evaluation that re-computes the
+  // newest scheduled value would be a guaranteed no-op at pop time — skip
+  // the push, but still advance the clamp so later-computed events land
+  // at exactly the times they always did.
+  std::copy(current_.begin(), current_.end(), lastSchedVal_.begin());
   auto evaluateAndSchedule = [&](GateId g, Ps now) {
-    const NetId outNet = compiled_.out(g);
+    const NetId outNet = cn_->out(g);
     if (outNet == kNoNet) return;
-    ins.clear();
-    for (NetId in : compiled_.fanin(g)) ins.push_back(current_[in]);
-    const Logic out = evalCell(compiled_.kind(g), ins, compiled_.lutMask(g));
-    Ps t = now + gateDelay(nl_.gate(g), out);
-    if (t < lastSched[outNet]) t = lastSched[outNet];
-    lastSched[outNet] = t;
-    q.push(Ev{t, 0, seq++, outNet, kNoGate, out});
+    Logic fv[8];
+    const auto fi = cn_->fanin(g);
+    assert(fi.size() <= 8);
+    for (std::size_t i = 0; i < fi.size(); ++i) fv[i] = current_[fi[i]];
+    const Logic out = evalCell(cn_->kind(g), {fv, fi.size()}, cn_->lutMask(g));
+    Ps t = now + gateDelay(g, out);
+    if (t < lastSched_[outNet]) t = lastSched_[outNet];
+    lastSched_[outNet] = t;
+    if (out == lastSchedVal_[outNet]) return;
+    lastSchedVal_[outNet] = out;
+    queue_.push(Ev{t, 0, seq++, outNet, kNoGate, out});
   };
 
   auto applyNetChange = [&](NetId n, Ps t, Logic v) {
     if (current_[n] == v) return;
-    // Glitch census: a change back to the value that preceded the last
-    // transition, within glitchWidth, closes a narrow pulse.
-    {
-      const auto& tr = waves_[n].transitions();
-      if (!tr.empty() && t > tr.back().time &&
-          t - tr.back().time < cfg_.glitchWidth) {
-        const Logic before =
-            tr.size() >= 2 ? tr[tr.size() - 2].value : waves_[n].initial();
-        if (v == before) ++glitches_;
-      }
-    }
     current_[n] = v;
     waves_[n].set(t, v);
+    if (!inDirty_[n]) {
+      inDirty_[n] = 1;
+      dirtyNets_.push_back(n);
+    }
     ++totalEvents_;
     // CSR fanout walk: the compiled view's reader list is contiguous, so
     // the scheduler's hottest loop touches no per-Net vector headers.
-    for (GateId reader : compiled_.fanout(n)) {
-      if (!compiled_.isCombGate(reader)) continue;  // DFFs sample at capture
-      if (t + 1 >= cfg_.simTime) continue;          // horizon
+    for (GateId reader : cn_->fanout(n)) {
+      if (!cn_->isCombGate(reader)) continue;  // DFFs sample at capture
+      if (t + 1 >= cfg_.simTime) continue;     // horizon
       evaluateAndSchedule(reader, t);
     }
   };
 
-  while (!q.empty()) {
-    if (q.size() > queueHighWater_) queueHighWater_ = q.size();
-    const Ev e = q.top();
-    q.pop();
-    if (e.time >= cfg_.simTime) continue;
+  while (!queue_.empty()) {
+    if (queue_.size() > queueHighWater_) queueHighWater_ = queue_.size();
+    const Ev e = queue_.pop();
     switch (e.kind) {
       case 0:
         applyNetChange(e.net, e.time, e.value);
         break;
-      case 1: {  // capture: sample D now, commit Q after clock-to-Q
-        const Gate& ff = nl_.gate(e.flop);
-        const Logic d = current_[ff.fanin[0]];
-        q.push(Ev{e.time + lib_.clkToQ(), 2, seq++, kNoNet, e.flop, d});
-        break;
-      }
-      case 2: {  // Q commit + setup/hold window check
+      case 1: {  // Q commit: setup/hold window check + captured-D recovery
         const Ps edge = e.time - lib_.clkToQ();
-        const Gate& ff = nl_.gate(e.flop);
-        Logic v = e.value;
-        for (const Transition& tr : waves_[ff.fanin[0]].transitions()) {
-          if (tr.time <= edge - lib_.setupTime()) continue;
-          if (tr.time >= edge + lib_.holdTime()) break;
-          violations_.push_back({e.flop, edge, tr.time <= edge});
+        const NetId dNet = cn_->fanin(e.flop)[0];
+        // Binary-search to the first D-pin transition after edge - Tsu;
+        // only it can open the (edge - Tsu, edge + Thold) window (the old
+        // from-zero rescan was O(total transitions) per capture edge —
+        // quadratic over long sims).  Everything in the window is already
+        // recorded: clkToQ >= holdTime (constructor precondition) and
+        // kind-0 events pop before kind-1 at equal times.
+        const auto& trs = waves_[dNet].transitions();
+        const auto it = std::upper_bound(
+            trs.begin(), trs.end(), edge - lib_.setupTime(),
+            [](Ps lhs, const Transition& tr) { return lhs < tr.time; });
+        Logic v;
+        if (it != trs.end() && it->time < edge + lib_.holdTime()) {
+          violations_.push_back({e.flop, edge, it->time <= edge});
           v = Logic::X;  // metastability model
-          break;
+        } else {
+          // D was stable over the whole window, so its value at the edge
+          // is whatever it held just before the window opened.
+          v = it == trs.begin() ? waves_[dNet].initial() : std::prev(it)->value;
         }
-        applyNetChange(ff.out, e.time, v);
+        applyNetChange(cn_->out(e.flop), e.time, v);
+        queue_.push(
+            Ev{e.time + cfg_.clockPeriod, 1, seq++, kNoNet, e.flop, Logic::X});
         break;
       }
     }
   }
+
+  // --- glitch census -------------------------------------------------------
+  // The glitch census is computed lazily on the first glitchesGenerated()
+  // call — an oracle query never asks for it, so it should not pay the
+  // all-nets waveform scan.
+  glitchesCounted_ = false;
 
   if (obs::enabled()) {
     obs::Registry& reg = obs::registry();
     reg.counter("sim.runs").add(1);
     reg.counter("sim.events").add(totalEvents_);
-    reg.counter("sim.glitches").add(glitches_);
+    reg.counter("sim.glitches").add(glitchesGenerated());
     reg.counter("sim.violations").add(violations_.size());
     reg.distribution("sim.queue_high_water")
         .record(static_cast<double>(queueHighWater_));
     span.arg("events", static_cast<std::int64_t>(totalEvents_));
-    span.arg("glitches", static_cast<std::int64_t>(glitches_));
+    span.arg("glitches", static_cast<std::int64_t>(glitchesGenerated()));
     span.arg("queue_hwm", static_cast<std::int64_t>(queueHighWater_));
-    span.arg("nets", nl_.numNets());
+    span.arg("nets", nl_->numNets());
   }
+}
+
+std::uint64_t EventSim::glitchesGenerated() const {
+  if (glitchesCounted_) return glitches_;
+  // Counted post-hoc from the recorded waveforms so the census agrees
+  // exactly with gkll::glitches(): an interior constant segment strictly
+  // narrower than glitchWidth.  (The old incremental count could disagree
+  // when a later same-time re-record collapsed the transition a pulse had
+  // been counted against.)
+  glitches_ = 0;
+  // A pulse needs two transitions, so only dirty nets can contribute.
+  for (NetId n : dirtyNets_) {
+    const auto& tr = waves_[n].transitions();
+    for (std::size_t i = 0; i + 1 < tr.size(); ++i)
+      if (tr[i].time > 0 && tr[i + 1].time - tr[i].time < cfg_.glitchWidth)
+        ++glitches_;
+  }
+  glitchesCounted_ = true;
+  return glitches_;
 }
 
 }  // namespace gkll

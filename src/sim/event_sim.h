@@ -14,9 +14,21 @@
 // inside the open window is a recorded setup or hold violation and drives
 // Q to X for that cycle (a simple metastability model).  Q updates at
 // t + TclkToQ.
+//
+// Sessions: the simulator is reusable.  Construct it from a caller-owned
+// CompiledNetlist (compile once per netlist, as the SAT and packed-eval
+// paths already do), run(), read results, then reset() and go again — the
+// waveform buffers, the event wheel and every per-net scratch array keep
+// their capacity, so a thousand oracle queries allocate ~zero.  reset()
+// clears *run* state (stimuli, waveforms, violations, counters) and keeps
+// *configuration* (initial values, clock arrivals, capture starts).  The
+// Netlist-taking constructor remains as a single-shot convenience that
+// compiles and owns the view internally.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/cell_library.h"
@@ -26,6 +38,11 @@
 
 namespace gkll {
 
+/// Event-queue implementation selector.  The timing wheel is the default;
+/// the reference binary heap is kept for the scheduler-equivalence
+/// property tests (identical (time, kind, seq) pop order by construction).
+enum class SimScheduler : std::uint8_t { kTimingWheel, kReferenceHeap };
+
 struct EventSimConfig {
   Ps clockPeriod = ns(10);
   Ps simTime = ns(100);        ///< simulate [0, simTime)
@@ -33,6 +50,7 @@ struct EventSimConfig {
   /// Pulses strictly narrower than this count towards glitchesGenerated()
   /// (an activity metric only — propagation is always transport-exact).
   Ps glitchWidth = ns(2);
+  SimScheduler scheduler = SimScheduler::kTimingWheel;
 };
 
 /// A recorded setup/hold failure at a flop capture edge.
@@ -40,33 +58,69 @@ struct TimingViolation {
   GateId flop = kNoGate;
   Ps edge = 0;        ///< the capture edge time
   bool isSetup = false;  ///< true: change in (edge-Tsu, edge]; false: hold
+
+  bool operator==(const TimingViolation&) const = default;
 };
 
-/// Holds references: the netlist (and library) must outlive the simulator.
+/// Holds references: the netlist/compiled view (and library) must outlive
+/// the simulator.
 class EventSim {
  public:
+  /// Session constructor: borrows a caller-owned compiled view.  Throws
+  /// std::invalid_argument if the library's clkToQ is shorter than its
+  /// hold time (the hold-window check runs at the Q-commit event and can
+  /// only see the whole window when clkToQ >= holdTime).
+  EventSim(const CompiledNetlist& compiled, EventSimConfig cfg,
+           const CellLibrary& lib = CellLibrary::tsmc013c());
+
+  /// Single-shot convenience: compiles (and owns) the view internally.
   EventSim(const Netlist& nl, EventSimConfig cfg,
            const CellLibrary& lib = CellLibrary::tsmc013c());
 
+  /// Recycle the session for another run: clears stimuli, waveforms,
+  /// violations and counters while keeping buffer capacity and every
+  /// configured value (initial inputs/states, clock arrivals, capture
+  /// starts).  After reset() the sim behaves as freshly configured.
+  void reset();
+
+  // The per-flop/per-input configuration setters are inline: an oracle
+  // query re-applies every one of them on each reset, so they sit on the
+  // hot query path.
+
   /// Value a primary input holds from t = 0 (before any driven change).
-  void setInitialInput(NetId pi, Logic v);
+  void setInitialInput(NetId pi, Logic v) { initialPI_[pi] = v; }
 
   /// Initial state of a flop's Q (default 0).
-  void setInitialState(GateId ff, Logic v);
+  void setInitialState(GateId ff, Logic v) {
+    const int i = cn_->flopIndex(ff);
+    assert(i >= 0);
+    initialFF_[static_cast<std::size_t>(i)] = v;
+  }
 
   /// Clock arrival time T_i of a flop (models clock skew / useful skew).
-  void setClockArrival(GateId ff, Ps t);
+  void setClockArrival(GateId ff, Ps t) {
+    const int i = cn_->flopIndex(ff);
+    assert(i >= 0);
+    clockArrival_[static_cast<std::size_t>(i)] = t;
+  }
 
   /// First clock edge index (k >= 1) at which a flop starts capturing;
   /// earlier edges leave its state untouched.  Default 1.  The timing
   /// oracle uses this to model scan-hold cycles while a KEYGEN keeps
   /// toggling.
-  void setCaptureStart(GateId ff, int k);
+  void setCaptureStart(GateId ff, int k) {
+    assert(k >= 1);
+    const int i = cn_->flopIndex(ff);
+    assert(i >= 0);
+    captureStart_[static_cast<std::size_t>(i)] = k;
+  }
 
-  /// Schedule an external change on a primary-input net.
+  /// Schedule an external change on a primary-input net.  Throws
+  /// std::invalid_argument when `pi` is not a primary-input net.
   void drive(NetId pi, Ps time, Logic v);
 
-  /// Run the simulation over [0, cfg.simTime).  May be called once.
+  /// Run the simulation over [0, cfg.simTime).  May be called once per
+  /// session; throws std::logic_error on a second call without reset().
   void run();
 
   /// Recorded waveform of any net (valid after run()).
@@ -80,19 +134,26 @@ class EventSim {
   std::uint64_t totalEvents() const { return totalEvents_; }
 
   /// Number of pulses narrower than cfg.glitchWidth observed while
-  /// simulating — the glitch traffic the GK scheme rides on.
-  std::uint64_t glitchesGenerated() const { return glitches_; }
+  /// simulating — the glitch traffic the GK scheme rides on.  Computed
+  /// post-hoc from the recorded waveforms (lazily, on first call after a
+  /// run), so it agrees exactly with summing
+  /// gkll::glitches(wave(n), 0, simTime, glitchWidth) over nets.
+  std::uint64_t glitchesGenerated() const;
 
   /// Largest size the pending-event queue ever reached during run().
+  /// Clock edges are generated lazily (one pending commit per flop), so
+  /// this tracks genuine event traffic, not flops x cycles.
   std::size_t queueHighWater() const { return queueHighWater_; }
 
   const EventSimConfig& config() const { return cfg_; }
-  const Netlist& netlist() const { return nl_; }
+  const Netlist& netlist() const { return *nl_; }
+  const CompiledNetlist& compiled() const { return *cn_; }
 
  private:
   struct Ev {
     Ps time;
-    std::uint32_t kind;  // 0 = net update, 1 = flop capture, 2 = q commit
+    std::uint32_t kind;  // 0 = net update, 1 = flop Q commit (capture edge
+                         // is implicit at time - clkToQ; see run())
     std::uint64_t seq;   // FIFO tie-break
     NetId net;           // for kind 0
     GateId flop;         // for kinds 1, 2
@@ -104,11 +165,58 @@ class EventSim {
     }
   };
 
-  Ps gateDelay(const Gate& g, Logic newOut) const;
-  void scheduleEval(GateId g, Ps now);
+  /// The event queue: a two-level timing wheel (a ring of one-picosecond
+  /// buckets over a near-future window, plus a binary-heap overflow for
+  /// events beyond it), or the reference heap — both pop in exact
+  /// (time, kind, seq) order.  Buckets and the overflow keep their
+  /// capacity across sessions.
+  class EvQueue {
+   public:
+    /// Arm the queue for one run.  `start` is the earliest possible event
+    /// time; events at or beyond `horizon` are dropped at push (the run
+    /// loop would discard them unprocessed anyway).
+    void arm(SimScheduler mode, Ps start, Ps horizon);
+    void push(const Ev& e);
+    Ev pop();  ///< the globally smallest (time, kind, seq) event
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
-  const Netlist& nl_;
-  CompiledNetlist compiled_;  ///< analyzed once; the netlist may not mutate
+   private:
+    static constexpr Ps kWheelSlots = 4096;  // power of two, 1 ps each
+    static constexpr std::size_t kOccWords =
+        static_cast<std::size_t>(kWheelSlots) / 64;
+    static std::size_t slotOf(Ps t) {
+      return static_cast<std::size_t>(static_cast<std::uint64_t>(t) &
+                                      (kWheelSlots - 1));
+    }
+    void refill();  ///< move overflow events inside the window into slots
+    void sortOverflow();  ///< lazily order the overflow batch, newest first
+    void markSlot(std::size_t s) { occ_[s >> 6] |= std::uint64_t{1} << (s & 63); }
+
+    SimScheduler mode_ = SimScheduler::kTimingWheel;
+    Ps horizon_ = 0;
+    std::size_t size_ = 0;
+    // Wheel state: window is [base_, base_ + kWheelSlots); cursor_ is the
+    // next time to inspect.
+    Ps base_ = 0;
+    Ps cursor_ = 0;
+    std::size_t inWheel_ = 0;
+    std::vector<std::vector<Ev>> slots_;
+    /// One bit per slot (set = non-empty): pop jumps the cursor straight
+    /// to the next populated slot with word scans instead of probing up
+    /// to 4096 cold bucket headers one picosecond at a time.
+    std::vector<std::uint64_t> occ_;
+    std::vector<Ev> overflow_;  // beyond-window events; sorted on demand
+    bool overflowSorted_ = true;  // overflow_ is descending by (time,kind,seq)
+    std::vector<Ev> heap_;      // reference-scheduler storage
+  };
+
+  void initBuffers();  ///< shared ctor tail: precondition check + sizing
+  Ps gateDelay(GateId g, Logic newOut) const;
+
+  std::unique_ptr<CompiledNetlist> owned_;  // single-shot path only
+  const CompiledNetlist* cn_;
+  const Netlist* nl_;
   EventSimConfig cfg_;
   const CellLibrary& lib_;
   std::vector<Waveform> waves_;
@@ -119,8 +227,19 @@ class EventSim {
   std::vector<int> captureStart_;   // per flop index; first capturing edge
   std::vector<Ev> stimuli_;
   std::vector<TimingViolation> violations_;
+  /// Nets whose waveforms recorded at least one transition this run — the
+  /// recycling reset() and the glitch census walk only these instead of
+  /// every net (most nets never move during a short oracle query).
+  std::vector<NetId> dirtyNets_;
+  std::vector<std::uint8_t> inDirty_;  // dirtyNets_ membership, per net
+  std::vector<Ps> lastSched_;       // per net; causality clamp scratch
+  std::vector<Logic> lastSchedVal_; // per net; newest scheduled value
+  std::vector<Ps> riseDelay_;       // per gate, incl. wire delay
+  std::vector<Ps> fallDelay_;       // per gate, incl. wire delay
+  EvQueue queue_;
   std::uint64_t totalEvents_ = 0;
-  std::uint64_t glitches_ = 0;
+  mutable std::uint64_t glitches_ = 0;   // lazy census cache
+  mutable bool glitchesCounted_ = true;  // waves empty before first run
   std::size_t queueHighWater_ = 0;
   bool ran_ = false;
 };

@@ -7,31 +7,6 @@
 
 namespace gkll {
 
-void Waveform::set(Ps t, Logic v) {
-  assert(changes_.empty() || t >= changes_.back().time);
-  if (!changes_.empty() && changes_.back().time == t) {
-    // Same-time re-record: the later write wins (transport-delay semantics).
-    changes_.back().value = v;
-    // Collapse if it now equals the preceding value.
-    const Logic prev =
-        changes_.size() >= 2 ? changes_[changes_.size() - 2].value : initial_;
-    if (prev == v) changes_.pop_back();
-    return;
-  }
-  const Logic cur = changes_.empty() ? initial_ : changes_.back().value;
-  if (cur == v) return;
-  changes_.push_back({t, v});
-}
-
-Logic Waveform::valueAt(Ps t) const {
-  // Binary search for the last change with time <= t.
-  auto it = std::upper_bound(
-      changes_.begin(), changes_.end(), t,
-      [](Ps lhs, const Transition& tr) { return lhs < tr.time; });
-  if (it == changes_.begin()) return initial_;
-  return std::prev(it)->value;
-}
-
 Logic Waveform::finalValue() const {
   return changes_.empty() ? initial_ : changes_.back().value;
 }

@@ -4,6 +4,8 @@
 // print diagrams directly comparable with the paper's figures).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,8 @@ namespace gkll {
 struct Transition {
   Ps time = 0;
   Logic value = Logic::X;
+
+  bool operator==(const Transition&) const = default;
 };
 
 /// A net's full history: an initial value plus time-ordered changes.
@@ -26,14 +30,44 @@ class Waveform {
   Logic initial() const { return initial_; }
   void setInitial(Logic v) { initial_ = v; }
 
+  /// Drop every recorded change and reset the initial value, keeping the
+  /// transition buffer's capacity — the recycling hook reusable simulator
+  /// sessions call so a thousand runs allocate ~zero.
+  void clear(Logic initial = Logic::X) {
+    initial_ = initial;
+    changes_.clear();
+  }
+
   const std::vector<Transition>& transitions() const { return changes_; }
 
   /// Record a change at time t (must be >= the last recorded time).
   /// Recording the current value is a no-op; same-time re-records replace.
-  void set(Ps t, Logic v);
+  /// Inline: this is the event loop's per-net-change write.
+  void set(Ps t, Logic v) {
+    assert(changes_.empty() || t >= changes_.back().time);
+    if (!changes_.empty() && changes_.back().time == t) {
+      // Same-time re-record: the later write wins (transport semantics).
+      changes_.back().value = v;
+      // Collapse if it now equals the preceding value.
+      const Logic prev =
+          changes_.size() >= 2 ? changes_[changes_.size() - 2].value : initial_;
+      if (prev == v) changes_.pop_back();
+      return;
+    }
+    const Logic cur = changes_.empty() ? initial_ : changes_.back().value;
+    if (cur == v) return;
+    changes_.push_back({t, v});
+  }
 
   /// Value at time t (changes take effect *at* their timestamp).
-  Logic valueAt(Ps t) const;
+  Logic valueAt(Ps t) const {
+    // Binary search for the last change with time <= t.
+    auto it = std::upper_bound(
+        changes_.begin(), changes_.end(), t,
+        [](Ps lhs, const Transition& tr) { return lhs < tr.time; });
+    if (it == changes_.begin()) return initial_;
+    return std::prev(it)->value;
+  }
 
   /// Last value of the history.
   Logic finalValue() const;

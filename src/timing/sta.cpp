@@ -8,13 +8,19 @@
 namespace gkll {
 
 Sta::Sta(const Netlist& nl, StaConfig cfg, const CellLibrary& lib)
-    : nl_(nl), cfg_(cfg), lib_(lib), clockArrival_(nl.flops().size(), 0) {}
+    : nl_(nl),
+      cfg_(cfg),
+      lib_(lib),
+      clockArrival_(nl.flops().size(), 0),
+      flopIndex_(nl.numGates(), -1) {
+  const auto& flops = nl.flops();
+  for (std::size_t i = 0; i < flops.size(); ++i)
+    flopIndex_[flops[i]] = static_cast<std::int32_t>(i);
+}
 
 std::size_t Sta::flopIndex(GateId ff) const {
-  const auto& flops = nl_.flops();
-  auto it = std::find(flops.begin(), flops.end(), ff);
-  assert(it != flops.end());
-  return static_cast<std::size_t>(it - flops.begin());
+  assert(ff < flopIndex_.size() && flopIndex_[ff] >= 0 && "not a flop");
+  return static_cast<std::size_t>(flopIndex_[ff]);
 }
 
 void Sta::setClockArrival(GateId ff, Ps t) { clockArrival_[flopIndex(ff)] = t; }

@@ -13,6 +13,7 @@
 //     UB_ij = Tclk + T_j - T_i - Tsetup.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "netlist/cell_library.h"
@@ -84,6 +85,10 @@ class Sta {
   StaConfig cfg_;
   const CellLibrary& lib_;
   std::vector<Ps> clockArrival_;  // per flop index
+  /// One-time GateId -> flops() position map (-1 = not a flop), built at
+  /// construction like clockArrival_.  The previous linear std::find made
+  /// the GK flow's set-arrival-for-every-flop loop O(F^2).
+  std::vector<std::int32_t> flopIndex_;
 };
 
 }  // namespace gkll

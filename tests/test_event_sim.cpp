@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "benchgen/synthetic_bench.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
@@ -296,6 +298,56 @@ TEST(EventSim, SteadyStateMatchesZeroDelayAfterSettle) {
   const auto& nets = ref.netValues();
   for (NetId po : nl.outputs())
     EXPECT_EQ(sim.valueAt(po, ns(10) - 1), nets[po]) << nl.net(po).name;
+}
+
+// The guards below are real exceptions, not asserts: they must fire in
+// Debug *and* Release/NDEBUG builds alike (CI exercises both — the ASan
+// job builds Debug, the TSan and perf jobs build release configurations).
+TEST(EventSimGuards, DriveRejectsNonPrimaryInputNets) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kInv, {a}, y);
+  nl.markPO(y);
+  EventSimConfig cfg;
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  EXPECT_THROW(sim.drive(y, 100, Logic::T), std::invalid_argument);
+  EXPECT_THROW(sim.drive(static_cast<NetId>(nl.numNets() + 3), 100, Logic::T),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sim.drive(a, 100, Logic::T));
+}
+
+TEST(EventSimGuards, SecondRunWithoutResetThrows) {
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kBuf, {a}, y);
+  nl.markPO(y);
+  EventSimConfig cfg;
+  cfg.simTime = ns(2);
+  cfg.clockedFlops = false;
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::F);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+  sim.reset();  // recycling is the sanctioned way to go again
+  EXPECT_NO_THROW(sim.run());
+}
+
+TEST(EventSimGuards, RejectsLibraryWithClkToQShorterThanHold) {
+  // The Q-commit window check can only see the whole hold window when
+  // clkToQ >= holdTime; a library violating that must be refused up front.
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q = nl.addNet("q");
+  nl.addGate(CellKind::kDff, {d}, q);
+  nl.markPO(q);
+  EventSimConfig cfg;
+  const CellLibrary bad = CellLibrary::withFlopTiming(90, 200, 120);
+  EXPECT_THROW(EventSim(nl, cfg, bad), std::invalid_argument);
+  const CellLibrary boundary = CellLibrary::withFlopTiming(90, 25, 25);
+  EXPECT_NO_THROW(EventSim(nl, cfg, boundary));
 }
 
 TEST(EventSim, ActivityIsCounted) {

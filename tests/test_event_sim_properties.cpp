@@ -1,11 +1,21 @@
 // Event-simulator physics properties: pulse erosion, polarity tracking
-// through inverting chains, capture-edge boundary semantics, and the
-// glitch arithmetic the GK's security rests on.
+// through inverting chains, capture-edge boundary semantics, the glitch
+// arithmetic the GK's security rests on, and the session/scheduler
+// equivalence properties of the reusable simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/compiled.h"
 #include "netlist/netlist.h"
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
+#include "util/rng.h"
 
 namespace gkll {
 namespace {
@@ -150,6 +160,245 @@ TEST(EventSimProperties, TotalEventsScaleWithActivity) {
   };
   EXPECT_EQ(run(10), 20u);
   EXPECT_EQ(run(20), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Session / scheduler / census equivalence properties over random circuits.
+
+/// A random acyclic sequential netlist: gates draw fanins only from nets
+/// created earlier (plus flop Qs, created up front), so cycles are broken
+/// by DFFs exactly as in a real design.  Sprinkles delay elements and
+/// per-net wire delays so the event queue sees irregular timestamps.
+Netlist randomNetlist(std::uint64_t seed) {
+  Rng rng(seed);
+  Netlist nl;
+  const int numPIs = 3 + static_cast<int>(rng.below(4));
+  const int numFFs = 1 + static_cast<int>(rng.below(3));
+  const int numGates = 12 + static_cast<int>(rng.below(24));
+
+  std::vector<NetId> pool;
+  for (int i = 0; i < numPIs; ++i)
+    pool.push_back(nl.addPI("pi" + std::to_string(i)));
+  // Flop Q nets exist up front so combinational logic can read state; the
+  // DFFs themselves are added last, reading nets from anywhere in the pool.
+  std::vector<NetId> qs;
+  for (int i = 0; i < numFFs; ++i) {
+    qs.push_back(nl.addNet("q" + std::to_string(i)));
+    pool.push_back(qs.back());
+  }
+
+  const CellKind kinds[] = {CellKind::kInv,   CellKind::kBuf,
+                            CellKind::kAnd2,  CellKind::kOr2,
+                            CellKind::kNand2, CellKind::kNor2,
+                            CellKind::kXor2,  CellKind::kXnor2,
+                            CellKind::kMux2,  CellKind::kAoi21};
+  for (int g = 0; g < numGates; ++g) {
+    const NetId out = nl.addNet();
+    if (rng.chance(0.15)) {
+      nl.addDelay(rng.pick(pool), out, 50 + static_cast<Ps>(rng.below(1800)));
+    } else {
+      const CellKind k = kinds[rng.below(std::size(kinds))];
+      std::vector<NetId> fanin;
+      for (int p = 0; p < cellNumInputs(k); ++p) fanin.push_back(rng.pick(pool));
+      nl.addGate(k, std::move(fanin), out);
+    }
+    if (rng.chance(0.3)) nl.net(out).wireDelay = static_cast<Ps>(rng.below(90));
+    pool.push_back(out);
+  }
+  for (int i = 0; i < numFFs; ++i) nl.addGate(CellKind::kDff, {rng.pick(pool)}, qs[i]);
+  nl.markPO(pool.back());
+  nl.markPO(rng.pick(qs));
+  return nl;
+}
+
+/// Everything observable about one run, for whole-run equality checks.
+struct SimRunResult {
+  std::vector<Logic> initials;
+  std::vector<std::vector<Transition>> waves;
+  std::vector<TimingViolation> violations;
+  std::uint64_t events = 0;
+  std::uint64_t glitches = 0;
+  std::size_t highWater = 0;
+
+  bool operator==(const SimRunResult&) const = default;
+};
+
+/// Configure a (fresh or reset) session from Rng(seed) and run it.  The
+/// stimulus stream is a pure function of (netlist, seed), so two sims fed
+/// the same seed must agree bit for bit.
+SimRunResult runSeeded(EventSim& sim, const Netlist& nl, std::uint64_t seed,
+                       const EventSimConfig& cfg) {
+  Rng rng(seed ^ 0xD1F7ull);
+  for (NetId pi : nl.inputs()) {
+    sim.setInitialInput(pi, logicFromBool(rng.flip()));
+    const int drives = static_cast<int>(rng.below(6));
+    for (int d = 0; d < drives; ++d)
+      sim.drive(pi, 1 + static_cast<Ps>(rng.below(
+                        static_cast<std::uint64_t>(cfg.simTime) - 2)),
+                logicFromBool(rng.flip()));
+  }
+  for (GateId ff : nl.flops()) {
+    sim.setInitialState(ff, logicFromBool(rng.flip()));
+    sim.setClockArrival(ff, static_cast<Ps>(rng.below(300)));
+  }
+  sim.run();
+
+  SimRunResult r;
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    r.initials.push_back(sim.wave(n).initial());
+    r.waves.push_back(sim.wave(n).transitions());
+  }
+  r.violations = sim.violations();
+  r.events = sim.totalEvents();
+  r.glitches = sim.glitchesGenerated();
+  r.highWater = sim.queueHighWater();
+  return r;
+}
+
+TEST(EventSimSession, RecycledSessionMatchesFreshSingleShot) {
+  // A compile-once session recycled with reset() across runs must be
+  // indistinguishable from a freshly constructed single-shot simulator —
+  // same waveforms, violations, glitch census, event counts.
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(36);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Netlist nl = randomNetlist(seed);
+    const CompiledNetlist cn = CompiledNetlist::compile(nl);
+    EventSim session(cn, cfg);
+    // Dirty the session with an unrelated run first, then recycle it.
+    runSeeded(session, nl, seed + 1000, cfg);
+    session.reset();
+    const SimRunResult recycled = runSeeded(session, nl, seed, cfg);
+
+    EventSim fresh(nl, cfg);
+    const SimRunResult single = runSeeded(fresh, nl, seed, cfg);
+    EXPECT_EQ(recycled, single) << "seed " << seed;
+  }
+}
+
+TEST(EventSimSession, TimingWheelMatchesReferenceHeap) {
+  // The two-level wheel and the reference binary heap must pop in the
+  // identical (time, kind, seq) order: every observable — including the
+  // queue high-water mark — agrees.
+  EventSimConfig wheel;
+  wheel.clockPeriod = ns(4);
+  wheel.simTime = ns(36);
+  wheel.scheduler = SimScheduler::kTimingWheel;
+  EventSimConfig heap = wheel;
+  heap.scheduler = SimScheduler::kReferenceHeap;
+  for (std::uint64_t seed = 21; seed <= 32; ++seed) {
+    const Netlist nl = randomNetlist(seed);
+    EventSim a(nl, wheel);
+    EventSim b(nl, heap);
+    const SimRunResult ra = runSeeded(a, nl, seed, wheel);
+    const SimRunResult rb = runSeeded(b, nl, seed, heap);
+    EXPECT_EQ(ra, rb) << "seed " << seed;
+  }
+}
+
+TEST(EventSimSession, GlitchCensusAgreesWithRecordedWaveforms) {
+  // glitchesGenerated() must equal what a reader of the final waveforms
+  // would count with gkll::glitches() — the contract the old incremental
+  // census broke under same-time re-records.
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(4);
+  cfg.simTime = ns(36);
+  for (std::uint64_t seed = 41; seed <= 52; ++seed) {
+    const Netlist nl = randomNetlist(seed);
+    EventSim sim(nl, cfg);
+    runSeeded(sim, nl, seed, cfg);
+    std::uint64_t posthoc = 0;
+    for (NetId n = 0; n < nl.numNets(); ++n)
+      posthoc += glitches(sim.wave(n), 0, cfg.simTime, cfg.glitchWidth).size();
+    EXPECT_EQ(sim.glitchesGenerated(), posthoc) << "seed " << seed;
+  }
+}
+
+TEST(EventSimSession, GlitchCensusSurvivesSameTimeRerecord) {
+  // Deterministic regression for the census bug: a same-time re-record
+  // (later-wins) pops a transition that had just closed a narrow pulse.
+  // The old incremental counter kept the popped pulse; the census must
+  // agree with the waveform, which shows no glitch at all.
+  Netlist nl;
+  const NetId a = nl.addPI("a");
+  const NetId y = nl.addNet("y");
+  nl.addGate(CellKind::kBuf, {a}, y);
+  nl.markPO(y);
+
+  EventSimConfig cfg;
+  cfg.simTime = ns(6);
+  cfg.clockedFlops = false;  // glitchWidth default ns(2)
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(a, Logic::T);
+  sim.drive(a, 1000, Logic::F);  // opens a low pulse
+  sim.drive(a, 1300, Logic::T);  // closes it: a 300 ps glitch... for now
+  sim.drive(a, 1300, Logic::F);  // same-time re-record: the pulse never was
+  sim.run();
+
+  // The recorded waveform has a single transition (T -> F at 1000) on both
+  // nets: no glitch anywhere, and the census agrees.
+  EXPECT_EQ(sim.wave(a).transitions().size(), 1u);
+  EXPECT_EQ(glitches(sim.wave(a), 0, cfg.simTime, cfg.glitchWidth).size(), 0u);
+  EXPECT_EQ(glitches(sim.wave(y), 0, cfg.simTime, cfg.glitchWidth).size(), 0u);
+  EXPECT_EQ(sim.glitchesGenerated(), 0u);
+}
+
+TEST(EventSimSession, ViolationListMatchesFromZeroScanOnLongSim) {
+  // Long-run regression for the windowed (binary-search) setup/hold check:
+  // the recorded violation list must equal the quadratic reference that
+  // rescans the D waveform from zero at every capture edge.
+  Netlist nl;
+  const NetId d = nl.addPI("d");
+  const NetId q1 = nl.addNet("q1");
+  const NetId q2 = nl.addNet("q2");
+  const GateId f1 = nl.addGate(CellKind::kDff, {d}, q1);
+  const GateId f2 = nl.addGate(CellKind::kDff, {d}, q2);
+  nl.markPO(q1);
+  nl.markPO(q2);
+
+  EventSimConfig cfg;
+  cfg.clockPeriod = ns(2);
+  cfg.simTime = ns(600);  // 300 capture edges per flop
+  EventSim sim(nl, cfg);
+  sim.setInitialInput(d, Logic::F);
+  sim.setClockArrival(f1, 0);
+  sim.setClockArrival(f2, 137);
+  Logic v = Logic::F;
+  for (Ps t = 313; t < cfg.simTime; t += 313) {
+    v = logicNot(v);
+    sim.drive(d, t, v);
+  }
+  sim.run();
+
+  // Reference: linear from-zero scan per capture edge, in Q-commit order.
+  const auto& trs = sim.wave(d).transitions();
+  struct EdgeRec {
+    Ps commit;
+    Ps edge;
+    GateId flop;
+  };
+  std::vector<EdgeRec> edges;
+  const std::pair<GateId, Ps> flopArrival[] = {{f1, 0}, {f2, 137}};
+  for (const auto& [flop, arrival] : flopArrival) {
+    for (Ps edge = arrival + cfg.clockPeriod;
+         edge < cfg.simTime && edge + lib().clkToQ() < cfg.simTime;
+         edge += cfg.clockPeriod)
+      edges.push_back({edge + lib().clkToQ(), edge, flop});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeRec& a, const EdgeRec& b) { return a.commit < b.commit; });
+  std::vector<TimingViolation> expect;
+  for (const EdgeRec& e : edges) {
+    for (const Transition& tr : trs) {  // from zero, on purpose
+      if (tr.time <= e.edge - lib().setupTime()) continue;
+      if (tr.time < e.edge + lib().holdTime())
+        expect.push_back({e.flop, e.edge, tr.time <= e.edge});
+      break;
+    }
+  }
+  ASSERT_GT(expect.size(), 20u);  // the stimulus genuinely hits windows
+  EXPECT_EQ(sim.violations(), expect);
 }
 
 TEST(EventSimProperties, ReconvergentGlitchGeneration) {

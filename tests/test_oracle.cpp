@@ -5,6 +5,7 @@
 #include "benchgen/synthetic_bench.h"
 #include "flow/gk_flow.h"
 #include "netlist/netlist_ops.h"
+#include "runtime/pool.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
 
@@ -95,6 +96,58 @@ TEST(TimingOracle, WrongKeyCapturesInvertedAtGkFlop) {
   }
   EXPECT_GT(total, 0);
   EXPECT_EQ(inverted, total);  // every clean capture is inverted
+}
+
+TEST(TimingOracle, QueryBatchMatchesSerialQueriesOnAnyPool) {
+  LockedFixture f;
+  TimingOracle chip(f.locked.design.netlist, f.locked.clockArrival,
+                    f.locked.design.keyInputs, f.locked.design.correctKey,
+                    f.locked.clockPeriod, f.orig.flops().size());
+  Rng rng(11);
+  std::vector<TimingOracle::Query> qs(24);
+  for (auto& q : qs) {
+    q.piValues.resize(chip.numDataPIs());
+    q.state.resize(chip.numSharedFlops());
+    for (Logic& v : q.piValues) v = logicFromBool(rng.flip());
+    for (Logic& v : q.state) v = logicFromBool(rng.flip());
+  }
+
+  std::vector<TimingOracle::Capture> serial;
+  for (const auto& q : qs) serial.push_back(chip.query(q.piValues, q.state));
+
+  // Byte-identical results regardless of how the batch is scheduled: the
+  // global pool, an explicit serial pool, and an oversubscribed one.
+  const auto viaGlobal = chip.queryBatch(qs);
+  runtime::ThreadPool one(1);
+  const auto viaOne = chip.queryBatch(qs, &one);
+  runtime::ThreadPool four(4);
+  const auto viaFour = chip.queryBatch(qs, &four);
+  EXPECT_EQ(viaGlobal, serial);
+  EXPECT_EQ(viaOne, serial);
+  EXPECT_EQ(viaFour, serial);
+  EXPECT_EQ(chip.numQueries(), 4u * qs.size());
+}
+
+TEST(TimingOracle, RepeatedQueriesThroughRecycledSessionAreDeterministic) {
+  // The cached query() session must leak nothing between queries: the
+  // same stimulus gives the same capture no matter what ran in between.
+  LockedFixture f;
+  TimingOracle chip(f.locked.design.netlist, f.locked.clockArrival,
+                    f.locked.design.keyInputs, f.locked.design.correctKey,
+                    f.locked.clockPeriod, f.orig.flops().size());
+  Rng rng(12);
+  std::vector<Logic> pisA(chip.numDataPIs()), stateA(chip.numSharedFlops());
+  std::vector<Logic> pisB(chip.numDataPIs()), stateB(chip.numSharedFlops());
+  for (Logic& v : pisA) v = logicFromBool(rng.flip());
+  for (Logic& v : stateA) v = logicFromBool(rng.flip());
+  for (Logic& v : pisB) v = logicFromBool(rng.flip());
+  for (Logic& v : stateB) v = logicFromBool(rng.flip());
+
+  const auto first = chip.query(pisA, stateA);
+  const auto other = chip.query(pisB, stateB);  // dirty the session
+  const auto again = chip.query(pisA, stateA);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(other, chip.query(pisB, stateB));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "benchgen/synthetic_bench.h"
 #include "flow/placement.h"
 #include "sim/event_sim.h"
@@ -156,6 +158,37 @@ TEST(Sta, DelayElementsAreHonored) {
   const StaResult r = sta.run();
   EXPECT_EQ(r.maxArrival[y], 3000);
   EXPECT_EQ(r.minArrival[y], 3000);
+}
+
+TEST(Sta, FlopIndexLookupScalesToHugeRegisterFiles) {
+  // Regression for the O(F^2) flop-index lookup: setting and reading the
+  // clock arrival of every flop in a 60k-DFF shift register must be fast.
+  // The old per-call std::find over flops() needed ~3.6e9 comparisons
+  // here (tens of seconds); the one-time map does it in milliseconds.
+  constexpr int kFlops = 60000;
+  Netlist nl;
+  NetId cur = nl.addPI("d");
+  for (int i = 0; i < kFlops; ++i) {
+    const NetId q = nl.addNet();
+    nl.addGate(CellKind::kDff, {cur}, q);
+    cur = q;
+  }
+  nl.markPO(cur);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Sta sta(nl, StaConfig{ns(10), 0});
+  Ps expect = 0;
+  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+    const Ps t = static_cast<Ps>((i % 7) * 10);
+    sta.setClockArrival(nl.flops()[i], t);
+    expect += t;
+  }
+  Ps sum = 0;
+  for (GateId ff : nl.flops()) sum += sta.clockArrival(ff);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(sum, expect);
+  EXPECT_LT(elapsed.count(), 5000) << "flop-index lookup is not O(1)";
 }
 
 TEST(Sta, StaIsConservativeAgainstEventSim) {
