@@ -24,9 +24,10 @@
 #include "util/rng.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_ablation_corruption");
+  gkll::bench::Reporter rep("ablation_corruption");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
   const int kTrials = 10;

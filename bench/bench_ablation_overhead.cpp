@@ -16,9 +16,10 @@
 #include "flow/synth.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_ablation_overhead");
+  gkll::bench::Reporter rep("ablation_overhead");
   using namespace gkll;
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Netlist host = generateByName("s5378");

@@ -17,11 +17,12 @@
 #include "lock/sarlock.h"
 #include "lock/xor_lock.h"
 #include "netlist/netlist_ops.h"
+#include "scenario_driver.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_appsat");
+  gkll::bench::Reporter rep("appsat");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
   const CombExtraction oracle = extractCombinational(host);
@@ -38,8 +39,11 @@ int main() {
     const CombExtraction comb = extractCombinational(lockedSeq);
     std::vector<NetId> keys;
     for (NetId k : keyNets) keys.push_back(comb.netMap[k]);
+    const double t0 = runtime::wallMsNow();
     const AppSatResult r =
         appSatAttack(comb.netlist, keys, oracle.netlist, opt);
+    rep.sample("attack_wall_ms", runtime::wallMsNow() - t0);
+    rep.sample("attack_dips", r.dips);
     t.row({label, fmtI(r.dips), fmtI(r.reconciliations),
            r.succeeded ? "YES — LOCK BROKEN"
                        : (r.keyConstraintsUnsat ? "no (observations UNSAT)"
@@ -67,8 +71,11 @@ int main() {
     eo.numGks = 4;
     const GkFlowResult locked = enc.encrypt(eo);
     const auto surf = enc.attackSurface(locked);
+    const double t0 = runtime::wallMsNow();
     const AppSatResult r =
         appSatAttack(surf.comb, surf.gkKeys, surf.oracleComb, opt);
+    rep.sample("attack_wall_ms", runtime::wallMsNow() - t0);
+    rep.sample("attack_dips", r.dips);
     t.row({"GK (this paper), 4 GKs", fmtI(r.dips), fmtI(r.reconciliations),
            r.succeeded ? "YES — LOCK BROKEN"
                        : (r.keyConstraintsUnsat ? "no (observations UNSAT)"

@@ -14,9 +14,10 @@
 #include "timing/sta.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_enhanced_sat");
+  gkll::bench::Reporter rep("enhanced_sat");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
 

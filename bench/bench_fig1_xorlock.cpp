@@ -13,9 +13,10 @@
 #include "sim/logic_sim.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig1_xorlock");
+  gkll::bench::Reporter rep("fig1_xorlock");
   using namespace gkll;
 
   const Netlist original = makeC17();

@@ -18,9 +18,10 @@
 #include "sim/event_sim.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig2_tdk");
+  gkll::bench::Reporter rep("fig2_tdk");
   using namespace gkll;
   const Netlist original = generateByName("s1238");
 

@@ -16,9 +16,10 @@
 #include "sim/waveform.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig4_gk_waveform");
+  gkll::bench::Reporter rep("fig4_gk_waveform");
   using namespace gkll;
 
   // Standalone GK: x and key are primary inputs.

@@ -12,9 +12,10 @@
 #include "sim/event_sim.h"
 #include "sim/waveform.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig6_keygen");
+  gkll::bench::Reporter rep("fig6_keygen");
   using namespace gkll;
   const Ps tclk = ns(10);
 

@@ -24,9 +24,8 @@
 #include "util/table.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig7_scenarios");
+  gkll::bench::Reporter rep("fig7");
   using namespace gkll;
-  runtime::BenchJson json("fig7");
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const Ps tclk = ns(8);
   const Ps glitchLen = ns(1);
@@ -84,7 +83,7 @@ int main() {
     return out;
   };
   const std::vector<Outcome> outcomes =
-      bench::dualRun<Outcome>(std::size(scenarios), scenario, json);
+      bench::dualRun<Outcome>(std::size(scenarios), scenario, rep);
 
   Table t("Fig. 7 — capture results for the four scenarios (x = 1, Tclk = 8 ns)");
   t.header({"Scenario", "key transition", "captured Q", "violations",

@@ -28,9 +28,8 @@
 #include "util/table.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_fig9_windows");
+  gkll::bench::Reporter rep("fig9");
   using namespace gkll;
-  runtime::BenchJson json("fig9");
 
   // --- analytic part: the paper's idealised numbers -------------------------
   {
@@ -98,7 +97,7 @@ int main() {
     return smp;
   };
   const std::vector<Sample> samples =
-      bench::dualRun<Sample>(steps, scenario, json);
+      bench::dualRun<Sample>(steps, scenario, rep);
 
   std::printf("Simulated sweep (x=1, real 0.13um library, glitch %s):\n",
               fmtNs(glitchLen).c_str());

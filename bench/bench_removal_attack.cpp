@@ -19,9 +19,10 @@
 #include "netlist/netlist_ops.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_removal_attack");
+  gkll::bench::Reporter rep("removal_attack");
   using namespace gkll;
   const Netlist host = generateByName("s1238");
   const CombExtraction oracle = extractCombinational(host);

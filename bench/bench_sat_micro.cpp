@@ -18,6 +18,7 @@
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
+#include "scenario_driver.h"
 
 namespace gkll {
 namespace {
@@ -230,7 +231,7 @@ BENCHMARK(BM_EventSimCycle);
 // GKLL_TRACE=1 the solver/sim counters accumulated across all iterations
 // land in bench_sat_micro.metrics.jsonl for trajectory tracking.
 int main(int argc, char** argv) {
-  gkll::obs::BenchTelemetry telemetry("bench_sat_micro");
+  gkll::bench::Reporter rep("sat_micro");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -12,9 +12,10 @@
 #include "core/gk_encryptor.h"
 #include "util/table.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_scan_attack");
+  gkll::bench::Reporter rep("scan_attack");
   using namespace gkll;
 
   Table t("scan-chain probing of GK-encrypted flops (s1238, 4 GKs)");

@@ -16,6 +16,7 @@
 #include "core/gk_encryptor.h"
 #include "netlist/compiled.h"
 #include "obs/telemetry.h"
+#include "scenario_driver.h"
 #include "runtime/pool.h"
 #include "runtime/sweep.h"
 #include "sim/event_sim.h"
@@ -199,8 +200,8 @@ void measureBatchIdentity(const LockedBench& lb, runtime::BenchJson& json) {
 }  // namespace gkll
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_sim_micro");
-  gkll::runtime::BenchJson json("sim_micro");
+  gkll::bench::Reporter rep("sim_micro");
+  gkll::runtime::BenchJson& json = rep.json();
   gkll::measureSimThroughput(json);
   // Oracle throughput runs on s1238 (a Table-1 design): the session win is
   // the ratio of per-query construction overhead to per-query sim work, so

@@ -27,9 +27,8 @@
 #include "util/table.h"
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_table1");
+  gkll::bench::Reporter rep("table1");
   using namespace gkll;
-  runtime::BenchJson json("table1");
   const CellLibrary& lib = CellLibrary::tsmc013c();
   const std::vector<BenchSpec>& specs = iwls2005Specs();
 
@@ -75,7 +74,7 @@ int main() {
         100.0 * static_cast<double>(avail) / static_cast<double>(st.numFFs);
     return row;
   };
-  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, json);
+  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, rep);
 
   Table t("TABLE I — the number of available FFs for encryption (1 ns on-glitch GK)");
   t.header({"Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]",

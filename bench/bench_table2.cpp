@@ -35,9 +35,8 @@ struct Config {
 }  // namespace
 
 int main() {
-  gkll::obs::BenchTelemetry telemetry("bench_table2");
+  gkll::bench::Reporter rep("table2");
   using namespace gkll;
-  runtime::BenchJson json("table2");
   const Config configs[] = {
       {"4 GKs, 8 key-inputs", 4, 0},
       {"8 GKs, 16 key-inputs", 8, 0},
@@ -73,7 +72,7 @@ int main() {
     }
     return row;
   };
-  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, json);
+  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, rep);
 
   Table t("TABLE II — overhead after inserting different numbers of GKs"
           " (cell OH % / area OH %)");
@@ -140,7 +139,7 @@ int main() {
     std::printf("packed-eval throughput (s5378 comb): %.3g patterns/sec\n",
                 pps);
     obs::record("sim.packed.patterns_per_sec", pps);
-    json.set("packed_patterns_per_sec", pps);
+    rep.json().set("packed_patterns_per_sec", pps);
   }
   return 0;
 }

@@ -11,12 +11,28 @@
 // two result vectors are compared for equality, and serial/parallel wall
 // time, speedup, thread count and the identity verdict all land in the
 // bench's BENCH_<name>.json.
+//
+// Reporter is the one output path every bench binary goes through: it owns
+// the BENCH_<name>.json writer, the obs::BenchTelemetry hook (metrics
+// JSONL + Chrome trace when GKLL_TRACE is on), exact per-scenario
+// percentile fields, live progress, and per-scenario "scenario.done"
+// run-journal records keyed "<bench>/<index>" — the completed-work keys a
+// resuming sweep consumes.  Because every bench reports through it, every
+// BENCH_*.json is parseable by gkll_report with comparable field names.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/journal.h"
+#include "obs/progress.h"
+#include "obs/telemetry.h"
 #include "runtime/parallel.h"
 #include "runtime/pool.h"
 #include "runtime/sweep.h"
@@ -60,6 +76,86 @@ std::vector<R> dualRun(std::size_t n, Fn&& fn, runtime::BenchJson& json) {
   json.set("speedup", parallelMs > 0 ? serialMs / parallelMs : 1.0);
   json.set("parallel_identical", identical ? 1.0 : 0.0);
   return parallel;
+}
+
+/// The unified bench output harness.  Construct first thing in main();
+/// destruction order does the rest: ~Reporter folds the accumulated
+/// samples into the JSON fields, then ~BenchJson writes BENCH_<name>.json,
+/// then ~BenchTelemetry (when tracing) writes the metrics JSONL and the
+/// Chrome trace.
+class Reporter {
+ public:
+  explicit Reporter(const std::string& name)
+      : telemetry_(name), json_(name) {}
+  ~Reporter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [metric, vals] : samples_) {
+      std::sort(vals.begin(), vals.end());
+      json_.set(metric + "_count", static_cast<double>(vals.size()));
+      double sum = 0;
+      for (const double v : vals) sum += v;
+      json_.set(metric + "_mean", sum / static_cast<double>(vals.size()));
+      auto pct = [&](double p) {
+        const std::size_t idx = std::min(
+            vals.size() - 1,
+            static_cast<std::size_t>(p * static_cast<double>(vals.size())));
+        return vals[idx];
+      };
+      json_.set(metric + "_p50", pct(0.50));
+      json_.set(metric + "_p90", pct(0.90));
+      json_.set(metric + "_p99", pct(0.99));
+    }
+  }
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  runtime::BenchJson& json() { return json_; }
+  const std::string& name() const { return json_.name(); }
+
+  /// Accumulate one per-scenario observation of `metric`; the destructor
+  /// publishes exact (sorted, not sketched) count/mean/p50/p90/p99 fields
+  /// named "<metric>_p50" etc.  Thread-safe; also mirrored into the obs
+  /// histogram "<bench>.<metric>" when tracing is on.
+  void sample(const std::string& metric, double v) {
+    if (obs::enabled()) obs::histRecord(name() + "." + metric, v);
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_[metric].push_back(v);
+  }
+
+ private:
+  obs::BenchTelemetry telemetry_;
+  runtime::BenchJson json_;
+  std::mutex mu_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+/// dualRun through the unified Reporter: everything the BenchJson overload
+/// records, plus per-scenario wall-time samples (both passes — serial and
+/// parallel populations pooled into one cost distribution), a live
+/// progress line, and one "scenario.done" journal record per scenario
+/// keyed "<bench>/<index>" (written serially after the runs, so journal
+/// order is deterministic).
+template <class R, class Fn>
+std::vector<R> dualRun(std::size_t n, Fn&& fn, Reporter& rep) {
+  obs::ProgressReporter progress(
+      rep.name(), {.total = 2 * static_cast<std::uint64_t>(n),
+                   .units = "scenarios"});
+  auto timed = [&](std::size_t i) {
+    const double t0 = runtime::wallMsNow();
+    R r = fn(i);
+    rep.sample("scenario_wall_ms", runtime::wallMsNow() - t0);
+    progress.tick();
+    return r;
+  };
+  std::vector<R> out = dualRun<R>(n, timed, rep.json());
+  if (obs::journalEnabled()) {
+    for (std::size_t i = 0; i < n; ++i)
+      obs::journalRecord("scenario.done")
+          .str("key", rep.name() + "/" + std::to_string(i))
+          .str("bench", rep.name())
+          .i64("index", static_cast<std::int64_t>(i));
+  }
+  return out;
 }
 
 }  // namespace gkll::bench

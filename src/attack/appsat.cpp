@@ -5,6 +5,8 @@
 
 #include "attack/oracle.h"
 #include "lock/locking.h"
+#include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "runtime/parallel.h"
 #include "sat/cnf.h"
@@ -182,9 +184,11 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     return key;
   };
 
+  obs::ProgressReporter progress("appsat", {.units = "dips"});
   for (int it = 0; it < opt.maxIterations; ++it) {
     obs::Span iter("attack.appsat.iter");
     iter.arg("iter", it);
+    const sat::SolverStats statsBefore = s.stats();
     const Result miter = s.solve();
     if (miter != Result::kSat) break;  // UNSAT (converged) or budget out
     ++res.dips;
@@ -195,6 +199,18 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     iter.arg("dips", res.dips);
     iter.arg("cnf_vars", s.numVars());
     iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
+    progress.tick();
+    if (obs::journalEnabled()) {
+      const sat::SolverStats& st = s.stats();
+      obs::journalRecord("attack.appsat.dip")
+          .i64("iter", it)
+          .i64("dips", res.dips)
+          .i64("conflicts",
+               static_cast<std::int64_t>(st.conflicts - statsBefore.conflicts))
+          .i64("props", static_cast<std::int64_t>(st.propagations -
+                                                  statsBefore.propagations))
+          .i64("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
+    }
     if (ks.solve() == Result::kUnsat) {
       res.keyConstraintsUnsat = true;
       return res;
@@ -207,6 +223,14 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     // the pool, disagreeing lanes unpacked and fed back as constraints.
     const int fails = runBatches(key, opt.randomQueries, true);
     const double err = static_cast<double>(fails) / opt.randomQueries;
+    if (obs::journalEnabled()) {
+      obs::journalRecord("attack.appsat.reconcile")
+          .i64("iter", it)
+          .i64("dips", res.dips)
+          .i64("queries", opt.randomQueries)
+          .i64("fails", fails)
+          .f64("error_rate", err);
+    }
     if (err <= opt.errorThreshold) {
       res.succeeded = true;
       res.approximateKey = key;
@@ -259,6 +283,15 @@ AppSatResult appSatAttack(const Netlist& lockedComb,
                static_cast<std::uint64_t>(res.reconciliations));
     obs::record("attack.appsat.dips_per_run", res.dips);
     if (res.succeeded) obs::record("attack.appsat.error_rate", res.errorRate);
+  }
+  if (obs::journalEnabled()) {
+    obs::journalRecord("attack.appsat.done")
+        .hex("netlist_hash", lockedComb.contentHash())
+        .i64("dips", res.dips)
+        .i64("reconciliations", res.reconciliations)
+        .boolean("succeeded", res.succeeded)
+        .boolean("exactly_correct", res.exactlyCorrect)
+        .f64("error_rate", res.errorRate);
   }
   return res;
 }

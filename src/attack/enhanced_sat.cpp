@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
+#include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sat/cnf.h"
 #include "util/rng.h"
@@ -76,19 +79,37 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
   probeSpan.arg("samples", opt.samples);
   Rng rng(opt.seed);
   std::vector<Sample> samples;
+  obs::ProgressReporter progress(
+      "enhanced-sat probe",
+      {.total = static_cast<std::uint64_t>(opt.samples), .units = "queries"});
   for (int s = 0; s < opt.samples; ++s) {
     Sample smp;
     smp.pis.resize(numPIs);
     smp.state.resize(numState);
     for (Logic& v : smp.pis) v = logicFromBool(rng.flip());
     for (Logic& v : smp.state) v = logicFromBool(rng.flip());
+    const auto t0 = std::chrono::steady_clock::now();
     smp.cap = chip.query(smp.pis, smp.state);
+    obs::histRecord(
+        "attack.oracle.us",
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
     samples.push_back(std::move(smp));
+    progress.tick();
   }
+  progress.done();
   res.samplesUsed = opt.samples;
   probeSpan.end();
   obs::count("attack.enhanced_sat.samples",
              static_cast<std::uint64_t>(opt.samples));
+  if (obs::journalEnabled()) {
+    obs::journalRecord("attack.enhanced_sat.probe")
+        .i64("samples", opt.samples)
+        .i64("data_pis", static_cast<std::int64_t>(numPIs))
+        .i64("state_bits", static_cast<std::int64_t>(numState));
+  }
 
   auto observedOf = [&](const Sample& smp) {
     std::vector<Logic> obs = smp.cap.poValues;
@@ -119,6 +140,15 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
     }
   }
 
+  auto journalDone = [&] {
+    if (!obs::journalEnabled()) return;
+    obs::journalRecord("attack.enhanced_sat.done")
+        .hex("netlist_hash", lockedComb.contentHash())
+        .i64("samples", res.samplesUsed)
+        .boolean("model_consistent", res.modelConsistent)
+        .i64("inexplicable_bits", res.inexplicableBits);
+  };
+
   // Main question: is there any constant key under which the stable-value
   // timed model reproduces every observation?
   {
@@ -134,6 +164,7 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
       res.modelConsistent = true;
       for (std::size_t i = 0; i < keyInputs.size(); ++i)
         res.recoveredKey.push_back(s.modelValue(keyVars[i]) ? 1 : 0);
+      journalDone();
       return res;
     }
   }
@@ -163,6 +194,7 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
     obs::count("attack.enhanced_sat.inexplicable_bits",
                static_cast<std::uint64_t>(res.inexplicableBits));
   }
+  journalDone();
   return res;
 }
 

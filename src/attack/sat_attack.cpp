@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "attack/oracle.h"
 #include "lock/locking.h"
+#include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sat/cnf.h"
 
@@ -113,8 +116,17 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
   std::vector<PackedBits> foldedNets;
   sat::ConstVars sConsts, ksConsts;
 
+  // Microseconds the last oracle query took — the quantity the paper's
+  // attack-cost model charges per DIP, so it gets its own histogram and a
+  // field in every journal record.
+  std::int64_t lastOracleUs = 0;
   auto constrainWithOracle = [&](const std::vector<Logic>& dip) {
+    const auto t0 = std::chrono::steady_clock::now();
     const std::vector<Logic> y = oracle.query(dip);
+    lastOracleUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    obs::histRecord("attack.oracle.us", static_cast<double>(lastOracleUs));
 
     std::size_t di = 0;
     for (std::size_t i = 0; i < foldIn.size(); ++i)
@@ -155,11 +167,13 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
       res.cnfClausesPerDip = static_cast<double>(dipClauses) / res.dips;
     }
   };
+  obs::ProgressReporter progress("sat-attack", {.units = "dips"});
   for (int it = 0; it < opt.maxIterations; ++it) {
     // One span per iteration: miter solve + oracle query + key-solver check,
     // annotated with the running DIP count and the miter CNF's growth.
     obs::Span iter("attack.sat.iter");
     iter.arg("iter", it);
+    const sat::SolverStats statsBefore = s.stats();
     const Result miter = s.solve();
     if (miter == Result::kUnknown) {
       markStopped(s);
@@ -187,6 +201,26 @@ SatAttackResult satAttackImpl(const Netlist& lockedComb,
     iter.arg("dips", res.dips);
     iter.arg("cnf_vars", s.numVars());
     iter.arg("cnf_clauses", static_cast<std::int64_t>(s.numClauses()));
+    progress.tick();
+    if (obs::journalEnabled()) {
+      const sat::SolverStats& st = s.stats();
+      const std::uint64_t learnt = st.learnedClauses - statsBefore.learnedClauses;
+      const std::uint64_t lbdSum = st.sumLearnedLbd - statsBefore.sumLearnedLbd;
+      obs::journalRecord("attack.sat.dip")
+          .i64("iter", it)
+          .i64("dips", res.dips)
+          .i64("conflicts",
+               static_cast<std::int64_t>(st.conflicts - statsBefore.conflicts))
+          .i64("props", static_cast<std::int64_t>(st.propagations -
+                                                  statsBefore.propagations))
+          .i64("learned", static_cast<std::int64_t>(learnt))
+          .f64("mean_lbd", learnt > 0 ? static_cast<double>(lbdSum) /
+                                            static_cast<double>(learnt)
+                                      : 0.0)
+          .i64("cnf_vars", s.numVars())
+          .i64("cnf_clauses", static_cast<std::int64_t>(s.numClauses()))
+          .i64("oracle_us", lastOracleUs);
+    }
     const Result keyCheck = ks.solve();
     if (keyCheck == Result::kUnknown) {
       markStopped(ks);
@@ -262,6 +296,19 @@ SatAttackResult satAttack(const Netlist& lockedComb,
     if (res.deadlineExceeded) obs::count("attack.sat.deadline_exceeded");
     if (res.canceled) obs::count("attack.sat.canceled");
     if (res.decrypted) obs::count("attack.sat.decrypted");
+  }
+  if (obs::journalEnabled()) {
+    obs::journalRecord("attack.sat.done")
+        .hex("netlist_hash", lockedComb.contentHash())
+        .i64("keys", static_cast<std::int64_t>(keyInputs.size()))
+        .i64("dips", res.dips)
+        .boolean("converged", res.converged)
+        .boolean("decrypted", res.decrypted)
+        .boolean("key_constraints_unsat", res.keyConstraintsUnsat)
+        .boolean("budget_exhausted", res.budgetExhausted)
+        .i64("conflicts", static_cast<std::int64_t>(res.solverStats.conflicts))
+        .i64("learned",
+             static_cast<std::int64_t>(res.solverStats.learnedClauses));
   }
   return res;
 }

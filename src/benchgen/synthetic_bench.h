@@ -43,7 +43,8 @@ const std::vector<BenchSpec>& iwls2005Specs();
 /// Generate the circuit for a spec (deterministic in spec.seed).
 Netlist generateBenchmark(const BenchSpec& spec);
 
-/// Convenience: generate one of the seven by name; aborts on unknown name.
+/// Convenience: generate one of the seven by name ("c17" and "toyseq"
+/// answer too); aborts on unknown name.
 Netlist generateByName(const std::string& name);
 
 /// The classic ISCAS-85 c17 netlist (6 NAND2 gates) — handy unit-test prey.

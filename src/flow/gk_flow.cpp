@@ -7,6 +7,7 @@
 #include "flow/synth.h"
 #include "lock/xor_lock.h"
 #include "netlist/netlist_ops.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
@@ -135,6 +136,11 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
     res.karmakarFfs = group.size();
     selSpan.arg("available_ffs", static_cast<std::int64_t>(res.availableFfs));
     selSpan.arg("karmakar_ffs", static_cast<std::int64_t>(res.karmakarFfs));
+    if (obs::journalEnabled()) {
+      obs::journalRecord("flow.gk.ff_select")
+          .i64("available_ffs", static_cast<std::int64_t>(res.availableFfs))
+          .i64("karmakar_ffs", static_cast<std::int64_t>(res.karmakarFfs));
+    }
   }
 
   // --- host selection: prefer the Karmakar group, then other available -----
@@ -217,6 +223,12 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
 
   insertSpan.end();
   obs::count("flow.gk.inserted", hosts.size());
+  if (obs::journalEnabled()) {
+    obs::journalRecord("flow.gk.insert")
+        .i64("hosts", static_cast<std::int64_t>(hosts.size()))
+        .i64("key_bits", static_cast<std::int64_t>(res.design.keyInputs.size()))
+        .i64("hybrid_xor_keys", static_cast<std::int64_t>(xorKeys.size()));
+  }
 
   // Append the hybrid XOR keys after the GK keys.
   res.design.keyInputs.insert(res.design.keyInputs.end(), xorKeys.begin(),
@@ -277,13 +289,35 @@ GkFlowResult runGkFlow(const Netlist& original, const GkFlowOptions& opt) {
   std::set<GateId> banned;
   GkFlowResult res;
 
+  if (obs::journalEnabled()) {
+    obs::journalRecord("flow.gk.start")
+        .hex("netlist_hash", original.contentHash())
+        .str("design", original.name())
+        .i64("num_gks", opt.numGks)
+        .i64("hybrid_xor_keys", opt.hybridXorKeys);
+  }
+  auto journalAttempt = [&](int round) {
+    if (!obs::journalEnabled()) return;
+    obs::journalRecord("flow.gk.attempt")
+        .i64("round", round)
+        .i64("inserted", static_cast<std::int64_t>(res.insertions.size()))
+        .i64("true_violations", res.trueViolations)
+        .i64("false_violations", res.falseViolations)
+        .i64("po_mismatches", res.verify.poMismatches)
+        .i64("state_mismatches", res.verify.stateMismatches)
+        .f64("area_overhead_pct", res.areaOverheadPct);
+  };
+
   for (int round = 0; round <= opt.maxRepairRounds; ++round) {
     obs::Span attemptSpan("flow.gk.attempt");
     attemptSpan.arg("round", round);
     obs::count("flow.gk.attempts");
     res = buildAttempt(original, opt, banned, rng);
     res.repairRounds = round;
-    if (res.insertions.empty()) return res;
+    if (res.insertions.empty()) {
+      journalAttempt(round);
+      return res;
+    }
 
     VerifyOptions vo;
     vo.clockPeriod = res.clockPeriod;
@@ -294,6 +328,7 @@ GkFlowResult runGkFlow(const Netlist& original, const GkFlowOptions& opt) {
         verifySequential(original, res.design.netlist, original.flops().size(),
                          res.clockArrival, res.design.keyInputs,
                          res.design.correctKey, vo);
+    journalAttempt(round);
     if (res.verify.ok() && res.trueViolations == 0) return res;
 
     // Repair: ban the hosts implicated by the earliest mismatch (the flop

@@ -209,4 +209,50 @@ NetlistStats Netlist::stats(const CellLibrary& lib) const {
   return s;
 }
 
+std::uint64_t Netlist::contentHash() const {
+  // FNV-1a, folded over every structural feature in a fixed traversal
+  // order.  No pointers, no map iteration order — runs on the same design
+  // always agree; tombstoned gates hash as a fixed marker so removal
+  // attacks change the hash without depending on vector compaction.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mixStr = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xFF;  // terminator: "ab","c" != "a","bc"
+    h *= 0x100000001b3ULL;
+  };
+  mixStr(name_);
+  mix(nets_.size());
+  mix(gates_.size());
+  for (const Net& n : nets_) {
+    mixStr(n.name);
+    mix(static_cast<std::uint64_t>(n.wireDelay));
+  }
+  for (const Gate& g : gates_) {
+    if (g.out == kNoNet && g.fanin.empty()) {  // tombstone
+      mix(~0ULL);
+      continue;
+    }
+    mix(static_cast<std::uint64_t>(g.kind));
+    mix(g.drive);
+    mix(g.out);
+    mix(g.fanin.size());
+    for (const NetId f : g.fanin) mix(f);
+    mix(static_cast<std::uint64_t>(g.delayPs));
+    mix(g.lutMask);
+  }
+  for (const NetId n : pis_) mix(n);
+  for (const NetId n : pos_) mix(n);
+  for (const GateId g : ffs_) mix(g);
+  return h;
+}
+
 }  // namespace gkll

@@ -149,6 +149,13 @@ class Netlist {
   /// Size and area statistics against the given library.
   NetlistStats stats(const CellLibrary& lib = CellLibrary::tsmc013c()) const;
 
+  /// Structural content hash (FNV-1a over gates, connectivity, PI/PO/FF
+  /// order and net names).  Stable across process runs for the same
+  /// netlist; any resynthesis, relock or rename changes it.  The run
+  /// journal stamps this into its header so a replayed journal can be
+  /// matched to the design it came from.
+  std::uint64_t contentHash() const;
+
  private:
   std::string name_;
   std::vector<Net> nets_;

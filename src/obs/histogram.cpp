@@ -1,0 +1,245 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace gkll::obs {
+
+namespace {
+
+std::atomic<int> g_nextSlot{0};
+
+// -1 = unassigned; otherwise a stable small slot, pinned by
+// registerThreadShard (pool workers) or round-robin on first use.
+thread_local int t_shardSlot = -1;
+
+int thisThreadSlot() {
+  if (t_shardSlot < 0)
+    t_shardSlot = g_nextSlot.fetch_add(1, std::memory_order_relaxed);
+  return t_shardSlot;
+}
+
+std::uint64_t roundToU64(double v) {
+  if (!(v > 0.0)) return 0;  // negatives and NaN clamp to 0
+  if (v >= 9.0e18) return std::uint64_t{1} << 62;
+  return static_cast<std::uint64_t>(std::llround(v));
+}
+
+void atomicMinU64(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMaxU64(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void registerThreadShard(int slot) { t_shardSlot = slot < 0 ? 0 : slot; }
+
+// --- bucket geometry ---------------------------------------------------------
+
+int LogHistogram::bucketOf(std::uint64_t u) {
+  if (u < kSubBuckets) return static_cast<int>(u);
+  const int e = std::bit_width(u) - 1;  // >= kSubBucketBits
+  const int shift = e - kSubBucketBits;
+  const int sub = static_cast<int>((u >> shift) & (kSubBuckets - 1));
+  const int idx = kSubBuckets + shift * kSubBuckets + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t LogHistogram::bucketLo(int idx) {
+  if (idx < kSubBuckets) return static_cast<std::uint64_t>(idx);
+  const int shift = (idx - kSubBuckets) / kSubBuckets;
+  const int sub = (idx - kSubBuckets) % kSubBuckets;
+  return (static_cast<std::uint64_t>(kSubBuckets + sub)) << shift;
+}
+
+std::uint64_t LogHistogram::bucketHi(int idx) {
+  if (idx < kSubBuckets) return static_cast<std::uint64_t>(idx);
+  const int shift = (idx - kSubBuckets) / kSubBuckets;
+  return bucketLo(idx) + ((std::uint64_t{1} << shift) - 1);
+}
+
+double LogHistogram::bucketMid(int idx) {
+  const std::uint64_t lo = bucketLo(idx);
+  const std::uint64_t hi = bucketHi(idx);
+  return static_cast<double>(lo) +
+         static_cast<double>(hi - lo) / 2.0;
+}
+
+// --- shards ------------------------------------------------------------------
+
+LogHistogram::Shard::Shard() {
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+}
+
+LogHistogram::~LogHistogram() {
+  for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+}
+
+LogHistogram::Shard& LogHistogram::shardForThisThread() {
+  const int i = thisThreadSlot() % kShards;
+  Shard* s = shards_[i].load(std::memory_order_acquire);
+  if (s == nullptr) {
+    auto* fresh = new Shard();
+    if (shards_[i].compare_exchange_strong(s, fresh,
+                                           std::memory_order_acq_rel)) {
+      s = fresh;
+    } else {
+      delete fresh;  // lost the allocation race; s holds the winner
+    }
+  }
+  return *s;
+}
+
+void LogHistogram::record(double v) {
+  Shard& s = shardForThisThread();
+  const std::uint64_t u = roundToU64(v);
+  s.counts[bucketOf(u)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomicMinU64(s.min, u);
+  atomicMaxU64(s.max, u);
+  // Clamp the sum the same way the buckets clamp, so mean() stays inside
+  // [min, max] even when callers feed negatives or NaN.
+  atomicAddDouble(s.sum, v > 0.0 ? v : 0.0);
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  Snapshot out;
+  out.buckets.assign(kNumBuckets, 0);
+  out.min = ~0ULL;
+  for (const auto& slot : shards_) {
+    const Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (int b = 0; b < kNumBuckets; ++b)
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s->counts[b].load(std::memory_order_relaxed);
+    out.count += s->count.load(std::memory_order_relaxed);
+    out.sum += s->sum.load(std::memory_order_relaxed);
+    const std::uint64_t mn = s->min.load(std::memory_order_relaxed);
+    const std::uint64_t mx = s->max.load(std::memory_order_relaxed);
+    if (mn < out.min) out.min = mn;
+    if (mx > out.max) out.max = mx;
+  }
+  if (out.count == 0) {
+    out.min = 0;
+    out.buckets.clear();
+  }
+  return out;
+}
+
+std::uint64_t LogHistogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& slot : shards_) {
+    const Shard* s = slot.load(std::memory_order_acquire);
+    if (s != nullptr) n += s->count.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double LogHistogram::quantile(double p) const { return snapshot().quantile(p); }
+
+void LogHistogram::merge(const Snapshot& snap) {
+  if (snap.count == 0) return;
+  // Cross-process merges are rare and cold: fold everything into the
+  // calling thread's shard with the same relaxed atomics record() uses, so
+  // a concurrent recorder never observes torn state.
+  Shard& s = shardForThisThread();
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+    if (snap.buckets[b] != 0)
+      s.counts[b].fetch_add(snap.buckets[b], std::memory_order_relaxed);
+  s.count.fetch_add(snap.count, std::memory_order_relaxed);
+  atomicMinU64(s.min, snap.min);
+  atomicMaxU64(s.max, snap.max);
+  atomicAddDouble(s.sum, snap.sum);
+}
+
+void LogHistogram::resetInPlace() {
+  for (auto& slot : shards_) {
+    Shard* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (auto& c : s->counts) c.store(0, std::memory_order_relaxed);
+    s->count.store(0, std::memory_order_relaxed);
+    s->min.store(~0ULL, std::memory_order_relaxed);
+    s->max.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+double LogHistogram::Snapshot::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double LogHistogram::Snapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the p-quantile, 1-based nearest-rank.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const double v = bucketMid(static_cast<int>(b));
+      return std::clamp(v, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+std::vector<std::pair<double, double>> LogHistogram::Snapshot::cdf(
+    int maxPoints) const {
+  std::vector<std::pair<double, double>> pts;
+  if (count == 0 || maxPoints <= 0) return pts;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    seen += buckets[b];
+    pts.emplace_back(static_cast<double>(bucketHi(static_cast<int>(b))),
+                     static_cast<double>(seen) / static_cast<double>(count));
+  }
+  if (static_cast<int>(pts.size()) > maxPoints) {
+    // Keep an even stride plus the final point (fraction 1.0).
+    std::vector<std::pair<double, double>> keep;
+    keep.reserve(static_cast<std::size_t>(maxPoints));
+    const double stride =
+        static_cast<double>(pts.size()) / static_cast<double>(maxPoints);
+    for (int i = 0; i < maxPoints - 1; ++i)
+      keep.push_back(pts[static_cast<std::size_t>(
+          static_cast<double>(i) * stride)]);
+    keep.push_back(pts.back());
+    pts = std::move(keep);
+  }
+  return pts;
+}
+
+void LogHistogram::Snapshot::add(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) buckets.assign(kNumBuckets, 0);
+  for (std::size_t b = 0; b < other.buckets.size(); ++b)
+    buckets[b] += other.buckets[b];
+  if (count == 0 || other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace gkll::obs

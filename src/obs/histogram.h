@@ -1,0 +1,118 @@
+// Fixed-bucket log-linear histogram (HDR-style), the mergeable sibling of
+// the P² Distribution sketch.
+//
+// Why a second quantile structure: the P² sketch needs a mutex (its marker
+// update is not atomically decomposable) and two sketches from two workers
+// cannot be combined after the fact.  LogHistogram fixes both at the cost
+// of bounded relative error:
+//   - record() is lock-free: a relaxed fetch_add on one bucket of one
+//     shard.  Threads map onto kShards cache-line-padded shards (pool
+//     workers are pinned to their lane's shard via
+//     registerThreadShard(), other threads round-robin), so concurrent
+//     recorders touch disjoint counters in steady state.
+//   - snapshot() merges the shards into a plain Snapshot, and Snapshots
+//     add together — across pool workers, across histograms, and across
+//     *processes* (a future sweep shard ships its Snapshot as the CDF
+//     array the metrics JSONL already carries).
+//
+// Bucketing: values are non-negative (negatives clamp to 0) and rounded
+// to integers.  0..31 are exact unit buckets; above that each power-of-two
+// octave splits into 32 linear sub-buckets, so the relative quantile error
+// is <= 1/32 ~ 3.1% plus rounding.  The top of the range saturates at
+// 2^63-ish — recording microseconds, events, or bytes never gets there.
+//
+// Quantiles (p50/p90/p99/p999) and the CDF are computed on a Snapshot by
+// bucket walk; a bucket reports its midpoint.  Unlike P², results are
+// deterministic for a given multiset of samples, monotone in p by
+// construction, and always within [min, max].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gkll::obs {
+
+/// Pin the calling thread to histogram shard `slot` (modulo kShards) for
+/// every LogHistogram in the process.  The runtime's pool workers call
+/// this with their lane index at startup so each worker owns a shard;
+/// unregistered threads get a round-robin slot on first record.
+void registerThreadShard(int slot);
+
+class LogHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;                 // 32 per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 32
+  static constexpr int kNumBuckets =
+      kSubBuckets + (63 - kSubBucketBits) * kSubBuckets;   // 1888
+  static constexpr int kShards = 16;
+
+  LogHistogram() = default;
+  ~LogHistogram();
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Lock-free: one relaxed fetch_add on the calling thread's shard (plus
+  /// relaxed CAS loops for min/max/sum).  Any number of threads may record
+  /// concurrently with each other and with snapshot().
+  void record(double v);
+
+  /// Bucket index for a value — exposed for tests and the exporter.
+  static int bucketOf(std::uint64_t u);
+  /// Inclusive value range [lo, hi] covered by a bucket.
+  static std::uint64_t bucketLo(int idx);
+  static std::uint64_t bucketHi(int idx);
+  /// The value a bucket reports from quantile(): exact for unit buckets,
+  /// the range midpoint otherwise.
+  static double bucketMid(int idx);
+
+  /// A merged, immutable view.  Snapshots from different histograms,
+  /// threads, or processes combine with add().
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::uint64_t min = 0;  ///< rounded; valid when count > 0
+    std::uint64_t max = 0;
+    std::vector<std::uint64_t> buckets;  ///< size kNumBuckets (or empty)
+
+    double mean() const;
+    /// p in [0,1]; deterministic bucket-midpoint quantile, clamped to
+    /// [min, max].  0 when empty.
+    double quantile(double p) const;
+    /// (upper bound, cumulative fraction) per nonzero bucket, downsampled
+    /// to at most maxPoints entries (the last point is always kept, so the
+    /// curve ends at fraction 1).
+    std::vector<std::pair<double, double>> cdf(int maxPoints = 64) const;
+    /// Pointwise accumulate `other` into this snapshot.
+    void add(const Snapshot& other);
+  };
+
+  Snapshot snapshot() const;
+  std::uint64_t count() const;        ///< total across shards
+  double quantile(double p) const;    ///< snapshot().quantile(p)
+
+  /// Fold a snapshot's counts back in (cross-process merge; the sweep-grid
+  /// aggregation seam).  Not lock-free; concurrent record() is safe.
+  void merge(const Snapshot& s);
+
+  /// Zero every shard in place.  Like Registry::reset(), not a
+  /// synchronisation point: call only while no recorder is running.
+  void resetInPlace();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> counts[kNumBuckets];
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> min{~0ULL};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<double> sum{0.0};
+    Shard();
+  };
+
+  Shard& shardForThisThread();
+
+  mutable std::atomic<Shard*> shards_[kShards] = {};
+};
+
+}  // namespace gkll::obs

@@ -1,0 +1,274 @@
+#include "obs/journal.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/telemetry.h"
+
+namespace gkll::obs {
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendKey(std::string& out, std::string_view key) {
+  out += ",\"";
+  appendEscaped(out, key);
+  out += "\":";
+}
+
+}  // namespace
+
+// --- RunJournal --------------------------------------------------------------
+
+RunJournal& RunJournal::global() {
+  static RunJournal j;
+  static std::once_flag envOnce;
+  std::call_once(envOnce, [] {
+    const char* p = std::getenv("GKLL_JOURNAL");
+    if (p != nullptr && *p != '\0') j.open(p, "env");
+  });
+  return j;
+}
+
+RunJournal::~RunJournal() { close(); }
+
+bool RunJournal::open(const std::string& path, std::string_view tool,
+                      std::uint64_t netlistHash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) return false;
+  path_ = path;
+  seq_ = 0;
+  std::string line = "{\"type\":\"journal.header\",\"schema\":";
+  line += std::to_string(kJournalSchemaVersion);
+  line += ",\"tool\":\"";
+  appendEscaped(line, tool);
+  line += "\"";
+  if (netlistHash != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(netlistHash));
+    line += ",\"netlist_hash\":\"";
+    line += buf;
+    line += "\"";
+  }
+  line += ",\"ts_us\":";
+  line += std::to_string(registry().nowUs());
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fflush(f_);
+  return true;
+}
+
+void RunJournal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+bool RunJournal::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return f_ != nullptr;
+}
+
+RunJournal::Record RunJournal::record(std::string_view type) {
+  return Record(enabled() ? this : nullptr, type);
+}
+
+std::uint64_t RunJournal::recordsWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void RunJournal::append(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ == nullptr) return;  // closed between record() and commit
+  ++seq_;
+  std::fwrite(line.data(), 1, line.size(), f_);
+  // The crash-safety contract: one flush per record, so every record that
+  // reached the reader was complete when written.
+  std::fflush(f_);
+}
+
+// --- RunJournal::Record ------------------------------------------------------
+
+RunJournal::Record::Record(RunJournal* j, std::string_view type) : j_(j) {
+  if (j_ == nullptr) return;
+  line_ = "{\"type\":\"";
+  appendEscaped(line_, type);
+  line_ += "\",\"ts_us\":";
+  line_ += std::to_string(registry().nowUs());
+}
+
+RunJournal::Record::~Record() {
+  if (j_ == nullptr) return;
+  line_ += "}\n";
+  j_->append(line_);
+}
+
+RunJournal::Record& RunJournal::Record::i64(std::string_view key,
+                                            std::int64_t v) {
+  if (j_ == nullptr) return *this;
+  appendKey(line_, key);
+  line_ += std::to_string(v);
+  return *this;
+}
+
+RunJournal::Record& RunJournal::Record::f64(std::string_view key, double v) {
+  if (j_ == nullptr) return *this;
+  appendKey(line_, key);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  line_ += buf;
+  return *this;
+}
+
+RunJournal::Record& RunJournal::Record::str(std::string_view key,
+                                            std::string_view v) {
+  if (j_ == nullptr) return *this;
+  appendKey(line_, key);
+  line_ += '"';
+  appendEscaped(line_, v);
+  line_ += '"';
+  return *this;
+}
+
+RunJournal::Record& RunJournal::Record::boolean(std::string_view key, bool v) {
+  if (j_ == nullptr) return *this;
+  appendKey(line_, key);
+  line_ += v ? "true" : "false";
+  return *this;
+}
+
+RunJournal::Record& RunJournal::Record::hex(std::string_view key,
+                                            std::uint64_t v) {
+  if (j_ == nullptr) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  appendKey(line_, key);
+  line_ += '"';
+  line_ += buf;
+  line_ += '"';
+  return *this;
+}
+
+RunJournal::Record journalRecord(std::string_view type) {
+  return RunJournal::global().record(type);
+}
+
+bool journalEnabled() { return RunJournal::global().enabled(); }
+
+// --- JournalReader -----------------------------------------------------------
+
+bool JournalReader::read(const std::string& path) {
+  records_.clear();
+  truncatedTail_ = false;
+  droppedBytes_ = 0;
+  error_.clear();
+  schema_ = 0;
+
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) {
+    error_ = "empty journal " + path;
+    return false;
+  }
+
+  bool sawHeader = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t lineStart = pos;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated final line: the in-flight record of a crash.
+      truncatedTail_ = true;
+      droppedBytes_ = text.size() - lineStart;
+      break;
+    }
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    util::JsonValue v;
+    std::string perr;
+    if (!parseJson(line, v, &perr) || !v.isObject() ||
+        v.stringOr("type", "").empty()) {
+      // A complete-but-damaged line: append() writes whole lines under a
+      // mutex, so this is torn storage, not interleaving.  Keep the good
+      // prefix, reject this line and everything after it.
+      truncatedTail_ = true;
+      droppedBytes_ = text.size() - lineStart;
+      break;
+    }
+    const std::string type = v.stringOr("type", "");
+    if (!sawHeader) {
+      if (type != "journal.header") {
+        error_ = "journal has no header record";
+        return false;
+      }
+      schema_ = static_cast<int>(v.numberOr("schema", 0));
+      if (schema_ < 1 || schema_ > kJournalSchemaVersion) {
+        error_ = "unsupported journal schema " + std::to_string(schema_);
+        return false;
+      }
+      tool_ = v.stringOr("tool", "");
+      netlistHash_ = v.stringOr("netlist_hash", "");
+      sawHeader = true;
+      continue;
+    }
+    JournalRecord rec;
+    rec.type = type;
+    rec.json = std::move(v);
+    records_.push_back(std::move(rec));
+  }
+  if (!sawHeader) {
+    if (error_.empty()) error_ = "journal has no complete header record";
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> JournalReader::completedScenarios() const {
+  std::vector<std::string> keys;
+  for (const JournalRecord& r : records_) {
+    if (r.type != "scenario.done") continue;
+    std::string key = r.json.stringOr("key", "");
+    if (!key.empty()) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace gkll::obs

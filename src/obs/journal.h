@@ -1,0 +1,153 @@
+// Crash-safe, append-only run journal: the structured record of what a
+// run *did*, as opposed to the aggregate counters of the metrics JSONL.
+//
+// Writer side (RunJournal):
+//   - One JSON object per line, written atomically under a mutex and
+//     fflush()ed per record — after a crash or SIGKILL, every fully
+//     written line is recoverable and at most the in-flight record is
+//     lost.
+//   - The first record is a versioned header: {"type":"journal.header",
+//     "schema":N,"tool":...,"netlist_hash":"0x..."}; readers refuse
+//     journals from a future schema instead of misinterpreting them.
+//   - Gated by the GKLL_JOURNAL environment variable (a file path) or a
+//     programmatic open().  When closed, record() hands out an inert
+//     builder and instrumentation sites cost one branch.
+//   - Producers: per-DIP records from sat_attack/appsat/enhanced_sat,
+//     per-stage records from gk_flow, per-scenario records from the bench
+//     scenario driver.  Every record automatically carries ts_us (the
+//     telemetry time base) and a monotone seq number.
+//
+// Reader side (JournalReader):
+//   - Replays a journal file, validating every complete line as a JSON
+//     object with a "type".  A truncated or corrupt tail — the crash
+//     signature — is rejected cleanly: all records before it are
+//     returned and truncatedTail() reports the damage.
+//   - completedScenarios() extracts the keys of "scenario.done" records:
+//     the seam the distributed sweep grid's checkpoint/resume (ROADMAP
+//     item 5) plugs into to skip already-finished work.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace gkll::obs {
+
+inline constexpr int kJournalSchemaVersion = 1;
+
+class RunJournal {
+ public:
+  /// The process-wide journal.  First use consults GKLL_JOURNAL: when set
+  /// and non-empty, the journal opens at that path with tool name "env".
+  static RunJournal& global();
+
+  RunJournal() = default;
+  ~RunJournal();
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  /// Open (truncating) `path` and write the schema header.  `netlistHash`
+  /// is the content hash of the design under study when the run has a
+  /// single one (0 = omitted; multi-design runs attach hashes per record).
+  bool open(const std::string& path, std::string_view tool,
+            std::uint64_t netlistHash = 0);
+  void close();
+  bool enabled() const;
+
+  /// Fluent single-record builder; the destructor serialises, appends and
+  /// flushes.  Inert (every call a no-op) when the journal is closed, so
+  /// sites write:  obs::journalRecord("attack.sat.dip").i64("iter", i);
+  class Record {
+   public:
+    Record(Record&& o) noexcept : j_(o.j_), line_(std::move(o.line_)) {
+      o.j_ = nullptr;
+    }
+    Record& operator=(Record&&) = delete;
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    ~Record();
+
+    explicit operator bool() const { return j_ != nullptr; }
+
+    Record& i64(std::string_view key, std::int64_t v);
+    Record& f64(std::string_view key, double v);
+    Record& str(std::string_view key, std::string_view v);
+    Record& boolean(std::string_view key, bool v);
+    Record& hex(std::string_view key, std::uint64_t v);  ///< "0x%016x" string
+
+   private:
+    friend class RunJournal;
+    Record(RunJournal* j, std::string_view type);
+
+    RunJournal* j_ = nullptr;
+    std::string line_;
+  };
+
+  Record record(std::string_view type);
+  std::uint64_t recordsWritten() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void append(std::string_view line);
+
+  mutable std::mutex mu_;
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Convenience: RunJournal::global().record(type).
+RunJournal::Record journalRecord(std::string_view type);
+
+/// True when the global journal is open — for sites that want to skip
+/// computing record fields entirely.
+bool journalEnabled();
+
+// --- reader ------------------------------------------------------------------
+
+struct JournalRecord {
+  std::string type;
+  util::JsonValue json;  ///< the whole parsed line
+};
+
+class JournalReader {
+ public:
+  /// Parse `path`.  Returns false (with error() set) only when the file
+  /// is unreadable, empty, or its header is missing/unsupported; a
+  /// damaged *tail* still returns true with truncatedTail() set.
+  bool read(const std::string& path);
+
+  int schema() const { return schema_; }
+  const std::string& tool() const { return tool_; }
+  const std::string& netlistHash() const { return netlistHash_; }
+
+  /// All complete, valid records after the header, in file order.
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// True when the file ended in an unterminated or unparseable line; the
+  /// bytes past the last good record are reported by droppedBytes().
+  bool truncatedTail() const { return truncatedTail_; }
+  std::size_t droppedBytes() const { return droppedBytes_; }
+
+  /// Keys of every "scenario.done" record — the completed-work set a
+  /// resuming sweep skips.
+  std::vector<std::string> completedScenarios() const;
+
+  const std::string& error() const { return error_; }
+
+ private:
+  int schema_ = 0;
+  std::string tool_;
+  std::string netlistHash_;
+  std::vector<JournalRecord> records_;
+  bool truncatedTail_ = false;
+  std::size_t droppedBytes_ = 0;
+  std::string error_;
+};
+
+}  // namespace gkll::obs

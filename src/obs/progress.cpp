@@ -1,0 +1,135 @@
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace gkll::obs {
+
+namespace {
+
+std::int64_t monoUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// "12.3k" / "4.56M" style counts so progress lines stay one line.
+void fmtCount(char* buf, std::size_t n, double v) {
+  if (v >= 1e6)
+    std::snprintf(buf, n, "%.2fM", v / 1e6);
+  else if (v >= 1e4)
+    std::snprintf(buf, n, "%.1fk", v / 1e3);
+  else
+    std::snprintf(buf, n, "%.0f", v);
+}
+
+}  // namespace
+
+bool ProgressReporter::progressAllowed() {
+  const char* e = std::getenv("GKLL_PROGRESS");
+  if (e != nullptr && *e != '\0')
+    return std::strcmp(e, "0") != 0;
+  return isatty(STDERR_FILENO) != 0;
+}
+
+ProgressReporter::ProgressReporter(std::string label, ProgressOptions opt)
+    : label_(std::move(label)),
+      total_(opt.total),
+      units_(opt.units),
+      sink_(opt.sink != nullptr ? opt.sink : stderr) {
+  enabled_ = opt.forceEnable || progressAllowed();
+  if (!enabled_) return;
+  tty_ = (opt.sink == nullptr) && isatty(STDERR_FILENO) != 0;
+  const int throttleMs = opt.throttleMs >= 0 ? opt.throttleMs
+                         : tty_              ? 100
+                                             : 2000;
+  throttleUs_ = static_cast<std::int64_t>(throttleMs) * 1000;
+  startUs_ = monoUs();
+  lastUs_ = startUs_;
+  nextRenderUs_.store(startUs_ + throttleUs_, std::memory_order_relaxed);
+}
+
+ProgressReporter::~ProgressReporter() { done(); }
+
+void ProgressReporter::tick(std::uint64_t n) {
+  if (!enabled_) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  const std::int64_t now = monoUs();
+  std::int64_t next = nextRenderUs_.load(std::memory_order_relaxed);
+  if (now < next) return;
+  // One thread wins the render slot; the rest keep working.
+  if (!nextRenderUs_.compare_exchange_strong(next, now + throttleUs_,
+                                             std::memory_order_relaxed))
+    return;
+  render(false);
+}
+
+void ProgressReporter::done() {
+  if (!enabled_) return;
+  if (finished_.exchange(true, std::memory_order_relaxed)) return;
+  render(true);
+}
+
+void ProgressReporter::render(bool final) {
+  std::lock_guard<std::mutex> lock(renderMu_);
+  const std::int64_t now = monoUs();
+  const std::uint64_t cnt = count_.load(std::memory_order_relaxed);
+
+  // Interval rate -> EWMA (alpha 0.3: reactive but not jumpy).
+  const double dt = static_cast<double>(now - lastUs_) / 1e6;
+  if (dt > 1e-6) {
+    const double inst =
+        static_cast<double>(cnt - lastCount_) / dt;
+    ewmaRate_ = ewmaRate_ <= 0.0 ? inst : 0.3 * inst + 0.7 * ewmaRate_;
+  }
+  lastCount_ = cnt;
+  lastUs_ = now;
+
+  const double elapsed = static_cast<double>(now - startUs_) / 1e6;
+  const double meanRate = elapsed > 1e-6 ? static_cast<double>(cnt) / elapsed
+                                         : 0.0;
+
+  char cntBuf[32], rateBuf[32];
+  fmtCount(cntBuf, sizeof cntBuf, static_cast<double>(cnt));
+  fmtCount(rateBuf, sizeof rateBuf, final ? meanRate : ewmaRate_);
+
+  char line[256];
+  int len;
+  if (final) {
+    len = std::snprintf(line, sizeof line,
+                        "[gkll] %s: %s %s in %.1fs (%s/s)", label_.c_str(),
+                        cntBuf, units_.c_str(), elapsed, rateBuf);
+  } else if (total_ > 0) {
+    const double frac =
+        100.0 * static_cast<double>(cnt) / static_cast<double>(total_);
+    const double rate = ewmaRate_ > 0 ? ewmaRate_ : meanRate;
+    const double etaS =
+        rate > 1e-9 ? static_cast<double>(total_ - std::min(cnt, total_)) / rate
+                    : 0.0;
+    len = std::snprintf(line, sizeof line,
+                        "[gkll] %s: %s/%llu %s (%.0f%%) · %s/s · eta %.0fs",
+                        label_.c_str(), cntBuf,
+                        static_cast<unsigned long long>(total_),
+                        units_.c_str(), frac, rateBuf, etaS);
+  } else {
+    len = std::snprintf(line, sizeof line, "[gkll] %s: %s %s · %s/s · %.0fs",
+                        label_.c_str(), cntBuf, units_.c_str(), rateBuf,
+                        elapsed);
+  }
+  if (len < 0) return;
+
+  if (tty_) {
+    // Rewrite in place; \033[K clears the previous, longer line.
+    std::fprintf(sink_, "\r%s\033[K", line);
+    if (final) std::fputc('\n', sink_);
+  } else {
+    std::fprintf(sink_, "%s\n", line);
+  }
+  std::fflush(sink_);
+}
+
+}  // namespace gkll::obs

@@ -1,0 +1,74 @@
+// Throttled live progress for long attacks and sweeps, on stderr.
+//
+// Off by default in non-interactive runs: enabled when stderr is a TTY or
+// GKLL_PROGRESS=1, force-disabled by GKLL_PROGRESS=0 (so CI logs never
+// fill with carriage-return spam).  When disabled, tick() is one relaxed
+// load and a branch — safe to leave in per-DIP / per-scenario loops.
+//
+// Rendering: at most one line per throttle interval (100 ms on a TTY,
+// rewritten in place with \r; 2 s otherwise, as full lines).  The rate is
+// an EWMA over render intervals, which smooths the burst-pause pattern of
+// SAT attacks; with a known total an ETA is derived from it.  tick() is
+// thread-safe (pool workers all tick the same reporter); rendering is
+// claimed by whichever thread crosses the throttle deadline first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gkll::obs {
+
+struct ProgressOptions {
+  std::uint64_t total = 0;        ///< 0 = unknown (no ETA, no percentage)
+  const char* units = "items";    ///< printed after the count
+  std::FILE* sink = nullptr;      ///< nullptr = stderr
+  int throttleMs = -1;            ///< -1 = 100 on a TTY, 2000 otherwise
+  bool forceEnable = false;       ///< tests: bypass the TTY/env gate
+};
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::string label, ProgressOptions opt = {});
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void tick(std::uint64_t n = 1);
+  /// Print the final count + elapsed + mean rate (idempotent; the
+  /// destructor calls it).
+  void done();
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// The GKLL_PROGRESS / isatty(stderr) policy, exposed for tests.
+  static bool progressAllowed();
+
+ private:
+  void render(bool final);
+
+  bool enabled_ = false;
+  bool tty_ = false;
+  std::string label_;
+  std::uint64_t total_ = 0;
+  std::string units_;
+  std::FILE* sink_ = nullptr;
+  std::int64_t throttleUs_ = 0;
+  std::int64_t startUs_ = 0;
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> nextRenderUs_{0};
+  std::atomic<bool> finished_{false};
+
+  std::mutex renderMu_;  // one renderer at a time
+  std::uint64_t lastCount_ = 0;
+  std::int64_t lastUs_ = 0;
+  double ewmaRate_ = 0.0;  // items/sec
+};
+
+}  // namespace gkll::obs

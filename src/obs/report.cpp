@@ -1,0 +1,218 @@
+#include "obs/report.h"
+
+#include "util/json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace gkll::obs {
+
+namespace {
+
+bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+MetricDirection directionOf(std::string_view name) {
+  // Counts and sizes are workload descriptors, not performance: a bench
+  // that suddenly does more iterations isn't "slower", it changed shape —
+  // that shows up in the gated time-per-unit metrics anyway.
+  if (endsWith(name, ".count") || endsWith(name, "_count") ||
+      endsWith(name, ".threads") || contains(name, "threads"))
+    return MetricDirection::kInformational;
+  if (contains(name, "per_sec") || contains(name, "speedup") ||
+      contains(name, "throughput"))
+    return MetricDirection::kHigherIsBetter;
+  if (contains(name, "_ms") || contains(name, ".ms") ||
+      contains(name, "_us") || contains(name, ".us") ||
+      contains(name, "_ns") || contains(name, ".ns") ||
+      contains(name, "wall") || contains(name, "cpu") ||
+      contains(name, "bytes") || contains(name, "per_dip"))
+    return MetricDirection::kLowerIsBetter;
+  return MetricDirection::kInformational;
+}
+
+namespace {
+
+/// Expand one metrics-JSONL record into flat scalars.
+void flattenRecord(const util::JsonValue& rec,
+                   std::map<std::string, MetricValue>& out) {
+  const std::string type = rec.stringOr("type", "");
+  const std::string name = rec.stringOr("name", "");
+  if (name.empty()) return;
+  if (type == "counter") {
+    out[name] = {rec.numberOr("value", 0.0)};
+    return;
+  }
+  if (type == "dist" || type == "hist") {
+    for (const auto& [key, v] : rec.object) {
+      if (!v.isNumber() || key == "name") continue;
+      out[name + "." + key] = {v.number};
+    }
+  }
+}
+
+}  // namespace
+
+bool loadMetricsFile(const std::string& path, MetricsFile& out,
+                     std::string& err) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    err = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  out.path = path;
+  out.metrics.clear();
+
+  // A BENCH_*.json file is one object; a metrics stream is one object per
+  // line.  Try the whole-file parse first — a single-line JSONL file with
+  // a counter record is distinguished by its "type" field.
+  util::JsonValue whole;
+  std::string parseErr;
+  if (util::parseJson(text, whole, &parseErr) && whole.isObject() &&
+      whole.find("type") == nullptr) {
+    for (const auto& [key, v] : whole.object)
+      if (v.isNumber()) out.metrics[key] = {v.number};
+    if (out.metrics.empty()) {
+      err = path + ": JSON object holds no numeric fields";
+      return false;
+    }
+    return true;
+  }
+
+  std::size_t lineNo = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    ++lineNo;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    util::JsonValue rec;
+    if (!util::parseJson(line, rec, &parseErr) || !rec.isObject()) {
+      err = path + ":" + std::to_string(lineNo) + ": " +
+            (parseErr.empty() ? "not a JSON object" : parseErr);
+      return false;
+    }
+    flattenRecord(rec, out.metrics);
+  }
+  if (out.metrics.empty()) {
+    err = path + ": no metrics found";
+    return false;
+  }
+  return true;
+}
+
+CompareResult compareMetrics(const MetricsFile& baseline,
+                             const MetricsFile& current,
+                             double defaultTolerance,
+                             const ToleranceMap& overrides) {
+  CompareResult r;
+  std::set<std::string> names;
+  for (const auto& [n, v] : baseline.metrics) names.insert(n);
+  for (const auto& [n, v] : current.metrics) names.insert(n);
+
+  for (const std::string& name : names) {
+    MetricDelta d;
+    d.name = name;
+    d.direction = directionOf(name);
+    const auto bIt = baseline.metrics.find(name);
+    const auto cIt = current.metrics.find(name);
+    d.inBaseline = bIt != baseline.metrics.end();
+    d.inCurrent = cIt != current.metrics.end();
+    if (d.inBaseline) d.baseline = bIt->second.value;
+    if (d.inCurrent) d.current = cIt->second.value;
+    const auto ovIt = overrides.find(name);
+    d.tolerance = ovIt != overrides.end() ? ovIt->second : defaultTolerance;
+
+    if (!d.inBaseline || !d.inCurrent) {
+      d.verdict = DeltaVerdict::kInfo;  // appearing/vanishing never gates
+      r.deltas.push_back(std::move(d));
+      continue;
+    }
+    if (d.baseline != 0.0) {
+      d.relChange = (d.current - d.baseline) / std::fabs(d.baseline);
+    } else {
+      d.relChange = d.current == 0.0 ? 0.0 : 1.0;  // 0 -> nonzero: 100%
+    }
+    if (d.direction == MetricDirection::kInformational) {
+      d.verdict = DeltaVerdict::kInfo;
+    } else {
+      const double bad = d.direction == MetricDirection::kLowerIsBetter
+                             ? d.relChange
+                             : -d.relChange;
+      d.verdict = bad > d.tolerance    ? DeltaVerdict::kRegression
+                  : bad < -d.tolerance ? DeltaVerdict::kImprovement
+                                       : DeltaVerdict::kOk;
+    }
+    if (d.verdict == DeltaVerdict::kRegression) ++r.regressions;
+    if (d.verdict == DeltaVerdict::kImprovement) ++r.improvements;
+    r.deltas.push_back(std::move(d));
+  }
+
+  // Regressions first so the interesting lines top the CI log.
+  std::stable_sort(r.deltas.begin(), r.deltas.end(),
+                   [](const MetricDelta& a, const MetricDelta& b) {
+                     auto rank = [](const MetricDelta& d) {
+                       switch (d.verdict) {
+                         case DeltaVerdict::kRegression: return 0;
+                         case DeltaVerdict::kImprovement: return 1;
+                         case DeltaVerdict::kOk: return 2;
+                         case DeltaVerdict::kInfo: return 3;
+                       }
+                       return 3;
+                     };
+                     return rank(a) < rank(b);
+                   });
+  return r;
+}
+
+std::string formatCompare(const CompareResult& r) {
+  std::ostringstream os;
+  auto tag = [](const MetricDelta& d) {
+    switch (d.verdict) {
+      case DeltaVerdict::kRegression: return "REGRESSION ";
+      case DeltaVerdict::kImprovement: return "improvement";
+      case DeltaVerdict::kOk: return "ok         ";
+      case DeltaVerdict::kInfo: return "info       ";
+    }
+    return "info       ";
+  };
+  char buf[256];
+  for (const MetricDelta& d : r.deltas) {
+    if (!d.inBaseline || !d.inCurrent) {
+      std::snprintf(buf, sizeof buf, "%s  %-40s  %s\n", tag(d),
+                    d.name.c_str(),
+                    d.inCurrent ? "(new in current)" : "(only in baseline)");
+      os << buf;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%s  %-40s  %12.6g -> %12.6g  (%+.1f%%, tol %.0f%%)\n",
+                  tag(d), d.name.c_str(), d.baseline, d.current,
+                  100.0 * d.relChange, 100.0 * d.tolerance);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "%zu metric(s): %zu regression(s), %zu improvement(s)\n",
+                r.deltas.size(), r.regressions, r.improvements);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace gkll::obs

@@ -1,0 +1,89 @@
+// Perf-comparison core behind the gkll_report CLI: load two metric files
+// (a BENCH_<name>.json object or a *.metrics.jsonl stream — both formats
+// this repo's own exporters emit), flatten them to named scalars, and diff
+// with per-metric noise thresholds.
+//
+// The point is a *gate*, not a dashboard: CI runs the same bench twice
+// (baseline artifact vs fresh build) and fails the job when a
+// lower-is-better metric moved up — or a higher-is-better metric moved
+// down — by more than its tolerance.  Direction is inferred from metric
+// naming conventions (see directionOf); anything unrecognised is reported
+// but never gates.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gkll::obs {
+
+enum class MetricDirection {
+  kLowerIsBetter,   // "_ms", "_us", "_ns", "wall", "cpu", "bytes", "per_dip"
+  kHigherIsBetter,  // "per_sec", "speedup", "rate"
+  kInformational,   // counts, sizes, anything else: reported, never gated
+};
+
+/// Naming-convention heuristic mapping a metric name to its direction.
+MetricDirection directionOf(std::string_view name);
+
+/// One flattened scalar out of a metrics file.  JSONL distributions and
+/// histograms expand into "<name>.p50", "<name>.mean", ... entries.
+struct MetricValue {
+  double value = 0.0;
+};
+
+struct MetricsFile {
+  std::string path;
+  std::map<std::string, MetricValue> metrics;
+};
+
+/// Load `path` as either a single JSON object (BENCH_*.json: every
+/// top-level numeric field becomes a metric) or a JSONL stream of
+/// {"type":"counter"|"dist"|"hist",...} records.  Returns false with
+/// `err` set on unreadable or unparseable input.
+bool loadMetricsFile(const std::string& path, MetricsFile& out,
+                     std::string& err);
+
+/// Per-metric tolerance overrides: exact name -> allowed relative change
+/// (0.25 = 25%).  Names absent here use the default tolerance.
+using ToleranceMap = std::map<std::string, double>;
+
+enum class DeltaVerdict {
+  kOk,           // within tolerance (or moved the good way)
+  kRegression,   // gated metric moved the bad way past tolerance
+  kImprovement,  // gated metric moved the good way past tolerance
+  kInfo,         // informational metric, or present on one side only
+};
+
+struct MetricDelta {
+  std::string name;
+  MetricDirection direction = MetricDirection::kInformational;
+  DeltaVerdict verdict = DeltaVerdict::kInfo;
+  bool inBaseline = false;
+  bool inCurrent = false;
+  double baseline = 0.0;
+  double current = 0.0;
+  double relChange = 0.0;  ///< (current-baseline)/|baseline|; 0 when n/a
+  double tolerance = 0.0;  ///< the threshold this metric was judged against
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;  ///< union of both sides, name order
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+};
+
+/// Diff `current` against `baseline`.  `defaultTolerance` is the relative
+/// noise floor (e.g. 0.10); `overrides` tightens or loosens single metrics.
+CompareResult compareMetrics(const MetricsFile& baseline,
+                             const MetricsFile& current,
+                             double defaultTolerance,
+                             const ToleranceMap& overrides = {});
+
+/// Human-readable table of a compare, one line per delta (regressions
+/// first), plus a verdict summary line.
+std::string formatCompare(const CompareResult& r);
+
+}  // namespace gkll::obs

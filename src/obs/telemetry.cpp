@@ -69,6 +69,12 @@ void setEnabled(bool on) {
 // --- P2Quantile --------------------------------------------------------------
 
 void P2Quantile::add(double x) {
+  if (n_ == 0 && !sketch_) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   if (!sketch_) {
     q_[n_++] = x;
     if (n_ == 5) {
@@ -115,6 +121,11 @@ void P2Quantile::add(double x) {
       const int s = d >= 0 ? 1 : -1;
       const double cand = parabolic(i, s);
       q_[i] = (q_[i - 1] < cand && cand < q_[i + 1]) ? cand : linear(i, s);
+      // Degenerate streams (constant / near-duplicate values) can let the
+      // interpolation land a hair outside the neighbour heights through
+      // floating-point cancellation; re-monotonise so marker order — and
+      // with it quantile order — is an invariant, not a hope.
+      q_[i] = std::clamp(q_[i], q_[i - 1], q_[i + 1]);
       pos_[i] += s;
     }
   }
@@ -143,7 +154,9 @@ double P2Quantile::value() const {
     idx = std::clamp(idx, 0, n_ - 1);
     return sorted[idx];
   }
-  return q_[2];
+  // An estimate outside the observed range is definitionally wrong — the
+  // clamp is what keeps degenerate streams honest.
+  return std::clamp(q_[2], min_, max_);
 }
 
 // --- Distribution ------------------------------------------------------------
@@ -189,7 +202,17 @@ double Distribution::p50() const {
 
 double Distribution::p95() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return p95_.value();
+  // Independent sketches can invert on degenerate streams; the published
+  // pair is monotone by construction.
+  return std::max(p50_.value(), p95_.value());
+}
+
+void Distribution::resetInPlace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  p50_ = P2Quantile(0.50);
+  p95_ = P2Quantile(0.95);
 }
 
 // --- Registry ----------------------------------------------------------------
@@ -210,7 +233,8 @@ Counter& Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.try_emplace(std::string(name)).first;
-  return it->second;
+  it->second.gen = gen_;  // (re-)touched: live this generation
+  return it->second.obj;
 }
 
 Distribution& Registry::distribution(std::string_view name) {
@@ -218,8 +242,28 @@ Distribution& Registry::distribution(std::string_view name) {
   auto it = dists_.find(name);
   if (it == dists_.end())
     it = dists_.try_emplace(std::string(name)).first;
-  return it->second;
+  it->second.gen = gen_;
+  return it->second.obj;
 }
+
+LogHistogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.try_emplace(std::string(name)).first;
+  it->second.gen = gen_;
+  return it->second.obj;
+}
+
+namespace {
+// An entry is visible (exported, counted) when it was touched this
+// generation or has recorded data since the last reset zeroed it — the
+// latter is what keeps references cached across reset() observable.
+bool liveEntry(std::uint64_t entryGen, std::uint64_t gen,
+               std::uint64_t activity) {
+  return entryGen == gen || activity > 0;
+}
+}  // namespace
 
 namespace {
 /// Each thread's log handle, looked up once then cached.  The shared_ptr
@@ -250,18 +294,39 @@ void Registry::addTraceEvent(TraceEvent ev) {
 std::uint64_t Registry::counterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second.value();
+  return it == counters_.end() ? 0 : it->second.obj.value();
 }
 
 std::size_t Registry::numCounters() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_.size();
+  std::size_t n = 0;
+  for (const auto& [name, e] : counters_)
+    if (liveEntry(e.gen, gen_, e.obj.value())) ++n;
+  return n;
 }
 
 std::size_t Registry::numDistributions() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return dists_.size();
+  std::size_t n = 0;
+  for (const auto& [name, e] : dists_)
+    if (liveEntry(e.gen, gen_, e.obj.count())) ++n;
+  return n;
 }
+
+std::size_t Registry::numHistograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, e] : hists_)
+    if (liveEntry(e.gen, gen_, e.obj.count())) ++n;
+  return n;
+}
+
+std::uint64_t Registry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gen_;
+}
+
+void Registry::registerCurrentThread() { threadLog(); }
 
 std::size_t Registry::numTraceEvents() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -275,8 +340,13 @@ std::size_t Registry::numTraceEvents() const {
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  dists_.clear();
+  // Recycle in place: never destroy an entry a caller may hold a cached
+  // reference to (the classic use-after-reset footgun).  Zeroed entries
+  // with a stale generation disappear from exporters until re-touched.
+  ++gen_;
+  for (auto& [name, e] : counters_) e.obj.resetInPlace();
+  for (auto& [name, e] : dists_) e.obj.resetInPlace();
+  for (auto& [name, e] : hists_) e.obj.resetInPlace();
   // Thread logs stay registered (threads cache their handle and tids stay
   // stable); only the buffered events are dropped.
   for (const auto& log : logs_) {
@@ -287,12 +357,15 @@ void Registry::reset() {
 
 void Registry::writeMetricsJsonl(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, e] : counters_) {
+    if (!liveEntry(e.gen, gen_, e.obj.value())) continue;
     os << "{\"type\":\"counter\",\"name\":\"";
     jsonEscape(os, name);
-    os << "\",\"value\":" << c.value() << "}\n";
+    os << "\",\"value\":" << e.obj.value() << "}\n";
   }
-  for (const auto& [name, d] : dists_) {
+  for (const auto& [name, e] : dists_) {
+    const Distribution& d = e.obj;
+    if (!liveEntry(e.gen, gen_, d.count())) continue;
     os << "{\"type\":\"dist\",\"name\":\"";
     jsonEscape(os, name);
     os << "\",\"count\":" << d.count() << ",\"min\":";
@@ -306,6 +379,35 @@ void Registry::writeMetricsJsonl(std::ostream& os) const {
     os << ",\"p95\":";
     jsonNumber(os, d.p95());
     os << "}\n";
+  }
+  for (const auto& [name, e] : hists_) {
+    const LogHistogram::Snapshot s = e.obj.snapshot();
+    if (!liveEntry(e.gen, gen_, s.count)) continue;
+    os << "{\"type\":\"hist\",\"name\":\"";
+    jsonEscape(os, name);
+    os << "\",\"count\":" << s.count << ",\"min\":"
+       << s.min << ",\"max\":" << s.max << ",\"mean\":";
+    jsonNumber(os, s.mean());
+    os << ",\"p50\":";
+    jsonNumber(os, s.quantile(0.50));
+    os << ",\"p90\":";
+    jsonNumber(os, s.quantile(0.90));
+    os << ",\"p99\":";
+    jsonNumber(os, s.quantile(0.99));
+    os << ",\"p999\":";
+    jsonNumber(os, s.quantile(0.999));
+    os << ",\"cdf\":[";
+    bool first = true;
+    for (const auto& [hi, frac] : s.cdf()) {
+      if (!first) os << ",";
+      first = false;
+      os << "[";
+      jsonNumber(os, hi);
+      os << ",";
+      jsonNumber(os, frac);
+      os << "]";
+    }
+    os << "]}\n";
   }
 }
 
@@ -388,6 +490,11 @@ void count(std::string_view name, std::uint64_t n) {
 void record(std::string_view name, double value) {
   if (!enabled()) return;
   registry().distribution(name).record(value);
+}
+
+void histRecord(std::string_view name, double value) {
+  if (!enabled()) return;
+  registry().histogram(name).record(value);
 }
 
 // --- BenchTelemetry ----------------------------------------------------------

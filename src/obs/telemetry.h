@@ -27,8 +27,14 @@
 //     (uncontended in steady state) that the exporters merge; each
 //     thread's events carry a stable small tid in the Chrome trace, so
 //     pool workers show up as separate rows in the viewer.
-//   - registry() map lookups are mutex-guarded and the returned references
-//     stay valid until reset(); hot sites should cache them.
+//   - registry() map lookups are mutex-guarded; the returned references
+//     stay valid for the life of the process — reset() recycles every
+//     counter/distribution/histogram *in place* (zeroed, never destroyed),
+//     so a hot site that cached a Counter& before a reset keeps a live
+//     handle afterwards.  An entry zeroed by reset() drops out of the
+//     exporters and of numCounters()/numDistributions() until it is either
+//     re-looked-up or recorded into again; generation() counts resets for
+//     callers that want to detect one.
 //   - setEnabled/reset are *not* synchronisation points for in-flight
 //     spans: flip the switch and reset only while no instrumented work is
 //     running (between phases, in tests).
@@ -45,6 +51,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace gkll::obs {
 
 /// The global switch.  First call reads GKLL_TRACE; setEnabled overrides.
@@ -60,6 +68,10 @@ class Counter {
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
+  /// Registry::reset() plumbing — zero without destroying (cached
+  /// references stay valid).
+  void resetInPlace() { value_.store(0, std::memory_order_relaxed); }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -67,6 +79,13 @@ class Counter {
 /// P² (Jain & Chlamtac) streaming quantile estimator: O(1) memory, exact
 /// for the first five samples, a parabolic-interpolation marker sketch
 /// afterwards.
+///
+/// Degenerate-input hardening (constant or near-duplicate streams used to
+/// let marker drift report values outside the observed range, and two
+/// independent sketches could invert, e.g. p95 < p50): marker heights are
+/// re-monotonised after every adjustment and value() is clamped to the
+/// observed [min, max].  Cross-sketch ordering is enforced one level up,
+/// in Distribution.
 class P2Quantile {
  public:
   explicit P2Quantile(double p) : p_(p) {}
@@ -80,6 +99,8 @@ class P2Quantile {
   double p_;
   int n_ = 0;          // samples seen, saturates at 5 once markers start
   bool sketch_ = false;
+  double min_ = 0.0;   // observed extremes: the clamp for value()
+  double max_ = 0.0;
   double q_[5] = {};   // marker heights (initial buffer before sketch_)
   double pos_[5] = {};
   double npos_[5] = {};
@@ -97,7 +118,12 @@ class Distribution {
   double max() const;
   double mean() const;
   double p50() const;
+  /// Never less than p50(): the two sketches drift independently on nasty
+  /// streams, so the pair is monotonised at read time.
   double p95() const;
+
+  /// Registry::reset() plumbing — re-initialise without destroying.
+  void resetInPlace();
 
  private:
   mutable std::mutex mu_;
@@ -120,13 +146,20 @@ struct TraceEvent {
 };
 
 /// Process-wide store of all telemetry.  Thread-safe; references returned
-/// by counter()/distribution() stay valid until reset().
+/// by counter()/distribution()/histogram() stay valid for the life of the
+/// process (reset() recycles entries in place — see the file doc block).
 class Registry {
  public:
   static Registry& instance();
 
   Counter& counter(std::string_view name);
   Distribution& distribution(std::string_view name);
+  /// The mergeable, lock-free-on-record log-linear histogram (HDR-style):
+  /// the structure to use on concurrent hot paths and for anything the
+  /// sweep grid will aggregate across workers or processes.  Exported to
+  /// the metrics JSONL as {"type":"hist",...} with exact
+  /// p50/p90/p99/p999 plus a CDF array.
+  LogHistogram& histogram(std::string_view name);
   void addTraceEvent(TraceEvent ev);
 
   /// Microseconds since the registry was created (the trace time base).
@@ -144,13 +177,36 @@ class Registry {
   std::uint64_t counterValue(std::string_view name) const;  ///< 0 if absent
   std::size_t numCounters() const;
   std::size_t numDistributions() const;
+  std::size_t numHistograms() const;
   std::size_t numTraceEvents() const;
 
-  /// Drop every counter, distribution and trace event (keeps the time base).
+  /// Zero every counter/distribution/histogram *in place* and drop all
+  /// trace events (keeps the time base and every handed-out reference —
+  /// see the file doc block for the post-reset visibility rule).
   void reset();
+
+  /// Number of reset() calls so far.  A caller holding cached references
+  /// across phases can compare generations to notice a reset happened.
+  std::uint64_t generation() const;
+
+  /// Eagerly create this thread's trace log so its tid reflects
+  /// registration order, not first-span order.  The runtime pool calls
+  /// this from every worker at spawn, which is what makes worker tids
+  /// stable across runs and across reset().
+  void registerCurrentThread();
 
  private:
   Registry();
+
+  /// Map entries carry the generation that last touched them; reset()
+  /// zeroes the payload and leaves the generation behind, so exporters
+  /// can tell "live this generation (or recorded into since the reset)"
+  /// from "stale leftover handle".
+  template <class T>
+  struct Entry {
+    T obj;
+    std::uint64_t gen = 0;
+  };
 
   /// Per-thread trace-event buffer.  Appends lock only the owning
   /// thread's (uncontended) mutex; exporters lock each log briefly while
@@ -164,10 +220,12 @@ class Registry {
   ThreadLog& threadLog();
 
   mutable std::mutex mu_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Distribution, std::less<>> dists_;
+  std::map<std::string, Entry<Counter>, std::less<>> counters_;
+  std::map<std::string, Entry<Distribution>, std::less<>> dists_;
+  std::map<std::string, Entry<LogHistogram>, std::less<>> hists_;
   std::vector<std::shared_ptr<ThreadLog>> logs_;
   std::int64_t startNs_ = 0;  // steady-clock origin
+  std::uint64_t gen_ = 0;     // bumped by reset()
 };
 
 inline Registry& registry() { return Registry::instance(); }
@@ -196,6 +254,9 @@ class Span {
 /// Guarded conveniences for one-shot instrumentation sites.
 void count(std::string_view name, std::uint64_t n = 1);
 void record(std::string_view name, double value);
+/// Histogram flavour of record(): lock-free once the name is resolved;
+/// hot loops should cache registry().histogram(name) instead.
+void histRecord(std::string_view name, double value);
 
 /// Per-binary harness glue for bench_* executables: construct first thing
 /// in main().  When tracing is enabled, the destructor records the run's

@@ -1,5 +1,8 @@
 #include "runtime/pool.h"
 
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+
 #include <chrono>
 #include <cstdlib>
 #include <string>
@@ -171,6 +174,11 @@ bool ThreadPool::runOneTask() {
 void ThreadPool::workerLoop(std::size_t index) {
   t_worker.pool = this;
   t_worker.index = index;
+  // Pin this worker to a histogram shard keyed by its lane (disjoint
+  // record() counters in steady state) and register its trace log now, so
+  // worker tids reflect spawn order and stay stable across runs/reset().
+  obs::registerThreadShard(static_cast<int>(index));
+  obs::registry().registerCurrentThread();
   for (;;) {
     if (runOneTask()) continue;
     std::unique_lock<std::mutex> lock(sleepMu_);

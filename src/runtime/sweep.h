@@ -79,6 +79,7 @@ class BenchJson {
   void set(const std::string& key, double value);
   void set(const std::string& key, const std::string& value);
 
+  const std::string& name() const { return name_; }
   std::string path() const;  ///< where the destructor will write
 
  private:

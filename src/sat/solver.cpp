@@ -621,6 +621,7 @@ Result Solver::solveImpl(const std::vector<Lit>& assumptions) {
         attach(c);
         bumpClause(c);
         ++stats_.learnedClauses;
+        stats_.sumLearnedLbd += lbd;
         enqueue(learnt[0], c);
       }
       decayVarActivity();

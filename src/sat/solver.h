@@ -75,6 +75,8 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t learnedClauses = 0;
+  std::uint64_t sumLearnedLbd = 0;  ///< sum of learnt-clause LBDs; divide by
+                                    ///< learnedClauses for the mean "glue"
   std::uint64_t restarts = 0;
   std::uint64_t maxDecisionLevel = 0;  ///< deepest decision stack ever seen
   std::uint64_t solveCalls = 0;

@@ -1,0 +1,223 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gkll::util {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::numberOr(std::string_view key, double def) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : def;
+}
+
+std::string JsonValue::stringOr(std::string_view key,
+                                std::string_view def) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->string
+                                                    : std::string(def);
+}
+
+bool JsonValue::boolOr(std::string_view key, bool def) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view s, std::string* err) : s_(s), err_(err) {}
+
+  bool parse(JsonValue& out) {
+    skipWs();
+    if (!value(out)) return false;
+    skipWs();
+    if (pos_ != s_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (err_ != nullptr) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf, "JSON error at byte %zu: %s", pos_, msg);
+      *err_ = buf;
+    }
+    return false;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    bool ok;
+    switch (peek()) {
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        ok = string(out.string);
+        break;
+      case 't':
+        ok = literal("true");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        break;
+      case 'f':
+        ok = literal("false");
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        break;
+      case 'n':
+        ok = literal("null");
+        out.kind = JsonValue::Kind::kNull;
+        break;
+      default: ok = number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!string(key)) return false;
+      skipWs();
+      if (peek() != ':') return fail("expected ':' in object");
+      ++pos_;
+      skipWs();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipWs();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string(std::string& out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+          for (int i = 0; i < 4; ++i)
+            if (std::isxdigit(static_cast<unsigned char>(s_[pos_ + static_cast<std::size_t>(i)])) == 0)
+              return fail("bad \\u escape");
+          // Preserved verbatim (see header): our own emitters only escape
+          // control characters, which round-trip fine as text.
+          out += "\\u";
+          out.append(s_, pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return fail("expected value");
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return fail("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return fail("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool parseJson(std::string_view text, JsonValue& out, std::string* err) {
+  out = JsonValue{};
+  return Parser(text, err).parse(out);
+}
+
+}  // namespace gkll::util

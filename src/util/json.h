@@ -1,0 +1,55 @@
+// Minimal JSON value model + recursive-descent parser.
+//
+// This exists for the *reading* side of the observability stack: the
+// run-journal replayer (obs/journal.h), the metrics/BENCH file loader in
+// obs/report.h, and the exporter round-trip tests all need to consume the
+// JSON this codebase itself emits.  It is a strict parser of standard
+// JSON (RFC 8259) minus surrogate-pair decoding (escapes are preserved
+// verbatim in the decoded string as \uXXXX text never appears in our own
+// emitters' input data); it is not a general-purpose serializer — the
+// writers stay hand-rolled where they live today.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gkll::util {
+
+/// One parsed JSON value.  Objects keep insertion order (journal records
+/// are written with a deliberate field order and the reader preserves it).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+  bool isNumber() const { return kind == Kind::kNumber; }
+  bool isString() const { return kind == Kind::kString; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience typed getters with defaults, for tolerant consumers.
+  double numberOr(std::string_view key, double def) const;
+  std::string stringOr(std::string_view key, std::string_view def) const;
+  bool boolOr(std::string_view key, bool def) const;
+};
+
+/// Parse `text` as exactly one JSON document (trailing whitespace allowed,
+/// anything else is an error).  On failure returns false and, when `err`
+/// is non-null, stores a byte-offset-annotated message.
+bool parseJson(std::string_view text, JsonValue& out,
+               std::string* err = nullptr);
+
+}  // namespace gkll::util

@@ -1,0 +1,208 @@
+// Tests for the mergeable log-linear histogram (src/obs/histogram.h):
+// bucket geometry invariants, quantile accuracy against an exact sort,
+// snapshot merging, and the lock-free concurrent record/snapshot contract
+// (the test TSan leans on).
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+using obs::LogHistogram;
+
+TEST(LogHistogram, BucketGeometryIsExhaustive) {
+  // Every bucket: non-empty inclusive range, both endpoints map back to
+  // the bucket, and consecutive buckets tile the integers with no gap.
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    const std::uint64_t lo = LogHistogram::bucketLo(i);
+    const std::uint64_t hi = LogHistogram::bucketHi(i);
+    ASSERT_LE(lo, hi) << "bucket " << i;
+    ASSERT_EQ(LogHistogram::bucketOf(lo), i);
+    ASSERT_EQ(LogHistogram::bucketOf(hi), i);
+    if (i + 1 < LogHistogram::kNumBuckets) {
+      ASSERT_EQ(LogHistogram::bucketLo(i + 1), hi + 1) << "bucket " << i;
+    }
+    const double mid = LogHistogram::bucketMid(i);
+    ASSERT_GE(mid, static_cast<double>(lo));
+    ASSERT_LE(mid, static_cast<double>(hi));
+  }
+}
+
+TEST(LogHistogram, UnitBucketsAreExact) {
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    const int idx = LogHistogram::bucketOf(v);
+    EXPECT_EQ(LogHistogram::bucketLo(idx), v);
+    EXPECT_EQ(LogHistogram::bucketHi(idx), v);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketMid(idx), static_cast<double>(v));
+  }
+}
+
+TEST(LogHistogram, RelativeBucketWidthIsBounded) {
+  // Above the unit range each octave has 32 sub-buckets, so the width of
+  // any bucket is at most lo/32 (the documented <=1/32 relative error).
+  Rng rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t v = static_cast<std::uint64_t>(
+        rng.range(LogHistogram::kSubBuckets, 1'000'000'000));
+    const int idx = LogHistogram::bucketOf(v);
+    const double lo = static_cast<double>(LogHistogram::bucketLo(idx));
+    const double hi = static_cast<double>(LogHistogram::bucketHi(idx));
+    EXPECT_LE((hi - lo + 1.0) / lo, 1.0 / 32.0 + 1e-12) << "value " << v;
+  }
+}
+
+TEST(LogHistogram, BasicStatsAndClamping) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty: quantile is 0
+
+  h.record(10.0);
+  h.record(20.0);
+  h.record(-5.0);  // negatives clamp to 0
+  const LogHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 20u);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(LogHistogram, QuantileMatchesExactSortWithinBucketError) {
+  Rng rng(7);
+  LogHistogram h;
+  std::vector<std::uint64_t> exact;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(rng.range(0, 500000));
+    h.record(static_cast<double>(v));
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+
+  double prev = -1.0;
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const double got = h.quantile(p);
+    EXPECT_GE(got, prev) << "p=" << p;  // monotone in p
+    prev = got;
+    const double want = static_cast<double>(
+        exact[std::min(exact.size() - 1,
+                       static_cast<std::size_t>(
+                           p * static_cast<double>(exact.size())))]);
+    // Bucket midpoint: half a bucket of error, i.e. <= 1/64 relative,
+    // plus sampling granularity near the extremes.
+    EXPECT_NEAR(got, want, want / 16.0 + 2.0) << "p=" << p;
+    EXPECT_GE(got, static_cast<double>(exact.front()));
+    EXPECT_LE(got, static_cast<double>(exact.back()));
+  }
+}
+
+TEST(LogHistogram, SnapshotAddEqualsCombinedStream) {
+  Rng rng(11);
+  LogHistogram a, b, both;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = static_cast<double>(rng.range(1, 100000));
+    (i % 2 == 0 ? a : b).record(v);
+    both.record(v);
+  }
+  LogHistogram::Snapshot sum = a.snapshot();
+  sum.add(b.snapshot());
+  const LogHistogram::Snapshot ref = both.snapshot();
+  EXPECT_EQ(sum.count, ref.count);
+  EXPECT_EQ(sum.min, ref.min);
+  EXPECT_EQ(sum.max, ref.max);
+  EXPECT_DOUBLE_EQ(sum.sum, ref.sum);
+  ASSERT_EQ(sum.buckets.size(), ref.buckets.size());
+  EXPECT_EQ(sum.buckets, ref.buckets);
+  for (const double p : {0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(sum.quantile(p), ref.quantile(p));
+}
+
+TEST(LogHistogram, MergeFoldsASnapshotBackIn) {
+  LogHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10.0);
+  for (int i = 0; i < 100; ++i) b.record(1000.0);
+  a.merge(b.snapshot());  // the cross-process aggregation seam
+  EXPECT_EQ(a.count(), 200u);
+  const LogHistogram::Snapshot s = a.snapshot();
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_LT(a.quantile(0.25), 100.0);
+  EXPECT_GT(a.quantile(0.75), 900.0);
+}
+
+TEST(LogHistogram, CdfIsMonotoneEndsAtOneAndDownsamples) {
+  Rng rng(13);
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i)
+    h.record(static_cast<double>(rng.range(1, 1'000'000)));
+  const auto cdf = h.snapshot().cdf(16);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LE(cdf.size(), 16u);
+  double prevX = -1.0, prevF = -1.0;
+  for (const auto& [x, f] : cdf) {
+    EXPECT_GT(x, prevX);
+    EXPECT_GE(f, prevF);
+    prevX = x;
+    prevF = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(LogHistogram, ResetInPlaceZeroesAndStaysUsable) {
+  LogHistogram h;
+  for (int i = 0; i < 50; ++i) h.record(5.0);
+  h.resetInPlace();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.record(7.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.snapshot().min, 7u);
+}
+
+TEST(LogHistogram, ConcurrentRecordSnapshotAndMerge) {
+  // The lock-free contract under TSan: recorders on pinned and unpinned
+  // shards race against snapshot() and merge() readers; after the join the
+  // total must be exact (no lost updates).
+  LogHistogram h;
+  LogHistogram other;
+  for (int i = 0; i < 64; ++i) other.record(3.0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const LogHistogram::Snapshot s = h.snapshot();
+      EXPECT_GE(s.count, last);  // counts only grow while recording
+      last = s.count;
+      if (s.count > 0) s.quantile(0.5);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      if (t % 2 == 0) obs::registerThreadShard(t);  // half pinned
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(rng.range(1, 10000)));
+    });
+  }
+  h.merge(other.snapshot());  // merge races with record(): allowed
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread + 64);
+}
+
+}  // namespace
+}  // namespace gkll

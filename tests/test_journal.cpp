@@ -1,0 +1,213 @@
+// Tests for the crash-safe run journal (src/obs/journal.h): writer/reader
+// round-trip, the truncation contract at *every* byte offset, corrupt-tail
+// recovery, schema gating, and the completed-scenario extraction that the
+// sweep checkpoint/resume seam relies on.
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gkll {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + "gkll_journal_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Journal, RoundTripAllFieldTypes) {
+  const std::string path = tempPath("roundtrip.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "unit-test", 0xDEADBEEFCAFEF00DULL));
+    EXPECT_TRUE(j.enabled());
+    j.record("attack.sat.dip")
+        .i64("iter", 3)
+        .f64("oracle_us", 12.5)
+        .str("design", "c17 \"quoted\"\n")
+        .boolean("converged", true)
+        .hex("hash", 0x1234ULL);
+    j.record("attack.sat.done").i64("dips", 4);
+    EXPECT_EQ(j.recordsWritten(), 2u);
+    j.close();
+    EXPECT_FALSE(j.enabled());
+  }
+
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  EXPECT_EQ(r.schema(), obs::kJournalSchemaVersion);
+  EXPECT_EQ(r.tool(), "unit-test");
+  EXPECT_EQ(r.netlistHash(), "0xdeadbeefcafef00d");
+  EXPECT_FALSE(r.truncatedTail());
+  EXPECT_EQ(r.droppedBytes(), 0u);
+  ASSERT_EQ(r.records().size(), 2u);
+
+  const obs::JournalRecord& rec = r.records()[0];
+  EXPECT_EQ(rec.type, "attack.sat.dip");
+  EXPECT_DOUBLE_EQ(rec.json.numberOr("iter", -1), 3.0);
+  EXPECT_DOUBLE_EQ(rec.json.numberOr("oracle_us", -1), 12.5);
+  EXPECT_EQ(rec.json.stringOr("design", ""), "c17 \"quoted\"\n");
+  EXPECT_TRUE(rec.json.boolOr("converged", false));
+  EXPECT_EQ(rec.json.stringOr("hash", ""), "0x0000000000001234");
+  EXPECT_GE(rec.json.numberOr("ts_us", -1), 0.0);  // auto-attached
+  EXPECT_EQ(r.records()[1].type, "attack.sat.done");
+}
+
+TEST(Journal, ClosedJournalIsInert) {
+  obs::RunJournal j;
+  EXPECT_FALSE(j.enabled());
+  j.record("nothing").i64("x", 1).str("y", "z");  // must not crash or write
+  EXPECT_EQ(j.recordsWritten(), 0u);
+}
+
+TEST(Journal, ReopenTruncatesAndRestartsSequence) {
+  const std::string path = tempPath("reopen.jsonl");
+  obs::RunJournal j;
+  ASSERT_TRUE(j.open(path, "first"));
+  j.record("a");
+  j.record("b");
+  ASSERT_TRUE(j.open(path, "second"));  // truncating reopen
+  j.record("c");
+  EXPECT_EQ(j.recordsWritten(), 1u);
+  j.close();
+
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  EXPECT_EQ(r.tool(), "second");
+  ASSERT_EQ(r.records().size(), 1u);
+  EXPECT_EQ(r.records()[0].type, "c");
+}
+
+// The ISSUE-mandated crash-safety property: truncate the file at EVERY
+// byte offset and assert the reader recovers exactly the complete records
+// before the cut, reports the damaged tail, and never misparses.
+TEST(Journal, TruncationAtEveryByteOffset) {
+  const std::string path = tempPath("full.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "trunc-test", 0xABCDULL));
+    for (int i = 0; i < 8; ++i)
+      j.record("attack.sat.dip").i64("iter", i).f64("wall_ms", 0.5 * i);
+    j.close();
+  }
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+
+  const std::string cut = tempPath("cut.jsonl");
+  for (std::size_t off = 0; off <= text.size(); ++off) {
+    const std::string prefix = text.substr(0, off);
+    spit(cut, prefix);
+
+    // The reference model: lines ending in '\n' are durable; anything
+    // after the last newline is the in-flight record and must be dropped.
+    const std::size_t lastNl = prefix.rfind('\n');
+    obs::JournalReader r;
+    if (lastNl == std::string::npos) {
+      // Header itself incomplete (or empty file): the journal is unusable
+      // and the reader must say so rather than guess.
+      EXPECT_FALSE(r.read(cut)) << "offset " << off;
+      EXPECT_FALSE(r.error().empty()) << "offset " << off;
+      continue;
+    }
+    std::size_t completeLines = 0;
+    for (std::size_t p = 0; (p = prefix.find('\n', p)) != std::string::npos;
+         ++p)
+      ++completeLines;
+    ASSERT_TRUE(r.read(cut)) << "offset " << off << ": " << r.error();
+    EXPECT_EQ(r.records().size(), completeLines - 1) << "offset " << off;
+    const std::size_t tail = prefix.size() - (lastNl + 1);
+    EXPECT_EQ(r.truncatedTail(), tail > 0) << "offset " << off;
+    EXPECT_EQ(r.droppedBytes(), tail) << "offset " << off;
+    // Every surviving record is intact, in order.
+    for (std::size_t i = 0; i < r.records().size(); ++i)
+      EXPECT_DOUBLE_EQ(r.records()[i].json.numberOr("iter", -1),
+                       static_cast<double>(i))
+          << "offset " << off;
+  }
+}
+
+TEST(Journal, CorruptMiddleLineDropsSuffixNotPrefix) {
+  const std::string path = tempPath("corrupt.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "corrupt-test"));
+    for (int i = 0; i < 4; ++i) j.record("rec").i64("iter", i);
+    j.close();
+  }
+  std::string text = slurp(path);
+  // Smash a byte inside the third record's line (header + 2 good records
+  // must survive).  Find the start of the line containing iter":2.
+  const std::size_t at = text.find("\"iter\":2");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t lineStart = text.rfind('\n', at) + 1;
+  text[lineStart] = '#';  // no longer a JSON object
+  spit(path, text);
+
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  ASSERT_EQ(r.records().size(), 2u);
+  EXPECT_TRUE(r.truncatedTail());
+  EXPECT_EQ(r.droppedBytes(), text.size() - lineStart);
+}
+
+TEST(Journal, FutureSchemaIsRejected) {
+  const std::string path = tempPath("future.jsonl");
+  spit(path,
+       "{\"type\":\"journal.header\",\"schema\":" +
+           std::to_string(obs::kJournalSchemaVersion + 1) +
+           ",\"tool\":\"time-traveller\"}\n"
+           "{\"type\":\"rec\",\"iter\":0}\n");
+  obs::JournalReader r;
+  EXPECT_FALSE(r.read(path));
+  EXPECT_NE(r.error().find("schema"), std::string::npos) << r.error();
+}
+
+TEST(Journal, MissingHeaderIsRejected) {
+  const std::string path = tempPath("headerless.jsonl");
+  spit(path, "{\"type\":\"rec\",\"iter\":0}\n");
+  obs::JournalReader r;
+  EXPECT_FALSE(r.read(path));
+  EXPECT_FALSE(r.error().empty());
+
+  spit(path, "");
+  EXPECT_FALSE(r.read(path));
+}
+
+TEST(Journal, CompletedScenariosExtractsKeysInOrder) {
+  const std::string path = tempPath("scenarios.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "sweep"));
+    j.record("scenario.done").str("key", "table1/0");
+    j.record("attack.sat.dip").i64("iter", 0);
+    j.record("scenario.done").str("key", "table1/1");
+    j.record("scenario.done");  // keyless: ignored
+    j.record("scenario.done").str("key", "fig7/0");
+    j.close();
+  }
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  const std::vector<std::string> done = r.completedScenarios();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], "table1/0");
+  EXPECT_EQ(done[1], "table1/1");
+  EXPECT_EQ(done[2], "fig7/0");
+}
+
+}  // namespace
+}  // namespace gkll

@@ -5,18 +5,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "runtime/parallel.h"
 #include "runtime/pool.h"
 #include "sat/solver.h"
 #include "sim/event_sim.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace gkll {
@@ -398,6 +402,250 @@ TEST_F(ObsTest, ResetKeepsThreadRegistrationsUsable) {
   obs::registry().writeChromeTrace(os);
   EXPECT_NE(os.str().find("after.reset"), std::string::npos);
   EXPECT_EQ(os.str().find("before.reset"), std::string::npos);
+}
+
+// --- the use-after-reset footgun (regression) --------------------------------
+
+TEST_F(ObsTest, CachedReferencesSurviveReset) {
+  // The historical footgun: a hot site caches Counter&/Distribution& once,
+  // registry().reset() destroyed the entries, and the next add() wrote
+  // through a dangling reference.  The fix recycles entries in place, so
+  // cached handles must keep working across any number of resets.
+  obs::Counter& c = obs::registry().counter("cached.counter");
+  obs::Distribution& d = obs::registry().distribution("cached.dist");
+  obs::LogHistogram& h = obs::registry().histogram("cached.hist");
+  c.add(5);
+  d.record(1.0);
+  h.record(10.0);
+  const std::uint64_t gen0 = obs::registry().generation();
+
+  obs::registry().reset();
+  EXPECT_EQ(obs::registry().generation(), gen0 + 1);
+  // Zeroed and hidden from introspection...
+  EXPECT_EQ(obs::registry().numCounters(), 0u);
+  EXPECT_EQ(obs::registry().numDistributions(), 0u);
+  EXPECT_EQ(obs::registry().numHistograms(), 0u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+
+  // ...but the cached references are live, and recording into them makes
+  // the entries visible again without a re-lookup.
+  c.add(2);
+  d.record(7.0);
+  h.record(3.0);
+  EXPECT_EQ(obs::registry().counterValue("cached.counter"), 2u);
+  EXPECT_EQ(obs::registry().numCounters(), 1u);
+  EXPECT_EQ(obs::registry().numDistributions(), 1u);
+  EXPECT_EQ(obs::registry().numHistograms(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+  EXPECT_EQ(h.count(), 1u);
+
+  // Same story for the identical reference returned by a fresh lookup.
+  EXPECT_EQ(&obs::registry().counter("cached.counter"), &c);
+  EXPECT_EQ(&obs::registry().distribution("cached.dist"), &d);
+  EXPECT_EQ(&obs::registry().histogram("cached.hist"), &h);
+}
+
+TEST_F(ObsTest, ResetHidesUntouchedEntriesFromExporters) {
+  obs::count("stale.counter");
+  obs::record("stale.dist", 1.0);
+  obs::registry().reset();
+  std::ostringstream os;
+  obs::registry().writeMetricsJsonl(os);
+  EXPECT_EQ(os.str().find("stale."), std::string::npos) << os.str();
+  // A re-lookup resurrects the entry even at value zero (gen refresh).
+  obs::registry().counter("stale.counter");
+  std::ostringstream os2;
+  obs::registry().writeMetricsJsonl(os2);
+  EXPECT_NE(os2.str().find("stale.counter"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsJsonlCarriesHistogramLines) {
+  obs::histRecord("hist.latency.us", 5.0);
+  obs::histRecord("hist.latency.us", 50.0);
+  obs::histRecord("hist.latency.us", 500.0);
+  std::ostringstream os;
+  obs::registry().writeMetricsJsonl(os);
+
+  // Find and parse the hist line; it must carry the full percentile set
+  // (monotone) and a CDF array ending at fraction 1.
+  std::istringstream lines(os.str());
+  std::string line;
+  bool found = false;
+  while (std::getline(lines, line)) {
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::parseJson(line, v, &err)) << err << ": " << line;
+    if (v.stringOr("type", "") != "hist") continue;
+    found = true;
+    EXPECT_EQ(v.stringOr("name", ""), "hist.latency.us");
+    EXPECT_DOUBLE_EQ(v.numberOr("count", -1), 3.0);
+    const double p50 = v.numberOr("p50", -1);
+    const double p90 = v.numberOr("p90", -1);
+    const double p99 = v.numberOr("p99", -1);
+    const double p999 = v.numberOr("p999", -1);
+    EXPECT_GE(p50, v.numberOr("min", 1e300));
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(p999, v.numberOr("max", -1));
+    const util::JsonValue* cdf = v.find("cdf");
+    ASSERT_NE(cdf, nullptr);
+    ASSERT_TRUE(cdf->isArray());
+    ASSERT_FALSE(cdf->array.empty());
+    const util::JsonValue& last = cdf->array.back();
+    ASSERT_TRUE(last.isArray());
+    ASSERT_EQ(last.array.size(), 2u);
+    EXPECT_DOUBLE_EQ(last.array[1].number, 1.0);
+  }
+  EXPECT_TRUE(found) << os.str();
+}
+
+// --- Chrome-trace field validation (parsed, not substring-matched) -----------
+
+TEST_F(ObsTest, ChromeTraceFieldsParseAndCarryRequiredKeys) {
+  {
+    obs::Span s("trace.fields");
+    s.arg("n", 3);
+  }
+  std::ostringstream os;
+  obs::registry().writeChromeTrace(os);
+
+  util::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(util::parseJson(os.str(), doc, &err)) << err;
+  const util::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+  ASSERT_EQ(events->array.size(), 1u);
+  const util::JsonValue& ev = events->array[0];
+  EXPECT_EQ(ev.stringOr("ph", ""), "X");
+  EXPECT_EQ(ev.stringOr("name", ""), "trace.fields");
+  ASSERT_NE(ev.find("ts"), nullptr);
+  ASSERT_NE(ev.find("dur"), nullptr);
+  ASSERT_NE(ev.find("tid"), nullptr);
+  ASSERT_NE(ev.find("pid"), nullptr);
+  EXPECT_GE(ev.numberOr("dur", -1), 0.0);
+  EXPECT_GE(ev.numberOr("tid", 0), 1.0);
+  const util::JsonValue* args = ev.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->numberOr("n", 0), 3.0);
+}
+
+TEST_F(ObsTest, PoolWorkerTidsAreStableAcrossReset) {
+  // Worker threads register their trace logs at spawn; reset() must not
+  // renumber them.  Run spans on the pool, snapshot the tids, reset, run
+  // again: the tid set must be identical.
+  runtime::ThreadPool pool(4);
+  runtime::ParallelOptions opt;
+  opt.pool = &pool;
+  auto tidSet = [&] {
+    std::ostringstream os;
+    obs::registry().writeChromeTrace(os);
+    util::JsonValue doc;
+    std::string err;
+    EXPECT_TRUE(util::parseJson(os.str(), doc, &err)) << err;
+    std::set<double> tids;
+    if (const util::JsonValue* evs = doc.find("traceEvents"))
+      for (const util::JsonValue& ev : evs->array)
+        tids.insert(ev.numberOr("tid", -1));
+    return tids;
+  };
+  runtime::parallelFor(
+      64, [](std::size_t) { obs::Span s("pool.work"); }, opt);
+  const std::set<double> before = tidSet();
+  EXPECT_GE(before.size(), 1u);
+  obs::registry().reset();
+  runtime::parallelFor(
+      64, [](std::size_t) { obs::Span s("pool.work2"); }, opt);
+  const std::set<double> after = tidSet();
+  for (const double t : after)
+    EXPECT_TRUE(before.count(t) == 1 || t >= *before.rbegin())
+        << "tid " << t << " renumbered by reset";
+}
+
+// --- P² degenerate-input hardening + property test ---------------------------
+
+TEST_F(ObsTest, P2ConstantStreamStaysInRange) {
+  // Constant and near-duplicate streams: estimates must stay within the
+  // observed range and the published (p50, p95) pair must be monotone.
+  obs::Distribution d;
+  for (int i = 0; i < 1000; ++i) d.record(42.0);
+  EXPECT_DOUBLE_EQ(d.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(d.p95(), 42.0);
+
+  obs::Distribution d2;
+  for (int i = 0; i < 1000; ++i) d2.record(i % 2 == 0 ? 1.0 : 1.0 + 1e-12);
+  EXPECT_GE(d2.p50(), 1.0);
+  EXPECT_LE(d2.p95(), 1.0 + 1e-12);
+  EXPECT_LE(d2.p50(), d2.p95());
+}
+
+TEST_F(ObsTest, P2VersusHistogramVersusExactSort) {
+  // Property test across stream shapes: P² (sketch), LogHistogram
+  // (bucketed) and an exact sort must agree within their documented error
+  // bounds, and both sketches must respect range and monotonicity.
+  struct Shape {
+    const char* name;
+    std::function<double(Rng&, int)> gen;
+  };
+  const std::vector<Shape> shapes = {
+      {"uniform", [](Rng& r, int) {
+         return static_cast<double>(r.range(1, 100000));
+       }},
+      {"constant", [](Rng&, int) { return 777.0; }},
+      {"two-point", [](Rng& r, int) { return r.flip() ? 10.0 : 1000.0; }},
+      {"ramp", [](Rng&, int i) { return static_cast<double>(i + 1); }},
+      {"heavy-tail", [](Rng& r, int) {
+         return 1.0 / (1.0 - r.uniform() * 0.999);
+       }},
+  };
+  for (const Shape& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    Rng rng(99);
+    obs::Distribution d;
+    obs::LogHistogram h;
+    std::vector<double> exact;
+    for (int i = 0; i < 5000; ++i) {
+      const double v = shape.gen(rng, i);
+      d.record(v);
+      h.record(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    const double lo = exact.front(), hi = exact.back();
+    auto exactQ = [&](double p) {
+      return exact[std::min(exact.size() - 1,
+                            static_cast<std::size_t>(
+                                p * static_cast<double>(exact.size())))];
+    };
+
+    // Range + monotonicity invariants (the degenerate-input fix).
+    EXPECT_GE(d.p50(), lo);
+    EXPECT_LE(d.p50(), hi);
+    EXPECT_GE(d.p95(), lo);
+    EXPECT_LE(d.p95(), hi);
+    EXPECT_LE(d.p50(), d.p95());
+
+    const obs::LogHistogram::Snapshot s = h.snapshot();
+    double prev = 0;
+    for (const double p : {0.5, 0.9, 0.99}) {
+      const double q = s.quantile(p);
+      EXPECT_GE(q, prev);  // monotone in p by construction
+      prev = q;
+      // Histogram error bound: <= 1/32 relative plus integer rounding.
+      const double want = exactQ(p);
+      EXPECT_NEAR(q, want, want / 16.0 + 1.5)
+          << "hist quantile p=" << p;
+    }
+    // P² accuracy is only loosely bounded; sanity-check the median lands
+    // in the central mass on continuous-ish shapes.
+    if (std::string(shape.name) == "uniform" ||
+        std::string(shape.name) == "ramp") {
+      EXPECT_NEAR(d.p50(), exactQ(0.5), (hi - lo) * 0.1);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Tests for the perf-comparison core behind gkll_report (src/obs/report.h):
+// the direction heuristic, both metric-file formats, and the gate verdicts —
+// including the two properties CI leans on: an identical-run self-compare
+// must pass, and an injected 20%+ regression must fail.
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace gkll {
+namespace {
+
+using obs::CompareResult;
+using obs::DeltaVerdict;
+using obs::MetricDelta;
+using obs::MetricDirection;
+using obs::MetricsFile;
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + "gkll_report_" + name;
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+const MetricDelta* find(const CompareResult& r, const std::string& name) {
+  for (const MetricDelta& d : r.deltas)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+TEST(Report, DirectionHeuristic) {
+  using obs::directionOf;
+  EXPECT_EQ(directionOf("oracle.queries_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(directionOf("session_speedup"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(directionOf("sim.throughput"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(directionOf("attack_wall_ms_p50"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(directionOf("attack.oracle.us.p99"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(directionOf("solve.cpu_seconds"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(directionOf("arena.bytes"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(directionOf("conflicts_per_dip"), MetricDirection::kLowerIsBetter);
+  // Workload descriptors never gate.
+  EXPECT_EQ(directionOf("attack_wall_ms_count"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(directionOf("attack.dips.count"), MetricDirection::kInformational);
+  EXPECT_EQ(directionOf("pool.threads"), MetricDirection::kInformational);
+  EXPECT_EQ(directionOf("parallel_identical"),
+            MetricDirection::kInformational);
+}
+
+TEST(Report, LoadsBenchJsonObject) {
+  const std::string path = tempPath("bench.json");
+  spit(path,
+       "{\n  \"events_per_sec\": 1.5e6,\n  \"queue_high_water\": 42,\n"
+       "  \"label\": \"not-a-number\",\n  \"sim_runs\": 300\n}\n");
+  MetricsFile mf;
+  std::string err;
+  ASSERT_TRUE(obs::loadMetricsFile(path, mf, err)) << err;
+  EXPECT_EQ(mf.metrics.size(), 3u);  // the string field is skipped
+  EXPECT_DOUBLE_EQ(mf.metrics.at("events_per_sec").value, 1.5e6);
+  EXPECT_DOUBLE_EQ(mf.metrics.at("queue_high_water").value, 42.0);
+}
+
+TEST(Report, LoadsMetricsJsonlStream) {
+  const std::string path = tempPath("metrics.jsonl");
+  spit(path,
+       "{\"type\":\"counter\",\"name\":\"attack.dips\",\"value\":128}\n"
+       "\n"
+       "{\"type\":\"dist\",\"name\":\"oracle.us\",\"count\":10,"
+       "\"mean\":5.5,\"p50\":5.0,\"p95\":9.0}\n"
+       "{\"type\":\"hist\",\"name\":\"attack.oracle.us\",\"count\":10,"
+       "\"min\":1,\"max\":20,\"mean\":6.0,\"p50\":5.0,\"p90\":12.0,"
+       "\"p99\":19.0,\"p999\":20.0,\"cdf\":[[20,1.0]]}\n");
+  MetricsFile mf;
+  std::string err;
+  ASSERT_TRUE(obs::loadMetricsFile(path, mf, err)) << err;
+  EXPECT_DOUBLE_EQ(mf.metrics.at("attack.dips").value, 128.0);
+  EXPECT_DOUBLE_EQ(mf.metrics.at("oracle.us.p95").value, 9.0);
+  EXPECT_DOUBLE_EQ(mf.metrics.at("attack.oracle.us.p999").value, 20.0);
+  // The cdf array and the name field don't flatten into scalars.
+  EXPECT_EQ(mf.metrics.count("attack.oracle.us.cdf"), 0u);
+  EXPECT_EQ(mf.metrics.count("attack.oracle.us.name"), 0u);
+}
+
+TEST(Report, RejectsUnreadableAndGarbage) {
+  MetricsFile mf;
+  std::string err;
+  EXPECT_FALSE(obs::loadMetricsFile(tempPath("missing.json"), mf, err));
+  EXPECT_FALSE(err.empty());
+
+  const std::string path = tempPath("garbage.jsonl");
+  spit(path, "this is not json\n");
+  err.clear();
+  EXPECT_FALSE(obs::loadMetricsFile(path, mf, err));
+  EXPECT_NE(err.find(":1:"), std::string::npos) << err;  // line number
+}
+
+MetricsFile mf(std::initializer_list<std::pair<const char*, double>> kv) {
+  MetricsFile m;
+  for (const auto& [k, v] : kv) m.metrics[k] = {v};
+  return m;
+}
+
+TEST(Report, SelfCompareIsAlwaysClean) {
+  const MetricsFile run = mf({{"attack_wall_ms_p50", 120.0},
+                              {"oracle.queries_per_sec", 5e4},
+                              {"attack.dips.count", 17.0}});
+  const CompareResult r = obs::compareMetrics(run, run, 0.10);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.improvements, 0u);
+  for (const MetricDelta& d : r.deltas) EXPECT_DOUBLE_EQ(d.relChange, 0.0);
+}
+
+TEST(Report, DetectsInjectedRegressionBothDirections) {
+  const MetricsFile base =
+      mf({{"attack_wall_ms_p50", 100.0}, {"oracle.queries_per_sec", 1000.0}});
+  // +25% wall time and -25% throughput: both must gate at 10% tolerance.
+  const MetricsFile cur =
+      mf({{"attack_wall_ms_p50", 125.0}, {"oracle.queries_per_sec", 750.0}});
+  const CompareResult r = obs::compareMetrics(base, cur, 0.10);
+  EXPECT_EQ(r.regressions, 2u);
+  const MetricDelta* wall = find(r, "attack_wall_ms_p50");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->verdict, DeltaVerdict::kRegression);
+  EXPECT_NEAR(wall->relChange, 0.25, 1e-12);
+  const MetricDelta* qps = find(r, "oracle.queries_per_sec");
+  ASSERT_NE(qps, nullptr);
+  EXPECT_EQ(qps->verdict, DeltaVerdict::kRegression);
+  EXPECT_NEAR(qps->relChange, -0.25, 1e-12);
+  // Regressions sort to the front for the CI log.
+  EXPECT_EQ(r.deltas.front().verdict, DeltaVerdict::kRegression);
+}
+
+TEST(Report, GoodMovementIsImprovementNotRegression) {
+  const MetricsFile base =
+      mf({{"attack_wall_ms_p50", 100.0}, {"oracle.queries_per_sec", 1000.0}});
+  const MetricsFile cur =
+      mf({{"attack_wall_ms_p50", 60.0}, {"oracle.queries_per_sec", 2000.0}});
+  const CompareResult r = obs::compareMetrics(base, cur, 0.10);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(r.improvements, 2u);
+}
+
+TEST(Report, ToleranceAndOverridesGate) {
+  const MetricsFile base = mf({{"a_wall_ms", 100.0}, {"b_wall_ms", 100.0}});
+  const MetricsFile cur = mf({{"a_wall_ms", 115.0}, {"b_wall_ms", 115.0}});
+  // Default 10%: both regress.  Override b to 25%: only a regresses.
+  EXPECT_EQ(obs::compareMetrics(base, cur, 0.10).regressions, 2u);
+  obs::ToleranceMap loose{{"b_wall_ms", 0.25}};
+  const CompareResult r = obs::compareMetrics(base, cur, 0.10, loose);
+  EXPECT_EQ(r.regressions, 1u);
+  EXPECT_EQ(find(r, "a_wall_ms")->verdict, DeltaVerdict::kRegression);
+  EXPECT_EQ(find(r, "b_wall_ms")->verdict, DeltaVerdict::kOk);
+  // A 30% default lets both through.
+  EXPECT_EQ(obs::compareMetrics(base, cur, 0.30).regressions, 0u);
+}
+
+TEST(Report, InformationalAndOneSidedMetricsNeverGate) {
+  const MetricsFile base =
+      mf({{"dips.count", 100.0}, {"gone_wall_ms", 50.0}});
+  const MetricsFile cur = mf({{"dips.count", 500.0}, {"new_wall_ms", 70.0}});
+  const CompareResult r = obs::compareMetrics(base, cur, 0.10);
+  EXPECT_EQ(r.regressions, 0u);
+  EXPECT_EQ(find(r, "dips.count")->verdict, DeltaVerdict::kInfo);
+  const MetricDelta* gone = find(r, "gone_wall_ms");
+  ASSERT_NE(gone, nullptr);
+  EXPECT_EQ(gone->verdict, DeltaVerdict::kInfo);
+  EXPECT_TRUE(gone->inBaseline);
+  EXPECT_FALSE(gone->inCurrent);
+  const MetricDelta* fresh = find(r, "new_wall_ms");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_FALSE(fresh->inBaseline);
+  EXPECT_TRUE(fresh->inCurrent);
+}
+
+TEST(Report, ZeroBaselineUsesFullScaleChange) {
+  const MetricsFile base = mf({{"x_wall_ms", 0.0}});
+  const MetricsFile cur = mf({{"x_wall_ms", 5.0}});
+  const CompareResult r = obs::compareMetrics(base, cur, 0.10);
+  const MetricDelta* d = find(r, "x_wall_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->relChange, 1.0);
+  EXPECT_EQ(d->verdict, DeltaVerdict::kRegression);
+}
+
+TEST(Report, FormatCompareMentionsEveryVerdict) {
+  const MetricsFile base =
+      mf({{"slow_wall_ms", 100.0}, {"fast_wall_ms", 100.0},
+          {"steady_wall_ms", 100.0}, {"n.count", 3.0}});
+  const MetricsFile cur =
+      mf({{"slow_wall_ms", 150.0}, {"fast_wall_ms", 50.0},
+          {"steady_wall_ms", 101.0}, {"n.count", 4.0}});
+  const std::string text =
+      obs::formatCompare(obs::compareMetrics(base, cur, 0.10));
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+  EXPECT_NE(text.find("improvement"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 regression(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 improvement(s)"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace gkll

@@ -1,0 +1,153 @@
+// gkll_report — the perf-regression gate and artifact validator.
+//
+//   gkll_report compare BASELINE CURRENT [--tolerance PCT]
+//                       [--metric-tolerance NAME=PCT ...] [--all]
+//     Diff two metric files (BENCH_*.json or *.metrics.jsonl).  Prints a
+//     delta table; exits 1 when any gated metric regressed past its
+//     tolerance, 0 otherwise.  --all prints ok/info lines too (default
+//     prints regressions, improvements and one-sided metrics).
+//
+//   gkll_report validate FILE...
+//     Each FILE is parsed as a run journal (first line "journal.header"),
+//     a metrics JSONL stream, or a BENCH json object.  Prints a summary
+//     per file; exits 1 on any unreadable/corrupt file.  A journal with a
+//     truncated tail validates (that is the crash-safety contract) but the
+//     damage is reported.
+//
+// Exit codes: 0 ok, 1 regression/validation failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/report.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gkll_report compare BASELINE CURRENT [--tolerance PCT]\n"
+      "                   [--metric-tolerance NAME=PCT ...] [--all]\n"
+      "       gkll_report validate FILE...\n");
+  return 2;
+}
+
+bool looksLikeJournal(const std::string& path) {
+  std::ifstream f(path);
+  std::string first;
+  if (!f || !std::getline(f, first)) return false;
+  return first.find("\"journal.header\"") != std::string::npos;
+}
+
+int runCompare(const std::vector<std::string>& args) {
+  std::string basePath, curPath;
+  double tolerance = 0.10;
+  gkll::obs::ToleranceMap overrides;
+  bool showAll = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--tolerance") {
+      if (++i == args.size()) return usage();
+      tolerance = std::atof(args[i].c_str()) / 100.0;
+    } else if (a == "--metric-tolerance") {
+      if (++i == args.size()) return usage();
+      const std::size_t eq = args[i].find('=');
+      if (eq == std::string::npos) return usage();
+      overrides[args[i].substr(0, eq)] =
+          std::atof(args[i].c_str() + eq + 1) / 100.0;
+    } else if (a == "--all") {
+      showAll = true;
+    } else if (basePath.empty()) {
+      basePath = a;
+    } else if (curPath.empty()) {
+      curPath = a;
+    } else {
+      return usage();
+    }
+  }
+  if (basePath.empty() || curPath.empty()) return usage();
+
+  gkll::obs::MetricsFile base, cur;
+  std::string err;
+  if (!gkll::obs::loadMetricsFile(basePath, base, err)) {
+    std::fprintf(stderr, "gkll_report: %s\n", err.c_str());
+    return 1;
+  }
+  if (!gkll::obs::loadMetricsFile(curPath, cur, err)) {
+    std::fprintf(stderr, "gkll_report: %s\n", err.c_str());
+    return 1;
+  }
+
+  gkll::obs::CompareResult r =
+      gkll::obs::compareMetrics(base, cur, tolerance, overrides);
+  if (!showAll) {
+    std::vector<gkll::obs::MetricDelta> kept;
+    for (gkll::obs::MetricDelta& d : r.deltas) {
+      if (d.verdict == gkll::obs::DeltaVerdict::kRegression ||
+          d.verdict == gkll::obs::DeltaVerdict::kImprovement ||
+          !d.inBaseline || !d.inCurrent)
+        kept.push_back(std::move(d));
+    }
+    const std::size_t total = r.deltas.size();
+    r.deltas = std::move(kept);
+    std::printf("%s vs %s (%zu metrics, showing %zu; --all for everything)\n",
+                basePath.c_str(), curPath.c_str(), total, r.deltas.size());
+  } else {
+    std::printf("%s vs %s\n", basePath.c_str(), curPath.c_str());
+  }
+  std::fputs(gkll::obs::formatCompare(r).c_str(), stdout);
+  return r.regressions > 0 ? 1 : 0;
+}
+
+int validateOne(const std::string& path) {
+  if (looksLikeJournal(path)) {
+    gkll::obs::JournalReader reader;
+    if (!reader.read(path)) {
+      std::printf("%s: INVALID journal (%s)\n", path.c_str(),
+                  reader.error().c_str());
+      return 1;
+    }
+    std::printf("%s: journal ok — schema %d, tool \"%s\", %zu record(s)",
+                path.c_str(), reader.schema(), reader.tool().c_str(),
+                reader.records().size());
+    if (reader.truncatedTail())
+      std::printf(", TRUNCATED tail (%zu byte(s) dropped)",
+                  reader.droppedBytes());
+    const auto done = reader.completedScenarios();
+    if (!done.empty())
+      std::printf(", %zu completed scenario(s)", done.size());
+    std::printf("\n");
+    return 0;
+  }
+  gkll::obs::MetricsFile mf;
+  std::string err;
+  if (!gkll::obs::loadMetricsFile(path, mf, err)) {
+    std::printf("%s: INVALID metrics (%s)\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("%s: metrics ok — %zu metric(s)\n", path.c_str(),
+              mf.metrics.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "compare") return runCompare(args);
+  if (cmd == "validate") {
+    if (args.empty()) return usage();
+    int rc = 0;
+    for (const std::string& p : args)
+      if (validateOne(p) != 0) rc = 1;
+    return rc;
+  }
+  return usage();
+}
