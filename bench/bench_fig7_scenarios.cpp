@@ -9,11 +9,17 @@
 //
 // In every scenario the capture is clean (no setup/hold violation); only
 // the *value* changes with the trigger timing.  That timing sensitivity
-// is the entire key space of the GK.  The four simulations are
-// independent, so they run through the shared scenario driver
-// (serial-vs-parallel identity checked, speedup in BENCH_fig7.json).
+// is the entire key space of the GK.  The four simulations are declared
+// as build → sim stage chains on the task-graph driver; because one
+// simulation is sub-millisecond, the driver repeats each scenario as
+// independent DAG instances (all byte-compared, rep 0 reported) so the
+// serial-vs-parallel speedup in BENCH_fig7.json measures real overlap
+// rather than scheduling noise.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist.h"
@@ -45,45 +51,70 @@ int main() {
       {"(d) glitchless (key constant)", -1, "Q = x' (inverter)"},
   };
 
+  // Deliberately not default-constructible: the result slots are built in
+  // place by the driver, so a row type carries no dummy state.
   struct Outcome {
-    char got = '?';
-    long long violations = 0;
+    char got;
+    long long violations;
     std::string diagram;
+    Outcome(char g, long long v, std::string d)
+        : got(g), violations(v), diagram(std::move(d)) {}
     bool operator==(const Outcome&) const = default;
   };
-  auto scenario = [&](std::size_t s) -> Outcome {
-    const Scenario& sc = scenarios[s];
-    Netlist nl("fig7");
-    const NetId x = nl.addPI("x");
-    const NetId key = nl.addPI("key");
-    const GkInstance gk = buildGk(nl, x, key, /*bufferVariant=*/false,
-                                  glitchLen - lib.maxDelay(CellKind::kXnor2),
-                                  glitchLen - lib.maxDelay(CellKind::kXor2),
-                                  "gk");
-    const NetId q = nl.addNet("q");
-    nl.addGate(CellKind::kDff, {gk.y}, q);
-    nl.markPO(q);
-
-    EventSimConfig cfg;
-    cfg.clockPeriod = tclk;
-    cfg.simTime = ns(10);  // a single capture edge at 8 ns
-    EventSim sim(nl, cfg);
-    sim.setInitialInput(x, Logic::T);
-    sim.setInitialInput(key, Logic::F);
-    if (sc.trigger >= 0) sim.drive(key, sc.trigger, Logic::T);
-    sim.run();
-
-    Outcome out;
-    out.got = logicChar(sim.valueAt(q, tclk + lib.clkToQ() + 20));
-    out.violations = static_cast<long long>(sim.violations().size());
-    const std::vector<Trace> traces = {{"key", &sim.wave(key)},
-                                       {"y(D)", &sim.wave(gk.y)},
-                                       {"Q", &sim.wave(q)}};
-    out.diagram = renderDiagram(traces, ns(5), ns(10), 100);
-    return out;
+  struct St {
+    Netlist nl{"fig7"};
+    NetId x = kNoNet;
+    NetId key = kNoNet;
+    GkInstance gk;
+    NetId q = kNoNet;
   };
+
+  auto build = [&](bench::StagePlan<Outcome>& plan) {
+    auto state = std::make_shared<std::vector<St>>(plan.instances());
+    for (std::size_t k = 0; k < plan.instances(); ++k) {
+      const Scenario& sc = scenarios[plan.scenarioOf(k)];
+      auto gen = plan.stage(
+          k, "build",
+          [state, k, &lib, glitchLen](bench::StageCtx&) {
+            St& st = (*state)[k];
+            st.x = st.nl.addPI("x");
+            st.key = st.nl.addPI("key");
+            st.gk = buildGk(st.nl, st.x, st.key, /*bufferVariant=*/false,
+                            glitchLen - lib.maxDelay(CellKind::kXnor2),
+                            glitchLen - lib.maxDelay(CellKind::kXor2), "gk");
+            st.q = st.nl.addNet("q");
+            st.nl.addGate(CellKind::kDff, {st.gk.y}, st.q);
+            st.nl.markPO(st.q);
+          });
+      plan.result(
+          k, "sim",
+          [state, k, &sc, &lib, tclk](bench::StageCtx&) -> Outcome {
+            St& st = (*state)[k];
+            EventSimConfig cfg;
+            cfg.clockPeriod = tclk;
+            cfg.simTime = ns(10);  // a single capture edge at 8 ns
+            EventSim sim(st.nl, cfg);
+            sim.setInitialInput(st.x, Logic::T);
+            sim.setInitialInput(st.key, Logic::F);
+            if (sc.trigger >= 0) sim.drive(st.key, sc.trigger, Logic::T);
+            sim.run();
+
+            const char got =
+                logicChar(sim.valueAt(st.q, tclk + lib.clkToQ() + 20));
+            const std::vector<Trace> traces = {{"key", &sim.wave(st.key)},
+                                               {"y(D)", &sim.wave(st.gk.y)},
+                                               {"Q", &sim.wave(st.q)}};
+            return Outcome(
+                got, static_cast<long long>(sim.violations().size()),
+                renderDiagram(traces, ns(5), ns(10), 100));
+          },
+          {gen});
+    }
+  };
+  bench::StagedOptions sopt;
+  sopt.reps = 32;  // 4 scenarios x 32 reps = 128 independent instances
   const std::vector<Outcome> outcomes =
-      bench::dualRun<Outcome>(std::size(scenarios), scenario, rep);
+      bench::dualRunStaged<Outcome>(std::size(scenarios), build, rep, sopt);
 
   Table t("Fig. 7 — capture results for the four scenarios (x = 1, Tclk = 8 ns)");
   t.header({"Scenario", "key transition", "captured Q", "violations",

@@ -7,16 +7,22 @@
 // scenario).  The last column is the size of the Karmakar-style [4]
 // same-PO-fanout group among the available flops.
 //
-// The per-benchmark analyses are independent, so they run as scenarios on
-// the work-stealing pool — twice (serial, then parallel) through
-// bench::dualRun, which byte-compares the runs and records the speedup in
-// BENCH_table1.json.
+// Each benchmark is declared as a gen → sta → analyze → karmakar stage
+// chain on the task-graph driver (bench::dualRunStaged): stages of
+// different benchmarks overlap on the work-stealing pool, and the dominant
+// karmakar stage (PO-reachability propagation on the big circuits) runs
+// its own level-parallel sweep on ctx.pool.  The whole graph executes
+// twice — serial pool, then the global pool — byte-compared, with the
+// speedup and the DAG's work/critical-path split in BENCH_table1.json.
 //
 // Paper reference values (Table I):
 //   s1238 16/88.89/4   s5378 104/63.80/89   s9234 74/51.03/59
 //   s13207 185/56.06/36   s15850 58/43.28/51   s38417 1037/66.30/920
 //   s38584 924/79.11/105   (average coverage 64.07%)
 #include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "benchgen/synthetic_bench.h"
 #include "flow/ff_select.h"
@@ -40,41 +46,76 @@ int main() {
     double cov = 0.0;
     bool operator==(const Row&) const = default;
   };
-  auto scenario = [&](std::size_t s) -> Row {
-    const BenchSpec& spec = specs[s];
-    Netlist nl = generateBenchmark(spec);
-    const PlacementResult pr = placeAndRoute(nl, PlacementOptions{});
-
+  // Inter-stage state of one benchmark instance.  The vector is sized once
+  // per pass and never resized, so the Sta's reference to nl stays stable.
+  struct St {
+    Netlist nl{"pending"};
+    PlacementResult pr;
     StaConfig cfg;
-    cfg.inputArrival = lib.clkToQ();
-    Sta probe(nl, cfg, lib);
-    for (std::size_t i = 0; i < nl.flops().size(); ++i)
-      probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
-    cfg.clockPeriod = probe.minClockPeriod(100);
-
-    Sta sta(nl, cfg, lib);
-    for (std::size_t i = 0; i < nl.flops().size(); ++i)
-      sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
-
-    GkParams proto;
-    proto.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
-    proto.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
-    const GkTiming gk = gkTiming(proto, lib);
-    const auto cands = analyzeFlops(nl, sta, gk, FfSelectOptions{ns(1), 150});
-    const std::size_t avail = countAvailable(cands);
-    const auto group = karmakarGroup(nl, cands);
-
-    const NetlistStats st = nl.stats(lib);
-    Row row;
-    row.cells = static_cast<long long>(st.numCells);
-    row.ffs = static_cast<long long>(st.numFFs);
-    row.avail = static_cast<long long>(avail);
-    row.group = static_cast<long long>(group.size());
-    row.cov =
-        100.0 * static_cast<double>(avail) / static_cast<double>(st.numFFs);
-    return row;
+    std::optional<Sta> sta;
+    GkTiming gk;
+    std::vector<FfCandidate> cands;
+    std::size_t avail = 0;
   };
-  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, rep);
+
+  auto build = [&](bench::StagePlan<Row>& plan) {
+    auto state = std::make_shared<std::vector<St>>(plan.instances());
+    for (std::size_t k = 0; k < plan.instances(); ++k) {
+      const std::size_t s = plan.scenarioOf(k);
+      auto gen = plan.stage(k, "gen", [state, k, s, &specs](bench::StageCtx&) {
+        St& st = (*state)[k];
+        st.nl = generateBenchmark(specs[s]);
+        st.pr = placeAndRoute(st.nl, PlacementOptions{});
+      });
+      auto sta = plan.stage(
+          k, "sta",
+          [state, k, &lib](bench::StageCtx&) {
+            St& st = (*state)[k];
+            st.cfg.inputArrival = lib.clkToQ();
+            Sta probe(st.nl, st.cfg, lib);
+            for (std::size_t i = 0; i < st.nl.flops().size(); ++i)
+              probe.setClockArrival(st.nl.flops()[i], st.pr.clockArrival[i]);
+            st.cfg.clockPeriod = probe.minClockPeriod(100);
+            st.sta.emplace(st.nl, st.cfg, lib);
+            for (std::size_t i = 0; i < st.nl.flops().size(); ++i)
+              st.sta->setClockArrival(st.nl.flops()[i], st.pr.clockArrival[i]);
+          },
+          {gen});
+      auto analyze = plan.stage(
+          k, "analyze",
+          [state, k, &lib](bench::StageCtx&) {
+            St& st = (*state)[k];
+            GkParams proto;
+            proto.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
+            proto.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
+            st.gk = gkTiming(proto, lib);
+            st.cands =
+                analyzeFlops(st.nl, *st.sta, st.gk, FfSelectOptions{ns(1), 150});
+            st.avail = countAvailable(st.cands);
+          },
+          {sta});
+      plan.result(
+          k, "karmakar",
+          [state, k, &lib](bench::StageCtx& ctx) -> Row {
+            St& st = (*state)[k];
+            // The heavy stage: PO-reachability grouping, level-parallel on
+            // the pass's pool (serial pass = 1 lane = plain loops).
+            const auto group = karmakarGroup(st.nl, st.cands, ctx.pool);
+            const NetlistStats stats = st.nl.stats(lib);
+            Row row;
+            row.cells = static_cast<long long>(stats.numCells);
+            row.ffs = static_cast<long long>(stats.numFFs);
+            row.avail = static_cast<long long>(st.avail);
+            row.group = static_cast<long long>(group.size());
+            row.cov = 100.0 * static_cast<double>(st.avail) /
+                      static_cast<double>(stats.numFFs);
+            return row;
+          },
+          {analyze});
+    }
+  };
+  const std::vector<Row> rows =
+      bench::dualRunStaged<Row>(specs.size(), build, rep);
 
   Table t("TABLE I — the number of available FFs for encryption (1 ns on-glitch GK)");
   t.header({"Bench.", "Cell", "FF", "Ava. FF", "Cov. (%)", "Ava. FF [4]",

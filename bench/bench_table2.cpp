@@ -2,8 +2,8 @@
 // 4 / 8 / 16 GKs (8 / 16 / 32 key-inputs) and the hybrid configuration of
 // 8 GKs + 16 XOR key gates (32 key-inputs).
 //
-// One scenario = one benchmark (all four lock configurations), run on the
-// work-stealing pool via bench::dualRun — serial then parallel, results
+// One scenario = one benchmark declared as a gen → 4×lock → reduce stage
+// diamond on the task-graph driver — serial then parallel, results
 // byte-compared, speedup recorded in BENCH_table2.json.
 //
 // Paper averages: 9.48/10.68 (4 GKs), 14.30/12.22 (8), 27.63/26.11 (16),
@@ -14,6 +14,8 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "benchgen/synthetic_bench.h"
 #include "flow/gk_flow.h"
@@ -55,24 +57,48 @@ int main() {
     std::array<Cell, 4> cells;
     bool operator==(const Row&) const = default;
   };
-  auto scenario = [&](std::size_t s) -> Row {
-    Row row;
-    const Netlist original = generateBenchmark(specs[s]);
-    for (int c = 0; c < 4; ++c) {
-      GkFlowOptions opt;
-      opt.numGks = configs[c].gks;
-      opt.hybridXorKeys = configs[c].xors;
-      opt.seed = 11 + static_cast<std::uint64_t>(c);
-      const GkFlowResult r = runGkFlow(original, opt);
-      if (static_cast<int>(r.insertions.size()) < configs[c].gks ||
-          !r.verify.ok())
-        continue;  // not enough feasible flops (paper's dashes)
-      row.cells[static_cast<std::size_t>(c)] =
-          Cell{true, r.cellOverheadPct, r.areaOverheadPct};
-    }
-    return row;
+  // One benchmark = one gen stage fanning out into four independent lock
+  // stages (one per GK configuration, each reading the shared generated
+  // netlist and writing only its own cell) joined by a reduce stage — the
+  // task graph runs up to 28 lock stages concurrently across benchmarks.
+  struct St {
+    Netlist original{"pending"};
+    std::array<Cell, 4> cells{};
   };
-  const std::vector<Row> rows = bench::dualRun<Row>(specs.size(), scenario, rep);
+  auto build = [&](bench::StagePlan<Row>& plan) {
+    auto state = std::make_shared<std::vector<St>>(plan.instances());
+    for (std::size_t k = 0; k < plan.instances(); ++k) {
+      const std::size_t s = plan.scenarioOf(k);
+      auto gen = plan.stage(k, "gen", [state, k, s, &specs](bench::StageCtx&) {
+        (*state)[k].original = generateBenchmark(specs[s]);
+      });
+      std::vector<bench::StagePlan<Row>::NodeId> locks;
+      for (int c = 0; c < 4; ++c) {
+        locks.push_back(plan.stage(
+            k, "lock",
+            [state, k, c, &configs](bench::StageCtx&) {
+              St& st = (*state)[k];
+              GkFlowOptions opt;
+              opt.numGks = configs[c].gks;
+              opt.hybridXorKeys = configs[c].xors;
+              opt.seed = 11 + static_cast<std::uint64_t>(c);
+              const GkFlowResult r = runGkFlow(st.original, opt);
+              if (static_cast<int>(r.insertions.size()) < configs[c].gks ||
+                  !r.verify.ok())
+                return;  // not enough feasible flops (paper's dashes)
+              st.cells[static_cast<std::size_t>(c)] =
+                  Cell{true, r.cellOverheadPct, r.areaOverheadPct};
+            },
+            {gen}));
+      }
+      plan.result(
+          k, "reduce",
+          [state, k](bench::StageCtx&) -> Row { return Row{(*state)[k].cells}; },
+          locks);
+    }
+  };
+  const std::vector<Row> rows =
+      bench::dualRunStaged<Row>(specs.size(), build, rep);
 
   Table t("TABLE II — overhead after inserting different numbers of GKs"
           " (cell OH % / area OH %)");

@@ -22,8 +22,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -36,19 +38,21 @@
 #include "runtime/parallel.h"
 #include "runtime/pool.h"
 #include "runtime/sweep.h"
+#include "runtime/task_graph.h"
 
 namespace gkll::bench {
 
 /// Evaluate fn(i) for i in [0, n) on `pool` (null = global), results in
-/// index order.  R needs default construction and operator==.
+/// index order.  R needs only a move constructor (results are built in
+/// place) and operator== for the dual-run identity check.
 template <class R, class Fn>
 std::vector<R> runScenarios(std::size_t n, Fn&& fn,
                             runtime::ThreadPool* pool = nullptr) {
-  std::vector<R> out(n);
+  runtime::detail::Slots<R> out(n);
   runtime::ParallelOptions opt;
   opt.pool = pool;
-  runtime::parallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, opt);
-  return out;
+  runtime::parallelFor(n, [&](std::size_t i) { out.emplace(i, fn(i)); }, opt);
+  return out.take();
 }
 
 /// Serial-then-parallel double run with identity check; records
@@ -156,6 +160,255 @@ std::vector<R> dualRun(std::size_t n, Fn&& fn, Reporter& rep) {
           .i64("index", static_cast<std::int64_t>(i));
   }
   return out;
+}
+
+// --- stage-graph scenario driver ---------------------------------------------
+//
+// The grid benches used to hand the driver one opaque closure per scenario;
+// a flat parallelFor over those closures is barrier-bound on the largest
+// scenario (BENCH_table1 measured 1.07x at 2 threads).  A StagePlan instead
+// declares each scenario as a chain/diamond of *stages* — nodes in one
+// runtime::TaskGraph — so independent stages of different scenarios overlap
+// and a heavy stage can use ctx.pool for parallelism inside itself.
+//
+// Determinism: a stage's Rng is seeded by taskSeed(masterSeed,
+// taskSeed(scenario, stage-ordinal)) — a function of *what* the stage is,
+// never of scheduling or of the repetition instance — so results are
+// byte-identical serial-vs-parallel AND across repetition instances of the
+// same scenario (dualRunStaged checks both).
+
+/// Context handed to every stage body.  `pool` is the pool the pass runs
+/// on — intra-stage parallelism must use it (never ThreadPool::global(),
+/// which would parallelise the serial baseline of the dual run).
+struct StageCtx {
+  std::size_t instance = 0;  ///< DAG instance index = rep * scenarios + s
+  std::size_t scenario = 0;
+  std::size_t rep = 0;
+  runtime::ThreadPool* pool = nullptr;
+  Rng rng{0};
+};
+
+/// Per-pass driver hooks StagePlan reports into (progress ticks per stage,
+/// per-scenario wall samples and "scenario.done" journal records at
+/// instance completion — which may happen in any order; the journal reader
+/// is order-insensitive).
+struct StageHooks {
+  Reporter* rep = nullptr;
+  obs::ProgressReporter* progress = nullptr;
+  bool journal = false;  ///< emit scenario.done records (parallel pass only)
+};
+
+/// One pass's stage-graph builder handle: `reps * scenarios` independent
+/// instances, each declared as stages with explicit dependencies.  Exactly
+/// one stage per instance must be declared through result(), whose return
+/// value is emplaced into the instance's result slot (R needs no default
+/// constructor).
+template <class R>
+class StagePlan {
+ public:
+  using NodeId = runtime::TaskGraph::NodeId;
+
+  StagePlan(runtime::TaskGraph& graph, runtime::detail::Slots<R>& slots,
+            std::size_t scenarios, std::size_t reps, const StageHooks* hooks)
+      : graph_(&graph),
+        slots_(&slots),
+        scenarios_(scenarios),
+        reps_(reps),
+        inst_(scenarios * reps),
+        ordinal_(scenarios * reps, 0) {
+    hooks_ = hooks;
+  }
+
+  std::size_t scenarios() const { return scenarios_; }
+  std::size_t reps() const { return reps_; }
+  std::size_t instances() const { return scenarios_ * reps_; }
+  std::size_t scenarioOf(std::size_t k) const { return k % scenarios_; }
+  std::size_t stages() const { return stageCount_; }
+
+  /// Declare one stage of instance `k`; `deps` are NodeIds of earlier
+  /// stages (usually of the same instance).  Returns the stage's NodeId.
+  NodeId stage(std::size_t k, std::string kind,
+               std::function<void(StageCtx&)> fn,
+               const std::vector<NodeId>& deps = {}) {
+    const std::uint64_t seedIndex =
+        runtime::taskSeed(scenarioOf(k), ordinal_[k]++);
+    inst_[k].outstanding.fetch_add(1, std::memory_order_relaxed);
+    ++stageCount_;
+    return graph_->add(
+        std::move(kind),
+        [this, k, fn = std::move(fn)](runtime::TaskCtx& tctx) {
+          StageCtx ctx;
+          ctx.instance = k;
+          ctx.scenario = scenarioOf(k);
+          ctx.rep = k / scenarios_;
+          ctx.pool = tctx.pool;
+          ctx.rng = Rng(tctx.seed);
+          const double t0 = runtime::wallMsNow();
+          fn(ctx);
+          finishStage(k, runtime::wallMsNow() - t0);
+        },
+        deps, seedIndex);
+  }
+
+  /// Declare the terminal stage of instance `k`: fn returns the instance's
+  /// result row, emplaced directly into the result slot.
+  template <class Fn>
+  NodeId result(std::size_t k, std::string kind, Fn fn,
+                const std::vector<NodeId>& deps = {}) {
+    return stage(
+        k, std::move(kind),
+        [this, k, fn = std::move(fn)](StageCtx& ctx) {
+          slots_->emplace(k, fn(ctx));
+        },
+        deps);
+  }
+
+ private:
+  struct InstanceState {
+    std::atomic<std::size_t> outstanding{0};
+    std::atomic<double> wallMs{0.0};
+  };
+
+  static void addMs(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void finishStage(std::size_t k, double ms) {
+    InstanceState& st = inst_[k];
+    addMs(st.wallMs, ms);
+    if (hooks_ && hooks_->progress) hooks_->progress->tick();
+    if (st.outstanding.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    // Last stage of the instance — completion can land in any order.
+    if (!hooks_) return;
+    if (hooks_->rep)
+      hooks_->rep->sample("scenario_wall_ms",
+                          st.wallMs.load(std::memory_order_relaxed));
+    if (hooks_->journal && k < scenarios_ && obs::journalEnabled()) {
+      obs::journalRecord("scenario.done")
+          .str("key", hooks_->rep->name() + "/" + std::to_string(k))
+          .str("bench", hooks_->rep->name())
+          .i64("index", static_cast<std::int64_t>(k));
+    }
+  }
+
+  runtime::TaskGraph* graph_;
+  runtime::detail::Slots<R>* slots_;
+  std::size_t scenarios_;
+  std::size_t reps_;
+  const StageHooks* hooks_ = nullptr;
+  std::size_t stageCount_ = 0;
+  std::vector<InstanceState> inst_;   // built single-threaded, drained by run
+  std::vector<std::uint32_t> ordinal_;
+};
+
+struct StagedOptions {
+  /// Identical repetition instances per scenario: sub-millisecond scenario
+  /// sets (fig7, fig9) repeat so a 4-lane pool has enough independent work
+  /// to measure; every instance is byte-compared, rep 0 is returned.
+  std::size_t reps = 1;
+  std::uint64_t masterSeed = 0;
+};
+
+/// Stage-graph dual run: build(plan) declares the scenario stages; the
+/// whole graph runs twice (1-lane pool, then the global pool), results are
+/// byte-compared across passes AND across repetition instances, and the
+/// usual speedup fields land in BENCH_<name>.json together with the DAG's
+/// work/critical-path decomposition:
+///   task_total_ms / critical_path_ms / dag_parallelism — the scheduling-
+///   independent upper bound on achievable speedup, meaningful even on a
+///   single-core runner where measured wall-clock speedup is ~1.
+/// Returns the rep-0 results in scenario order.
+template <class R, class Builder>
+std::vector<R> dualRunStaged(std::size_t n, Builder&& build, Reporter& rep,
+                             const StagedOptions& sopt = {}) {
+  const std::size_t reps = std::max<std::size_t>(1, sopt.reps);
+  runtime::ThreadPool serialPool(1);
+
+  // Throwaway build to learn the stage count (builders are cheap and
+  // deterministic) so the progress line knows its total up front.
+  std::size_t stagesPerPass = 0;
+  {
+    runtime::detail::Slots<R> slots(n * reps);
+    runtime::TaskGraphOptions go;
+    go.pool = &serialPool;
+    go.masterSeed = sopt.masterSeed;
+    runtime::TaskGraph g(go);
+    StagePlan<R> plan(g, slots, n, reps, nullptr);
+    build(plan);
+    stagesPerPass = plan.stages();
+  }
+  obs::ProgressReporter progress(
+      rep.name(), {.total = 2 * static_cast<std::uint64_t>(stagesPerPass),
+                   .units = "stages"});
+
+  struct Pass {
+    std::vector<R> results;
+    runtime::TaskGraph::Stats stats;
+    double wallMs = 0;
+  };
+  auto runPass = [&](runtime::ThreadPool* pool, bool journalPass) -> Pass {
+    Pass out;
+    runtime::detail::Slots<R> slots(n * reps);
+    runtime::TaskGraphOptions go;
+    go.pool = pool;
+    go.masterSeed = sopt.masterSeed;
+    runtime::TaskGraph g(go);
+    StageHooks hooks{&rep, &progress, journalPass};
+    StagePlan<R> plan(g, slots, n, reps, &hooks);
+    build(plan);
+    const double t0 = runtime::wallMsNow();
+    g.run();
+    out.wallMs = runtime::wallMsNow() - t0;
+    out.stats = g.stats();
+    out.results = slots.take();
+    return out;
+  };
+
+  const Pass serial = runPass(&serialPool, /*journalPass=*/false);
+  Pass parallel = runPass(nullptr, /*journalPass=*/true);
+  progress.done();
+
+  const bool identical = serial.results == parallel.results;
+  if (!identical)
+    std::fprintf(stderr,
+                 "[bench] WARNING: parallel stage-graph results differ from "
+                 "the serial run — determinism contract broken\n");
+  bool repsIdentical = true;
+  for (std::size_t r = 1; r < reps; ++r)
+    for (std::size_t s = 0; s < n; ++s)
+      if (!(parallel.results[r * n + s] == parallel.results[s]))
+        repsIdentical = false;
+  if (!repsIdentical)
+    std::fprintf(stderr,
+                 "[bench] WARNING: repetition instances of one scenario "
+                 "disagree — stage seeding is not rep-invariant\n");
+
+  runtime::BenchJson& json = rep.json();
+  json.set("scenarios", static_cast<double>(n));
+  json.set("reps", static_cast<double>(reps));
+  json.set("stages", static_cast<double>(stagesPerPass));
+  json.set("serial_wall_ms", serial.wallMs);
+  json.set("parallel_wall_ms", parallel.wallMs);
+  json.set("speedup",
+           parallel.wallMs > 0 ? serial.wallMs / parallel.wallMs : 1.0);
+  json.set("parallel_identical", identical ? 1.0 : 0.0);
+  json.set("reps_identical", repsIdentical ? 1.0 : 0.0);
+  json.set("task_total_ms", parallel.stats.totalTaskMs);
+  json.set("critical_path_ms", parallel.stats.criticalPathMs);
+  json.set("dag_parallelism",
+           parallel.stats.criticalPathMs > 0
+               ? parallel.stats.totalTaskMs / parallel.stats.criticalPathMs
+               : 1.0);
+  json.set("tasks_stolen", static_cast<double>(parallel.stats.stolen));
+
+  // Keep rep 0 (scenario order); erase-to-end only destroys, so R still
+  // needs no default construction or assignment.
+  parallel.results.erase(
+      parallel.results.begin() + static_cast<std::ptrdiff_t>(n),
+      parallel.results.end());
+  return std::move(parallel.results);
 }
 
 }  // namespace gkll::bench

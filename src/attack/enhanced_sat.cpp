@@ -74,29 +74,43 @@ EnhancedSatResult enhancedSatAttack(const Netlist& lockedComb,
   const std::size_t numState = chip.numSharedFlops();
   assert(dataPIs.size() == numPIs + numState);
 
-  // Probe the chip.
+  // Probe the chip.  Stimuli are pre-drawn serially — every rng.flip()
+  // happens in the exact order the old per-query loop drew them, so the
+  // stream (and therefore every downstream result) is unchanged — then the
+  // whole batch fans across queryBatch's per-lane cached sim sessions.
   obs::Span probeSpan("attack.enhanced_sat.probe");
   probeSpan.arg("samples", opt.samples);
   Rng rng(opt.seed);
-  std::vector<Sample> samples;
+  std::vector<TimingOracle::Query> queries(
+      static_cast<std::size_t>(opt.samples));
+  for (TimingOracle::Query& q : queries) {
+    q.piValues.resize(numPIs);
+    q.state.resize(numState);
+    for (Logic& v : q.piValues) v = logicFromBool(rng.flip());
+    for (Logic& v : q.state) v = logicFromBool(rng.flip());
+  }
   obs::ProgressReporter progress(
       "enhanced-sat probe",
       {.total = static_cast<std::uint64_t>(opt.samples), .units = "queries"});
-  for (int s = 0; s < opt.samples; ++s) {
-    Sample smp;
-    smp.pis.resize(numPIs);
-    smp.state.resize(numState);
-    for (Logic& v : smp.pis) v = logicFromBool(rng.flip());
-    for (Logic& v : smp.state) v = logicFromBool(rng.flip());
-    const auto t0 = std::chrono::steady_clock::now();
-    smp.cap = chip.query(smp.pis, smp.state);
-    obs::histRecord(
-        "attack.oracle.us",
-        static_cast<double>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count()));
-    samples.push_back(std::move(smp));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<TimingOracle::Capture> captures =
+      chip.queryBatch(queries, opt.pool);
+  const double batchUs = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  if (obs::enabled() && opt.samples > 0) {
+    obs::histRecord("attack.oracle.batch_us", batchUs);
+    // Amortised per-query cost — the batch analogue of the old per-query
+    // "attack.oracle.us" samples.
+    obs::histRecord("attack.oracle.us", batchUs / opt.samples);
+  }
+  std::vector<Sample> samples;
+  samples.reserve(queries.size());
+  for (std::size_t s = 0; s < queries.size(); ++s) {
+    samples.push_back(Sample{std::move(queries[s].piValues),
+                             std::move(queries[s].state),
+                             std::move(captures[s])});
     progress.tick();
   }
   progress.done();

@@ -21,9 +21,19 @@
 
 namespace gkll {
 
+namespace runtime {
+class ThreadPool;
+}
+
 struct EnhancedSatOptions {
   int samples = 16;        ///< random (PI, state) probes of the chip
   std::uint64_t seed = 23;
+  /// Pool for the oracle probe phase: the stimuli are pre-drawn serially
+  /// (keeping the RNG stream intact) and answered through
+  /// TimingOracle::queryBatch, one cached sim session per lane.  null =
+  /// the global pool; a 1-lane pool degenerates to the serial loop.
+  /// Results are byte-identical regardless — queryBatch's contract.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 struct EnhancedSatResult {

@@ -73,8 +73,9 @@ std::size_t countAvailable(const std::vector<FfCandidate>& cands) {
 }
 
 std::vector<GateId> karmakarGroup(const Netlist& nl,
-                                  const std::vector<FfCandidate>& cands) {
-  const auto sigs = poFanoutSignatures(nl);
+                                  const std::vector<FfCandidate>& cands,
+                                  runtime::ThreadPool* pool) {
+  const auto sigs = poFanoutSignatures(nl, pool);
   // Group the *available* flops by identical PO signature.
   std::map<std::vector<std::uint32_t>, std::vector<GateId>> groups;
   for (std::size_t i = 0; i < cands.size(); ++i) {

@@ -15,6 +15,10 @@
 
 namespace gkll {
 
+namespace runtime {
+class ThreadPool;
+}
+
 struct FfSelectOptions {
   Ps glitchLen = ns(1);  ///< simulated glitch length target (paper: 1 ns)
   Ps margin = 150;       ///< safety margin on every window check
@@ -43,8 +47,11 @@ std::size_t countAvailable(const std::vector<FfCandidate>& cands);
 /// Karmakar et al. [4]: among the available flops, find the largest group
 /// whose members fan out to the same set of primary outputs — encrypting
 /// within one group resists scan-based localisation.  Returns the group's
-/// flop ids (empty when no flop is available).
+/// flop ids (empty when no flop is available).  `pool` parallelises the
+/// dominant PO-reachability propagation (null = serial); the result is
+/// byte-identical either way — see poFanoutSignatures.
 std::vector<GateId> karmakarGroup(const Netlist& nl,
-                                  const std::vector<FfCandidate>& cands);
+                                  const std::vector<FfCandidate>& cands,
+                                  runtime::ThreadPool* pool = nullptr);
 
 }  // namespace gkll

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "netlist/compiled.h"
+#include "runtime/parallel.h"
 
 namespace gkll {
 
@@ -106,34 +107,68 @@ std::vector<GateId> faninCone(const Netlist& nl, NetId target) {
   return cone;
 }
 
-std::vector<std::vector<std::uint32_t>> poFanoutSignatures(const Netlist& nl) {
+std::vector<std::vector<std::uint32_t>> poFanoutSignatures(
+    const Netlist& nl, runtime::ThreadPool* pool) {
   // Reverse reachability: for each PO, mark every net in its fanin cone
   // crossing through combinational gates only (stop at DFF boundaries).
+  // Per-net formulation so the propagation parallelises deterministically:
+  //   reach[n] = ownPOs(n)  ∪  ⋃ { reach[out(g)] : g comb consumer of n }
+  // Nets are grouped by backward depth; within a level every net's set
+  // depends only on strictly shallower levels, so a level is an
+  // independent index space — each task writes only its own reach[n], and
+  // sort+unique canonicalises the merge regardless of visit order.  The
+  // result is the fixpoint of the same relation the old per-gate reverse-
+  // topo sweep computed, byte-identical with or without a pool.
   const std::size_t numPOs = nl.outputs().size();
-  // For each net, the set of POs reachable *from* it; propagate backwards
-  // from POs.  Use per-net vector<uint32_t> kept sorted+deduped; circuits
-  // here are small enough (<= ~6k gates, <= ~300 POs).
   std::vector<std::vector<std::uint32_t>> reach(nl.numNets());
 
-  // Process combinational gates in reverse dependency order so that each
-  // net's reach set is final before its fanins consume it.
   const CompiledNetlist cn = CompiledNetlist::compile(nl);
   for (std::uint32_t p = 0; p < numPOs; ++p)
     reach[nl.outputs()[p]].push_back(p);
-  // Also treat FF D-pins as sinks carrying the signature of the POs their
-  // FF eventually reaches?  The paper's algorithm [4] groups by *primary
-  // output* fanout of the FF's combinational cone, so stop at FF boundary.
+  // FF D-pins are *not* sinks: the paper's algorithm [4] groups by primary
+  // output fanout of the FF's combinational cone, so stop at FF boundary.
+
+  // Backward level of every net: 1 + max over its combinational consumers'
+  // output nets.  Iterating gates in reverse topological order finalises
+  // each output net's level before the gate pushes it to its fanins.
   const auto comb = cn.combGates();
+  std::vector<int> blevel(nl.numNets(), 0);
+  int maxLevel = 0;
   for (auto it = comb.rbegin(); it != comb.rend(); ++it) {
     const GateId g = *it;
     if (cn.out(g) == kNoNet) continue;
-    const auto& outReach = reach[cn.out(g)];
-    if (outReach.empty()) continue;
+    const int lvl = blevel[cn.out(g)] + 1;
     for (NetId in : cn.fanin(g)) {
-      auto& r = reach[in];
+      if (lvl > blevel[in]) blevel[in] = lvl;
+    }
+    if (lvl > maxLevel) maxLevel = lvl;
+  }
+  std::vector<std::vector<NetId>> byLevel(
+      static_cast<std::size_t>(maxLevel) + 1);
+  for (NetId n = 0; n < nl.numNets(); ++n)
+    byLevel[static_cast<std::size_t>(blevel[n])].push_back(n);
+
+  auto computeNet = [&](NetId n) {
+    auto& r = reach[n];
+    for (GateId g : cn.fanout(n)) {
+      if (!cn.isCombGate(g) || cn.out(g) == kNoNet) continue;
+      const auto& outReach = reach[cn.out(g)];
       r.insert(r.end(), outReach.begin(), outReach.end());
-      std::sort(r.begin(), r.end());
-      r.erase(std::unique(r.begin(), r.end()), r.end());
+    }
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+  };
+  for (const std::vector<NetId>& nets : byLevel) {
+    // Level 0 nets whose reach is empty need no canonicalisation, but the
+    // PO-marked ones do (a net may back several POs) — always compute.
+    if (pool == nullptr || pool->threads() <= 1 || nets.size() < 64) {
+      for (NetId n : nets) computeNet(n);
+    } else {
+      runtime::ParallelOptions popt;
+      popt.pool = pool;
+      popt.grain = 16;
+      runtime::parallelFor(
+          nets.size(), [&](std::size_t i) { computeNet(nets[i]); }, popt);
     }
   }
 

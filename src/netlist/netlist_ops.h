@@ -11,6 +11,10 @@
 
 namespace gkll {
 
+namespace runtime {
+class ThreadPool;
+}
+
 /// Result of extracting the combinational core of a sequential circuit.
 struct CombExtraction {
   Netlist netlist;  ///< purely combinational circuit
@@ -43,6 +47,12 @@ std::vector<GateId> faninCone(const Netlist& nl, NetId target);
 /// Used by the Karmakar-style FF grouping [4]: FFs that fan out to the same
 /// PO set resist scan-based localisation better.  Result is one sorted PO
 /// index list per flop, in flops() order.
-std::vector<std::vector<std::uint32_t>> poFanoutSignatures(const Netlist& nl);
+///
+/// `pool` parallelises the reachability propagation across nets of equal
+/// backward depth (null = serial).  Each net's set is written only by its
+/// own task and canonicalised by sort+unique, so the result is independent
+/// of the pool — byte-identical serial vs parallel.
+std::vector<std::vector<std::uint32_t>> poFanoutSignatures(
+    const Netlist& nl, runtime::ThreadPool* pool = nullptr);
 
 }  // namespace gkll

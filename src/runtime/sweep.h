@@ -14,8 +14,10 @@
 // trajectories comparable between serial and parallel runs.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -27,25 +29,84 @@
 
 namespace gkll::runtime {
 
+namespace detail {
+
+/// Fixed-size array of result slots constructed *in place*: the storage is
+/// raw until emplace(i, ...) move/direct-constructs slot i, so element
+/// types need neither default construction nor assignment — a scenario row
+/// can be exactly the aggregate its stages produce.  Concurrency contract:
+/// distinct slots may be emplaced from distinct threads (each slot's byte
+/// flag is its own memory location); a slot is written at most once, and
+/// readers synchronise through the parallel join that ends the sweep.
+template <class R>
+class Slots {
+ public:
+  explicit Slots(std::size_t n) : n_(n), built_(n, 0) {
+    data_ = std::allocator<R>().allocate(n_);
+  }
+  ~Slots() {
+    for (std::size_t i = 0; i < n_; ++i)
+      if (built_[i]) (data_ + i)->~R();
+    std::allocator<R>().deallocate(data_, n_);
+  }
+  Slots(const Slots&) = delete;
+  Slots& operator=(const Slots&) = delete;
+
+  std::size_t size() const { return n_; }
+  bool built(std::size_t i) const { return built_[i] != 0; }
+  R& operator[](std::size_t i) { return data_[i]; }
+  const R& operator[](std::size_t i) const { return data_[i]; }
+
+  template <class... Args>
+  R& emplace(std::size_t i, Args&&... args) {
+    assert(i < n_ && !built_[i]);
+    R* r = ::new (static_cast<void*>(data_ + i))
+        R(std::forward<Args>(args)...);
+    built_[i] = 1;
+    return *r;
+  }
+
+  /// Move every (fully built) slot into a vector, index order.  The moved-
+  /// from slots stay constructed; the destructor reclaims them.
+  std::vector<R> take() {
+    std::vector<R> out;
+    out.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      assert(built_[i]);
+      out.push_back(std::move(data_[i]));
+    }
+    return out;
+  }
+
+ private:
+  R* data_ = nullptr;
+  std::size_t n_ = 0;
+  std::vector<unsigned char> built_;
+};
+
+}  // namespace detail
+
 /// Milliseconds on the steady clock (wall) / of process CPU time (all
 /// threads).  wall << cpu is the signature of a saturated pool.
 double wallMsNow();
 double cpuMsNow();
 
 /// Deterministic parallel sweep: out[i] = fn(i, Rng(taskSeed(masterSeed,i))).
-/// R must be default-constructible; fn must not touch other items' state.
+/// Results are constructed in place from fn's return value, so R needs only
+/// a move constructor (no default construction, no assignment); fn must not
+/// touch other items' state.
 template <class R, class Fn>
 std::vector<R> parallelSweep(std::size_t n, std::uint64_t masterSeed, Fn&& fn,
                              const ParallelOptions& opt = {}) {
-  std::vector<R> out(n);
+  detail::Slots<R> out(n);
   parallelFor(
       n,
       [&](std::size_t i) {
         Rng rng(taskSeed(masterSeed, i));
-        out[i] = fn(i, rng);
+        out.emplace(i, fn(i, rng));
       },
       opt);
-  return out;
+  return out.take();
 }
 
 /// Scoped serial-vs-parallel measurement of one sweep body, for the

@@ -1,0 +1,162 @@
+#include "runtime/task_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "obs/telemetry.h"
+#include "runtime/sweep.h"
+
+namespace gkll::runtime {
+
+struct TaskGraph::Node final : detail::Job {
+  TaskGraph* graph = nullptr;
+  std::size_t id = 0;
+  std::string kind;
+  std::function<void(TaskCtx&)> fn;
+  std::uint64_t seed = 0;
+  std::vector<NodeId> deps;
+  std::vector<NodeId> succs;
+  std::atomic<std::size_t> remaining{0};
+
+  // Written by the (single) executing thread, read after the join.
+  std::thread::id enqueuer{};
+  bool wasExecuted = false;
+  bool wasStolen = false;
+  double durationMs = 0;
+
+  void execute() noexcept override {
+    TaskGraph& g = *graph;
+    const bool skip = g.abort_.load(std::memory_order_relaxed) ||
+                      g.opt_.cancel.canceled() || g.opt_.deadline.expired();
+    if (skip) {
+      // Record *why* the body was skipped so run() can report the cause.
+      if (g.opt_.cancel.canceled())
+        g.sawCancel_.store(true, std::memory_order_relaxed);
+      if (g.opt_.deadline.expired())
+        g.sawDeadline_.store(true, std::memory_order_relaxed);
+    } else {
+      const double t0 = wallMsNow();
+      try {
+        TaskCtx ctx;
+        ctx.node = id;
+        ctx.seed = seed;
+        ctx.rng = Rng(seed);
+        ctx.pool = g.pool_;
+        ctx.cancel = g.opt_.cancel;
+        ctx.deadline = g.opt_.deadline;
+        fn(ctx);
+        wasExecuted = true;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(g.errMu_);
+          if (!g.firstError_) g.firstError_ = std::current_exception();
+        }
+        g.abort_.store(true, std::memory_order_relaxed);
+      }
+      durationMs = wallMsNow() - t0;
+    }
+    wasStolen = std::this_thread::get_id() != enqueuer;
+    if (obs::enabled()) {
+      obs::count("scheduler.execute." + kind);
+      if (wasStolen) obs::count("scheduler.steal." + kind);
+      obs::histRecord("scheduler.task_us", durationMs * 1000.0);
+    }
+    g.onNodeDone(*this);
+  }
+};
+
+TaskGraph::TaskGraph(TaskGraphOptions opt)
+    : opt_(opt),
+      pool_(opt.pool != nullptr ? opt.pool : &ThreadPool::global()) {}
+
+TaskGraph::~TaskGraph() {
+  // A constructed-but-never-run graph has no jobs in flight; a run graph
+  // joined inside run().  Either way nothing is outstanding here.
+  assert(pendingNodes_.load(std::memory_order_relaxed) == 0);
+}
+
+TaskGraph::NodeId TaskGraph::add(std::string kind,
+                                 std::function<void(TaskCtx&)> fn,
+                                 const std::vector<NodeId>& deps,
+                                 std::uint64_t seedIndex) {
+  if (ran_) throw std::logic_error("TaskGraph::add after run()");
+  const NodeId id = nodes_.size();
+  for (NodeId d : deps) {
+    if (d >= id)
+      throw std::logic_error(
+          "TaskGraph::add: dependency on a not-yet-added node");
+  }
+  Node& n = *nodes_.emplace_back(std::make_unique<Node>());
+  n.graph = this;
+  n.id = id;
+  n.kind = std::move(kind);
+  n.fn = std::move(fn);
+  n.seed = taskSeed(opt_.masterSeed,
+                    seedIndex == kSeedFromId ? static_cast<std::uint64_t>(id)
+                                             : seedIndex);
+  n.deps = deps;
+  n.remaining.store(deps.size(), std::memory_order_relaxed);
+  for (NodeId d : deps) nodes_[d]->succs.push_back(id);
+  return id;
+}
+
+void TaskGraph::submitNode(Node& n) {
+  n.enqueuer = std::this_thread::get_id();
+  pool_->submit(&n);
+}
+
+void TaskGraph::onNodeDone(Node& n) {
+  // Release each successor; whoever drops a successor's remaining count to
+  // zero owns its submission.  The pending counter keeps run() helping
+  // until every node (this one included) has fully unwound, so jobs on
+  // nodes_ never outlive the graph.
+  for (NodeId s : n.succs) {
+    Node& succ = *nodes_[s];
+    if (succ.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      submitNode(succ);
+  }
+  pendingNodes_.fetch_sub(1, std::memory_order_release);
+}
+
+void TaskGraph::run() {
+  if (ran_) throw std::logic_error("TaskGraph::run called twice");
+  ran_ = true;
+  if (nodes_.empty()) return;
+
+  pendingNodes_.store(nodes_.size(), std::memory_order_relaxed);
+  // Roots are nodes with no deps — judged by the immutable edge list, NOT
+  // by remaining==0: an already-submitted root can finish and drive a
+  // successor's remaining count to zero while this loop is still scanning,
+  // and reading the counter here would double-submit that successor.
+  for (auto& np : nodes_)
+    if (np->deps.empty()) submitNode(*np);
+
+  while (pendingNodes_.load(std::memory_order_acquire) > 0) {
+    if (!pool_->runOneTask()) std::this_thread::yield();
+  }
+
+  // Everything below runs after the join: node fields are plain reads.
+  std::vector<double> chainMs(nodes_.size(), 0.0);
+  for (const auto& np : nodes_) {
+    const Node& n = *np;
+    if (n.wasExecuted) {
+      ++stats_.executed;
+      ++stats_.executedByKind[n.kind];
+      stats_.totalTaskMs += n.durationMs;
+    } else {
+      ++stats_.skipped;
+    }
+    if (n.wasStolen) ++stats_.stolen;
+    double start = 0.0;
+    for (NodeId d : n.deps) start = std::max(start, chainMs[d]);
+    chainMs[n.id] = start + n.durationMs;
+    stats_.criticalPathMs = std::max(stats_.criticalPathMs, chainMs[n.id]);
+  }
+  stats_.canceled = sawCancel_.load(std::memory_order_relaxed);
+  stats_.deadlineExpired = sawDeadline_.load(std::memory_order_relaxed);
+
+  if (firstError_) std::rethrow_exception(firstError_);
+}
+
+}  // namespace gkll::runtime

@@ -1,0 +1,142 @@
+// Deterministic task-graph scheduler over the work-stealing pool.
+//
+// A TaskGraph is a DAG of named tasks ("nodes"): edges are data
+// dependencies, declared at add() time by referencing already-added nodes,
+// so the graph is acyclic by construction.  run() submits every node whose
+// dependencies are met, workers submit successors as they complete, and the
+// calling thread *helps* (executes pending pool jobs) until the graph has
+// drained — the same no-blocking-waits discipline as parallelFor/TaskGroup,
+// so graphs nest freely inside pool tasks and node bodies may themselves
+// call parallelFor on the same pool.
+//
+// Determinism contract (the one the bench dual-runs byte-check): each node
+// gets a private Rng seeded by taskSeed(masterSeed, seedIndex) — seedIndex
+// defaults to the node id, which depends only on add() order, never on
+// scheduling.  A node body that writes only state owned by its node (its
+// result slot, state reachable solely through its out-edges) therefore
+// produces byte-identical results on a 1-lane pool and on 64 lanes.
+//
+// Failure semantics: the first exception thrown by any node is captured
+// and rethrown from run(); every node *after* the failure still runs
+// through the scheduler but its body is skipped, so the graph always
+// drains completely — no orphaned tasks, all jobs unwound before run()
+// returns.  CancelToken / Deadline work the same way: once fired, bodies
+// are skipped (counted in Stats::skipped) but propagation continues.
+// Cancellation is not an error; run() returns normally with
+// stats().canceled / deadlineExpired set.
+//
+// Telemetry (satellite of the DAG refactor, active only when
+// obs::enabled()): per-kind execute/steal counters
+// ("scheduler.execute.<kind>", "scheduler.steal.<kind>" — a task counts as
+// stolen when it runs on a different thread than the one that enqueued it)
+// and the "scheduler.task_us" LogHistogram of node latencies, all through
+// the standard metrics JSONL path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancel.h"
+#include "runtime/pool.h"
+#include "runtime/seed.h"
+#include "util/rng.h"
+
+namespace gkll::runtime {
+
+struct TaskGraphOptions {
+  ThreadPool* pool = nullptr;    ///< null = ThreadPool::global()
+  std::uint64_t masterSeed = 0;  ///< root of every node's taskSeed split
+  CancelToken cancel{};          ///< checked before each node body
+  Deadline deadline{};           ///< checked before each node body
+};
+
+/// Everything a node body receives.  `rng` is the node's private,
+/// scheduling-independent random stream; `pool` is the pool the graph runs
+/// on — nested parallelFor/TaskGroup inside a body must use it (not the
+/// global pool) so a serial graph run stays serial all the way down.
+struct TaskCtx {
+  std::size_t node = 0;       ///< node id (add() order)
+  std::uint64_t seed = 0;     ///< taskSeed(masterSeed, seedIndex)
+  Rng rng{0};                 ///< seeded with `seed`
+  ThreadPool* pool = nullptr;
+  CancelToken cancel{};
+  Deadline deadline{};
+};
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// seedIndex sentinel: derive the node's seed from its id.
+  static constexpr std::uint64_t kSeedFromId = ~std::uint64_t{0};
+
+  explicit TaskGraph(TaskGraphOptions opt = {});
+  ~TaskGraph();
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Add a node.  `kind` is the stage label telemetry aggregates by
+  /// ("gen", "sta", "attack", ...); `deps` must all be ids returned by
+  /// earlier add() calls (checked).  `seedIndex` overrides the value fed
+  /// to taskSeed for bodies that must draw identical randomness across
+  /// structurally repeated nodes (e.g. repetition instances of one
+  /// scenario); the default ties the seed to the node id.
+  NodeId add(std::string kind, std::function<void(TaskCtx&)> fn,
+             const std::vector<NodeId>& deps = {},
+             std::uint64_t seedIndex = kSeedFromId);
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Execute the whole graph; blocks (helping) until every node has been
+  /// scheduled and every job unwound, then rethrows the first node
+  /// exception if any.  Single-shot: a TaskGraph runs once.
+  void run();
+
+  struct Stats {
+    std::size_t executed = 0;  ///< bodies that ran
+    std::size_t skipped = 0;   ///< bodies skipped (error/cancel/deadline)
+    std::size_t stolen = 0;    ///< ran on a thread other than the enqueuer
+    double totalTaskMs = 0;    ///< sum of node wall times
+    double criticalPathMs = 0; ///< longest dependency chain (measured)
+    bool canceled = false;
+    bool deadlineExpired = false;
+    /// executed-node count per kind (independent of obs::enabled()).
+    std::map<std::string, std::size_t> executedByKind;
+  };
+
+  /// Valid after run().  totalTaskMs / criticalPathMs bounds the graph's
+  /// achievable parallelism regardless of lane count — the benches export
+  /// it as dag_parallelism next to the measured speedup.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+
+  void submitNode(Node& n);
+  void onNodeDone(Node& n);
+
+  TaskGraphOptions opt_;
+  ThreadPool* pool_ = nullptr;
+  // unique_ptr: stable addresses (nodes are pool Jobs holding atomics).
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool ran_ = false;
+
+  std::atomic<std::size_t> pendingNodes_{0};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> sawCancel_{false};
+  std::atomic<bool> sawDeadline_{false};
+  std::mutex errMu_;
+  std::exception_ptr firstError_;
+  Stats stats_;
+};
+
+}  // namespace gkll::runtime

@@ -1,0 +1,332 @@
+// Tests for the task-graph scheduler (src/runtime/task_graph.*) and the
+// in-place result slots behind parallelSweep: randomized DAGs byte-identical
+// across thread counts, drain guarantees under exceptions / cancellation /
+// deadlines (no orphaned tasks), stats and per-kind telemetry, and sweeps
+// over result types that are not default-constructible.
+#include "runtime/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "runtime/cancel.h"
+#include "runtime/parallel.h"
+#include "runtime/pool.h"
+#include "runtime/sweep.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+using runtime::CancelToken;
+using runtime::Deadline;
+using runtime::ParallelOptions;
+using runtime::TaskCtx;
+using runtime::TaskGraph;
+using runtime::TaskGraphOptions;
+using runtime::ThreadPool;
+
+// --- determinism across thread counts ---------------------------------------
+
+// Build a pseudo-random DAG (topology drawn from `trial`, independent of the
+// pool) whose node values mix the node's private rng stream with its
+// dependencies' values, and return the per-node results.
+std::vector<std::uint64_t> runRandomGraph(std::uint64_t trial,
+                                          ThreadPool& pool) {
+  Rng topo(0xD1CE0000 + trial);
+  constexpr std::size_t kNodes = 64;
+  std::vector<std::uint64_t> results(kNodes, 0);
+
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  opt.masterSeed = 40 + trial;
+  TaskGraph g(opt);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    std::vector<TaskGraph::NodeId> deps;
+    if (i > 0) {
+      const std::size_t ndeps = topo.next() % 4;  // 0..3 earlier nodes
+      for (std::size_t d = 0; d < ndeps; ++d)
+        deps.push_back(topo.next() % i);
+    }
+    g.add("rand",
+          [&results, deps, i](TaskCtx& ctx) {
+            std::uint64_t v = ctx.rng.next() ^ (ctx.seed * 0x9E3779B97F4A7C15ull);
+            // Dependency edges synchronise these reads (happens-before via
+            // the remaining-count release/acquire in the scheduler).
+            for (TaskGraph::NodeId d : deps)
+              v = v * 0x100000001B3ull + results[d];
+            results[i] = v;
+          },
+          deps);
+  }
+  g.run();
+  EXPECT_EQ(g.stats().executed, kNodes);
+  EXPECT_EQ(g.stats().skipped, 0u);
+  return results;
+}
+
+TEST(TaskGraph, RandomGraphsByteIdenticalAcrossThreadCounts) {
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    ThreadPool serial(1);
+    const std::vector<std::uint64_t> expect = runRandomGraph(trial, serial);
+    for (std::size_t lanes : {2u, 4u}) {
+      ThreadPool pool(lanes);
+      EXPECT_EQ(runRandomGraph(trial, pool), expect)
+          << "trial " << trial << " lanes " << lanes;
+    }
+  }
+}
+
+TEST(TaskGraph, DiamondDependenciesSeeEveryPredecessor) {
+  ThreadPool pool(4);
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  TaskGraph g(opt);
+  std::atomic<std::uint64_t> a{0}, b{0}, c{0};
+  std::uint64_t joined = 0;
+  const auto top = g.add("gen", [&](TaskCtx&) { a.store(3); });
+  const auto left = g.add("mid", [&](TaskCtx&) { b.store(a.load() * 5); }, {top});
+  const auto right = g.add("mid", [&](TaskCtx&) { c.store(a.load() * 7); }, {top});
+  g.add("join", [&](TaskCtx&) { joined = b.load() + c.load(); },
+        {left, right});
+  g.run();
+  EXPECT_EQ(joined, 3u * 5u + 3u * 7u);
+  EXPECT_EQ(g.stats().executed, 4u);
+  EXPECT_EQ(g.stats().executedByKind.at("mid"), 2u);
+}
+
+TEST(TaskGraph, SeedIndexOverrideGivesIdenticalStreams) {
+  // Two structurally repeated nodes with the same seedIndex draw the same
+  // randomness even though their node ids differ — the mechanism the bench
+  // driver uses to byte-compare repetition instances.
+  ThreadPool pool(2);
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  opt.masterSeed = 77;
+  TaskGraph g(opt);
+  std::uint64_t d0 = 0, d1 = 0, dOther = 0;
+  g.add("rep", [&](TaskCtx& ctx) { d0 = ctx.rng.next(); }, {}, 9);
+  g.add("rep", [&](TaskCtx& ctx) { d1 = ctx.rng.next(); }, {}, 9);
+  g.add("rep", [&](TaskCtx& ctx) { dOther = ctx.rng.next(); }, {}, 10);
+  g.run();
+  EXPECT_EQ(d0, d1);
+  EXPECT_NE(d0, dOther);
+}
+
+TEST(TaskGraph, NestedParallelForInsideNodeBody) {
+  // Node bodies may fan out on the graph's pool (helping join — no
+  // deadlock even when every lane is busy with graph nodes).
+  ThreadPool pool(2);
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  TaskGraph g(opt);
+  std::vector<std::uint64_t> sums(8, 0);
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    g.add("fan", [&sums, k](TaskCtx& ctx) {
+      std::vector<std::uint64_t> parts(32, 0);
+      ParallelOptions po;
+      po.pool = ctx.pool;
+      runtime::parallelFor(
+          parts.size(), [&](std::size_t i) { parts[i] = i + k; }, po);
+      for (std::uint64_t p : parts) sums[k] += p;
+    });
+  }
+  g.run();
+  for (std::size_t k = 0; k < sums.size(); ++k)
+    EXPECT_EQ(sums[k], 32u * 31u / 2 + 32u * k);
+}
+
+// --- failure / cancellation / deadline drain ---------------------------------
+
+TEST(TaskGraph, ExceptionPropagatesAndGraphDrains) {
+  for (std::size_t lanes : {1u, 4u}) {
+    ThreadPool pool(lanes);
+    TaskGraphOptions opt;
+    opt.pool = &pool;
+    TaskGraph g(opt);
+    std::atomic<std::size_t> ran{0};
+    const auto a = g.add("gen", [&](TaskCtx&) { ++ran; });
+    const auto boom = g.add(
+        "gen", [&](TaskCtx&) { throw std::runtime_error("node failed"); },
+        {a});
+    g.add("gen", [&](TaskCtx&) { ++ran; }, {boom});  // must be skipped
+    g.add("gen", [&](TaskCtx&) { ++ran; }, {boom});  // must be skipped
+    EXPECT_THROW(g.run(), std::runtime_error);
+    // The graph drained: every node was scheduled exactly once, nothing
+    // orphaned in the pool (counted as executed or skipped).
+    EXPECT_EQ(g.stats().executed + g.stats().skipped, g.size());
+    EXPECT_GE(g.stats().skipped, 2u);
+    EXPECT_EQ(ran.load(), 1u);
+  }
+}
+
+TEST(TaskGraph, CancelMidGraphLeavesNoOrphanedTasks) {
+  for (std::size_t lanes : {1u, 4u}) {
+    ThreadPool pool(lanes);
+    CancelToken cancel = CancelToken::make();
+    TaskGraphOptions opt;
+    opt.pool = &pool;
+    opt.cancel = cancel;
+    TaskGraph g(opt);
+    constexpr std::size_t kChain = 50;
+    std::size_t ran = 0;
+    TaskGraph::NodeId prev = g.add("link", [&](TaskCtx&) { ++ran; });
+    for (std::size_t i = 1; i < kChain; ++i) {
+      prev = g.add("link",
+                   [&ran, &cancel, i](TaskCtx&) {
+                     ++ran;
+                     if (i == 10) cancel.requestCancel();
+                   },
+                   {prev});
+    }
+    // Cancellation is not an error: run() returns normally with the whole
+    // chain drained and everything after the firing node skipped.
+    EXPECT_NO_THROW(g.run());
+    EXPECT_TRUE(g.stats().canceled);
+    EXPECT_FALSE(g.stats().deadlineExpired);
+    EXPECT_EQ(g.stats().executed + g.stats().skipped, kChain);
+    EXPECT_EQ(ran, 11u);  // chain order is deterministic: 0..10 ran
+    EXPECT_EQ(g.stats().skipped, kChain - 11);
+    // The pool is still healthy afterwards: a fresh graph runs fine.
+    TaskGraphOptions opt2;
+    opt2.pool = &pool;
+    TaskGraph g2(opt2);
+    bool again = false;
+    g2.add("after", [&](TaskCtx&) { again = true; });
+    g2.run();
+    EXPECT_TRUE(again);
+  }
+}
+
+TEST(TaskGraph, DeadlineExpiredSkipsRemainingBodies) {
+  ThreadPool pool(2);
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  opt.deadline = Deadline::afterMs(0);  // already expired
+  TaskGraph g(opt);
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < 20; ++i)
+    g.add("late", [&](TaskCtx&) { ++ran; });
+  EXPECT_NO_THROW(g.run());
+  EXPECT_TRUE(g.stats().deadlineExpired);
+  EXPECT_EQ(g.stats().executed, 0u);
+  EXPECT_EQ(g.stats().skipped, 20u);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+// --- API validation and stats ------------------------------------------------
+
+TEST(TaskGraph, AddAndRunValidation) {
+  TaskGraphOptions opt;
+  ThreadPool pool(1);
+  opt.pool = &pool;
+  TaskGraph g(opt);
+  // A node may only depend on already-added nodes (acyclic by construction).
+  EXPECT_THROW(g.add("bad", [](TaskCtx&) {}, {0}), std::logic_error);
+  g.add("ok", [](TaskCtx&) {});
+  EXPECT_THROW(g.add("bad", [](TaskCtx&) {}, {5}), std::logic_error);
+  g.run();
+  EXPECT_THROW(g.run(), std::logic_error);
+  EXPECT_THROW(g.add("late", [](TaskCtx&) {}), std::logic_error);
+
+  TaskGraph empty(opt);
+  EXPECT_NO_THROW(empty.run());  // zero nodes is fine
+  EXPECT_EQ(empty.stats().executed, 0u);
+}
+
+TEST(TaskGraph, StatsMeasureCriticalPathAndKinds) {
+  ThreadPool pool(2);
+  TaskGraphOptions opt;
+  opt.pool = &pool;
+  TaskGraph g(opt);
+  const auto sleepBody = [](TaskCtx&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  // A 3-deep chain plus 3 independent nodes: critical path ≈ 3 node times,
+  // total ≈ 6 node times.
+  auto prev = g.add("chain", sleepBody);
+  prev = g.add("chain", sleepBody, {prev});
+  prev = g.add("chain", sleepBody, {prev});
+  for (int i = 0; i < 3; ++i) g.add("free", sleepBody);
+  g.run();
+  const TaskGraph::Stats& st = g.stats();
+  EXPECT_EQ(st.executed, 6u);
+  EXPECT_EQ(st.executedByKind.at("chain"), 3u);
+  EXPECT_EQ(st.executedByKind.at("free"), 3u);
+  EXPECT_GE(st.criticalPathMs, 5.0);  // 3 chained 2 ms sleeps
+  EXPECT_GE(st.totalTaskMs, st.criticalPathMs - 1e-9);
+}
+
+TEST(TaskGraph, TelemetryCountersPerKind) {
+  obs::registry().reset();
+  obs::setEnabled(true);
+  {
+    ThreadPool pool(2);
+    TaskGraphOptions opt;
+    opt.pool = &pool;
+    TaskGraph g(opt);
+    auto gen = g.add("gen", [](TaskCtx&) {});
+    for (int i = 0; i < 4; ++i) g.add("sim", [](TaskCtx&) {}, {gen});
+    g.run();
+    EXPECT_EQ(obs::registry().counterValue("scheduler.execute.gen"), 1u);
+    EXPECT_EQ(obs::registry().counterValue("scheduler.execute.sim"), 4u);
+    // Steal counters never exceed executions of their kind.
+    EXPECT_LE(obs::registry().counterValue("scheduler.steal.sim"), 4u);
+    EXPECT_EQ(g.stats().stolen,
+              obs::registry().counterValue("scheduler.steal.gen") +
+                  obs::registry().counterValue("scheduler.steal.sim"));
+  }
+  obs::setEnabled(false);
+  obs::registry().reset();
+}
+
+// --- in-place result slots / non-default-constructible sweeps ----------------
+
+struct MoveOnlyRow {
+  explicit MoveOnlyRow(std::uint64_t v) : value(v) {}
+  MoveOnlyRow(MoveOnlyRow&&) = default;
+  MoveOnlyRow& operator=(MoveOnlyRow&&) = delete;
+  MoveOnlyRow(const MoveOnlyRow&) = delete;
+  std::uint64_t value;
+  bool operator==(const MoveOnlyRow&) const = default;
+};
+static_assert(!std::is_default_constructible_v<MoveOnlyRow>);
+
+TEST(TaskGraphSlots, EmplaceOutOfOrderAndTake) {
+  runtime::detail::Slots<MoveOnlyRow> slots(3);
+  EXPECT_FALSE(slots.built(1));
+  slots.emplace(2, MoveOnlyRow{20});
+  slots.emplace(0, MoveOnlyRow{0});
+  slots.emplace(1, MoveOnlyRow{10});
+  EXPECT_TRUE(slots.built(1));
+  const std::vector<MoveOnlyRow> rows = slots.take();
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i].value, 10u * i);
+}
+
+TEST(TaskGraphSlots, ParallelSweepWithoutDefaultConstruction) {
+  const auto fn = [](std::size_t i, Rng& rng) {
+    return MoveOnlyRow{rng.next() + i};
+  };
+  ThreadPool serial(1);
+  ParallelOptions po;
+  po.pool = &serial;
+  const std::vector<MoveOnlyRow> expect =
+      runtime::parallelSweep<MoveOnlyRow>(100, 5, fn, po);
+  ThreadPool wide(4);
+  po.pool = &wide;
+  const std::vector<MoveOnlyRow> got =
+      runtime::parallelSweep<MoveOnlyRow>(100, 5, fn, po);
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace gkll

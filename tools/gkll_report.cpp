@@ -14,6 +14,12 @@
 //     truncated tail validates (that is the crash-safety contract) but the
 //     damage is reported.
 //
+//   gkll_report gate BENCH.json [--min-speedup X]
+//     CI gate over one dual-run bench artifact: fails when the recorded
+//     parallel run was not byte-identical to the serial run
+//     (parallel_identical != 1) or, with --min-speedup, when the measured
+//     serial/parallel speedup is below the floor.
+//
 // Exit codes: 0 ok, 1 regression/validation failure, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +38,8 @@ int usage() {
       stderr,
       "usage: gkll_report compare BASELINE CURRENT [--tolerance PCT]\n"
       "                   [--metric-tolerance NAME=PCT ...] [--all]\n"
-      "       gkll_report validate FILE...\n");
+      "       gkll_report validate FILE...\n"
+      "       gkll_report gate BENCH.json [--min-speedup X]\n");
   return 2;
 }
 
@@ -134,6 +141,64 @@ int validateOne(const std::string& path) {
   return 0;
 }
 
+int runGate(const std::vector<std::string>& args) {
+  std::string path;
+  double minSpeedup = 0.0;
+  bool haveFloor = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--min-speedup") {
+      if (++i == args.size()) return usage();
+      minSpeedup = std::atof(args[i].c_str());
+      haveFloor = true;
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  gkll::obs::MetricsFile mf;
+  std::string err;
+  if (!gkll::obs::loadMetricsFile(path, mf, err)) {
+    std::fprintf(stderr, "gkll_report: %s\n", err.c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  const auto identical = mf.metrics.find("parallel_identical");
+  if (identical == mf.metrics.end()) {
+    std::printf("%s: FAIL — no parallel_identical field (not a dual-run "
+                "bench artifact?)\n",
+                path.c_str());
+    rc = 1;
+  } else if (identical->second.value != 1.0) {
+    std::printf("%s: FAIL — parallel run diverged from serial "
+                "(parallel_identical = %g)\n",
+                path.c_str(), identical->second.value);
+    rc = 1;
+  } else {
+    std::printf("%s: parallel_identical ok\n", path.c_str());
+  }
+
+  if (haveFloor) {
+    const auto speedup = mf.metrics.find("speedup");
+    if (speedup == mf.metrics.end()) {
+      std::printf("%s: FAIL — no speedup field\n", path.c_str());
+      rc = 1;
+    } else if (speedup->second.value < minSpeedup) {
+      std::printf("%s: FAIL — speedup %.2fx below floor %.2fx\n",
+                  path.c_str(), speedup->second.value, minSpeedup);
+      rc = 1;
+    } else {
+      std::printf("%s: speedup %.2fx >= %.2fx\n", path.c_str(),
+                  speedup->second.value, minSpeedup);
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +207,7 @@ int main(int argc, char** argv) {
   const std::string cmd = args[0];
   args.erase(args.begin());
   if (cmd == "compare") return runCompare(args);
+  if (cmd == "gate") return runGate(args);
   if (cmd == "validate") {
     if (args.empty()) return usage();
     int rc = 0;
