@@ -1,0 +1,130 @@
+// Micro-benchmark of the locking service: cold-vs-warm request latency
+// and sustained request throughput against an in-process Service (no
+// socket hop, so the numbers isolate store/pool/dispatch cost).
+//
+// Emits BENCH_service.json with:
+//   oracle_cold_us_*   first oracle_query per fresh design (pays the
+//                      combinational extraction + CombOracle compile)
+//   oracle_warm_us_*   repeat queries on the resident design (session
+//                      pool hit; the >=5x headroom CI asserts lives here)
+//   upload_cold_us_* / upload_warm_us_*  store miss vs dedup hit
+//   oracle_rps         sustained warm oracle_query throughput
+//   warm_speedup       cold p50 / warm p50
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/bench_io.h"
+#include "service/proto.h"
+#include "service/service.h"
+#include "util/json.h"
+#include "runtime/sweep.h"
+#include "scenario_driver.h"
+
+namespace {
+
+std::string handleOf(const std::string& response) {
+  gkll::util::JsonValue v;
+  if (!gkll::util::parseJson(response, v)) return {};
+  return v.stringOr("handle", "");
+}
+
+}  // namespace
+
+int main() {
+  using namespace gkll;
+  bench::Reporter rep("service");
+  service::Service svc;
+
+  // A mid-size sequential design: big enough that compile dominates a
+  // single query, the regime the warm pools exist for.
+  const std::string benchText = writeBench(generateByName("s5378"));
+  const std::string uploadReq = [&] {
+    service::JsonWriter w;
+    w.i64("id", 1).str("verb", "upload").str("bench", benchText).str(
+        "name", "s5378");
+    return w.finish();
+  }();
+
+  // Upload cold (store miss), then repeat for the dedup-hit path.
+  double t0 = runtime::wallMsNow();
+  const std::string upResp = svc.handle(uploadReq);
+  rep.sample("upload_cold_us", (runtime::wallMsNow() - t0) * 1000.0);
+  const std::string handle = handleOf(upResp);
+  if (handle.empty()) {
+    std::fprintf(stderr, "bench_service: upload failed: %s\n", upResp.c_str());
+    return 1;
+  }
+  for (int i = 0; i < 16; ++i) {
+    t0 = runtime::wallMsNow();
+    svc.handle(uploadReq);
+    rep.sample("upload_warm_us", (runtime::wallMsNow() - t0) * 1000.0);
+  }
+
+  // Oracle queries: the cold sample pays extraction + compile; every
+  // repeat leases the pooled session.
+  std::shared_ptr<service::StoreEntry> entry = svc.store().find(handle);
+  const std::size_t numInputs =
+      entry->warm.combExtraction(entry->netlist).netlist.inputs().size();
+  std::string inputs(numInputs, '0');
+  const auto queryReq = [&](int id) {
+    service::JsonWriter w;
+    w.i64("id", id).str("verb", "oracle_query").str("handle", handle).str(
+        "inputs", inputs);
+    return w.finish();
+  };
+
+  // Fresh design per cold sample so each one really compiles.  (The warm
+  // design above already cached its extraction through numInputs.)
+  const char* coldDesigns[] = {"s1238", "s9234", "s13207", "s15850"};
+  double coldP50Accum = 0;
+  int coldSamples = 0;
+  for (const char* name : coldDesigns) {
+    service::JsonWriter w;
+    w.i64("id", 10).str("verb", "upload").str("generate", name);
+    const std::string h = handleOf(svc.handle(w.finish()));
+    std::shared_ptr<service::StoreEntry> e = svc.store().find(h);
+    const std::size_t n = e->netlist.inputs().size();
+    // inputs() of the extraction = PIs + one pseudo PI per flop.
+    const std::size_t total = n + e->netlist.flops().size();
+    service::JsonWriter q;
+    q.i64("id", 11).str("verb", "oracle_query").str("handle", h).str(
+        "inputs", std::string(total, '0'));
+    const std::string req = q.finish();
+    t0 = runtime::wallMsNow();
+    svc.handle(req);
+    const double us = (runtime::wallMsNow() - t0) * 1000.0;
+    rep.sample("oracle_cold_us", us);
+    coldP50Accum += us;
+    ++coldSamples;
+  }
+
+  constexpr int kWarmQueries = 200;
+  std::vector<double> warmUs;
+  warmUs.reserve(kWarmQueries);
+  for (int i = 0; i < kWarmQueries; ++i) {
+    const std::string req = queryReq(100 + i);
+    t0 = runtime::wallMsNow();
+    svc.handle(req);
+    const double us = (runtime::wallMsNow() - t0) * 1000.0;
+    rep.sample("oracle_warm_us", us);
+    warmUs.push_back(us);
+  }
+
+  // Sustained throughput over the warm path.
+  const double rps0 = runtime::wallMsNow();
+  constexpr int kRpsQueries = 500;
+  for (int i = 0; i < kRpsQueries; ++i) svc.handle(queryReq(1000 + i));
+  const double rpsMs = runtime::wallMsNow() - rps0;
+  rep.json().set("oracle_rps", rpsMs > 0 ? kRpsQueries * 1000.0 / rpsMs : 0.0);
+
+  std::sort(warmUs.begin(), warmUs.end());
+  const double warmP50 = warmUs[warmUs.size() / 2];
+  const double coldMean = coldSamples ? coldP50Accum / coldSamples : 0.0;
+  rep.json().set("warm_speedup", warmP50 > 0 ? coldMean / warmP50 : 0.0);
+  std::printf("bench_service: cold mean %.1f us, warm p50 %.1f us, "
+              "speedup %.1fx\n",
+              coldMean, warmP50, warmP50 > 0 ? coldMean / warmP50 : 0.0);
+  return 0;
+}

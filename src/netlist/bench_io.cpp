@@ -1,6 +1,7 @@
 #include "netlist/bench_io.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -60,6 +61,26 @@ struct PendingGate {
   int line = 0;
 };
 
+/// Strict decimal integer parse: the whole token must be digits (optional
+/// leading '-').  strtoll alone would silently accept "2500abc" as 2500,
+/// which is exactly the kind of malformed input an untrusted upload feeds.
+bool parseDecimal(const std::string& s, long long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+/// Strict unsigned parse accepting decimal or 0x-hex (the LUT mask syntax).
+bool parseMask(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(s.c_str(), &end, 0);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
 }  // namespace
 
 BenchParseResult parseBench(const std::string& text, std::string name) {
@@ -72,6 +93,7 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
 
   auto fail = [&](int line, const std::string& msg) {
     res.ok = false;
+    res.errorLine = line;
     res.error = "line " + std::to_string(line) + ": " + msg;
     return res;
   };
@@ -97,9 +119,11 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
       const std::string head = trim(line.substr(0, lp));
       const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
       if (head == "INPUT") {
+        if (arg.empty()) return fail(lineNo, "INPUT with empty name");
         if (nl.findNet(arg)) return fail(lineNo, "duplicate net: " + arg);
         nl.addPI(arg);
       } else if (head == "OUTPUT") {
+        if (arg.empty()) return fail(lineNo, "OUTPUT with empty name");
         outputNames.push_back(arg);
       } else {
         return fail(lineNo, "unknown declaration: " + head);
@@ -129,6 +153,7 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
                      NetId& out) -> bool {
     auto id = nl.findNet(n);
     if (!id) {
+      res.errorLine = line;
       res.error = "line " + std::to_string(line) + ": undefined net: " + n;
       return false;
     }
@@ -148,7 +173,9 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
       if (pg.args.size() != 2) return fail(pg.line, "DELAY(in, ps)");
       NetId in;
       if (!resolve(pg.args[0], pg.line, in)) return res;
-      const Ps d = std::strtoll(pg.args[1].c_str(), nullptr, 10);
+      long long d = 0;
+      if (!parseDecimal(pg.args[1], d))
+        return fail(pg.line, "malformed delay value: " + pg.args[1]);
       if (d < 0) return fail(pg.line, "negative delay");
       nl.addDelay(in, out, d);
       continue;
@@ -156,7 +183,9 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
     if (pg.func == "LUT") {
       if (pg.args.size() < 2 || pg.args.size() > 7)
         return fail(pg.line, "LUT(mask, in1..in6)");
-      const std::uint64_t mask = std::strtoull(pg.args[0].c_str(), nullptr, 0);
+      std::uint64_t mask = 0;
+      if (!parseMask(pg.args[0], mask))
+        return fail(pg.line, "malformed LUT mask: " + pg.args[0]);
       std::vector<NetId> ins;
       for (std::size_t i = 1; i < pg.args.size(); ++i) {
         NetId in;
@@ -186,6 +215,7 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
   for (const std::string& o : outputNames) {
     NetId n;
     if (!resolve(o, 0, n)) {
+      res.errorLine = 0;
       res.error = "OUTPUT references undefined net: " + o;
       return res;
     }
@@ -193,11 +223,18 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
   }
 
   if (auto err = nl.validate()) {
+    res.errorLine = 0;
     res.error = *err;
     return res;
   }
   res.ok = true;
   return res;
+}
+
+Netlist parseBenchOrThrow(const std::string& text, std::string name) {
+  BenchParseResult res = parseBench(text, std::move(name));
+  if (!res.ok) throw BenchParseError(res.errorLine, res.error);
+  return std::move(res.netlist);
 }
 
 BenchParseResult parseBenchFile(const std::string& path) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "netlist/netlist.h"
@@ -20,10 +21,32 @@ struct BenchParseResult {
   bool ok = false;
   Netlist netlist;
   std::string error;  ///< human-readable, includes line number
+  int errorLine = 0;  ///< 1-based line of the failure; 0 when not line-bound
+};
+
+/// Typed parse failure for untrusted inputs (the service daemon's upload
+/// path).  Carries the 1-based source line (0 when the failure is not tied
+/// to one line, e.g. an unreadable file).  parseBench never asserts or
+/// aborts on malformed text — every syntactic or structural defect becomes
+/// either a false BenchParseResult or, via parseBenchOrThrow, this
+/// exception.
+class BenchParseError : public std::runtime_error {
+ public:
+  BenchParseError(int line, const std::string& msg)
+      : std::runtime_error(msg), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
 };
 
 /// Parse a netlist from .bench text.
 BenchParseResult parseBench(const std::string& text, std::string name = {});
+
+/// Parse, throwing BenchParseError on malformed input.  The exception-
+/// flavoured entry point for callers that feed untrusted text (client
+/// uploads) into code that must never abort.
+Netlist parseBenchOrThrow(const std::string& text, std::string name = {});
 
 /// Parse a netlist from a .bench file on disk.
 BenchParseResult parseBenchFile(const std::string& path);

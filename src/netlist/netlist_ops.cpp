@@ -178,4 +178,30 @@ std::vector<std::vector<std::uint32_t>> poFanoutSignatures(
   return sig;
 }
 
+bool structurallyEqual(const Netlist& a, const Netlist& b) {
+  if (a.name() != b.name()) return false;
+  if (a.numNets() != b.numNets() || a.numGates() != b.numGates()) return false;
+  if (a.inputs() != b.inputs() || a.outputs() != b.outputs() ||
+      a.flops() != b.flops())
+    return false;
+  for (NetId n = 0; n < a.numNets(); ++n) {
+    const Net& na = a.net(n);
+    const Net& nb = b.net(n);
+    if (na.name != nb.name || na.wireDelay != nb.wireDelay) return false;
+  }
+  for (GateId g = 0; g < a.numGates(); ++g) {
+    const Gate& ga = a.gate(g);
+    const Gate& gb = b.gate(g);
+    const bool tombA = ga.out == kNoNet && ga.fanin.empty();
+    const bool tombB = gb.out == kNoNet && gb.fanin.empty();
+    if (tombA != tombB) return false;
+    if (tombA) continue;
+    if (ga.kind != gb.kind || ga.drive != gb.drive || ga.out != gb.out ||
+        ga.fanin != gb.fanin || ga.delayPs != gb.delayPs ||
+        ga.lutMask != gb.lutMask)
+      return false;
+  }
+  return true;
+}
+
 }  // namespace gkll

@@ -36,6 +36,14 @@ CombExtraction extractCombinational(const Netlist& seq);
 /// Deep copy of a netlist; `netMap[oldNetId] == newNetId` on return.
 Netlist cloneNetlist(const Netlist& src, std::vector<NetId>& netMap);
 
+/// Full structural equality over exactly the features Netlist::contentHash
+/// folds: name, nets (names + wire delays), gates (kind, drive, pins,
+/// delay, LUT mask, tombstones), and PI/PO/FF order.  Two netlists that
+/// compare equal are interchangeable for every consumer in this tree; the
+/// content-addressed service store uses this to verify a hash hit before
+/// reusing cached sessions (hash collisions must never alias designs).
+bool structurallyEqual(const Netlist& a, const Netlist& b);
+
 /// Combinational level of every net: sources/DFF outputs are level 0,
 /// every gate output is 1 + max(level of fanins).
 std::vector<int> levelize(const Netlist& nl);

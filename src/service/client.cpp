@@ -1,0 +1,101 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gkll::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), error_(std::move(o.error_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    error_ = std::move(o.error_);
+  }
+  return *this;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServiceClient::connectUnix(const std::string& path) {
+  close();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error_ = "unix socket path too long: " + path;
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool ServiceClient::connectTcp(int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    error_ = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool ServiceClient::request(const std::string& payload, std::string& response) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!writeFrame(fd_, payload)) {
+    error_ = std::string("send: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  std::string err;
+  const ReadStatus rs = readFrame(fd_, response, &err, maxFrameBytes);
+  if (rs != ReadStatus::kOk) {
+    error_ = rs == ReadStatus::kEof ? "server closed the connection" : err;
+    close();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gkll::service

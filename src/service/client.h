@@ -1,0 +1,42 @@
+// Thin blocking client for the locking service: connect, exchange one
+// length-prefixed JSON frame per request, reconnect-free.  Used by the
+// gkll_client CLI, the service smoke tests and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/proto.h"
+
+namespace gkll::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& o) noexcept;
+  ServiceClient& operator=(ServiceClient&& o) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connect to a Unix-domain socket / loopback TCP port.  On failure the
+  /// client stays unconnected and error() explains why.
+  bool connectUnix(const std::string& path);
+  bool connectTcp(int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip: send `payload`, block for the response frame.
+  /// False on any transport failure (error() set); the connection is
+  /// closed and the client must reconnect.
+  bool request(const std::string& payload, std::string& response);
+
+  const std::string& error() const { return error_; }
+  std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace gkll::service

@@ -1,0 +1,237 @@
+#include "service/proto.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace gkll::service {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += jsonEscape(k);
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::str(std::string_view k, std::string_view v) {
+  key(k);
+  out_ += '"';
+  out_ += jsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::i64(std::string_view k, std::int64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::u64(std::string_view k, std::uint64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(std::string_view k, double v) {
+  key(k);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(std::string_view k, bool v) {
+  key(k);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view k, std::string_view rawJson) {
+  key(k);
+  out_ += rawJson;
+  return *this;
+}
+
+JsonWriter& JsonWriter::hash(std::string_view k, std::uint64_t v) {
+  return str(k, hashHandle(v));
+}
+
+std::string JsonWriter::finish() {
+  out_ += '}';
+  return std::move(out_);
+}
+
+std::string hashHandle(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string encodeFrame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  out += static_cast<char>((n >> 24) & 0xff);
+  out += static_cast<char>((n >> 16) & 0xff);
+  out += static_cast<char>((n >> 8) & 0xff);
+  out += static_cast<char>(n & 0xff);
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (failed_) return;
+  // Compact the consumed prefix before it grows unbounded.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 20)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload) {
+  if (failed_) return Status::kError;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t n = (std::uint32_t(p[0]) << 24) |
+                          (std::uint32_t(p[1]) << 16) |
+                          (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+  if (n > max_) {
+    failed_ = true;
+    error_ = "frame length " + std::to_string(n) + " exceeds limit " +
+             std::to_string(max_);
+    return Status::kError;
+  }
+  if (avail < 4u + n) return Status::kNeedMore;
+  payload.assign(buf_, pos_ + 4, n);
+  pos_ += 4u + n;
+  return Status::kFrame;
+}
+
+bool writeAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool writeFrame(int fd, std::string_view payload) {
+  const std::string frame = encodeFrame(payload);
+  return writeAll(fd, frame.data(), frame.size());
+}
+
+namespace {
+
+/// Read exactly n bytes; distinguishes clean EOF at offset 0 from a
+/// mid-buffer truncation.
+enum class FillStatus { kOk, kEofAtStart, kTruncated, kIoError };
+
+FillStatus readExact(int fd, char* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return FillStatus::kIoError;
+    }
+    if (r == 0) return got == 0 ? FillStatus::kEofAtStart : FillStatus::kTruncated;
+    got += static_cast<std::size_t>(r);
+  }
+  return FillStatus::kOk;
+}
+
+}  // namespace
+
+ReadStatus readFrame(int fd, std::string& payload, std::string* err,
+                     std::uint32_t maxFrameBytes) {
+  unsigned char hdr[4];
+  switch (readExact(fd, reinterpret_cast<char*>(hdr), 4)) {
+    case FillStatus::kOk:
+      break;
+    case FillStatus::kEofAtStart:
+      return ReadStatus::kEof;
+    case FillStatus::kTruncated:
+      if (err) *err = "truncated frame header";
+      return ReadStatus::kError;
+    case FillStatus::kIoError:
+      if (err) *err = std::string("read: ") + std::strerror(errno);
+      return ReadStatus::kError;
+  }
+  const std::uint32_t n = (std::uint32_t(hdr[0]) << 24) |
+                          (std::uint32_t(hdr[1]) << 16) |
+                          (std::uint32_t(hdr[2]) << 8) | std::uint32_t(hdr[3]);
+  if (n > maxFrameBytes) {
+    if (err)
+      *err = "frame length " + std::to_string(n) + " exceeds limit " +
+             std::to_string(maxFrameBytes);
+    return ReadStatus::kError;
+  }
+  payload.resize(n);
+  if (n > 0) {
+    switch (readExact(fd, payload.data(), n)) {
+      case FillStatus::kOk:
+        break;
+      case FillStatus::kEofAtStart:
+      case FillStatus::kTruncated:
+        if (err) *err = "truncated frame payload";
+        return ReadStatus::kError;
+      case FillStatus::kIoError:
+        if (err) *err = std::string("read: ") + std::strerror(errno);
+        return ReadStatus::kError;
+    }
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace gkll::service

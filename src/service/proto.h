@@ -1,0 +1,105 @@
+// Wire protocol of the locking service: length-prefixed JSON frames.
+//
+// Grammar (both directions, over a Unix/TCP socket or a stdio pipe):
+//
+//   stream   := frame*
+//   frame    := length payload
+//   length   := 4-byte big-endian unsigned byte count of payload
+//   payload  := one JSON object, UTF-8, no framing newline required
+//
+// Requests carry {"id":N,"verb":"...", ...verb fields...}; responses echo
+// id/verb and add "ok":true plus result fields, or "ok":false with
+// "error" (a stable machine code) and "message".  Field order in
+// responses is fixed (insertion-ordered JsonWriter), so identical results
+// serialise to identical bytes — the property the warm-vs-cold
+// byte-identity checks in CI rely on.
+//
+// Robustness contract for untrusted peers: a length prefix larger than
+// the configured maximum is a framing error (the daemon answers with one
+// error frame and closes); a truncated frame (EOF mid-payload) closes the
+// connection; garbage payload bytes fail JSON parsing and produce a clean
+// error response.  None of these paths may abort the daemon or leak an
+// admission slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gkll::service {
+
+/// Upper bound on one frame's payload (uploads of million-gate .bench
+/// text fit comfortably; a hostile 4 GiB prefix does not).
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// JSON string-body escaping (same dialect the run journal emits).
+std::string jsonEscape(std::string_view s);
+
+/// Insertion-ordered JSON object writer: deterministic bytes for
+/// deterministic inputs.  Arrays/nested objects go through raw().
+class JsonWriter {
+ public:
+  JsonWriter& str(std::string_view key, std::string_view v);
+  JsonWriter& i64(std::string_view key, std::int64_t v);
+  JsonWriter& u64(std::string_view key, std::uint64_t v);
+  JsonWriter& num(std::string_view key, double v);  ///< "%.17g"
+  JsonWriter& boolean(std::string_view key, bool v);
+  JsonWriter& raw(std::string_view key, std::string_view rawJson);
+  /// "0x%016llx" — the store-handle spelling of a content hash.
+  JsonWriter& hash(std::string_view key, std::uint64_t v);
+
+  /// Close the object and return it.  The writer is spent afterwards.
+  std::string finish();
+
+ private:
+  void key(std::string_view k);
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// The canonical handle spelling for a content hash.
+std::string hashHandle(std::uint64_t h);
+
+/// Prefix `payload` with its big-endian length.
+std::string encodeFrame(std::string_view payload);
+
+/// Incremental frame parser over an arbitrary byte stream.  feed() bytes
+/// as they arrive; next() hands back complete payloads.  Once kError is
+/// returned (oversized or malformed length prefix) the decoder is dead —
+/// the peer cannot be re-synchronised and the connection must close.
+class FrameDecoder {
+ public:
+  enum class Status { kNeedMore, kFrame, kError };
+
+  explicit FrameDecoder(std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes)
+      : max_(maxFrameBytes) {}
+
+  void feed(std::string_view bytes);
+  Status next(std::string& payload);
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (0 at a clean frame boundary).
+  std::size_t pendingBytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint32_t max_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+// --- blocking fd transport ---------------------------------------------------
+
+enum class ReadStatus { kOk, kEof, kError };
+
+/// Loop write(2) until everything is out; EPIPE and friends return false
+/// (the caller treats a failed response write as a disconnected client).
+bool writeAll(int fd, const void* data, std::size_t n);
+bool writeFrame(int fd, std::string_view payload);
+
+/// Read exactly one frame.  kEof only when the stream ends *between*
+/// frames — EOF mid-frame is a truncated frame and reports kError.
+ReadStatus readFrame(int fd, std::string& payload, std::string* err,
+                     std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+}  // namespace gkll::service

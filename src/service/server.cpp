@@ -1,0 +1,194 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace gkll::service {
+namespace {
+
+void closeIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+std::string framingErrorResponse(const std::string& msg) {
+  JsonWriter w;
+  w.i64("id", 0)
+      .boolean("ok", false)
+      .str("error", "framing")
+      .str("message", msg);
+  return w.finish();
+}
+
+}  // namespace
+
+std::size_t serveStream(Service& svc, int inFd, int outFd,
+                        std::uint32_t maxFrameBytes) {
+  std::size_t served = 0;
+  for (;;) {
+    std::string payload;
+    std::string err;
+    const ReadStatus rs = readFrame(inFd, payload, &err, maxFrameBytes);
+    if (rs == ReadStatus::kEof) break;
+    if (rs == ReadStatus::kError) {
+      // Best effort: tell the peer why before closing.  A dead peer makes
+      // the write fail, which is fine — the stream is over either way.
+      (void)writeFrame(outFd, framingErrorResponse(err));
+      break;
+    }
+    const std::string response = svc.handle(payload);
+    ++served;
+    if (!writeFrame(outFd, response)) break;  // peer went away mid-request
+  }
+  return served;
+}
+
+Server::Server(Service& svc, ServerOptions opt)
+    : svc_(svc), opt_(std::move(opt)) {
+  // A client closing mid-write must error the write, not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+Server::~Server() {
+  stop();
+  drain();
+}
+
+bool Server::start() {
+  if (!opt_.unixPath.empty()) {
+    unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unixFd_ < 0) {
+      error_ = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unixPath.size() >= sizeof(addr.sun_path)) {
+      error_ = "unix socket path too long: " + opt_.unixPath;
+      return false;
+    }
+    std::strncpy(addr.sun_path, opt_.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opt_.unixPath.c_str());
+    if (::bind(unixFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(unixFd_, 64) < 0) {
+      error_ = std::string("bind/listen ") + opt_.unixPath + ": " +
+               std::strerror(errno);
+      return false;
+    }
+  }
+  if (opt_.tcp) {
+    tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpFd_ < 0) {
+      error_ = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcpPort));
+    if (::bind(tcpFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(tcpFd_, 64) < 0) {
+      error_ = std::string("bind/listen tcp: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcpFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      tcpPort_ = ntohs(bound.sin_port);
+  }
+  if (unixFd_ < 0 && tcpFd_ < 0) {
+    error_ = "no listener configured";
+    return false;
+  }
+  return true;
+}
+
+void Server::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    nfds_t n = 0;
+    if (unixFd_ >= 0) fds[n++] = {unixFd_, POLLIN, 0};
+    if (tcpFd_ >= 0) fds[n++] = {tcpFd_, POLLIN, 0};
+    const int rc = ::poll(fds, n, 100);  // 100 ms stop-flag tick
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      reapFinished();
+      continue;
+    }
+    for (nfds_t i = 0; i < n; ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::thread t([this, fd, done] {
+        serveConnection(fd);
+        done->store(true, std::memory_order_release);
+      });
+      std::lock_guard<std::mutex> g(connMu_);
+      conns_.push_back({std::move(t), std::move(done), fd});
+    }
+    reapFinished();
+  }
+}
+
+void Server::serveConnection(int fd) {
+  // The fd is closed by whoever joins this thread (reapFinished/drain);
+  // closing here would race a drain()-side shutdown against fd reuse.
+  serveStream(svc_, fd, fd, svc_.options().maxFrameBytes);
+}
+
+void Server::reapFinished() {
+  std::lock_guard<std::mutex> g(connMu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::stop() { stop_.store(true, std::memory_order_release); }
+
+void Server::drain() {
+  stop();
+  std::vector<Conn> conns;
+  {
+    std::lock_guard<std::mutex> g(connMu_);
+    conns.swap(conns_);
+  }
+  for (Conn& c : conns) {
+    // Wake threads parked in readFrame on idle connections: the half-
+    // close EOFs the next read, while an in-flight request still writes
+    // its response — the graceful half of the drain.
+    ::shutdown(c.fd, SHUT_RD);
+    c.thread.join();
+    ::close(c.fd);
+  }
+  svc_.beginDrain();
+  svc_.waitIdle();
+  closeIfOpen(unixFd_);
+  closeIfOpen(tcpFd_);
+  if (!opt_.unixPath.empty()) ::unlink(opt_.unixPath.c_str());
+}
+
+}  // namespace gkll::service

@@ -1,0 +1,82 @@
+// Socket front-end of the locking service.
+//
+// Listens on a Unix-domain socket and/or a loopback TCP port, accepts in
+// a poll loop (so stop() takes effect within one tick), and serves each
+// connection from its own thread: frames on one connection are strictly
+// serial (read request, run it through Service::handle, write response),
+// concurrency comes from multiple connections plus the service's own
+// admission control.
+//
+// Failure handling per the protocol contract: an oversized or malformed
+// length prefix gets one best-effort error frame and the connection
+// closes; a truncated frame or mid-request disconnect just closes.  The
+// connection thread owns no admission slot while parked in readFrame, so
+// none of these paths can leak one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace gkll::service {
+
+struct ServerOptions {
+  std::string unixPath;  ///< empty = no unix listener
+  bool tcp = false;      ///< listen on 127.0.0.1
+  int tcpPort = 0;       ///< 0 = ephemeral (read back via boundTcpPort())
+};
+
+class Server {
+ public:
+  Server(Service& svc, ServerOptions opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Create the listeners.  False (with error() set) when binding fails.
+  bool start();
+  /// Accept until stop(); blocks the calling thread.
+  void run();
+  /// Stop accepting and wake run(); in-flight connections are joined by
+  /// the destructor (or drain()).
+  void stop();
+  /// stop() + join connection threads + Service::beginDrain + waitIdle.
+  void drain();
+
+  int boundTcpPort() const { return tcpPort_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void serveConnection(int fd);
+  void reapFinished();
+
+  Service& svc_;
+  ServerOptions opt_;
+  int unixFd_ = -1;
+  int tcpFd_ = -1;
+  int tcpPort_ = 0;
+  std::atomic<bool> stop_{false};
+  std::string error_;
+
+  std::mutex connMu_;
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+    int fd = -1;  ///< closed by the joiner, never by the serving thread
+  };
+  std::vector<Conn> conns_;
+};
+
+/// Serve one already-open byte stream (the --stdio mode and the protocol
+/// tests): decode frames from `inFd`, answer on `outFd`, return when the
+/// peer closes or a framing error kills the stream.  Returns the number
+/// of requests served.
+std::size_t serveStream(Service& svc, int inFd, int outFd,
+                        std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+}  // namespace gkll::service

@@ -1,0 +1,771 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "attack/appsat.h"
+#include "attack/enhanced_sat.h"
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/antisat.h"
+#include "lock/xor_lock.h"
+#include "netlist/bench_io.h"
+#include "netlist/logic.h"
+#include "obs/journal.h"
+#include "obs/telemetry.h"
+#include "runtime/sweep.h"
+#include "timing/sta.h"
+
+namespace gkll::service {
+namespace {
+
+constexpr std::int64_t kMaxPingSleepMs = 60 * 1000;
+
+const char* const kVerbs[] = {"ping",         "upload", "lock", "attack",
+                              "oracle_query", "oracle_batch", "sta", "stats"};
+
+std::string keyBitsString(const std::vector<int>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (int b : bits) s += b ? '1' : '0';
+  return s;
+}
+
+bool parseLogicString(const std::string& s, std::vector<Logic>& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '0':
+        out.push_back(Logic::F);
+        break;
+      case '1':
+        out.push_back(Logic::T);
+        break;
+      case 'x':
+      case 'X':
+        out.push_back(Logic::X);
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string logicString(const std::vector<Logic>& v) {
+  std::string s;
+  s.reserve(v.size());
+  for (Logic l : v) s += logicChar(l);
+  return s;
+}
+
+/// Names the synthetic generator accepts — generateByName aborts on
+/// anything else, so untrusted requests are screened here.
+bool knownBenchName(const std::string& name) {
+  if (name == "c17" || name == "toyseq") return true;
+  for (const auto& spec : iwls2005Specs())
+    if (spec.name == name) return true;
+  return false;
+}
+
+std::int64_t reqI64(const util::JsonValue& req, std::string_view key,
+                    std::int64_t def) {
+  return static_cast<std::int64_t>(req.numberOr(key, static_cast<double>(def)));
+}
+
+}  // namespace
+
+struct Service::ActiveRequest {
+  runtime::CancelToken cancel;
+};
+
+Service::Service(ServiceOptions opt) : opt_(opt), store_(opt.storeBudgetBytes) {
+  if (opt_.threads > 0) {
+    ownedPool_ = std::make_unique<runtime::ThreadPool>(opt_.threads);
+    pool_ = ownedPool_.get();
+  } else {
+    pool_ = &runtime::ThreadPool::global();
+  }
+  if (opt_.maxInflight <= 0) opt_.maxInflight = pool_->threads();
+  if (opt_.maxInflight <= 0) opt_.maxInflight = 1;
+  if (opt_.maxQueue < 0) opt_.maxQueue = 0;
+  for (const char* v : kVerbs) verbCounts_[v];  // pre-insert: lock-free later
+}
+
+Service::~Service() {
+  beginDrain();
+  waitIdle();
+}
+
+bool Service::admit(std::string* errCode) {
+  std::unique_lock<std::mutex> lk(admMu_);
+  if (draining_) {
+    *errCode = "shutting_down";
+    rejectedDraining_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (inflight_ >= opt_.maxInflight && waiting_ >= opt_.maxQueue) {
+    *errCode = "busy";
+    rejectedBusy_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++waiting_;
+  admCv_.wait(lk, [&] { return draining_ || inflight_ < opt_.maxInflight; });
+  --waiting_;
+  if (draining_) {
+    *errCode = "shutting_down";
+    rejectedDraining_.fetch_add(1, std::memory_order_relaxed);
+    idleCv_.notify_all();
+    return false;
+  }
+  ++inflight_;
+  std::uint64_t peak = peakInflight_.load(std::memory_order_relaxed);
+  while (static_cast<std::uint64_t>(inflight_) > peak &&
+         !peakInflight_.compare_exchange_weak(
+             peak, static_cast<std::uint64_t>(inflight_),
+             std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void Service::releaseSlot() {
+  std::lock_guard<std::mutex> g(admMu_);
+  --inflight_;
+  admCv_.notify_all();
+  idleCv_.notify_all();
+}
+
+void Service::beginDrain() {
+  std::lock_guard<std::mutex> g(admMu_);
+  draining_ = true;
+  admCv_.notify_all();
+}
+
+void Service::waitIdle() {
+  std::unique_lock<std::mutex> lk(admMu_);
+  idleCv_.wait(lk, [&] { return inflight_ == 0 && waiting_ == 0; });
+}
+
+void Service::cancelAll() {
+  std::lock_guard<std::mutex> g(actMu_);
+  for (const ActiveRequest* r : active_) r->cancel.requestCancel();
+}
+
+std::string Service::errorResponse(std::int64_t id, const std::string& verb,
+                                   const std::string& code,
+                                   const std::string& msg, int line) const {
+  JsonWriter w;
+  w.i64("id", id);
+  if (!verb.empty()) w.str("verb", verb);
+  w.boolean("ok", false).str("error", code).str("message", msg);
+  if (line > 0) w.i64("line", line);
+  return w.finish();
+}
+
+std::string Service::handle(const std::string& payload) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const double t0 = runtime::wallMsNow();
+
+  util::JsonValue req;
+  std::string parseErr;
+  std::int64_t id = 0;
+  std::string verb;
+  std::string response;
+  std::string outcome = "ok";
+  std::string cacheNote = "-";
+  std::string handleNote = "-";
+
+  if (!util::parseJson(payload, req, &parseErr) || !req.isObject()) {
+    outcome = "bad_request";
+    response = errorResponse(0, "", "bad_request",
+                             parseErr.empty() ? "request is not a JSON object"
+                                              : parseErr);
+  } else {
+    id = reqI64(req, "id", 0);
+    verb = req.stringOr("verb", "");
+    std::string admitErr;
+    if (!admit(&admitErr)) {
+      outcome = admitErr;
+      response = errorResponse(id, verb, admitErr,
+                               admitErr == "busy"
+                                   ? "queue full, retry later"
+                                   : "service is draining");
+    } else {
+      ActiveRequest act;
+      act.cancel = runtime::CancelToken::make();
+      {
+        std::lock_guard<std::mutex> g(actMu_);
+        active_.insert(&act);
+      }
+      runtime::Deadline deadline;
+      const double deadlineMs = req.numberOr("deadline_ms", 0.0);
+      if (deadlineMs > 0.0) deadline = runtime::Deadline::afterMs(deadlineMs);
+      response = dispatch(req, verb, id, deadline, act.cancel, &outcome,
+                          &cacheNote, &handleNote);
+      {
+        std::lock_guard<std::mutex> g(actMu_);
+        active_.erase(&act);
+      }
+      releaseSlot();
+    }
+  }
+
+  if (outcome != "ok") errors_.fetch_add(1, std::memory_order_relaxed);
+  obs::journalRecord("service.request")
+      .i64("id", id)
+      .str("verb", verb.empty() ? "-" : verb)
+      .str("handle", handleNote)
+      .str("outcome", outcome)
+      .f64("latency_ms", runtime::wallMsNow() - t0)
+      .str("cache", cacheNote);
+  return response;
+}
+
+std::string Service::dispatch(const util::JsonValue& req,
+                              const std::string& verb, std::int64_t id,
+                              runtime::Deadline deadline,
+                              runtime::CancelToken cancel, std::string* outcome,
+                              std::string* cacheNote,
+                              std::string* handleNote) {
+  auto it = verbCounts_.find(verb);
+  if (it == verbCounts_.end()) {
+    *outcome = "unknown_verb";
+    return errorResponse(id, verb, "unknown_verb", "no such verb: " + verb);
+  }
+  it->second.fetch_add(1, std::memory_order_relaxed);
+
+  obs::Span span("service." + verb);
+  span.arg("id", id);
+  if (deadline.expired()) {
+    *outcome = "deadline";
+    return errorResponse(id, verb, "deadline", "deadline expired before start");
+  }
+  try {
+    if (verb == "ping") return doPing(req, id, cancel, outcome);
+    if (verb == "upload") return doUpload(req, id, outcome, cacheNote, handleNote);
+    if (verb == "lock") return doLock(req, id, outcome, cacheNote, handleNote);
+    if (verb == "attack")
+      return doAttack(req, id, deadline, cancel, outcome, handleNote);
+    if (verb == "oracle_query")
+      return doOracle(req, id, /*batch=*/false, outcome, handleNote);
+    if (verb == "oracle_batch")
+      return doOracle(req, id, /*batch=*/true, outcome, handleNote);
+    if (verb == "sta") return doSta(req, id, outcome, handleNote);
+    return doStats(id);
+  } catch (const std::exception& e) {
+    *outcome = "internal";
+    return errorResponse(id, verb, "internal", e.what());
+  }
+}
+
+std::string Service::doPing(const util::JsonValue& req, std::int64_t id,
+                            runtime::CancelToken cancel,
+                            std::string* /*outcome*/) {
+  const std::int64_t sleepMs =
+      std::clamp<std::int64_t>(reqI64(req, "sleep_ms", 0), 0, kMaxPingSleepMs);
+  bool canceled = false;
+  for (std::int64_t slept = 0; slept < sleepMs && !canceled; slept += 10) {
+    if (cancel.canceled()) {
+      canceled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::int64_t>(10, sleepMs - slept)));
+  }
+  JsonWriter w;
+  w.i64("id", id).str("verb", "ping").boolean("ok", true);
+  if (canceled) w.boolean("canceled", true);
+  return w.finish();
+}
+
+std::string Service::doUpload(const util::JsonValue& req, std::int64_t id,
+                              std::string* outcome, std::string* cacheNote,
+                              std::string* handleNote) {
+  Netlist nl;
+  if (const util::JsonValue* gen = req.find("generate");
+      gen && gen->isString()) {
+    if (!knownBenchName(gen->string)) {
+      *outcome = "unknown_bench";
+      return errorResponse(id, "upload", "unknown_bench",
+                           "no synthetic benchmark named: " + gen->string);
+    }
+    nl = generateByName(gen->string);
+  } else if (const util::JsonValue* bench = req.find("bench");
+             bench && bench->isString()) {
+    try {
+      nl = parseBenchOrThrow(bench->string, req.stringOr("name", "upload"));
+    } catch (const BenchParseError& e) {
+      *outcome = "parse_error";
+      return errorResponse(id, "upload", "parse_error", e.what(), e.line());
+    }
+  } else {
+    *outcome = "bad_request";
+    return errorResponse(id, "upload", "bad_request",
+                         "upload needs a \"bench\" or \"generate\" field");
+  }
+
+  const NetlistStats st = nl.stats();
+  const std::size_t numFlops = nl.flops().size();
+  NetlistStore::InsertResult ins = store_.insert(std::move(nl));
+  *cacheNote = ins.existed ? "hit" : "miss";
+  *handleNote = ins.entry->handle;
+
+  JsonWriter w;
+  w.i64("id", id)
+      .str("verb", "upload")
+      .boolean("ok", true)
+      .str("handle", ins.entry->handle)
+      .str("name", ins.entry->netlist.name())
+      .u64("cells", st.numCells)
+      .u64("pis", st.numPIs)
+      .u64("pos", st.numPOs)
+      .u64("ffs", numFlops);
+  return w.finish();
+}
+
+std::string Service::doLock(const util::JsonValue& req, std::int64_t id,
+                            std::string* outcome, std::string* cacheNote,
+                            std::string* handleNote) {
+  std::string err;
+  std::shared_ptr<StoreEntry> entry =
+      resolveHandle(req, id, "lock", handleNote, &err);
+  if (!entry) {
+    *outcome = "unknown_handle";
+    return err;
+  }
+  const std::string scheme = req.stringOr("scheme", "gk");
+  const std::int64_t seed = reqI64(req, "seed", scheme == "gk"    ? 11
+                                                : scheme == "xor" ? 1
+                                                                  : 3);
+
+  // Canonical parameter key for the dedupe cache: every knob at its
+  // resolved value, so an explicit default and an omitted field collide.
+  std::string cacheKey = entry->handle + "|" + scheme + "|seed=" +
+                         std::to_string(seed);
+
+  auto locked = std::make_shared<LockInfo>();
+  locked->scheme = scheme;
+  locked->originalHandle = entry->handle;
+  Netlist lockedNl;
+  JsonWriter w;
+  w.i64("id", id).str("verb", "lock").boolean("ok", true);
+
+  if (scheme == "gk") {
+    if (entry->netlist.flops().empty()) {
+      *outcome = "bad_request";
+      return errorResponse(id, "lock", "bad_request",
+                           "gk locking requires a sequential design");
+    }
+    EncryptOptions eo;
+    eo.numGks = static_cast<int>(reqI64(req, "num_gks", 4));
+    eo.hybridXorKeys = static_cast<int>(reqI64(req, "hybrid_xor_keys", 0));
+    eo.withholding = req.boolOr("withholding", false);
+    eo.bufferVariant = req.boolOr("buffer_variant", false);
+    eo.clockPeriod = static_cast<Ps>(reqI64(req, "clock_period_ps", 0));
+    eo.seed = static_cast<std::uint64_t>(seed);
+    cacheKey += "|gks=" + std::to_string(eo.numGks) +
+                "|hybrid=" + std::to_string(eo.hybridXorKeys) +
+                "|withhold=" + std::to_string(eo.withholding) +
+                "|buffer=" + std::to_string(eo.bufferVariant) +
+                "|period=" + std::to_string(eo.clockPeriod);
+    if (std::string cached = lockCacheLookup(cacheKey); !cached.empty()) {
+      *cacheNote = "hit";
+      return cached;
+    }
+    GkEncryptor enc(entry->netlist);
+    GkFlowResult flow = enc.encrypt(eo);
+    locked->keyInputs = flow.design.keyInputs;
+    locked->correctKey = flow.design.correctKey;
+    locked->clockArrival = flow.clockArrival;
+    locked->clockPeriod = flow.clockPeriod;
+    locked->numSharedFlops = entry->netlist.flops().size();
+    lockedNl = flow.design.netlist;
+    w.u64("num_gks", flow.insertions.size())
+        .i64("clock_period_ps", flow.clockPeriod)
+        .num("area_overhead_pct", flow.areaOverheadPct)
+        .boolean("verify_ok", flow.verify.ok());
+    locked->gk = std::make_shared<const GkFlowResult>(std::move(flow));
+  } else if (scheme == "xor" || scheme == "antisat") {
+    LockedDesign design;
+    if (scheme == "xor") {
+      XorLockOptions xo;
+      xo.numKeyBits = static_cast<int>(reqI64(req, "key_bits", 8));
+      xo.seed = static_cast<std::uint64_t>(seed);
+      cacheKey += "|bits=" + std::to_string(xo.numKeyBits);
+      if (std::string cached = lockCacheLookup(cacheKey); !cached.empty()) {
+        *cacheNote = "hit";
+        return cached;
+      }
+      design = xorLock(entry->netlist, xo);
+    } else {
+      AntiSatOptions ao;
+      ao.numInputBits = static_cast<int>(reqI64(req, "input_bits", 8));
+      ao.seed = static_cast<std::uint64_t>(seed);
+      cacheKey += "|bits=" + std::to_string(ao.numInputBits);
+      if (std::string cached = lockCacheLookup(cacheKey); !cached.empty()) {
+        *cacheNote = "hit";
+        return cached;
+      }
+      design = antiSatLock(entry->netlist, ao);
+    }
+    locked->keyInputs = design.keyInputs;
+    locked->correctKey = design.correctKey;
+    lockedNl = std::move(design.netlist);
+  } else {
+    *outcome = "bad_request";
+    return errorResponse(id, "lock", "bad_request",
+                         "unknown scheme: " + scheme);
+  }
+
+  NetlistStore::InsertResult ins = store_.insert(std::move(lockedNl));
+  ins.entry->setLockInfo(locked);
+  if (*cacheNote == "-") *cacheNote = ins.existed ? "hit" : "miss";
+
+  std::string keyNames = "[";
+  for (std::size_t i = 0; i < locked->keyInputs.size(); ++i) {
+    if (i) keyNames += ',';
+    keyNames += '"';
+    keyNames += jsonEscape(ins.entry->netlist.net(locked->keyInputs[i]).name);
+    keyNames += '"';
+  }
+  keyNames += ']';
+
+  w.str("locked_handle", ins.entry->handle)
+      .str("original", entry->handle)
+      .str("scheme", scheme)
+      .u64("key_bits", locked->keyInputs.size())
+      .raw("key_inputs", keyNames)
+      .str("correct_key", keyBitsString(locked->correctKey));
+  std::string response = w.finish();
+  {
+    std::lock_guard<std::mutex> g(lockCacheMu_);
+    lockCache_[cacheKey] = LockCacheEntry{response, ins.entry->handle};
+  }
+  return response;
+}
+
+std::string Service::lockCacheLookup(const std::string& key) {
+  std::string lockedHandle;
+  {
+    std::lock_guard<std::mutex> g(lockCacheMu_);
+    auto it = lockCache_.find(key);
+    if (it == lockCache_.end()) return {};
+    lockedHandle = it->second.lockedHandle;
+  }
+  // Honour the hit only while the locked design is still resident; a
+  // stale response would advertise a handle later verbs cannot resolve.
+  if (!store_.find(lockedHandle)) {
+    std::lock_guard<std::mutex> g(lockCacheMu_);
+    auto it = lockCache_.find(key);
+    if (it != lockCache_.end() && it->second.lockedHandle == lockedHandle)
+      lockCache_.erase(it);
+    return {};
+  }
+  std::lock_guard<std::mutex> g(lockCacheMu_);
+  auto it = lockCache_.find(key);
+  if (it == lockCache_.end()) return {};
+  lockCacheHits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.response;
+}
+
+namespace {
+
+/// Scheme-aware attack-surface builder shared by doAttack's artifact and
+/// miter cache fills.
+std::unique_ptr<AttackArtifacts> buildArtifacts(
+    const StoreEntry& lockedEntry, const LockInfo& info,
+    const Netlist& original) {
+  auto arts = std::make_unique<AttackArtifacts>();
+  if (info.scheme == "gk") {
+    GkEncryptor enc(original);
+    GkEncryptor::AttackSurface surf = enc.attackSurface(*info.gk);
+    arts->comb = std::move(surf.comb);
+    arts->gkKeys = surf.gkKeys;
+    arts->keyInputs = std::move(surf.gkKeys);
+    arts->keyInputs.insert(arts->keyInputs.end(), surf.otherKeys.begin(),
+                           surf.otherKeys.end());
+    arts->oracleComb = std::move(surf.oracleComb);
+  } else {
+    CombExtraction ce = extractCombinational(lockedEntry.netlist);
+    arts->comb = std::move(ce.netlist);
+    arts->keyInputs.reserve(info.keyInputs.size());
+    for (NetId k : info.keyInputs) arts->keyInputs.push_back(ce.netMap[k]);
+    arts->oracleComb = extractCombinational(original).netlist;
+  }
+  return arts;
+}
+
+}  // namespace
+
+std::string Service::doAttack(const util::JsonValue& req, std::int64_t id,
+                              runtime::Deadline deadline,
+                              runtime::CancelToken cancel,
+                              std::string* outcome, std::string* handleNote) {
+  std::string err;
+  std::shared_ptr<StoreEntry> entry =
+      resolveHandle(req, id, "attack", handleNote, &err);
+  if (!entry) {
+    *outcome = "unknown_handle";
+    return err;
+  }
+  std::shared_ptr<const LockInfo> info = entry->lockInfo();
+  if (!info) {
+    *outcome = "not_locked";
+    return errorResponse(id, "attack", "not_locked",
+                         "handle was not produced by a lock request");
+  }
+  std::shared_ptr<StoreEntry> original = store_.find(info->originalHandle);
+  if (!original) {
+    *outcome = "unknown_handle";
+    return errorResponse(id, "attack", "unknown_handle",
+                         "original design evicted: " + info->originalHandle);
+  }
+  const auto build = [&]() {
+    return buildArtifacts(*entry, *info, original->netlist);
+  };
+  const std::string mode = req.stringOr("mode", "sat");
+
+  if (mode == "sat") {
+    const AttackArtifacts& arts = entry->warm.attackArtifacts(build);
+    SatAttackOptions o;
+    o.maxIterations = static_cast<int>(reqI64(req, "max_iterations", 1 << 20));
+    o.conflictBudget =
+        static_cast<std::uint64_t>(reqI64(req, "conflict_budget", 0));
+    o.deadline = deadline;
+    o.cancel = cancel;
+    o.miter = &entry->warm.miter(build);
+    SatAttackResult r = satAttack(arts.comb, arts.keyInputs, arts.oracleComb, o);
+    if (r.deadlineExceeded) *outcome = "deadline";
+    JsonWriter w;
+    w.i64("id", id)
+        .str("verb", "attack")
+        .boolean("ok", true)
+        .str("mode", "sat")
+        .boolean("converged", r.converged)
+        .i64("dips", r.dips)
+        .boolean("decrypted", r.decrypted)
+        .boolean("unsat_at_first_iteration", r.unsatAtFirstIteration)
+        .boolean("key_constraints_unsat", r.keyConstraintsUnsat)
+        .boolean("budget_exhausted", r.budgetExhausted)
+        .boolean("deadline_exceeded", r.deadlineExceeded)
+        .boolean("canceled", r.canceled)
+        .str("recovered_key", keyBitsString(r.recoveredKey));
+    return w.finish();
+  }
+  if (mode == "appsat") {
+    const AttackArtifacts& arts = entry->warm.attackArtifacts(build);
+    AppSatOptions o;
+    o.maxIterations = static_cast<int>(reqI64(req, "max_iterations", 4096));
+    o.reconcileEvery = static_cast<int>(reqI64(req, "reconcile_every", 2));
+    o.randomQueries = static_cast<int>(reqI64(req, "random_queries", 64));
+    o.errorThreshold = req.numberOr("error_threshold", 0.02);
+    o.seed = static_cast<std::uint64_t>(reqI64(req, "seed", 71));
+    o.conflictBudget =
+        static_cast<std::uint64_t>(reqI64(req, "conflict_budget", 0));
+    o.pool = pool_;
+    AppSatResult r = appSatAttack(arts.comb, arts.keyInputs, arts.oracleComb, o);
+    JsonWriter w;
+    w.i64("id", id)
+        .str("verb", "attack")
+        .boolean("ok", true)
+        .str("mode", "appsat")
+        .boolean("succeeded", r.succeeded)
+        .num("error_rate", r.errorRate)
+        .i64("dips", r.dips)
+        .i64("reconciliations", r.reconciliations)
+        .boolean("exactly_correct", r.exactlyCorrect)
+        .boolean("key_constraints_unsat", r.keyConstraintsUnsat)
+        .str("approximate_key", keyBitsString(r.approximateKey));
+    return w.finish();
+  }
+  if (mode == "enhanced") {
+    if (info->scheme != "gk") {
+      *outcome = "bad_request";
+      return errorResponse(id, "attack", "bad_request",
+                           "enhanced attack requires a gk-locked design");
+    }
+    const AttackArtifacts& arts = entry->warm.attackArtifacts(build);
+    auto chip = entry->warm.timingPool().acquire([&] {
+      return std::make_unique<TimingOracle>(
+          entry->netlist, info->clockArrival, info->keyInputs,
+          info->correctKey, info->clockPeriod, info->numSharedFlops);
+    });
+    EnhancedSatOptions o;
+    o.samples = static_cast<int>(reqI64(req, "samples", 16));
+    o.seed = static_cast<std::uint64_t>(reqI64(req, "seed", 23));
+    o.pool = pool_;
+    EnhancedSatResult r = enhancedSatAttack(arts.comb, arts.gkKeys, *chip, o);
+    JsonWriter w;
+    w.i64("id", id)
+        .str("verb", "attack")
+        .boolean("ok", true)
+        .str("mode", "enhanced")
+        .boolean("model_consistent", r.modelConsistent)
+        .i64("samples_used", r.samplesUsed)
+        .i64("inexplicable_bits", r.inexplicableBits)
+        .str("recovered_key", keyBitsString(r.recoveredKey));
+    return w.finish();
+  }
+  *outcome = "bad_request";
+  return errorResponse(id, "attack", "bad_request", "unknown mode: " + mode);
+}
+
+std::string Service::doOracle(const util::JsonValue& req, std::int64_t id,
+                              bool batch, std::string* outcome,
+                              std::string* handleNote) {
+  const char* verb = batch ? "oracle_batch" : "oracle_query";
+  std::string err;
+  std::shared_ptr<StoreEntry> entry =
+      resolveHandle(req, id, verb, handleNote, &err);
+  if (!entry) {
+    *outcome = "unknown_handle";
+    return err;
+  }
+  const CombExtraction& ce = entry->warm.combExtraction(entry->netlist);
+  const std::size_t numInputs = ce.netlist.inputs().size();
+
+  std::vector<std::vector<Logic>> patterns;
+  if (batch) {
+    const util::JsonValue* qs = req.find("queries");
+    if (!qs || !qs->isArray()) {
+      *outcome = "bad_request";
+      return errorResponse(id, verb, "bad_request",
+                           "oracle_batch needs a \"queries\" array");
+    }
+    patterns.reserve(qs->array.size());
+    for (const util::JsonValue& q : qs->array) {
+      patterns.emplace_back();
+      if (!q.isString() || !parseLogicString(q.string, patterns.back()) ||
+          patterns.back().size() != numInputs) {
+        *outcome = "bad_request";
+        return errorResponse(
+            id, verb, "bad_request",
+            "each query must be a string of " + std::to_string(numInputs) +
+                " characters from {0,1,x}");
+      }
+    }
+  } else {
+    const util::JsonValue* in = req.find("inputs");
+    patterns.emplace_back();
+    if (!in || !in->isString() || !parseLogicString(in->string, patterns[0]) ||
+        patterns[0].size() != numInputs) {
+      *outcome = "bad_request";
+      return errorResponse(
+          id, verb, "bad_request",
+          "\"inputs\" must be a string of " + std::to_string(numInputs) +
+              " characters from {0,1,x}");
+    }
+  }
+
+  auto oracle = entry->warm.oraclePool().acquire(
+      [&] { return std::make_unique<CombOracle>(ce.netlist); });
+  const std::vector<std::vector<Logic>> outs = oracle->queryBatch(patterns);
+
+  JsonWriter w;
+  w.i64("id", id).str("verb", verb).boolean("ok", true);
+  if (batch) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      if (i) arr += ',';
+      arr += '"';
+      arr += logicString(outs[i]);
+      arr += '"';
+    }
+    arr += ']';
+    w.raw("outputs", arr);
+  } else {
+    w.str("outputs", logicString(outs[0]));
+  }
+  return w.finish();
+}
+
+std::string Service::doSta(const util::JsonValue& req, std::int64_t id,
+                           std::string* outcome, std::string* handleNote) {
+  std::string err;
+  std::shared_ptr<StoreEntry> entry =
+      resolveHandle(req, id, "sta", handleNote, &err);
+  if (!entry) {
+    *outcome = "unknown_handle";
+    return err;
+  }
+  StaConfig cfg;
+  cfg.clockPeriod = static_cast<Ps>(reqI64(req, "clock_period_ps", ns(10)));
+  cfg.inputArrival = static_cast<Ps>(reqI64(req, "input_arrival_ps", 0));
+  Sta sta(entry->netlist, cfg);
+  const StaResult r = sta.run();
+  JsonWriter w;
+  w.i64("id", id)
+      .str("verb", "sta")
+      .boolean("ok", true)
+      .i64("clock_period_ps", cfg.clockPeriod)
+      .i64("worst_setup_slack_ps", r.worstSetupSlack)
+      .i64("worst_hold_slack_ps", r.worstHoldSlack)
+      .i64("critical_delay_ps", r.criticalDelay)
+      .boolean("meets_timing", r.meetsTiming())
+      .i64("min_clock_period_ps", sta.minClockPeriod());
+  return w.finish();
+}
+
+std::string Service::doStats(std::int64_t id) {
+  const NetlistStore::Stats st = store_.stats();
+  JsonWriter store;
+  store.u64("entries", st.entries)
+      .u64("bytes", st.bytes)
+      .u64("byte_budget", st.byteBudget)
+      .u64("hits", st.hits)
+      .u64("misses", st.misses)
+      .u64("evictions", st.evictions)
+      .u64("collisions", st.collisions);
+  JsonWriter verbs;
+  for (const auto& [name, count] : verbCounts_)
+    verbs.u64(name, count.load(std::memory_order_relaxed));
+  int inflight = 0;
+  int waiting = 0;
+  {
+    std::lock_guard<std::mutex> g(admMu_);
+    inflight = inflight_;
+    waiting = waiting_;
+  }
+  JsonWriter w;
+  w.i64("id", id)
+      .str("verb", "stats")
+      .boolean("ok", true)
+      .u64("requests", requests_.load(std::memory_order_relaxed))
+      .u64("errors", errors_.load(std::memory_order_relaxed))
+      .u64("rejected_busy", rejectedBusy_.load(std::memory_order_relaxed))
+      .u64("rejected_draining",
+           rejectedDraining_.load(std::memory_order_relaxed))
+      .u64("lock_cache_hits", lockCacheHits_.load(std::memory_order_relaxed))
+      .i64("inflight", inflight)
+      .i64("waiting", waiting)
+      .u64("peak_inflight", peakInflight_.load(std::memory_order_relaxed))
+      .i64("max_inflight", opt_.maxInflight)
+      .i64("max_queue", opt_.maxQueue)
+      .raw("store", store.finish())
+      .raw("verbs", verbs.finish());
+  return w.finish();
+}
+
+std::shared_ptr<StoreEntry> Service::resolveHandle(const util::JsonValue& req,
+                                                   std::int64_t id,
+                                                   const std::string& verb,
+                                                   std::string* handleNote,
+                                                   std::string* err) {
+  const std::string handle = req.stringOr("handle", "");
+  *handleNote = handle.empty() ? "-" : handle;
+  if (handle.empty()) {
+    *err = errorResponse(id, verb, "unknown_handle",
+                         "request needs a \"handle\" field");
+    return nullptr;
+  }
+  std::shared_ptr<StoreEntry> entry = store_.find(handle);
+  if (!entry)
+    *err = errorResponse(id, verb, "unknown_handle",
+                         "no stored design: " + handle);
+  return entry;
+}
+
+}  // namespace gkll::service

@@ -1,0 +1,165 @@
+// The locking service: verb dispatch, admission control and warm caches.
+//
+// One Service instance owns the content-addressed NetlistStore and answers
+// JSON requests (see proto.h for the framing).  handle() is fully
+// thread-safe — the socket server calls it from one thread per connection
+// — and synchronous: admission control decides whether the calling thread
+// may run the verb now, must wait for a slot, or gets an immediate
+// backpressure response.
+//
+// Verbs:
+//   ping          {sleep_ms?}                   liveness / admission probe
+//   upload        {bench | generate, name?}     -> {handle, ...}
+//   lock          {handle, scheme, params...}   -> {handle of locked, key...}
+//   attack        {handle, mode, params...}     -> attack result
+//   oracle_query  {handle, inputs}              -> {outputs}
+//   oracle_batch  {handle, queries:[...]}       -> {outputs:[...]}
+//   sta           {handle, clock_period_ps?}    -> slacks
+//   stats         {}                            -> store/cache/verb counters
+//
+// Determinism contract: for every verb except ping/stats, the response
+// bytes are a pure function of the request — a warm repeat (store hit,
+// cached sessions, replayed miter) returns *byte-identical* output to the
+// cold first call, and both equal a direct library call with the same
+// parameters.  Responses therefore carry no latency or cache fields;
+// cache behaviour is observable only through the stats verb and the run
+// journal ("service.request" records).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "runtime/cancel.h"
+#include "runtime/pool.h"
+#include "service/proto.h"
+#include "service/store.h"
+#include "util/json.h"
+
+namespace gkll::service {
+
+struct ServiceOptions {
+  /// Worker threads of the pool the attacks parallelise over (0 = the
+  /// process-global pool with its GKLL_THREADS sizing).
+  int threads = 0;
+  /// Requests executing concurrently (0 = pool lane count).
+  int maxInflight = 0;
+  /// Requests allowed to wait for a slot beyond maxInflight; one more gets
+  /// an immediate {"error":"busy"} backpressure response.
+  int maxQueue = 64;
+  /// NetlistStore LRU byte budget.
+  std::size_t storeBudgetBytes = 256u << 20;
+  std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opt = {});
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Answer one request payload (a JSON object).  Thread-safe; blocks the
+  /// calling thread while the verb runs (or while waiting for an admission
+  /// slot).  Always returns a well-formed JSON response — malformed input
+  /// yields {"ok":false,"error":...}, never an exception or abort.
+  std::string handle(const std::string& payload);
+
+  /// Stop admitting new requests; in-flight ones run to completion.
+  void beginDrain();
+  /// Block until nothing is in flight or queued (call after beginDrain).
+  void waitIdle();
+  /// Fire the cancel token of every in-flight request (forced shutdown:
+  /// SAT attacks wind down at the next solver boundary, ping wakes up).
+  void cancelAll();
+
+  NetlistStore& store() { return store_; }
+  const ServiceOptions& options() const { return opt_; }
+  runtime::ThreadPool* pool() { return pool_; }
+
+ private:
+  struct ActiveRequest;
+
+  std::string dispatch(const util::JsonValue& req, const std::string& verb,
+                       std::int64_t id, runtime::Deadline deadline,
+                       runtime::CancelToken cancel, std::string* outcome,
+                       std::string* cacheNote, std::string* handleNote);
+
+  // Verb implementations (req is the parsed request object).
+  std::string doPing(const util::JsonValue& req, std::int64_t id,
+                     runtime::CancelToken cancel, std::string* outcome);
+  std::string doUpload(const util::JsonValue& req, std::int64_t id,
+                       std::string* outcome, std::string* cacheNote,
+                       std::string* handleNote);
+  std::string doLock(const util::JsonValue& req, std::int64_t id,
+                     std::string* outcome, std::string* cacheNote,
+                     std::string* handleNote);
+  std::string doAttack(const util::JsonValue& req, std::int64_t id,
+                       runtime::Deadline deadline, runtime::CancelToken cancel,
+                       std::string* outcome, std::string* handleNote);
+  std::string doOracle(const util::JsonValue& req, std::int64_t id, bool batch,
+                       std::string* outcome, std::string* handleNote);
+  std::string doSta(const util::JsonValue& req, std::int64_t id,
+                    std::string* outcome, std::string* handleNote);
+  std::string doStats(std::int64_t id);
+
+  std::string errorResponse(std::int64_t id, const std::string& verb,
+                            const std::string& code, const std::string& msg,
+                            int line = 0) const;
+
+  /// Resolve a request's "handle" field to a store entry, or fill an error.
+  std::shared_ptr<StoreEntry> resolveHandle(const util::JsonValue& req,
+                                            std::int64_t id,
+                                            const std::string& verb,
+                                            std::string* handleNote,
+                                            std::string* err);
+
+  bool admit(std::string* errCode);
+  void releaseSlot();
+
+  ServiceOptions opt_;
+  std::unique_ptr<runtime::ThreadPool> ownedPool_;
+  runtime::ThreadPool* pool_ = nullptr;
+  NetlistStore store_;
+
+  // Admission state.
+  std::mutex admMu_;
+  std::condition_variable admCv_;
+  std::condition_variable idleCv_;
+  int inflight_ = 0;
+  int waiting_ = 0;
+  bool draining_ = false;
+
+  // Active-request cancel tokens (for cancelAll).
+  std::mutex actMu_;
+  std::unordered_set<const ActiveRequest*> active_;
+
+  // Lock-request dedupe: identical (handle, scheme, params) requests are
+  // answered from the recorded response — the flow is deterministic, so
+  // the bytes are what a recompute would produce.  A hit is only honoured
+  // while the locked entry is still resident (eviction invalidates it).
+  struct LockCacheEntry {
+    std::string response;
+    std::string lockedHandle;
+  };
+  std::mutex lockCacheMu_;
+  std::map<std::string, LockCacheEntry> lockCache_;
+  /// Return the cached response for `key`, or empty when absent/stale.
+  std::string lockCacheLookup(const std::string& key);
+
+  // Counters surfaced by the stats verb.
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejectedBusy_{0};
+  std::atomic<std::uint64_t> rejectedDraining_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> lockCacheHits_{0};
+  std::atomic<std::uint64_t> peakInflight_{0};
+  std::map<std::string, std::atomic<std::uint64_t>> verbCounts_;
+};
+
+}  // namespace gkll::service

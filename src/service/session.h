@@ -1,0 +1,197 @@
+// Warm per-netlist artifacts of the locking service.
+//
+// Compiling a netlist, extracting its combinational core, or encoding a
+// SAT-attack miter costs orders of magnitude more than answering one
+// oracle query — the whole point of a long-lived daemon is paying those
+// costs once per design instead of once per request.  Two mechanisms:
+//
+//   SessionPool<T>   — lease-based reuse of *stateful, non-thread-safe*
+//                      objects (CombOracle's packed scratch, TimingOracle's
+//                      cached EventSim session).  A request leases an
+//                      instance, uses it exclusively, and the lease's
+//                      destructor returns it to the free list.  Concurrent
+//                      requests on the same design never share an instance.
+//   ArtifactCache    — once-per-entry *immutable* artifacts (combinational
+//                      extraction, attack surface, miter clause log),
+//                      built lazily under a mutex so concurrent first
+//                      requests do the work exactly once.
+//
+// Lifetime rule: leases and cached references borrow from the owning
+// StoreEntry.  Request handlers must hold the entry's shared_ptr for as
+// long as any lease or reference is live (eviction only drops the store's
+// reference; the entry itself stays alive until the last handler lets go).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "attack/oracle.h"
+#include "attack/sat_attack.h"
+#include "netlist/netlist_ops.h"
+
+namespace gkll::service {
+
+/// Free-list pool of exclusive-use session objects.
+template <typename T>
+class SessionPool {
+ public:
+  /// RAII exclusive hold on one instance; returns it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SessionPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    Lease(Lease&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)), obj_(std::move(o.obj_)) {}
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        reset();
+        pool_ = std::exchange(o.pool_, nullptr);
+        obj_ = std::move(o.obj_);
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+
+    T* operator->() const { return obj_.get(); }
+    T& operator*() const { return *obj_; }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+   private:
+    void reset() {
+      if (pool_ && obj_) pool_->release(std::move(obj_));
+      pool_ = nullptr;
+      obj_.reset();
+    }
+    SessionPool* pool_ = nullptr;
+    std::unique_ptr<T> obj_;
+  };
+
+  /// Lease a pooled instance, or build a fresh one when the free list is
+  /// empty.  `build` returns std::unique_ptr<T>; it runs outside the pool
+  /// lock (builds can be expensive).
+  template <typename BuildFn>
+  Lease acquire(BuildFn&& build) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+        return Lease(this, std::move(obj));
+      }
+    }
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    return Lease(this, build());
+  }
+
+  std::uint64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reuses() const {
+    return reuses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (free_.size() < kMaxFree) free_.push_back(std::move(obj));
+    // else: drop — bounds idle memory after a concurrency burst.
+  }
+  static constexpr std::size_t kMaxFree = 8;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+};
+
+/// The SAT/AppSAT/enhanced attack surface of one locked design, derived
+/// once per entry.  For the GK scheme this is GkEncryptor::attackSurface
+/// (KEYGENs stripped, GK keys exposed); for xor/antisat it is the plain
+/// combinational extraction with the key nets mapped through netMap.
+struct AttackArtifacts {
+  Netlist comb;                  ///< locked combinational attack surface
+  std::vector<NetId> keyInputs;  ///< every key net in comb (attack order)
+  std::vector<NetId> gkKeys;     ///< GK subset (empty for xor/antisat)
+  Netlist oracleComb;            ///< original design's combinational core
+};
+
+/// Lazily-built immutable artifacts + session pools for one store entry.
+class ArtifactCache {
+ public:
+  /// Combinational extraction of the entry's netlist (pseudo PI/PO per
+  /// flop).  Heap-pinned: references stay valid for the entry's lifetime.
+  const CombExtraction& combExtraction(const Netlist& nl) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!comb_) {
+      comb_ = std::make_unique<CombExtraction>(extractCombinational(nl));
+      combBuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *comb_;
+  }
+
+  /// Attack surface, built once by `build` (which captures whatever
+  /// scheme-specific context the caller has).
+  const AttackArtifacts& attackArtifacts(
+      const std::function<std::unique_ptr<AttackArtifacts>()>& build) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!attack_) {
+      attack_ = build();
+      attackBuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *attack_;
+  }
+
+  /// Pre-encoded SAT-attack miter over attackArtifacts().comb and its
+  /// keyInputs.  Replaying the clause log is byte-identical to a fresh
+  /// encode (tests/test_miter_template.cpp), so warm and cold attacks
+  /// return identical results.
+  const MiterTemplate& miter(
+      const std::function<std::unique_ptr<AttackArtifacts>()>& buildArts) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!attack_) {
+      attack_ = buildArts();
+      attackBuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!miter_) {
+      const CompiledNetlist cn = CompiledNetlist::compile(attack_->comb);
+      miter_ = std::make_unique<MiterTemplate>(
+          buildMiterTemplate(cn, attack_->keyInputs));
+      miterBuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *miter_;
+  }
+
+  SessionPool<CombOracle>& oraclePool() { return oraclePool_; }
+  SessionPool<TimingOracle>& timingPool() { return timingPool_; }
+
+  std::uint64_t combBuilds() const {
+    return combBuilds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t attackBuilds() const {
+    return attackBuilds_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t miterBuilds() const {
+    return miterBuilds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<const CombExtraction> comb_;
+  std::unique_ptr<AttackArtifacts> attack_;
+  std::unique_ptr<MiterTemplate> miter_;
+  SessionPool<CombOracle> oraclePool_;
+  SessionPool<TimingOracle> timingPool_;
+  std::atomic<std::uint64_t> combBuilds_{0};
+  std::atomic<std::uint64_t> attackBuilds_{0};
+  std::atomic<std::uint64_t> miterBuilds_{0};
+};
+
+}  // namespace gkll::service

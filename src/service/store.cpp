@@ -1,0 +1,94 @@
+#include "service/store.h"
+
+#include "service/proto.h"
+
+namespace gkll::service {
+
+std::size_t approxNetlistBytes(const Netlist& nl) {
+  std::size_t bytes = sizeof(Netlist);
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    const Net& net = nl.net(n);
+    bytes += sizeof(Net) + net.name.capacity() +
+             net.fanouts.size() * sizeof(GateId);
+  }
+  for (GateId g = 0; g < nl.numGates(); ++g)
+    bytes += sizeof(Gate) + nl.gate(g).fanin.size() * sizeof(NetId);
+  bytes += (nl.inputs().size() + nl.outputs().size()) * sizeof(NetId);
+  bytes += nl.flops().size() * sizeof(GateId);
+  return bytes;
+}
+
+NetlistStore::InsertResult NetlistStore::insert(Netlist nl) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t h = hashFn_ ? hashFn_(nl) : nl.contentHash();
+
+  // Probe the content handle and its collision-suffixed successors until a
+  // verified-equal entry or a free slot turns up.  Every occupied slot is
+  // verified with full structural equality — a hash hit alone never aliases.
+  const std::string base = hashHandle(h);
+  for (int probe = 0;; ++probe) {
+    std::string handle = base;
+    if (probe > 0) handle += "#" + std::to_string(probe);
+    auto it = byHandle_.find(handle);
+    if (it == byHandle_.end()) {
+      auto entry = std::make_shared<StoreEntry>();
+      entry->handle = handle;
+      entry->hash = h;
+      entry->netlist = std::move(nl);
+      entry->bytes = approxNetlistBytes(entry->netlist);
+      lru_.push_front(entry);
+      byHandle_[handle] = lru_.begin();
+      bytes_ += entry->bytes;
+      ++misses_;
+      if (probe > 0) ++collisions_;
+      evictOverBudgetLocked();
+      return {entry, false};
+    }
+    const std::shared_ptr<StoreEntry>& resident = *it->second;
+    if (structurallyEqual(resident->netlist, nl)) {
+      ++hits_;
+      touchLocked(it->second);
+      return {*byHandle_[handle], true};
+    }
+    // Same hash (and same suffix chain), different design: keep probing.
+  }
+}
+
+std::shared_ptr<StoreEntry> NetlistStore::find(const std::string& handle) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = byHandle_.find(handle);
+  if (it == byHandle_.end()) return nullptr;
+  touchLocked(it->second);
+  return *byHandle_[handle];
+}
+
+NetlistStore::Stats NetlistStore::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Stats s;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.byteBudget = budget_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.collisions = collisions_;
+  return s;
+}
+
+void NetlistStore::touchLocked(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  byHandle_[(*lru_.begin())->handle] = lru_.begin();
+}
+
+void NetlistStore::evictOverBudgetLocked() {
+  while (bytes_ > budget_ && lru_.size() > 1) {
+    const std::shared_ptr<StoreEntry> victim = lru_.back();
+    bytes_ -= victim->bytes;
+    byHandle_.erase(victim->handle);
+    lru_.pop_back();
+    ++evictions_;
+    // In-flight holders of the shared_ptr finish on the detached entry.
+  }
+}
+
+}  // namespace gkll::service

@@ -1,0 +1,127 @@
+// Content-addressed netlist store of the locking service.
+//
+// Designs are keyed by Netlist::contentHash(), spelled as the handle
+// "0x%016llx".  The hash is a 64-bit FNV fold — good enough to make
+// accidental collisions astronomically unlikely, but the store does not
+// *trust* it: every hash hit is verified with structurallyEqual before the
+// cached entry (and its warm sessions/miters) is reused.  A genuine
+// collision falls back to a suffixed handle ("0x...#1"), so two colliding
+// designs coexist and never alias each other's artifacts.
+//
+// Entries are shared_ptr-owned: LRU eviction under the byte budget drops
+// only the store's reference, so requests already holding an entry finish
+// safely on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/gk_flow.h"
+#include "netlist/netlist.h"
+#include "service/session.h"
+
+namespace gkll::service {
+
+/// How a stored netlist was locked — attached to the *locked* entry so
+/// attack/oracle verbs can reconstruct the oracle and timing context.
+struct LockInfo {
+  std::string scheme;             ///< "gk" | "xor" | "antisat"
+  std::string originalHandle;     ///< store handle of the pre-lock design
+  std::vector<NetId> keyInputs;   ///< in the locked netlist
+  std::vector<int> correctKey;    ///< one 0/1 per keyInputs entry
+  std::vector<Ps> clockArrival;   ///< per flop of the locked netlist
+  Ps clockPeriod = 0;
+  std::size_t numSharedFlops = 0;
+  /// Full flow result for scheme == "gk" (attack-surface reconstruction).
+  std::shared_ptr<const GkFlowResult> gk;
+};
+
+/// One stored design.  The netlist is immutable after insertion; NetId
+/// indices inside LockInfo stay valid because structural equality implies
+/// identical net numbering.
+struct StoreEntry {
+  std::string handle;
+  std::uint64_t hash = 0;
+  Netlist netlist;
+  std::size_t bytes = 0;
+  ArtifactCache warm;
+
+  std::shared_ptr<const LockInfo> lockInfo() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lock_;
+  }
+  void setLockInfo(std::shared_ptr<const LockInfo> info) {
+    std::lock_guard<std::mutex> g(mu_);
+    lock_ = std::move(info);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const LockInfo> lock_;
+};
+
+/// Rough resident-size estimate used for the LRU byte budget.
+std::size_t approxNetlistBytes(const Netlist& nl);
+
+class NetlistStore {
+ public:
+  /// `byteBudget` bounds the sum of approxNetlistBytes over resident
+  /// entries; least-recently-used entries are dropped when exceeded (the
+  /// most recent entry always stays, so a single oversized design works).
+  explicit NetlistStore(std::size_t byteBudget = 256u << 20)
+      : budget_(byteBudget) {}
+
+  struct InsertResult {
+    std::shared_ptr<StoreEntry> entry;
+    bool existed = false;  ///< verified-equal design was already resident
+  };
+
+  /// Deduplicating insert: returns the resident entry when a verified-
+  /// equal design is already stored (warm artifacts preserved), otherwise
+  /// inserts under the content handle — or a "#N"-suffixed one when the
+  /// hash slot is taken by a structurally different design.
+  InsertResult insert(Netlist nl);
+
+  /// Look up by handle; bumps the entry's LRU position.
+  std::shared_ptr<StoreEntry> find(const std::string& handle);
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t byteBudget = 0;
+    std::uint64_t hits = 0;        ///< insert() dedup hits
+    std::uint64_t misses = 0;      ///< insert() fresh entries
+    std::uint64_t evictions = 0;
+    std::uint64_t collisions = 0;  ///< hash-equal, structurally different
+  };
+  Stats stats() const;
+
+  /// Substitute the content-hash function (forced-collision tests only).
+  void setHashForTest(std::function<std::uint64_t(const Netlist&)> fn) {
+    std::lock_guard<std::mutex> g(mu_);
+    hashFn_ = std::move(fn);
+  }
+
+ private:
+  using LruList = std::list<std::shared_ptr<StoreEntry>>;
+  void touchLocked(LruList::iterator it);  ///< move to front (most recent)
+  void evictOverBudgetLocked();
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::function<std::uint64_t(const Netlist&)> hashFn_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, LruList::iterator> byHandle_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace gkll::service

@@ -162,5 +162,94 @@ TEST(BenchIo, MissingFileFails) {
   EXPECT_FALSE(r.ok);
 }
 
+// --- untrusted-upload hardening ----------------------------------------------
+// The service daemon feeds client-supplied text straight into the parser;
+// every malformed shape must come back as a diagnostic with a line number,
+// never an assert, abort, or silently corrupted netlist.
+
+TEST(BenchIo, TruncatedAssignmentFails) {
+  // File ends mid-expression (a download cut short).
+  const auto r = parseBench("INPUT(a)\nOUTPUT(y)\ny = NAND(a,");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+  EXPECT_NE(r.error.find("line 3"), std::string::npos) << r.error;
+}
+
+TEST(BenchIo, DuplicateDriverFails) {
+  // Two assignments to the same net must be rejected before addGate's
+  // "already driven" precondition is ever reachable.
+  const auto r = parseBench(R"(INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+y = OR(a, b)
+)");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 5);
+  EXPECT_NE(r.error.find("duplicate net: y"), std::string::npos) << r.error;
+}
+
+TEST(BenchIo, AssignmentToInputFails) {
+  const auto r = parseBench("INPUT(a)\nOUTPUT(a)\na = CONST1()\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+}
+
+TEST(BenchIo, UnknownCellFails) {
+  const auto r = parseBench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+  EXPECT_NE(r.error.find("unknown gate: FROB"), std::string::npos) << r.error;
+}
+
+TEST(BenchIo, EmptyDeclarationNameFails) {
+  EXPECT_FALSE(parseBench("INPUT()\n").ok);
+  EXPECT_FALSE(parseBench("OUTPUT()\n").ok);
+}
+
+TEST(BenchIo, MalformedDelayValueFails) {
+  // strtoll would happily read "2500abc" as 2500; the strict parser must
+  // not.
+  const auto r = parseBench("INPUT(a)\nOUTPUT(y)\ny = DELAY(a, 2500abc)\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+  EXPECT_NE(r.error.find("malformed delay"), std::string::npos) << r.error;
+  EXPECT_FALSE(parseBench("INPUT(a)\nOUTPUT(y)\ny = DELAY(a, -5)\n").ok);
+  EXPECT_FALSE(parseBench("INPUT(a)\nOUTPUT(y)\ny = DELAY(a, )\n").ok);
+}
+
+TEST(BenchIo, MalformedLutMaskFails) {
+  const auto r = parseBench("INPUT(a)\nOUTPUT(y)\ny = LUT(0xZZ, a)\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+  EXPECT_NE(r.error.find("malformed LUT mask"), std::string::npos) << r.error;
+}
+
+TEST(BenchIo, UndefinedNetReportsLine) {
+  const auto r = parseBench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 3);
+  EXPECT_NE(r.error.find("undefined net: ghost"), std::string::npos);
+}
+
+TEST(BenchIo, ParseOrThrowCarriesLine) {
+  EXPECT_NO_THROW(parseBenchOrThrow("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"));
+  try {
+    parseBenchOrThrow("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("unknown gate"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, GarbageBytesFailCleanly) {
+  // Binary noise must produce a diagnostic, not UB.
+  std::string noise = "\x01\x02\xff\xfe(((=)))\n=\n(((\n";
+  const auto r = parseBench(noise);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GT(r.errorLine, 0);
+}
+
 }  // namespace
 }  // namespace gkll

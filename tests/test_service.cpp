@@ -1,0 +1,485 @@
+// End-to-end tests of the locking service: content-addressed store
+// semantics (dedup, LRU, forced collisions), the determinism contract
+// (warm repeats and concurrent clients return byte-identical responses,
+// equal to direct library calls), warm-path latency, admission control
+// and the journal trail.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/oracle.h"
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "lock/xor_lock.h"
+#include "netlist/bench_io.h"
+#include "netlist/logic.h"
+#include "netlist/netlist_ops.h"
+#include "obs/journal.h"
+#include "service/service.h"
+#include "service/store.h"
+#include "util/json.h"
+
+namespace gkll::service {
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string field(const std::string& response, const char* key) {
+  util::JsonValue v;
+  if (!util::parseJson(response, v)) return {};
+  return v.stringOr(key, "");
+}
+
+double numField(const std::string& response, const char* key) {
+  util::JsonValue v;
+  if (!util::parseJson(response, v)) return -1;
+  return v.numberOr(key, -1);
+}
+
+std::string uploadReq(const std::string& benchText, const std::string& name) {
+  JsonWriter w;
+  w.i64("id", 1).str("verb", "upload").str("bench", benchText).str("name",
+                                                                   name);
+  return w.finish();
+}
+
+std::string generateReq(const std::string& name) {
+  JsonWriter w;
+  w.i64("id", 1).str("verb", "upload").str("generate", name);
+  return w.finish();
+}
+
+// --- store -------------------------------------------------------------------
+
+TEST(ServiceStore, InsertDedupsVerifiedEqualDesigns) {
+  NetlistStore store;
+  auto a = store.insert(generateByName("c17"));
+  EXPECT_FALSE(a.existed);
+  auto b = store.insert(generateByName("c17"));
+  EXPECT_TRUE(b.existed);
+  EXPECT_EQ(a.entry.get(), b.entry.get());  // same resident entry, warm kept
+  const auto st = store.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.collisions, 0u);
+}
+
+TEST(ServiceStore, LruEvictionRespectsRecentUse) {
+  const Netlist a = generateByName("c17");
+  const Netlist b = generateByName("toyseq");
+  const auto tinyParse = parseBench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t");
+  ASSERT_TRUE(tinyParse.ok);
+  const Netlist& c = tinyParse.netlist;
+  ASSERT_LE(approxNetlistBytes(c), approxNetlistBytes(b));
+
+  NetlistStore store(approxNetlistBytes(a) + approxNetlistBytes(b));
+  const std::string ha = store.insert(a).entry->handle;
+  const std::string hb = store.insert(b).entry->handle;
+  ASSERT_TRUE(store.find(ha));  // bump a: b becomes least recently used
+  const std::string hc = store.insert(c).entry->handle;
+
+  EXPECT_EQ(store.find(hb), nullptr);  // evicted
+  EXPECT_TRUE(store.find(ha));
+  EXPECT_TRUE(store.find(hc));
+  const auto st = store.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 2u);
+}
+
+TEST(ServiceStore, EvictionKeepsHolderAlive) {
+  NetlistStore store(/*byteBudget=*/1);  // everything but the newest evicts
+  auto first = store.insert(generateByName("c17"));
+  const std::shared_ptr<StoreEntry> held = first.entry;
+  store.insert(generateByName("toyseq"));
+  EXPECT_EQ(store.find(held->handle), nullptr);
+  // The detached entry is still fully usable by its holder.
+  EXPECT_EQ(held->netlist.inputs().size(), 5u);
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST(ServiceStore, ForcedCollisionFallsBackToSuffixedHandle) {
+  NetlistStore store;
+  store.setHashForTest([](const Netlist&) { return 0xdeadbeefu; });
+
+  auto a = store.insert(generateByName("c17"));
+  EXPECT_EQ(a.entry->handle, "0x00000000deadbeef");
+  auto b = store.insert(generateByName("toyseq"));  // same hash, different
+  EXPECT_EQ(b.entry->handle, "0x00000000deadbeef#1");
+  EXPECT_EQ(store.stats().collisions, 1u);
+
+  // Re-inserting either design still dedups onto its own slot — the probe
+  // chain verifies structural equality, never the hash alone.
+  EXPECT_TRUE(store.insert(generateByName("c17")).existed);
+  auto b2 = store.insert(generateByName("toyseq"));
+  EXPECT_TRUE(b2.existed);
+  EXPECT_EQ(b2.entry.get(), b.entry.get());
+
+  // Lookups resolve each coexisting design, not its collision partner.
+  EXPECT_TRUE(structurallyEqual(store.find(a.entry->handle)->netlist,
+                                generateByName("c17")));
+  EXPECT_TRUE(structurallyEqual(store.find(b.entry->handle)->netlist,
+                                generateByName("toyseq")));
+}
+
+// --- verbs: determinism contract ---------------------------------------------
+
+TEST(ServiceVerbs, RepeatedUploadIsByteIdenticalAndDedups) {
+  Service svc;
+  const std::string req = uploadReq(writeBench(generateByName("s1238")),
+                                    "s1238");
+  const std::string cold = svc.handle(req);
+  const std::string warm = svc.handle(req);
+  EXPECT_EQ(cold, warm);
+  EXPECT_NE(field(cold, "handle"), "");
+  const auto st = svc.store().stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(ServiceVerbs, OracleMatchesDirectLibraryCall) {
+  Service svc;
+  const std::string handle =
+      field(svc.handle(generateReq("toyseq")), "handle");
+  ASSERT_NE(handle, "");
+
+  // Direct library call on the same design: extraction + CombOracle.
+  const CombExtraction ce = extractCombinational(generateByName("toyseq"));
+  const std::size_t n = ce.netlist.inputs().size();
+  std::string inputs;
+  for (std::size_t i = 0; i < n; ++i) inputs += (i % 2) ? '1' : '0';
+  std::vector<Logic> pattern;
+  for (char ch : inputs) pattern.push_back(ch == '1' ? Logic::T : Logic::F);
+  CombOracle direct(ce.netlist);
+  std::string expectOut;
+  for (Logic l : direct.query(pattern)) expectOut += logicChar(l);
+
+  JsonWriter q;
+  q.i64("id", 7).str("verb", "oracle_query").str("handle", handle).str(
+      "inputs", inputs);
+  JsonWriter expect;
+  expect.i64("id", 7).str("verb", "oracle_query").boolean("ok", true).str(
+      "outputs", expectOut);
+  EXPECT_EQ(svc.handle(q.finish()), expect.finish());
+}
+
+TEST(ServiceVerbs, AttackMatchesDirectLibraryCallColdAndWarm) {
+  Service svc;
+  const std::string handle = field(svc.handle(generateReq("c17")), "handle");
+  ASSERT_NE(handle, "");
+
+  JsonWriter lw;
+  lw.i64("id", 2).str("verb", "lock").str("handle", handle).str(
+      "scheme", "xor").i64("key_bits", 4);
+  const std::string lockReq = lw.finish();
+  const std::string lockResp = svc.handle(lockReq);
+  const std::string lockedHandle = field(lockResp, "locked_handle");
+  ASSERT_NE(lockedHandle, "") << lockResp;
+  // Lock dedupe: the repeat is answered from the recorded response.
+  EXPECT_EQ(svc.handle(lockReq), lockResp);
+
+  // Direct library flow with the service's resolved defaults (seed=1).
+  const Netlist original = generateByName("c17");
+  XorLockOptions xo;
+  xo.numKeyBits = 4;
+  xo.seed = 1;
+  const LockedDesign design = xorLock(original, xo);
+  const CombExtraction ce = extractCombinational(design.netlist);
+  std::vector<NetId> keyInputs;
+  for (NetId k : design.keyInputs) keyInputs.push_back(ce.netMap[k]);
+  const Netlist oracleComb = extractCombinational(original).netlist;
+  SatAttackOptions o;
+  o.maxIterations = 1 << 20;
+  const SatAttackResult r =
+      satAttack(ce.netlist, keyInputs, oracleComb, o);
+  std::string key;
+  for (int b : r.recoveredKey) key += b ? '1' : '0';
+  JsonWriter expect;
+  expect.i64("id", 3)
+      .str("verb", "attack")
+      .boolean("ok", true)
+      .str("mode", "sat")
+      .boolean("converged", r.converged)
+      .i64("dips", r.dips)
+      .boolean("decrypted", r.decrypted)
+      .boolean("unsat_at_first_iteration", r.unsatAtFirstIteration)
+      .boolean("key_constraints_unsat", r.keyConstraintsUnsat)
+      .boolean("budget_exhausted", r.budgetExhausted)
+      .boolean("deadline_exceeded", r.deadlineExceeded)
+      .boolean("canceled", r.canceled)
+      .str("recovered_key", key);
+  const std::string expected = expect.finish();
+
+  JsonWriter aw;
+  aw.i64("id", 3).str("verb", "attack").str("handle", lockedHandle).str(
+      "mode", "sat");
+  const std::string attackReq = aw.finish();
+  const std::string cold = svc.handle(attackReq);  // builds surface + miter
+  const std::string warm = svc.handle(attackReq);  // replays the clause log
+  EXPECT_EQ(cold, expected);
+  EXPECT_EQ(warm, expected);
+  EXPECT_TRUE(cold.find("\"decrypted\":true") != std::string::npos) << cold;
+
+  // The XOR baseline must fall to the SAT attack with the correct key.
+  EXPECT_EQ(field(cold, "recovered_key"), field(lockResp, "correct_key"));
+}
+
+TEST(ServiceVerbs, WarmRepeatSkipsCompileObservably) {
+  Service svc;
+  const std::string handle = field(svc.handle(generateReq("toyseq")), "handle");
+  std::shared_ptr<StoreEntry> entry = svc.store().find(handle);
+  ASSERT_TRUE(entry);
+  const std::size_t n =
+      entry->netlist.inputs().size() + entry->netlist.flops().size();
+  JsonWriter q;
+  q.i64("id", 4).str("verb", "oracle_query").str("handle", handle).str(
+      "inputs", std::string(n, '0'));
+  const std::string req = q.finish();
+
+  const std::string first = svc.handle(req);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(svc.handle(req), first);
+  // One extraction, one oracle compile — every repeat leased the session.
+  EXPECT_EQ(entry->warm.combBuilds(), 1u);
+  EXPECT_EQ(entry->warm.oraclePool().builds(), 1u);
+  EXPECT_EQ(entry->warm.oraclePool().reuses(), 3u);
+}
+
+TEST(ServiceVerbs, StaAndBatchAreDeterministic) {
+  Service svc;
+  const std::string handle = field(svc.handle(generateReq("toyseq")), "handle");
+  std::shared_ptr<StoreEntry> entry = svc.store().find(handle);
+  const std::size_t n =
+      entry->netlist.inputs().size() + entry->netlist.flops().size();
+
+  JsonWriter s;
+  s.i64("id", 5).str("verb", "sta").str("handle", handle);
+  const std::string staReq = s.finish();
+  const std::string staResp = svc.handle(staReq);
+  EXPECT_EQ(svc.handle(staReq), staResp);
+  EXPECT_NE(staResp.find("\"min_clock_period_ps\""), std::string::npos);
+
+  JsonWriter b;
+  b.i64("id", 6).str("verb", "oracle_batch").str("handle", handle).raw(
+      "queries", "[\"" + std::string(n, '0') + "\",\"" +
+                     std::string(n, '1') + "\"]");
+  const std::string batchReq = b.finish();
+  const std::string batchResp = svc.handle(batchReq);
+  EXPECT_EQ(svc.handle(batchReq), batchResp);
+  util::JsonValue v;
+  ASSERT_TRUE(util::parseJson(batchResp, v));
+  const util::JsonValue* outs = v.find("outputs");
+  ASSERT_TRUE(outs && outs->isArray());
+  EXPECT_EQ(outs->array.size(), 2u);
+}
+
+TEST(ServiceVerbs, ConcurrentClientsGetByteIdenticalResponses) {
+  ServiceOptions opt;
+  opt.maxInflight = 8;  // the 1-core default would serialise everything
+  Service svc(opt);
+  const std::string hComb = field(svc.handle(generateReq("c17")), "handle");
+  const std::string hSeq = field(svc.handle(generateReq("toyseq")), "handle");
+  ASSERT_NE(hComb, "");
+  ASSERT_NE(hSeq, "");
+  std::shared_ptr<StoreEntry> seq = svc.store().find(hSeq);
+  const std::size_t nSeq =
+      seq->netlist.inputs().size() + seq->netlist.flops().size();
+
+  // Request mix; the serial (cold) response is the expected byte string.
+  std::vector<std::string> reqs;
+  for (int p = 0; p < 2; ++p) {
+    std::string in(5, p ? '1' : '0');
+    JsonWriter w;
+    w.i64("id", 10 + p).str("verb", "oracle_query").str("handle", hComb).str(
+        "inputs", in);
+    reqs.push_back(w.finish());
+  }
+  {
+    JsonWriter w;
+    w.i64("id", 12).str("verb", "oracle_query").str("handle", hSeq).str(
+        "inputs", std::string(nSeq, '1'));
+    reqs.push_back(w.finish());
+    JsonWriter w2;
+    w2.i64("id", 13).str("verb", "sta").str("handle", hSeq);
+    reqs.push_back(w2.finish());
+  }
+  std::vector<std::string> expected;
+  for (const std::string& r : reqs) expected.push_back(svc.handle(r));
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t r = (t + i) % reqs.size();
+        if (svc.handle(reqs[r]) != expected[r])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ServiceVerbs, WarmOracleLatencyBeatsColdByFiveX) {
+  Service svc;
+  const std::string handle =
+      field(svc.handle(generateReq("s13207")), "handle");
+  std::shared_ptr<StoreEntry> entry = svc.store().find(handle);
+  ASSERT_TRUE(entry);
+  const std::size_t n =
+      entry->netlist.inputs().size() + entry->netlist.flops().size();
+  JsonWriter q;
+  q.i64("id", 8).str("verb", "oracle_query").str("handle", handle).str(
+      "inputs", std::string(n, '0'));
+  const std::string req = q.finish();
+
+  const double c0 = nowUs();
+  const std::string cold = svc.handle(req);  // pays extraction + compile
+  const double coldUs = nowUs() - c0;
+  ASSERT_NE(field(cold, "outputs"), "") << cold;
+
+  double warmMinUs = coldUs;
+  for (int i = 0; i < 50; ++i) {
+    const double t0 = nowUs();
+    EXPECT_EQ(svc.handle(req), cold);
+    warmMinUs = std::min(warmMinUs, nowUs() - t0);
+  }
+  EXPECT_GE(coldUs, 5.0 * warmMinUs)
+      << "cold " << coldUs << "us vs warm-min " << warmMinUs << "us";
+}
+
+// --- errors & admission ------------------------------------------------------
+
+TEST(ServiceAdmission, MalformedAndUnknownRequests) {
+  Service svc;
+  EXPECT_EQ(field(svc.handle("this is not json"), "error"), "bad_request");
+  EXPECT_EQ(field(svc.handle("[1,2,3]"), "error"), "bad_request");
+  EXPECT_EQ(field(svc.handle(R"({"id":1,"verb":"frobnicate"})"), "error"),
+            "unknown_verb");
+  EXPECT_EQ(field(svc.handle(R"({"id":1,"verb":"sta","handle":"0x0"})"),
+                  "error"),
+            "unknown_handle");
+  EXPECT_EQ(field(svc.handle(R"({"id":1,"verb":"attack","handle":"nope"})"),
+                  "error"),
+            "unknown_handle");
+  const std::string parse = svc.handle(
+      R"({"id":1,"verb":"upload","bench":"INPUT(a)\ny = FROB(a)\n"})");
+  EXPECT_EQ(field(parse, "error"), "parse_error");
+  EXPECT_EQ(numField(parse, "line"), 2);
+  EXPECT_EQ(field(svc.handle(R"({"id":1,"verb":"upload","generate":"c999"})"),
+                  "error"),
+            "unknown_bench");
+}
+
+TEST(ServiceAdmission, ExpiredDeadlineRejectsBeforeWork) {
+  Service svc;
+  const std::string resp =
+      svc.handle(R"({"id":3,"verb":"ping","deadline_ms":0.000001})");
+  EXPECT_EQ(field(resp, "error"), "deadline");
+}
+
+TEST(ServiceAdmission, BusyBackpressureWhenQueueFull) {
+  ServiceOptions opt;
+  opt.maxInflight = 1;
+  opt.maxQueue = 0;
+  Service svc(opt);
+
+  std::string slowResp;
+  std::thread slow(
+      [&] { slowResp = svc.handle(R"({"id":1,"verb":"ping","sleep_ms":500})"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::string busy = svc.handle(R"({"id":2,"verb":"ping"})");
+  EXPECT_EQ(field(busy, "error"), "busy");
+  slow.join();
+  EXPECT_EQ(slowResp, R"({"id":1,"verb":"ping","ok":true})");
+
+  const std::string stats = svc.handle(R"({"id":3,"verb":"stats"})");
+  EXPECT_GE(numField(stats, "rejected_busy"), 1);
+}
+
+TEST(ServiceAdmission, DrainFinishesInflightAndRejectsNew) {
+  ServiceOptions opt;
+  opt.maxInflight = 4;
+  Service svc(opt);
+
+  std::string slowResp;
+  std::thread slow(
+      [&] { slowResp = svc.handle(R"({"id":1,"verb":"ping","sleep_ms":400})"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  svc.beginDrain();
+  EXPECT_EQ(field(svc.handle(R"({"id":2,"verb":"ping"})"), "error"),
+            "shutting_down");
+  slow.join();
+  EXPECT_EQ(slowResp, R"({"id":1,"verb":"ping","ok":true})");
+  svc.waitIdle();  // must return promptly once the slow ping finished
+}
+
+TEST(ServiceAdmission, CancelAllWakesSleepingRequests) {
+  ServiceOptions opt;
+  opt.maxInflight = 4;
+  Service svc(opt);
+
+  std::string resp;
+  std::thread sleeper(
+      [&] { resp = svc.handle(R"({"id":1,"verb":"ping","sleep_ms":30000})"); });
+  // Wait until the sleeper holds a slot (stats itself holds the second).
+  for (int i = 0; i < 200; ++i) {
+    if (numField(svc.handle(R"({"id":9,"verb":"stats"})"), "inflight") >= 2)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t0 = nowUs();
+  svc.cancelAll();
+  sleeper.join();
+  EXPECT_LT(nowUs() - t0, 5e6) << "cancel did not interrupt the sleep";
+  EXPECT_NE(resp.find("\"canceled\":true"), std::string::npos) << resp;
+}
+
+// --- journal -----------------------------------------------------------------
+
+TEST(ServiceJournal, EveryRequestLeavesARecord) {
+  const std::string path = testing::TempDir() + "/gkll_service_journal.jsonl";
+  ASSERT_TRUE(obs::RunJournal::global().open(path, "test_service"));
+  {
+    Service svc;
+    const std::string req = uploadReq(writeBench(generateByName("c17")),
+                                      "c17");
+    svc.handle(req);
+    svc.handle(req);  // dedup hit
+    svc.handle(R"({"id":3,"verb":"frobnicate"})");
+  }
+  obs::RunJournal::global().close();
+
+  obs::JournalReader reader;
+  ASSERT_TRUE(reader.read(path)) << reader.error();
+  EXPECT_EQ(reader.tool(), "test_service");
+  EXPECT_FALSE(reader.truncatedTail());
+
+  std::vector<const obs::JournalRecord*> reqs;
+  for (const obs::JournalRecord& r : reader.records())
+    if (r.type == "service.request") reqs.push_back(&r);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0]->json.stringOr("verb", ""), "upload");
+  EXPECT_EQ(reqs[0]->json.stringOr("cache", ""), "miss");
+  EXPECT_EQ(reqs[0]->json.stringOr("outcome", ""), "ok");
+  EXPECT_EQ(reqs[1]->json.stringOr("cache", ""), "hit");  // skip observable
+  EXPECT_EQ(reqs[1]->json.stringOr("handle", ""),
+            reqs[0]->json.stringOr("handle", "-"));
+  EXPECT_EQ(reqs[2]->json.stringOr("outcome", ""), "unknown_verb");
+  EXPECT_GE(reqs[0]->json.numberOr("latency_ms", -1), 0.0);
+}
+
+}  // namespace
+}  // namespace gkll::service

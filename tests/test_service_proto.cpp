@@ -1,0 +1,191 @@
+// Protocol-framing robustness: the service must survive anything a
+// hostile or broken client can put on the wire — truncated frames,
+// oversized length prefixes, garbage bytes, disconnects mid-request —
+// with a clean error or close, never a crash or a leaked admission slot.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/proto.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/json.h"
+
+namespace gkll::service {
+namespace {
+
+// --- JsonWriter --------------------------------------------------------------
+
+TEST(ServiceProto, JsonWriterDeterministicOrder) {
+  JsonWriter w;
+  w.i64("id", 7).str("verb", "ping").boolean("ok", true).u64("n", 3);
+  EXPECT_EQ(w.finish(), R"({"id":7,"verb":"ping","ok":true,"n":3})");
+}
+
+TEST(ServiceProto, JsonWriterEscapes) {
+  JsonWriter w;
+  w.str("msg", "a\"b\\c\nd\te\rf\x01g");
+  const std::string out = w.finish();
+  EXPECT_EQ(out, "{\"msg\":\"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\"}");
+  // Parses cleanly with the repo's own JSON parser (which keeps \uXXXX
+  // escapes verbatim rather than decoding them).
+  util::JsonValue v;
+  ASSERT_TRUE(util::parseJson(out, v));
+  EXPECT_EQ(v.stringOr("msg", ""), "a\"b\\c\nd\te\rf\\u0001g");
+}
+
+TEST(ServiceProto, HashHandleSpelling) {
+  EXPECT_EQ(hashHandle(0x1234abcdu), "0x000000001234abcd");
+}
+
+// --- FrameDecoder ------------------------------------------------------------
+
+TEST(ServiceProto, FrameRoundTrip) {
+  const std::string payload = R"({"verb":"ping"})";
+  const std::string frame = encodeFrame(payload);
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  FrameDecoder dec;
+  dec.feed(frame);
+  std::string out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(ServiceProto, DecoderHandlesBytewiseFeeds) {
+  const std::string frame =
+      encodeFrame("hello") + encodeFrame("") + encodeFrame("world!");
+  FrameDecoder dec;
+  std::vector<std::string> got;
+  for (char c : frame) {
+    dec.feed(std::string_view(&c, 1));
+    std::string out;
+    while (dec.next(out) == FrameDecoder::Status::kFrame) got.push_back(out);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_EQ(got[1], "");
+  EXPECT_EQ(got[2], "world!");
+}
+
+TEST(ServiceProto, OversizedLengthPrefixIsFatal) {
+  FrameDecoder dec(/*maxFrameBytes=*/1024);
+  // 4 GiB length prefix — the classic memory-bomb probe.
+  const unsigned char hdr[4] = {0xff, 0xff, 0xff, 0xff};
+  dec.feed(std::string_view(reinterpret_cast<const char*>(hdr), 4));
+  std::string out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kError);
+  EXPECT_NE(dec.error().find("exceeds limit"), std::string::npos);
+  // Dead decoder stays dead — no resynchronisation on garbage.
+  dec.feed(encodeFrame("x"));
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kError);
+}
+
+TEST(ServiceProto, TruncatedFrameNeedsMore) {
+  const std::string frame = encodeFrame("abcdef");
+  FrameDecoder dec;
+  dec.feed(std::string_view(frame).substr(0, frame.size() - 2));
+  std::string out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kNeedMore);
+  dec.feed(std::string_view(frame).substr(frame.size() - 2));
+  EXPECT_EQ(dec.next(out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out, "abcdef");
+}
+
+// --- stream serving ----------------------------------------------------------
+
+struct Pipes {
+  int toServer[2];
+  int fromServer[2];
+  Pipes() {
+    EXPECT_EQ(::pipe(toServer), 0);
+    EXPECT_EQ(::pipe(fromServer), 0);
+  }
+  ~Pipes() {
+    for (int fd : {toServer[0], toServer[1], fromServer[0], fromServer[1]})
+      if (fd >= 0) ::close(fd);
+  }
+  void closeWrite() {
+    ::close(toServer[1]);
+    toServer[1] = -1;
+  }
+};
+
+TEST(ServiceProto, ServeStreamAnswersAndStopsAtEof) {
+  Service svc;
+  Pipes p;
+  std::thread server([&] {
+    serveStream(svc, p.toServer[0], p.fromServer[1]);
+    ::close(p.fromServer[1]);
+    p.fromServer[1] = -1;
+  });
+  ASSERT_TRUE(writeFrame(p.toServer[1], R"({"id":1,"verb":"ping"})"));
+  std::string resp;
+  ASSERT_EQ(readFrame(p.fromServer[0], resp, nullptr), ReadStatus::kOk);
+  EXPECT_EQ(resp, R"({"id":1,"verb":"ping","ok":true})");
+  p.closeWrite();
+  server.join();
+}
+
+TEST(ServiceProto, GarbagePayloadGetsErrorResponse) {
+  Service svc;
+  Pipes p;
+  std::thread server([&] { serveStream(svc, p.toServer[0], p.fromServer[1]); });
+  ASSERT_TRUE(writeFrame(p.toServer[1], "\x00\x01garbage not json"));
+  std::string resp;
+  ASSERT_EQ(readFrame(p.fromServer[0], resp, nullptr), ReadStatus::kOk);
+  util::JsonValue v;
+  ASSERT_TRUE(util::parseJson(resp, v));
+  EXPECT_FALSE(v.boolOr("ok", true));
+  EXPECT_EQ(v.stringOr("error", ""), "bad_request");
+  p.closeWrite();
+  server.join();
+}
+
+TEST(ServiceProto, OversizedFrameClosesWithErrorFrame) {
+  Service svc;
+  Pipes p;
+  std::thread server([&] {
+    serveStream(svc, p.toServer[0], p.fromServer[1], /*maxFrameBytes=*/64);
+  });
+  // Length prefix far past the stream limit.
+  const unsigned char hdr[4] = {0x7f, 0xff, 0xff, 0xff};
+  ASSERT_TRUE(writeAll(p.toServer[1], hdr, 4));
+  std::string resp;
+  ASSERT_EQ(readFrame(p.fromServer[0], resp, nullptr), ReadStatus::kOk);
+  util::JsonValue v;
+  ASSERT_TRUE(util::parseJson(resp, v));
+  EXPECT_EQ(v.stringOr("error", ""), "framing");
+  server.join();  // stream is over after a framing error
+}
+
+TEST(ServiceProto, MidRequestDisconnectLeaksNoSlot) {
+  // Client sends half a frame and vanishes.  The server must unwind the
+  // connection and leave every admission slot free for the next client.
+  ServiceOptions opt;
+  opt.maxInflight = 1;
+  opt.maxQueue = 0;
+  Service svc(opt);
+  {
+    Pipes p;
+    std::thread server([&] {
+      serveStream(svc, p.toServer[0], p.fromServer[1]);
+    });
+    const std::string frame = encodeFrame(R"({"id":9,"verb":"ping"})");
+    ASSERT_TRUE(
+        writeAll(p.toServer[1], frame.data(), frame.size() - 3));  // partial
+    p.closeWrite();  // disconnect mid-frame
+    server.join();
+  }
+  // A fresh, well-behaved session must get a normal answer immediately —
+  // with maxInflight=1/maxQueue=0, any leaked slot would answer "busy".
+  const std::string resp = svc.handle(R"({"id":2,"verb":"ping"})");
+  EXPECT_EQ(resp, R"({"id":2,"verb":"ping","ok":true})");
+}
+
+}  // namespace
+}  // namespace gkll::service

@@ -1,0 +1,199 @@
+// gkll_client — scriptable client for the gkll_serve daemon.
+//
+//   gkll_client (--unix PATH | --tcp PORT) [--time] COMMAND...
+//
+// Commands (each is one request; responses print one JSON line each):
+//   VERB [key=value ...]     e.g.  upload generate=c432
+//                                  lock handle=0x... scheme=xor key_bits=8
+//                                  attack handle=0x... mode=sat
+//                                  oracle_query handle=0x... inputs=0101...
+//                                  stats
+//     Values: integers/floats/true/false pass as JSON scalars, @FILE
+//     substitutes the file's contents (for bench= uploads), anything else
+//     is a JSON string.
+//   --jsonl FILE|-           send each line of FILE (or stdin) verbatim as
+//                            one request payload.
+//
+// --time prints "time_us N" to stderr after every request — the smoke
+// script's cold-vs-warm latency check reads those.
+//
+// Exit: 0 when every response has "ok":true, 1 otherwise, 2 on usage or
+// transport errors.
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.h"
+#include "service/proto.h"
+#include "util/json.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gkll_client (--unix PATH | --tcp PORT) [--time]\n"
+               "                   VERB [key=value ...] | --jsonl FILE|-\n");
+  return 2;
+}
+
+/// Keys whose values are always strings, whatever they look like —
+/// "inputs=0101" must not become a (malformed) JSON number.
+bool stringKey(const std::string& key) {
+  static const char* const kStringKeys[] = {
+      "handle", "scheme", "mode", "inputs", "name", "generate", "bench"};
+  for (const char* k : kStringKeys)
+    if (key == k) return true;
+  return false;
+}
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  // Leading zeros are not valid JSON numbers ("007") — pass as strings.
+  if (s[i] == '0' && i + 1 < s.size() && s[i + 1] != '.') return false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '.' && !dot) {
+      dot = true;
+      continue;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string& path, std::string& out, std::string& err) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    err = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Build one request payload from "VERB key=value..." arguments.
+bool buildRequest(const std::vector<std::string>& args, std::int64_t id,
+                  std::string& payload, std::string& err) {
+  gkll::service::JsonWriter w;
+  w.i64("id", id).str("verb", args[0]);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& kv = args[i];
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      err = "argument is not key=value: " + kv;
+      return false;
+    }
+    const std::string key = kv.substr(0, eq);
+    std::string value = kv.substr(eq + 1);
+    if (!value.empty() && value[0] == '@') {
+      std::string contents;
+      if (!readFile(value.substr(1), contents, err)) return false;
+      w.str(key, contents);
+    } else if (stringKey(key)) {
+      w.str(key, value);
+    } else if (value == "true" || value == "false") {
+      w.boolean(key, value == "true");
+    } else if (looksNumeric(value)) {
+      w.raw(key, value);
+    } else {
+      w.str(key, value);
+    }
+  }
+  payload = w.finish();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unixPath;
+  int tcpPort = -1;
+  bool timeRequests = false;
+  std::string jsonlPath;
+  std::vector<std::string> cmd;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (cmd.empty() && a == "--unix" && i + 1 < argc) {
+      unixPath = argv[++i];
+    } else if (cmd.empty() && a == "--tcp" && i + 1 < argc) {
+      tcpPort = std::atoi(argv[++i]);
+    } else if (cmd.empty() && a == "--time") {
+      timeRequests = true;
+    } else if (cmd.empty() && a == "--jsonl" && i + 1 < argc) {
+      jsonlPath = argv[++i];
+    } else {
+      cmd.push_back(a);
+    }
+  }
+  if ((unixPath.empty() && tcpPort < 0) || (cmd.empty() && jsonlPath.empty()))
+    return usage();
+
+  gkll::service::ServiceClient client;
+  const bool ok = unixPath.empty() ? client.connectTcp(tcpPort)
+                                   : client.connectUnix(unixPath);
+  if (!ok) {
+    std::fprintf(stderr, "gkll_client: %s\n", client.error().c_str());
+    return 2;
+  }
+
+  std::vector<std::string> payloads;
+  if (!jsonlPath.empty()) {
+    std::istream* in = &std::cin;
+    std::ifstream file;
+    if (jsonlPath != "-") {
+      file.open(jsonlPath);
+      if (!file) {
+        std::fprintf(stderr, "gkll_client: cannot read %s\n",
+                     jsonlPath.c_str());
+        return 2;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line))
+      if (!line.empty()) payloads.push_back(line);
+  } else {
+    std::string payload;
+    std::string err;
+    if (!buildRequest(cmd, 1, payload, err)) {
+      std::fprintf(stderr, "gkll_client: %s\n", err.c_str());
+      return 2;
+    }
+    payloads.push_back(std::move(payload));
+  }
+
+  int rc = 0;
+  for (const std::string& payload : payloads) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string response;
+    if (!client.request(payload, response)) {
+      std::fprintf(stderr, "gkll_client: %s\n", client.error().c_str());
+      return 2;
+    }
+    if (timeRequests) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::fprintf(stderr, "time_us %lld\n", static_cast<long long>(us));
+    }
+    std::printf("%s\n", response.c_str());
+    gkll::util::JsonValue parsed;
+    if (!gkll::util::parseJson(response, parsed) ||
+        !parsed.boolOr("ok", false))
+      rc = 1;
+  }
+  std::fflush(stdout);
+  return rc;
+}

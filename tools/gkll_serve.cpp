@@ -1,0 +1,156 @@
+// gkll_serve — the locking-as-a-service daemon.
+//
+//   gkll_serve --unix PATH | --tcp PORT | --stdio
+//              [--threads N] [--max-inflight N] [--max-queue N]
+//              [--store-mb N] [--journal PATH]
+//
+// Speaks the length-prefixed JSONL protocol of src/service/proto.h.
+// --tcp 0 picks an ephemeral port and prints "listening tcp PORT" on
+// stdout (scripts parse that line).  --stdio serves a single session on
+// stdin/stdout, the mode the protocol tests and one-shot scripting use.
+//
+// SIGTERM/SIGINT: graceful drain — stop accepting, let in-flight requests
+// finish, flush the journal, exit 0.  A second signal cancels in-flight
+// work (SAT attacks unwind at the next solver boundary).
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/journal.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+std::atomic<int> gSignals{0};
+
+void onSignal(int) { gSignals.fetch_add(1, std::memory_order_relaxed); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gkll_serve --unix PATH | --tcp PORT | --stdio\n"
+               "                  [--threads N] [--max-inflight N]\n"
+               "                  [--max-queue N] [--store-mb N]\n"
+               "                  [--journal PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unixPath;
+  bool tcp = false;
+  int tcpPort = 0;
+  bool stdio = false;
+  std::string journalPath;
+  gkll::service::ServiceOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--unix") {
+      const char* v = next();
+      if (!v) return usage();
+      unixPath = v;
+    } else if (a == "--tcp") {
+      const char* v = next();
+      if (!v) return usage();
+      tcp = true;
+      tcpPort = std::atoi(v);
+    } else if (a == "--stdio") {
+      stdio = true;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.threads = std::atoi(v);
+    } else if (a == "--max-inflight") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.maxInflight = std::atoi(v);
+    } else if (a == "--max-queue") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.maxQueue = std::atoi(v);
+    } else if (a == "--store-mb") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.storeBudgetBytes =
+          static_cast<std::size_t>(std::atoll(v)) << 20;
+    } else if (a == "--journal") {
+      const char* v = next();
+      if (!v) return usage();
+      journalPath = v;
+    } else {
+      std::fprintf(stderr, "gkll_serve: unknown option %s\n", a.c_str());
+      return usage();
+    }
+  }
+  if (!stdio && unixPath.empty() && !tcp) return usage();
+
+  if (!journalPath.empty() &&
+      !gkll::obs::RunJournal::global().open(journalPath, "gkll_serve")) {
+    std::fprintf(stderr, "gkll_serve: cannot open journal %s\n",
+                 journalPath.c_str());
+    return 1;
+  }
+
+  gkll::service::Service svc(opt);
+
+  if (stdio) {
+    const std::size_t served = gkll::service::serveStream(svc, STDIN_FILENO,
+                                                          STDOUT_FILENO);
+    svc.beginDrain();
+    svc.waitIdle();
+    std::fprintf(stderr, "gkll_serve: served %zu requests\n", served);
+    gkll::obs::RunJournal::global().close();
+    return 0;
+  }
+
+  gkll::service::ServerOptions sopt;
+  sopt.unixPath = unixPath;
+  sopt.tcp = tcp;
+  sopt.tcpPort = tcpPort;
+  gkll::service::Server server(svc, sopt);
+  if (!server.start()) {
+    std::fprintf(stderr, "gkll_serve: %s\n", server.error().c_str());
+    return 1;
+  }
+  if (!unixPath.empty())
+    std::printf("listening unix %s\n", unixPath.c_str());
+  if (tcp) std::printf("listening tcp %d\n", server.boundTcpPort());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+
+  std::thread accept([&] { server.run(); });
+  while (gSignals.load(std::memory_order_relaxed) == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  // Escalate to cancellation if a second signal arrives during the drain.
+  std::atomic<bool> drained{false};
+  std::thread watchdog([&] {
+    while (!drained.load(std::memory_order_acquire)) {
+      if (gSignals.load(std::memory_order_relaxed) > 1) {
+        svc.cancelAll();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  server.drain();
+  accept.join();
+  drained.store(true, std::memory_order_release);
+  watchdog.join();
+  gkll::obs::RunJournal::global().close();
+  return 0;
+}
