@@ -1,0 +1,255 @@
+// Million-gate scale benchmark: generator, compile, wide packed eval,
+// and full-vs-incremental STA throughput on one parameterised synthetic
+// design, end to end, with peak RSS recorded.
+//
+// Knobs (environment):
+//   GKLL_SCALE_CELLS  total cells incl. FFs   (default 1,000,000)
+//   GKLL_SCALE_FFS    flop count              (default cells / 20)
+//   GKLL_SCALE_SEED   generator seed          (default 1)
+//   GKLL_SCALE_WORDS  wide-eval words W       (default 8 -> 512 lanes)
+//   GKLL_SCALE_HOSTS  delay elements swept    (default 16)
+//
+// Emits BENCH_scale.json with gates/sec per stage, the wide-vs-narrow
+// eval speedup (W 64-lane sweeps vs one W-word sweep over identical lane
+// values), the incremental-vs-full STA speedup over a delay-value sweep,
+// peak_rss_mb, and parallel_identical — 1 only when the wide evaluator
+// matched the narrow one on every net/word AND the incremental analysis
+// matched a fresh full run after every edit.  CI gates on those fields
+// via gkll_report.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/compiled.h"
+#include "netlist/packed_eval.h"
+#include "scenario_driver.h"
+#include "timing/sta.h"
+#include "timing/sta_incremental.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+double secondsSince(clock_t_::time_point t0) {
+  return std::chrono::duration<double>(clock_t_::now() - t0).count();
+}
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoll(v);
+}
+
+double peakRssMb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+bool sameResult(const StaResult& a, const StaResult& b) {
+  return a.maxArrival == b.maxArrival && a.minArrival == b.minArrival &&
+         a.requiredMax == b.requiredMax && a.setupSlack == b.setupSlack &&
+         a.holdSlack == b.holdSlack && a.poSlack == b.poSlack &&
+         a.worstSetupSlack == b.worstSetupSlack &&
+         a.worstHoldSlack == b.worstHoldSlack &&
+         a.criticalDelay == b.criticalDelay;
+}
+
+}  // namespace
+}  // namespace gkll
+
+int main() {
+  using namespace gkll;
+  bench::Reporter rep("scale");
+  runtime::BenchJson& json = rep.json();
+
+  const std::int64_t cells = envInt("GKLL_SCALE_CELLS", 1'000'000);
+  const std::int64_t ffs = envInt("GKLL_SCALE_FFS", cells / 20);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(envInt("GKLL_SCALE_SEED", 1));
+  const std::size_t words =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          1, envInt("GKLL_SCALE_WORDS", 8)));
+  const std::size_t hosts =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          1, envInt("GKLL_SCALE_HOSTS", 16)));
+
+  // --- generate -------------------------------------------------------------
+  const auto g0 = clock_t_::now();
+  const BenchSpec spec = genSpec(cells, ffs, seed);
+  Netlist nl = generateBenchmark(spec);
+  const double genSec = secondsSince(g0);
+  const double gates = static_cast<double>(nl.numGates());
+  std::printf("gen      %s: %zu gates, %zu nets in %.2fs (%.3g gates/s)\n",
+              spec.name.c_str(), nl.numGates(), nl.numNets(), genSec,
+              gates / genSec);
+
+  // --- compile --------------------------------------------------------------
+  const auto c0 = clock_t_::now();
+  const CompiledNetlist cn = CompiledNetlist::compile(nl);
+  const double compileSec = secondsSince(c0);
+  std::printf("compile  %.2fs (%.3g gates/s), %zu levels\n", compileSec,
+              gates / compileSec, static_cast<std::size_t>(cn.maxLevel()) + 1);
+
+  // --- packed eval: W narrow 64-lane sweeps vs one W-word wide sweep --------
+  const std::size_t numPIs = nl.inputs().size();
+  const std::size_t numFfs = nl.flops().size();
+  Rng rng(seed * 77 + 3);
+  PackedLanes wideIn(numPIs, words);
+  std::vector<std::vector<PackedBits>> narrowIn(
+      words, std::vector<PackedBits>(numPIs));
+  for (std::size_t s = 0; s < numPIs; ++s) {
+    for (std::size_t w = 0; w < words; ++w) {
+      const PackedBits pb{rng.next(), 0};
+      wideIn.setWord(s, w, pb);
+      narrowIn[w][s] = pb;
+    }
+  }
+  const std::vector<PackedBits> narrowFf(numFfs);  // all X
+  const PackedLanes wideFf(numFfs, words);         // all X
+
+  constexpr int kEvalReps = 3;
+  std::vector<std::vector<PackedBits>> narrowNets(words);
+  double narrowSec = 1e300;
+  for (int r = 0; r < kEvalReps; ++r) {
+    const auto t0 = clock_t_::now();
+    for (std::size_t w = 0; w < words; ++w)
+      cn.evalPacked(narrowIn[w], narrowFf, narrowNets[w]);
+    narrowSec = std::min(narrowSec, secondsSince(t0));
+  }
+
+  const WideEvaluator wide(cn);
+  WideEvaluator::Buffer buf;
+  double wideSec = 1e300;
+  for (int r = 0; r < kEvalReps; ++r) {
+    const auto t0 = clock_t_::now();
+    wide.eval(wideIn, wideFf, buf);
+    wideSec = std::min(wideSec, secondsSince(t0));
+  }
+
+  bool wideIdentical = true;
+  for (NetId n = 0; n < nl.numNets() && wideIdentical; ++n)
+    for (std::size_t w = 0; w < words; ++w)
+      if (wide.netWord(buf, n, w) != narrowNets[w][n]) {
+        wideIdentical = false;
+        break;
+      }
+
+  const double laneGatesPerSec =
+      gates * static_cast<double>(64 * words) / wideSec;
+  const double wideSpeedup = narrowSec / wideSec;
+  std::printf(
+      "eval     wide %zu words (%s): %.3fs vs narrow %.3fs -> %.2fx, "
+      "%.3g lane-gates/s, identical=%d\n",
+      words, simdLevelName(wide.simd()), wideSec, narrowSec, wideSpeedup,
+      laneGatesPerSec, wideIdentical ? 1 : 0);
+
+  // --- STA: full run baseline ----------------------------------------------
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  StaConfig cfg;
+  cfg.inputArrival = lib.clkToQ();
+  cfg.clockPeriod = ns(10);
+  double staFullSec;
+  {
+    Sta probe(nl, cfg, lib);
+    const auto t0 = clock_t_::now();
+    const StaResult full = probe.run();
+    staFullSec = secondsSince(t0);
+    std::printf("sta-full %.3fs (%.3g gates/s), critical %lld ps\n",
+                staFullSec, gates / staFullSec,
+                static_cast<long long>(full.criticalDelay));
+  }
+
+  // --- incremental STA: delay-value sweep over pre-inserted elements -------
+  // Splice one ideal delay element in front of `hosts` flop D pins (the GK
+  // flow's insertion shape), then sweep their delay values: each edit goes
+  // through updateAfterDelayEdit on the session and through a fresh full
+  // run on the baseline, and every per-edit result must match exactly.
+  std::vector<GateId> delayGates;
+  std::vector<NetId> delayNets;
+  const std::size_t stride = std::max<std::size_t>(1, numFfs / hosts);
+  for (std::size_t i = 0; i < hosts && i * stride < numFfs; ++i) {
+    const GateId ff = nl.flops()[i * stride];
+    const NetId d = nl.gate(ff).fanin[0];
+    const NetId mid = nl.addNet("scale_dly" + std::to_string(i));
+    const GateId dg = nl.addDelay(d, mid, 0);
+    nl.replaceFanin(ff, d, mid);
+    delayGates.push_back(dg);
+    delayNets.push_back(mid);
+  }
+
+  Sta sta(nl, cfg, lib);
+  Rng editRng(seed * 13 + 7);
+  std::vector<Ps> editValues;
+  const std::size_t kEdits = delayGates.size() * 4;
+  for (std::size_t k = 0; k < kEdits; ++k)
+    editValues.push_back(static_cast<Ps>(editRng.next() % 2000));
+
+  bool staIdentical = true;
+
+  StaIncremental inc(sta);
+  std::vector<Ps> incWorst;
+  const auto i0 = clock_t_::now();
+  for (std::size_t k = 0; k < kEdits; ++k) {
+    const std::size_t j = k % delayGates.size();
+    nl.gate(delayGates[j]).delayPs = editValues[k];
+    inc.updateAfterDelayEdit(delayNets[j]);
+    incWorst.push_back(inc.result().worstSetupSlack);
+  }
+  const double incSec = secondsSince(i0);
+
+  // Replay the same edit sequence against full runs.  Rewind the delay
+  // values to their pre-sweep state first: until every element has been
+  // overwritten once, the visited states depend on the starting values.
+  for (GateId dg : delayGates) nl.gate(dg).delayPs = 0;
+  std::vector<Ps> fullWorst;
+  const auto f0 = clock_t_::now();
+  for (std::size_t k = 0; k < kEdits; ++k) {
+    const std::size_t j = k % delayGates.size();
+    nl.gate(delayGates[j]).delayPs = editValues[k];
+    fullWorst.push_back(sta.run().worstSetupSlack);
+  }
+  const double fullSweepSec = secondsSince(f0);
+  if (incWorst != fullWorst) staIdentical = false;
+  if (!sameResult(inc.result(), sta.run())) staIdentical = false;
+
+  const double staSpeedup = fullSweepSec / incSec;
+  std::printf(
+      "sta-incr %zu edits over %zu delay elements: %.3fs vs full %.3fs -> "
+      "%.1fx, identical=%d (fwd %llu gates, bwd %llu nets)\n",
+      kEdits, delayGates.size(), incSec, fullSweepSec, staSpeedup,
+      staIdentical ? 1 : 0,
+      static_cast<unsigned long long>(inc.stats().gatesForward),
+      static_cast<unsigned long long>(inc.stats().netsBackward));
+
+  const bool identical = wideIdentical && staIdentical;
+  if (!identical)
+    std::fprintf(stderr,
+                 "[bench] WARNING: wide/incremental results diverge from the "
+                 "reference paths — determinism contract broken\n");
+
+  std::printf("peak RSS %.1f MB\n", peakRssMb());
+
+  json.set("cells", static_cast<double>(cells));
+  json.set("ffs", static_cast<double>(ffs));
+  json.set("gates", gates);
+  json.set("words", static_cast<double>(words));
+  json.set("simd_level", static_cast<double>(static_cast<int>(wide.simd())));
+  json.set("gen_gates_per_sec", gates / genSec);
+  json.set("compile_gates_per_sec", gates / compileSec);
+  json.set("eval_lane_gates_per_sec", laneGatesPerSec);
+  json.set("wide_speedup", wideSpeedup);
+  json.set("sta_full_gates_per_sec", gates / staFullSec);
+  json.set("sta_edits", static_cast<double>(kEdits));
+  json.set("sta_incremental_speedup", staSpeedup);
+  json.set("parallel_identical", identical ? 1.0 : 0.0);
+  json.set("peak_rss_mb", peakRssMb());
+  return 0;
+}

@@ -83,14 +83,17 @@ int main() {
           {gen});
       auto analyze = plan.stage(
           k, "analyze",
-          [state, k, &lib](bench::StageCtx&) {
+          [state, k, &lib](bench::StageCtx& ctx) {
             St& st = (*state)[k];
             GkParams proto;
             proto.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
             proto.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
             st.gk = gkTiming(proto, lib);
-            st.cands =
-                analyzeFlops(st.nl, *st.sta, st.gk, FfSelectOptions{ns(1), 150});
+            // Per-flop feasibility fans out on the pass's pool (serial
+            // pass = null pool = plain loop, byte-identical results).
+            const StaResult timing = st.sta->run();
+            st.cands = analyzeFlops(st.nl, *st.sta, timing, st.gk,
+                                    FfSelectOptions{ns(1), 150}, ctx.pool);
             st.avail = countAvailable(st.cands);
           },
           {sta});

@@ -98,9 +98,10 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
     pinCopy(ks, kVars, ksConsts, y);
   };
 
-  // Bit-parallel random-query engine: packed evaluations answer up to 64
-  // patterns per batch, on both the locked core (under `key`) and the
-  // oracle, with the batches spread across the pool.  Returns the number
+  // Bit-parallel random-query engine: 64-lane batches are drawn exactly as
+  // before, then evaluated in wide groups of up to kWideWords batches per
+  // sweep (WideEvaluator) on both the locked core (under `key`) and the
+  // oracle, with the groups spread across the pool.  Returns the number
   // of disagreeing lanes; with `feedback` each disagreeing (pattern,
   // oracle response) pair is re-pinned as a constraint in all three
   // solvers.
@@ -109,24 +110,23 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
   // (batch-major, PI-major, lane-minor — the historical draw order) and
   // the feedback constraints are applied serially in batch/lane order.
   // Only the pure evaluations run in parallel, each with task-local
-  // scratch (CombOracle::queryPacked shares one buffer, so the batches go
-  // through oracle.compiled() instead); the outcome is byte-identical at
-  // any thread count.
+  // buffers; word w of a group is batch g*kWideWords+w, so the wide sweep
+  // is byte-identical to the old per-batch narrow passes at any thread
+  // count.
   struct BatchEval {
     std::vector<PackedBits> oracleIn;  ///< patterns, dataPIs order
     std::vector<PackedBits> want;      ///< oracle output lanes
     std::uint64_t diff = 0;            ///< disagreeing-lane mask
     unsigned n = 0;                    ///< live lanes in this batch
   };
+  constexpr std::size_t kWideWords = 8;  // 512 patterns per sweep
+  const CompiledNetlist& oracleNl = oracle.compiled();
+  const WideEvaluator lockedWide(locked);
+  const WideEvaluator oracleWide(oracleNl);
   auto runBatches = [&](const std::vector<int>& key, int total,
                         bool feedback) {
     std::vector<BatchEval> batches((static_cast<std::size_t>(total) + 63) /
                                    64);
-    std::vector<PackedBits> keyedIn(lockedComb.inputs().size(),
-                                    packedConst(false));
-    for (std::size_t i = 0; i < keyInputs.size(); ++i)
-      keyedIn[static_cast<std::size_t>(slotOf[keyInputs[i]])] =
-          packedConst(key[i] != 0);
     for (std::size_t b = 0; b < batches.size(); ++b) {
       BatchEval& be = batches[b];
       be.n = static_cast<unsigned>(
@@ -139,27 +139,51 @@ AppSatResult appSatAttackImpl(const Netlist& lockedComb,
         be.oracleIn[i] = PackedBits{bits, 0};
       }
     }
-    const CompiledNetlist& oracleNl = oracle.compiled();
+    const std::size_t numIns = lockedComb.inputs().size();
+    const std::size_t groups = (batches.size() + kWideWords - 1) / kWideWords;
     runtime::ParallelOptions popt;
     popt.pool = opt.pool;
     runtime::parallelFor(
-        batches.size(),
-        [&](std::size_t b) {
-          BatchEval& be = batches[b];
-          std::vector<PackedBits> lockedIn = keyedIn;
-          for (std::size_t i = 0; i < dataPIs.size(); ++i)
-            lockedIn[static_cast<std::size_t>(slotOf[dataPIs[i]])] =
-                be.oracleIn[i];
-          std::vector<PackedBits> lockedNets, oracleNets;
-          locked.evalPacked(lockedIn, {}, lockedNets);
-          const std::vector<PackedBits> got = locked.outputLanes(lockedNets);
-          oracleNl.evalPacked(be.oracleIn, {}, oracleNets);
-          be.want = oracleNl.outputLanes(oracleNets);
-          std::uint64_t diff = 0;
-          for (std::size_t o = 0; o < got.size(); ++o)
-            diff |= (got[o].v ^ be.want[o].v) | (got[o].x ^ be.want[o].x);
-          if (be.n < 64) diff &= (1ULL << be.n) - 1;
-          be.diff = diff;
+        groups,
+        [&](std::size_t g) {
+          const std::size_t b0 = g * kWideWords;
+          const std::size_t b1 =
+              std::min(b0 + kWideWords, batches.size());
+          const std::size_t W = b1 - b0;
+          PackedLanes lockedIn(numIns, W);
+          PackedLanes oracleIn(dataPIs.size(), W);
+          // Non-PI-pattern signals are known 0, key rows splat the key —
+          // the wide image of the old keyedIn vector.
+          for (std::size_t i = 0; i < numIns; ++i)
+            for (std::size_t w = 0; w < W; ++w)
+              lockedIn.setWord(i, w, packedConst(false));
+          for (std::size_t i = 0; i < keyInputs.size(); ++i) {
+            const auto s = static_cast<std::size_t>(slotOf[keyInputs[i]]);
+            for (std::size_t w = 0; w < W; ++w)
+              lockedIn.setWord(s, w, packedConst(key[i] != 0));
+          }
+          for (std::size_t w = 0; w < W; ++w) {
+            const BatchEval& be = batches[b0 + w];
+            for (std::size_t i = 0; i < dataPIs.size(); ++i) {
+              oracleIn.setWord(i, w, be.oracleIn[i]);
+              lockedIn.setWord(static_cast<std::size_t>(slotOf[dataPIs[i]]),
+                               w, be.oracleIn[i]);
+            }
+          }
+          WideEvaluator::Buffer lockedBuf, oracleBuf;
+          lockedWide.eval(lockedIn, PackedLanes{}, lockedBuf);
+          oracleWide.eval(oracleIn, PackedLanes{}, oracleBuf);
+          for (std::size_t w = 0; w < W; ++w) {
+            BatchEval& be = batches[b0 + w];
+            const std::vector<PackedBits> got =
+                lockedWide.outputWords(lockedBuf, w);
+            be.want = oracleWide.outputWords(oracleBuf, w);
+            std::uint64_t diff = 0;
+            for (std::size_t o = 0; o < got.size(); ++o)
+              diff |= (got[o].v ^ be.want[o].v) | (got[o].x ^ be.want[o].x);
+            if (be.n < 64) diff &= (1ULL << be.n) - 1;
+            be.diff = diff;
+          }
         },
         popt);
     oracle.noteQueries(static_cast<std::uint64_t>(total));

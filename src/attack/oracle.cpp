@@ -33,15 +33,38 @@ std::vector<PackedBits> CombOracle::queryPacked(
 std::vector<std::vector<Logic>> CombOracle::queryBatch(
     const std::vector<std::vector<Logic>>& patterns) const {
   std::vector<std::vector<Logic>> results(patterns.size());
-  for (std::size_t base = 0; base < patterns.size(); base += 64) {
-    const std::size_t n = std::min<std::size_t>(64, patterns.size() - base);
-    const std::vector<std::vector<Logic>> chunk(
-        patterns.begin() + static_cast<std::ptrdiff_t>(base),
-        patterns.begin() + static_cast<std::ptrdiff_t>(base + n));
-    const std::vector<PackedBits> outs =
-        queryPacked(packPatterns(chunk), static_cast<unsigned>(n));
-    for (std::size_t l = 0; l < n; ++l)
-      results[base + l] = unpackLane(outs, static_cast<unsigned>(l));
+  if (patterns.size() <= 64) {
+    for (std::size_t base = 0; base < patterns.size(); base += 64) {
+      const std::size_t n = std::min<std::size_t>(64, patterns.size() - base);
+      const std::vector<std::vector<Logic>> chunk(
+          patterns.begin() + static_cast<std::ptrdiff_t>(base),
+          patterns.begin() + static_cast<std::ptrdiff_t>(base + n));
+      const std::vector<PackedBits> outs =
+          queryPacked(packPatterns(chunk), static_cast<unsigned>(n));
+      for (std::size_t l = 0; l < n; ++l)
+        results[base + l] = unpackLane(outs, static_cast<unsigned>(l));
+    }
+    return results;
+  }
+  // Large batch: one W-word wide sweep instead of ceil(n/64) narrow passes.
+  // Lane k of the sweep is pattern k; unset trailing signals stay X, so
+  // this is byte-identical to the narrow chunked loop above.
+  const std::size_t W = (patterns.size() + 63) / 64;
+  const auto& pis = comb_.source().inputs();
+  PackedLanes in(pis.size(), W);
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    const auto& p = patterns[k];
+    const std::size_t n = std::min(p.size(), pis.size());
+    for (std::size_t i = 0; i < n; ++i) in.setLane(i, k, p[i]);
+  }
+  if (!wide_) wide_ = std::make_unique<WideEvaluator>(comb_);
+  wide_->eval(in, PackedLanes{}, wideBuf_);
+  queries_ += patterns.size();
+  const auto& pos = comb_.source().outputs();
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    auto& r = results[k];
+    r.reserve(pos.size());
+    for (NetId po : pos) r.push_back(wide_->netLane(wideBuf_, po, k));
   }
   return results;
 }

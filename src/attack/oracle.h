@@ -17,6 +17,7 @@
 #include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
+#include "netlist/packed_eval.h"
 #include "sim/event_sim.h"
 #include "util/time_types.h"
 
@@ -44,7 +45,9 @@ class CombOracle {
                                       unsigned patterns = 64) const;
 
   /// Convenience batch API over scalar patterns (each inner vector in
-  /// comb.inputs() order).  Packs into 64-lane chunks internally.
+  /// comb.inputs() order).  Up to 64 patterns go through the narrow packed
+  /// pass; larger batches run one wide W-word sweep (WideEvaluator, built
+  /// lazily on first use) — byte-identical to the chunked narrow loop.
   std::vector<std::vector<Logic>> queryBatch(
       const std::vector<std::vector<Logic>>& patterns) const;
 
@@ -61,6 +64,8 @@ class CombOracle {
  private:
   CompiledNetlist comb_;
   mutable std::vector<PackedBits> packedNets_;  // scratch, reused per batch
+  mutable std::unique_ptr<WideEvaluator> wide_;  // lazy; large batches only
+  mutable WideEvaluator::Buffer wideBuf_;
   mutable std::uint64_t queries_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/rng.h"
@@ -151,14 +153,78 @@ Netlist generateBenchmark(const BenchSpec& spec) {
   return nl;
 }
 
+BenchSpec genSpec(std::int64_t cells, std::int64_t ffs, std::uint64_t seed,
+                  int depth) {
+  if (cells < 2)
+    throw BenchGenError("gen spec needs at least 2 cells, got " +
+                        std::to_string(cells));
+  if (cells > kMaxGenCells)
+    throw BenchGenError("gen spec of " + std::to_string(cells) +
+                        " cells exceeds the " + std::to_string(kMaxGenCells) +
+                        "-cell cap");
+  if (ffs < 0 || ffs >= cells)
+    throw BenchGenError("gen spec needs 0 <= ffs < cells, got cells=" +
+                        std::to_string(cells) +
+                        " ffs=" + std::to_string(ffs));
+  if (depth != 0 && depth < 4)
+    throw BenchGenError("gen spec depth must be 0 (derived) or >= 4, got " +
+                        std::to_string(depth));
+  BenchSpec spec;
+  spec.name = "gen" + std::to_string(cells) + "x" + std::to_string(ffs) +
+              (seed == 1 ? std::string() : "@" + std::to_string(seed));
+  spec.cells = static_cast<int>(cells);
+  spec.ffs = static_cast<int>(ffs);
+  // Interface scales like a placed block's perimeter-to-area ratio; depth
+  // like a balanced tree's height — both calibrated against the Table I
+  // circuits (s38417: 5397 cells -> ~53 derived depth vs 55 tuned).
+  spec.pis = std::clamp(static_cast<int>(std::sqrt(static_cast<double>(cells))),
+                        4, 4096);
+  spec.pos = spec.pis;
+  spec.seed = seed;
+  spec.depth =
+      depth != 0
+          ? depth
+          : std::clamp(static_cast<int>(3.0 * std::cbrt(static_cast<double>(
+                                                  cells))),
+                       24, 120);
+  return spec;
+}
+
+std::optional<BenchSpec> parseGenName(const std::string& name) {
+  if (name.rfind("gen:", 0) != 0) return std::nullopt;
+  const char* p = name.data() + 4;
+  const char* end = name.data() + name.size();
+  const auto malformed = [&]() -> BenchGenError {
+    return BenchGenError("malformed gen spec '" + name +
+                         "'; expected gen:<cells>x<ffs>[@<seed>]");
+  };
+  std::int64_t cells = 0, ffs = 0;
+  std::uint64_t seed = 1;
+  auto r = std::from_chars(p, end, cells);
+  if (r.ec != std::errc{} || r.ptr == end || *r.ptr != 'x') throw malformed();
+  r = std::from_chars(r.ptr + 1, end, ffs);
+  if (r.ec != std::errc{}) throw malformed();
+  if (r.ptr != end) {
+    if (*r.ptr != '@') throw malformed();
+    r = std::from_chars(r.ptr + 1, end, seed);
+    if (r.ec != std::errc{} || r.ptr != end) throw malformed();
+  }
+  return genSpec(cells, ffs, seed);
+}
+
 Netlist generateByName(const std::string& name) {
   // The two hand-built circuits answer by name too, so CLI tools and CI
   // jobs can run their smoke tests on a seconds-scale design.
+  if (const std::optional<BenchSpec> spec = parseGenName(name))
+    return generateBenchmark(*spec);
   if (name == "c17") return makeC17();
   if (name == "toyseq") return makeToySeq();
   for (const BenchSpec& s : iwls2005Specs())
     if (s.name == name) return generateBenchmark(s);
-  std::abort();
+  std::string known = "c17, toyseq";
+  for (const BenchSpec& s : iwls2005Specs()) known += ", " + s.name;
+  throw BenchGenError("unknown benchmark '" + name + "'; known: " + known +
+                      ", or gen:<cells>x<ffs>[@<seed>]");
 }
 
 Netlist makeC17() {

@@ -10,6 +10,8 @@
 // produces bit-identical circuits.
 #pragma once
 
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,11 +42,39 @@ struct BenchSpec {
 /// "s9324" in Table I is a typo for s9234; we use s9234 throughout.
 const std::vector<BenchSpec>& iwls2005Specs();
 
+/// Unknown or malformed benchmark request — thrown by generateByName /
+/// parseGenName / genSpec instead of crashing; what() names the valid
+/// forms so service clients and CLI users see an actionable message.
+class BenchGenError : public std::runtime_error {
+ public:
+  explicit BenchGenError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Hard ceiling on genSpec cell counts — keeps a typo'd request from
+/// swallowing the machine (16M cells is ~2 GiB of netlist).
+inline constexpr std::int64_t kMaxGenCells = 16'000'000;
+
+/// Parameterised spec beyond the seven fixed circuits: an arbitrary-size
+/// synthetic design, deterministic in `seed`, with the same locality-
+/// biased levelised wiring as the paper substitutes.  PI/PO counts scale
+/// as ~sqrt(cells); `depth` 0 derives ~3*cbrt(cells) (clamped to
+/// [24, 120]).  Throws BenchGenError on non-positive / inconsistent /
+/// over-cap counts.  The spec's name is "gen<cells>x<ffs>[@<seed>]".
+BenchSpec genSpec(std::int64_t cells, std::int64_t ffs,
+                  std::uint64_t seed = 1, int depth = 0);
+
+/// Parse a "gen:<cells>x<ffs>[@<seed>]" name (e.g. "gen:1000000x50000",
+/// "gen:200000x8000@7") into its spec.  Returns nullopt when `name` has
+/// no "gen:" prefix; throws BenchGenError when it does but the rest is
+/// malformed or out of range.
+std::optional<BenchSpec> parseGenName(const std::string& name);
+
 /// Generate the circuit for a spec (deterministic in spec.seed).
 Netlist generateBenchmark(const BenchSpec& spec);
 
 /// Convenience: generate one of the seven by name ("c17" and "toyseq"
-/// answer too); aborts on unknown name.
+/// answer too, as do "gen:<cells>x<ffs>[@<seed>]" parameterised specs);
+/// throws BenchGenError listing the known names on an unknown one.
 Netlist generateByName(const std::string& name);
 
 /// The classic ISCAS-85 c17 netlist (6 NAND2 gates) — handy unit-test prey.

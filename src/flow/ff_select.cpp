@@ -5,6 +5,8 @@
 
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist_ops.h"
+#include "obs/telemetry.h"
+#include "runtime/parallel.h"
 
 namespace gkll {
 
@@ -12,10 +14,20 @@ std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
                                       const GkTiming& gk,
                                       const FfSelectOptions& opt) {
   const StaResult timing = sta.run();
-  std::vector<FfCandidate> out;
-  out.reserve(nl.flops().size());
+  return analyzeFlops(nl, sta, timing, gk, opt, /*pool=*/nullptr);
+}
 
-  for (std::size_t i = 0; i < nl.flops().size(); ++i) {
+std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
+                                      const StaResult& timing,
+                                      const GkTiming& gk,
+                                      const FfSelectOptions& opt,
+                                      runtime::ThreadPool* pool) {
+  obs::Span span("flow.ff_select.analyze");
+  span.arg("flops", static_cast<std::int64_t>(nl.flops().size()));
+  span.arg("parallel", pool != nullptr ? 1 : 0);
+  std::vector<FfCandidate> out(nl.flops().size());
+
+  auto analyzeOne = [&](std::size_t i) {
     const GateId ff = nl.flops()[i];
     const Gate& gate = nl.gate(ff);
     FfCandidate c;
@@ -61,7 +73,20 @@ std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
     c.available = coverable && c.onGlitch.valid() &&
                   feasibleOnGlitch(c.tArrival, gk, true, c.absLB, c.absUB) &&
                   feasibleOnGlitch(c.tArrival, gk, false, c.absLB, c.absUB);
-    out.push_back(c);
+    out[i] = c;
+  };
+
+  // Null pool means SERIAL here (not the global pool): single-threaded
+  // callers — CI baselines, the determinism tests — must not silently
+  // fan out.  Each index writes only its own preallocated slot, so both
+  // paths produce identical bytes.
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < out.size(); ++i) analyzeOne(i);
+  } else {
+    runtime::ParallelOptions po;
+    po.pool = pool;
+    po.grain = 16;
+    runtime::parallelFor(out.size(), analyzeOne, po);
   }
   return out;
 }

@@ -37,9 +37,21 @@ struct FfCandidate {
 };
 
 /// Analyse every flop.  `sta` must already carry the P&R clock arrivals.
+/// Runs a fresh sta.run() internally.
 std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
                                       const GkTiming& gk,
                                       const FfSelectOptions& opt);
+
+/// Same analysis on a precomputed StaResult (callers holding an
+/// incremental timing session avoid the redundant full run).  `pool`
+/// parallelises across flops (null = serial); each flop's record depends
+/// only on its own slot of the timing arrays, so the result is
+/// byte-identical to the serial loop.
+std::vector<FfCandidate> analyzeFlops(const Netlist& nl, const Sta& sta,
+                                      const StaResult& timing,
+                                      const GkTiming& gk,
+                                      const FfSelectOptions& opt,
+                                      runtime::ThreadPool* pool);
 
 /// Number of available flops.
 std::size_t countAvailable(const std::vector<FfCandidate>& cands);

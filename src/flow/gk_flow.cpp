@@ -11,6 +11,7 @@
 #include "obs/telemetry.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
+#include "timing/sta_incremental.h"
 #include "util/rng.h"
 
 namespace gkll {
@@ -33,18 +34,24 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   StaConfig staCfg;
   staCfg.inputArrival = lib.clkToQ();
   staCfg.clockPeriod = opt.clockPeriod;
-  {
-    obs::Span staSpan("flow.sta_probe");
-    Sta probe(nl, staCfg, lib);
-    for (std::size_t i = 0; i < nl.flops().size(); ++i)
-      probe.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
-    if (staCfg.clockPeriod == 0) staCfg.clockPeriod = probe.minClockPeriod(100);
-  }
-  res.clockPeriod = staCfg.clockPeriod;
-
   Sta sta(nl, staCfg, lib);
   for (std::size_t i = 0; i < nl.flops().size(); ++i)
     sta.setClockArrival(nl.flops()[i], pr.clockArrival[i]);
+
+  // One shared timing session feeds the period probe, the hybrid slack
+  // filter and the dry-run host analysis: arrival times don't depend on
+  // the clock period, so all three read the same propagation instead of
+  // re-sweeping the design.  The first structural edit (xorLockInPlace)
+  // ends the session's validity.
+  obs::Span staSpan("flow.sta_probe");
+  StaIncremental inc(sta);
+  if (staCfg.clockPeriod == 0) {
+    staCfg.clockPeriod = inc.minClockPeriod(100);
+    sta.setClockPeriod(staCfg.clockPeriod);
+    inc.setClockPeriod(staCfg.clockPeriod);
+  }
+  staSpan.end();
+  res.clockPeriod = staCfg.clockPeriod;
 
   GkParams proto;
   proto.bufferVariant = opt.bufferVariant;
@@ -71,7 +78,7 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   if (opt.hybridXorKeys > 0) {
     obs::Span hybridSpan("flow.hybrid_xor");
     hybridSpan.arg("xor_keys", opt.hybridXorKeys);
-    const StaResult t0 = sta.run();
+    const StaResult& t0 = inc.result();
     const Ps xorCost = lib.maxDelay(CellKind::kXnor2) + opt.margin;
     std::vector<bool> slackOk(nl.numNets(), false);
     for (NetId n = 0; n < nl.numNets(); ++n) {
@@ -86,8 +93,8 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
 
     // Dry-run host selection.
     Rng preview = rng;
-    const auto cands0 = analyzeFlops(nl, sta, gk, selOpt);
-    std::vector<GateId> group0 = karmakarGroup(nl, cands0);
+    const auto cands0 = analyzeFlops(nl, sta, t0, gk, selOpt, opt.pool);
+    std::vector<GateId> group0 = karmakarGroup(nl, cands0, opt.pool);
     std::vector<GateId> others0;
     for (const FfCandidate& c : cands0) {
       if (!c.available) continue;
@@ -130,9 +137,16 @@ GkFlowResult buildAttempt(const Netlist& original, const GkFlowOptions& opt,
   std::vector<GateId> group;
   {
     obs::Span selSpan("flow.ff_select");
-    cands = analyzeFlops(nl, sta, gk, selOpt);
+    if (opt.hybridXorKeys > 0) {
+      // xorLockInPlace rewired nets — the shared session is stale; one
+      // fresh full propagation covers the post-hybrid analysis.
+      const StaResult timing = sta.run();
+      cands = analyzeFlops(nl, sta, timing, gk, selOpt, opt.pool);
+    } else {
+      cands = analyzeFlops(nl, sta, inc.result(), gk, selOpt, opt.pool);
+    }
     res.availableFfs = countAvailable(cands);
-    group = karmakarGroup(nl, cands);
+    group = karmakarGroup(nl, cands, opt.pool);
     res.karmakarFfs = group.size();
     selSpan.arg("available_ffs", static_cast<std::int64_t>(res.availableFfs));
     selSpan.arg("karmakar_ffs", static_cast<std::int64_t>(res.karmakarFfs));

@@ -46,6 +46,10 @@ struct GkFlowOptions {
   int maxRepairRounds = 3;
   std::uint64_t seed = 11;
   PlacementOptions placement;
+  /// Worker pool for the per-flop feasibility analysis and the Karmakar
+  /// PO-reachability propagation.  Null = serial — results are
+  /// byte-identical either way, so callers opt in purely for speed.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Timing-accurate functional comparison of locked vs original.

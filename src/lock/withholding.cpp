@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "netlist/compiled.h"
+#include "netlist/packed_eval.h"
 #include "runtime/parallel.h"
 
 namespace gkll {
@@ -85,14 +86,20 @@ std::uint64_t coneLutMask(const CompiledNetlist& cn, const Cone& cone,
   std::sort(order.begin(), order.end(), [&](GateId a, GateId b) {
     return cn.topoPos(a) < cn.topoPos(b);
   });
-  std::vector<PackedBits> ins;
+  // One-word rows through the shared wide-cell helper (packed_eval.h):
+  // the cone pass is the W == 1 case of the wide path, so it stays
+  // byte-identical to the kernel the oracles sweep with.
+  std::vector<const PackedBits*> insRows;
   for (GateId g : order) {
-    ins.clear();
-    for (NetId in : cn.fanin(g)) ins.push_back(value.at(in));
-    value[cn.out(g)] = evalPackedCell(cn.kind(g), ins, cn.lutMask(g));
+    insRows.clear();
+    for (NetId in : cn.fanin(g)) insRows.push_back(&value.at(in));
+    PackedBits out;
+    evalWideCellRows(cn.kind(g), insRows, &out, 1, cn.lutMask(g));
+    value[cn.out(g)] = out;
   }
-  const PackedBits outIns[] = {value.at(root), value.at(kNoNet)};
-  const PackedBits f = evalPackedCell(outer, outIns);
+  const PackedBits* outIns[] = {&value.at(root), &value.at(kNoNet)};
+  PackedBits f;
+  evalWideCellRows(outer, outIns, &f, 1);
   assert(f.x == 0 && "cone evaluation left X lanes");
   const std::uint64_t tableLanes =
       (n + 1) == 6 ? ~0ULL : ((1ULL << (1ULL << (n + 1))) - 1);

@@ -83,7 +83,7 @@ bool parseMask(const std::string& s, std::uint64_t& out) {
 
 }  // namespace
 
-BenchParseResult parseBench(const std::string& text, std::string name) {
+BenchParseResult parseBench(std::istream& in, std::string name) {
   BenchParseResult res;
   res.netlist.setName(name.empty() ? "bench" : std::move(name));
   Netlist& nl = res.netlist;
@@ -98,7 +98,6 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
     return res;
   };
 
-  std::istringstream in(text);
   std::string raw;
   int lineNo = 0;
   while (std::getline(in, raw)) {
@@ -231,6 +230,11 @@ BenchParseResult parseBench(const std::string& text, std::string name) {
   return res;
 }
 
+BenchParseResult parseBench(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return parseBench(in, std::move(name));
+}
+
 Netlist parseBenchOrThrow(const std::string& text, std::string name) {
   BenchParseResult res = parseBench(text, std::move(name));
   if (!res.ok) throw BenchParseError(res.errorLine, res.error);
@@ -244,17 +248,14 @@ BenchParseResult parseBenchFile(const std::string& path) {
     r.error = "cannot open " + path;
     return r;
   }
-  std::ostringstream buf;
-  buf << f.rdbuf();
   auto slash = path.find_last_of('/');
   std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
   if (base.size() > 6 && base.substr(base.size() - 6) == ".bench")
     base.resize(base.size() - 6);
-  return parseBench(buf.str(), base);
+  return parseBench(f, std::move(base));
 }
 
-std::string writeBench(const Netlist& nl) {
-  std::ostringstream out;
+void writeBench(const Netlist& nl, std::ostream& out) {
   out << "# " << nl.name() << "\n";
   for (NetId n : nl.inputs()) out << "INPUT(" << nl.net(n).name << ")\n";
   for (NetId n : nl.outputs()) out << "OUTPUT(" << nl.net(n).name << ")\n";
@@ -285,13 +286,19 @@ std::string writeBench(const Netlist& nl) {
     }
     out << ")\n";
   }
+}
+
+std::string writeBench(const Netlist& nl) {
+  std::ostringstream out;
+  writeBench(nl, out);
   return out.str();
 }
 
 bool writeBenchFile(const Netlist& nl, const std::string& path) {
   std::ofstream f(path);
   if (!f) return false;
-  f << writeBench(nl);
+  writeBench(nl, f);
+  f.flush();
   return static_cast<bool>(f);
 }
 

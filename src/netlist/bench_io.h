@@ -40,7 +40,13 @@ class BenchParseError : public std::runtime_error {
   int line_ = 0;
 };
 
-/// Parse a netlist from .bench text.
+/// Parse a netlist from a .bench stream — the primary entry point: lines
+/// are consumed as they are read, so a million-gate file is never
+/// materialised as one string (the peak transient is the pending-gate
+/// table, a constant factor of the netlist's own name storage).
+BenchParseResult parseBench(std::istream& in, std::string name = {});
+
+/// Parse a netlist from .bench text (wraps the stream overload).
 BenchParseResult parseBench(const std::string& text, std::string name = {});
 
 /// Parse, throwing BenchParseError on malformed input.  The exception-
@@ -48,13 +54,18 @@ BenchParseResult parseBench(const std::string& text, std::string name = {});
 /// uploads) into code that must never abort.
 Netlist parseBenchOrThrow(const std::string& text, std::string name = {});
 
-/// Parse a netlist from a .bench file on disk.
+/// Parse a netlist from a .bench file on disk (streams; the file is never
+/// read into memory whole).
 BenchParseResult parseBenchFile(const std::string& path);
 
-/// Serialise to .bench text (round-trips through parseBench).
+/// Serialise to a .bench stream (round-trips through parseBench) without
+/// building the text in memory.
+void writeBench(const Netlist& nl, std::ostream& out);
+
+/// Serialise to .bench text (wraps the stream overload).
 std::string writeBench(const Netlist& nl);
 
-/// Write to a file; returns false on I/O failure.
+/// Write to a file; returns false on I/O failure.  Streams gate by gate.
 bool writeBenchFile(const Netlist& nl, const std::string& path);
 
 }  // namespace gkll

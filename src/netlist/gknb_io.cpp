@@ -1,0 +1,294 @@
+#include "netlist/gknb_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "netlist/cell_library.h"
+
+namespace gkll {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'K', 'N', 'B'};
+constexpr std::uint8_t kTombstoneTag = 0xFF;
+
+// ---- encoding primitives -------------------------------------------------
+
+void putVarint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void putStr(std::ostream& out, const std::string& s) {
+  putVarint(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Cursor over the input with sticky error state: every get* returns false
+/// once a read fails, so the parse loop can check once per record.
+struct Reader {
+  std::istream& in;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+
+  bool getByte(std::uint8_t& b) {
+    if (!error.empty()) return false;
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof())
+      return fail("unexpected end of file");
+    b = static_cast<std::uint8_t>(c);
+    return true;
+  }
+
+  bool getVarint(std::uint64_t& v) {
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      std::uint8_t b;
+      if (!getByte(b)) return false;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return fail("overlong varint");
+  }
+
+  bool getZigzag(std::int64_t& v) {
+    std::uint64_t raw;
+    if (!getVarint(raw)) return false;
+    v = unzigzag(raw);
+    return true;
+  }
+
+  bool getStr(std::string& s) {
+    std::uint64_t len;
+    if (!getVarint(len)) return false;
+    if (len > (1u << 20)) return fail("string length out of range");
+    s.resize(static_cast<std::size_t>(len));
+    if (len != 0) {
+      in.read(s.data(), static_cast<std::streamsize>(len));
+      if (!in) return fail("unexpected end of file");
+    }
+    return true;
+  }
+
+  /// Fixed-width little-endian u64 (the hash trailer).
+  bool getU64le(std::uint64_t& v) {
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      std::uint8_t b;
+      if (!getByte(b)) return false;
+      v |= static_cast<std::uint64_t>(b) << (8 * i);
+    }
+    return true;
+  }
+};
+
+bool isTombstone(const Gate& g) {
+  return g.out == kNoNet && g.fanin.empty();
+}
+
+}  // namespace
+
+void writeGknb(const Netlist& nl, std::ostream& out) {
+  out.write(kMagic, 4);
+  putVarint(out, kGknbVersion);
+  putStr(out, nl.name());
+
+  putVarint(out, nl.numNets());
+  for (NetId n = 0; n < nl.numNets(); ++n) {
+    putStr(out, nl.net(n).name);
+    putVarint(out, zigzag(nl.net(n).wireDelay));
+  }
+
+  putVarint(out, nl.numGates());
+  for (GateId g = 0; g < nl.numGates(); ++g) {
+    const Gate& gg = nl.gate(g);
+    if (isTombstone(gg)) {
+      out.put(static_cast<char>(kTombstoneTag));
+      continue;
+    }
+    out.put(static_cast<char>(static_cast<int>(gg.kind)));
+    putVarint(out, gg.drive);
+    putVarint(out, gg.out);
+    putVarint(out, gg.fanin.size());
+    for (NetId in : gg.fanin) putVarint(out, in);
+    putVarint(out, zigzag(gg.delayPs));
+    putVarint(out, gg.lutMask);
+  }
+
+  putVarint(out, nl.inputs().size());
+  for (NetId n : nl.inputs()) putVarint(out, n);
+  putVarint(out, nl.outputs().size());
+  for (NetId n : nl.outputs()) putVarint(out, n);
+  putVarint(out, nl.flops().size());
+  for (GateId g : nl.flops()) putVarint(out, g);
+
+  const std::uint64_t h = nl.contentHash();
+  for (int i = 0; i < 8; ++i)
+    out.put(static_cast<char>((h >> (8 * i)) & 0xFF));
+}
+
+bool writeGknbFile(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  writeGknb(nl, f);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+GknbReadResult readGknb(std::istream& in) {
+  GknbReadResult res;
+  Reader r{in, {}};
+  auto fail = [&](const std::string& msg) {
+    res.error = r.error.empty() ? msg : r.error;
+    return res;
+  };
+
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in || magic[0] != 'G' || magic[1] != 'K' || magic[2] != 'N' ||
+      magic[3] != 'B')
+    return fail("not a GKNB file (bad magic)");
+
+  std::uint64_t version;
+  if (!r.getVarint(version)) return fail("");
+  if (version != kGknbVersion)
+    return fail("unsupported GKNB version " + std::to_string(version));
+
+  std::string name;
+  if (!r.getStr(name)) return fail("");
+  Netlist& nl = res.netlist;
+  nl.setName(std::move(name));
+
+  std::uint64_t numNets;
+  if (!r.getVarint(numNets)) return fail("");
+  if (numNets >= kNoNet) return fail("net count out of range");
+  for (std::uint64_t i = 0; i < numNets; ++i) {
+    std::string netName;
+    std::int64_t wd;
+    if (!r.getStr(netName) || !r.getZigzag(wd)) return fail("");
+    if (netName.empty()) return fail("net with empty name");
+    if (nl.findNet(netName)) return fail("duplicate net name: " + netName);
+    const NetId id = nl.addNet(std::move(netName));
+    nl.net(id).wireDelay = wd;
+  }
+
+  std::uint64_t numGates;
+  if (!r.getVarint(numGates)) return fail("");
+  if (numGates >= kNoGate) return fail("gate count out of range");
+  for (std::uint64_t i = 0; i < numGates; ++i) {
+    std::uint8_t tag;
+    if (!r.getByte(tag)) return fail("");
+    if (tag == kTombstoneTag) {
+      nl.addTombstone();
+      continue;
+    }
+    if (tag >= kNumCellKinds)
+      return fail("unknown cell kind " + std::to_string(tag));
+    const CellKind kind = static_cast<CellKind>(tag);
+    std::uint64_t drive, out64, nIns;
+    if (!r.getVarint(drive) || !r.getVarint(out64) || !r.getVarint(nIns))
+      return fail("");
+    if (drive == 0 || drive > 255) return fail("drive strength out of range");
+    if (out64 >= numNets) return fail("gate output net id out of range");
+    const NetId out = static_cast<NetId>(out64);
+    if (nl.net(out).driver != kNoGate)
+      return fail("net '" + nl.net(out).name + "' multiply driven");
+    const int expect = cellNumInputs(kind);
+    if (expect >= 0 && nIns != static_cast<std::uint64_t>(expect))
+      return fail(std::string(cellKindName(kind)) + " gate with " +
+                  std::to_string(nIns) + " fanins");
+    if (kind == CellKind::kLut && (nIns < 1 || nIns > 6))
+      return fail("LUT fanin count out of range");
+    if (nIns > numNets) return fail("fanin count out of range");
+    std::vector<NetId> fanin;
+    fanin.reserve(static_cast<std::size_t>(nIns));
+    for (std::uint64_t k = 0; k < nIns; ++k) {
+      std::uint64_t in64;
+      if (!r.getVarint(in64)) return fail("");
+      if (in64 >= numNets) return fail("fanin net id out of range");
+      fanin.push_back(static_cast<NetId>(in64));
+    }
+    std::int64_t delayPs;
+    std::uint64_t lutMask;
+    if (!r.getZigzag(delayPs) || !r.getVarint(lutMask)) return fail("");
+    const GateId g = nl.addGate(kind, std::move(fanin), out);
+    nl.gate(g).drive = static_cast<std::uint8_t>(drive);
+    nl.gate(g).delayPs = delayPs;
+    nl.gate(g).lutMask = lutMask;
+  }
+
+  std::uint64_t nPis;
+  if (!r.getVarint(nPis)) return fail("");
+  if (nPis > numNets) return fail("PI count out of range");
+  for (std::uint64_t i = 0; i < nPis; ++i) {
+    std::uint64_t n64;
+    if (!r.getVarint(n64)) return fail("");
+    if (n64 >= numNets) return fail("PI net id out of range");
+    const NetId n = static_cast<NetId>(n64);
+    const GateId d = nl.net(n).driver;
+    if (d == kNoGate || nl.gate(d).kind != CellKind::kInput)
+      return fail("PI net '" + nl.net(n).name + "' not driven by an input");
+    nl.registerPI(n);
+  }
+
+  std::uint64_t nPos;
+  if (!r.getVarint(nPos)) return fail("");
+  if (nPos > numNets) return fail("PO count out of range");
+  for (std::uint64_t i = 0; i < nPos; ++i) {
+    std::uint64_t n64;
+    if (!r.getVarint(n64)) return fail("");
+    if (n64 >= numNets) return fail("PO net id out of range");
+    // appendPO, not markPO: combinational-extraction pseudo POs may list
+    // one net twice, and PO positions must survive the round trip.
+    nl.appendPO(static_cast<NetId>(n64));
+  }
+
+  std::uint64_t nFfs;
+  if (!r.getVarint(nFfs)) return fail("");
+  if (nFfs != nl.flops().size())
+    return fail("flop list does not match kDff gates");
+  for (std::uint64_t i = 0; i < nFfs; ++i) {
+    std::uint64_t g64;
+    if (!r.getVarint(g64)) return fail("");
+    if (g64 != nl.flops()[static_cast<std::size_t>(i)])
+      return fail("flop order does not match kDff gate order");
+  }
+
+  std::uint64_t storedHash;
+  if (!r.getU64le(storedHash)) return fail("");
+
+  nl.rebindConstCache();
+  if (nl.contentHash() != storedHash)
+    return fail("content hash mismatch (corrupt or truncated file)");
+  res.ok = true;
+  return res;
+}
+
+GknbReadResult readGknbFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    GknbReadResult r;
+    r.error = "cannot open " + path;
+    return r;
+  }
+  return readGknb(f);
+}
+
+}  // namespace gkll

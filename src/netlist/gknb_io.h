@@ -1,0 +1,64 @@
+// GKNB — the compact versioned binary netlist format.
+//
+// The .bench text format is the interchange face of the library; GKNB is
+// its storage face.  The service's NetlistStore spills cold designs to
+// disk in this format, and the scale benchmarks use it to snapshot
+// million-gate synthetic circuits without paying text round-trip costs.
+//
+// Layout (all multi-byte integers are LEB128 varints unless noted):
+//
+//   "GKNB"                      4-byte magic
+//   version                     varint, currently 1
+//   name                        str (varint length + bytes)
+//   numNets                     varint
+//   per net:  name str, wireDelay zigzag-varint
+//   numGates                    varint
+//   per gate: tag byte — 0xFF for a tombstone (a slot removeGate
+//             neutralised), else the CellKind ordinal; non-tombstones
+//             continue with drive varint, out net varint, fanin count +
+//             ids varints, delayPs zigzag-varint, lutMask varint
+//   pis / pos / ffs             varint count + varint ids each
+//   contentHash                 8 bytes little-endian (NOT a varint)
+//
+// The trailer is the same Netlist::contentHash() the run journal stamps:
+// a reader recomputes it over the reconstructed netlist and refuses the
+// file on mismatch, so truncation and bit rot are detected and a handle
+// in the content-addressed store provably names the bytes it returns.
+// Tombstones round-trip exactly — GateIds, the ffs order and the hash all
+// survive serialisation of a post-removal-attack netlist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gkll {
+
+/// Current writer version.  Readers accept exactly this (the format has
+/// no compatibility burden yet; bump and branch when it grows one).
+inline constexpr std::uint32_t kGknbVersion = 1;
+
+/// Read result: either a netlist or a diagnostic.  Never throws and never
+/// asserts on malformed bytes — a corrupt spill file or truncated upload
+/// becomes ok == false with a message naming the first defect.
+struct GknbReadResult {
+  bool ok = false;
+  Netlist netlist;
+  std::string error;
+};
+
+/// Serialise to a GKNB stream.
+void writeGknb(const Netlist& nl, std::ostream& out);
+
+/// Serialise to a file; returns false on I/O failure.
+bool writeGknbFile(const Netlist& nl, const std::string& path);
+
+/// Parse a GKNB stream.  Validates the magic, version, every id bound,
+/// gate pin counts, PI/FF bookkeeping and the content-hash trailer.
+GknbReadResult readGknb(std::istream& in);
+
+/// Parse a GKNB file from disk.
+GknbReadResult readGknbFile(const std::string& path);
+
+}  // namespace gkll

@@ -142,6 +142,26 @@ void Netlist::removeGate(GateId g) {
   gg.kind = CellKind::kConst0;
 }
 
+GateId Netlist::addTombstone() {
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = CellKind::kConst0;
+  g.out = kNoNet;
+  gates_.push_back(std::move(g));
+  return id;
+}
+
+void Netlist::rebindConstCache() {
+  auto bind = [&](const char* name, CellKind kind, NetId& cache) {
+    const auto id = findNet(name);
+    if (!id) return;
+    const GateId d = nets_[*id].driver;
+    if (d != kNoGate && gates_[d].kind == kind) cache = *id;
+  };
+  bind("_const0", CellKind::kConst0, const0_);
+  bind("_const1", CellKind::kConst1, const1_);
+}
+
 bool Netlist::isPO(NetId n) const {
   return std::find(pos_.begin(), pos_.end(), n) != pos_.end();
 }

@@ -114,6 +114,18 @@ class Netlist {
   /// attacks).  Fanout bookkeeping is updated.
   void removeGate(GateId g);
 
+  /// Append a tombstone slot — the neutral shape removeGate leaves behind
+  /// (no output, no fanins).  Deserialisers use this to reproduce a
+  /// netlist that had gates removed, so GateIds and contentHash survive a
+  /// round trip through external storage.
+  GateId addTombstone();
+
+  /// Re-bind the constNet() cache to existing "_const0"/"_const1" nets.
+  /// Deserialisers recreate nets by name without going through constNet(),
+  /// leaving the cache cold; without this, a later constNet() call would
+  /// try to addNet a duplicate "_const0".  Safe to call on any netlist.
+  void rebindConstCache();
+
   // --- access -------------------------------------------------------------
 
   std::size_t numNets() const { return nets_.size(); }

@@ -1,0 +1,240 @@
+#include "netlist/packed_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/telemetry.h"
+
+namespace gkll {
+
+// ---------------------------------------------------------------------------
+// SIMD level selection
+
+const char* simdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool simdLevelAvailable(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+#if defined(GKLL_BUILD_AVX2) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(GKLL_BUILD_AVX512) && (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+namespace {
+
+bool parseSimdName(const char* s, SimdLevel& out) {
+  const std::string name(s);
+  if (name == "scalar") out = SimdLevel::kScalar;
+  else if (name == "avx2") out = SimdLevel::kAvx2;
+  else if (name == "avx512") out = SimdLevel::kAvx512;
+  else return false;
+  return true;
+}
+
+SimdLevel detectSimdLevel() {
+  SimdLevel best = SimdLevel::kScalar;
+  if (simdLevelAvailable(SimdLevel::kAvx2)) best = SimdLevel::kAvx2;
+  if (simdLevelAvailable(SimdLevel::kAvx512)) best = SimdLevel::kAvx512;
+  if (const char* env = std::getenv("GKLL_SIMD")) {
+    SimdLevel want;
+    if (parseSimdName(env, want)) {
+      // An explicit request caps the level; fall back to the best level at
+      // or below it that this build + CPU can actually run.
+      while (static_cast<int>(want) > 0 && !simdLevelAvailable(want))
+        want = static_cast<SimdLevel>(static_cast<int>(want) - 1);
+      best = want;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SimdLevel bestSimdLevel() {
+  static const SimdLevel level = detectSimdLevel();
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// PackedLanes
+
+void PackedLanes::reset(std::size_t signals, std::size_t words) {
+  signals_ = signals;
+  words_ = words;
+  const std::size_t n = signals * words;
+  v_.assign(n, 0);
+  x_.assign(n, ~0ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Row-level wide cell (the withholding cone pass runs on this)
+
+void evalWideCellRows(CellKind k, std::span<const PackedBits* const> ins,
+                      PackedBits* out, std::size_t W, std::uint64_t lutMask) {
+  PackedBits tmp[8];
+  assert(ins.size() <= 8);
+  for (std::size_t w = 0; w < W; ++w) {
+    for (std::size_t i = 0; i < ins.size(); ++i) tmp[i] = ins[i][w];
+    out[w] = evalPackedCell(
+        k, std::span<const PackedBits>(tmp, ins.size()), lutMask);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WideEvaluator
+
+WideEvaluator::WideEvaluator(const CompiledNetlist& cn, SimdLevel level)
+    : cn_(&cn), level_(level) {
+  if (!simdLevelAvailable(level_)) level_ = SimdLevel::kScalar;
+  obs::Span span("sim.wide.compile");
+
+  const Netlist& nl = cn.source();
+  const std::size_t nNets = cn.numNets();
+  slotOfNet_.assign(nNets, 0xFFFFFFFFu);
+  std::uint32_t next = 0;
+  const auto claim = [&](NetId n) {
+    if (slotOfNet_[n] == 0xFFFFFFFFu) slotOfNet_[n] = next++;
+    return slotOfNet_[n];
+  };
+
+  // Slot order: PIs, other sources (constants), flop Q pins, then comb
+  // outputs level block by level block — so a gate's fanin rows were
+  // written at most a few levels (slots) earlier and the sweep's working
+  // set slides instead of scattering over NetId creation order.
+  piSlot_.clear();
+  for (NetId n : nl.inputs()) piSlot_.push_back(claim(n));
+  for (GateId g : cn.sourceGates()) {
+    if (cn.out(g) == kNoNet) continue;
+    const std::uint32_t s = claim(cn.out(g));
+    if (cn.kind(g) == CellKind::kConst0 || cn.kind(g) == CellKind::kConst1)
+      constSlots_.emplace_back(s, cn.kind(g));
+  }
+  flopSlot_.clear();
+  for (GateId f : cn.flops()) flopSlot_.push_back(claim(cn.out(f)));
+
+  // Comb gates bucketed by output level (stable within a level, so the
+  // existing topo order is preserved inside each block).
+  const auto comb = cn.combGates();
+  const int maxLevel = cn.maxLevel();
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(maxLevel) + 2, 0);
+  for (GateId g : comb) ++count[static_cast<std::size_t>(cn.level(cn.out(g)))];
+  plan_.blockOff.assign(static_cast<std::size_t>(maxLevel) + 2, 0);
+  for (int l = 0; l <= maxLevel; ++l)
+    plan_.blockOff[static_cast<std::size_t>(l) + 1] =
+        plan_.blockOff[static_cast<std::size_t>(l)] +
+        count[static_cast<std::size_t>(l)];
+  std::vector<GateId> ordered(comb.size());
+  {
+    std::vector<std::uint32_t> cursor(
+        plan_.blockOff.begin(), plan_.blockOff.end() - 1);
+    for (GateId g : comb)
+      ordered[cursor[static_cast<std::size_t>(cn.level(cn.out(g)))]++] = g;
+  }
+
+  // Claim output slots in sweep order, then any undriven stragglers (they
+  // stay X), then build the flat fanin-slot table.
+  for (GateId g : ordered) claim(cn.out(g));
+  for (NetId n = 0; n < nNets; ++n)
+    if (slotOfNet_[n] == 0xFFFFFFFFu) slotOfNet_[n] = next++;
+  plan_.numSlots = next;
+
+  plan_.kind.reserve(ordered.size());
+  plan_.outSlot.reserve(ordered.size());
+  plan_.insOff.reserve(ordered.size() + 1);
+  plan_.insOff.push_back(0);
+  for (GateId g : ordered) {
+    plan_.kind.push_back(static_cast<std::uint8_t>(cn.kind(g)));
+    plan_.outSlot.push_back(slotOfNet_[cn.out(g)]);
+    for (NetId in : cn.fanin(g)) plan_.insSlot.push_back(slotOfNet_[in]);
+    plan_.insOff.push_back(static_cast<std::uint32_t>(plan_.insSlot.size()));
+    if (cn.kind(g) == CellKind::kLut) plan_.lutMasks.push_back(cn.lutMask(g));
+  }
+}
+
+void WideEvaluator::eval(const PackedLanes& inputs, const PackedLanes& ffState,
+                         Buffer& buf) const {
+  std::size_t W = inputs.words();
+  if (W == 0) W = ffState.words();
+  if (W == 0) W = 1;
+  assert(inputs.signals() == 0 || inputs.words() == W);
+  assert(ffState.signals() == 0 || ffState.words() == W);
+
+  buf.slots_.reset(plan_.numSlots, W);  // everything X
+
+  for (const auto& [slot, kind] : constSlots_) {
+    const std::uint64_t fill = kind == CellKind::kConst1 ? ~0ULL : 0ULL;
+    std::uint64_t* sv = buf.slots_.v(slot);
+    std::uint64_t* sx = buf.slots_.x(slot);
+    for (std::size_t w = 0; w < W; ++w) {
+      sv[w] = fill;
+      sx[w] = 0;
+    }
+  }
+  const std::size_t nPi = std::min(inputs.signals(), piSlot_.size());
+  for (std::size_t i = 0; i < nPi; ++i) {
+    std::memcpy(buf.slots_.v(piSlot_[i]), inputs.v(i), W * sizeof(std::uint64_t));
+    std::memcpy(buf.slots_.x(piSlot_[i]), inputs.x(i), W * sizeof(std::uint64_t));
+  }
+  const std::size_t nFf = std::min(ffState.signals(), flopSlot_.size());
+  for (std::size_t i = 0; i < nFf; ++i) {
+    std::memcpy(buf.slots_.v(flopSlot_[i]), ffState.v(i),
+                W * sizeof(std::uint64_t));
+    std::memcpy(buf.slots_.x(flopSlot_[i]), ffState.x(i),
+                W * sizeof(std::uint64_t));
+  }
+
+  switch (level_) {
+#ifdef GKLL_BUILD_AVX512
+    case SimdLevel::kAvx512:
+      detail::wideavx512::evalCombSweep(plan_, buf.slots_.vData(),
+                                        buf.slots_.xData(), W);
+      break;
+#endif
+#ifdef GKLL_BUILD_AVX2
+    case SimdLevel::kAvx2:
+      detail::wideavx2::evalCombSweep(plan_, buf.slots_.vData(),
+                                      buf.slots_.xData(), W);
+      break;
+#endif
+    default:
+      detail::widescalar::evalCombSweep(plan_, buf.slots_.vData(),
+                                        buf.slots_.xData(), W);
+      break;
+  }
+  obs::count("sim.wide.evals");
+}
+
+std::vector<PackedBits> WideEvaluator::outputWords(const Buffer& buf,
+                                                   std::size_t w) const {
+  std::vector<PackedBits> out;
+  out.reserve(cn_->source().outputs().size());
+  for (NetId n : cn_->source().outputs()) out.push_back(netWord(buf, n, w));
+  return out;
+}
+
+}  // namespace gkll

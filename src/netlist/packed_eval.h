@@ -1,0 +1,197 @@
+// Wide (W x 64-lane) bit-parallel evaluation of a CompiledNetlist.
+//
+// evalPacked (compiled.h) evaluates 64 patterns per pass with one
+// PackedBits per net, indexed by NetId.  That layout hits two walls on
+// million-net designs:
+//
+//   1. one 64-bit word per plane leaves 3/4 of an AVX2 register (and 7/8
+//      of an AVX-512 register) idle, and
+//   2. NetId order is *creation* order — a locked or optimised netlist
+//      scatters a gate's fanin reads across the whole net array, so the
+//      CSR sweep thrashes instead of staying in cache.
+//
+// This module widens the pass to W 64-bit words per signal (W x 64
+// patterns per sweep) and re-blocks storage for the sweep:
+//
+//   - PackedLanes: planar signal-major storage — the W value words of a
+//     signal are contiguous, value and X planes separate, so the per-gate
+//     inner loop is a unit-stride bitwise kernel the compiler vectorises.
+//   - WideEvaluator: compiles a CompiledNetlist into a *slot* permutation
+//     (sources first, then combinational outputs in level order) plus a
+//     flat fanin-slot table.  Level-ordered slots mean a gate's fanins
+//     were written at most a few levels ago, so the sweep's working set is
+//     a sliding window of recently-touched lines rather than the whole
+//     design — the cache-blocked level traversal of DESIGN.md §13.
+//   - The inner kernel is compiled three times (portable, -mavx2,
+//     -mavx512f) from one source (packed_eval_kernel.inl) and selected at
+//     runtime; all variants run the identical word-level formulas of the
+//     PackedBits helpers, so results are byte-identical across ISAs and
+//     to W independent evalPacked passes (property-tested).
+//
+// A WideEvaluator is immutable after construction and safe to share
+// across threads; each caller brings its own Buffer (the slot planes).
+// Like CompiledNetlist, it is a snapshot: stale after any Netlist edit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/compiled.h"
+
+namespace gkll {
+
+/// Which comb-sweep kernel to run.  Levels above kScalar exist only when
+/// both the compiler supported the ISA at build time and the CPU reports
+/// it at run time; kScalar is always available and is the byte-identity
+/// reference.
+enum class SimdLevel : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* simdLevelName(SimdLevel level);
+
+/// Best kernel this build + this machine can run, after applying the
+/// GKLL_SIMD environment override ("scalar" | "avx2" | "avx512" — a
+/// request above what is available falls back to the best available).
+SimdLevel bestSimdLevel();
+
+/// True if `level`'s kernel was compiled in and the CPU supports it.
+bool simdLevelAvailable(SimdLevel level);
+
+/// Planar signal-major three-valued storage: `words` 64-bit lanes words
+/// per signal, value plane and X plane separate, each signal's words
+/// contiguous.  Freshly reset lanes are all X (the PackedBits default).
+class PackedLanes {
+ public:
+  PackedLanes() = default;
+  PackedLanes(std::size_t signals, std::size_t words) { reset(signals, words); }
+
+  /// Resize to `signals` x `words` and set every lane to X.
+  void reset(std::size_t signals, std::size_t words);
+
+  std::size_t signals() const { return signals_; }
+  std::size_t words() const { return words_; }
+  std::size_t lanes() const { return words_ * 64; }
+
+  std::uint64_t* v(std::size_t s) { return v_.data() + s * words_; }
+  const std::uint64_t* v(std::size_t s) const { return v_.data() + s * words_; }
+  std::uint64_t* x(std::size_t s) { return x_.data() + s * words_; }
+  const std::uint64_t* x(std::size_t s) const { return x_.data() + s * words_; }
+
+  std::uint64_t* vData() { return v_.data(); }
+  std::uint64_t* xData() { return x_.data(); }
+
+  PackedBits word(std::size_t s, std::size_t w) const {
+    return {v(s)[w], x(s)[w]};
+  }
+  void setWord(std::size_t s, std::size_t w, PackedBits b) {
+    v(s)[w] = b.v;
+    x(s)[w] = b.x;
+  }
+  Logic lane(std::size_t s, std::size_t lane) const {
+    return packedLane(word(s, lane / 64), static_cast<unsigned>(lane % 64));
+  }
+  void setLane(std::size_t s, std::size_t lane, Logic l) {
+    PackedBits b = word(s, lane / 64);
+    packedSetLane(b, static_cast<unsigned>(lane % 64), l);
+    setWord(s, lane / 64, b);
+  }
+
+ private:
+  std::size_t signals_ = 0, words_ = 0;
+  std::vector<std::uint64_t> v_, x_;
+};
+
+namespace detail {
+
+/// The compiled sweep: comb gates in level order over permuted net slots.
+/// Built once per WideEvaluator, read by every kernel variant.
+struct WidePlan {
+  std::size_t numSlots = 0;
+  std::vector<std::uint8_t> kind;      ///< CellKind per comb gate, level order
+  std::vector<std::uint32_t> outSlot;  ///< output slot per comb gate
+  std::vector<std::uint32_t> insOff;   ///< CSR offsets into insSlot (n+1)
+  std::vector<std::uint32_t> insSlot;  ///< flat fanin slots
+  std::vector<std::uint64_t> lutMasks; ///< one per kLut gate, in sweep order
+  /// Level blocks: gates [blockOff[b], blockOff[b+1]) share one level.
+  std::vector<std::uint32_t> blockOff;
+};
+
+// One symbol per ISA, all generated from packed_eval_kernel.inl.  The
+// AVX variants exist only when CMake found the flags; dispatch never
+// references a variant that was not built.
+namespace widescalar {
+void evalCombSweep(const WidePlan& p, std::uint64_t* v, std::uint64_t* x,
+                   std::size_t W);
+}
+namespace wideavx2 {
+void evalCombSweep(const WidePlan& p, std::uint64_t* v, std::uint64_t* x,
+                   std::size_t W);
+}
+namespace wideavx512 {
+void evalCombSweep(const WidePlan& p, std::uint64_t* v, std::uint64_t* x,
+                   std::size_t W);
+}
+
+}  // namespace detail
+
+/// W-word row counterpart of evalPackedCell: `ins[i]` points at fanin i's
+/// row of `W` PackedBits words, the result lands in `out[0..W)`.  Exactly
+/// evalPackedCell per word — the narrow helper is the W == 1 case.  The
+/// withholding cone-LUT pass runs on this.
+void evalWideCellRows(CellKind k, std::span<const PackedBits* const> ins,
+                      PackedBits* out, std::size_t W, std::uint64_t lutMask = 0);
+
+class WideEvaluator {
+ public:
+  /// Compile the sweep plan for `cn`.  `cn` (and its source netlist) must
+  /// outlive the evaluator.  `level` defaults to the best kernel present.
+  explicit WideEvaluator(const CompiledNetlist& cn,
+                         SimdLevel level = bestSimdLevel());
+
+  /// Per-caller scratch: the slot planes of one evaluation.  Reused across
+  /// eval() calls (grown as needed); one Buffer per thread.
+  class Buffer {
+   public:
+    std::size_t words() const { return slots_.words(); }
+
+   private:
+    friend class WideEvaluator;
+    PackedLanes slots_;
+  };
+
+  /// Evaluate inputs.words() x 64 patterns in one sweep.  `inputs[i]` is
+  /// the lane row of source().inputs()[i] (missing trailing signals float
+  /// at X); `ffState[i]` drives flop i's Q net (zero signals = flops float
+  /// at X, the combinational case).  Results are read back through
+  /// netWord()/netLane().
+  void eval(const PackedLanes& inputs, const PackedLanes& ffState,
+            Buffer& buf) const;
+
+  SimdLevel simd() const { return level_; }
+  const CompiledNetlist& compiled() const { return *cn_; }
+  std::size_t numSlots() const { return plan_.numSlots; }
+
+  /// Word `w` of net `n` after an eval() into `buf`.
+  PackedBits netWord(const Buffer& buf, NetId n, std::size_t w) const {
+    return buf.slots_.word(slotOfNet_[n], w);
+  }
+  /// Lane `lane` (< buf.words()*64) of net `n`.
+  Logic netLane(const Buffer& buf, NetId n, std::size_t lane) const {
+    return buf.slots_.lane(slotOfNet_[n], lane);
+  }
+  /// PO words at word index `w`, in source().outputs() order — the wide
+  /// counterpart of outputLanes().
+  std::vector<PackedBits> outputWords(const Buffer& buf, std::size_t w) const;
+
+ private:
+  const CompiledNetlist* cn_ = nullptr;
+  SimdLevel level_ = SimdLevel::kScalar;
+  detail::WidePlan plan_;
+  std::vector<std::uint32_t> slotOfNet_;
+  /// Source injections: (slot, kind) for kConst0/kConst1 gates.
+  std::vector<std::pair<std::uint32_t, CellKind>> constSlots_;
+  std::vector<std::uint32_t> piSlot_;    ///< slot per primary input
+  std::vector<std::uint32_t> flopSlot_;  ///< slot per flop Q net
+};
+
+}  // namespace gkll

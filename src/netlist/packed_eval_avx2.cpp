@@ -1,0 +1,8 @@
+// AVX2 wide-sweep kernel: same portable source as packed_eval_scalar.cpp,
+// auto-vectorised at 256 bits.  Compiled with -mavx2 only when the
+// compiler supports the flag (GKLL_BUILD_AVX2 from CMake); otherwise this
+// unit is empty and dispatch never references the symbol.
+#ifdef GKLL_BUILD_AVX2
+#define GKLL_WIDE_NS wideavx2
+#include "netlist/packed_eval_kernel.inl"
+#endif

@@ -1,0 +1,7 @@
+// AVX-512 wide-sweep kernel: same portable source, auto-vectorised at
+// 512 bits.  Compiled with -mavx512f only when the compiler supports the
+// flag (GKLL_BUILD_AVX512 from CMake); otherwise this unit is empty.
+#ifdef GKLL_BUILD_AVX512
+#define GKLL_WIDE_NS wideavx512
+#include "netlist/packed_eval_kernel.inl"
+#endif

@@ -1,0 +1,251 @@
+// The wide combinational sweep — included, not compiled directly.
+//
+// Each per-ISA translation unit defines GKLL_WIDE_NS (widescalar /
+// wideavx2 / wideavx512) and includes this file; CMake gives the AVX
+// units their -m flags, and the identical portable source auto-vectorises
+// to the unit's ISA.  No intrinsics: every variant runs the exact
+// word-level formulas of the PackedBits helpers (compiled.h), so all
+// kernels are byte-identical by construction.
+//
+// The sweep walks comb gates level block by level block (WidePlan::
+// blockOff); within a block the inner loops are unit-stride W-word
+// bitwise passes over planar rows.  Output rows never alias fanin rows —
+// a gate's output net is at a strictly higher level than its fanins, and
+// slots are unique per net — hence the __restrict qualifiers.
+
+#include <cstdint>
+
+#include "netlist/compiled.h"
+#include "netlist/packed_eval.h"
+
+namespace gkll::detail::GKLL_WIDE_NS {
+namespace {
+
+// Word-level copies of packedNot/And/Or/Xor/Mux — identical formulas.
+struct VX {
+  std::uint64_t v, x;
+};
+inline VX vxNot(VX a) { return {~a.v & ~a.x, a.x}; }
+inline VX vxAnd(VX a, VX b) {
+  const std::uint64_t zero = (~a.v & ~a.x) | (~b.v & ~b.x);
+  return {a.v & b.v, (a.x | b.x) & ~zero};
+}
+inline VX vxOr(VX a, VX b) {
+  const std::uint64_t one = a.v | b.v;
+  return {one, (a.x | b.x) & ~one};
+}
+inline VX vxXor(VX a, VX b) {
+  const std::uint64_t x = a.x | b.x;
+  return {(a.v ^ b.v) & ~x, x};
+}
+inline VX vxMux(VX s, VX in0, VX in1) {
+  const std::uint64_t selKnown = ~s.x;
+  const std::uint64_t pickV = (~s.v & in0.v) | (s.v & in1.v);
+  const std::uint64_t pickX = (~s.v & in0.x) | (s.v & in1.x);
+  const std::uint64_t agree = ~(in0.v ^ in1.v) & ~in0.x & ~in1.x;
+  const std::uint64_t x = (selKnown & pickX) | (~selKnown & ~agree);
+  const std::uint64_t v = ((selKnown & pickV) | (~selKnown & in0.v)) & ~x;
+  return {v, x};
+}
+
+}  // namespace
+
+void evalCombSweep(const WidePlan& p, std::uint64_t* v, std::uint64_t* x,
+                   std::size_t W) {
+  std::size_t lutCursor = 0;
+  const std::uint32_t* insSlots = p.insSlot.data();
+  for (std::size_t b = 0; b + 1 < p.blockOff.size(); ++b) {
+    for (std::size_t gi = p.blockOff[b]; gi < p.blockOff[b + 1]; ++gi) {
+      const auto k = static_cast<CellKind>(p.kind[gi]);
+      const std::uint32_t* in = insSlots + p.insOff[gi];
+      const std::size_t nIn = p.insOff[gi + 1] - p.insOff[gi];
+      std::uint64_t* __restrict ov = v + std::size_t{p.outSlot[gi]} * W;
+      std::uint64_t* __restrict ox = x + std::size_t{p.outSlot[gi]} * W;
+      const auto rv = [&](std::size_t i) -> const std::uint64_t* {
+        return v + std::size_t{in[i]} * W;
+      };
+      const auto rx = [&](std::size_t i) -> const std::uint64_t* {
+        return x + std::size_t{in[i]} * W;
+      };
+      switch (k) {
+        case CellKind::kBuf:
+        case CellKind::kDelay: {
+          const std::uint64_t* __restrict av = rv(0);
+          const std::uint64_t* __restrict ax = rx(0);
+          for (std::size_t w = 0; w < W; ++w) {
+            ov[w] = av[w];
+            ox[w] = ax[w];
+          }
+          break;
+        }
+        case CellKind::kInv: {
+          const std::uint64_t* __restrict av = rv(0);
+          const std::uint64_t* __restrict ax = rx(0);
+          for (std::size_t w = 0; w < W; ++w) {
+            const VX r = vxNot({av[w], ax[w]});
+            ov[w] = r.v;
+            ox[w] = r.x;
+          }
+          break;
+        }
+        case CellKind::kAnd2:
+        case CellKind::kAnd3:
+        case CellKind::kAnd4:
+        case CellKind::kNand2:
+        case CellKind::kNand3:
+        case CellKind::kNand4: {
+          // Fold into the output row, input by input, matching the
+          // packedAnd fold of evalPackedCell (start from all-true).
+          {
+            const std::uint64_t* __restrict av = rv(0);
+            const std::uint64_t* __restrict ax = rx(0);
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxAnd({~0ULL, 0ULL}, {av[w], ax[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          for (std::size_t i = 1; i < nIn; ++i) {
+            const std::uint64_t* __restrict bv = rv(i);
+            const std::uint64_t* __restrict bx = rx(i);
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxAnd({ov[w], ox[w]}, {bv[w], bx[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          if (k == CellKind::kNand2 || k == CellKind::kNand3 ||
+              k == CellKind::kNand4) {
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxNot({ov[w], ox[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          break;
+        }
+        case CellKind::kOr2:
+        case CellKind::kOr3:
+        case CellKind::kOr4:
+        case CellKind::kNor2:
+        case CellKind::kNor3:
+        case CellKind::kNor4: {
+          {
+            const std::uint64_t* __restrict av = rv(0);
+            const std::uint64_t* __restrict ax = rx(0);
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxOr({0ULL, 0ULL}, {av[w], ax[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          for (std::size_t i = 1; i < nIn; ++i) {
+            const std::uint64_t* __restrict bv = rv(i);
+            const std::uint64_t* __restrict bx = rx(i);
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxOr({ov[w], ox[w]}, {bv[w], bx[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          if (k == CellKind::kNor2 || k == CellKind::kNor3 ||
+              k == CellKind::kNor4) {
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxNot({ov[w], ox[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          break;
+        }
+        case CellKind::kXor2:
+        case CellKind::kXnor2: {
+          const std::uint64_t* __restrict av = rv(0);
+          const std::uint64_t* __restrict ax = rx(0);
+          const std::uint64_t* __restrict bv = rv(1);
+          const std::uint64_t* __restrict bx = rx(1);
+          if (k == CellKind::kXor2) {
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxXor({av[w], ax[w]}, {bv[w], bx[w]});
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          } else {
+            for (std::size_t w = 0; w < W; ++w) {
+              const VX r = vxNot(vxXor({av[w], ax[w]}, {bv[w], bx[w]}));
+              ov[w] = r.v;
+              ox[w] = r.x;
+            }
+          }
+          break;
+        }
+        case CellKind::kMux2: {
+          const std::uint64_t* __restrict sv = rv(0);
+          const std::uint64_t* __restrict sx = rx(0);
+          const std::uint64_t* __restrict av = rv(1);
+          const std::uint64_t* __restrict ax = rx(1);
+          const std::uint64_t* __restrict bv = rv(2);
+          const std::uint64_t* __restrict bx = rx(2);
+          for (std::size_t w = 0; w < W; ++w) {
+            const VX r =
+                vxMux({sv[w], sx[w]}, {av[w], ax[w]}, {bv[w], bx[w]});
+            ov[w] = r.v;
+            ox[w] = r.x;
+          }
+          break;
+        }
+        case CellKind::kAoi21: {
+          const std::uint64_t* __restrict av = rv(0);
+          const std::uint64_t* __restrict ax = rx(0);
+          const std::uint64_t* __restrict bv = rv(1);
+          const std::uint64_t* __restrict bx = rx(1);
+          const std::uint64_t* __restrict cv = rv(2);
+          const std::uint64_t* __restrict cx = rx(2);
+          for (std::size_t w = 0; w < W; ++w) {
+            const VX r = vxNot(vxOr(vxAnd({av[w], ax[w]}, {bv[w], bx[w]}),
+                                    {cv[w], cx[w]}));
+            ov[w] = r.v;
+            ox[w] = r.x;
+          }
+          break;
+        }
+        case CellKind::kOai21: {
+          const std::uint64_t* __restrict av = rv(0);
+          const std::uint64_t* __restrict ax = rx(0);
+          const std::uint64_t* __restrict bv = rv(1);
+          const std::uint64_t* __restrict bx = rx(1);
+          const std::uint64_t* __restrict cv = rv(2);
+          const std::uint64_t* __restrict cx = rx(2);
+          for (std::size_t w = 0; w < W; ++w) {
+            const VX r = vxNot(vxAnd(vxOr({av[w], ax[w]}, {bv[w], bx[w]}),
+                                     {cv[w], cx[w]}));
+            ov[w] = r.v;
+            ox[w] = r.x;
+          }
+          break;
+        }
+        case CellKind::kLut: {
+          // LUTs are rare (withholding only): per-word narrow fallback
+          // through evalPackedCell keeps the exact cofactor semantics.
+          const std::uint64_t mask = p.lutMasks[lutCursor++];
+          PackedBits tmp[6];
+          for (std::size_t w = 0; w < W; ++w) {
+            for (std::size_t i = 0; i < nIn; ++i)
+              tmp[i] = {rv(i)[w], rx(i)[w]};
+            const PackedBits r = evalPackedCell(
+                CellKind::kLut, std::span<const PackedBits>(tmp, nIn), mask);
+            ov[w] = r.v;
+            ox[w] = r.x;
+          }
+          break;
+        }
+        default:
+          // Sources and flops are injected before the sweep and never
+          // appear in the comb plan.
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace gkll::detail::GKLL_WIDE_NS

@@ -1,0 +1,3 @@
+// Portable wide-sweep kernel — the always-present byte-identity reference.
+#define GKLL_WIDE_NS widescalar
+#include "netlist/packed_eval_kernel.inl"

@@ -62,14 +62,10 @@ std::string logicString(const std::vector<Logic>& v) {
   return s;
 }
 
-/// Names the synthetic generator accepts — generateByName aborts on
-/// anything else, so untrusted requests are screened here.
-bool knownBenchName(const std::string& name) {
-  if (name == "c17" || name == "toyseq") return true;
-  for (const auto& spec : iwls2005Specs())
-    if (spec.name == name) return true;
-  return false;
-}
+/// Ceiling on "generate" request sizes — parameterised gen: specs from
+/// untrusted clients are capped well below the library's own kMaxGenCells
+/// so one request cannot monopolise the store budget or minutes of CPU.
+constexpr std::int64_t kServiceGenCellCap = 2'000'000;
 
 std::int64_t reqI64(const util::JsonValue& req, std::string_view key,
                     std::int64_t def) {
@@ -83,6 +79,7 @@ struct Service::ActiveRequest {
 };
 
 Service::Service(ServiceOptions opt) : opt_(opt), store_(opt.storeBudgetBytes) {
+  if (!opt_.storeSpillDir.empty()) store_.setSpillDir(opt_.storeSpillDir);
   if (opt_.threads > 0) {
     ownedPool_ = std::make_unique<runtime::ThreadPool>(opt_.threads);
     pool_ = ownedPool_.get();
@@ -287,12 +284,20 @@ std::string Service::doUpload(const util::JsonValue& req, std::int64_t id,
   Netlist nl;
   if (const util::JsonValue* gen = req.find("generate");
       gen && gen->isString()) {
-    if (!knownBenchName(gen->string)) {
+    try {
+      if (const std::optional<BenchSpec> spec = parseGenName(gen->string);
+          spec && spec->cells > kServiceGenCellCap) {
+        *outcome = "bad_request";
+        return errorResponse(
+            id, "upload", "bad_request",
+            "generate size cap is " + std::to_string(kServiceGenCellCap) +
+                " cells, got " + std::to_string(spec->cells));
+      }
+      nl = generateByName(gen->string);
+    } catch (const BenchGenError& e) {
       *outcome = "unknown_bench";
-      return errorResponse(id, "upload", "unknown_bench",
-                           "no synthetic benchmark named: " + gen->string);
+      return errorResponse(id, "upload", "unknown_bench", e.what());
     }
-    nl = generateByName(gen->string);
   } else if (const util::JsonValue* bench = req.find("bench");
              bench && bench->isString()) {
     try {

@@ -54,6 +54,10 @@ struct ServiceOptions {
   int maxQueue = 64;
   /// NetlistStore LRU byte budget.
   std::size_t storeBudgetBytes = 256u << 20;
+  /// When non-empty, evicted store entries spill to `<dir>/<handle>.gknb`
+  /// and are reloaded (hash-verified) on the next reference, so the budget
+  /// bounds residency without forgetting uploaded designs.
+  std::string storeSpillDir;
   std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
 };
 

@@ -1,5 +1,6 @@
 #include "service/store.h"
 
+#include "netlist/gknb_io.h"
 #include "service/proto.h"
 
 namespace gkll::service {
@@ -57,9 +58,47 @@ NetlistStore::InsertResult NetlistStore::insert(Netlist nl) {
 std::shared_ptr<StoreEntry> NetlistStore::find(const std::string& handle) {
   std::lock_guard<std::mutex> g(mu_);
   auto it = byHandle_.find(handle);
-  if (it == byHandle_.end()) return nullptr;
-  touchLocked(it->second);
-  return *byHandle_[handle];
+  if (it != byHandle_.end()) {
+    touchLocked(it->second);
+    return *byHandle_[handle];
+  }
+  if (spillDir_.empty()) return nullptr;
+
+  // Resident miss: try the spill file.  The reload is verified end to end —
+  // readGknb checks the embedded content hash over the reconstructed
+  // netlist, and we additionally require that hash to reproduce the
+  // handle's content part, so a renamed or substituted spill file cannot
+  // serve the wrong design under this handle.
+  GknbReadResult loaded = readGknbFile(spillPathLocked(handle));
+  if (!loaded.ok) return nullptr;
+  const std::uint64_t h =
+      hashFn_ ? hashFn_(loaded.netlist) : loaded.netlist.contentHash();
+  const std::string base = handle.substr(0, handle.find('#'));
+  if (hashHandle(h) != base) return nullptr;
+
+  auto entry = std::make_shared<StoreEntry>();
+  entry->handle = handle;
+  entry->hash = h;
+  entry->netlist = std::move(loaded.netlist);
+  entry->bytes = approxNetlistBytes(entry->netlist);
+  lru_.push_front(entry);
+  byHandle_[handle] = lru_.begin();
+  bytes_ += entry->bytes;
+  ++spillLoads_;
+  evictOverBudgetLocked();
+  return entry;
+}
+
+void NetlistStore::setSpillDir(std::string dir) {
+  std::lock_guard<std::mutex> g(mu_);
+  spillDir_ = std::move(dir);
+}
+
+std::string NetlistStore::spillPathLocked(const std::string& handle) const {
+  std::string file = handle;
+  for (char& c : file)
+    if (c == '#') c = '_';
+  return spillDir_ + "/" + file + ".gknb";
 }
 
 NetlistStore::Stats NetlistStore::stats() const {
@@ -72,6 +111,8 @@ NetlistStore::Stats NetlistStore::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.collisions = collisions_;
+  s.spillWrites = spillWrites_;
+  s.spillLoads = spillLoads_;
   return s;
 }
 
@@ -83,6 +124,9 @@ void NetlistStore::touchLocked(LruList::iterator it) {
 void NetlistStore::evictOverBudgetLocked() {
   while (bytes_ > budget_ && lru_.size() > 1) {
     const std::shared_ptr<StoreEntry> victim = lru_.back();
+    if (!spillDir_.empty() &&
+        writeGknbFile(victim->netlist, spillPathLocked(victim->handle)))
+      ++spillWrites_;
     bytes_ -= victim->bytes;
     byHandle_.erase(victim->handle);
     lru_.pop_back();

@@ -87,8 +87,20 @@ class NetlistStore {
   /// hash slot is taken by a structurally different design.
   InsertResult insert(Netlist nl);
 
-  /// Look up by handle; bumps the entry's LRU position.
+  /// Look up by handle; bumps the entry's LRU position.  With a spill
+  /// directory configured, a resident miss falls back to reloading the
+  /// handle's .gknb spill file, so eviction demotes entries to disk
+  /// instead of forgetting them (warm sessions/miters are still dropped —
+  /// only the design itself is durable).
   std::shared_ptr<StoreEntry> find(const std::string& handle);
+
+  /// Enable disk spill: evicted entries are serialised to
+  /// `<dir>/<handle>.gknb` (the '#' of collision-suffixed handles spelled
+  /// '_') and transparently reloaded by find().  Reloads are verified —
+  /// the file's content hash must reproduce the handle, so a swapped or
+  /// corrupted spill file is a miss, never a wrong netlist.  Empty string
+  /// disables spilling.
+  void setSpillDir(std::string dir);
 
   struct Stats {
     std::size_t entries = 0;
@@ -98,6 +110,8 @@ class NetlistStore {
     std::uint64_t misses = 0;      ///< insert() fresh entries
     std::uint64_t evictions = 0;
     std::uint64_t collisions = 0;  ///< hash-equal, structurally different
+    std::uint64_t spillWrites = 0; ///< evictions serialised to disk
+    std::uint64_t spillLoads = 0;  ///< find() misses served from disk
   };
   Stats stats() const;
 
@@ -112,9 +126,12 @@ class NetlistStore {
   void touchLocked(LruList::iterator it);  ///< move to front (most recent)
   void evictOverBudgetLocked();
 
+  std::string spillPathLocked(const std::string& handle) const;
+
   mutable std::mutex mu_;
   std::size_t budget_;
   std::size_t bytes_ = 0;
+  std::string spillDir_;
   std::function<std::uint64_t(const Netlist&)> hashFn_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::string, LruList::iterator> byHandle_;
@@ -122,6 +139,8 @@ class NetlistStore {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t collisions_ = 0;
+  std::uint64_t spillWrites_ = 0;
+  std::uint64_t spillLoads_ = 0;
 };
 
 }  // namespace gkll::service

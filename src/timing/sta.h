@@ -78,6 +78,17 @@ class Sta {
   const CellLibrary& library() const { return lib_; }
   Ps clockPeriod() const { return cfg_.clockPeriod; }
 
+  /// Retarget the clock period without rebuilding the analyzer (skews and
+  /// the netlist binding are preserved).  The flow's binary search over
+  /// candidate periods re-runs analysis at each probe; rebuilding an Sta
+  /// per probe re-paid the flop-index construction every time.
+  void setClockPeriod(Ps p) { cfg_.clockPeriod = p; }
+
+  const Netlist& netlist() const { return nl_; }
+  const StaConfig& config() const { return cfg_; }
+  /// Per-flop clock arrivals in flops() order.
+  const std::vector<Ps>& clockArrivals() const { return clockArrival_; }
+
  private:
   std::size_t flopIndex(GateId ff) const;
 

@@ -1,0 +1,258 @@
+#include "timing/sta_incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gkll {
+
+StaIncremental::StaIncremental(const Sta& sta)
+    : nl_(sta.netlist()),
+      lib_(sta.library()),
+      cn_(CompiledNetlist::compile(nl_)),
+      clockPeriod_(sta.config().clockPeriod),
+      inputArrival_(sta.config().inputArrival),
+      clockArrival_(sta.clockArrivals()),
+      numGates_(nl_.numGates()),
+      numNets_(nl_.numNets()) {
+  topoPos_.assign(nl_.numGates(), -1);
+  const auto comb = cn_.combGates();
+  for (std::size_t i = 0; i < comb.size(); ++i)
+    topoPos_[comb[i]] = static_cast<std::int32_t>(i);
+
+  flopDeadlineBase_.assign(nl_.numNets(), INT64_MAX);
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const NetId d = nl_.gate(nl_.flops()[i]).fanin[0];
+    flopDeadlineBase_[d] =
+        std::min(flopDeadlineBase_[d], clockArrival_[i] - lib_.setupTime());
+  }
+  isPo_.assign(nl_.numNets(), 0);
+  for (NetId po : nl_.outputs()) isPo_[po] = 1;
+
+  fwdQueued_.assign(nl_.numGates(), 0);
+  bwdQueued_.assign(nl_.numNets(), 0);
+
+  fullForward();
+  fullBackward();
+}
+
+Ps StaIncremental::gateDMax(GateId g) const {
+  if (cn_.kind(g) == CellKind::kDelay) return nl_.gate(g).delayPs;
+  const CellInfo ci = lib_.info(cn_.kind(g), cn_.drive(g));
+  return std::max(ci.rise, ci.fall);
+}
+
+void StaIncremental::fullForward() {
+  r_.maxArrival.assign(nl_.numNets(), 0);
+  r_.minArrival.assign(nl_.numNets(), 0);
+  for (GateId g : cn_.sourceGates()) {
+    const NetId out = cn_.out(g);
+    const Ps t = cn_.kind(g) == CellKind::kInput ? inputArrival_ : 0;
+    r_.maxArrival[out] = t;
+    r_.minArrival[out] = t;
+  }
+  for (std::size_t i = 0; i < cn_.flops().size(); ++i) {
+    const NetId q = cn_.out(cn_.flops()[i]);
+    const Ps launch = clockArrival_[i] + lib_.clkToQ();
+    r_.maxArrival[q] = launch;
+    r_.minArrival[q] = launch;
+  }
+  for (GateId g : cn_.combGates()) {
+    const NetId out = cn_.out(g);
+    if (out == kNoNet) continue;
+    Ps maxIn = INT64_MIN, minIn = INT64_MAX;
+    for (NetId in : cn_.fanin(g)) {
+      maxIn = std::max(maxIn, r_.maxArrival[in]);
+      minIn = std::min(minIn, r_.minArrival[in]);
+    }
+    Ps dMax, dMin;
+    if (cn_.kind(g) == CellKind::kDelay) {
+      dMax = dMin = nl_.gate(g).delayPs;
+    } else {
+      const CellInfo ci = lib_.info(cn_.kind(g), cn_.drive(g));
+      dMax = std::max(ci.rise, ci.fall);
+      dMin = std::min(ci.rise, ci.fall);
+    }
+    const Ps wire = nl_.net(out).wireDelay;
+    r_.maxArrival[out] = maxIn + dMax + wire;
+    r_.minArrival[out] = minIn + dMin + wire;
+  }
+  aggregatesDirty_ = true;
+}
+
+void StaIncremental::fullBackward() {
+  r_.requiredMax.assign(nl_.numNets(), INT64_MAX);
+  for (NetId po : nl_.outputs()) r_.requiredMax[po] = clockPeriod_;
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const NetId d = nl_.gate(nl_.flops()[i]).fanin[0];
+    r_.requiredMax[d] = std::min(
+        r_.requiredMax[d], clockArrival_[i] + clockPeriod_ - lib_.setupTime());
+  }
+  const auto comb = cn_.combGates();
+  for (auto it = comb.rbegin(); it != comb.rend(); ++it) {
+    const GateId g = *it;
+    const NetId out = cn_.out(g);
+    if (out == kNoNet) continue;
+    const Ps req = r_.requiredMax[out];
+    if (req == INT64_MAX) continue;
+    const Ps budget = req - gateDMax(g) - nl_.net(out).wireDelay;
+    for (NetId in : cn_.fanin(g))
+      r_.requiredMax[in] = std::min(r_.requiredMax[in], budget);
+  }
+  ++stats_.fullBackward;
+  aggregatesDirty_ = true;
+}
+
+void StaIncremental::recomputeForwardGate(GateId g,
+                                          std::vector<NetId>& changedOut) {
+  const NetId out = cn_.out(g);
+  if (out == kNoNet) return;
+  Ps maxIn = INT64_MIN, minIn = INT64_MAX;
+  for (NetId in : cn_.fanin(g)) {
+    maxIn = std::max(maxIn, r_.maxArrival[in]);
+    minIn = std::min(minIn, r_.minArrival[in]);
+  }
+  Ps dMax, dMin;
+  if (cn_.kind(g) == CellKind::kDelay) {
+    dMax = dMin = nl_.gate(g).delayPs;
+  } else {
+    const CellInfo ci = lib_.info(cn_.kind(g), cn_.drive(g));
+    dMax = std::max(ci.rise, ci.fall);
+    dMin = std::min(ci.rise, ci.fall);
+  }
+  const Ps wire = nl_.net(out).wireDelay;
+  const Ps newMax = maxIn + dMax + wire;
+  const Ps newMin = minIn + dMin + wire;
+  if (newMax != r_.maxArrival[out] || newMin != r_.minArrival[out]) {
+    r_.maxArrival[out] = newMax;
+    r_.minArrival[out] = newMin;
+    changedOut.push_back(out);
+  }
+}
+
+Ps StaIncremental::recomputeRequired(NetId m) const {
+  Ps req = INT64_MAX;
+  if (isPo_[m]) req = clockPeriod_;
+  if (flopDeadlineBase_[m] != INT64_MAX)
+    req = std::min(req, flopDeadlineBase_[m] + clockPeriod_);
+  for (GateId rdr : nl_.net(m).fanouts) {
+    if (topoPos_[rdr] < 0) continue;  // flop D pins covered by the base
+    const NetId out = cn_.out(rdr);
+    const Ps ro = r_.requiredMax[out];
+    if (ro == INT64_MAX) continue;  // untimed sink, as in the full pass
+    req = std::min(req, ro - gateDMax(rdr) - nl_.net(out).wireDelay);
+  }
+  return req;
+}
+
+void StaIncremental::seedBackwardFromDriverFanins(NetId n) {
+  const GateId g = nl_.net(n).driver;
+  if (g == kNoGate || topoPos_[g] < 0) return;
+  for (NetId in : cn_.fanin(g)) {
+    if (bwdQueued_[in]) continue;
+    bwdQueued_[in] = 1;
+    const GateId d = nl_.net(in).driver;
+    bwdHeap_.push({d == kNoGate ? -1 : topoPos_[d], in});
+  }
+}
+
+void StaIncremental::propagateBackward() {
+  while (!bwdHeap_.empty()) {
+    const NetId m = bwdHeap_.top().second;
+    bwdHeap_.pop();
+    bwdQueued_[m] = 0;
+    ++stats_.netsBackward;
+    const Ps nr = recomputeRequired(m);
+    if (nr == r_.requiredMax[m]) continue;
+    r_.requiredMax[m] = nr;
+    seedBackwardFromDriverFanins(m);
+  }
+}
+
+void StaIncremental::updateAfterDelayEdit(NetId n) {
+  assert(nl_.numGates() == numGates_ && nl_.numNets() == numNets_ &&
+         "structural edit invalidates the incremental session");
+  ++stats_.edits;
+
+  // Forward: the edit shows up at driver(n)'s output; arrivals ripple
+  // strictly downstream in topological order.
+  const GateId seed = nl_.net(n).driver;
+  if (seed != kNoGate && topoPos_[seed] >= 0 && !fwdQueued_[seed]) {
+    fwdQueued_[seed] = 1;
+    fwdHeap_.push({topoPos_[seed], seed});
+  }
+  std::vector<NetId> changed;
+  while (!fwdHeap_.empty()) {
+    const GateId g = fwdHeap_.top().second;
+    fwdHeap_.pop();
+    fwdQueued_[g] = 0;
+    ++stats_.gatesForward;
+    changed.clear();
+    recomputeForwardGate(g, changed);
+    for (NetId out : changed) {
+      for (GateId rdr : nl_.net(out).fanouts) {
+        if (topoPos_[rdr] < 0 || fwdQueued_[rdr]) continue;
+        fwdQueued_[rdr] = 1;
+        fwdHeap_.push({topoPos_[rdr], rdr});
+      }
+    }
+  }
+
+  // Backward: requiredMax is arrival-independent, so only the upstream
+  // cone of the edited element moves (its fanins see a new budget).
+  seedBackwardFromDriverFanins(n);
+  propagateBackward();
+  aggregatesDirty_ = true;
+}
+
+void StaIncremental::setClockPeriod(Ps p) {
+  clockPeriod_ = p;
+  fullBackward();
+}
+
+const StaResult& StaIncremental::result() {
+  if (!aggregatesDirty_) return r_;
+  r_.worstSetupSlack = INT64_MAX;
+  r_.worstHoldSlack = INT64_MAX;
+  r_.criticalDelay = 0;
+  r_.setupSlack.clear();
+  r_.holdSlack.clear();
+  r_.poSlack.clear();
+  r_.setupSlack.reserve(nl_.flops().size());
+  r_.holdSlack.reserve(nl_.flops().size());
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const Gate& ff = nl_.gate(nl_.flops()[i]);
+    const NetId d = ff.fanin[0];
+    const Ps capture = clockArrival_[i] + clockPeriod_;
+    const Ps setup = capture - lib_.setupTime() - r_.maxArrival[d];
+    const Ps hold = r_.minArrival[d] - (clockArrival_[i] + lib_.holdTime());
+    r_.setupSlack.push_back(setup);
+    r_.holdSlack.push_back(hold);
+    r_.worstSetupSlack = std::min(r_.worstSetupSlack, setup);
+    r_.worstHoldSlack = std::min(r_.worstHoldSlack, hold);
+    r_.criticalDelay = std::max(r_.criticalDelay, r_.maxArrival[d]);
+  }
+  for (NetId po : nl_.outputs()) {
+    const Ps slack = clockPeriod_ - r_.maxArrival[po];
+    r_.poSlack.push_back(slack);
+    r_.worstSetupSlack = std::min(r_.worstSetupSlack, slack);
+    r_.criticalDelay = std::max(r_.criticalDelay, r_.maxArrival[po]);
+  }
+  if (r_.worstSetupSlack == INT64_MAX) r_.worstSetupSlack = clockPeriod_;
+  if (r_.worstHoldSlack == INT64_MAX) r_.worstHoldSlack = clockPeriod_;
+  aggregatesDirty_ = false;
+  return r_;
+}
+
+Ps StaIncremental::minClockPeriod(Ps quantum) const {
+  Ps need = 0;
+  for (std::size_t i = 0; i < nl_.flops().size(); ++i) {
+    const Gate& ff = nl_.gate(nl_.flops()[i]);
+    need = std::max(need, r_.maxArrival[ff.fanin[0]] + lib_.setupTime() -
+                              clockArrival_[i]);
+  }
+  for (NetId po : nl_.outputs())
+    need = std::max(need, r_.maxArrival[po]);
+  return (need + quantum - 1) / quantum * quantum;
+}
+
+}  // namespace gkll

@@ -1,0 +1,112 @@
+// Incremental static timing analysis for delay-value edits.
+//
+// The GK insertion flow calls STA in a tight loop: insert one delay
+// element (or retune its value), re-analyse, decide, repeat.  A full
+// Sta::run() recompiles the netlist and sweeps every gate forward and
+// backward on each probe — O(G) per edit, O(G * edits) per flow.  This
+// session object compiles the design once and, per edit, re-propagates
+// arrival and required times only through the affected cone, which for a
+// single delay element is typically a few hundred gates of a million.
+//
+// Scope and invalidation rules:
+//   - Supported edits: the delayPs of an existing kDelay gate, and the
+//     wireDelay of an existing net.  After mutating the Netlist, call
+//     updateAfterDelayEdit(net) with the delay gate's output net (or the
+//     net whose wireDelay changed).  setClockPeriod() retargets the
+//     capture deadline, reusing all forward arrivals.
+//   - NOT supported: structural edits (adding/removing gates or nets,
+//     rewiring pins) and clock-skew edits.  Those change the compiled
+//     topology or the launch times this session snapshotted — discard the
+//     session and build a new one.  Gate/net counts are asserted so a
+//     structural edit trips immediately in debug builds.
+//
+// result() is byte-identical to Sta::run() on the same netlist state:
+// every field of StaResult, including requiredMax sentinels, matches the
+// full analysis exactly (the scale benchmark and tests enforce this).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "netlist/compiled.h"
+#include "timing/sta.h"
+
+namespace gkll {
+
+class StaIncremental {
+ public:
+  /// Snapshot the analyzer's configuration (clock period, input arrival,
+  /// per-flop skews) and run the initial full propagation.
+  explicit StaIncremental(const Sta& sta);
+
+  /// Re-propagate after the delayPs of driver(n) or the wireDelay of `n`
+  /// changed.  Touches only the downstream arrival cone and the upstream
+  /// required cone of the edit.
+  void updateAfterDelayEdit(NetId n);
+
+  /// Retarget the capture clock period: redoes the backward required pass
+  /// and the per-sink aggregates, reuses every forward arrival.
+  void setClockPeriod(Ps p);
+  Ps clockPeriod() const { return clockPeriod_; }
+
+  /// The full analysis result for the current netlist state.  Aggregates
+  /// (slacks, worst figures, critical delay) are finalised lazily here.
+  const StaResult& result();
+
+  /// Smallest clock period meeting setup timing at the current arrivals
+  /// (same contract as Sta::minClockPeriod, without a re-sweep).
+  Ps minClockPeriod(Ps quantum = 100) const;
+
+  struct Stats {
+    std::uint64_t edits = 0;
+    std::uint64_t gatesForward = 0;   ///< gate recomputes, forward pass
+    std::uint64_t netsBackward = 0;   ///< net recomputes, backward pass
+    std::uint64_t fullBackward = 0;   ///< whole-design required re-sweeps
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Ps gateDMax(GateId g) const;
+  void recomputeForwardGate(GateId g, std::vector<NetId>& changedOut);
+  Ps recomputeRequired(NetId m) const;
+  void fullForward();
+  void fullBackward();
+  void seedBackwardFromDriverFanins(NetId n);
+  void propagateBackward();
+
+  const Netlist& nl_;
+  const CellLibrary& lib_;
+  const CompiledNetlist cn_;
+  Ps clockPeriod_;
+  Ps inputArrival_;
+  std::vector<Ps> clockArrival_;  ///< per flop, flops() order (snapshot)
+
+  /// Structural-edit tripwires: counts at construction.
+  std::size_t numGates_;
+  std::size_t numNets_;
+
+  /// Position of each comb gate in cn_.combGates() order (-1 = source /
+  /// flop / tombstone) — the worklist priority.
+  std::vector<std::int32_t> topoPos_;
+  /// min over flops with D == net of (T_i - Tsetup); INT64_MAX when the
+  /// net feeds no flop.  Deadline = base + clockPeriod.
+  std::vector<Ps> flopDeadlineBase_;
+  std::vector<std::uint8_t> isPo_;
+
+  StaResult r_;          ///< arrival/required arrays always current
+  bool aggregatesDirty_ = true;
+
+  // Worklists (persist to avoid reallocation per edit).
+  std::priority_queue<std::pair<std::int32_t, GateId>,
+                      std::vector<std::pair<std::int32_t, GateId>>,
+                      std::greater<>>
+      fwdHeap_;  ///< pops smallest topo position first
+  std::vector<std::uint8_t> fwdQueued_;  ///< per gate
+  std::priority_queue<std::pair<std::int32_t, NetId>> bwdHeap_;  ///< largest first
+  std::vector<std::uint8_t> bwdQueued_;  ///< per net
+
+  Stats stats_;
+};
+
+}  // namespace gkll

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "benchgen/synthetic_bench.h"
+#include "netlist/netlist_ops.h"
 #include "sat/cnf.h"
 
 namespace gkll {
@@ -155,6 +158,35 @@ TEST(BenchIo, FileRoundTrip) {
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.netlist.name(), "gkll_toy");
   EXPECT_EQ(r.netlist.stats().numCells, toy.stats().numCells);
+}
+
+// The stream overloads are the primary entry points (the string forms
+// wrap them); both directions must agree with the string forms exactly.
+TEST(BenchIo, StreamOverloadsMatchStringForms) {
+  const Netlist toy = makeToySeq();
+  std::ostringstream os;
+  writeBench(toy, os);
+  EXPECT_EQ(os.str(), writeBench(toy));
+
+  std::istringstream is(os.str());
+  const auto viaStream = parseBench(is, "toyseq");
+  const auto viaString = parseBench(os.str(), "toyseq");
+  ASSERT_TRUE(viaStream.ok) << viaStream.error;
+  ASSERT_TRUE(viaString.ok) << viaString.error;
+  EXPECT_EQ(viaStream.netlist.contentHash(), viaString.netlist.contentHash());
+  EXPECT_TRUE(structurallyEqual(viaStream.netlist, viaString.netlist));
+}
+
+TEST(BenchIo, StreamParseReportsLinesAcrossChunks) {
+  // A defect deep into the stream still carries its 1-based line number.
+  std::string text = "INPUT(a)\nOUTPUT(y)\n";
+  for (int i = 0; i < 200; ++i)
+    text += "n" + std::to_string(i) + " = NOT(a)\n";
+  text += "y = FROB(a)\n";  // line 203
+  std::istringstream is(text);
+  const auto r = parseBench(is);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.errorLine, 203);
 }
 
 TEST(BenchIo, MissingFileFails) {

@@ -8,6 +8,7 @@
 #include "flow/placement.h"
 #include "lock/glitch_keygate.h"
 #include "netlist/netlist_ops.h"
+#include "runtime/pool.h"
 
 namespace gkll {
 namespace {
@@ -101,6 +102,51 @@ TEST(AnalyzeFlops, ImpossibleGlitchMeansNoneAvailable) {
   const auto cands =
       analyzeFlops(a.nl, sta, gkTiming(p), FfSelectOptions{tooShort, 0});
   EXPECT_EQ(countAvailable(cands), 0u);
+}
+
+bool sameCandidate(const FfCandidate& a, const FfCandidate& b) {
+  return a.ff == b.ff && a.tArrival == b.tArrival && a.absLB == b.absLB &&
+         a.absUB == b.absUB && a.tCapture == b.tCapture &&
+         a.onGlitch.lo == b.onGlitch.lo && a.onGlitch.hi == b.onGlitch.hi &&
+         a.offGlitch.lo == b.offGlitch.lo &&
+         a.offGlitch.hi == b.offGlitch.hi && a.available == b.available;
+}
+
+// The pooled overload must reproduce the serial loop record-for-record,
+// whatever the pool shape — and the precomputed-StaResult path must equal
+// the run-it-yourself convenience wrapper.
+TEST(AnalyzeFlops, ParallelPoolMatchesSerial) {
+  const std::string name = "s5378";
+  Analysis a{generateByName(name), {}, 0, {}};
+  a.pr = placeAndRoute(a.nl, PlacementOptions{});
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  StaConfig cfg;
+  cfg.inputArrival = lib.clkToQ();
+  cfg.clockPeriod = ns(6);
+  Sta sta(a.nl, cfg);
+  for (std::size_t i = 0; i < a.nl.flops().size(); ++i)
+    sta.setClockArrival(a.nl.flops()[i], a.pr.clockArrival[i]);
+  GkParams p;
+  p.gkDelayA = ns(1) - lib.maxDelay(CellKind::kXnor2);
+  p.gkDelayB = ns(1) - lib.maxDelay(CellKind::kXor2);
+  const GkTiming gk = gkTiming(p);
+  const FfSelectOptions opt{ns(1), 150};
+
+  const StaResult timing = sta.run();
+  const auto serial = analyzeFlops(a.nl, sta, timing, gk, opt, nullptr);
+  // The precomputed-timing serial path IS the legacy wrapper.
+  const auto legacy = analyzeFlops(a.nl, sta, gk, opt);
+  ASSERT_EQ(serial.size(), legacy.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(sameCandidate(serial[i], legacy[i])) << "flop " << i;
+
+  runtime::ThreadPool one(1), four(4);
+  for (runtime::ThreadPool* pool : {&one, &four}) {
+    const auto par = analyzeFlops(a.nl, sta, timing, gk, opt, pool);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < par.size(); ++i)
+      EXPECT_TRUE(sameCandidate(par[i], serial[i])) << "flop " << i;
+  }
 }
 
 TEST(KarmakarGroup, MembersShareSignatureAndAreAvailable) {

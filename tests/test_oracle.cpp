@@ -26,6 +26,29 @@ TEST(CombOracle, MatchesDirectEvaluation) {
   EXPECT_EQ(oracle.numQueries(), 20u);
 }
 
+// Batches past 64 patterns switch CombOracle::queryBatch onto the wide
+// W-word sweep; the answers must be byte-identical to per-pattern queries
+// (and X patterns must flow through the wide path unchanged).
+TEST(CombOracle, LargeBatchWidePathMatchesPerQuery) {
+  const Netlist nl = generateByName("gen:800x0@2");  // combinational
+  CombOracle oracle(nl);
+  Rng rng(3);
+  std::vector<std::vector<Logic>> patterns(200);
+  for (auto& p : patterns) {
+    p.resize(nl.inputs().size());
+    for (Logic& v : p)
+      v = rng.chance(0.1) ? Logic::X : logicFromBool(rng.flip());
+  }
+  const auto batch = oracle.queryBatch(patterns);
+  ASSERT_EQ(batch.size(), patterns.size());
+
+  CombOracle ref(nl);
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    EXPECT_EQ(batch[i], ref.query(patterns[i])) << "pattern " << i;
+  // Batch accounting counts patterns, not sweeps.
+  EXPECT_EQ(oracle.numQueries(), patterns.size());
+}
+
 struct LockedFixture {
   Netlist orig = makeToySeq();
   GkFlowResult locked;

@@ -1,0 +1,199 @@
+#include "netlist/packed_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/synthetic_bench.h"
+#include "netlist/compiled.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+// Canonical random PackedBits: X lanes from `x`, value lanes only where
+// known (v & x == 0, the representation invariant).
+PackedBits randomWord(Rng& rng) {
+  const std::uint64_t x = rng.next() & rng.next();  // ~25% X lanes
+  return {rng.next() & ~x, x};
+}
+
+struct WideCase {
+  Netlist nl;
+  CompiledNetlist cn;
+  explicit WideCase(const std::string& name)
+      : nl(generateByName(name)), cn(CompiledNetlist::compile(nl)) {}
+};
+
+// The core identity: one W-word wide sweep equals W independent narrow
+// evalPacked passes on every net and every word, X lanes included, for
+// every kernel this machine can run.
+TEST(WideEval, MatchesNarrowEvalPackedPerWord) {
+  Rng rng(2024);
+  for (const char* name : {"c17", "toyseq", "s1238", "gen:3000x120@5"}) {
+    SCOPED_TRACE(name);
+    const WideCase c(name);
+    const std::size_t numPIs = c.nl.inputs().size();
+    const std::size_t numFfs = c.nl.flops().size();
+
+    for (const std::size_t W : {1u, 2u, 3u, 5u}) {
+      PackedLanes wideIn(numPIs, W), wideFf(numFfs, W);
+      std::vector<std::vector<PackedBits>> narrowIn(
+          W, std::vector<PackedBits>(numPIs));
+      std::vector<std::vector<PackedBits>> narrowFf(
+          W, std::vector<PackedBits>(numFfs));
+      for (std::size_t s = 0; s < numPIs; ++s)
+        for (std::size_t w = 0; w < W; ++w) {
+          const PackedBits b = randomWord(rng);
+          wideIn.setWord(s, w, b);
+          narrowIn[w][s] = b;
+        }
+      for (std::size_t s = 0; s < numFfs; ++s)
+        for (std::size_t w = 0; w < W; ++w) {
+          const PackedBits b = randomWord(rng);
+          wideFf.setWord(s, w, b);
+          narrowFf[w][s] = b;
+        }
+
+      std::vector<std::vector<PackedBits>> ref(W);
+      for (std::size_t w = 0; w < W; ++w)
+        c.cn.evalPacked(narrowIn[w], narrowFf[w], ref[w]);
+
+      for (const SimdLevel level :
+           {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+        if (!simdLevelAvailable(level)) continue;
+        SCOPED_TRACE(simdLevelName(level));
+        const WideEvaluator wide(c.cn, level);
+        ASSERT_EQ(wide.simd(), level);
+        WideEvaluator::Buffer buf;
+        wide.eval(wideIn, wideFf, buf);
+        ASSERT_EQ(buf.words(), W);
+        for (NetId n = 0; n < c.nl.numNets(); ++n)
+          for (std::size_t w = 0; w < W; ++w)
+            ASSERT_EQ(wide.netWord(buf, n, w), ref[w][n])
+                << "net " << n << " word " << w << " W=" << W;
+      }
+    }
+  }
+}
+
+TEST(WideEval, OutputWordsMatchOutputLanes) {
+  Rng rng(7);
+  const WideCase c("s1238");
+  const std::size_t W = 3;
+  PackedLanes wideIn(c.nl.inputs().size(), W),
+      wideFf(c.nl.flops().size(), W);  // flops float at X
+  std::vector<std::vector<PackedBits>> narrowIn(
+      W, std::vector<PackedBits>(c.nl.inputs().size()));
+  for (std::size_t s = 0; s < c.nl.inputs().size(); ++s)
+    for (std::size_t w = 0; w < W; ++w) {
+      const PackedBits b = randomWord(rng);
+      wideIn.setWord(s, w, b);
+      narrowIn[w][s] = b;
+    }
+  const std::vector<PackedBits> narrowFf(c.nl.flops().size());  // all X
+
+  const WideEvaluator wide(c.cn);
+  WideEvaluator::Buffer buf;
+  wide.eval(wideIn, wideFf, buf);
+  for (std::size_t w = 0; w < W; ++w) {
+    std::vector<PackedBits> nets;
+    c.cn.evalPacked(narrowIn[w], narrowFf, nets);
+    EXPECT_EQ(wide.outputWords(buf, w), c.cn.outputLanes(nets));
+  }
+}
+
+// Missing trailing inputs float at X, exactly like a short narrow span.
+TEST(WideEval, ShortInputLanesFloatAtX) {
+  const WideCase c("c17");
+  const WideEvaluator wide(c.cn);
+  WideEvaluator::Buffer buf;
+  const PackedLanes in(2, 1);  // only 2 of c17's 5 PIs, themselves all X
+  const PackedLanes ff(0, 1);
+  wide.eval(in, ff, buf);
+  std::vector<PackedBits> nets;
+  c.cn.evalPacked(std::vector<PackedBits>(2), {}, nets);
+  for (NetId n = 0; n < c.nl.numNets(); ++n)
+    EXPECT_EQ(wide.netWord(buf, n, 0), nets[n]) << "net " << n;
+}
+
+// A Buffer grown by a wide evaluation shrinks/regrows cleanly when the
+// same buffer is reused with a different word count.
+TEST(WideEval, BufferReuseAcrossWordCounts) {
+  Rng rng(99);
+  const WideCase c("toyseq");
+  const WideEvaluator wide(c.cn);
+  WideEvaluator::Buffer buf;
+  for (const std::size_t W : {4u, 1u, 6u}) {
+    PackedLanes in(c.nl.inputs().size(), W), ff(c.nl.flops().size(), W);
+    std::vector<std::vector<PackedBits>> narrowIn(
+        W, std::vector<PackedBits>(c.nl.inputs().size()));
+    std::vector<std::vector<PackedBits>> narrowFf(
+        W, std::vector<PackedBits>(c.nl.flops().size()));
+    for (std::size_t s = 0; s < c.nl.inputs().size(); ++s)
+      for (std::size_t w = 0; w < W; ++w) {
+        const PackedBits b = randomWord(rng);
+        in.setWord(s, w, b);
+        narrowIn[w][s] = b;
+      }
+    for (std::size_t s = 0; s < c.nl.flops().size(); ++s)
+      for (std::size_t w = 0; w < W; ++w) {
+        const PackedBits b = randomWord(rng);
+        ff.setWord(s, w, b);
+        narrowFf[w][s] = b;
+      }
+    wide.eval(in, ff, buf);
+    ASSERT_EQ(buf.words(), W);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<PackedBits> nets;
+      c.cn.evalPacked(narrowIn[w], narrowFf[w], nets);
+      for (NetId n = 0; n < c.nl.numNets(); ++n)
+        ASSERT_EQ(wide.netWord(buf, n, w), nets[n]) << "W=" << W;
+    }
+  }
+}
+
+// The row kernel behind the withholding cone-LUT pass: W words of
+// evalWideCellRows equal W calls of evalPackedCell, for a sample of every
+// arity class including LUTs.
+TEST(WideEval, CellRowsMatchScalarHelperPerWord) {
+  Rng rng(31);
+  const std::size_t W = 5;
+  const struct {
+    CellKind kind;
+    std::uint64_t mask;
+  } cases[] = {
+      {CellKind::kInv, 0},  {CellKind::kAnd2, 0}, {CellKind::kNor3, 0},
+      {CellKind::kXor2, 0}, {CellKind::kMux2, 0}, {CellKind::kLut, 0},
+  };
+  for (auto [kind, mask] : cases) {
+    const int arity = kind == CellKind::kLut ? 4 : cellNumInputs(kind);
+    if (kind == CellKind::kLut) mask = rng.next();
+    std::vector<std::vector<PackedBits>> rows(
+        static_cast<std::size_t>(arity), std::vector<PackedBits>(W));
+    std::vector<const PackedBits*> ins;
+    for (auto& row : rows) {
+      for (PackedBits& b : row) b = randomWord(rng);
+      ins.push_back(row.data());
+    }
+    std::vector<PackedBits> out(W);
+    evalWideCellRows(kind, ins, out.data(), W, mask);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<PackedBits> scalarIns;
+      for (const auto& row : rows) scalarIns.push_back(row[w]);
+      EXPECT_EQ(out[w], evalPackedCell(kind, scalarIns, mask))
+          << cellKindName(kind) << " word " << w;
+    }
+  }
+}
+
+TEST(WideEval, EnvOverrideNeverExceedsAvailable) {
+  // bestSimdLevel() must return something runnable regardless of the
+  // GKLL_SIMD override already in the environment.
+  EXPECT_TRUE(simdLevelAvailable(bestSimdLevel()));
+  EXPECT_TRUE(simdLevelAvailable(SimdLevel::kScalar));
+}
+
+}  // namespace
+}  // namespace gkll

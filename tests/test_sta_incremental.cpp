@@ -1,0 +1,185 @@
+#include "timing/sta_incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/synthetic_bench.h"
+#include "timing/sta.h"
+#include "util/rng.h"
+
+namespace gkll {
+namespace {
+
+bool sameResult(const StaResult& a, const StaResult& b) {
+  return a.maxArrival == b.maxArrival && a.minArrival == b.minArrival &&
+         a.requiredMax == b.requiredMax && a.setupSlack == b.setupSlack &&
+         a.holdSlack == b.holdSlack && a.poSlack == b.poSlack &&
+         a.worstSetupSlack == b.worstSetupSlack &&
+         a.worstHoldSlack == b.worstHoldSlack &&
+         a.criticalDelay == b.criticalDelay;
+}
+
+// One circuit with ideal delay elements spliced before a handful of flop
+// D pins (the GK insertion shape) plus per-flop clock skews — the exact
+// session the flow retunes in a loop.
+struct EditFixture {
+  Netlist nl;
+  const CellLibrary& lib = CellLibrary::tsmc013c();
+  StaConfig cfg;
+  std::vector<Ps> skew;
+  std::vector<GateId> delayGates;
+  std::vector<NetId> delayNets;
+
+  explicit EditFixture(const std::string& name, std::size_t hosts = 6)
+      : nl(generateByName(name)) {
+    cfg.inputArrival = lib.clkToQ();
+    cfg.clockPeriod = ns(10);
+    Rng rng(17);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      skew.push_back(static_cast<Ps>(rng.next() % 120));
+    const std::size_t stride =
+        std::max<std::size_t>(1, nl.flops().size() / hosts);
+    for (std::size_t i = 0; i < hosts && i * stride < nl.flops().size(); ++i) {
+      const GateId ff = nl.flops()[i * stride];
+      const NetId d = nl.gate(ff).fanin[0];
+      const NetId mid = nl.addNet("inc_dly" + std::to_string(i));
+      delayGates.push_back(nl.addDelay(d, mid, 0));
+      delayNets.push_back(mid);
+      nl.replaceFanin(ff, d, mid);
+    }
+  }
+
+  Sta makeSta() const {
+    Sta sta(nl, cfg, lib);
+    for (std::size_t i = 0; i < nl.flops().size(); ++i)
+      sta.setClockArrival(nl.flops()[i], skew[i]);
+    return sta;
+  }
+
+  StaResult fullRun() const {
+    Sta sta = makeSta();
+    return sta.run();
+  }
+};
+
+TEST(StaIncremental, InitialResultMatchesFullRun) {
+  for (const char* name : {"toyseq", "s1238", "s5378"}) {
+    SCOPED_TRACE(name);
+    EditFixture f(name);
+    Sta sta = f.makeSta();
+    StaIncremental inc(sta);
+    EXPECT_TRUE(sameResult(inc.result(), f.fullRun()));
+    EXPECT_EQ(inc.minClockPeriod(100), sta.minClockPeriod(100));
+  }
+}
+
+// The core identity: after every randomised delayPs / wireDelay edit,
+// the incremental result equals a from-scratch full analysis, field for
+// field — including the untimed-sink requiredMax sentinels.
+TEST(StaIncremental, RandomizedDelayEditsMatchFullRun) {
+  for (const char* name : {"toyseq", "s1238", "s9234"}) {
+    SCOPED_TRACE(name);
+    EditFixture f(name);
+
+    // Edit targets: the spliced delay gates plus arbitrary comb nets for
+    // wireDelay edits (Sta charges wire only on gate-driven nets, but the
+    // identity must hold wherever the edit lands).
+    std::vector<NetId> wireNets;
+    for (NetId n = 0; n < f.nl.numNets() && wireNets.size() < 8; n += 7) {
+      const GateId drv = f.nl.net(n).driver;
+      if (drv == kNoGate) continue;
+      const CellKind k = f.nl.gate(drv).kind;
+      if (k == CellKind::kInput || k == CellKind::kDff) continue;
+      wireNets.push_back(n);
+    }
+    ASSERT_FALSE(wireNets.empty());
+
+    Sta sta = f.makeSta();
+    StaIncremental inc(sta);
+    Rng rng(101);
+    for (int k = 0; k < 40; ++k) {
+      if (rng.flip()) {
+        const std::size_t j = rng.next() % f.delayGates.size();
+        f.nl.gate(f.delayGates[j]).delayPs =
+            static_cast<Ps>(rng.next() % 1500);
+        inc.updateAfterDelayEdit(f.delayNets[j]);
+      } else {
+        const NetId n = wireNets[rng.next() % wireNets.size()];
+        f.nl.net(n).wireDelay = static_cast<Ps>(rng.next() % 300);
+        inc.updateAfterDelayEdit(n);
+      }
+      ASSERT_TRUE(sameResult(inc.result(), f.fullRun())) << "edit " << k;
+    }
+    EXPECT_EQ(inc.stats().edits, 40u);
+  }
+}
+
+TEST(StaIncremental, SetClockPeriodRetargetsWithoutForwardResweep) {
+  EditFixture f("s1238");
+  Sta sta = f.makeSta();
+  StaIncremental inc(sta);
+  const std::uint64_t fwdBefore = inc.stats().gatesForward;
+  for (const Ps period : {ns(4), ns(25), ns(10)}) {
+    f.cfg.clockPeriod = period;
+    inc.setClockPeriod(period);
+    EXPECT_EQ(inc.clockPeriod(), period);
+    ASSERT_TRUE(sameResult(inc.result(), f.fullRun())) << period;
+  }
+  // Retargeting reuses every forward arrival.
+  EXPECT_EQ(inc.stats().gatesForward, fwdBefore);
+  EXPECT_GE(inc.stats().fullBackward, 3u);
+}
+
+// Sta::run charges wireDelay only on gate-driven nets; a source net's
+// wire edit must leave the incremental result exactly where a full run
+// lands (i.e. unchanged), not half-applied.
+TEST(StaIncremental, SourceNetWireEditIsANoOp) {
+  EditFixture f("toyseq");
+  Sta sta = f.makeSta();
+  StaIncremental inc(sta);
+  const StaResult before = inc.result();
+
+  const NetId pi = f.nl.inputs()[0];
+  f.nl.net(pi).wireDelay = 777;
+  inc.updateAfterDelayEdit(pi);
+  EXPECT_TRUE(sameResult(inc.result(), before));
+  EXPECT_TRUE(sameResult(inc.result(), f.fullRun()));
+}
+
+// Interleaved edits + retargets through one session: the flow's actual
+// usage pattern (probe at a derived period, retune, re-probe).
+TEST(StaIncremental, InterleavedEditsAndRetargetsStayExact) {
+  EditFixture f("s5378");
+  Sta sta = f.makeSta();
+  StaIncremental inc(sta);
+  Rng rng(5);
+  for (int k = 0; k < 12; ++k) {
+    const std::size_t j = rng.next() % f.delayGates.size();
+    f.nl.gate(f.delayGates[j]).delayPs = static_cast<Ps>(rng.next() % 900);
+    inc.updateAfterDelayEdit(f.delayNets[j]);
+    if (k % 3 == 2) {
+      const Ps p = inc.minClockPeriod(100);
+      f.cfg.clockPeriod = p;
+      inc.setClockPeriod(p);
+    }
+    ASSERT_TRUE(sameResult(inc.result(), f.fullRun())) << "step " << k;
+  }
+}
+
+TEST(StaIncremental, EditConeIsSmallerThanTheDesign) {
+  EditFixture f("s9234", /*hosts=*/1);
+  Sta sta = f.makeSta();
+  StaIncremental inc(sta);
+  const std::uint64_t fwd0 = inc.stats().gatesForward;
+  f.nl.gate(f.delayGates[0]).delayPs = 400;
+  inc.updateAfterDelayEdit(f.delayNets[0]);
+  // A delay element feeding one flop D pin has no combinational readers:
+  // the forward ripple must touch a small cone, not re-sweep the design.
+  EXPECT_LT(inc.stats().gatesForward - fwd0, f.nl.numGates() / 4);
+  EXPECT_TRUE(sameResult(inc.result(), f.fullRun()));
+}
+
+}  // namespace
+}  // namespace gkll

@@ -14,11 +14,13 @@
 //     truncated tail validates (that is the crash-safety contract) but the
 //     damage is reported.
 //
-//   gkll_report gate BENCH.json [--min-speedup X]
+//   gkll_report gate BENCH.json [--min-speedup X] [--min FIELD=X ...]
 //     CI gate over one dual-run bench artifact: fails when the recorded
 //     parallel run was not byte-identical to the serial run
-//     (parallel_identical != 1) or, with --min-speedup, when the measured
-//     serial/parallel speedup is below the floor.
+//     (parallel_identical != 1), with --min-speedup when the measured
+//     serial/parallel speedup is below the floor, or with --min when any
+//     named field is missing or below its floor (repeatable — the scale
+//     bench gates wide_speedup and sta_incremental_speedup this way).
 //
 // Exit codes: 0 ok, 1 regression/validation failure, 2 usage error.
 #include <cstdio>
@@ -39,7 +41,8 @@ int usage() {
       "usage: gkll_report compare BASELINE CURRENT [--tolerance PCT]\n"
       "                   [--metric-tolerance NAME=PCT ...] [--all]\n"
       "       gkll_report validate FILE...\n"
-      "       gkll_report gate BENCH.json [--min-speedup X]\n");
+      "       gkll_report gate BENCH.json [--min-speedup X]\n"
+      "                   [--min FIELD=X ...]\n");
   return 2;
 }
 
@@ -145,12 +148,21 @@ int runGate(const std::vector<std::string>& args) {
   std::string path;
   double minSpeedup = 0.0;
   bool haveFloor = false;
+  std::vector<std::pair<std::string, double>> floors;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--min-speedup") {
       if (++i == args.size()) return usage();
       minSpeedup = std::atof(args[i].c_str());
       haveFloor = true;
+    } else if (a == "--min") {
+      // Repeatable generic floor: --min FIELD=X fails the gate when the
+      // artifact's FIELD is missing or below X.
+      if (++i == args.size()) return usage();
+      const auto eq = args[i].find('=');
+      if (eq == std::string::npos || eq == 0) return usage();
+      floors.emplace_back(args[i].substr(0, eq),
+                          std::atof(args[i].c_str() + eq + 1));
     } else if (path.empty()) {
       path = a;
     } else {
@@ -194,6 +206,21 @@ int runGate(const std::vector<std::string>& args) {
     } else {
       std::printf("%s: speedup %.2fx >= %.2fx\n", path.c_str(),
                   speedup->second.value, minSpeedup);
+    }
+  }
+
+  for (const auto& [field, floor] : floors) {
+    const auto it = mf.metrics.find(field);
+    if (it == mf.metrics.end()) {
+      std::printf("%s: FAIL — no %s field\n", path.c_str(), field.c_str());
+      rc = 1;
+    } else if (it->second.value < floor) {
+      std::printf("%s: FAIL — %s %.3g below floor %.3g\n", path.c_str(),
+                  field.c_str(), it->second.value, floor);
+      rc = 1;
+    } else {
+      std::printf("%s: %s %.3g >= %.3g\n", path.c_str(), field.c_str(),
+                  it->second.value, floor);
     }
   }
   return rc;

@@ -2,7 +2,7 @@
 //
 //   gkll_serve --unix PATH | --tcp PORT | --stdio
 //              [--threads N] [--max-inflight N] [--max-queue N]
-//              [--store-mb N] [--journal PATH]
+//              [--store-mb N] [--store-spill-dir DIR] [--journal PATH]
 //
 // Speaks the length-prefixed JSONL protocol of src/service/proto.h.
 // --tcp 0 picks an ephemeral port and prints "listening tcp PORT" on
@@ -38,7 +38,7 @@ int usage() {
                "usage: gkll_serve --unix PATH | --tcp PORT | --stdio\n"
                "                  [--threads N] [--max-inflight N]\n"
                "                  [--max-queue N] [--store-mb N]\n"
-               "                  [--journal PATH]\n");
+               "                  [--store-spill-dir DIR] [--journal PATH]\n");
   return 2;
 }
 
@@ -85,6 +85,10 @@ int main(int argc, char** argv) {
       if (!v) return usage();
       opt.storeBudgetBytes =
           static_cast<std::size_t>(std::atoll(v)) << 20;
+    } else if (a == "--store-spill-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.storeSpillDir = v;
     } else if (a == "--journal") {
       const char* v = next();
       if (!v) return usage();
