@@ -24,10 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "attack/removal_attack.h"
 #include "benchgen/synthetic_bench.h"
 #include "netlist/compiled.h"
+#include "netlist/netlist_ops.h"
 #include "netlist/packed_eval.h"
 #include "scenario_driver.h"
+#include "sim/logic_sim.h"
 #include "timing/sta.h"
 #include "timing/sta_incremental.h"
 #include "util/rng.h"
@@ -151,6 +154,45 @@ int main() {
       words, simdLevelName(wide.simd()), wideSec, narrowSec, wideSpeedup,
       laneGatesPerSec, wideIdentical ? 1 : 0);
 
+  // --- signal-probability estimation: per-sample sim vs compiled session ---
+  // The removal/withholding attack preprocessing step.  The legacy path
+  // ran one evalCombinational per Monte-Carlo sample — which recompiles
+  // the netlist every call, so at this scale each sample costs a full
+  // compile.  SignalProbSession (attack/removal_attack.h) compiles once
+  // and evaluates 256 samples per wide sweep; the speedup below is the
+  // attack-side win CI gates on (sigprob_speedup).
+  const CombExtraction comb = extractCombinational(nl);
+  const std::size_t combPIs = comb.netlist.inputs().size();
+  double legacyPerSampleSec;
+  {
+    constexpr int kLegacySamples = 2;  // each one recompiles ~1M gates
+    Rng lrng(seed * 31 + 9);
+    std::vector<Logic> in(combPIs);
+    const auto t0 = clock_t_::now();
+    for (int s = 0; s < kLegacySamples; ++s) {
+      for (std::size_t i = 0; i < combPIs; ++i)
+        in[i] = logicFromBool(lrng.flip());
+      const std::vector<Logic> values = evalCombinational(comb.netlist, in);
+      (void)values;
+    }
+    legacyPerSampleSec = secondsSince(t0) / kLegacySamples;
+  }
+  double sessionPerSampleSec;
+  {
+    constexpr int kSessionSamples = 1024;
+    SignalProbSession session(comb.netlist);
+    const auto t0 = clock_t_::now();
+    const std::vector<double> probs =
+        session.estimate(kSessionSamples, seed * 31 + 9);
+    sessionPerSampleSec = secondsSince(t0) / kSessionSamples;
+    (void)probs;
+  }
+  const double sigprobSpeedup = legacyPerSampleSec / sessionPerSampleSec;
+  std::printf(
+      "sigprob  legacy %.3fs/sample vs session %.6fs/sample -> %.0fx "
+      "(%zu comb inputs)\n",
+      legacyPerSampleSec, sessionPerSampleSec, sigprobSpeedup, combPIs);
+
   // --- STA: full run baseline ----------------------------------------------
   const CellLibrary& lib = CellLibrary::tsmc013c();
   StaConfig cfg;
@@ -246,6 +288,9 @@ int main() {
   json.set("compile_gates_per_sec", gates / compileSec);
   json.set("eval_lane_gates_per_sec", laneGatesPerSec);
   json.set("wide_speedup", wideSpeedup);
+  json.set("sigprob_legacy_sec_per_sample", legacyPerSampleSec);
+  json.set("sigprob_session_sec_per_sample", sessionPerSampleSec);
+  json.set("sigprob_speedup", sigprobSpeedup);
   json.set("sta_full_gates_per_sec", gates / staFullSec);
   json.set("sta_edits", static_cast<double>(kEdits));
   json.set("sta_incremental_speedup", staSpeedup);

@@ -39,6 +39,7 @@
 #include "runtime/pool.h"
 #include "runtime/sweep.h"
 #include "runtime/task_graph.h"
+#include "sweep/stage_plan.h"
 
 namespace gkll::bench {
 
@@ -171,137 +172,21 @@ std::vector<R> dualRun(std::size_t n, Fn&& fn, Reporter& rep) {
 // runtime::TaskGraph — so independent stages of different scenarios overlap
 // and a heavy stage can use ctx.pool for parallelism inside itself.
 //
+// The machinery itself lives in sweep/stage_plan.h, where the distributed
+// sweep runner shares it (and uses its scenarioOffset to reproduce this
+// driver's seeds when running one scenario of a matrix in isolation); the
+// bench layer binds its Reporter/progress/journal sinks onto the generic
+// StageCallbacks below.
+//
 // Determinism: a stage's Rng is seeded by taskSeed(masterSeed,
 // taskSeed(scenario, stage-ordinal)) — a function of *what* the stage is,
 // never of scheduling or of the repetition instance — so results are
 // byte-identical serial-vs-parallel AND across repetition instances of the
 // same scenario (dualRunStaged checks both).
 
-/// Context handed to every stage body.  `pool` is the pool the pass runs
-/// on — intra-stage parallelism must use it (never ThreadPool::global(),
-/// which would parallelise the serial baseline of the dual run).
-struct StageCtx {
-  std::size_t instance = 0;  ///< DAG instance index = rep * scenarios + s
-  std::size_t scenario = 0;
-  std::size_t rep = 0;
-  runtime::ThreadPool* pool = nullptr;
-  Rng rng{0};
-};
-
-/// Per-pass driver hooks StagePlan reports into (progress ticks per stage,
-/// per-scenario wall samples and "scenario.done" journal records at
-/// instance completion — which may happen in any order; the journal reader
-/// is order-insensitive).
-struct StageHooks {
-  Reporter* rep = nullptr;
-  obs::ProgressReporter* progress = nullptr;
-  bool journal = false;  ///< emit scenario.done records (parallel pass only)
-};
-
-/// One pass's stage-graph builder handle: `reps * scenarios` independent
-/// instances, each declared as stages with explicit dependencies.  Exactly
-/// one stage per instance must be declared through result(), whose return
-/// value is emplaced into the instance's result slot (R needs no default
-/// constructor).
+using StageCtx = sweep::StageCtx;
 template <class R>
-class StagePlan {
- public:
-  using NodeId = runtime::TaskGraph::NodeId;
-
-  StagePlan(runtime::TaskGraph& graph, runtime::detail::Slots<R>& slots,
-            std::size_t scenarios, std::size_t reps, const StageHooks* hooks)
-      : graph_(&graph),
-        slots_(&slots),
-        scenarios_(scenarios),
-        reps_(reps),
-        inst_(scenarios * reps),
-        ordinal_(scenarios * reps, 0) {
-    hooks_ = hooks;
-  }
-
-  std::size_t scenarios() const { return scenarios_; }
-  std::size_t reps() const { return reps_; }
-  std::size_t instances() const { return scenarios_ * reps_; }
-  std::size_t scenarioOf(std::size_t k) const { return k % scenarios_; }
-  std::size_t stages() const { return stageCount_; }
-
-  /// Declare one stage of instance `k`; `deps` are NodeIds of earlier
-  /// stages (usually of the same instance).  Returns the stage's NodeId.
-  NodeId stage(std::size_t k, std::string kind,
-               std::function<void(StageCtx&)> fn,
-               const std::vector<NodeId>& deps = {}) {
-    const std::uint64_t seedIndex =
-        runtime::taskSeed(scenarioOf(k), ordinal_[k]++);
-    inst_[k].outstanding.fetch_add(1, std::memory_order_relaxed);
-    ++stageCount_;
-    return graph_->add(
-        std::move(kind),
-        [this, k, fn = std::move(fn)](runtime::TaskCtx& tctx) {
-          StageCtx ctx;
-          ctx.instance = k;
-          ctx.scenario = scenarioOf(k);
-          ctx.rep = k / scenarios_;
-          ctx.pool = tctx.pool;
-          ctx.rng = Rng(tctx.seed);
-          const double t0 = runtime::wallMsNow();
-          fn(ctx);
-          finishStage(k, runtime::wallMsNow() - t0);
-        },
-        deps, seedIndex);
-  }
-
-  /// Declare the terminal stage of instance `k`: fn returns the instance's
-  /// result row, emplaced directly into the result slot.
-  template <class Fn>
-  NodeId result(std::size_t k, std::string kind, Fn fn,
-                const std::vector<NodeId>& deps = {}) {
-    return stage(
-        k, std::move(kind),
-        [this, k, fn = std::move(fn)](StageCtx& ctx) {
-          slots_->emplace(k, fn(ctx));
-        },
-        deps);
-  }
-
- private:
-  struct InstanceState {
-    std::atomic<std::size_t> outstanding{0};
-    std::atomic<double> wallMs{0.0};
-  };
-
-  static void addMs(std::atomic<double>& a, double v) {
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
-    }
-  }
-
-  void finishStage(std::size_t k, double ms) {
-    InstanceState& st = inst_[k];
-    addMs(st.wallMs, ms);
-    if (hooks_ && hooks_->progress) hooks_->progress->tick();
-    if (st.outstanding.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
-    // Last stage of the instance — completion can land in any order.
-    if (!hooks_) return;
-    if (hooks_->rep)
-      hooks_->rep->sample("scenario_wall_ms",
-                          st.wallMs.load(std::memory_order_relaxed));
-    if (hooks_->journal && k < scenarios_ && obs::journalEnabled()) {
-      obs::journalRecord("scenario.done")
-          .str("key", hooks_->rep->name() + "/" + std::to_string(k))
-          .str("bench", hooks_->rep->name())
-          .i64("index", static_cast<std::int64_t>(k));
-    }
-  }
-
-  runtime::TaskGraph* graph_;
-  runtime::detail::Slots<R>* slots_;
-  std::size_t scenarios_;
-  std::size_t reps_;
-  const StageHooks* hooks_ = nullptr;
-  std::size_t stageCount_ = 0;
-  std::vector<InstanceState> inst_;   // built single-threaded, drained by run
-  std::vector<std::uint32_t> ordinal_;
-};
+using StagePlan = sweep::StagePlan<R>;
 
 struct StagedOptions {
   /// Identical repetition instances per scenario: sub-millisecond scenario
@@ -355,8 +240,22 @@ std::vector<R> dualRunStaged(std::size_t n, Builder&& build, Reporter& rep,
     go.pool = pool;
     go.masterSeed = sopt.masterSeed;
     runtime::TaskGraph g(go);
-    StageHooks hooks{&rep, &progress, journalPass};
-    StagePlan<R> plan(g, slots, n, reps, &hooks);
+    sweep::StageCallbacks cb;
+    cb.tick = [&progress] { progress.tick(); };
+    cb.instanceDone = [&rep, journalPass](std::size_t scenario,
+                                          std::size_t repIndex, double ms) {
+      rep.sample("scenario_wall_ms", ms);
+      // scenario.done records: parallel pass only, rep-0 instance only —
+      // the completed-work keys a resuming sweep consumes.  Completions
+      // land in any order; the journal reader is order-insensitive.
+      if (journalPass && repIndex == 0 && obs::journalEnabled()) {
+        obs::journalRecord("scenario.done")
+            .str("key", rep.name() + "/" + std::to_string(scenario))
+            .str("bench", rep.name())
+            .i64("index", static_cast<std::int64_t>(scenario));
+      }
+    };
+    StagePlan<R> plan(g, slots, n, reps, &cb);
     build(plan);
     const double t0 = runtime::wallMsNow();
     g.run();

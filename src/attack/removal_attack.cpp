@@ -6,28 +6,64 @@
 #include "lock/locking.h"
 #include "netlist/netlist_ops.h"
 #include "sat/cnf.h"
-#include "sim/logic_sim.h"
 #include "util/rng.h"
 
 namespace gkll {
 
+SignalProbSession::SignalProbSession(const Netlist& comb)
+    : numNets_(comb.numNets()),
+      numInputs_(comb.inputs().size()),
+      cn_(CompiledNetlist::compile(comb)),
+      wide_(cn_) {
+  assert(comb.flops().empty());
+}
+
+std::vector<double> SignalProbSession::estimate(int samples,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  // 4 words = 256 patterns per sweep: wide enough to amortise the sweep,
+  // small enough that the slot planes stay cache-resident on big designs.
+  constexpr std::size_t kWords = 4;
+  constexpr std::size_t kLanes = kWords * 64;
+  std::vector<std::uint64_t> ones(numNets_, 0);
+  PackedLanes in(numInputs_, kWords);
+  const PackedLanes ff(0, kWords);  // flop-free: no state plane
+  const std::size_t total = samples < 0 ? 0 : static_cast<std::size_t>(samples);
+  for (std::size_t base = 0; base < total; base += kLanes) {
+    const std::size_t chunk = std::min(kLanes, total - base);
+    in.reset(numInputs_, kWords);  // surplus lanes of the tail chunk stay X
+    // Exactly the historical draw order: sample-major, input order within
+    // a sample — byte-identical probabilities to the per-sample path.
+    for (std::size_t lane = 0; lane < chunk; ++lane)
+      for (std::size_t i = 0; i < numInputs_; ++i)
+        in.setLane(i, lane, logicFromBool(rng.flip()));
+    wide_.eval(in, ff, buf_);
+    for (NetId n = 0; n < numNets_; ++n) {
+      std::uint64_t cnt = 0;
+      for (std::size_t w = 0; w < kWords; ++w) {
+        const std::size_t lo = w * 64;
+        if (lo >= chunk) break;
+        const std::size_t rem = chunk - lo;
+        const std::uint64_t mask =
+            rem >= 64 ? ~0ULL : ((1ULL << rem) - 1);  // drawn lanes only
+        const PackedBits b = wide_.netWord(buf_, n, w);
+        cnt += static_cast<std::uint64_t>(
+            __builtin_popcountll(b.v & ~b.x & mask));
+      }
+      ones[n] += cnt;
+    }
+  }
+  std::vector<double> prob(numNets_);
+  for (NetId n = 0; n < numNets_; ++n)
+    prob[n] = static_cast<double>(ones[n]) / static_cast<double>(samples);
+  return prob;
+}
+
 std::vector<double> estimateSignalProbabilities(const Netlist& comb,
                                                 int samples,
                                                 std::uint64_t seed) {
-  assert(comb.flops().empty());
-  Rng rng(seed);
-  std::vector<std::uint32_t> ones(comb.numNets(), 0);
-  std::vector<Logic> inputs(comb.inputs().size());
-  for (int s = 0; s < samples; ++s) {
-    for (Logic& v : inputs) v = logicFromBool(rng.flip());
-    const std::vector<Logic> nets = evalCombinational(comb, inputs);
-    for (NetId n = 0; n < comb.numNets(); ++n)
-      if (nets[n] == Logic::T) ++ones[n];
-  }
-  std::vector<double> prob(comb.numNets());
-  for (NetId n = 0; n < comb.numNets(); ++n)
-    prob[n] = static_cast<double>(ones[n]) / static_cast<double>(samples);
-  return prob;
+  SignalProbSession session(comb);
+  return session.estimate(samples, seed);
 }
 
 namespace {

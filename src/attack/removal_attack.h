@@ -15,11 +15,44 @@
 
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
+#include "netlist/packed_eval.h"
 
 namespace gkll {
 
+/// Reusable Monte-Carlo signal-probability sampler for one combinational
+/// netlist.  Compiles the design ONCE (CompiledNetlist + WideEvaluator
+/// sweep plan) at construction and evaluates 256 random patterns per
+/// packed sweep; the historical path recompiled the netlist for every
+/// single sample, which made the removal/withholding attack side O(samples
+/// x compile) — the ROADMAP item 2 residual bench_scale's sigprob stage
+/// now gates against.
+///
+/// estimate() is byte-identical to that historical path: the Rng draw
+/// order (sample-major, then input order within a sample) is preserved
+/// exactly, and the wide kernels are property-tested bit-equal to the
+/// narrow evaluator, so existing skew thresholds and tests see the same
+/// probabilities to the last ulp.
+class SignalProbSession {
+ public:
+  /// `comb` must be flop-free and outlive the session.
+  explicit SignalProbSession(const Netlist& comb);
+  SignalProbSession(const SignalProbSession&) = delete;
+  SignalProbSession& operator=(const SignalProbSession&) = delete;
+
+  /// Per-net P(net == 1) over `samples` uniform random input patterns.
+  std::vector<double> estimate(int samples, std::uint64_t seed);
+
+ private:
+  std::size_t numNets_ = 0;
+  std::size_t numInputs_ = 0;
+  CompiledNetlist cn_;
+  WideEvaluator wide_;        // points into cn_: session is immovable
+  WideEvaluator::Buffer buf_; // reused across estimate() calls
+};
+
 /// Monte-Carlo signal-probability estimate over a combinational netlist
-/// with uniformly random inputs (data and key alike).
+/// with uniformly random inputs (data and key alike).  One-shot wrapper
+/// around SignalProbSession; repeated callers should hold a session.
 std::vector<double> estimateSignalProbabilities(const Netlist& comb,
                                                 int samples,
                                                 std::uint64_t seed);

@@ -1,8 +1,12 @@
 #include "obs/journal.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "obs/telemetry.h"
 
@@ -36,6 +40,49 @@ void appendKey(std::string& out, std::string_view key) {
   out += "\":";
 }
 
+/// Resume-mode preflight on an existing journal file: validate the header
+/// line and trim any torn trailing partial line (the in-flight record of a
+/// crash) so appends always start at a record boundary.  Returns false
+/// when the file exists but is not a journal this writer may extend; sets
+/// `fresh` when the file is missing or empty (caller writes a new header).
+bool prepareResume(const std::string& path, bool& fresh) {
+  fresh = false;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    fresh = true;  // no file yet: resume degrades to a fresh start
+    return true;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  f.close();
+  if (text.empty()) {
+    fresh = true;
+    return true;
+  }
+  const std::size_t headerEnd = text.find('\n');
+  if (headerEnd == std::string::npos) {
+    // Only a partial header made it to disk: nothing durable to preserve,
+    // start over.
+    fresh = true;
+    return ::truncate(path.c_str(), 0) == 0;
+  }
+  util::JsonValue header;
+  if (!parseJson(std::string_view(text.data(), headerEnd), header) ||
+      !header.isObject() ||
+      header.stringOr("type", "") != "journal.header" ||
+      static_cast<int>(header.numberOr("schema", 0)) != kJournalSchemaVersion)
+    return false;  // not ours to extend
+  // Trim the torn tail, if any: everything after the last newline is an
+  // incomplete record the reader would drop — appending after it would
+  // corrupt the first new record too.
+  const std::size_t keep = text.rfind('\n') + 1;
+  if (keep < text.size() &&
+      ::truncate(path.c_str(), static_cast<off_t>(keep)) != 0)
+    return false;
+  return true;
+}
+
 }  // namespace
 
 // --- RunJournal --------------------------------------------------------------
@@ -45,7 +92,12 @@ RunJournal& RunJournal::global() {
   static std::once_flag envOnce;
   std::call_once(envOnce, [] {
     const char* p = std::getenv("GKLL_JOURNAL");
-    if (p != nullptr && *p != '\0') j.open(p, "env");
+    if (p == nullptr || *p == '\0') return;
+    const char* append = std::getenv("GKLL_JOURNAL_APPEND");
+    const JournalOpenMode mode = (append != nullptr && *append != '\0')
+                                     ? JournalOpenMode::kResume
+                                     : JournalOpenMode::kTruncate;
+    j.open(p, "env", 0, mode);
   });
   return j;
 }
@@ -53,16 +105,29 @@ RunJournal& RunJournal::global() {
 RunJournal::~RunJournal() { close(); }
 
 bool RunJournal::open(const std::string& path, std::string_view tool,
-                      std::uint64_t netlistHash) {
+                      std::uint64_t netlistHash, JournalOpenMode mode) {
   std::lock_guard<std::mutex> lock(mu_);
   if (f_ != nullptr) {
     std::fclose(f_);
     f_ = nullptr;
   }
-  f_ = std::fopen(path.c_str(), "wb");
+  bool writeHeader = true;
+  if (mode == JournalOpenMode::kResume) {
+    bool fresh = false;
+    if (!prepareResume(path, fresh)) return false;
+    writeHeader = fresh;  // an existing valid header is kept, not rewritten
+  }
+  // "ab" in resume mode: every write lands after the preserved records
+  // even if another opener raced us to the file (O_APPEND semantics).
+  f_ = std::fopen(path.c_str(),
+                  mode == JournalOpenMode::kResume ? "ab" : "wb");
   if (f_ == nullptr) return false;
   path_ = path;
   seq_ = 0;
+  if (!writeHeader) {
+    std::fflush(f_);
+    return true;
+  }
   std::string line = "{\"type\":\"journal.header\",\"schema\":";
   line += std::to_string(kJournalSchemaVersion);
   line += ",\"tool\":\"";
@@ -263,12 +328,24 @@ bool JournalReader::read(const std::string& path) {
 
 std::vector<std::string> JournalReader::completedScenarios() const {
   std::vector<std::string> keys;
+  for (const JournalRecord* r : scenarioDoneRecords())
+    keys.push_back(r->json.stringOr("key", ""));
+  return keys;
+}
+
+std::vector<const JournalRecord*> JournalReader::scenarioDoneRecords() const {
+  std::vector<const JournalRecord*> out;
+  std::unordered_set<std::string> seen;
   for (const JournalRecord& r : records_) {
     if (r.type != "scenario.done") continue;
-    std::string key = r.json.stringOr("key", "");
-    if (!key.empty()) keys.push_back(std::move(key));
+    const std::string key = r.json.stringOr("key", "");
+    // Dedup, first occurrence wins: a resumed run replays its own journal
+    // before extending it, and repetition instances share one key — both
+    // legitimately write the same key more than once.
+    if (key.empty() || !seen.insert(key).second) continue;
+    out.push_back(&r);
   }
-  return keys;
+  return out;
 }
 
 }  // namespace gkll::obs

@@ -22,9 +22,13 @@
 //     object with a "type".  A truncated or corrupt tail — the crash
 //     signature — is rejected cleanly: all records before it are
 //     returned and truncatedTail() reports the damage.
-//   - completedScenarios() extracts the keys of "scenario.done" records:
-//     the seam the distributed sweep grid's checkpoint/resume (ROADMAP
-//     item 5) plugs into to skip already-finished work.
+//   - completedScenarios() extracts the (deduplicated) keys of
+//     "scenario.done" records: the seam the distributed sweep grid's
+//     checkpoint/resume (src/sweep/, DESIGN.md §14) plugs into to skip
+//     already-finished work.  Writers resume a journal with
+//     JournalOpenMode::kResume, which preserves the existing records and
+//     appends — a truncating reopen would destroy the very checkpoint the
+//     resume needs.
 #pragma once
 
 #include <cstdint>
@@ -40,10 +44,28 @@ namespace gkll::obs {
 
 inline constexpr int kJournalSchemaVersion = 1;
 
+/// How RunJournal::open treats an existing file at the path.
+enum class JournalOpenMode {
+  /// Start a fresh journal: truncate whatever is there and write a new
+  /// header.  The right mode for a new run's artifact.
+  kTruncate,
+  /// Resume an existing journal: the header already on disk is validated
+  /// (must be a parseable journal.header at the current schema) and KEPT —
+  /// never rewritten — a torn trailing partial line (the in-flight record
+  /// of a crash) is trimmed, and new records append after the last
+  /// complete one.  A missing or empty file degrades to kTruncate, so the
+  /// first open of a resume-cycle path needs no special casing.  This is
+  /// the mode the sweep grid's checkpoint/resume runs on: re-opening a
+  /// journal to continue a crashed run must never destroy the
+  /// scenario.done records the resume filter needs.
+  kResume,
+};
+
 class RunJournal {
  public:
   /// The process-wide journal.  First use consults GKLL_JOURNAL: when set
-  /// and non-empty, the journal opens at that path with tool name "env".
+  /// and non-empty, the journal opens at that path with tool name "env"
+  /// (append mode when GKLL_JOURNAL_APPEND is set and non-empty).
   static RunJournal& global();
 
   RunJournal() = default;
@@ -51,11 +73,16 @@ class RunJournal {
   RunJournal(const RunJournal&) = delete;
   RunJournal& operator=(const RunJournal&) = delete;
 
-  /// Open (truncating) `path` and write the schema header.  `netlistHash`
-  /// is the content hash of the design under study when the run has a
-  /// single one (0 = omitted; multi-design runs attach hashes per record).
+  /// Open `path` and make the journal live.  `netlistHash` is the content
+  /// hash of the design under study when the run has a single one (0 =
+  /// omitted; multi-design runs attach hashes per record).  kTruncate
+  /// rewrites the file with a fresh header; kResume appends (see
+  /// JournalOpenMode).  Returns false — journal stays closed — when the
+  /// file cannot be opened, or in kResume when the existing header fails
+  /// validation.
   bool open(const std::string& path, std::string_view tool,
-            std::uint64_t netlistHash = 0);
+            std::uint64_t netlistHash = 0,
+            JournalOpenMode mode = JournalOpenMode::kTruncate);
   void close();
   bool enabled() const;
 
@@ -134,9 +161,18 @@ class JournalReader {
   bool truncatedTail() const { return truncatedTail_; }
   std::size_t droppedBytes() const { return droppedBytes_; }
 
-  /// Keys of every "scenario.done" record — the completed-work set a
-  /// resuming sweep skips.
+  /// Keys of the "scenario.done" records — the completed-work set a
+  /// resuming sweep skips.  Deduplicated: a key that appears several times
+  /// (resumed runs replaying, repetition instances sharing a key) is
+  /// reported once, in first-seen order, so the resume filter neither
+  /// double-skips nor sees phantom extra work.
   std::vector<std::string> completedScenarios() const;
+
+  /// The full "scenario.done" records behind completedScenarios(), one per
+  /// distinct key (first occurrence wins), first-seen order.  Keyless
+  /// records are ignored.  The sweep aggregator replays result metrics
+  /// from these instead of recomputing finished scenarios.
+  std::vector<const JournalRecord*> scenarioDoneRecords() const;
 
   const std::string& error() const { return error_; }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 
 namespace gkll::runtime {
 
@@ -20,6 +21,18 @@ constexpr std::uint64_t taskSeed(std::uint64_t masterSeed,
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// taskSeed folded left over an index path: seedChain(m, {a, b}) ==
+/// taskSeed(taskSeed(m, a), b).  Gives nested sweeps (scenario → stage →
+/// sample) one canonical spelling for "the seed of this node in the
+/// tree", so a distributed runner re-deriving a leaf seed from the master
+/// cannot disagree with the in-process run about association order.
+constexpr std::uint64_t seedChain(std::uint64_t masterSeed,
+                                  std::initializer_list<std::uint64_t> path) {
+  std::uint64_t s = masterSeed;
+  for (const std::uint64_t idx : path) s = taskSeed(s, idx);
+  return s;
 }
 
 }  // namespace gkll::runtime

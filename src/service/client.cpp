@@ -15,13 +15,16 @@ namespace gkll::service {
 ServiceClient::~ServiceClient() { close(); }
 
 ServiceClient::ServiceClient(ServiceClient&& o) noexcept
-    : fd_(std::exchange(o.fd_, -1)), error_(std::move(o.error_)) {}
+    : fd_(std::exchange(o.fd_, -1)),
+      error_(std::move(o.error_)),
+      stats_(std::exchange(o.stats_, {})) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& o) noexcept {
   if (this != &o) {
     close();
     fd_ = std::exchange(o.fd_, -1);
     error_ = std::move(o.error_);
+    stats_ = std::exchange(o.stats_, {});
   }
   return *this;
 }
@@ -95,6 +98,9 @@ bool ServiceClient::request(const std::string& payload, std::string& response) {
     close();
     return false;
   }
+  stats_.requests += 1;
+  stats_.bytesSent += payload.size() + sizeof(std::uint32_t);
+  stats_.bytesReceived += response.size() + sizeof(std::uint32_t);
   return true;
 }
 

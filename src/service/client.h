@@ -31,12 +31,23 @@ class ServiceClient {
   /// closed and the client must reconnect.
   bool request(const std::string& payload, std::string& response);
 
+  /// Cumulative transport counters over the client's lifetime (survive
+  /// reconnects).  Byte counts include the 4-byte frame length prefixes,
+  /// so they match what the wire actually carried.
+  struct TransportStats {
+    std::uint64_t requests = 0;       ///< successful round trips
+    std::uint64_t bytesSent = 0;      ///< framed request bytes
+    std::uint64_t bytesReceived = 0;  ///< framed response bytes
+  };
+  const TransportStats& stats() const { return stats_; }
+
   const std::string& error() const { return error_; }
   std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes;
 
  private:
   int fd_ = -1;
   std::string error_;
+  TransportStats stats_;
 };
 
 }  // namespace gkll::service

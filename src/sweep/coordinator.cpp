@@ -1,0 +1,445 @@
+#include "sweep/coordinator.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/histogram.h"
+#include "obs/journal.h"
+#include "sweep/queue.h"
+#include "util/json.h"
+
+namespace gkll::sweep {
+
+namespace {
+
+std::string fmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Write `content` atomically: temp file + rename, so readers (and crash
+/// recovery) never see a torn artifact.
+bool writeFileAtomic(const std::string& path, const std::string& content,
+                     std::string* err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      if (err) *err = "cannot write " + tmp;
+      return false;
+    }
+    f << content;
+    if (!f.flush()) {
+      if (err) *err = "short write to " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err) *err = "rename " + tmp + " -> " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+/// Render a sorted string->string field map as a flat JSON object with a
+/// trailing newline.  Deterministic: iteration order is the map order.
+std::string renderFlatJson(const std::map<std::string, std::string>& fields) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + jsonEscape(k) + "\": " + v;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string journalPathFor(const std::string& dir, std::size_t worker) {
+  return dir + "/journal.w" + std::to_string(worker) + ".jsonl";
+}
+
+std::string manifestPath(const std::string& dir) {
+  return dir + "/manifest.json";
+}
+
+/// Check (or create) the directory's spec manifest; refuse a spec that
+/// does not match what the directory was started with — resuming a sweep
+/// under a different matrix would silently aggregate mixed results.
+bool checkManifest(const std::string& dir, const SweepSpec& spec,
+                   const std::string& name, std::string* err) {
+  const std::string path = manifestPath(dir);
+  std::ifstream f(path, std::ios::binary);
+  if (f) {
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    util::JsonValue v;
+    if (!parseJson(buf.str(), v) || !v.isObject()) {
+      *err = "unreadable sweep manifest " + path;
+      return false;
+    }
+    if (v.stringOr("spec", "") != spec.canonical()) {
+      *err = "sweep dir " + dir + " was started with a different spec:\n  " +
+             v.stringOr("spec", "?") + "\nvs requested\n  " + spec.canonical();
+      return false;
+    }
+    return true;
+  }
+  std::map<std::string, std::string> fields;
+  fields["type"] = "\"sweep.manifest\"";
+  fields["name"] = "\"" + jsonEscape(name) + "\"";
+  fields["spec"] = "\"" + jsonEscape(spec.canonical()) + "\"";
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "\"0x%016llx\"",
+                static_cast<unsigned long long>(spec.hash()));
+  fields["spec_hash"] = hash;
+  return writeFileAtomic(path, renderFlatJson(fields), err);
+}
+
+struct CompletedRecord {
+  std::size_t journalIndex = 0;  ///< which journal file (sorted order)
+  util::JsonValue json;          ///< the scenario.done record
+};
+
+/// Replay every journal.w<i>.jsonl in the dir (numeric order) and collect
+/// the first-seen record per scenario key.  Torn tails are tolerated —
+/// that is the crash signature resume exists for.
+bool readCompleted(const std::string& dir,
+                   std::unordered_map<std::string, CompletedRecord>& out,
+                   std::size_t& numJournals, std::string* err) {
+  std::vector<std::pair<std::size_t, std::string>> files;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.rfind("journal.w", 0) != 0) continue;
+      const std::size_t dot = name.find(".jsonl");
+      if (dot == std::string::npos || dot + 6 != name.size()) continue;
+      const std::string num = name.substr(9, dot - 9);
+      if (num.empty() ||
+          num.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      files.emplace_back(std::stoul(num), dir + "/" + name);
+    }
+    ::closedir(d);
+  }
+  std::sort(files.begin(), files.end());
+  numJournals = files.size();
+  for (std::size_t j = 0; j < files.size(); ++j) {
+    obs::JournalReader r;
+    if (!r.read(files[j].second)) {
+      // An empty / headerless journal from a worker killed before its
+      // first flush holds nothing to resume; skip it.
+      continue;
+    }
+    for (const obs::JournalRecord* rec : r.scenarioDoneRecords()) {
+      const std::string key = rec->json.stringOr("key", "");
+      if (out.find(key) == out.end())
+        out.emplace(key, CompletedRecord{j, rec->json});
+    }
+  }
+  (void)err;
+  return true;
+}
+
+/// One worker's claim-run-journal loop.  Exit codes: 0 = drained, 3 =
+/// stopAfter reached (cleanly incomplete), 4 = journal unusable, 5 = a
+/// scenario failed (spec bug — do not blindly resume).
+int workerLoop(std::size_t workerIndex, const SweepOptions& opt,
+               const std::vector<ScenarioSpec>& scenarios,
+               const std::set<std::string>& completed, WorkQueue& queue) {
+  obs::RunJournal journal;
+  if (!journal.open(journalPathFor(opt.dir, workerIndex), "gkll_sweep", 0,
+                    obs::JournalOpenMode::kResume)) {
+    std::fprintf(stderr, "[sweep w%zu] cannot open journal\n", workerIndex);
+    return 4;
+  }
+  std::unique_ptr<ScenarioRunner> runner;
+  if (!opt.service.unixPath.empty() || opt.service.tcpPort != 0)
+    runner = std::make_unique<ServiceRunner>(opt.service);
+  else
+    runner = std::make_unique<LocalRunner>();
+
+  int done = 0;
+  for (const ScenarioSpec& s : scenarios) {
+    const std::string key = s.key();
+    if (completed.count(key) != 0) continue;
+    if (opt.stopAfter >= 0 && done >= opt.stopAfter)
+      return 3;  // checked BEFORE claiming so stopAfter=0 runs nothing
+    if (!queue.claim(key)) continue;  // another worker took it
+    const ScenarioResult r = runner->run(s);
+    if (!r.ok) {
+      journal.record("scenario.error").str("key", key).str("error", r.error);
+      std::fprintf(stderr, "[sweep w%zu] %s FAILED: %s\n", workerIndex,
+                   key.c_str(), r.error.c_str());
+      return 5;
+    }
+    {
+      obs::RunJournal::Record rec = journal.record("scenario.done");
+      rec.str("key", key)
+          .i64("index", static_cast<std::int64_t>(s.index))
+          .hex("seed", s.seed)
+          .f64("wall_ms", r.wallMs);
+      for (const auto& [mk, mv] : r.metrics) rec.f64("m_" + mk, mv);
+    }  // record flushed here — the scenario is durable from this line on
+    ++done;
+    if (!opt.quiet)
+      std::fprintf(stderr, "[sweep w%zu] done %s (%.0f ms)\n", workerIndex,
+                   key.c_str(), r.wallMs);
+    if (opt.crashAfter >= 0 && workerIndex == 0 && done >= opt.crashAfter) {
+      // Fault injection: die the hard way, mid-run, with claims held.
+      ::raise(SIGKILL);
+    }
+  }
+  return 0;
+}
+
+/// Group key of a scenario: the matrix cell without the rep suffix.
+std::string groupOf(const ScenarioSpec& s) {
+  return s.design + "|" + s.lock + "|" + s.attack;
+}
+
+bool writeAggregates(const SweepSpec& spec, const SweepOptions& opt,
+                     const std::vector<ScenarioSpec>& scenarios,
+                     const std::unordered_map<std::string, CompletedRecord>&
+                         completed,
+                     std::size_t numJournals, SweepOutcome& outcome) {
+  // --- per-scenario fields, canonical order --------------------------------
+  std::map<std::string, std::string> bench;
+  bench["name"] = "\"" + jsonEscape(opt.name) + "\"";
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "\"0x%016llx\"",
+                static_cast<unsigned long long>(spec.hash()));
+  bench["spec_hash"] = hash;
+  bench["scenarios"] = fmtDouble(static_cast<double>(scenarios.size()));
+
+  // Group statistics.  Means accumulate in CANONICAL scenario order
+  // (double addition is not permutation-invariant, so worker sharding must
+  // not choose the order); percentiles and CDFs come from per-journal
+  // LogHistograms merged via Snapshot::add — bucket counts are integers,
+  // so the merge is permutation-invariant by construction.
+  struct GroupStat {
+    double sum = 0;
+    std::uint64_t n = 0;
+  };
+  std::map<std::string, GroupStat> groupSums;  // "<group>.<metric>"
+  using HistKey = std::string;                 // "<group>.<metric>"
+  std::vector<std::map<HistKey, std::unique_ptr<obs::LogHistogram>>>
+      perJournal(numJournals);
+  obs::LogHistogram latency;  // wall_ms, all scenarios — sidecar only
+
+  for (const ScenarioSpec& s : scenarios) {
+    const auto it = completed.find(s.key());
+    if (it == completed.end()) return false;  // caller guaranteed complete
+    const util::JsonValue& rec = it->second.json;
+    const std::string group = groupOf(s);
+    latency.record(rec.numberOr("wall_ms", 0));
+    for (const auto& [field, value] : rec.object) {
+      if (field.rfind("m_", 0) != 0 || !value.isNumber()) continue;
+      const std::string metric = field.substr(2);
+      // Reps share per-scenario fields only through their distinct keys;
+      // the group fields fold the reps together.
+      bench["s." + s.key() + "." + metric] = fmtDouble(value.number);
+      GroupStat& gs = groupSums[group + "." + metric];
+      gs.sum += value.number;
+      ++gs.n;
+      auto& hists = perJournal[it->second.journalIndex];
+      auto hit = hists.find(group + "." + metric);
+      if (hit == hists.end())
+        hit = hists
+                  .emplace(group + "." + metric,
+                           std::make_unique<obs::LogHistogram>())
+                  .first;
+      hit->second->record(value.number);
+    }
+  }
+
+  // Merge per-journal snapshots (the cross-process LogHistogram seam).
+  std::map<HistKey, obs::LogHistogram::Snapshot> merged;
+  for (const auto& hists : perJournal)
+    for (const auto& [hk, hist] : hists) merged[hk].add(hist->snapshot());
+
+  std::map<std::string, std::string> cdf;
+  cdf["name"] = "\"" + jsonEscape(opt.name) + "\"";
+  cdf["spec_hash"] = hash;
+  for (const auto& [hk, snap] : merged) {
+    const GroupStat& gs = groupSums[hk];
+    bench["g." + hk + "_mean"] =
+        fmtDouble(gs.n > 0 ? gs.sum / static_cast<double>(gs.n) : 0.0);
+    bench["g." + hk + "_p50"] = fmtDouble(snap.quantile(0.50));
+    bench["g." + hk + "_p90"] = fmtDouble(snap.quantile(0.90));
+    bench["g." + hk + "_p99"] = fmtDouble(snap.quantile(0.99));
+    std::string arr = "[";
+    bool first = true;
+    for (const auto& [ub, frac] : snap.cdf()) {
+      if (!first) arr += ",";
+      first = false;
+      arr += "[" + fmtDouble(ub) + "," + fmtDouble(frac) + "]";
+    }
+    arr += "]";
+    cdf["g." + hk] = arr;
+  }
+
+  // Latency sidecar: real measured wall times — useful, NOT deterministic,
+  // and deliberately not part of the byte-identity contract.
+  std::map<std::string, std::string> lat;
+  const obs::LogHistogram::Snapshot ls = latency.snapshot();
+  lat["scenario_wall_ms_count"] = fmtDouble(static_cast<double>(ls.count));
+  lat["scenario_wall_ms_mean"] = fmtDouble(ls.mean());
+  lat["scenario_wall_ms_p50"] = fmtDouble(ls.quantile(0.50));
+  lat["scenario_wall_ms_p90"] = fmtDouble(ls.quantile(0.90));
+  lat["scenario_wall_ms_p99"] = fmtDouble(ls.quantile(0.99));
+
+  outcome.aggregatePath = opt.dir + "/BENCH_" + opt.name + ".json";
+  outcome.cdfPath = opt.dir + "/SWEEP_" + opt.name + ".cdf.json";
+  outcome.latencyPath = opt.dir + "/SWEEP_" + opt.name + ".latency.json";
+  return writeFileAtomic(outcome.aggregatePath, renderFlatJson(bench),
+                         &outcome.error) &&
+         writeFileAtomic(outcome.cdfPath, renderFlatJson(cdf),
+                         &outcome.error) &&
+         writeFileAtomic(outcome.latencyPath, renderFlatJson(lat),
+                         &outcome.error);
+}
+
+}  // namespace
+
+SweepOutcome runSweep(const SweepSpec& spec, const SweepOptions& opt) {
+  SweepOutcome outcome;
+  if (opt.dir.empty()) {
+    outcome.failed = true;
+    outcome.error = "sweep needs a --dir";
+    return outcome;
+  }
+  if (!spec.validate(&outcome.error)) {
+    outcome.failed = true;
+    return outcome;
+  }
+  WorkQueue queue(opt.dir);
+  if (!queue.ok()) {
+    outcome.failed = true;
+    outcome.error = queue.error();
+    return outcome;
+  }
+  if (!checkManifest(opt.dir, spec, opt.name, &outcome.error)) {
+    outcome.failed = true;
+    return outcome;
+  }
+
+  const std::vector<ScenarioSpec> scenarios = spec.enumerate();
+  outcome.total = scenarios.size();
+
+  // Resume: everything already journaled is done forever.  Claims are
+  // intra-run only — wipe them so claims from a killed worker generation
+  // cannot shadow unfinished scenarios.
+  std::unordered_map<std::string, CompletedRecord> completed;
+  std::size_t numJournals = 0;
+  readCompleted(opt.dir, completed, numJournals, &outcome.error);
+  std::set<std::string> completedKeys;
+  for (const ScenarioSpec& s : scenarios)
+    if (completed.find(s.key()) != completed.end()) completedKeys.insert(s.key());
+  outcome.skipped = completedKeys.size();
+  queue.reset();
+
+  bool workersOk = true;
+  if (completedKeys.size() < scenarios.size()) {
+    if (opt.workers == 0) {
+      const int rc = workerLoop(0, opt, scenarios, completedKeys, queue);
+      if (rc == 5 || rc == 4) {
+        outcome.failed = true;
+        outcome.error = rc == 5 ? "a scenario failed (see journal)"
+                                : "cannot open worker journal";
+      }
+      workersOk = rc == 0;
+    } else {
+      // Fork BEFORE any thread pool exists: the coordinator does no
+      // parallel work of its own, and each child builds its own pools.
+      std::vector<pid_t> pids;
+      for (std::size_t w = 0; w < opt.workers; ++w) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          const int rc = workerLoop(w, opt, scenarios, completedKeys, queue);
+          ::_exit(rc);
+        }
+        if (pid < 0) {
+          outcome.failed = true;
+          outcome.error = std::string("fork: ") + std::strerror(errno);
+          break;
+        }
+        pids.push_back(pid);
+      }
+      for (const pid_t pid : pids) {
+        int status = 0;
+        if (::waitpid(pid, &status, 0) < 0) {
+          workersOk = false;
+          continue;
+        }
+        if (!WIFEXITED(status)) {
+          // Killed (e.g. the crashAfter SIGKILL): incomplete, resumable.
+          workersOk = false;
+        } else if (WEXITSTATUS(status) == 5 || WEXITSTATUS(status) == 4) {
+          workersOk = false;
+          outcome.failed = true;
+          outcome.error = "a worker reported a failed scenario (see journals)";
+        } else if (WEXITSTATUS(status) != 0) {
+          workersOk = false;
+        }
+      }
+    }
+  }
+
+  // Re-read the journals: the only source of truth for what finished.
+  completed.clear();
+  readCompleted(opt.dir, completed, numJournals, &outcome.error);
+  std::size_t nowDone = 0;
+  for (const ScenarioSpec& s : scenarios)
+    if (completed.find(s.key()) != completed.end()) ++nowDone;
+  outcome.ran = nowDone - outcome.skipped;
+
+  if (nowDone == scenarios.size() && !outcome.failed) {
+    if (writeAggregates(spec, opt, scenarios, completed, numJournals,
+                        outcome))
+      outcome.complete = true;
+    else if (outcome.error.empty())
+      outcome.error = "aggregation failed";
+  } else if (!outcome.failed && !workersOk) {
+    outcome.error = "interrupted: " +
+                    std::to_string(scenarios.size() - nowDone) +
+                    " scenario(s) outstanding — re-run to resume";
+  } else if (!outcome.failed && outcome.error.empty() &&
+             nowDone < scenarios.size()) {
+    outcome.error = std::to_string(scenarios.size() - nowDone) +
+                    " scenario(s) outstanding — re-run to resume";
+  }
+  return outcome;
+}
+
+int exitCodeFor(const SweepOutcome& outcome) {
+  if (outcome.complete) return 0;
+  if (outcome.failed) return 2;
+  return 3;
+}
+
+}  // namespace gkll::sweep

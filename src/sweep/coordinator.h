@@ -1,0 +1,76 @@
+// Sweep coordinator: shards a SweepSpec's scenario matrix across fork'd
+// worker processes over the file-based WorkQueue, journals every
+// completion crash-safely, resumes by replaying journals, and aggregates
+// finished runs into deterministic artifacts (DESIGN.md §14).
+//
+// The resume/identity contract, which tests/test_sweep.cpp property-tests
+// and the CI sweep-smoke job gates:
+//
+//   A sweep killed at ANY scenario boundary (SIGKILL included) and re-run
+//   with the same spec produces BENCH_<name>.json and the CDF sidecar
+//   BYTE-IDENTICAL to an uninterrupted run — regardless of worker count
+//   or of which worker ran which scenario.
+//
+// What makes that hold:
+//   - scenario metrics are pure functions of (spec, scenario seed)
+//     (runner.h), so re-sharding changes nothing a record contains;
+//   - completion is an append-only journal record (journal.w<i>.jsonl,
+//     JournalOpenMode::kResume), so a kill loses at most the in-flight
+//     scenario, never a finished one;
+//   - aggregation reads records in canonical scenario order and derives
+//     order-sensitive statistics (means) from that order, while
+//     percentiles/CDFs come from LogHistogram snapshot merges whose
+//     bucket counts are permutation-invariant by construction;
+//   - wall-clock times are quarantined in a separate latency sidecar
+//     that is NOT part of the identity contract;
+//   - aggregate files are written to a temp name and rename()d, so a
+//     crash during aggregation never leaves a torn artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+namespace gkll::sweep {
+
+struct SweepOptions {
+  std::string dir;           ///< sweep directory (queue, journals, artifacts)
+  std::string name = "sweep";///< artifact stem: BENCH_<name>.json etc.
+  std::size_t workers = 0;   ///< 0 = run in-process; N = fork N workers
+  /// Testing/CI fault injection: the FIRST worker raises SIGKILL on itself
+  /// after completing this many new scenarios (-1 = off).  Forked mode
+  /// only — an in-process SIGKILL would take the coordinator with it.
+  int crashAfter = -1;
+  /// Stop cleanly (exit incomplete) after this many new scenarios across
+  /// the in-process worker (-1 = off).  The property test's kill-at-every-
+  /// boundary knob.
+  int stopAfter = -1;
+  /// Backend: endpoint set => ServiceRunner (daemon), else LocalRunner.
+  ServiceEndpoint service;
+  bool quiet = false;  ///< suppress per-scenario progress lines
+};
+
+struct SweepOutcome {
+  bool complete = false;  ///< every scenario journaled; artifacts written
+  bool failed = false;    ///< a scenario errored — spec bug, do not resume
+  std::size_t total = 0;
+  std::size_t skipped = 0;  ///< already journaled before this run
+  std::size_t ran = 0;      ///< newly completed by this run
+  std::string aggregatePath;  ///< BENCH_<name>.json (when complete)
+  std::string cdfPath;        ///< SWEEP_<name>.cdf.json (when complete)
+  std::string latencyPath;    ///< SWEEP_<name>.latency.json (when complete)
+  std::string error;
+};
+
+/// Run (or resume) a sweep.  Re-invoking with the same spec and dir after
+/// any interruption continues where the journals left off; a spec that
+/// does not match the directory's manifest is refused.
+SweepOutcome runSweep(const SweepSpec& spec, const SweepOptions& opt);
+
+/// CLI exit code for an outcome: 0 complete, 3 incomplete (resume by
+/// re-running), 2 failed/config error.
+int exitCodeFor(const SweepOutcome& outcome);
+
+}  // namespace gkll::sweep

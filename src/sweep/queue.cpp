@@ -1,0 +1,73 @@
+#include "sweep/queue.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sweep/spec.h"
+
+namespace gkll::sweep {
+
+namespace {
+
+bool ensureDir(const std::string& path, std::string* err) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return true;
+  if (err) *err = "mkdir " + path + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+WorkQueue::WorkQueue(const std::string& dir)
+    : dir_(dir), claimsDir_(dir + "/claims") {
+  ok_ = ensureDir(dir_, &error_) && ensureDir(claimsDir_, &error_);
+}
+
+std::string WorkQueue::claimPath(const std::string& key) const {
+  return claimsDir_ + "/" + sanitizeKey(key);
+}
+
+bool WorkQueue::claim(const std::string& key) {
+  const std::string path = claimPath(key);
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0666);
+  if (fd < 0) return false;  // EEXIST: someone else holds it
+  // Record the claimant for post-mortems; content is advisory only.
+  const std::string body = key + "\npid=" + std::to_string(::getpid()) + "\n";
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+  return true;
+}
+
+bool WorkQueue::reset() {
+  DIR* d = ::opendir(claimsDir_.c_str());
+  if (d == nullptr) {
+    error_ = "opendir " + claimsDir_ + ": " + std::strerror(errno);
+    return false;
+  }
+  bool ok = true;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    if (::unlink((claimsDir_ + "/" + name).c_str()) != 0) ok = false;
+  }
+  ::closedir(d);
+  return ok;
+}
+
+std::vector<std::string> WorkQueue::claimed() const {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(claimsDir_.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") out.push_back(name);
+  }
+  ::closedir(d);
+  return out;
+}
+
+}  // namespace gkll::sweep

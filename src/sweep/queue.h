@@ -1,0 +1,48 @@
+// File-based work queue for the sweep grid: one claim file per scenario,
+// taken with open(O_CREAT|O_EXCL) — the one filesystem primitive that is
+// atomic on every local filesystem and over NFSv3+.  Workers race to
+// claim; exactly one wins; there is no coordinator in the claim path.
+//
+// Claims are INTRA-RUN state only.  Completion is recorded in the
+// workers' run journals (the durable artifact); the coordinator wipes the
+// claims directory before every worker generation, so a claim left behind
+// by a crashed worker can never shadow unfinished work on resume
+// (DESIGN.md §14).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gkll::sweep {
+
+class WorkQueue {
+ public:
+  /// `dir` is the queue directory (created if missing, along with its
+  /// claims/ subdirectory).  ok() is false when creation failed.
+  explicit WorkQueue(const std::string& dir);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Atomically claim `key` for this process.  True exactly once per key
+  /// per queue generation, across any number of racing processes.
+  bool claim(const std::string& key);
+
+  /// Delete every claim file — start a new claim generation.  Call only
+  /// while no worker is running.
+  bool reset();
+
+  /// Sanitised names of currently claimed keys (diagnostic).
+  std::vector<std::string> claimed() const;
+
+ private:
+  std::string claimPath(const std::string& key) const;
+
+  std::string dir_;
+  std::string claimsDir_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace gkll::sweep

@@ -1,0 +1,258 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "attack/removal_attack.h"
+#include "attack/sat_attack.h"
+#include "benchgen/synthetic_bench.h"
+#include "core/gk_encryptor.h"
+#include "lock/locking.h"
+#include "lock/sarlock.h"
+#include "lock/xor_lock.h"
+#include "netlist/netlist_ops.h"
+#include "runtime/seed.h"
+#include "runtime/sweep.h"
+#include "service/proto.h"
+#include "util/json.h"
+
+namespace gkll::sweep {
+
+namespace {
+
+/// The bench_sat_attack attacker: generous but bounded — the largest XOR
+/// baselines refute in ~150k conflicts; past 1M counts as "gave up".
+constexpr std::uint64_t kSatConflictBudget = 1'000'000;
+
+void put(std::vector<std::pair<std::string, double>>& m, const char* name,
+         double v) {
+  m.emplace_back(name, v);
+}
+
+void finishMetrics(ScenarioResult& out) {
+  std::sort(out.metrics.begin(), out.metrics.end());
+  out.ok = true;
+}
+
+}  // namespace
+
+// --- LocalRunner -------------------------------------------------------------
+
+ScenarioResult LocalRunner::run(const ScenarioSpec& s) {
+  ScenarioResult out;
+  const double t0 = runtime::wallMsNow();
+  auto& m = out.metrics;
+  try {
+    LockKind lk;
+    if (!parseLock(s.lock, lk, &out.error)) return out;
+
+    const Netlist original = generateByName(s.design);
+    const NetlistStats origStats = original.stats();
+    put(m, "cells", static_cast<double>(origStats.numCells));
+    put(m, "ffs", static_cast<double>(original.flops().size()));
+
+    // --- lock ---------------------------------------------------------------
+    Netlist comb;
+    std::vector<NetId> keys;
+    Netlist oracleComb;
+    double areaOverheadPct = 0;
+    switch (lk.kind) {
+      case LockKind::kNone: {
+        comb = extractCombinational(original).netlist;
+        oracleComb = comb;
+        break;
+      }
+      case LockKind::kXor:
+      case LockKind::kSarlock: {
+        LockedDesign ld;
+        if (lk.kind == LockKind::kXor) {
+          XorLockOptions xo;
+          xo.numKeyBits = lk.a;
+          xo.seed = s.seed;
+          ld = xorLock(original, xo);
+        } else {
+          SarLockOptions so;
+          so.numKeyBits = lk.a;
+          so.seed = s.seed;
+          ld = sarLock(original, so);
+        }
+        const NetlistStats lst = ld.netlist.stats();
+        areaOverheadPct =
+            origStats.area > 0
+                ? 100.0 * static_cast<double>(lst.area - origStats.area) /
+                      static_cast<double>(origStats.area)
+                : 0.0;
+        CombExtraction ce = extractCombinational(ld.netlist);
+        comb = std::move(ce.netlist);
+        for (NetId k : ld.keyInputs) keys.push_back(ce.netMap[k]);
+        oracleComb = extractCombinational(original).netlist;
+        break;
+      }
+      default: {  // gk / gkw / hybrid
+        if (original.flops().empty()) {
+          out.error = "lock " + s.lock + " requires a sequential design, " +
+                      s.design + " has no flops";
+          return out;
+        }
+        GkEncryptor enc(original);
+        EncryptOptions eo;
+        eo.numGks = lk.a;
+        eo.hybridXorKeys = lk.kind == LockKind::kHybrid ? lk.b : 0;
+        eo.withholding = lk.kind == LockKind::kGkWithhold;
+        eo.seed = s.seed;
+        const GkFlowResult flow = enc.encrypt(eo);
+        put(m, "gks_inserted", static_cast<double>(flow.insertions.size()));
+        areaOverheadPct = flow.areaOverheadPct;
+        GkEncryptor::AttackSurface surf = enc.attackSurface(flow);
+        comb = std::move(surf.comb);
+        keys = std::move(surf.gkKeys);
+        keys.insert(keys.end(), surf.otherKeys.begin(), surf.otherKeys.end());
+        oracleComb = std::move(surf.oracleComb);
+        break;
+      }
+    }
+    if (lk.kind != LockKind::kNone) {
+      put(m, "key_bits", static_cast<double>(keys.size()));
+      put(m, "area_overhead_pct", areaOverheadPct);
+    }
+
+    // --- attack -------------------------------------------------------------
+    if (s.attack == "sat" && !keys.empty()) {
+      SatAttackOptions o;
+      o.conflictBudget = kSatConflictBudget;
+      const SatAttackResult r = satAttack(comb, keys, oracleComb, o);
+      put(m, "sat_dips", r.dips);
+      put(m, "sat_decrypted", r.decrypted ? 1 : 0);
+      put(m, "sat_unsat_iter1", r.unsatAtFirstIteration ? 1 : 0);
+      put(m, "sat_key_unsat", r.keyConstraintsUnsat ? 1 : 0);
+      put(m, "sat_converged", r.converged ? 1 : 0);
+      put(m, "sat_budget_exhausted", r.budgetExhausted ? 1 : 0);
+    } else if (s.attack == "removal" && !keys.empty()) {
+      RemovalAttackOptions o;
+      o.seed = runtime::seedChain(s.seed, {1});
+      const RemovalAttackResult r = removalAttack(comb, keys, oracleComb, o);
+      put(m, "rm_located", r.located ? 1 : 0);
+      put(m, "rm_restored", r.restoredFunction ? 1 : 0);
+      put(m, "rm_skewed_nets", static_cast<double>(r.skewedKeyNets.size()));
+      put(m, "rm_flip_prob", r.flipProbability);
+    }
+    finishMetrics(out);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  out.wallMs = runtime::wallMsNow() - t0;
+  return out;
+}
+
+// --- ServiceRunner -----------------------------------------------------------
+
+bool ServiceRunner::roundTrip(const std::string& payload,
+                              std::string& response, std::string* err) {
+  // One reconnect retry: keep-alive connections die with daemon restarts
+  // and idle timeouts; a fresh scenario should survive that.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!client_.connected()) {
+      const bool up = ep_.unixPath.empty() ? client_.connectTcp(ep_.tcpPort)
+                                           : client_.connectUnix(ep_.unixPath);
+      if (!up) {
+        if (err) *err = "connect: " + client_.error();
+        continue;
+      }
+    }
+    if (client_.request(payload, response)) return true;
+    if (err) *err = "transport: " + client_.error();
+  }
+  return false;
+}
+
+ScenarioResult ServiceRunner::run(const ScenarioSpec& s) {
+  ScenarioResult out;
+  const double t0 = runtime::wallMsNow();
+  auto& m = out.metrics;
+
+  LockKind lk;
+  if (!parseLock(s.lock, lk, &out.error)) return out;
+  if (lk.kind == LockKind::kSarlock) {
+    out.error = "lock " + s.lock + " is not supported by the service backend";
+    return out;
+  }
+  if (s.attack == "removal") {
+    out.error = "removal attack is not supported by the service backend";
+    return out;
+  }
+
+  const auto call = [&](const std::string& payload,
+                        util::JsonValue& reply) -> bool {
+    std::string response;
+    if (!roundTrip(payload, response, &out.error)) return false;
+    if (!parseJson(response, reply) || !reply.isObject()) {
+      out.error = "unparseable service response";
+      return false;
+    }
+    if (!reply.boolOr("ok", false)) {
+      out.error = "service error: " + reply.stringOr("error", "?") + ": " +
+                  reply.stringOr("message", "");
+      return false;
+    }
+    return true;
+  };
+
+  // --- upload ---------------------------------------------------------------
+  service::JsonWriter up;
+  up.i64("id", nextId_++).str("verb", "upload").str("generate", s.design);
+  util::JsonValue reply;
+  if (!call(up.finish(), reply)) return out;
+  put(m, "cells", reply.numberOr("cells", 0));
+  put(m, "ffs", reply.numberOr("ffs", 0));
+  const std::string handle = reply.stringOr("handle", "");
+
+  // --- lock -----------------------------------------------------------------
+  std::string lockedHandle;
+  if (lk.kind != LockKind::kNone) {
+    service::JsonWriter lw;
+    lw.i64("id", nextId_++)
+        .str("verb", "lock")
+        .str("handle", handle)
+        .i64("seed", static_cast<std::int64_t>(s.seed));
+    if (lk.kind == LockKind::kXor) {
+      lw.str("scheme", "xor").i64("key_bits", lk.a);
+    } else {
+      lw.str("scheme", "gk").i64("num_gks", lk.a);
+      if (lk.kind == LockKind::kHybrid) lw.i64("hybrid_xor_keys", lk.b);
+      if (lk.kind == LockKind::kGkWithhold) lw.boolean("withholding", true);
+    }
+    if (!call(lw.finish(), reply)) return out;
+    put(m, "key_bits", reply.numberOr("key_bits", 0));
+    if (const util::JsonValue* v = reply.find("area_overhead_pct"))
+      put(m, "area_overhead_pct", v->number);
+    if (const util::JsonValue* v = reply.find("num_gks"))
+      put(m, "gks_inserted", v->number);
+    lockedHandle = reply.stringOr("locked_handle", "");
+  }
+
+  // --- attack ---------------------------------------------------------------
+  if (s.attack == "sat" && !lockedHandle.empty()) {
+    service::JsonWriter aw;
+    aw.i64("id", nextId_++)
+        .str("verb", "attack")
+        .str("handle", lockedHandle)
+        .str("mode", "sat")
+        .i64("conflict_budget", static_cast<std::int64_t>(kSatConflictBudget));
+    if (!call(aw.finish(), reply)) return out;
+    put(m, "sat_dips", reply.numberOr("dips", 0));
+    put(m, "sat_decrypted", reply.boolOr("decrypted", false) ? 1 : 0);
+    put(m, "sat_unsat_iter1",
+        reply.boolOr("unsat_at_first_iteration", false) ? 1 : 0);
+    put(m, "sat_key_unsat",
+        reply.boolOr("key_constraints_unsat", false) ? 1 : 0);
+    put(m, "sat_converged", reply.boolOr("converged", false) ? 1 : 0);
+    put(m, "sat_budget_exhausted",
+        reply.boolOr("budget_exhausted", false) ? 1 : 0);
+  }
+  finishMetrics(out);
+  out.wallMs = runtime::wallMsNow() - t0;
+  return out;
+}
+
+}  // namespace gkll::sweep

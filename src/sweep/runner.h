@@ -1,0 +1,76 @@
+// Scenario execution backends for the sweep grid.
+//
+// A ScenarioRunner turns one ScenarioSpec into a flat metric map.  The
+// metrics are the DETERMINISTIC face of a scenario — pure functions of
+// (spec, scenario seed), independent of which worker/process/backend ran
+// it and of wall-clock — because they are what the coordinator aggregates
+// into the byte-identity-checked BENCH_<name>.json.  Wall time rides
+// alongside in ScenarioResult::wallMs and is kept OUT of the metric map
+// (it lands in the separate latency sidecar, see coordinator.h).
+//
+// Backends:
+//   LocalRunner   — in-process: benchgen -> lock -> attack, mirroring the
+//                   bench_sat_attack recipe (extractCombinational fronts,
+//                   attackSurface for GK schemes, 1M-conflict SAT budget).
+//   ServiceRunner — drives a gkll_serve daemon over ONE keep-alive
+//                   connection per runner (upload/lock/attack verbs); N
+//                   forked workers with a ServiceRunner each therefore
+//                   stress the daemon over N concurrent connections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/client.h"
+#include "sweep/spec.h"
+
+namespace gkll::sweep {
+
+struct ScenarioResult {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  /// Deterministic metrics, sorted by name.
+  std::vector<std::pair<std::string, double>> metrics;
+  double wallMs = 0;  ///< measured; never part of the identity contract
+};
+
+class ScenarioRunner {
+ public:
+  virtual ~ScenarioRunner() = default;
+  virtual ScenarioResult run(const ScenarioSpec& s) = 0;
+};
+
+/// In-process backend.  Stateless across scenarios (each scenario compiles
+/// its own design); per-scenario sub-seeds derive from s.seed via
+/// runtime::seedChain so reruns are byte-identical.
+class LocalRunner : public ScenarioRunner {
+ public:
+  ScenarioResult run(const ScenarioSpec& s) override;
+};
+
+/// Where a ServiceRunner connects; exactly one of the two is set.
+struct ServiceEndpoint {
+  std::string unixPath;
+  int tcpPort = 0;
+};
+
+class ServiceRunner : public ScenarioRunner {
+ public:
+  explicit ServiceRunner(ServiceEndpoint ep) : ep_(std::move(ep)) {}
+
+  /// Unsupported combinations on this backend (sarlock locks, removal
+  /// attacks) return ok=false with an explanatory error.
+  ScenarioResult run(const ScenarioSpec& s) override;
+
+ private:
+  bool roundTrip(const std::string& payload, std::string& response,
+                 std::string* err);
+
+  ServiceEndpoint ep_;
+  service::ServiceClient client_;  // keep-alive across scenarios
+  std::int64_t nextId_ = 1;
+};
+
+}  // namespace gkll::sweep

@@ -1,0 +1,152 @@
+#include "sweep/spec.h"
+
+#include <cstdio>
+
+#include "runtime/seed.h"
+
+namespace gkll::sweep {
+
+namespace {
+
+bool parseInt(const std::string& s, std::size_t pos, std::size_t end,
+              int& out) {
+  if (pos >= end) return false;
+  long v = 0;
+  for (std::size_t i = pos; i < end; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1'000'000) return false;
+  }
+  out = static_cast<int>(v);
+  return out > 0;
+}
+
+}  // namespace
+
+bool parseLock(const std::string& s, LockKind& out, std::string* err) {
+  out = LockKind{};
+  if (s == "none") return true;
+  const std::size_t colon = s.find(':');
+  const std::string head = s.substr(0, colon);
+  const auto fail = [&](const char* what) {
+    if (err)
+      *err = "bad lock \"" + s + "\": " + what +
+             " (forms: none, xor:<bits>, sarlock:<bits>, gk:<gks>, "
+             "gkw:<gks>, hybrid:<g>x<k>)";
+    return false;
+  };
+  if (colon == std::string::npos) return fail("missing :<param>");
+  if (head == "hybrid") {
+    const std::size_t x = s.find('x', colon + 1);
+    if (x == std::string::npos) return fail("hybrid needs <g>x<k>");
+    if (!parseInt(s, colon + 1, x, out.a) ||
+        !parseInt(s, x + 1, s.size(), out.b))
+      return fail("hybrid counts must be positive integers");
+    out.kind = LockKind::kHybrid;
+    return true;
+  }
+  if (!parseInt(s, colon + 1, s.size(), out.a))
+    return fail("parameter must be a positive integer");
+  if (head == "xor") out.kind = LockKind::kXor;
+  else if (head == "sarlock") out.kind = LockKind::kSarlock;
+  else if (head == "gk") out.kind = LockKind::kGk;
+  else if (head == "gkw") out.kind = LockKind::kGkWithhold;
+  else return fail("unknown scheme");
+  return true;
+}
+
+bool validAttack(const std::string& s) {
+  return s == "none" || s == "sat" || s == "removal";
+}
+
+std::string ScenarioSpec::key() const {
+  return design + "|" + lock + "|" + attack + "|r" + std::to_string(rep);
+}
+
+bool SweepSpec::validate(std::string* err) const {
+  if (designs.empty() || locks.empty() || attacks.empty() || reps == 0) {
+    if (err) *err = "sweep spec needs >=1 design, lock, attack and rep";
+    return false;
+  }
+  LockKind lk;
+  for (const std::string& l : locks)
+    if (!parseLock(l, lk, err)) return false;
+  for (const std::string& a : attacks)
+    if (!validAttack(a)) {
+      if (err) *err = "bad attack \"" + a + "\" (none, sat, removal)";
+      return false;
+    }
+  return true;
+}
+
+std::vector<ScenarioSpec> SweepSpec::enumerate() const {
+  std::vector<ScenarioSpec> out;
+  out.reserve(designs.size() * locks.size() * attacks.size() * reps);
+  std::size_t index = 0;
+  for (const std::string& d : designs)
+    for (const std::string& l : locks)
+      for (const std::string& a : attacks)
+        for (std::size_t r = 0; r < reps; ++r) {
+          ScenarioSpec s;
+          s.design = d;
+          s.lock = l;
+          s.attack = a;
+          s.rep = r;
+          s.index = index;
+          s.seed = runtime::taskSeed(masterSeed, index);
+          out.push_back(std::move(s));
+          ++index;
+        }
+  return out;
+}
+
+std::string SweepSpec::canonical() const {
+  std::string out = "sweep/v1;designs=";
+  for (std::size_t i = 0; i < designs.size(); ++i)
+    out += (i ? "," : "") + designs[i];
+  out += ";locks=";
+  for (std::size_t i = 0; i < locks.size(); ++i)
+    out += (i ? "," : "") + locks[i];
+  out += ";attacks=";
+  for (std::size_t i = 0; i < attacks.size(); ++i)
+    out += (i ? "," : "") + attacks[i];
+  out += ";reps=" + std::to_string(reps);
+  out += ";seed=" + std::to_string(masterSeed);
+  return out;
+}
+
+std::uint64_t SweepSpec::hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : canonical()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string sanitizeKey(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::vector<std::string> splitList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) out.push_back(csv.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace gkll::sweep

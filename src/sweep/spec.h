@@ -1,0 +1,85 @@
+// Sweep matrix specification: the scenario grid (designs x locks x
+// attacks x repetitions) a distributed sweep runs, with a canonical
+// enumeration order, canonical per-scenario keys and deterministic
+// per-scenario seeds.
+//
+// The enumeration IS the contract: scenario index = position in
+// enumerate() (design-major, then lock, then attack, then rep), and the
+// scenario seed is taskSeed(masterSeed, index).  Any process that can
+// parse the spec re-derives the same keys and seeds, which is what makes
+// a killed-and-resumed sweep byte-identical to an uninterrupted one
+// (DESIGN.md §14): work may be re-sharded arbitrarily across workers, but
+// what each scenario *computes* is pinned by (spec, masterSeed) alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gkll::sweep {
+
+/// A parsed lock descriptor.  String forms:
+///   "none"            no lock (attack stages are skipped)
+///   "xor:<bits>"      XOR/XNOR key gates [9]
+///   "sarlock:<bits>"  SARLock point function (removal-attack prey)
+///   "gk:<gks>"        glitch key-gates (paper Sec. IV)
+///   "gkw:<gks>"       GKs with LUT withholding (paper Sec. V-D)
+///   "hybrid:<g>x<k>"  g GKs + k conventional XOR keys (paper Sec. VI)
+struct LockKind {
+  enum Kind { kNone, kXor, kSarlock, kGk, kGkWithhold, kHybrid };
+  Kind kind = kNone;
+  int a = 0;  ///< key bits (xor/sarlock) or GK count (gk/gkw/hybrid)
+  int b = 0;  ///< hybrid: conventional XOR key count
+};
+
+/// Parse a lock string; false (with *err set) on malformed input.
+bool parseLock(const std::string& s, LockKind& out, std::string* err);
+
+/// Attack strings: "none", "sat", "removal".
+bool validAttack(const std::string& s);
+
+/// One cell of the matrix, fully resolved.
+struct ScenarioSpec {
+  std::string design;  ///< any benchgen name (c17, s27, gen:1000x50, ...)
+  std::string lock;    ///< LockKind string form
+  std::string attack;  ///< "none" | "sat" | "removal"
+  std::size_t rep = 0;
+  std::size_t index = 0;      ///< canonical position in enumerate()
+  std::uint64_t seed = 0;     ///< taskSeed(masterSeed, index)
+
+  /// Canonical journal/queue key: "<design>|<lock>|<attack>|r<rep>".
+  std::string key() const;
+};
+
+struct SweepSpec {
+  std::vector<std::string> designs;
+  std::vector<std::string> locks;    ///< LockKind string forms
+  std::vector<std::string> attacks;  ///< "none" | "sat" | "removal"
+  std::size_t reps = 1;
+  std::uint64_t masterSeed = 1;
+
+  /// Validate every axis value; false (with *err) on the first bad entry.
+  bool validate(std::string* err) const;
+
+  /// All scenarios in canonical order (design-major, then lock, attack,
+  /// rep), with index and seed filled in.
+  std::vector<ScenarioSpec> enumerate() const;
+
+  /// One-line canonical form (sorted nothing — axis order is meaningful);
+  /// the manifest the resume path compares against.
+  std::string canonical() const;
+
+  /// FNV-1a 64 of canonical() — cheap spec identity for manifests.
+  std::uint64_t hash() const;
+};
+
+/// Filesystem-safe form of a scenario key ([A-Za-z0-9._-], rest -> '_');
+/// used for claim-file names.  Collisions are acceptable there (a
+/// collision only serialises two scenarios onto one worker).
+std::string sanitizeKey(const std::string& key);
+
+/// Split a comma-separated axis list ("c17,s27" -> {"c17","s27"}); empty
+/// segments are dropped.
+std::vector<std::string> splitList(const std::string& csv);
+
+}  // namespace gkll::sweep

@@ -1,0 +1,164 @@
+// Stage-graph scenario plans — the scheduling layer shared by the bench
+// harnesses (bench/scenario_driver.h) and the distributed sweep runner
+// (sweep/runner.h, DESIGN.md §14).
+//
+// A StagePlan declares each scenario instance as a chain/diamond of
+// *stages* — nodes in one runtime::TaskGraph — so independent stages of
+// different scenarios overlap and a heavy stage can use ctx.pool for
+// parallelism inside itself.
+//
+// Determinism: a stage's Rng is seeded by taskSeed(masterSeed,
+// taskSeed(scenarioOffset + scenario, stage-ordinal)) — a function of
+// *what* the stage is, never of scheduling or of the repetition instance.
+// The scenarioOffset term is what lets an external runner execute one
+// scenario of a larger matrix in isolation and still reproduce the exact
+// seeds the full in-process run would have used: run scenario j alone with
+// scenarioOffset = j and the stage seeds match the offset-0 run of the
+// whole matrix.
+//
+// This layer is deliberately free of bench::Reporter: progress ticks and
+// instance-completion reporting go through StageCallbacks, plain
+// std::functions the caller binds to whatever sink it owns (the bench
+// Reporter, the sweep worker's journal, a test's vector).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/seed.h"
+#include "runtime/sweep.h"
+#include "runtime/task_graph.h"
+#include "util/rng.h"
+
+namespace gkll::sweep {
+
+/// Context handed to every stage body.  `pool` is the pool the pass runs
+/// on — intra-stage parallelism must use it (never ThreadPool::global(),
+/// which would parallelise the serial baseline of a dual run).
+struct StageCtx {
+  std::size_t instance = 0;  ///< DAG instance index = rep * scenarios + s
+  std::size_t scenario = 0;
+  std::size_t rep = 0;
+  runtime::ThreadPool* pool = nullptr;
+  Rng rng{0};
+};
+
+/// Driver hooks a StagePlan reports into.  Both optional; both may fire
+/// from worker threads and in any order across instances.
+struct StageCallbacks {
+  /// One stage of some instance finished.
+  std::function<void()> tick;
+  /// The LAST stage of instance (scenario, rep) finished; wallMs is the
+  /// summed wall time of all its stages.
+  std::function<void(std::size_t scenario, std::size_t rep, double wallMs)>
+      instanceDone;
+};
+
+/// One pass's stage-graph builder handle: `reps * scenarios` independent
+/// instances, each declared as stages with explicit dependencies.  Exactly
+/// one stage per instance must be declared through result(), whose return
+/// value is emplaced into the instance's result slot (R needs no default
+/// constructor).
+template <class R>
+class StagePlan {
+ public:
+  using NodeId = runtime::TaskGraph::NodeId;
+
+  StagePlan(runtime::TaskGraph& graph, runtime::detail::Slots<R>& slots,
+            std::size_t scenarios, std::size_t reps,
+            const StageCallbacks* callbacks = nullptr,
+            std::size_t scenarioOffset = 0)
+      : graph_(&graph),
+        slots_(&slots),
+        scenarios_(scenarios),
+        reps_(reps),
+        offset_(scenarioOffset),
+        callbacks_(callbacks),
+        inst_(scenarios * reps),
+        ordinal_(scenarios * reps, 0) {}
+
+  std::size_t scenarios() const { return scenarios_; }
+  std::size_t reps() const { return reps_; }
+  std::size_t instances() const { return scenarios_ * reps_; }
+  std::size_t scenarioOf(std::size_t k) const { return k % scenarios_; }
+  std::size_t stages() const { return stageCount_; }
+
+  /// Declare one stage of instance `k`; `deps` are NodeIds of earlier
+  /// stages (usually of the same instance).  Returns the stage's NodeId.
+  NodeId stage(std::size_t k, std::string kind,
+               std::function<void(StageCtx&)> fn,
+               const std::vector<NodeId>& deps = {}) {
+    const std::uint64_t seedIndex =
+        runtime::taskSeed(offset_ + scenarioOf(k), ordinal_[k]++);
+    inst_[k].outstanding.fetch_add(1, std::memory_order_relaxed);
+    ++stageCount_;
+    return graph_->add(
+        std::move(kind),
+        [this, k, fn = std::move(fn)](runtime::TaskCtx& tctx) {
+          StageCtx ctx;
+          ctx.instance = k;
+          ctx.scenario = scenarioOf(k);
+          ctx.rep = k / scenarios_;
+          ctx.pool = tctx.pool;
+          ctx.rng = Rng(tctx.seed);
+          const double t0 = runtime::wallMsNow();
+          fn(ctx);
+          finishStage(k, runtime::wallMsNow() - t0);
+        },
+        deps, seedIndex);
+  }
+
+  /// Declare the terminal stage of instance `k`: fn returns the instance's
+  /// result row, emplaced directly into the result slot.
+  template <class Fn>
+  NodeId result(std::size_t k, std::string kind, Fn fn,
+                const std::vector<NodeId>& deps = {}) {
+    return stage(
+        k, std::move(kind),
+        [this, k, fn = std::move(fn)](StageCtx& ctx) {
+          slots_->emplace(k, fn(ctx));
+        },
+        deps);
+  }
+
+ private:
+  struct InstanceState {
+    std::atomic<std::size_t> outstanding{0};
+    std::atomic<double> wallMs{0.0};
+  };
+
+  static void addMs(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  void finishStage(std::size_t k, double ms) {
+    InstanceState& st = inst_[k];
+    addMs(st.wallMs, ms);
+    if (callbacks_ == nullptr) return;
+    if (callbacks_->tick) callbacks_->tick();
+    if (st.outstanding.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    // Last stage of the instance — completion can land in any order.
+    if (callbacks_->instanceDone)
+      callbacks_->instanceDone(scenarioOf(k), k / scenarios_,
+                               st.wallMs.load(std::memory_order_relaxed));
+  }
+
+  runtime::TaskGraph* graph_;
+  runtime::detail::Slots<R>* slots_;
+  std::size_t scenarios_;
+  std::size_t reps_;
+  std::size_t offset_;
+  const StageCallbacks* callbacks_ = nullptr;
+  std::size_t stageCount_ = 0;
+  std::vector<InstanceState> inst_;   // built single-threaded, drained by run
+  std::vector<std::uint32_t> ordinal_;
+};
+
+}  // namespace gkll::sweep

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -80,7 +81,7 @@ TEST(Journal, ReopenTruncatesAndRestartsSequence) {
   ASSERT_TRUE(j.open(path, "first"));
   j.record("a");
   j.record("b");
-  ASSERT_TRUE(j.open(path, "second"));  // truncating reopen
+  ASSERT_TRUE(j.open(path, "second"));  // truncating reopen (default mode)
   j.record("c");
   EXPECT_EQ(j.recordsWritten(), 1u);
   j.close();
@@ -90,6 +91,102 @@ TEST(Journal, ReopenTruncatesAndRestartsSequence) {
   EXPECT_EQ(r.tool(), "second");
   ASSERT_EQ(r.records().size(), 1u);
   EXPECT_EQ(r.records()[0].type, "c");
+}
+
+// The resume-mode regression the sweep grid depends on: open -> write ->
+// close -> reopen(kResume) preserves the prior records and extends the
+// stream; the original header (including its tool name) is kept.
+TEST(Journal, ResumeReopenPreservesAndExtends) {
+  const std::string path = tempPath("resume.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "run1", 0xBEEFULL));
+    j.record("scenario.done").str("key", "m/0");
+    j.record("scenario.done").str("key", "m/1");
+    j.close();
+  }
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "run2-ignored", 0,
+                       obs::JournalOpenMode::kResume));
+    j.record("scenario.done").str("key", "m/2");
+    EXPECT_EQ(j.recordsWritten(), 1u);  // process-local count
+    j.close();
+  }
+
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  EXPECT_EQ(r.tool(), "run1");  // header re-validated, never rewritten
+  EXPECT_EQ(r.netlistHash(), "0x000000000000beef");
+  EXPECT_FALSE(r.truncatedTail());
+  ASSERT_EQ(r.records().size(), 3u);
+  const auto done = r.completedScenarios();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], "m/0");
+  EXPECT_EQ(done[1], "m/1");
+  EXPECT_EQ(done[2], "m/2");
+}
+
+// Resume after a crash mid-record: the torn trailing line is trimmed on
+// open so the first appended record starts at a record boundary.
+TEST(Journal, ResumeTrimsTornTail) {
+  const std::string path = tempPath("resume_torn.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "run1"));
+    j.record("scenario.done").str("key", "m/0");
+    j.close();
+  }
+  {
+    // Simulate the crash: a partial record with no terminating newline.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f << "{\"type\":\"scenario.done\",\"key\":\"m/half";
+  }
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "run2", 0, obs::JournalOpenMode::kResume));
+    j.record("scenario.done").str("key", "m/1");
+    j.close();
+  }
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  EXPECT_FALSE(r.truncatedTail());
+  const auto done = r.completedScenarios();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], "m/0");
+  EXPECT_EQ(done[1], "m/1");
+}
+
+// Resume on a missing or empty path degrades to a fresh start (header
+// written); resume on a non-journal file refuses to touch it.
+TEST(Journal, ResumeFreshAndForeignFiles) {
+  const std::string path = tempPath("resume_fresh.jsonl");
+  std::remove(path.c_str());
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "fresh", 0, obs::JournalOpenMode::kResume));
+    j.record("rec");
+    j.close();
+  }
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  EXPECT_EQ(r.tool(), "fresh");
+  ASSERT_EQ(r.records().size(), 1u);
+
+  const std::string foreign = tempPath("resume_foreign.jsonl");
+  spit(foreign, "not a journal at all\n");
+  obs::RunJournal j2;
+  EXPECT_FALSE(j2.open(foreign, "x", 0, obs::JournalOpenMode::kResume));
+  EXPECT_FALSE(j2.enabled());
+  EXPECT_EQ(slurp(foreign), "not a journal at all\n");  // left untouched
+
+  // A journal from a different schema version is also refused: appending
+  // current-schema records into it would corrupt the stream's contract.
+  const std::string old = tempPath("resume_oldschema.jsonl");
+  spit(old, "{\"type\":\"journal.header\",\"schema\":" +
+                std::to_string(obs::kJournalSchemaVersion + 1) +
+                ",\"tool\":\"future\"}\n");
+  EXPECT_FALSE(j2.open(old, "x", 0, obs::JournalOpenMode::kResume));
 }
 
 // The ISSUE-mandated crash-safety property: truncate the file at EVERY
@@ -207,6 +304,34 @@ TEST(Journal, CompletedScenariosExtractsKeysInOrder) {
   EXPECT_EQ(done[0], "table1/0");
   EXPECT_EQ(done[1], "table1/1");
   EXPECT_EQ(done[2], "fig7/0");
+}
+
+// Repeated keys — a resumed run re-journaling work it replayed, or reps
+// sharing a key — must collapse to one entry each, first-seen order.
+TEST(Journal, CompletedScenariosDedupesRepeatedKeys) {
+  const std::string path = tempPath("scenarios_dup.jsonl");
+  {
+    obs::RunJournal j;
+    ASSERT_TRUE(j.open(path, "sweep"));
+    j.record("scenario.done").str("key", "m/1").i64("rep", 0);
+    j.record("scenario.done").str("key", "m/0");
+    j.record("scenario.done").str("key", "m/1").i64("rep", 1);
+    j.record("scenario.done").str("key", "m/2");
+    j.record("scenario.done").str("key", "m/0");
+    j.close();
+  }
+  obs::JournalReader r;
+  ASSERT_TRUE(r.read(path)) << r.error();
+  const std::vector<std::string> done = r.completedScenarios();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], "m/1");
+  EXPECT_EQ(done[1], "m/0");
+  EXPECT_EQ(done[2], "m/2");
+  // scenarioDoneRecords keeps the FIRST record for each key: its fields are
+  // what the aggregator replays.
+  const auto recs = r.scenarioDoneRecords();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(static_cast<std::int64_t>(recs[0]->json.numberOr("rep", -1)), 0);
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+// Tests for the distributed sweep grid (src/sweep/): scenario-spec
+// parsing and deterministic enumeration, the claim-exactly-once work
+// queue, manifest guarding — and the headline resume property the CI
+// sweep-smoke job also gates end to end:
+//
+//   a sweep interrupted at ANY scenario boundary and re-run produces
+//   aggregate artifacts byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/seed.h"
+#include "sweep/coordinator.h"
+#include "sweep/queue.h"
+#include "sweep/spec.h"
+
+namespace gkll {
+namespace {
+
+/// Fresh sweep directory: stale state from a previous test-binary run
+/// would otherwise be resumed (that IS the coordinator's contract) and
+/// flip the expected outcomes below.
+std::string tempDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "gkll_sweep_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The small scenario matrix every coordinator test runs: 2 designs x
+/// 2 locks x 1 attack x 2 reps = 8 scenarios, all fast.
+sweep::SweepSpec smallSpec() {
+  sweep::SweepSpec spec;
+  spec.designs = {"toyseq", "gen:60x8"};
+  spec.locks = {"xor:4", "gk:2"};
+  spec.attacks = {"sat"};
+  spec.reps = 2;
+  spec.masterSeed = 7;
+  return spec;
+}
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(SweepSpec, ParseLockAcceptsEveryGrammarForm) {
+  sweep::LockKind lk;
+  std::string err;
+  ASSERT_TRUE(sweep::parseLock("none", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kNone);
+  ASSERT_TRUE(sweep::parseLock("xor:12", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kXor);
+  EXPECT_EQ(lk.a, 12);
+  ASSERT_TRUE(sweep::parseLock("sarlock:8", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kSarlock);
+  ASSERT_TRUE(sweep::parseLock("gk:3", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kGk);
+  EXPECT_EQ(lk.a, 3);
+  ASSERT_TRUE(sweep::parseLock("gkw:2", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kGkWithhold);
+  ASSERT_TRUE(sweep::parseLock("hybrid:2x6", lk, &err));
+  EXPECT_EQ(lk.kind, sweep::LockKind::kHybrid);
+  EXPECT_EQ(lk.a, 2);
+  EXPECT_EQ(lk.b, 6);
+}
+
+TEST(SweepSpec, ParseLockRejectsMalformedForms) {
+  sweep::LockKind lk;
+  std::string err;
+  for (const char* bad : {"", "xor", "xor:", "xor:0", "xor:-3", "xor:abc",
+                          "hybrid:2", "hybrid:x6", "bogus:4", "xor:9999999"}) {
+    EXPECT_FALSE(sweep::parseLock(bad, lk, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(SweepSpec, EnumerationIsDeterministicAndSeedSplit) {
+  const sweep::SweepSpec spec = smallSpec();
+  std::string err;
+  ASSERT_TRUE(spec.validate(&err)) << err;
+  const std::vector<sweep::ScenarioSpec> a = spec.enumerate();
+  const std::vector<sweep::ScenarioSpec> b = spec.enumerate();
+  ASSERT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key());
+    EXPECT_EQ(a[i].index, i);
+    // Per-scenario seeds come from the runtime's splitmix64 task-seed
+    // splitter, keyed by enumeration index.
+    EXPECT_EQ(a[i].seed, runtime::taskSeed(spec.masterSeed, i));
+  }
+  // Design-major order: the first reps*locks*attacks entries are design 0.
+  EXPECT_EQ(a[0].key(), "toyseq|xor:4|sat|r0");
+  EXPECT_EQ(a[1].key(), "toyseq|xor:4|sat|r1");
+  EXPECT_EQ(a[4].key(), "gen:60x8|xor:4|sat|r0");
+}
+
+TEST(SweepSpec, CanonicalAndHashTrackSpecContent) {
+  const sweep::SweepSpec spec = smallSpec();
+  sweep::SweepSpec other = smallSpec();
+  EXPECT_EQ(spec.canonical(), other.canonical());
+  EXPECT_EQ(spec.hash(), other.hash());
+  other.masterSeed = 8;
+  EXPECT_NE(spec.canonical(), other.canonical());
+  EXPECT_NE(spec.hash(), other.hash());
+}
+
+TEST(SweepSpec, SanitizeKeyMakesFilesystemSafeNames) {
+  EXPECT_EQ(sweep::sanitizeKey("toyseq|xor:4|sat|r0"), "toyseq_xor_4_sat_r0");
+  EXPECT_EQ(sweep::sanitizeKey("a/b\\c d"), "a_b_c_d");
+  EXPECT_EQ(sweep::sanitizeKey("ok-name_1.2"), "ok-name_1.2");
+}
+
+// --- work queue ------------------------------------------------------------
+
+TEST(SweepQueue, ClaimIsExactlyOncePerKey) {
+  const std::string dir = tempDir("queue");
+  sweep::WorkQueue q(dir);
+  EXPECT_TRUE(q.claim("toyseq|xor:4|sat|r0"));
+  EXPECT_FALSE(q.claim("toyseq|xor:4|sat|r0"));  // second claimant loses
+  EXPECT_TRUE(q.claim("toyseq|xor:4|sat|r1"));
+  EXPECT_EQ(q.claimed().size(), 2u);
+  q.reset();
+  EXPECT_TRUE(q.claimed().empty());
+  EXPECT_TRUE(q.claim("toyseq|xor:4|sat|r0"));  // claimable again after reset
+}
+
+// --- coordinator: resume identity property ---------------------------------
+
+struct SweepArtifacts {
+  std::string bench;
+  std::string cdf;
+};
+
+SweepArtifacts runToCompletion(const std::string& dir, int stopAfter = -1) {
+  sweep::SweepOptions opt;
+  opt.dir = dir;
+  opt.quiet = true;
+  opt.stopAfter = stopAfter;
+  const sweep::SweepOutcome out = sweep::runSweep(smallSpec(), opt);
+  SweepArtifacts art;
+  if (out.complete) {
+    art.bench = slurp(out.aggregatePath);
+    art.cdf = slurp(out.cdfPath);
+    EXPECT_FALSE(art.bench.empty());
+    EXPECT_FALSE(art.cdf.empty());
+  }
+  return art;
+}
+
+TEST(SweepResume, InterruptedAtEveryBoundaryIsByteIdentical) {
+  // Uninterrupted reference run.
+  const std::string refDir = tempDir("ref");
+  const SweepArtifacts ref = runToCompletion(refDir);
+  ASSERT_FALSE(ref.bench.empty());
+
+  const std::size_t total = smallSpec().enumerate().size();
+  for (std::size_t k = 0; k < total; ++k) {
+    const std::string dir = tempDir("stop" + std::to_string(k));
+    // First pass stops cleanly after k newly-run scenarios...
+    sweep::SweepOptions opt;
+    opt.dir = dir;
+    opt.quiet = true;
+    opt.stopAfter = static_cast<int>(k);
+    sweep::SweepOutcome first = sweep::runSweep(smallSpec(), opt);
+    EXPECT_FALSE(first.complete) << "k=" << k;
+    EXPECT_FALSE(first.failed) << "k=" << k;
+    EXPECT_EQ(sweep::exitCodeFor(first), 3) << "k=" << k;
+
+    // ...simulate the crash tearing the journal mid-record...
+    {
+      std::ofstream f(dir + "/journal.w0.jsonl",
+                      std::ios::binary | std::ios::app);
+      f << "{\"type\":\"scenario.done\",\"key\":\"torn";  // no newline
+    }
+
+    // ...then an unrestricted re-run finishes the remainder.
+    opt.stopAfter = -1;
+    sweep::SweepOutcome second = sweep::runSweep(smallSpec(), opt);
+    ASSERT_TRUE(second.complete) << "k=" << k << ": " << second.error;
+    EXPECT_EQ(second.skipped, k) << "k=" << k;
+    EXPECT_EQ(second.ran, total - k) << "k=" << k;
+
+    EXPECT_EQ(slurp(second.aggregatePath), ref.bench) << "k=" << k;
+    EXPECT_EQ(slurp(second.cdfPath), ref.cdf) << "k=" << k;
+  }
+}
+
+TEST(SweepResume, RerunOfCompleteSweepSkipsEverythingAndRewritesIdentically) {
+  const std::string dir = tempDir("rerun");
+  const SweepArtifacts first = runToCompletion(dir);
+  ASSERT_FALSE(first.bench.empty());
+
+  sweep::SweepOptions opt;
+  opt.dir = dir;
+  opt.quiet = true;
+  const sweep::SweepOutcome again = sweep::runSweep(smallSpec(), opt);
+  ASSERT_TRUE(again.complete) << again.error;
+  EXPECT_EQ(again.skipped, again.total);
+  EXPECT_EQ(again.ran, 0u);
+  EXPECT_EQ(slurp(again.aggregatePath), first.bench);
+  EXPECT_EQ(slurp(again.cdfPath), first.cdf);
+}
+
+TEST(SweepResume, MismatchedSpecIsRefused) {
+  const std::string dir = tempDir("mismatch");
+  sweep::SweepOptions opt;
+  opt.dir = dir;
+  opt.quiet = true;
+  opt.stopAfter = 1;
+  const sweep::SweepOutcome first = sweep::runSweep(smallSpec(), opt);
+  EXPECT_FALSE(first.complete);
+
+  sweep::SweepSpec other = smallSpec();
+  other.masterSeed = 99;
+  opt.stopAfter = -1;
+  const sweep::SweepOutcome second = sweep::runSweep(other, opt);
+  EXPECT_FALSE(second.complete);
+  EXPECT_TRUE(second.failed);
+  EXPECT_NE(second.error.find("different spec"), std::string::npos)
+      << second.error;
+}
+
+TEST(SweepCoordinator, ScenarioFailureReportsFailedNotResumable) {
+  sweep::SweepSpec spec;
+  spec.designs = {"c17"};  // combinational: gk locking must refuse
+  spec.locks = {"gk:2"};
+  spec.attacks = {"sat"};
+  sweep::SweepOptions opt;
+  opt.dir = tempDir("fail");
+  opt.quiet = true;
+  const sweep::SweepOutcome out = sweep::runSweep(spec, opt);
+  EXPECT_FALSE(out.complete);
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(sweep::exitCodeFor(out), 2);
+}
+
+}  // namespace
+}  // namespace gkll

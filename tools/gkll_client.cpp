@@ -17,8 +17,18 @@
 // --time prints "time_us N" to stderr after every request — the smoke
 // script's cold-vs-warm latency check reads those.
 //
+// --stress N --repeat M      open N concurrent keep-alive connections and
+//                            send the command M times on EACH, then print a
+//                            latency/throughput summary (p50/p90/p99 in
+//                            microseconds, plus the clients' transport byte
+//                            counters).  The sweep runner's --service mode
+//                            uses one such keep-alive connection per worker;
+//                            this is the standalone saturation probe.
+//
 // Exit: 0 when every response has "ok":true, 1 otherwise, 2 on usage or
 // transport errors.
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -26,8 +36,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/client.h"
@@ -39,8 +51,101 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: gkll_client (--unix PATH | --tcp PORT) [--time]\n"
+               "                   [--stress N --repeat M]\n"
                "                   VERB [key=value ...] | --jsonl FILE|-\n");
   return 2;
+}
+
+/// One stress-mode worker: its own keep-alive connection, `repeat`
+/// round trips of the same payload, per-request latencies recorded.
+struct StressWorker {
+  std::vector<double> latencyUs;
+  gkll::service::ServiceClient::TransportStats transport;
+  std::uint64_t failures = 0;  ///< transport errors or "ok":false replies
+};
+
+void runStressWorker(const std::string& unixPath, int tcpPort,
+                     const std::string& payload, int repeat,
+                     StressWorker& out) {
+  gkll::service::ServiceClient client;
+  const bool connected = unixPath.empty() ? client.connectTcp(tcpPort)
+                                          : client.connectUnix(unixPath);
+  if (!connected) {
+    out.failures = static_cast<std::uint64_t>(repeat);
+    return;
+  }
+  out.latencyUs.reserve(static_cast<std::size_t>(repeat));
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string response;
+    if (!client.request(payload, response)) {
+      // The connection is gone; remaining repeats would all fail the
+      // same way — count them and stop.
+      out.failures += static_cast<std::uint64_t>(repeat - i);
+      break;
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    out.latencyUs.push_back(static_cast<double>(us));
+    gkll::util::JsonValue parsed;
+    if (!gkll::util::parseJson(response, parsed) ||
+        !parsed.boolOr("ok", false))
+      out.failures += 1;
+  }
+  out.transport = client.stats();
+}
+
+double percentileOf(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int runStress(const std::string& unixPath, int tcpPort,
+              const std::string& payload, int stress, int repeat) {
+  std::vector<StressWorker> workers(static_cast<std::size_t>(stress));
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (StressWorker& w : workers)
+      threads.emplace_back(runStressWorker, std::cref(unixPath), tcpPort,
+                           std::cref(payload), repeat, std::ref(w));
+    for (std::thread& t : threads) t.join();
+  }
+  const double wallUs =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+
+  std::vector<double> all;
+  std::uint64_t failures = 0, requests = 0, sent = 0, received = 0;
+  for (const StressWorker& w : workers) {
+    all.insert(all.end(), w.latencyUs.begin(), w.latencyUs.end());
+    failures += w.failures;
+    requests += w.transport.requests;
+    sent += w.transport.bytesSent;
+    received += w.transport.bytesReceived;
+  }
+  std::sort(all.begin(), all.end());
+  const double meanUs =
+      all.empty() ? 0.0
+                  : std::accumulate(all.begin(), all.end(), 0.0) /
+                        static_cast<double>(all.size());
+  std::printf("stress connections=%d repeat=%d requests=%llu failures=%llu\n",
+              stress, repeat, static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(failures));
+  std::printf("latency_us mean=%.1f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+              meanUs, percentileOf(all, 0.50), percentileOf(all, 0.90),
+              percentileOf(all, 0.99), all.empty() ? 0.0 : all.back());
+  std::printf("throughput_rps %.1f\n",
+              wallUs > 0 ? static_cast<double>(requests) * 1e6 / wallUs : 0.0);
+  std::printf("transport bytes_sent=%llu bytes_received=%llu\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(received));
+  return failures == 0 ? 0 : 1;
 }
 
 /// Keys whose values are always strings, whatever they look like —
@@ -120,6 +225,8 @@ int main(int argc, char** argv) {
   std::string unixPath;
   int tcpPort = -1;
   bool timeRequests = false;
+  int stress = 0;
+  int repeat = 1;
   std::string jsonlPath;
   std::vector<std::string> cmd;
 
@@ -131,6 +238,10 @@ int main(int argc, char** argv) {
       tcpPort = std::atoi(argv[++i]);
     } else if (cmd.empty() && a == "--time") {
       timeRequests = true;
+    } else if (cmd.empty() && a == "--stress" && i + 1 < argc) {
+      stress = std::atoi(argv[++i]);
+    } else if (cmd.empty() && a == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
     } else if (cmd.empty() && a == "--jsonl" && i + 1 < argc) {
       jsonlPath = argv[++i];
     } else {
@@ -139,6 +250,21 @@ int main(int argc, char** argv) {
   }
   if ((unixPath.empty() && tcpPort < 0) || (cmd.empty() && jsonlPath.empty()))
     return usage();
+  if (stress > 0) {
+    if (cmd.empty() || repeat < 1) {
+      std::fprintf(stderr,
+                   "gkll_client: --stress needs a VERB command and "
+                   "--repeat >= 1\n");
+      return 2;
+    }
+    std::string payload;
+    std::string err;
+    if (!buildRequest(cmd, 1, payload, err)) {
+      std::fprintf(stderr, "gkll_client: %s\n", err.c_str());
+      return 2;
+    }
+    return runStress(unixPath, tcpPort, payload, stress, repeat);
+  }
 
   gkll::service::ServiceClient client;
   const bool ok = unixPath.empty() ? client.connectTcp(tcpPort)

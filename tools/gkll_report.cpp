@@ -22,16 +22,29 @@
 //     named field is missing or below its floor (repeatable — the scale
 //     bench gates wide_speedup and sta_incremental_speedup this way).
 //
+//   gkll_report cdf A B [--metric NAME] [--max-ks X]
+//     Diff two sweep CDF sidecars (SWEEP_*.cdf.json, written by
+//     gkll_sweep).  For every "g.<group>.<metric>" step-CDF present in
+//     both files, prints the Kolmogorov–Smirnov distance (the largest
+//     vertical gap between the two step functions); --metric restricts to
+//     keys containing NAME.  With --max-ks, exits 1 when any compared
+//     distance exceeds X — the distribution-shift gate for comparing a
+//     sweep against a baseline sweep.
+//
 // Exit codes: 0 ok, 1 regression/validation failure, 2 usage error.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/journal.h"
 #include "obs/report.h"
+#include "util/json.h"
 
 namespace {
 
@@ -42,7 +55,9 @@ int usage() {
       "                   [--metric-tolerance NAME=PCT ...] [--all]\n"
       "       gkll_report validate FILE...\n"
       "       gkll_report gate BENCH.json [--min-speedup X]\n"
-      "                   [--min FIELD=X ...]\n");
+      "                   [--min FIELD=X ...]\n"
+      "       gkll_report cdf A.cdf.json B.cdf.json [--metric NAME]\n"
+      "                   [--max-ks X]\n");
   return 2;
 }
 
@@ -226,6 +241,137 @@ int runGate(const std::vector<std::string>& args) {
   return rc;
 }
 
+/// One step CDF from a sweep sidecar: sorted (upperBound, cumulativeFrac)
+/// pairs, as written by the coordinator from merged LogHistogram buckets.
+using StepCdf = std::vector<std::pair<double, double>>;
+
+bool loadCdfFile(const std::string& path,
+                 std::vector<std::pair<std::string, StepCdf>>& out,
+                 std::string& err) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    err = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  gkll::util::JsonValue root;
+  if (!gkll::util::parseJson(buf.str(), root, &err) || !root.isObject()) {
+    err = path + ": " + (err.empty() ? "not a JSON object" : err);
+    return false;
+  }
+  for (const auto& [key, value] : root.object) {
+    if (!value.isArray()) continue;
+    StepCdf cdf;
+    cdf.reserve(value.array.size());
+    for (const gkll::util::JsonValue& pair : value.array) {
+      if (!pair.isArray() || pair.array.size() != 2) continue;
+      cdf.emplace_back(pair.array[0].number, pair.array[1].number);
+    }
+    out.emplace_back(key, std::move(cdf));
+  }
+  return true;
+}
+
+/// Step-function value of a CDF at x: the cumulative fraction of the last
+/// bucket whose upper bound is <= x (0 before the first bucket).
+double cdfAt(const StepCdf& cdf, double x) {
+  double y = 0.0;
+  for (const auto& [ub, frac] : cdf) {
+    if (ub > x) break;
+    y = frac;
+  }
+  return y;
+}
+
+/// Kolmogorov–Smirnov distance between two step CDFs: the largest
+/// vertical gap, evaluated at every breakpoint of either function (a step
+/// function's sup-gap is always attained at a breakpoint).
+double ksDistance(const StepCdf& a, const StepCdf& b) {
+  double ks = 0.0;
+  for (const auto& [ub, frac] : a)
+    ks = std::max(ks, std::fabs(frac - cdfAt(b, ub)));
+  for (const auto& [ub, frac] : b)
+    ks = std::max(ks, std::fabs(cdfAt(a, ub) - frac));
+  return ks;
+}
+
+int runCdf(const std::vector<std::string>& args) {
+  std::string pathA, pathB, metricFilter;
+  double maxKs = -1.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--metric") {
+      if (++i == args.size()) return usage();
+      metricFilter = args[i];
+    } else if (a == "--max-ks") {
+      if (++i == args.size()) return usage();
+      maxKs = std::atof(args[i].c_str());
+    } else if (pathA.empty()) {
+      pathA = a;
+    } else if (pathB.empty()) {
+      pathB = a;
+    } else {
+      return usage();
+    }
+  }
+  if (pathA.empty() || pathB.empty()) return usage();
+
+  std::vector<std::pair<std::string, StepCdf>> cdfA, cdfB;
+  std::string err;
+  if (!loadCdfFile(pathA, cdfA, err) || !loadCdfFile(pathB, cdfB, err)) {
+    std::fprintf(stderr, "gkll_report: %s\n", err.c_str());
+    return 1;
+  }
+
+  int rc = 0;
+  std::size_t compared = 0;
+  double worst = 0.0;
+  std::string worstKey;
+  for (const auto& [key, a] : cdfA) {
+    if (!metricFilter.empty() && key.find(metricFilter) == std::string::npos)
+      continue;
+    const StepCdf* b = nullptr;
+    for (const auto& [keyB, valB] : cdfB)
+      if (keyB == key) {
+        b = &valB;
+        break;
+      }
+    if (b == nullptr) {
+      std::printf("%-60s only in %s\n", key.c_str(), pathA.c_str());
+      continue;
+    }
+    const double ks = ksDistance(a, *b);
+    ++compared;
+    if (ks > worst) {
+      worst = ks;
+      worstKey = key;
+    }
+    const bool over = maxKs >= 0.0 && ks > maxKs;
+    std::printf("%-60s ks=%.4f%s\n", key.c_str(), ks,
+                over ? "  FAIL (over --max-ks)" : "");
+    if (over) rc = 1;
+  }
+  for (const auto& [key, b] : cdfB) {
+    if (!metricFilter.empty() && key.find(metricFilter) == std::string::npos)
+      continue;
+    bool inA = false;
+    for (const auto& [keyA, valA] : cdfA)
+      if (keyA == key) {
+        inA = true;
+        break;
+      }
+    if (!inA) std::printf("%-60s only in %s\n", key.c_str(), pathB.c_str());
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "gkll_report: no common CDF keys to compare\n");
+    return 1;
+  }
+  std::printf("%zu CDF(s) compared, worst ks=%.4f (%s)\n", compared, worst,
+              worstKey.c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +381,7 @@ int main(int argc, char** argv) {
   args.erase(args.begin());
   if (cmd == "compare") return runCompare(args);
   if (cmd == "gate") return runGate(args);
+  if (cmd == "cdf") return runCdf(args);
   if (cmd == "validate") {
     if (args.empty()) return usage();
     int rc = 0;

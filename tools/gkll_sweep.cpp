@@ -1,0 +1,120 @@
+// gkll_sweep — distributed scenario-matrix runner with checkpoint/resume
+// (ROADMAP item 5, DESIGN.md §14).
+//
+//   gkll_sweep run --dir DIR [options]
+//
+// Options:
+//   --dir DIR           sweep directory (work queue, journals, artifacts)
+//   --name NAME         artifact stem (BENCH_<name>.json); default "sweep"
+//   --designs a,b,...   benchgen names (default "c17,toyseq")
+//   --locks a,b,...     none | xor:<bits> | sarlock:<bits> | gk:<g> |
+//                       gkw:<g> | hybrid:<g>x<k>   (default "xor:8,gk:4")
+//   --attacks a,b,...   none | sat | removal       (default "sat")
+//   --reps N            repetition instances per cell (default 1)
+//   --seed S            master seed (default 1)
+//   --workers N         fork N worker processes; 0 = in-process (default 0)
+//   --service-unix P    run scenarios through a gkll_serve daemon at P
+//   --service-tcp PORT  ... or at loopback TCP PORT
+//   --crash-after K     fault injection: worker 0 SIGKILLs itself after K
+//                       new scenarios (forked mode only)
+//   --stop-after K      stop cleanly after K new scenarios (resume later)
+//   --quiet             no per-scenario progress lines
+//
+// Exit codes: 0 = complete (aggregates written), 3 = interrupted/partial
+// (re-run the SAME command to resume — completed scenarios are skipped by
+// replaying the journals), 2 = configuration or scenario failure.
+//
+// The determinism contract: for a fixed spec, BENCH_<name>.json and
+// SWEEP_<name>.cdf.json are byte-identical no matter how many workers ran,
+// how often the sweep was killed, or where it resumed.  Wall-clock numbers
+// live only in SWEEP_<name>.latency.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sweep/coordinator.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run --dir DIR [--name N] [--designs a,b]\n"
+               "  [--locks xor:8,gk:4] [--attacks sat] [--reps N] [--seed S]\n"
+               "  [--workers N] [--service-unix PATH | --service-tcp PORT]\n"
+               "  [--crash-after K] [--stop-after K] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gkll;
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage(argv[0]);
+
+  sweep::SweepSpec spec;
+  spec.designs = {"c17", "toyseq"};
+  spec.locks = {"xor:8", "gk:4"};
+  spec.attacks = {"sat"};
+  sweep::SweepOptions opt;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if ((v = value()) == nullptr) {
+      std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (arg == "--dir") {
+      opt.dir = v;
+    } else if (arg == "--name") {
+      opt.name = v;
+    } else if (arg == "--designs") {
+      spec.designs = sweep::splitList(v);
+    } else if (arg == "--locks") {
+      spec.locks = sweep::splitList(v);
+    } else if (arg == "--attacks") {
+      spec.attacks = sweep::splitList(v);
+    } else if (arg == "--reps") {
+      spec.reps = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      spec.masterSeed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--workers") {
+      opt.workers = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--service-unix") {
+      opt.service.unixPath = v;
+    } else if (arg == "--service-tcp") {
+      opt.service.tcpPort = std::atoi(v);
+    } else if (arg == "--crash-after") {
+      opt.crashAfter = std::atoi(v);
+    } else if (arg == "--stop-after") {
+      opt.stopAfter = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (opt.crashAfter >= 0 && opt.workers == 0) {
+    std::fprintf(stderr,
+                 "--crash-after needs --workers >= 1 (an in-process SIGKILL "
+                 "would take the coordinator too); use --stop-after for a "
+                 "clean in-process interruption\n");
+    return 2;
+  }
+
+  const sweep::SweepOutcome out = sweep::runSweep(spec, opt);
+  if (!out.error.empty()) std::fprintf(stderr, "gkll_sweep: %s\n", out.error.c_str());
+  std::printf(
+      "sweep %s: %zu scenario(s), %zu skipped (resumed), %zu ran, %s\n",
+      opt.name.c_str(), out.total, out.skipped, out.ran,
+      out.complete ? "COMPLETE" : (out.failed ? "FAILED" : "INTERRUPTED"));
+  if (out.complete)
+    std::printf("  %s\n  %s\n  %s\n", out.aggregatePath.c_str(),
+                out.cdfPath.c_str(), out.latencyPath.c_str());
+  return sweep::exitCodeFor(out);
+}
